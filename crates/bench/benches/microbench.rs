@@ -1,0 +1,184 @@
+//! Criterion microbenchmarks of the library's real (wall-clock) hot paths.
+//!
+//! The figure binaries measure *modeled* 2001 hardware; these benches
+//! measure what the Rust implementation itself costs on today's machine:
+//! message packing/unpacking, GTM control framing, the shared-memory
+//! transport, and an end-to-end gateway pipeline on real threads.
+
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use madeleine::conduit::Driver;
+use madeleine::flags::{RecvMode, SendMode};
+use madeleine::gtm;
+use madeleine::plan;
+use madeleine::runtime::StdRuntime;
+use madeleine::session::VcOptions;
+use madeleine::types::NodeId;
+use madeleine::SessionBuilder;
+use mad_shm::ShmDriver;
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack_unpack_shm");
+    for &size in &[4 * 1024usize, 64 * 1024, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("single_block", size), &size, |b, &size| {
+            let rt = StdRuntime::shared();
+            let driver = ShmDriver::new(rt.clone());
+            let (mut tx, mut rx) = driver.connect(NodeId(0), NodeId(1), rt.event(), rt.event());
+            let data = vec![7u8; size];
+            let mut buf = vec![0u8; size];
+            b.iter(|| {
+                tx.send(&[&data]).unwrap();
+                rx.recv_into(&mut buf).unwrap();
+                std::hint::black_box(&buf);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gtm_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gtm_codec");
+    g.bench_function("encode_decode_header", |b| {
+        let h = gtm::GtmHeader {
+            src: NodeId(3),
+            dest: NodeId(9),
+            mtu: 16 * 1024,
+        };
+        b.iter(|| {
+            let pkt = gtm::encode_header(std::hint::black_box(&h));
+            std::hint::black_box(gtm::decode_control(&pkt).unwrap())
+        });
+    });
+    g.bench_function("encode_decode_part", |b| {
+        let d = gtm::GtmPartDesc {
+            len: 123_456,
+            send: SendMode::Later,
+            recv: RecvMode::Cheaper,
+        };
+        b.iter(|| {
+            let pkt = gtm::encode_part(std::hint::black_box(&d));
+            std::hint::black_box(gtm::decode_control(&pkt).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bench_packetize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_packetize");
+    g.bench_function("mixed_blocks", |b| {
+        let lens: Vec<usize> = (0..64).map(|i| 100 + i * 777).collect();
+        b.iter(|| std::hint::black_box(plan::packetize(&lens, 16 * 1024, 16)));
+    });
+    g.finish();
+}
+
+fn bench_gateway_pipeline_real(c: &mut Criterion) {
+    // End-to-end: a 3-node session over real shared memory with a forwarding
+    // gateway, one 1 MB message per iteration. Exercises GTM framing, the
+    // pipeline threads, and teardown-free steady state — but rebuilds the
+    // session each iteration batch, so use modest sample counts.
+    let mut g = c.benchmark_group("gateway_pipeline_shm");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("forward_1MB_x8", |b| {
+        b.iter(|| {
+            let mut sb = SessionBuilder::new(3);
+            let rt = sb.runtime().clone();
+            let n0 = sb.network("a", ShmDriver::new(rt.clone()), &[0, 1]);
+            let n1 = sb.network("b", ShmDriver::new(rt), &[1, 2]);
+            sb.vchannel(
+                "vc",
+                &[n0, n1],
+                VcOptions {
+                    mtu: Some(64 * 1024),
+                    ..Default::default()
+                },
+            );
+            let results = sb.run(|node| {
+                let vc = node.vchannel("vc");
+                match node.rank().0 {
+                    0 => {
+                        let data = vec![1u8; 1 << 20];
+                        for _ in 0..8 {
+                            let mut w = vc.begin_packing(NodeId(2)).unwrap();
+                            w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                            w.end_packing().unwrap();
+                        }
+                        0u8
+                    }
+                    1 => 0,
+                    2 => {
+                        let mut buf = vec![0u8; 1 << 20];
+                        for _ in 0..8 {
+                            let mut r = vc.begin_unpacking().unwrap();
+                            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                            r.end_unpacking().unwrap();
+                        }
+                        buf[0]
+                    }
+                    _ => unreachable!(),
+                }
+            });
+            std::hint::black_box(results)
+        });
+    });
+    g.finish();
+}
+
+fn bench_rt_queue(c: &mut Criterion) {
+    use madeleine::runtime::RtQueue;
+    let mut g = c.benchmark_group("rt_queue");
+    g.bench_function("push_pop_unbounded", |b| {
+        let rt = StdRuntime::default();
+        let (tx, rx) = RtQueue::<u64>::with_capacity(&rt, usize::MAX);
+        b.iter(|| {
+            tx.push(42).unwrap();
+            std::hint::black_box(rx.try_pop().unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bench_vtime_clock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vtime");
+    g.bench_function("two_actor_handshake_1000", |b| {
+        // 1000 virtual-time message handoffs between two actors, measuring
+        // the real cost of the conservative clock (the simulator's main
+        // overhead driver).
+        b.iter(|| {
+            let clock = vtime::Clock::new();
+            let (tx, rx) = vtime::mailbox::<u32>(&clock);
+            let setup = clock.freeze();
+            let p = clock.spawn("p", move |a| {
+                for i in 0..1000u32 {
+                    a.sleep(vtime::SimDuration::from_nanos(10));
+                    tx.send(i).unwrap();
+                }
+            });
+            let q = clock.spawn("c", move |a| {
+                let mut sum = 0u64;
+                while let Ok(v) = rx.recv(a) {
+                    sum += v as u64;
+                }
+                sum
+            });
+            drop(setup);
+            p.join().unwrap();
+            std::hint::black_box(q.join().unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pack_unpack,
+    bench_gtm_codec,
+    bench_packetize,
+    bench_gateway_pipeline_real,
+    bench_rt_queue,
+    bench_vtime_clock
+);
+criterion_main!(benches);

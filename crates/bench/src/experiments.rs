@@ -1,0 +1,306 @@
+//! Reusable experiment runners over the simulated testbed.
+//!
+//! Every runner builds a fresh 3-node cluster-of-clusters (rank 0 on the
+//! source network, rank 1 the gateway with both NICs, rank 2 on the
+//! destination network), exactly the paper's §3 setup, and measures the
+//! one-way transmission time of a single message on the shared virtual
+//! clock. The paper derived one-way times from a ping with a Fast-Ethernet
+//! ack of known latency; with a global deterministic clock we read the
+//! one-way time directly, which is the same quantity without the
+//! subtraction step.
+
+use madeleine::baseline;
+use madeleine::gateway::GatewayConfig;
+use madeleine::session::VcOptions;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+use mad_sim::{SimDriver, SimTech, Testbed};
+use simnet::{calibration, NetParams, TraceEvent, TraceLog};
+
+/// Result of one one-way transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Payload bytes moved.
+    pub bytes: usize,
+    /// One-way time in (virtual) seconds.
+    pub seconds: f64,
+}
+
+impl Measurement {
+    /// Achieved bandwidth in MB/s (the paper's unit: 1e6 bytes/second).
+    pub fn mbps(&self) -> f64 {
+        self.bytes as f64 / self.seconds / 1e6
+    }
+
+    /// One-way time in microseconds.
+    pub fn micros(&self) -> f64 {
+        self.seconds * 1e6
+    }
+}
+
+/// Gateway-path configuration of a forwarded-transfer experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct GwSetup {
+    /// GTM fragment size (the paper's "paquet size").
+    pub mtu: usize,
+    /// Pipeline buffers per direction (2 = the paper's double-buffering).
+    pub pipeline_depth: usize,
+    /// Zero-copy buffer handoff at the gateway.
+    pub zero_copy: bool,
+    /// Per-fragment buffer-switch software cost.
+    pub switch_overhead_ns: u64,
+    /// Optional cap (bytes/s) on the inbound network's device rate at every
+    /// NIC — the flow-control probe of the paper's future work (§4).
+    pub inbound_rate_cap: Option<f64>,
+    /// Optional replacement parameters for the outbound network — used to
+    /// model the paper's proposed workaround of driving SCI sends with the
+    /// NIC's DMA engine instead of CPU PIO (§3.4.1).
+    pub outbound_override: Option<NetParams>,
+}
+
+impl Default for GwSetup {
+    fn default() -> Self {
+        GwSetup {
+            mtu: calibration::CROSSOVER_PACKET,
+            pipeline_depth: 2,
+            zero_copy: true,
+            switch_overhead_ns: calibration::gateway_switch_overhead().as_nanos(),
+            inbound_rate_cap: None,
+            outbound_override: None,
+        }
+    }
+}
+
+impl GwSetup {
+    /// Same setup with a different fragment size.
+    pub fn with_mtu(mtu: usize) -> Self {
+        GwSetup {
+            mtu,
+            ..Default::default()
+        }
+    }
+}
+
+fn capped_params(tech: SimTech, cap: Option<f64>) -> NetParams {
+    let mut p = tech.params();
+    if let Some(c) = cap {
+        p.dev_in_bps = p.dev_in_bps.min(c);
+    }
+    p
+}
+
+/// One-way transfer of `total` bytes, rank 0 → rank 2 via the gateway.
+pub fn forwarded_oneway(from: SimTech, to: SimTech, total: usize, setup: GwSetup) -> Measurement {
+    let tb = Testbed::new(3);
+    run_forwarded(&tb, from, to, total, setup)
+}
+
+/// Like [`forwarded_oneway`] but recording driver spans into `trace`
+/// (fig. 5 / fig. 8 timelines).
+pub fn forwarded_oneway_traced(
+    from: SimTech,
+    to: SimTech,
+    total: usize,
+    setup: GwSetup,
+) -> (Measurement, Vec<TraceEvent>) {
+    let trace = TraceLog::new();
+    let tb = Testbed::with_trace(3, trace.clone());
+    let m = run_forwarded(&tb, from, to, total, setup);
+    (m, trace.snapshot())
+}
+
+fn run_forwarded(
+    tb: &Testbed,
+    from: SimTech,
+    to: SimTech,
+    total: usize,
+    setup: GwSetup,
+) -> Measurement {
+    let rt = tb.runtime();
+    let mut sb = SessionBuilder::new(3).with_runtime(rt);
+    let in_driver = SimDriver::with_params(
+        from,
+        capped_params(from, setup.inbound_rate_cap),
+        tb.net().clone(),
+        tb.hosts().to_vec(),
+        tb.runtime(),
+    );
+    let n_in = sb.network("net-in", in_driver, &[0, 1]);
+    let out_driver = match setup.outbound_override {
+        Some(params) => SimDriver::with_params(
+            to,
+            params,
+            tb.net().clone(),
+            tb.hosts().to_vec(),
+            tb.runtime(),
+        ),
+        None => tb.driver(to),
+    };
+    let n_out = sb.network("net-out", out_driver, &[1, 2]);
+    sb.vchannel(
+        "vc",
+        &[n_in, n_out],
+        VcOptions {
+            mtu: Some(setup.mtu),
+            gateway: GatewayConfig {
+                pipeline_depth: setup.pipeline_depth,
+                switch_overhead_ns: setup.switch_overhead_ns,
+                zero_copy: setup.zero_copy,
+            },
+        },
+    );
+    let stamps = sb.run(move |node| {
+        let vc = node.vchannel("vc");
+        let rt = node.runtime().clone();
+        node.barrier().wait();
+        match node.rank().0 {
+            0 => {
+                let t0 = rt.now_nanos();
+                let data = vec![0x5Au8; total];
+                let mut w = vc.begin_packing(NodeId(2)).unwrap();
+                w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
+                t0
+            }
+            1 => 0,
+            2 => {
+                let mut buf = vec![0u8; total];
+                let mut r = vc.begin_unpacking().unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.end_unpacking().unwrap();
+                assert!(buf.iter().all(|&b| b == 0x5A), "payload corrupted in flight");
+                rt.now_nanos()
+            }
+            _ => unreachable!(),
+        }
+    });
+    Measurement {
+        bytes: total,
+        seconds: (stamps[2] - stamps[0]) as f64 / 1e9,
+    }
+}
+
+/// One-way transfer of `total` bytes between two directly connected nodes,
+/// sent as packets of `packet` bytes (the paper's raw Madeleine ping).
+pub fn raw_oneway(tech: SimTech, total: usize, packet: usize) -> Measurement {
+    let tb = Testbed::new(2);
+    let rt = tb.runtime();
+    let mut sb = SessionBuilder::new(2).with_runtime(rt);
+    let net = sb.network("net", tb.driver(tech), &[0, 1]);
+    sb.channel("ch", net);
+    let stamps = sb.run(move |node| {
+        let ch = node.channel("ch");
+        let rt = node.runtime().clone();
+        node.barrier().wait();
+        if node.rank() == NodeId(0) {
+            let t0 = rt.now_nanos();
+            let data = vec![0x33u8; total];
+            let mut w = ch.begin_packing(NodeId(1)).unwrap();
+            // SendMode::Safer flushes each block as its own wire packet,
+            // which is exactly "a ping with packets of size S".
+            for chunk in data.chunks(packet) {
+                w.pack(chunk, SendMode::Safer, RecvMode::Cheaper).unwrap();
+            }
+            w.end_packing().unwrap();
+            t0
+        } else {
+            let mut buf = vec![0u8; total];
+            let mut r = ch.begin_unpacking().unwrap();
+            for chunk in buf.chunks_mut(packet) {
+                r.unpack(chunk, SendMode::Safer, RecvMode::Cheaper).unwrap();
+            }
+            r.end_unpacking().unwrap();
+            rt.now_nanos()
+        }
+    });
+    Measurement {
+        bytes: total,
+        seconds: (stamps[1] - stamps[0]) as f64 / 1e9,
+    }
+}
+
+/// One-way time of a single `size`-byte message (latency regime).
+pub fn raw_latency_micros(tech: SimTech, size: usize) -> f64 {
+    raw_oneway(tech, size, size.max(1)).micros()
+}
+
+/// One-way transfer through an *application-level* relay (the Nexus/PACX
+/// baseline): rank 1 runs [`madeleine::baseline::run_relay`] — whole-message
+/// store-and-forward, no pipelining, relay code in the application.
+pub fn appfwd_oneway(from: SimTech, to: SimTech, total: usize) -> Measurement {
+    let tb = Testbed::new(3);
+    let rt = tb.runtime();
+    let mut sb = SessionBuilder::new(3).with_runtime(rt);
+    let n_in = sb.network("net-in", tb.driver(from), &[0, 1]);
+    let n_out = sb.network("net-out", tb.driver(to), &[1, 2]);
+    sb.channel("ch-in", n_in);
+    sb.channel("ch-out", n_out);
+    let stamps = sb.run(move |node| {
+        let rt = node.runtime().clone();
+        node.barrier().wait();
+        match node.rank().0 {
+            0 => {
+                let ch = node.channel("ch-in");
+                let t0 = rt.now_nanos();
+                let data = vec![0x77u8; total];
+                baseline::send_via_relay(ch, NodeId(1), NodeId(2), &data).unwrap();
+                t0
+            }
+            1 => {
+                let relayed = baseline::run_relay(
+                    node.channel("ch-in"),
+                    node.channel("ch-out"),
+                    |dest| (dest == NodeId(2)).then_some(NodeId(2)),
+                )
+                .unwrap();
+                assert_eq!(relayed, 1);
+                0
+            }
+            2 => {
+                let ch = node.channel("ch-out");
+                let payload = baseline::recv_via_relay(ch, NodeId(2)).unwrap();
+                assert_eq!(payload.len(), total);
+                rt.now_nanos()
+            }
+            _ => unreachable!(),
+        }
+    });
+    Measurement {
+        bytes: total,
+        seconds: (stamps[2] - stamps[0]) as f64 / 1e9,
+    }
+}
+
+/// The paper's §3.4.1 workaround: drive SCI sends with the Dolphin DMA
+/// engine instead of CPU PIO. DMA setup costs more per packet and the
+/// engine moves data slightly slower than streamed PIO writes, but as a
+/// bus-master it no longer loses arbitration to the Myrinet NIC.
+pub fn sci_with_dma_engine() -> NetParams {
+    let mut p = SimTech::Sci.params();
+    p.out_class = simnet::XferClass::Dma;
+    p.dev_out_bps = 50.0e6;
+    p.overhead_send = vtime::SimDuration::from_micros(35);
+    p
+}
+
+/// The standard figure sweep grids.
+pub mod grids {
+    /// The paper's packet sizes (fig. 6/7 legends): 8 KB … 128 KB.
+    pub const PACKET_SIZES: [usize; 5] = [
+        8 * 1024,
+        16 * 1024,
+        32 * 1024,
+        64 * 1024,
+        128 * 1024,
+    ];
+
+    /// Message sizes along the x-axis (up to 16 MB, log-spaced).
+    pub const MESSAGE_SIZES: [usize; 7] = [
+        64 * 1024,
+        256 * 1024,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
+        16 << 20,
+    ];
+}

@@ -1,0 +1,13 @@
+//! # mad-bench — the paper's evaluation, regenerated
+//!
+//! Shared harness for every figure and table of the paper's §3 plus the
+//! ablations listed in DESIGN.md. Binaries under `src/bin/` drive the
+//! sweeps and emit a printed table plus a CSV under `results/`; Criterion
+//! microbenches under `benches/` measure the real (wall-clock) costs of the
+//! library's hot paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod trace_view;

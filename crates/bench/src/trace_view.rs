@@ -1,0 +1,97 @@
+//! ASCII rendering and statistics of gateway pipeline traces
+//! (figures 5 and 8).
+
+use simnet::{TraceEvent, TraceKind};
+
+use crate::report::Table;
+
+/// Render the gateway's recv/send/overhead spans as a three-lane ASCII
+/// timeline (the visual analogue of the paper's figures 5 and 8).
+pub fn print_gateway_timeline(trace: &[TraceEvent], recv_label: &str, send_label: &str) {
+    let spans: Vec<&TraceEvent> = trace
+        .iter()
+        .filter(|e| {
+            (e.label == recv_label && e.kind == TraceKind::Recv)
+                || (e.label == send_label && e.kind == TraceKind::Send)
+                || (e.label == recv_label && e.kind == TraceKind::Overhead)
+        })
+        .collect();
+    let Some(first) = spans.iter().map(|e| e.start.as_nanos()).min() else {
+        println!("(no gateway spans recorded)");
+        return;
+    };
+    let last = spans.iter().map(|e| e.end.as_nanos()).max().unwrap();
+    let width = 100usize;
+    let scale = |t: u64| {
+        ((t - first) as f64 / (last - first).max(1) as f64 * (width - 1) as f64).round() as usize
+    };
+    let mut lines = [vec![' '; width], vec![' '; width], vec![' '; width]];
+    for e in &spans {
+        let (line, ch) = match e.kind {
+            TraceKind::Recv => (0, 'R'),
+            TraceKind::Send => (1, 'S'),
+            TraceKind::Overhead => (2, 'o'),
+            TraceKind::Copy => (2, 'c'),
+        };
+        let (a, b) = (scale(e.start.as_nanos()), scale(e.end.as_nanos()));
+        for cell in &mut lines[line][a..=b.min(width - 1)] {
+            *cell = ch;
+        }
+    }
+    println!(
+        "\ntimeline over {:.1} ms ({} spans):",
+        (last - first) as f64 / 1e6,
+        spans.len()
+    );
+    println!("recv  |{}|", lines[0].iter().collect::<String>());
+    println!("send  |{}|", lines[1].iter().collect::<String>());
+    println!("sw-ovh|{}|", lines[2].iter().collect::<String>());
+}
+
+/// Per-kind step duration statistics (the paper's 290 µs vs 540 µs step
+/// analysis of §3.4.1). Returns (mean recv µs, mean send µs).
+pub fn step_stats(
+    trace: &[TraceEvent],
+    recv_label: &str,
+    send_label: &str,
+    csv: &str,
+) -> (f64, f64) {
+    let mut table = Table::new(
+        "gateway step durations (µs)",
+        &["step", "count", "mean", "min", "max"],
+    );
+    let mut means = [0.0f64; 2];
+    for (i, (name, label, kind)) in [
+        ("recv", recv_label, TraceKind::Recv),
+        ("send", send_label, TraceKind::Send),
+        ("switch-overhead", recv_label, TraceKind::Overhead),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let durs: Vec<f64> = trace
+            .iter()
+            .filter(|e| e.label == label && e.kind == kind)
+            .map(|e| e.end.since(e.start).as_micros_f64())
+            .collect();
+        if durs.is_empty() {
+            continue;
+        }
+        let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+        if i < 2 {
+            means[i] = mean;
+        }
+        let min = durs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = durs.iter().cloned().fold(0.0, f64::max);
+        table.row(vec![
+            name.into(),
+            durs.len().to_string(),
+            format!("{mean:.1}"),
+            format!("{min:.1}"),
+            format!("{max:.1}"),
+        ]);
+    }
+    table.print();
+    table.write_csv(csv);
+    (means[0], means[1])
+}

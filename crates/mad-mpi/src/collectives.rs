@@ -1,0 +1,206 @@
+//! Collective operations over the communicator, with the classic
+//! algorithms: dissemination barrier, binomial broadcast/reduce,
+//! reduce+broadcast allreduce, linear gather/scatter, pairwise alltoall.
+//!
+//! Every collective uses its own reserved tag so concurrent user traffic
+//! with arbitrary tags cannot be confused with internal rounds. Within one
+//! collective, the round number is folded into the tag, so even the
+//! dissemination barrier's log₂(n) rounds stay separate.
+
+use madeleine::error::Result;
+
+use crate::comm::{Communicator, INTERNAL_TAG_BASE};
+
+const TAG_BARRIER: u32 = INTERNAL_TAG_BASE;
+const TAG_BCAST: u32 = INTERNAL_TAG_BASE + 0x100;
+const TAG_REDUCE: u32 = INTERNAL_TAG_BASE + 0x200;
+const TAG_GATHER: u32 = INTERNAL_TAG_BASE + 0x300;
+const TAG_SCATTER: u32 = INTERNAL_TAG_BASE + 0x400;
+const TAG_ALLTOALL: u32 = INTERNAL_TAG_BASE + 0x500;
+const TAG_ALLGATHER: u32 = INTERNAL_TAG_BASE + 0x600;
+
+impl Communicator {
+    /// Dissemination barrier: ⌈log₂ n⌉ rounds of pairwise notifications.
+    pub fn barrier(&self) -> Result<()> {
+        let n = self.size();
+        if n <= 1 {
+            return Ok(());
+        }
+        let mut round = 0u32;
+        let mut dist = 1u32;
+        while dist < n {
+            let to = (self.rank() + dist) % n;
+            let from = (self.rank() + n - dist) % n;
+            let tag = TAG_BARRIER + round;
+            self.send_raw(to, tag, &[])?;
+            self.recv(Some(from), Some(tag))?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast from `root`. On non-root ranks `data` is
+    /// resized and overwritten with the root's bytes.
+    pub fn broadcast(&self, root: u32, data: &mut Vec<u8>) -> Result<()> {
+        let n = self.size();
+        if n <= 1 {
+            return Ok(());
+        }
+        let vrank = (self.rank() + n - root) % n;
+        // Receive phase: find the bit that names our parent.
+        let mut mask = 1u32;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = ((vrank - mask) + root) % n;
+                let (payload, _) = self.recv(Some(parent), Some(TAG_BCAST))?;
+                *data = payload;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children below our bit.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < n {
+                let child = ((vrank + mask) + root) % n;
+                self.send_raw(child, TAG_BCAST, data)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree reduction to `root`. `combine(acc, other)` folds a
+    /// child's contribution into the local accumulator; both slices always
+    /// have the (common) payload length. Returns `true` on the root, whose
+    /// `data` then holds the reduced result; non-root `data` is clobbered
+    /// with partial reductions.
+    pub fn reduce(
+        &self,
+        root: u32,
+        data: &mut [u8],
+        combine: impl Fn(&mut [u8], &[u8]),
+    ) -> Result<bool> {
+        let n = self.size();
+        if n <= 1 {
+            return Ok(true);
+        }
+        let vrank = (self.rank() + n - root) % n;
+        let mut mask = 1u32;
+        while mask < n {
+            if vrank & mask == 0 {
+                // We own this subtree: absorb the child at vrank|mask.
+                if vrank | mask < n {
+                    let child = ((vrank | mask) + root) % n;
+                    let (payload, _) = self.recv(Some(child), Some(TAG_REDUCE + mask))?;
+                    assert_eq!(payload.len(), data.len(), "reduce length mismatch");
+                    combine(data, &payload);
+                }
+            } else {
+                // Hand our partial to the parent and stop.
+                let parent = ((vrank - mask) + root) % n;
+                self.send_raw(parent, TAG_REDUCE + mask, data)?;
+                return Ok(false);
+            }
+            mask <<= 1;
+        }
+        Ok(true)
+    }
+
+    /// Reduce to rank 0, then broadcast the result: every rank ends with
+    /// the fully combined `data`.
+    pub fn allreduce(&self, data: &mut Vec<u8>, combine: impl Fn(&mut [u8], &[u8])) -> Result<()> {
+        self.reduce(0, data, combine)?;
+        self.broadcast(0, data)
+    }
+
+    /// Linear gather to `root`: returns `Some(parts)` on the root (indexed
+    /// by rank, the root's own contribution included), `None` elsewhere.
+    pub fn gather(&self, root: u32, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        if self.rank() == root {
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); self.size() as usize];
+            parts[root as usize] = data.to_vec();
+            for _ in 0..self.size() - 1 {
+                let (payload, status) = self.recv(None, Some(TAG_GATHER))?;
+                parts[status.source as usize] = payload;
+            }
+            Ok(Some(parts))
+        } else {
+            self.send_raw(root, TAG_GATHER, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Linear scatter from `root`: rank `i` receives `parts[i]`. Only the
+    /// root passes `Some(parts)` (one entry per rank).
+    pub fn scatter(&self, root: u32, parts: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
+        if self.rank() == root {
+            let parts = parts.expect("root provides the parts");
+            assert_eq!(parts.len(), self.size() as usize, "one part per rank");
+            for (i, part) in parts.iter().enumerate() {
+                if i as u32 != root {
+                    self.send_raw(i as u32, TAG_SCATTER, part)?;
+                }
+            }
+            Ok(parts[root as usize].clone())
+        } else {
+            assert!(parts.is_none(), "only the root provides parts");
+            Ok(self.recv(Some(root), Some(TAG_SCATTER))?.0)
+        }
+    }
+
+    /// Ring allgather: after n−1 rounds every rank holds every rank's
+    /// contribution, indexed by source rank. Each round passes the
+    /// neighbour's newest block along the ring, so per-round traffic is one
+    /// block per link — the classic bandwidth-optimal algorithm.
+    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let n = self.size();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n as usize];
+        out[self.rank() as usize] = data.to_vec();
+        if n == 1 {
+            return Ok(out);
+        }
+        let right = (self.rank() + 1) % n;
+        let left = (self.rank() + n - 1) % n;
+        // In round r we forward the block that originated at rank - r.
+        let mut carry = data.to_vec();
+        for round in 0..n - 1 {
+            let got = self.sendrecv(
+                right,
+                TAG_ALLGATHER + round,
+                &carry,
+                left,
+                TAG_ALLGATHER + round,
+            )?;
+            let origin = (self.rank() + n - 1 - round) % n;
+            out[origin as usize] = got.clone();
+            carry = got;
+        }
+        Ok(out)
+    }
+
+    /// Pairwise alltoall: rank `i` sends `parts[j]` to rank `j` and
+    /// receives everyone's `parts[i]`, returned indexed by source rank.
+    /// The exchange is staggered (round r pairs `rank` with `rank ^ r`-ish
+    /// linear offsets) so no two ranks flood the same destination at once.
+    pub fn alltoall(&self, parts: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let n = self.size();
+        assert_eq!(parts.len(), n as usize, "one part per rank");
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n as usize];
+        out[self.rank() as usize] = parts[self.rank() as usize].clone();
+        for round in 1..n {
+            let to = (self.rank() + round) % n;
+            let from = (self.rank() + n - round) % n;
+            let got = self.sendrecv(
+                to,
+                TAG_ALLTOALL + round,
+                &parts[to as usize],
+                from,
+                TAG_ALLTOALL + round,
+            )?;
+            out[from as usize] = got;
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,32 @@
+//! # mad-mpi — an MPI-flavoured layer on top of Madeleine virtual channels
+//!
+//! The paper's conclusion: *"On top of Madeleine, high-level traditional
+//! routing mechanisms can easily and efficiently be implemented."*
+//! Historically that claim was cashed in by MPICH/Madeleine; this crate is
+//! the same idea at reproduction scale — a compact message-passing layer
+//! with tagged point-to-point operations and the classic collective
+//! algorithms, running unchanged over flat clusters and clusters of
+//! clusters (gateway forwarding stays completely invisible up here).
+//!
+//! * [`Communicator`] — ranks over one virtual channel, `send`/`recv` with
+//!   tag and source matching, and an unexpected-message queue (the eager
+//!   protocol every early MPI used).
+//! * Collectives: dissemination [`Communicator::barrier`], binomial-tree
+//!   [`Communicator::broadcast`] and [`Communicator::reduce`],
+//!   [`Communicator::allreduce`], linear [`Communicator::gather`] /
+//!   [`Communicator::scatter`], and pairwise [`Communicator::alltoall`] —
+//!   real algorithms, not loops around a root bottleneck (except where
+//!   linear is the classic choice).
+//!
+//! Payloads are byte slices; [`typed`] offers safe `f64`/`u64` helpers.
+
+#![warn(missing_docs)]
+
+mod collectives;
+mod comm;
+pub mod typed;
+
+pub use comm::{Communicator, Status};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,254 @@
+//! Tests of the MPI layer over real shared memory — both flat clusters and
+//! clusters of clusters (the gateways must be invisible up here).
+
+use std::sync::Arc;
+
+use madeleine::session::VcOptions;
+use madeleine::SessionBuilder;
+use mad_shm::ShmDriver;
+
+use crate::typed::{bytes_to_u64s, u64s_to_bytes};
+use crate::Communicator;
+
+/// A flat 4-node world over one shared-memory network.
+fn flat_world<T: Send + 'static>(
+    f: impl Fn(Communicator) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let mut sb = SessionBuilder::new(4);
+    let rt = sb.runtime().clone();
+    let net = sb.network("shm", ShmDriver::new(rt), &[0, 1, 2, 3]);
+    sb.vchannel("vc", &[net], VcOptions::default());
+    sb.run(move |node| f(Communicator::new(Arc::clone(node.vchannel("vc")))))
+}
+
+/// A 5-node cluster of clusters: {0,1,2} and {2,3,4} with gateway 2.
+fn gateway_world<T: Send + 'static>(
+    f: impl Fn(Communicator) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let mut sb = SessionBuilder::new(5);
+    let rt = sb.runtime().clone();
+    let n0 = sb.network("a", ShmDriver::new(rt.clone()), &[0, 1, 2]);
+    let n1 = sb.network("b", ShmDriver::new(rt), &[2, 3, 4]);
+    sb.vchannel("vc", &[n0, n1], VcOptions::default());
+    sb.run(move |node| f(Communicator::new(Arc::clone(node.vchannel("vc")))))
+}
+
+#[test]
+fn ranks_and_sizes_agree() {
+    let out = flat_world(|comm| (comm.rank(), comm.size()));
+    for (i, (rank, size)) in out.into_iter().enumerate() {
+        assert_eq!(rank, i as u32);
+        assert_eq!(size, 4);
+    }
+}
+
+#[test]
+fn point_to_point_with_tags() {
+    let ok = flat_world(|comm| {
+        match comm.rank() {
+            0 => {
+                comm.send(1, 7, b"seven").unwrap();
+                comm.send(1, 9, b"nine").unwrap();
+                true
+            }
+            1 => {
+                // Receive out of order: tag 9 first, buffering tag 7.
+                let (nine, st9) = comm.recv(Some(0), Some(9)).unwrap();
+                let (seven, st7) = comm.recv(Some(0), Some(7)).unwrap();
+                assert_eq!(nine, b"nine");
+                assert_eq!(seven, b"seven");
+                assert_eq!((st9.tag, st7.tag), (9, 7));
+                assert_eq!(st7.source, 0);
+                true
+            }
+            _ => true,
+        }
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn wildcard_receive_reports_status() {
+    let ok = flat_world(|comm| match comm.rank() {
+        2 => {
+            comm.send(3, 5, b"x").unwrap();
+            true
+        }
+        3 => {
+            let (payload, status) = comm.recv(None, None).unwrap();
+            payload == b"x" && status.source == 2 && status.tag == 5 && status.len == 1
+        }
+        _ => true,
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn barrier_all_ranks() {
+    let out = flat_world(|comm| {
+        for _ in 0..5 {
+            comm.barrier().unwrap();
+        }
+        comm.rank()
+    });
+    assert_eq!(out.len(), 4);
+}
+
+#[test]
+fn broadcast_from_each_root() {
+    let ok = flat_world(|comm| {
+        for root in 0..comm.size() {
+            let mut data = if comm.rank() == root {
+                format!("from-{root}").into_bytes()
+            } else {
+                Vec::new()
+            };
+            comm.broadcast(root, &mut data).unwrap();
+            assert_eq!(data, format!("from-{root}").into_bytes());
+        }
+        true
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn reduce_sums_across_ranks() {
+    let ok = flat_world(|comm| {
+        let mine = vec![comm.rank() as u64, 100 + comm.rank() as u64];
+        let mut bytes = u64s_to_bytes(&mine);
+        let is_root = comm
+            .reduce(0, &mut bytes, |acc, other| {
+                let mut a = bytes_to_u64s(acc);
+                let b = bytes_to_u64s(other);
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                acc.copy_from_slice(&u64s_to_bytes(&a));
+            })
+            .unwrap();
+        if comm.rank() == 0 {
+            assert!(is_root);
+            // sum of 0..4 = 6; sum of 100..104 = 406
+            assert_eq!(bytes_to_u64s(&bytes), vec![6, 406]);
+        }
+        true
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn allreduce_f64_everyone_gets_result() {
+    let ok = flat_world(|comm| {
+        let mut data = vec![comm.rank() as f64 + 1.0; 3];
+        comm.allreduce_f64(&mut data, |a, b| a + b).unwrap();
+        data == vec![10.0, 10.0, 10.0] // 1+2+3+4
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn gather_and_scatter() {
+    let ok = flat_world(|comm| {
+        // Gather rank-stamped payloads to root 1.
+        let mine = vec![comm.rank() as u8; (comm.rank() + 1) as usize];
+        let gathered = comm.gather(1, &mine).unwrap();
+        if comm.rank() == 1 {
+            let parts = gathered.unwrap();
+            for (i, p) in parts.iter().enumerate() {
+                assert_eq!(p, &vec![i as u8; i + 1]);
+            }
+        } else {
+            assert!(gathered.is_none());
+        }
+        // Scatter distinct payloads from root 1.
+        let parts: Option<Vec<Vec<u8>>> = (comm.rank() == 1)
+            .then(|| (0..4).map(|i| vec![9 + i as u8; 2]).collect());
+        let got = comm.scatter(1, parts.as_deref()).unwrap();
+        got == vec![9 + comm.rank() as u8; 2]
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn allgather_ring() {
+    let ok = flat_world(|comm| {
+        let mine = vec![comm.rank() as u8 + 1; 4];
+        let all = comm.allgather(&mine).unwrap();
+        (0..4).all(|r| all[r as usize] == vec![r as u8 + 1; 4])
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn allgather_across_gateway() {
+    let ok = gateway_world(|comm| {
+        let mine = format!("rank-{}", comm.rank()).into_bytes();
+        let all = comm.allgather(&mine).unwrap();
+        (0..5).all(|r| all[r as usize] == format!("rank-{r}").into_bytes())
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn alltoall_exchanges_everything() {
+    let ok = flat_world(|comm| {
+        let parts: Vec<Vec<u8>> = (0..4)
+            .map(|dest| vec![(comm.rank() * 10 + dest) as u8; 3])
+            .collect();
+        let got = comm.alltoall(&parts).unwrap();
+        (0..4).all(|src| got[src as usize] == vec![(src * 10 + comm.rank()) as u8; 3])
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn collectives_work_across_gateways() {
+    // The same collectives on a cluster of clusters: ranks 0-4 with the
+    // gateway in the middle — forwarding must be invisible.
+    let ok = gateway_world(|comm| {
+        assert_eq!(comm.size(), 5);
+        comm.barrier().unwrap();
+        let mut data = if comm.rank() == 0 {
+            b"over the gateway".to_vec()
+        } else {
+            Vec::new()
+        };
+        comm.broadcast(0, &mut data).unwrap();
+        assert_eq!(data, b"over the gateway");
+
+        let mut sums = vec![comm.rank() as f64];
+        comm.allreduce_f64(&mut sums, |a, b| a + b).unwrap();
+        assert_eq!(sums, vec![10.0]); // 0+1+2+3+4
+
+        let gathered = comm.gather(4, &[comm.rank() as u8]).unwrap();
+        if comm.rank() == 4 {
+            let parts = gathered.unwrap();
+            assert_eq!(
+                parts,
+                vec![vec![0u8], vec![1], vec![2], vec![3], vec![4]]
+            );
+        }
+        comm.barrier().unwrap();
+        true
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+#[test]
+fn p2p_across_gateway_with_buffering() {
+    let ok = gateway_world(|comm| match comm.rank() {
+        0 => {
+            // Two tagged messages race to rank 4 through the gateway.
+            comm.send(4, 2, b"second").unwrap();
+            comm.send(4, 1, b"first").unwrap();
+            true
+        }
+        4 => {
+            let (first, _) = comm.recv(Some(0), Some(1)).unwrap();
+            let (second, _) = comm.recv(Some(0), Some(2)).unwrap();
+            first == b"first" && second == b"second"
+        }
+        _ => true,
+    });
+    assert!(ok.into_iter().all(|x| x));
+}

@@ -1,0 +1,32 @@
+//! # mad-sim — Madeleine drivers over the simulated 2001 hardware
+//!
+//! Couples the hardware-agnostic `madeleine` library to the `simnet`
+//! hardware model:
+//!
+//! * [`SimRuntime`] implements [`madeleine::runtime::Runtime`] on the
+//!   virtual clock: spawned threads are clock actors, blocking events are
+//!   clock signals, and the cost hooks (`charge_copy`, `charge_overhead`)
+//!   become virtual-time sleeps calibrated to the paper's Pentium-II nodes.
+//! * [`SimDriver`] implements [`madeleine::conduit::Driver`] over
+//!   [`simnet::Endpoint`]s, with per-technology buffer disciplines:
+//!   the Myrinet/BIP driver is *dynamic* (zero-copy DMA from/to user
+//!   memory), the SCI/SISCI driver is *static* (data passes through the
+//!   mapped segment; ordinary sends charge the staging copy, while
+//!   `alloc_static` + `send_static` skip it — the paper's §2.3 zero-copy
+//!   hook), and the Fast-Ethernet/TCP driver is static (socket copies).
+//! * [`Testbed`] assembles the paper's evaluation platform: hosts with
+//!   33 MHz/32-bit PCI buses, a Myrinet cluster, an SCI cluster, and a
+//!   gateway carrying both NICs.
+
+#![warn(missing_docs)]
+
+mod driver;
+mod runtime;
+mod testbed;
+
+pub use driver::{SimDriver, SimTech};
+pub use runtime::{SimEvent, SimRuntime};
+pub use testbed::Testbed;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,145 @@
+//! The simulated [`Runtime`]: Madeleine's execution hooks on virtual time.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use madeleine::runtime::{RtEvent, Runtime};
+use simnet::{calibration, TraceKind, TraceLog};
+use vtime::{Clock, Signal, SimDuration};
+
+/// An [`RtEvent`] backed by a virtual-clock [`Signal`]. Waiting requires the
+/// calling thread to be a clock actor (all threads spawned through
+/// [`SimRuntime::spawn`] are).
+pub struct SimEvent {
+    signal: Signal,
+}
+
+impl SimEvent {
+    /// The underlying clock signal — drivers hand it to simnet wires so
+    /// frame arrivals wake Madeleine's multiplexed receivers directly.
+    pub fn signal(&self) -> &Signal {
+        &self.signal
+    }
+}
+
+impl RtEvent for SimEvent {
+    fn epoch(&self) -> u64 {
+        self.signal.epoch()
+    }
+
+    fn bump(&self) {
+        self.signal.bump();
+    }
+
+    fn wait_past(&self, seen: u64) -> u64 {
+        vtime::with_current(|actor| actor.wait_signal(&self.signal, seen))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Runtime implementation on the virtual clock, with the paper's host cost
+/// model (memcpy bandwidth of a 450 MHz Pentium II).
+pub struct SimRuntime {
+    clock: Clock,
+    memcpy_bps: f64,
+    trace: Option<TraceLog>,
+}
+
+impl SimRuntime {
+    /// A runtime on `clock` with the calibrated memcpy bandwidth.
+    pub fn new(clock: &Clock) -> Arc<Self> {
+        Arc::new(SimRuntime {
+            clock: clock.clone(),
+            memcpy_bps: calibration::MEMCPY_BPS,
+            trace: None,
+        })
+    }
+
+    /// A runtime that records spans (driver sends/receives, overheads) into
+    /// `trace`, labeled with the recording thread's name — the raw material
+    /// of the pipeline-timeline figures.
+    pub fn with_trace(clock: &Clock, trace: TraceLog) -> Arc<Self> {
+        Arc::new(SimRuntime {
+            clock: clock.clone(),
+            memcpy_bps: calibration::MEMCPY_BPS,
+            trace: Some(trace),
+        })
+    }
+
+    /// The attached trace log, if any.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Record a span labeled with the current thread's name.
+    pub(crate) fn record_span(&self, kind: TraceKind, start: vtime::SimTime, end: vtime::SimTime) {
+        if let Some(trace) = &self.trace {
+            let label = std::thread::current()
+                .name()
+                .unwrap_or("<unnamed>")
+                .to_string();
+            trace.record(label, kind, start, end);
+        }
+    }
+
+    /// Override the modeled memcpy bandwidth (ablations).
+    pub fn with_memcpy_bps(clock: &Clock, memcpy_bps: f64) -> Arc<Self> {
+        assert!(memcpy_bps > 0.0);
+        Arc::new(SimRuntime {
+            clock: clock.clone(),
+            memcpy_bps,
+            trace: None,
+        })
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+}
+
+impl Runtime for SimRuntime {
+    fn spawn(&self, name: String, f: Box<dyn FnOnce() + Send>) -> JoinHandle<()> {
+        self.clock.spawn(name, move |_actor| f())
+    }
+
+    fn event(&self) -> Arc<dyn RtEvent> {
+        let creator = std::thread::current()
+            .name()
+            .unwrap_or("<unnamed>")
+            .to_string();
+        Arc::new(SimEvent {
+            signal: self.clock.signal_named(format!("event-by-{creator}")),
+        })
+    }
+
+    fn charge_copy(&self, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let start = self.clock.now();
+        let d = SimDuration::from_secs_f64(bytes as f64 / self.memcpy_bps);
+        vtime::with_current(|actor| actor.sleep(d));
+        self.record_span(TraceKind::Copy, start, self.clock.now());
+    }
+
+    fn charge_overhead(&self, nanos: u64) {
+        if nanos == 0 {
+            return;
+        }
+        let start = self.clock.now();
+        vtime::with_current(|actor| actor.sleep(SimDuration::from_nanos(nanos)));
+        self.record_span(TraceKind::Overhead, start, self.clock.now());
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.clock.now().as_nanos()
+    }
+
+    fn setup_guard(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.clock.freeze())
+    }
+}

@@ -1,0 +1,264 @@
+//! # mad-tcp — real TCP loopback driver for Madeleine
+//!
+//! A length-prefixed framing over real `TcpStream`s on 127.0.0.1. It plays
+//! the role TCP/Fast-Ethernet plays in the paper: the slow, always-available
+//! commodity protocol (the paper's own test harness runs its acks over it),
+//! and the transport a PACX-style system would use between clusters.
+//!
+//! The driver is *static-buffer*: kernel sockets copy on both sides. Gather
+//! sends use vectored writes. Each conduit side owns a socket plus a reader
+//! thread that pumps incoming frames into a runtime queue, so `ready`/
+//! `closed`/multiplexed receive behave exactly like the other drivers.
+//!
+//! This driver runs on the real-threads runtime only (its reader threads
+//! block in kernel `read`, which virtual time cannot see).
+
+#![warn(missing_docs)]
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use madeleine::conduit::{BufferMode, Conduit, Driver, DriverCaps, StaticBuf};
+use madeleine::error::{MadError, Result};
+use madeleine::runtime::{RtEvent, RtQueue, RtReceiver, Runtime};
+use madeleine::types::NodeId;
+
+/// Driver capabilities of the TCP loopback transport.
+pub const TCP_CAPS: DriverCaps = DriverCaps {
+    name: "tcp",
+    mode: BufferMode::Static,
+    max_gather: 1024,
+    max_packet: 16 * 1024 * 1024,
+    preferred_mtu: 32 * 1024,
+};
+
+/// The TCP Protocol Management Module.
+pub struct TcpDriver {
+    runtime: Arc<dyn Runtime>,
+}
+
+impl TcpDriver {
+    /// Create a driver whose receive queues block through `runtime`
+    /// (must be the real-threads runtime).
+    pub fn new(runtime: Arc<dyn Runtime>) -> Arc<Self> {
+        Arc::new(TcpDriver { runtime })
+    }
+}
+
+impl Driver for TcpDriver {
+    fn caps(&self) -> DriverCaps {
+        TCP_CAPS
+    }
+
+    fn connect(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ev_a: Arc<dyn RtEvent>,
+        ev_b: Arc<dyn RtEvent>,
+    ) -> (Box<dyn Conduit>, Box<dyn Conduit>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binding loopback listener");
+        let addr = listener.local_addr().expect("listener address");
+        let client = TcpStream::connect(addr).expect("loopback connect");
+        let (server, _) = listener.accept().expect("loopback accept");
+        client.set_nodelay(true).ok();
+        server.set_nodelay(true).ok();
+        (
+            Box::new(TcpConduit::new(
+                &*self.runtime,
+                client,
+                ev_a,
+                format!("tcp-rd-{a}-{b}"),
+            )),
+            Box::new(TcpConduit::new(
+                &*self.runtime,
+                server,
+                ev_b,
+                format!("tcp-rd-{b}-{a}"),
+            )),
+        )
+    }
+}
+
+struct TcpConduit {
+    stream: TcpStream,
+    frames: RtReceiver<Vec<u8>>,
+    ev: Arc<dyn RtEvent>,
+}
+
+impl TcpConduit {
+    fn new(rt: &dyn Runtime, stream: TcpStream, ev: Arc<dyn RtEvent>, name: String) -> Self {
+        let (tx, rx) = RtQueue::with_event(rt, usize::MAX, ev.clone());
+        let mut reader = stream.try_clone().expect("cloning stream for reader");
+        // A plain OS thread: it blocks in kernel reads, invisible to any
+        // virtual clock — which is why this driver is real-runtime only.
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                let mut len_buf = [0u8; 4];
+                loop {
+                    if reader.read_exact(&mut len_buf).is_err() {
+                        return; // peer closed: dropping tx disconnects
+                    }
+                    let len = u32::from_le_bytes(len_buf) as usize;
+                    let mut frame = vec![0u8; len];
+                    if reader.read_exact(&mut frame).is_err() {
+                        return;
+                    }
+                    if tx.push(frame).is_err() {
+                        return; // conduit dropped
+                    }
+                }
+            })
+            .expect("spawning tcp reader");
+        TcpConduit {
+            stream,
+            frames: rx,
+            ev,
+        }
+    }
+
+    fn write_frame(&mut self, parts: &[&[u8]]) -> Result<()> {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let len_buf = (total as u32).to_le_bytes();
+        let mut write = |buf: &[u8]| self.stream.write_all(buf);
+        write(&len_buf).map_err(|_| MadError::Disconnected)?;
+        for p in parts {
+            write(p).map_err(|_| MadError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    fn pop_blocking(&self) -> Result<Vec<u8>> {
+        loop {
+            let seen = self.ev.epoch();
+            if let Some(frame) = self.frames.try_pop() {
+                return Ok(frame);
+            }
+            if self.frames.is_closed() {
+                return Err(MadError::Disconnected);
+            }
+            self.ev.wait_past(seen);
+        }
+    }
+}
+
+impl Drop for TcpConduit {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl Conduit for TcpConduit {
+    fn caps(&self) -> DriverCaps {
+        TCP_CAPS
+    }
+
+    fn send(&mut self, parts: &[&[u8]]) -> Result<()> {
+        self.write_frame(parts)
+    }
+
+    fn send_static(&mut self, buf: StaticBuf) -> Result<()> {
+        buf.check_owner(TCP_CAPS.name)?;
+        self.write_frame(&[buf.as_slice()])
+    }
+
+    fn alloc_static(&mut self, len: usize) -> Option<StaticBuf> {
+        Some(StaticBuf::new(TCP_CAPS.name, len))
+    }
+
+    fn recv_into(&mut self, dst: &mut [u8]) -> Result<usize> {
+        let frame = self.pop_blocking()?;
+        if frame.len() > dst.len() {
+            return Err(MadError::BufferTooSmall {
+                have: dst.len(),
+                need: frame.len(),
+            });
+        }
+        dst[..frame.len()].copy_from_slice(&frame);
+        Ok(frame.len())
+    }
+
+    fn recv_owned(&mut self) -> Result<Vec<u8>> {
+        self.pop_blocking()
+    }
+
+    fn ready(&self) -> bool {
+        self.frames.has_pending()
+    }
+
+    fn closed(&self) -> bool {
+        self.frames.is_closed()
+    }
+
+    fn recv_event(&self) -> Arc<dyn RtEvent> {
+        self.ev.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madeleine::runtime::StdRuntime;
+
+    fn pair() -> (Box<dyn Conduit>, Box<dyn Conduit>) {
+        let rt = StdRuntime::shared();
+        let driver = TcpDriver::new(rt.clone());
+        driver.connect(NodeId(0), NodeId(1), rt.event(), rt.event())
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let (mut a, mut b) = pair();
+        a.send(&[b"hello ", b"world"]).unwrap();
+        assert_eq!(b.recv_owned().unwrap(), b"hello world");
+        b.send(&[b"pong"]).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(a.recv_into(&mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn empty_frame_supported() {
+        let (mut a, mut b) = pair();
+        a.send(&[]).unwrap();
+        assert_eq!(b.recv_owned().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn large_frame_round_trips() {
+        let (mut a, mut b) = pair();
+        let big: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = big.clone();
+        let h = std::thread::spawn(move || {
+            a.send(&[&big]).unwrap();
+            a // keep the conduit alive until the receiver is done
+        });
+        assert_eq!(b.recv_owned().unwrap(), expect);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (a, mut b) = pair();
+        drop(a);
+        assert_eq!(b.recv_owned(), Err(MadError::Disconnected));
+        assert!(b.closed());
+    }
+
+    #[test]
+    fn static_buffer_send() {
+        let (mut a, mut b) = pair();
+        let mut sb = a.alloc_static(3).unwrap();
+        sb.as_mut_slice().copy_from_slice(b"abc");
+        a.send_static(sb).unwrap();
+        assert_eq!(b.recv_owned().unwrap(), b"abc");
+        // Foreign buffers are rejected.
+        let foreign = StaticBuf::new("sci", 1);
+        assert!(matches!(
+            a.send_static(foreign),
+            Err(MadError::ForeignStaticBuffer { .. })
+        ));
+    }
+}

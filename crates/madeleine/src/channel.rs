@@ -1,0 +1,186 @@
+//! Channels and connections (paper §2.1.2).
+//!
+//! A [`Channel`] is a *closed world for communication*: it is bound to one
+//! network (protocol + adapter) and owns one in-order point-to-point
+//! connection ([`Conduit`]) per peer. In-order delivery is guaranteed only
+//! within a channel, exactly as in Madeleine.
+//!
+//! The channel also provides the *message scrutation* primitive the paper's
+//! gateway needs (§2.2.2): all conduits of one channel share an arrival
+//! event, so a thread can block for "a packet from anyone" and then pick the
+//! ready peer deterministically.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::conduit::{Conduit, DriverCaps};
+use crate::error::{MadError, Result};
+use crate::message::{MessageReader, MessageWriter};
+use crate::runtime::{RtEvent, RtLock, RtLockGuard, Runtime};
+use crate::types::{ChannelId, NetworkId, NodeId};
+
+/// A communication channel over one network, seen from one node.
+pub struct Channel {
+    id: ChannelId,
+    network: NetworkId,
+    rank: NodeId,
+    caps: DriverCaps,
+    conduits: BTreeMap<NodeId, RtLock<Box<dyn Conduit>>>,
+    recv_event: Arc<dyn RtEvent>,
+    runtime: Arc<dyn Runtime>,
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("id", &self.id)
+            .field("network", &self.network)
+            .field("rank", &self.rank)
+            .field("driver", &self.caps.name)
+            .field("peers", &self.peers().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Channel {
+    /// Assemble a channel from its conduits (session-bootstrap use).
+    pub fn assemble(
+        id: ChannelId,
+        network: NetworkId,
+        rank: NodeId,
+        caps: DriverCaps,
+        conduits: BTreeMap<NodeId, Box<dyn Conduit>>,
+        recv_event: Arc<dyn RtEvent>,
+        runtime: Arc<dyn Runtime>,
+    ) -> Self {
+        Channel {
+            id,
+            network,
+            rank,
+            caps,
+            conduits: conduits
+                .into_iter()
+                .map(|(k, v)| (k, RtLock::new(&*runtime, v)))
+                .collect(),
+            recv_event,
+            runtime,
+        }
+    }
+
+    /// This channel's identifier.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The network this channel is bound to.
+    pub fn network(&self) -> NetworkId {
+        self.network
+    }
+
+    /// The local rank.
+    pub fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    /// Capabilities of the underlying driver.
+    pub fn caps(&self) -> DriverCaps {
+        self.caps
+    }
+
+    /// The execution runtime (cost accounting, events).
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.runtime
+    }
+
+    /// Peers reachable on this channel, in rank order.
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.conduits.keys().copied()
+    }
+
+    /// Lock the conduit to `peer`. The lock blocks through the runtime so
+    /// contention stays visible to a virtual clock.
+    pub(crate) fn lock_conduit(
+        &self,
+        peer: NodeId,
+    ) -> Result<RtLockGuard<'_, Box<dyn Conduit>>> {
+        self.conduits
+            .get(&peer)
+            .map(|m| m.lock())
+            .ok_or(MadError::UnknownPeer(peer))
+    }
+
+    /// Send one raw packet to `peer` (control traffic: notes, GTM frames).
+    pub(crate) fn send_packet(&self, peer: NodeId, parts: &[&[u8]]) -> Result<()> {
+        self.lock_conduit(peer)?.send(parts)
+    }
+
+    /// Begin building a message for `dest` (the paper's
+    /// `mad_begin_packing`). One message at a time per destination: packets
+    /// of concurrently built messages to the same peer would interleave.
+    pub fn begin_packing(&self, dest: NodeId) -> Result<MessageWriter<'_, '_>> {
+        if !self.conduits.contains_key(&dest) {
+            return Err(MadError::UnknownPeer(dest));
+        }
+        Ok(MessageWriter::new(self, dest))
+    }
+
+    /// Like [`Channel::begin_packing`], but holding the destination conduit
+    /// exclusively until `end_packing`, so concurrent senders on the same
+    /// conduit (the gateway engine) serialize at message granularity.
+    pub fn begin_packing_exclusive(&self, dest: NodeId) -> Result<MessageWriter<'_, '_>> {
+        MessageWriter::new_exclusive(self, dest)
+    }
+
+    /// Begin receiving a message from a specific peer
+    /// (`mad_begin_unpacking` with a known source).
+    pub fn begin_unpacking_from(&self, source: NodeId) -> Result<MessageReader<'_>> {
+        if !self.conduits.contains_key(&source) {
+            return Err(MadError::UnknownPeer(source));
+        }
+        Ok(MessageReader::new(self, source))
+    }
+
+    /// Block until any peer has a message headed our way, then begin
+    /// receiving it. Peers are scanned in rank order for determinism.
+    pub fn begin_unpacking(&self) -> Result<MessageReader<'_>> {
+        let source = self.select_ready()?;
+        Ok(MessageReader::new(self, source))
+    }
+
+    /// Block until some conduit has a pending packet; returns its peer.
+    /// Fails with [`MadError::Disconnected`] once every peer is gone.
+    pub(crate) fn select_ready(&self) -> Result<NodeId> {
+        self.select_ready_until(|| false)
+    }
+
+    /// Like [`Channel::select_ready`], but also gives up (with
+    /// [`MadError::Disconnected`]) when `stop` returns true and nothing is
+    /// pending. Gateways need this: conduits are bidirectional, so two
+    /// gateways listening on opposite ends of one channel keep each other's
+    /// receive sides open forever — an external stop signal breaks the
+    /// cycle at session teardown.
+    pub(crate) fn select_ready_until(&self, stop: impl Fn() -> bool) -> Result<NodeId> {
+        loop {
+            let seen = self.recv_event.epoch();
+            let mut all_closed = !self.conduits.is_empty();
+            for (&peer, conduit) in &self.conduits {
+                let c = conduit.lock();
+                if c.ready() {
+                    return Ok(peer);
+                }
+                if !c.closed() {
+                    all_closed = false;
+                }
+            }
+            if all_closed || stop() {
+                return Err(MadError::Disconnected);
+            }
+            self.recv_event.wait_past(seen);
+        }
+    }
+
+    /// The shared arrival event of this channel's conduits.
+    pub fn recv_event(&self) -> &Arc<dyn RtEvent> {
+        &self.recv_event
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type shared across the library.
+
+use std::fmt;
+
+use crate::types::NodeId;
+
+/// Errors surfaced by the Madeleine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MadError {
+    /// The connection's peer is gone (session teardown or peer exit).
+    Disconnected,
+    /// A received packet did not fit the destination buffer.
+    BufferTooSmall {
+        /// Bytes available in the destination.
+        have: usize,
+        /// Bytes required by the incoming packet or part.
+        need: usize,
+    },
+    /// Unpack sequence diverged from the pack sequence (Madeleine messages
+    /// are not self-described: order, sizes, and flags must match).
+    SequenceMismatch(String),
+    /// A malformed or unexpected control packet (GTM framing violation).
+    Protocol(String),
+    /// The destination rank is not reachable on this channel.
+    UnknownPeer(NodeId),
+    /// No route exists to the destination over this virtual channel.
+    Unroutable(NodeId),
+    /// A static buffer from one driver was handed to another.
+    ForeignStaticBuffer {
+        /// Driver the buffer belongs to.
+        owner: &'static str,
+        /// Driver it was offered to.
+        user: &'static str,
+    },
+    /// The message was not finalized (missing `end_packing`/`end_unpacking`).
+    NotFinalized,
+}
+
+impl fmt::Display for MadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MadError::Disconnected => write!(f, "connection closed by peer"),
+            MadError::BufferTooSmall { have, need } => {
+                write!(f, "destination buffer too small: have {have}, need {need}")
+            }
+            MadError::SequenceMismatch(s) => write!(f, "pack/unpack sequence mismatch: {s}"),
+            MadError::Protocol(s) => write!(f, "protocol violation: {s}"),
+            MadError::UnknownPeer(n) => write!(f, "peer {n} is not part of this channel"),
+            MadError::Unroutable(n) => write!(f, "no route to {n} on this virtual channel"),
+            MadError::ForeignStaticBuffer { owner, user } => {
+                write!(f, "static buffer of driver `{owner}` offered to driver `{user}`")
+            }
+            MadError::NotFinalized => write!(f, "message dropped before end of packing/unpacking"),
+        }
+    }
+}
+
+impl std::error::Error for MadError {}
+
+/// Library-wide result alias.
+pub type Result<T> = std::result::Result<T, MadError>;

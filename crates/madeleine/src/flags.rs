@@ -1,0 +1,109 @@
+//! The `mad_pack`/`mad_unpack` flag pairs (paper §2.1.2).
+//!
+//! Every packed data block carries two constraints, one per side. They are
+//! part of the message contract: the receiver must unpack with the same
+//! flags, in the same order — Madeleine messages are deliberately not
+//! self-described on regular channels.
+
+/// Emission constraint: when may the *sender's* buffer be reused?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SendMode {
+    /// The application may modify the buffer as soon as `pack` returns, so
+    /// the library must transmit (or copy) the block immediately.
+    Safer,
+    /// The buffer stays untouched until `end_packing`, so the library may
+    /// defer and aggregate the block with its neighbours.
+    Later,
+    /// Let the library choose the cheapest correct behaviour (treated as
+    /// [`SendMode::Later`] by every current buffer-management module).
+    Cheaper,
+}
+
+impl SendMode {
+    /// True when the block's transmission may be deferred past `pack`.
+    pub fn may_defer(self) -> bool {
+        !matches!(self, SendMode::Safer)
+    }
+
+    /// Stable on-wire encoding (GTM self-description).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            SendMode::Safer => 0,
+            SendMode::Later => 1,
+            SendMode::Cheaper => 2,
+        }
+    }
+
+    /// Decode [`SendMode::to_wire`].
+    pub fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => SendMode::Safer,
+            1 => SendMode::Later,
+            2 => SendMode::Cheaper,
+            _ => return None,
+        })
+    }
+}
+
+/// Reception constraint: when must the data be available to the *receiver*?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecvMode {
+    /// The data must be usable as soon as `unpack` returns — required when
+    /// later unpacking decisions depend on it (sizes, routes, headers).
+    /// Forces a flush: the block and everything aggregated before it are
+    /// transmitted immediately.
+    Express,
+    /// The data is only guaranteed valid after `end_unpacking`; the library
+    /// may aggregate freely.
+    Cheaper,
+}
+
+impl RecvMode {
+    /// True when the receiver needs the block immediately at `unpack`.
+    pub fn is_express(self) -> bool {
+        matches!(self, RecvMode::Express)
+    }
+
+    /// Stable on-wire encoding (GTM self-description).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            RecvMode::Express => 0,
+            RecvMode::Cheaper => 1,
+        }
+    }
+
+    /// Decode [`RecvMode::to_wire`].
+    pub fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => RecvMode::Express,
+            1 => RecvMode::Cheaper,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for m in [SendMode::Safer, SendMode::Later, SendMode::Cheaper] {
+            assert_eq!(SendMode::from_wire(m.to_wire()), Some(m));
+        }
+        for m in [RecvMode::Express, RecvMode::Cheaper] {
+            assert_eq!(RecvMode::from_wire(m.to_wire()), Some(m));
+        }
+        assert_eq!(SendMode::from_wire(9), None);
+        assert_eq!(RecvMode::from_wire(9), None);
+    }
+
+    #[test]
+    fn deferral_rules() {
+        assert!(!SendMode::Safer.may_defer());
+        assert!(SendMode::Later.may_defer());
+        assert!(SendMode::Cheaper.may_defer());
+        assert!(RecvMode::Express.is_express());
+        assert!(!RecvMode::Cheaper.is_express());
+    }
+}

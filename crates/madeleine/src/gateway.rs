@@ -1,0 +1,482 @@
+//! The gateway forwarding engine (paper §2.2.2, Fig. 4).
+//!
+//! On a gateway node, every network of a virtual channel gets a *polling*
+//! thread listening on that network's special channel; every ordered pair
+//! of networks gets a *forwarding* thread. The two are coupled by a bounded
+//! pipeline of buffers (two by default, the paper's double-buffering): the
+//! polling thread receives fragment *k+1* while the forwarding thread
+//! retransmits fragment *k* on the other network.
+//!
+//! ## Zero-copy handoff (paper §2.3)
+//!
+//! The polling thread chooses the landing buffer per fragment from the
+//! buffer disciplines of the two drivers:
+//!
+//! | incoming   | outgoing  | behaviour                                        |
+//! |------------|-----------|--------------------------------------------------|
+//! | any        | dynamic   | take the incoming driver's own buffer, send from it (0 copies) |
+//! | dynamic    | static    | receive *into* an outgoing-driver static buffer (0 copies)     |
+//! | static     | static    | receive into an outgoing static buffer — one unavoidable copy  |
+//!
+//! Setting [`GatewayConfig::zero_copy`] to `false` forces the naive
+//! receive-then-copy path, which is the A2 ablation of the benchmarks.
+//!
+//! The per-fragment software cost of exchanging pipeline buffers (§3.3.1
+//! estimates it at ~40 µs on the paper's hardware) is charged through
+//! [`Runtime::charge_overhead`], so the simulated gateway reproduces the
+//! paper's pipeline-period analysis.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::channel::Channel;
+use crate::conduit::{BufferMode, Conduit, DriverCaps, StaticBuf};
+use crate::error::{MadError, Result};
+use crate::gtm::{self, Control};
+use crate::routing::RouteTable;
+use crate::runtime::{RtQueue, RtReceiver, RtSender, Runtime};
+use crate::types::{NetworkId, NodeId};
+use crate::vchannel::NOTE_FORWARDED;
+
+/// Live counters of one gateway's forwarding engine, updated by its
+/// polling threads. Cheap relaxed atomics: read them after the session
+/// (or at any point for monitoring).
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    /// Complete messages relayed.
+    pub messages: AtomicU64,
+    /// Payload fragment bytes relayed (control packets excluded).
+    pub fragment_bytes: AtomicU64,
+    /// Payload fragments relayed.
+    pub fragments: AtomicU64,
+}
+
+impl GatewayStats {
+    /// Snapshot as (messages, fragments, fragment_bytes).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.messages.load(Ordering::Relaxed),
+            self.fragments.load(Ordering::Relaxed),
+            self.fragment_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Tuning knobs of a gateway's forwarding engine.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Number of pipeline buffers per direction. `2` is the paper's
+    /// double-buffering; `1` disables pipelining (the polling thread
+    /// retransmits each fragment itself before receiving the next).
+    pub pipeline_depth: usize,
+    /// Software cost charged per fragment handoff (the paper's ~40 µs
+    /// buffer-switch overhead). Only the simulated runtime turns this into
+    /// time.
+    pub switch_overhead_ns: u64,
+    /// Use the zero-copy buffer handoff matrix; `false` forces the naive
+    /// extra-copy path (ablation A2).
+    pub zero_copy: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            pipeline_depth: 2,
+            switch_overhead_ns: 0,
+            zero_copy: true,
+        }
+    }
+}
+
+/// A buffer traveling through the gateway pipeline.
+enum FwdBuf {
+    /// The incoming driver's own buffer (outgoing driver is dynamic).
+    Owned(Vec<u8>),
+    /// An outgoing-driver static buffer, filled by the receive.
+    Static(StaticBuf),
+}
+
+/// One pipeline slot.
+enum FwdItem {
+    /// Start of a message: where it goes next and its (re-encoded) header.
+    Start {
+        to: NodeId,
+        last_hop: bool,
+        header: Vec<u8>,
+    },
+    /// A GTM control packet forwarded verbatim (part descriptor).
+    Control(Vec<u8>),
+    /// A payload fragment.
+    Frag(FwdBuf),
+    /// The message's end packet, forwarded verbatim.
+    End(Vec<u8>),
+}
+
+/// Where the polling thread pushes pipeline items.
+enum Sink {
+    /// Pipelined: a bounded queue drained by a forwarding thread.
+    Queue(RtSender<FwdItem>, OutPath),
+    /// Depth-1: the polling thread retransmits synchronously.
+    Inline(OutPath),
+}
+
+impl Sink {
+    fn path(&self) -> &OutPath {
+        match self {
+            Sink::Queue(_, p) | Sink::Inline(p) => p,
+        }
+    }
+}
+
+/// The outgoing channels of one network direction.
+#[derive(Clone)]
+struct OutPath {
+    regular: Arc<Channel>,
+    special: Arc<Channel>,
+}
+
+impl OutPath {
+    fn channel(&self, last_hop: bool) -> &Arc<Channel> {
+        if last_hop {
+            &self.regular
+        } else {
+            &self.special
+        }
+    }
+}
+
+/// Running gateway engine; joining waits for clean shutdown (which happens
+/// when every inbound special-channel peer has disconnected).
+pub struct GatewayHandles {
+    threads: Vec<JoinHandle<()>>,
+    stats: Arc<GatewayStats>,
+}
+
+impl GatewayHandles {
+    /// Wait for all gateway threads to finish.
+    pub fn join(self) {
+        for t in self.threads {
+            if let Err(e) = t.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+
+    /// The engine's live counters.
+    pub fn stats(&self) -> &Arc<GatewayStats> {
+        &self.stats
+    }
+}
+
+/// Spawn the forwarding engine of one gateway node for one virtual channel.
+///
+/// `regular`/`special` hold this node's two real channels per network;
+/// `routes` is the gateway's own routing table over the virtual channel.
+#[allow(clippy::too_many_arguments)] // a one-caller bootstrap function
+pub fn spawn_gateway(
+    rank: NodeId,
+    vc_name: &str,
+    regular: BTreeMap<NetworkId, Arc<Channel>>,
+    special: BTreeMap<NetworkId, Arc<Channel>>,
+    routes: RouteTable,
+    cfg: GatewayConfig,
+    runtime: Arc<dyn Runtime>,
+    stop: Arc<AtomicBool>,
+) -> GatewayHandles {
+    assert!(cfg.pipeline_depth >= 1, "pipeline depth must be at least 1");
+    let nets: Vec<NetworkId> = special.keys().copied().collect();
+    let mut threads = Vec::new();
+    let routes = Arc::new(routes);
+    let stats = Arc::new(GatewayStats::default());
+
+    // One polling thread per inbound network; per (in, out) ordered pair a
+    // forwarding thread when pipelining is on.
+    for &net_in in &nets {
+        let mut sinks: BTreeMap<NetworkId, Sink> = BTreeMap::new();
+        for &net_out in &nets {
+            if net_out == net_in {
+                continue;
+            }
+            let out_path = OutPath {
+                regular: regular[&net_out].clone(),
+                special: special[&net_out].clone(),
+            };
+            if cfg.pipeline_depth == 1 {
+                sinks.insert(net_out, Sink::Inline(out_path));
+            } else {
+                let (tx, rx) =
+                    RtQueue::<FwdItem>::with_capacity(&*runtime, cfg.pipeline_depth - 1);
+                sinks.insert(net_out, Sink::Queue(tx, out_path.clone()));
+                let name = format!("gw{}-{}-fwd-{}-{}", rank.0, vc_name, net_in, net_out);
+                threads.push(runtime.spawn(
+                    name,
+                    Box::new(move || forwarding_thread(rx, out_path)),
+                ));
+            }
+        }
+        let in_channel = special[&net_in].clone();
+        let routes = routes.clone();
+        let rt = runtime.clone();
+        let stop = stop.clone();
+        let stats = stats.clone();
+        let name = format!("gw{}-{}-in-{}", rank.0, vc_name, net_in);
+        threads.push(runtime.spawn(
+            name,
+            Box::new(move || {
+                polling_thread(rank, in_channel, sinks, routes, cfg, rt, stop, stats)
+            }),
+        ));
+    }
+    GatewayHandles { threads, stats }
+}
+
+/// The polling thread of one inbound network: waits for forwarded messages
+/// on the special channel and streams them into the pipeline.
+#[allow(clippy::too_many_arguments)] // internal thread entry point
+fn polling_thread(
+    rank: NodeId,
+    in_channel: Arc<Channel>,
+    sinks: BTreeMap<NetworkId, Sink>,
+    routes: Arc<RouteTable>,
+    cfg: GatewayConfig,
+    runtime: Arc<dyn Runtime>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<GatewayStats>,
+) {
+    loop {
+        let peer = match in_channel.select_ready_until(|| stop.load(Ordering::Acquire)) {
+            Ok(p) => p,
+            Err(_) => return, // inbound peers gone or session stopping
+        };
+        match forward_one_message(rank, &in_channel, peer, &sinks, &routes, cfg, &runtime, &stats)
+        {
+            Ok(()) => {
+                stats.messages.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(MadError::Disconnected) => return,
+            Err(e) => panic!("gateway {rank} forwarding failed: {e}"),
+        }
+    }
+}
+
+/// Relay one complete GTM message from `peer` toward its next hop.
+#[allow(clippy::too_many_arguments)] // internal helper of polling_thread
+fn forward_one_message(
+    rank: NodeId,
+    in_channel: &Arc<Channel>,
+    peer: NodeId,
+    sinks: &BTreeMap<NetworkId, Sink>,
+    routes: &RouteTable,
+    cfg: GatewayConfig,
+    runtime: &Arc<dyn Runtime>,
+    stats: &GatewayStats,
+) -> Result<()> {
+    let header_pkt = in_channel.lock_conduit(peer)?.recv_owned()?;
+    let header = match gtm::decode_control(&header_pkt)? {
+        Control::Header(h) => h,
+        other => {
+            return Err(MadError::Protocol(format!(
+                "gateway expected GTM header, got {other:?}"
+            )))
+        }
+    };
+    if header.dest == rank {
+        return Err(MadError::Protocol(format!(
+            "message for the gateway itself ({rank}) arrived on the special channel"
+        )));
+    }
+    let hop = routes.hop(header.dest)?;
+    let sink = sinks.get(&hop.net).ok_or_else(|| {
+        MadError::Protocol(format!(
+            "route to {} leaves on {}, which this gateway does not bridge",
+            header.dest, hop.net
+        ))
+    })?;
+    // The outgoing caps decide the zero-copy landing-buffer choice; they
+    // are constant per channel, so fetch them once per message.
+    let out_caps = sink.path().channel(hop.last).caps();
+
+    let mut out = OutState::start(sink, hop.node, hop.last, header_pkt)?;
+    loop {
+        let ctl_pkt = in_channel.lock_conduit(peer)?.recv_owned()?;
+        match gtm::decode_control(&ctl_pkt)? {
+            Control::Part(desc) => {
+                let mut remaining = desc.len;
+                out.push(FwdItem::Control(ctl_pkt))?;
+                while remaining > 0 {
+                    let frag_len = remaining.min(header.mtu as u64) as usize;
+                    let buf = receive_fragment(in_channel, peer, frag_len, out_caps, cfg)?;
+                    out.push(FwdItem::Frag(buf))?;
+                    runtime.charge_overhead(cfg.switch_overhead_ns);
+                    stats.fragments.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .fragment_bytes
+                        .fetch_add(frag_len as u64, Ordering::Relaxed);
+                    remaining -= frag_len as u64;
+                }
+            }
+            Control::End => {
+                out.push(FwdItem::End(ctl_pkt))?;
+                return Ok(());
+            }
+            Control::Header(_) => {
+                return Err(MadError::Protocol(
+                    "nested GTM header inside a message".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Receive one fragment from the inbound conduit into the cheapest buffer
+/// allowed by the outgoing driver's discipline (the zero-copy matrix).
+fn receive_fragment(
+    in_channel: &Arc<Channel>,
+    peer: NodeId,
+    frag_len: usize,
+    out_caps: DriverCaps,
+    cfg: GatewayConfig,
+) -> Result<FwdBuf> {
+    let mut conduit = in_channel.lock_conduit(peer)?;
+    if !cfg.zero_copy {
+        // Naive path (ablation A2): always receive into a plain temporary
+        // buffer, paying whatever extraction copy the inbound driver
+        // charges, and later whatever staging the outbound driver needs.
+        let mut tmp = vec![0u8; frag_len];
+        let n = conduit.recv_into(&mut tmp)?;
+        if n != frag_len {
+            return Err(MadError::Protocol(format!(
+                "fragment length {n} does not match descriptor remainder {frag_len}"
+            )));
+        }
+        return Ok(FwdBuf::Owned(tmp));
+    }
+    if out_caps.mode == BufferMode::Static {
+        // Land the fragment directly in an outgoing-driver buffer. When the
+        // inbound driver is static too, `recv_into` charges the one
+        // unavoidable copy.
+        let mut sb = StaticBuf::new(out_caps.name, frag_len);
+        let n = conduit.recv_into(sb.as_mut_slice())?;
+        if n != frag_len {
+            return Err(MadError::Protocol(format!(
+                "fragment length {n} does not match descriptor remainder {frag_len}"
+            )));
+        }
+        Ok(FwdBuf::Static(sb))
+    } else {
+        // Outgoing driver sends from anywhere: take the inbound driver's
+        // own buffer (zero copies even when the inbound side is static).
+        let data = conduit.recv_owned()?;
+        if data.len() != frag_len {
+            return Err(MadError::Protocol(format!(
+                "fragment length {} does not match descriptor remainder {frag_len}",
+                data.len()
+            )));
+        }
+        Ok(FwdBuf::Owned(data))
+    }
+}
+
+/// Per-message output handle: pipelined (queue) or inline (direct sends).
+enum OutState<'a> {
+    Queue(&'a RtSender<FwdItem>),
+    Inline {
+        path: &'a OutPath,
+        to: NodeId,
+        last_hop: bool,
+    },
+}
+
+impl<'a> OutState<'a> {
+    fn start(sink: &'a Sink, to: NodeId, last_hop: bool, header: Vec<u8>) -> Result<Self> {
+        match sink {
+            Sink::Queue(tx, _) => {
+                tx.push(FwdItem::Start {
+                    to,
+                    last_hop,
+                    header,
+                })
+                .map_err(|_| MadError::Disconnected)?;
+                Ok(OutState::Queue(tx))
+            }
+            Sink::Inline(path) => {
+                let channel = path.channel(last_hop);
+                let mut conduit = channel.lock_conduit(to)?;
+                if last_hop {
+                    conduit.send(&[&[NOTE_FORWARDED]])?;
+                }
+                conduit.send(&[&header])?;
+                Ok(OutState::Inline {
+                    path,
+                    to,
+                    last_hop,
+                })
+            }
+        }
+    }
+
+    fn push(&mut self, item: FwdItem) -> Result<()> {
+        match self {
+            OutState::Queue(tx) => tx.push(item).map_err(|_| MadError::Disconnected),
+            OutState::Inline { path, to, last_hop } => {
+                let channel = path.channel(*last_hop);
+                let mut conduit = channel.lock_conduit(*to)?;
+                send_item(&mut **conduit, item)
+            }
+        }
+    }
+}
+
+/// Transmit one pipeline item on an outgoing conduit.
+fn send_item(conduit: &mut dyn Conduit, item: FwdItem) -> Result<()> {
+    match item {
+        FwdItem::Start { .. } => unreachable!("Start is handled at message setup"),
+        FwdItem::Control(c) => conduit.send(&[&c]),
+        FwdItem::Frag(FwdBuf::Owned(v)) => conduit.send(&[&v]),
+        FwdItem::Frag(FwdBuf::Static(sb)) => conduit.send_static(sb),
+        FwdItem::End(e) => conduit.send(&[&e]),
+    }
+}
+
+/// The forwarding thread of one (inbound, outbound) network pair: drains
+/// the pipeline and retransmits. Holds the outgoing conduit for the whole
+/// message so concurrent relays to the same next hop cannot interleave.
+fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath) {
+    loop {
+        let Some(item) = rx.pop() else {
+            return; // polling thread gone: shut down
+        };
+        let FwdItem::Start {
+            to,
+            last_hop,
+            header,
+        } = item
+        else {
+            panic!("gateway pipeline out of sync: expected Start");
+        };
+        let channel = path.channel(last_hop);
+        let mut conduit = match channel.lock_conduit(to) {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        let send = |conduit: &mut dyn Conduit, item: FwdItem| send_item(conduit, item);
+        if last_hop && conduit.send(&[&[NOTE_FORWARDED]]).is_err() {
+            return;
+        }
+        if conduit.send(&[&header]).is_err() {
+            return;
+        }
+        loop {
+            let Some(item) = rx.pop() else { return };
+            let end = matches!(item, FwdItem::End(_));
+            if send(&mut **conduit, item).is_err() {
+                return;
+            }
+            if end {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The Generic Transmission Module (paper §2.2.1, §2.3).
+//!
+//! Every message that must travel through at least two different networks
+//! is handled by this module on *both* endpoints, guaranteeing that buffers
+//! are grouped identically on both sides regardless of which BMMs the
+//! underlying networks prefer — the gateway never regroups anything.
+//!
+//! The GTM also makes messages **self-described**, which regular Madeleine
+//! messages are not: a gateway knows nothing about the messages it relays,
+//! so each forwarded message carries its destination, the route-wide MTU,
+//! and per-block size/flag descriptors. The protocol (paper §2.3):
+//!
+//! 1. a *header* packet: source rank, destination rank, MTU;
+//! 2. per packed block: a *descriptor* packet (length + emission/reception
+//!    constraints) followed by the block itself, fragmented into packets of
+//!    at most MTU bytes;
+//! 3. a terminating *end* packet ("the description of an empty message").
+//!
+//! Control packets are tiny and framed; fragments are raw bytes (no
+//! per-fragment header), so gateways and receivers can land them with zero
+//! copies.
+
+use crate::channel::Channel;
+use crate::conduit::Conduit;
+use crate::error::{MadError, Result};
+use crate::flags::{RecvMode, SendMode};
+use crate::runtime::RtLockGuard;
+use crate::types::NodeId;
+
+/// First byte of every GTM control packet.
+pub const GTM_MAGIC: u8 = 0xAD;
+
+const KIND_HEADER: u8 = 1;
+const KIND_PART: u8 = 2;
+const KIND_END: u8 = 3;
+
+/// Message-level self-description carried by the header packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtmHeader {
+    /// Originating rank.
+    pub src: NodeId,
+    /// Final destination rank.
+    pub dest: NodeId,
+    /// Fragment size used for the whole route.
+    pub mtu: u32,
+}
+
+/// Per-block self-description carried by a descriptor packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtmPartDesc {
+    /// Block length in bytes.
+    pub len: u64,
+    /// Emission constraint the sender packed with.
+    pub send: SendMode,
+    /// Reception constraint the receiver must unpack with.
+    pub recv: RecvMode,
+}
+
+/// A decoded GTM control packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Start of a forwarded message.
+    Header(GtmHeader),
+    /// Descriptor of the next block.
+    Part(GtmPartDesc),
+    /// End of the message.
+    End,
+}
+
+/// Encode a header packet.
+pub fn encode_header(h: &GtmHeader) -> Vec<u8> {
+    let mut v = Vec::with_capacity(14);
+    v.push(GTM_MAGIC);
+    v.push(KIND_HEADER);
+    v.extend_from_slice(&h.src.0.to_le_bytes());
+    v.extend_from_slice(&h.dest.0.to_le_bytes());
+    v.extend_from_slice(&h.mtu.to_le_bytes());
+    v
+}
+
+/// Encode a block-descriptor packet.
+pub fn encode_part(d: &GtmPartDesc) -> Vec<u8> {
+    let mut v = Vec::with_capacity(12);
+    v.push(GTM_MAGIC);
+    v.push(KIND_PART);
+    v.extend_from_slice(&d.len.to_le_bytes());
+    v.push(d.send.to_wire());
+    v.push(d.recv.to_wire());
+    v
+}
+
+/// Encode the end-of-message packet.
+pub fn encode_end() -> Vec<u8> {
+    vec![GTM_MAGIC, KIND_END]
+}
+
+/// Decode a control packet. Fails on anything that is not well-formed GTM
+/// control framing (fragments must never be fed here: callers track when a
+/// fragment is expected from the preceding descriptor).
+pub fn decode_control(packet: &[u8]) -> Result<Control> {
+    let err = |msg: &str| MadError::Protocol(format!("GTM control: {msg}"));
+    if packet.len() < 2 || packet[0] != GTM_MAGIC {
+        return Err(err("bad magic"));
+    }
+    match packet[1] {
+        KIND_HEADER => {
+            if packet.len() != 14 {
+                return Err(err("header length"));
+            }
+            let src = u32::from_le_bytes(packet[2..6].try_into().unwrap());
+            let dest = u32::from_le_bytes(packet[6..10].try_into().unwrap());
+            let mtu = u32::from_le_bytes(packet[10..14].try_into().unwrap());
+            if mtu == 0 {
+                return Err(err("zero MTU"));
+            }
+            Ok(Control::Header(GtmHeader {
+                src: NodeId(src),
+                dest: NodeId(dest),
+                mtu,
+            }))
+        }
+        KIND_PART => {
+            if packet.len() != 12 {
+                return Err(err("descriptor length"));
+            }
+            let len = u64::from_le_bytes(packet[2..10].try_into().unwrap());
+            let send = SendMode::from_wire(packet[10]).ok_or_else(|| err("send mode"))?;
+            let recv = RecvMode::from_wire(packet[11]).ok_or_else(|| err("recv mode"))?;
+            Ok(Control::Part(GtmPartDesc { len, send, recv }))
+        }
+        KIND_END => {
+            if packet.len() != 2 {
+                return Err(err("end length"));
+            }
+            Ok(Control::End)
+        }
+        _ => Err(err("unknown kind")),
+    }
+}
+
+/// Number of fragments a `len`-byte block occupies at a given MTU.
+pub fn fragment_count(len: u64, mtu: u32) -> u64 {
+    if len == 0 {
+        0
+    } else {
+        len.div_ceil(mtu as u64)
+    }
+}
+
+/// Sender side of the GTM: writes a self-described, MTU-fragmented message
+/// toward the first hop (a gateway, over a *special* channel).
+///
+/// The GTM transmits eagerly — each block leaves at `pack` time — which is
+/// what keeps the gateway pipeline fed. The first-hop conduit is held
+/// exclusively from `begin` to `end_packing`: on gateway nodes the
+/// forwarding engine relays other nodes' messages over the *same* special
+/// conduits, and whole-message locking is what keeps the two streams from
+/// interleaving.
+pub struct GtmWriter<'c> {
+    conduit: RtLockGuard<'c, Box<dyn Conduit>>,
+    mtu: usize,
+    finished: bool,
+}
+
+impl<'c> GtmWriter<'c> {
+    /// Start a forwarded message: emits the header packet immediately.
+    pub fn begin(
+        channel: &'c Channel,
+        first_hop: NodeId,
+        src: NodeId,
+        dest: NodeId,
+        mtu: usize,
+    ) -> Result<Self> {
+        assert!(mtu > 0, "GTM MTU must be positive");
+        assert!(
+            mtu <= channel.caps().max_packet,
+            "GTM MTU exceeds the first hop's max packet size"
+        );
+        let header = encode_header(&GtmHeader {
+            src,
+            dest,
+            mtu: mtu as u32,
+        });
+        let mut conduit = channel.lock_conduit(first_hop)?;
+        conduit.send(&[&header])?;
+        Ok(GtmWriter {
+            conduit,
+            mtu,
+            finished: false,
+        })
+    }
+
+    /// Append a block: descriptor packet, then raw MTU-sized fragments.
+    pub fn pack(&mut self, data: &[u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        let desc = encode_part(&GtmPartDesc {
+            len: data.len() as u64,
+            send,
+            recv,
+        });
+        self.conduit.send(&[&desc])?;
+        for chunk in data.chunks(self.mtu) {
+            self.conduit.send(&[chunk])?;
+        }
+        Ok(())
+    }
+
+    /// Finish the message with the end packet and release the conduit.
+    pub fn end_packing(mut self) -> Result<()> {
+        self.finished = true;
+        self.conduit.send(&[&encode_end()])
+    }
+}
+
+impl Drop for GtmWriter<'_> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!("GtmWriter dropped without end_packing");
+        }
+    }
+}
+
+/// Receiver side of the GTM, used by the final destination after the
+/// last-hop gateway announced a forwarded message on the regular channel.
+pub struct GtmReader<'c> {
+    channel: &'c Channel,
+    /// The last-hop gateway we are physically receiving from.
+    via: NodeId,
+    header: GtmHeader,
+    finished: bool,
+}
+
+impl<'c> GtmReader<'c> {
+    /// Read the header packet from `via` and set up the reader.
+    pub fn begin(channel: &'c Channel, via: NodeId) -> Result<Self> {
+        let packet = channel.lock_conduit(via)?.recv_owned()?;
+        match decode_control(&packet)? {
+            Control::Header(header) => Ok(GtmReader {
+                channel,
+                via,
+                header,
+                finished: false,
+            }),
+            other => Err(MadError::Protocol(format!(
+                "expected GTM header, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The original sender of the forwarded message.
+    pub fn source(&self) -> NodeId {
+        self.header.src
+    }
+
+    /// The message header.
+    pub fn header(&self) -> GtmHeader {
+        self.header
+    }
+
+    /// Receive the next block into `dst`, validating the self-description
+    /// against the caller's expectation. Data is valid on return (the GTM
+    /// is eager, so express semantics hold for every block).
+    pub fn unpack(&mut self, dst: &mut [u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        let mut conduit = self.channel.lock_conduit(self.via)?;
+        let packet = conduit.recv_owned()?;
+        let desc = match decode_control(&packet)? {
+            Control::Part(d) => d,
+            other => {
+                return Err(MadError::Protocol(format!(
+                    "expected GTM part descriptor, got {other:?}"
+                )))
+            }
+        };
+        if desc.len != dst.len() as u64 {
+            return Err(MadError::SequenceMismatch(format!(
+                "forwarded block is {} bytes, unpack expected {}",
+                desc.len,
+                dst.len()
+            )));
+        }
+        if desc.send != send || desc.recv != recv {
+            return Err(MadError::SequenceMismatch(format!(
+                "forwarded block flags ({:?},{:?}) != unpack flags ({:?},{:?})",
+                desc.send, desc.recv, send, recv
+            )));
+        }
+        let mut cursor = 0;
+        while cursor < dst.len() {
+            let n = conduit.recv_into(&mut dst[cursor..])?;
+            cursor += n;
+        }
+        Ok(())
+    }
+
+    /// Consume the end packet and finish.
+    pub fn end_unpacking(mut self) -> Result<()> {
+        self.finished = true;
+        let packet = self.channel.lock_conduit(self.via)?.recv_owned()?;
+        match decode_control(&packet)? {
+            Control::End => Ok(()),
+            other => Err(MadError::Protocol(format!(
+                "expected GTM end, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Drop for GtmReader<'_> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!("GtmReader dropped without end_unpacking");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_round_trips() {
+        let h = GtmHeader {
+            src: NodeId(3),
+            dest: NodeId(7),
+            mtu: 16384,
+        };
+        assert_eq!(decode_control(&encode_header(&h)), Ok(Control::Header(h)));
+        let d = GtmPartDesc {
+            len: 123456789,
+            send: SendMode::Later,
+            recv: RecvMode::Cheaper,
+        };
+        assert_eq!(decode_control(&encode_part(&d)), Ok(Control::Part(d)));
+        assert_eq!(decode_control(&encode_end()), Ok(Control::End));
+    }
+
+    #[test]
+    fn malformed_controls_rejected() {
+        assert!(decode_control(&[]).is_err());
+        assert!(decode_control(&[0x00, KIND_END]).is_err());
+        assert!(decode_control(&[GTM_MAGIC, 99]).is_err());
+        assert!(decode_control(&[GTM_MAGIC, KIND_HEADER, 1, 2]).is_err());
+        // Zero MTU header.
+        let mut h = encode_header(&GtmHeader {
+            src: NodeId(0),
+            dest: NodeId(1),
+            mtu: 1,
+        });
+        h[10..14].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_control(&h).is_err());
+        // Bad flag bytes in a descriptor.
+        let mut d = encode_part(&GtmPartDesc {
+            len: 1,
+            send: SendMode::Safer,
+            recv: RecvMode::Express,
+        });
+        d[10] = 77;
+        assert!(decode_control(&d).is_err());
+    }
+
+    #[test]
+    fn fragment_counts() {
+        assert_eq!(fragment_count(0, 1024), 0);
+        assert_eq!(fragment_count(1, 1024), 1);
+        assert_eq!(fragment_count(1024, 1024), 1);
+        assert_eq!(fragment_count(1025, 1024), 2);
+        assert_eq!(fragment_count(10 * 1024, 1024), 10);
+    }
+}

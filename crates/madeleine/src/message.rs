@@ -1,0 +1,230 @@
+//! Incremental message construction and extraction (paper §2.1.2).
+//!
+//! A message is a sequence of data blocks packed with per-block
+//! [`SendMode`]/[`RecvMode`] constraints. Blocks are aggregated according to
+//! the deterministic rules in [`crate::plan`] and transmitted as one or more
+//! wire packets per flushed group. The receiver *must* unpack the same
+//! blocks, in the same order, with the same flags — messages carry no
+//! self-description on regular channels (that is the GTM's job, and only
+//! for forwarded messages).
+//!
+//! ## Buffer handling
+//!
+//! [`MessageWriter`] keeps borrowed `&[u8]` references to the packed blocks
+//! until their group flushes, so deferred blocks are gathered straight from
+//! user memory ([`SendMode::Later`] semantics; [`SendMode::Safer`] blocks
+//! flush immediately instead of being copied).
+//!
+//! [`MessageReader::unpack`] fills each destination before returning —
+//! stronger than the [`RecvMode::Cheaper`] contract (which only promises
+//! validity at `end_unpacking`), and exactly the [`RecvMode::Express`]
+//! contract. Packets that land entirely inside the current destination are
+//! delivered zero-copy (modeling a posted receive); bytes that spill past a
+//! destination boundary transit an internal stash, and that double handling
+//! is charged through the runtime.
+
+use crate::channel::Channel;
+use crate::conduit::Conduit;
+use crate::error::{MadError, Result};
+use crate::flags::{RecvMode, SendMode};
+use crate::plan;
+use crate::runtime::RtLockGuard;
+use crate::types::NodeId;
+
+/// Outgoing message under construction (`mad_begin_packing` …
+/// `mad_end_packing`).
+pub struct MessageWriter<'c, 'd> {
+    channel: &'c Channel,
+    dest: NodeId,
+    pending: Vec<&'d [u8]>,
+    /// When set, the conduit stays locked for the whole message. Required
+    /// whenever another thread may send on the same conduit (on gateway
+    /// nodes the forwarding engine shares outgoing conduits with the
+    /// application), so messages cannot interleave.
+    guard: Option<RtLockGuard<'c, Box<dyn Conduit>>>,
+    finished: bool,
+}
+
+impl<'c, 'd> MessageWriter<'c, 'd> {
+    pub(crate) fn new(channel: &'c Channel, dest: NodeId) -> Self {
+        MessageWriter {
+            channel,
+            dest,
+            pending: Vec::new(),
+            guard: None,
+            finished: false,
+        }
+    }
+
+    /// Create a writer that holds the destination conduit exclusively until
+    /// `end_packing` (whole-message atomicity).
+    pub(crate) fn new_exclusive(channel: &'c Channel, dest: NodeId) -> Result<Self> {
+        let guard = channel.lock_conduit(dest)?;
+        Ok(MessageWriter {
+            channel,
+            dest,
+            pending: Vec::new(),
+            guard: Some(guard),
+            finished: false,
+        })
+    }
+
+    /// Send a raw control packet on this writer's connection, under the
+    /// whole-message guard when one is held (virtual-channel notes).
+    pub(crate) fn send_control(&mut self, parts: &[&[u8]]) -> Result<()> {
+        match self.guard.as_mut() {
+            Some(g) => g.send(parts),
+            None => self.channel.send_packet(self.dest, parts),
+        }
+    }
+
+    /// The destination rank.
+    pub fn dest(&self) -> NodeId {
+        self.dest
+    }
+
+    /// Append a data block (`mad_pack`). Depending on the flags the block
+    /// is transmitted immediately or aggregated with its successors.
+    pub fn pack(&mut self, data: &'d [u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        self.pending.push(data);
+        if plan::flush_after(send, recv) {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Transmit everything still pending as one group.
+    fn flush(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let caps = self.channel.caps();
+        let lens: Vec<usize> = self.pending.iter().map(|p| p.len()).collect();
+        let packets = plan::packetize(&lens, caps.max_packet, caps.max_gather);
+        if !packets.is_empty() {
+            // Use the whole-message guard when held; otherwise lock per
+            // flushed group.
+            let mut transient;
+            let conduit: &mut Box<dyn Conduit> = match self.guard.as_mut() {
+                Some(g) => g,
+                None => {
+                    transient = self.channel.lock_conduit(self.dest)?;
+                    &mut transient
+                }
+            };
+            for packet in packets {
+                let parts: Vec<&[u8]> = packet
+                    .iter()
+                    .map(|seg| &self.pending[seg.part][seg.offset..seg.offset + seg.len])
+                    .collect();
+                conduit.send(&parts)?;
+            }
+        }
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Finalize the message (`mad_end_packing`): flush the last group. On
+    /// return the whole message has been handed to the network.
+    pub fn end_packing(mut self) -> Result<()> {
+        // Finalization was attempted: even on error the message is over
+        // (the error already tells the caller the message is broken), so
+        // Drop must not double-report.
+        self.finished = true;
+        let r = self.flush();
+        self.guard = None; // release the whole-message lock
+        r
+    }
+}
+
+impl Drop for MessageWriter<'_, '_> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!("MessageWriter dropped without end_packing");
+        }
+    }
+}
+
+/// Incoming message under extraction (`mad_begin_unpacking` …
+/// `mad_end_unpacking`).
+pub struct MessageReader<'c> {
+    channel: &'c Channel,
+    source: NodeId,
+    /// Bytes received beyond the last destination boundary, awaiting the
+    /// next `unpack`.
+    stash: Vec<u8>,
+    stash_off: usize,
+    finished: bool,
+}
+
+impl<'c> MessageReader<'c> {
+    pub(crate) fn new(channel: &'c Channel, source: NodeId) -> Self {
+        MessageReader {
+            channel,
+            source,
+            stash: Vec::new(),
+            stash_off: 0,
+            finished: false,
+        }
+    }
+
+    /// The rank this message is being received from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Receive the next block into `dst` (`mad_unpack`). Must mirror the
+    /// sender's `pack` in order, length, and flags. The data is valid when
+    /// the call returns (for [`RecvMode::Cheaper`] blocks this may mean
+    /// waiting for the sender's next flush).
+    pub fn unpack(&mut self, dst: &mut [u8], _send: SendMode, _recv: RecvMode) -> Result<()> {
+        let mut cursor = 0;
+        while cursor < dst.len() {
+            // Serve spilled bytes first; this double handling is charged.
+            if self.stash_off < self.stash.len() {
+                let take = (self.stash.len() - self.stash_off).min(dst.len() - cursor);
+                dst[cursor..cursor + take]
+                    .copy_from_slice(&self.stash[self.stash_off..self.stash_off + take]);
+                self.stash_off += take;
+                cursor += take;
+                self.channel.runtime().charge_copy(take);
+                if self.stash_off == self.stash.len() {
+                    self.stash.clear();
+                    self.stash_off = 0;
+                }
+                continue;
+            }
+            let packet = self.channel.lock_conduit(self.source)?.recv_owned()?;
+            let take = packet.len().min(dst.len() - cursor);
+            dst[cursor..cursor + take].copy_from_slice(&packet[..take]);
+            cursor += take;
+            if take < packet.len() {
+                // The packet crosses the destination boundary: stash the
+                // tail for the following unpack calls.
+                self.stash.extend_from_slice(&packet[take..]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize the message (`mad_end_unpacking`). Fails if the sender
+    /// transmitted more bytes than were unpacked — a sequence mismatch.
+    pub fn end_unpacking(mut self) -> Result<()> {
+        self.finished = true;
+        if self.stash_off < self.stash.len() {
+            return Err(MadError::SequenceMismatch(format!(
+                "{} unconsumed bytes at end of message",
+                self.stash.len() - self.stash_off
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for MessageReader<'_> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!("MessageReader dropped without end_unpacking");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic buffer-grouping rules (the Buffer Management Module logic,
+//! paper §2.1.1).
+//!
+//! Madeleine messages are not self-described: the receiver must reconstruct
+//! the sender's packet grouping purely from the `(length, SendMode,
+//! RecvMode)` sequence of its own unpack calls. That works because grouping
+//! is a *pure function* of the flags and the driver's capabilities, shared
+//! by both sides:
+//!
+//! * a block packed with [`RecvMode::Express`] flushes the aggregation
+//!   (the receiver needs it immediately);
+//! * a block packed with [`SendMode::Safer`] flushes too (the sender's
+//!   buffer may be reused right after `pack`, and the dynamic BMMs reference
+//!   user memory instead of copying);
+//! * everything else aggregates until `end_packing`.
+//!
+//! Within one flushed group, [`packetize`] splits the accumulated blocks
+//! into wire packets bounded by the driver's MTU and gather limit. The
+//! receiver does not need the split (it counts bytes off in-order packets),
+//! but the function is shared so tests can assert both sides agree.
+
+use crate::flags::{RecvMode, SendMode};
+
+/// Should the aggregation be flushed right after a block with these flags?
+pub fn flush_after(send: SendMode, recv: RecvMode) -> bool {
+    recv.is_express() || !send.may_defer()
+}
+
+/// A contiguous piece of one packet: `part` indexes the group's blocks,
+/// `offset`/`len` select the bytes of that block carried by this segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Index of the source block within the flushed group.
+    pub part: usize,
+    /// Byte offset within the block.
+    pub offset: usize,
+    /// Segment length in bytes.
+    pub len: usize,
+}
+
+/// Split a group of block lengths into packets: each packet carries at most
+/// `mtu` bytes and at most `max_gather` segments. Blocks larger than the
+/// MTU are fragmented; small blocks are gathered.
+///
+/// Zero-length blocks occupy no segment (they carry no bytes); a group of
+/// only zero-length blocks produces no packets.
+pub fn packetize(lens: &[usize], mtu: usize, max_gather: usize) -> Vec<Vec<Segment>> {
+    assert!(mtu > 0, "MTU must be positive");
+    assert!(max_gather > 0, "gather limit must be at least 1");
+    let mut packets = Vec::new();
+    let mut current: Vec<Segment> = Vec::new();
+    let mut current_bytes = 0usize;
+    for (part, &len) in lens.iter().enumerate() {
+        let mut offset = 0;
+        while offset < len {
+            if current_bytes == mtu || current.len() == max_gather {
+                packets.push(std::mem::take(&mut current));
+                current_bytes = 0;
+            }
+            let space = mtu - current_bytes;
+            let take = space.min(len - offset);
+            current.push(Segment {
+                part,
+                offset,
+                len: take,
+            });
+            current_bytes += take;
+            offset += take;
+        }
+    }
+    if !current.is_empty() {
+        packets.push(current);
+    }
+    packets
+}
+
+/// Total bytes of a group.
+pub fn group_bytes(lens: &[usize]) -> usize {
+    lens.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_rules_follow_flags() {
+        assert!(flush_after(SendMode::Later, RecvMode::Express));
+        assert!(flush_after(SendMode::Safer, RecvMode::Cheaper));
+        assert!(flush_after(SendMode::Safer, RecvMode::Express));
+        assert!(!flush_after(SendMode::Later, RecvMode::Cheaper));
+        assert!(!flush_after(SendMode::Cheaper, RecvMode::Cheaper));
+    }
+
+    #[test]
+    fn small_blocks_gather_into_one_packet() {
+        let pkts = packetize(&[10, 20, 30], 1024, 16);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].len(), 3);
+        assert_eq!(
+            pkts[0][1],
+            Segment {
+                part: 1,
+                offset: 0,
+                len: 20
+            }
+        );
+    }
+
+    #[test]
+    fn large_block_fragments_at_mtu() {
+        let pkts = packetize(&[2500], 1000, 16);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0][0].len, 1000);
+        assert_eq!(pkts[1][0].offset, 1000);
+        assert_eq!(pkts[2][0].len, 500);
+    }
+
+    #[test]
+    fn gather_limit_splits_packets() {
+        let pkts = packetize(&[1, 1, 1, 1, 1], 1024, 2);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].len(), 2);
+        assert_eq!(pkts[2].len(), 1);
+    }
+
+    #[test]
+    fn mixed_sizes_pack_tightly() {
+        // 900 + 300: second block splits across packets 1 and 2.
+        let pkts = packetize(&[900, 300], 1000, 16);
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0].len(), 2);
+        assert_eq!(pkts[0][1].len, 100);
+        assert_eq!(pkts[1][0].offset, 100);
+        assert_eq!(pkts[1][0].len, 200);
+    }
+
+    #[test]
+    fn zero_length_blocks_vanish() {
+        assert!(packetize(&[0, 0], 1024, 4).is_empty());
+        let pkts = packetize(&[0, 5, 0], 1024, 4);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].len(), 1);
+        assert_eq!(pkts[0][0].part, 1);
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        for lens in [vec![7usize, 9, 1024, 3], vec![4096], vec![1; 50]] {
+            for mtu in [16usize, 64, 1024] {
+                for gather in [1usize, 2, 8] {
+                    let pkts = packetize(&lens, mtu, gather);
+                    let total: usize = pkts.iter().flatten().map(|s| s.len).sum();
+                    assert_eq!(total, group_bytes(&lens));
+                    for p in &pkts {
+                        let bytes: usize = p.iter().map(|s| s.len).sum();
+                        assert!(bytes <= mtu);
+                        assert!(p.len() <= gather);
+                        assert!(!p.is_empty());
+                    }
+                }
+            }
+        }
+    }
+}

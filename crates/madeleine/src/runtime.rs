@@ -1,0 +1,522 @@
+//! Execution-environment abstraction.
+//!
+//! Madeleine's protocol code must run identically on real threads (for the
+//! shared-memory and TCP drivers) and under the deterministic virtual clock
+//! of the hardware model. Everything environment-dependent — spawning
+//! threads, blocking, timestamps, and the *cost accounting* of copies and
+//! software overheads — funnels through [`Runtime`].
+//!
+//! [`StdRuntime`] is the real-time implementation; the simulated one lives
+//! in the `mad-sim` crate (it must not be here: this crate stays ignorant of
+//! virtual time).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+/// An epoch counter that threads can block on — the one blocking primitive
+/// the library needs. Semantically identical to `vtime::Signal` so the
+/// simulated runtime can delegate directly.
+pub trait RtEvent: Send + Sync {
+    /// Current epoch.
+    fn epoch(&self) -> u64;
+    /// Increment the epoch and wake all waiters.
+    fn bump(&self);
+    /// Block the calling thread until the epoch exceeds `seen`; returns the
+    /// epoch observed at wake-up.
+    fn wait_past(&self, seen: u64) -> u64;
+    /// Concrete-type access, so a driver can recover runtime-specific
+    /// internals (the simulated driver extracts the virtual-clock signal).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// The services Madeleine requires from its execution environment.
+pub trait Runtime: Send + Sync {
+    /// Spawn a named thread. Under the simulated runtime this registers a
+    /// virtual-clock actor for the thread.
+    fn spawn(&self, name: String, f: Box<dyn FnOnce() + Send>) -> JoinHandle<()>;
+
+    /// Allocate a fresh blocking event.
+    fn event(&self) -> Arc<dyn RtEvent>;
+
+    /// Account for a `bytes`-long memory copy performed by the calling
+    /// thread. Free on real hardware (the copy itself already cost real
+    /// time); on the simulator it advances the thread's virtual clock by
+    /// `bytes / memcpy_bandwidth`.
+    fn charge_copy(&self, bytes: usize);
+
+    /// Account for a fixed software overhead (e.g. the gateway pipeline's
+    /// per-buffer-switch cost, §3.3.1). Free on real hardware; a virtual
+    /// sleep on the simulator.
+    fn charge_overhead(&self, nanos: u64);
+
+    /// Monotonic timestamp in nanoseconds (wall clock or virtual clock),
+    /// used by benchmarks to compute bandwidth.
+    fn now_nanos(&self) -> u64;
+
+    /// Hold the world still while a multi-threaded setup completes; the
+    /// returned guard is dropped when setup is done. A no-op on real
+    /// threads; prevents virtual-time races during simulated bootstrap.
+    fn setup_guard(&self) -> Box<dyn std::any::Any + Send>;
+}
+
+#[derive(Default)]
+struct StdEvent {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl RtEvent for StdEvent {
+    fn epoch(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    fn bump(&self) {
+        let mut e = self.epoch.lock();
+        *e += 1;
+        self.cv.notify_all();
+    }
+
+    fn wait_past(&self, seen: u64) -> u64 {
+        let mut e = self.epoch.lock();
+        while *e <= seen {
+            self.cv.wait(&mut e);
+        }
+        *e
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Real-threads runtime: `std::thread`, condvar-backed events, free cost
+/// accounting, `Instant`-based timestamps.
+pub struct StdRuntime {
+    start: Instant,
+}
+
+impl Default for StdRuntime {
+    fn default() -> Self {
+        StdRuntime {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl StdRuntime {
+    /// Create a shareable instance.
+    pub fn shared() -> Arc<dyn Runtime> {
+        Arc::new(StdRuntime::default())
+    }
+}
+
+impl Runtime for StdRuntime {
+    fn spawn(&self, name: String, f: Box<dyn FnOnce() + Send>) -> JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(f)
+            .expect("spawning runtime thread")
+    }
+
+    fn event(&self) -> Arc<dyn RtEvent> {
+        Arc::new(StdEvent::default())
+    }
+
+    fn charge_copy(&self, _bytes: usize) {}
+
+    fn charge_overhead(&self, _nanos: u64) {}
+
+    fn now_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn setup_guard(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(())
+    }
+}
+
+/// A multi-producer multi-consumer FIFO whose blocking operations go through
+/// an [`RtEvent`], so it works under both runtimes. Used for driver receive
+/// queues and the gateway pipeline slots. This type is only a constructor
+/// namespace; the live halves are [`RtSender`] and [`RtReceiver`].
+/// A mutex whose waiters block through an [`RtEvent`], making contention
+/// visible to the virtual clock. A plain mutex held across a blocking
+/// driver operation would freeze the simulation: the waiter appears
+/// "running" to the clock while actually parked in the OS, so virtual time
+/// can never advance to the point where the holder releases. Every lock
+/// that can be held across a conduit send/receive must be an `RtLock`.
+pub struct RtLock<T> {
+    inner: Mutex<T>,
+    released: Arc<dyn RtEvent>,
+}
+
+impl<T> RtLock<T> {
+    /// Wrap `value` with an event from `rt`.
+    pub fn new(rt: &dyn Runtime, value: T) -> Self {
+        RtLock {
+            inner: Mutex::new(value),
+            released: rt.event(),
+        }
+    }
+
+    /// Acquire the lock, blocking through the runtime event while held by
+    /// another thread.
+    pub fn lock(&self) -> RtLockGuard<'_, T> {
+        loop {
+            let seen = self.released.epoch();
+            if let Some(guard) = self.inner.try_lock() {
+                return RtLockGuard {
+                    lock: self,
+                    guard: std::mem::ManuallyDrop::new(guard),
+                };
+            }
+            self.released.wait_past(seen);
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<RtLockGuard<'_, T>> {
+        self.inner.try_lock().map(|guard| RtLockGuard {
+            lock: self,
+            guard: std::mem::ManuallyDrop::new(guard),
+        })
+    }
+}
+
+/// RAII guard of an [`RtLock`]; wakes waiters on drop.
+pub struct RtLockGuard<'a, T> {
+    lock: &'a RtLock<T>,
+    guard: std::mem::ManuallyDrop<parking_lot::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for RtLockGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for RtLockGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for RtLockGuard<'_, T> {
+    fn drop(&mut self) {
+        // The mutex must be released *before* the event is bumped: a waiter
+        // woken by the bump retries `try_lock` exactly once before
+        // re-arming its wait, so bumping while still holding the mutex
+        // would let it re-arm against an epoch that never moves again.
+        // SAFETY: `guard` is dropped exactly once, here.
+        unsafe { std::mem::ManuallyDrop::drop(&mut self.guard) };
+        self.lock.released.bump();
+    }
+}
+
+/// A multi-producer multi-consumer FIFO whose blocking operations go
+/// through an [`RtEvent`], so it works under both runtimes. Used for driver
+/// receive queues and the gateway pipeline slots. This type is only a
+/// constructor namespace; the live halves are [`RtSender`]/[`RtReceiver`].
+pub struct RtQueue<T>(std::marker::PhantomData<T>);
+
+struct RtQueueInner<T> {
+    q: Mutex<QueueState<T>>,
+    /// Bumped on push and on producer disconnect.
+    nonempty: Arc<dyn RtEvent>,
+    /// Bumped on pop (for bounded-push waiters).
+    nonfull: Arc<dyn RtEvent>,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: std::collections::VecDeque<T>,
+    producers: usize,
+    consumers: usize,
+}
+
+/// Producer handle of an [`RtQueue`]. Dropping the last producer wakes
+/// blocked consumers with a disconnect.
+pub struct RtSender<T> {
+    inner: Arc<RtQueueInner<T>>,
+}
+
+/// Consumer handle of an [`RtQueue`].
+pub struct RtReceiver<T> {
+    inner: Arc<RtQueueInner<T>>,
+}
+
+impl<T> RtQueue<T> {
+    /// Create a queue with the given capacity bound (`usize::MAX` for
+    /// unbounded), allocating its events from `rt`.
+    pub fn with_capacity(rt: &dyn Runtime, capacity: usize) -> (RtSender<T>, RtReceiver<T>) {
+        let inner = Arc::new(RtQueueInner {
+            q: Mutex::new(QueueState {
+                items: std::collections::VecDeque::new(),
+                producers: 1,
+                consumers: 1,
+            }),
+            nonempty: rt.event(),
+            nonfull: rt.event(),
+            capacity,
+        });
+        (
+            RtSender {
+                inner: inner.clone(),
+            },
+            RtReceiver { inner },
+        )
+    }
+
+    /// Create a queue whose `nonempty` notifications go to a caller-provided
+    /// event, so one event can multiplex several queues.
+    pub fn with_event(
+        rt: &dyn Runtime,
+        capacity: usize,
+        nonempty: Arc<dyn RtEvent>,
+    ) -> (RtSender<T>, RtReceiver<T>) {
+        let inner = Arc::new(RtQueueInner {
+            q: Mutex::new(QueueState {
+                items: std::collections::VecDeque::new(),
+                producers: 1,
+                consumers: 1,
+            }),
+            nonempty,
+            nonfull: rt.event(),
+            capacity,
+        });
+        (
+            RtSender {
+                inner: inner.clone(),
+            },
+            RtReceiver { inner },
+        )
+    }
+}
+
+impl<T> Clone for RtSender<T> {
+    fn clone(&self) -> Self {
+        self.inner.q.lock().producers += 1;
+        RtSender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for RtSender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.inner.q.lock();
+            st.producers -= 1;
+            st.producers
+        };
+        if remaining == 0 {
+            self.inner.nonempty.bump();
+        }
+    }
+}
+
+impl<T> RtSender<T> {
+    /// Push, blocking while the queue is at capacity. Returns `Err(item)`
+    /// if every receiver is gone.
+    pub fn push(&self, item: T) -> std::result::Result<(), T> {
+        loop {
+            let seen = self.inner.nonfull.epoch();
+            {
+                let mut st = self.inner.q.lock();
+                if st.consumers == 0 {
+                    return Err(item);
+                }
+                if st.items.len() < self.inner.capacity {
+                    st.items.push_back(item);
+                    drop(st);
+                    self.inner.nonempty.bump();
+                    return Ok(());
+                }
+            }
+            self.inner.nonfull.wait_past(seen);
+        }
+    }
+}
+
+impl<T> Clone for RtReceiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.q.lock().consumers += 1;
+        RtReceiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for RtReceiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.inner.q.lock();
+            st.consumers -= 1;
+            st.consumers
+        };
+        if remaining == 0 {
+            // Wake producers blocked on a full queue so they observe the
+            // disconnect.
+            self.inner.nonfull.bump();
+        }
+    }
+}
+
+impl<T> RtReceiver<T> {
+    /// Pop, blocking until an item arrives; `None` once all producers are
+    /// gone and the queue is drained.
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            let seen = self.inner.nonempty.epoch();
+            {
+                let mut st = self.inner.q.lock();
+                if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.inner.nonfull.bump();
+                    return Some(v);
+                }
+                if st.producers == 0 {
+                    return None;
+                }
+            }
+            self.inner.nonempty.wait_past(seen);
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut st = self.inner.q.lock();
+        let v = st.items.pop_front();
+        if v.is_some() {
+            drop(st);
+            self.inner.nonfull.bump();
+        }
+        v
+    }
+
+    /// True if an item is queued right now.
+    pub fn has_pending(&self) -> bool {
+        !self.inner.q.lock().items.is_empty()
+    }
+
+    /// True once every producer is gone and the queue is drained: nothing
+    /// will ever arrive again.
+    pub fn is_closed(&self) -> bool {
+        let st = self.inner.q.lock();
+        st.producers == 0 && st.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_event_wait_and_bump() {
+        let rt = StdRuntime::default();
+        let ev = rt.event();
+        assert_eq!(ev.epoch(), 0);
+        let ev2 = ev.clone();
+        let h = std::thread::spawn(move || ev2.wait_past(0));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ev.bump();
+        assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn rt_queue_fifo_and_disconnect() {
+        let rt = StdRuntime::default();
+        let (tx, rx) = RtQueue::with_capacity(&rt, usize::MAX);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        drop(tx);
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn rt_queue_bounded_blocks_producer() {
+        let rt = StdRuntime::default();
+        let (tx, rx) = RtQueue::<u32>::with_capacity(&rt, 1);
+        tx.push(1).unwrap();
+        let t0 = Instant::now();
+        let h = std::thread::spawn(move || {
+            tx.push(2).unwrap(); // blocks until the consumer pops
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(rx.pop(), Some(1));
+        h.join().unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn rt_queue_push_fails_without_receiver() {
+        let rt = StdRuntime::default();
+        let (tx, rx) = RtQueue::with_capacity(&rt, usize::MAX);
+        drop(rx);
+        assert_eq!(tx.push(7), Err(7));
+    }
+
+    #[test]
+    fn rt_lock_mutual_exclusion_and_wakeup() {
+        let rt = StdRuntime::default();
+        let lock = Arc::new(RtLock::new(&rt, 0u32));
+        let l2 = lock.clone();
+        let g = lock.lock();
+        let h = std::thread::spawn(move || {
+            let mut g = l2.lock(); // blocks until main releases
+            *g += 1;
+            *g
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(g);
+        assert_eq!(h.join().unwrap(), 1);
+        assert_eq!(*lock.lock(), 1);
+    }
+
+    #[test]
+    fn rt_lock_try_lock() {
+        let rt = StdRuntime::default();
+        let lock = RtLock::new(&rt, ());
+        let g = lock.try_lock().expect("uncontended");
+        assert!(lock.try_lock().is_none(), "held");
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn rt_lock_handoff_storm() {
+        // Regression test for the lost-wakeup bug: the guard must release
+        // the mutex *before* bumping. Many rapid handoffs between threads
+        // would hang within a few iterations if the order regressed.
+        let rt = StdRuntime::default();
+        let lock = Arc::new(RtLock::new(&rt, 0u64));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let lock = lock.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    *lock.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 8_000);
+    }
+
+    #[test]
+    fn std_runtime_clock_is_monotonic() {
+        let rt = StdRuntime::default();
+        let a = rt.now_nanos();
+        let b = rt.now_nanos();
+        assert!(b >= a);
+    }
+}

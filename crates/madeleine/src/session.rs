@@ -1,0 +1,503 @@
+//! In-process session bootstrap.
+//!
+//! The original Madeleine launches one process per node; this reproduction
+//! runs the whole session in one process with one thread per node, which is
+//! what lets the hardware model time everything on a single virtual clock.
+//! [`SessionBuilder`] declares networks (driver + members), plain channels,
+//! and virtual channels; [`SessionBuilder::run`] materializes every conduit
+//! mesh, spawns gateway engines on nodes attached to several networks, runs
+//! the application closure on every node, and tears the session down in
+//! dependency order.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::channel::Channel;
+use crate::conduit::{Conduit, Driver};
+use crate::gateway::{spawn_gateway, GatewayConfig, GatewayHandles};
+use crate::routing::{self, NetworkMembers};
+use crate::runtime::{RtEvent, Runtime, StdRuntime};
+use crate::types::{ChannelId, NetworkId, NodeId};
+use crate::vchannel::VirtualChannel;
+
+/// A session-wide rendezvous point for application code (benchmarks use it
+/// to synchronize measurement phases).
+#[derive(Clone)]
+pub struct SessionBarrier {
+    inner: Arc<BarrierInner>,
+}
+
+struct BarrierInner {
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    event: Arc<dyn RtEvent>,
+    n: usize,
+}
+
+impl SessionBarrier {
+    /// A barrier for `n` participants.
+    pub fn new(rt: &dyn Runtime, n: usize) -> Self {
+        SessionBarrier {
+            inner: Arc::new(BarrierInner {
+                state: Mutex::new((0, 0)),
+                event: rt.event(),
+                n,
+            }),
+        }
+    }
+
+    /// Wait until all `n` participants have arrived.
+    pub fn wait(&self) {
+        let generation = {
+            let mut st = self.inner.state.lock();
+            st.0 += 1;
+            if st.0 == self.inner.n {
+                st.0 = 0;
+                st.1 += 1;
+                drop(st);
+                self.inner.event.bump();
+                return;
+            }
+            st.1
+        };
+        loop {
+            let seen = self.inner.event.epoch();
+            if self.inner.state.lock().1 != generation {
+                return;
+            }
+            self.inner.event.wait_past(seen);
+        }
+    }
+}
+
+/// Per-gateway forwarding statistics returned by
+/// [`SessionBuilder::run_with_gateway_stats`]: (virtual channel name,
+/// gateway rank, counters).
+pub type GatewayStatsReport = Vec<(String, NodeId, Arc<crate::gateway::GatewayStats>)>;
+
+/// Options of one virtual channel declaration.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct VcOptions {
+    /// Route-wide fragment size; defaults to the minimum preferred MTU of
+    /// the spanned drivers.
+    pub mtu: Option<usize>,
+    /// Gateway engine tuning.
+    pub gateway: GatewayConfig,
+}
+
+
+struct NetworkDef {
+    name: String,
+    driver: Arc<dyn Driver>,
+    members: Vec<NodeId>,
+}
+
+struct ChannelDef {
+    name: String,
+    net: usize,
+}
+
+struct VcDef {
+    name: String,
+    nets: Vec<usize>,
+    options: VcOptions,
+}
+
+/// Declarative builder of an in-process Madeleine session.
+pub struct SessionBuilder {
+    n_nodes: u32,
+    runtime: Arc<dyn Runtime>,
+    networks: Vec<NetworkDef>,
+    channels: Vec<ChannelDef>,
+    vchannels: Vec<VcDef>,
+}
+
+impl SessionBuilder {
+    /// A session of `n_nodes` ranks on the real-threads runtime.
+    pub fn new(n_nodes: u32) -> Self {
+        assert!(n_nodes >= 1, "a session needs at least one node");
+        SessionBuilder {
+            n_nodes,
+            runtime: StdRuntime::shared(),
+            networks: Vec::new(),
+            channels: Vec::new(),
+            vchannels: Vec::new(),
+        }
+    }
+
+    /// Replace the runtime (e.g. with the simulated one).
+    pub fn with_runtime(mut self, rt: Arc<dyn Runtime>) -> Self {
+        self.runtime = rt;
+        self
+    }
+
+    /// The session's runtime.
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.runtime
+    }
+
+    /// Declare a network: a driver plus the ranks attached to it.
+    pub fn network(
+        &mut self,
+        name: impl Into<String>,
+        driver: Arc<dyn Driver>,
+        members: &[u32],
+    ) -> NetworkId {
+        let members: Vec<NodeId> = members.iter().map(|&m| NodeId(m)).collect();
+        for m in &members {
+            assert!(m.0 < self.n_nodes, "network member {m} out of range");
+        }
+        assert!(members.len() >= 2, "a network needs at least two members");
+        let name = name.into();
+        assert!(
+            !self.networks.iter().any(|n| n.name == name),
+            "duplicate network name `{name}`"
+        );
+        self.networks.push(NetworkDef {
+            name,
+            driver,
+            members,
+        });
+        NetworkId(self.networks.len() as u32 - 1)
+    }
+
+    /// Declare a plain channel over one network.
+    pub fn channel(&mut self, name: impl Into<String>, net: NetworkId) {
+        assert!((net.0 as usize) < self.networks.len(), "unknown network");
+        self.channels.push(ChannelDef {
+            name: name.into(),
+            net: net.0 as usize,
+        });
+    }
+
+    /// Declare a virtual channel spanning several networks.
+    pub fn vchannel(&mut self, name: impl Into<String>, nets: &[NetworkId], options: VcOptions) {
+        assert!(!nets.is_empty(), "a virtual channel spans at least one network");
+        for n in nets {
+            assert!((n.0 as usize) < self.networks.len(), "unknown network");
+        }
+        self.vchannels.push(VcDef {
+            name: name.into(),
+            nets: nets.iter().map(|n| n.0 as usize).collect(),
+            options,
+        });
+    }
+
+    /// Materialize the session, run `f` on every node, and tear down.
+    /// Returns the per-rank results.
+    pub fn run<T, F>(self, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Node) -> T + Send + Sync + 'static,
+    {
+        self.run_with_gateway_stats(f).0
+    }
+
+    /// Like [`SessionBuilder::run`], additionally returning the forwarding
+    /// statistics of every gateway engine, keyed by (virtual channel name,
+    /// gateway rank).
+    pub fn run_with_gateway_stats<T, F>(self, f: F) -> (Vec<T>, GatewayStatsReport)
+    where
+        T: Send + 'static,
+        F: Fn(Node) -> T + Send + Sync + 'static,
+    {
+        let n = self.n_nodes as usize;
+        let runtime = self.runtime.clone();
+        let guard = runtime.setup_guard();
+
+        // One arrival event per node, shared by all its conduits so a node
+        // can block for "anything from anyone".
+        let node_events: Vec<Arc<dyn RtEvent>> =
+            (0..n).map(|_| runtime.event()).collect();
+
+        let mut next_channel_id = 0u32;
+        let mut alloc_channel_id = || {
+            let id = ChannelId(next_channel_id);
+            next_channel_id += 1;
+            id
+        };
+
+        // Builds one channel over a network: a full conduit mesh among the
+        // members, assembled into one per-node Channel.
+        let build_channel = |id: ChannelId, net_idx: usize| -> HashMap<NodeId, Channel> {
+            let def = &self.networks[net_idx];
+            let mut per_node: HashMap<NodeId, BTreeMap<NodeId, Box<dyn Conduit>>> = def
+                .members
+                .iter()
+                .map(|&m| (m, BTreeMap::new()))
+                .collect();
+            for (i, &a) in def.members.iter().enumerate() {
+                for &b in def.members.iter().skip(i + 1) {
+                    let (ca, cb) = def.driver.connect(
+                        a,
+                        b,
+                        node_events[a.index()].clone(),
+                        node_events[b.index()].clone(),
+                    );
+                    per_node.get_mut(&a).unwrap().insert(b, ca);
+                    per_node.get_mut(&b).unwrap().insert(a, cb);
+                }
+            }
+            per_node
+                .into_iter()
+                .map(|(rank, conduits)| {
+                    let ch = Channel::assemble(
+                        id,
+                        NetworkId(net_idx as u32),
+                        rank,
+                        def.driver.caps(),
+                        conduits,
+                        node_events[rank.index()].clone(),
+                        runtime.clone(),
+                    );
+                    (rank, ch)
+                })
+                .collect()
+        };
+
+        // Plain channels.
+        let mut plain: Vec<(String, HashMap<NodeId, Arc<Channel>>)> = Vec::new();
+        for cdef in &self.channels {
+            let id = alloc_channel_id();
+            let built = build_channel(id, cdef.net)
+                .into_iter()
+                .map(|(k, v)| (k, Arc::new(v)))
+                .collect();
+            plain.push((cdef.name.clone(), built));
+        }
+
+        // Virtual channels: two real channels per network, routing tables,
+        // gateway engines.
+        let mut vcs: Vec<(String, HashMap<NodeId, Arc<VirtualChannel>>)> = Vec::new();
+        let mut gateway_handles: Vec<GatewayHandles> = Vec::new();
+        let mut gateway_stats: GatewayStatsReport = Vec::new();
+        let gateway_stop = Arc::new(AtomicBool::new(false));
+        for vdef in &self.vchannels {
+            let nm: Vec<NetworkMembers> = vdef
+                .nets
+                .iter()
+                .map(|&i| NetworkMembers {
+                    net: NetworkId(i as u32),
+                    members: self.networks[i].members.clone(),
+                })
+                .collect();
+
+            // Build the per-network channel pairs.
+            let mut regular_by_node: HashMap<NodeId, BTreeMap<NetworkId, Arc<Channel>>> =
+                HashMap::new();
+            let mut special_by_node: HashMap<NodeId, BTreeMap<NetworkId, Arc<Channel>>> =
+                HashMap::new();
+            for &net_idx in &vdef.nets {
+                let net_id = NetworkId(net_idx as u32);
+                let reg_id = alloc_channel_id();
+                for (rank, ch) in build_channel(reg_id, net_idx) {
+                    regular_by_node
+                        .entry(rank)
+                        .or_default()
+                        .insert(net_id, Arc::new(ch));
+                }
+                let spec_id = alloc_channel_id();
+                for (rank, ch) in build_channel(spec_id, net_idx) {
+                    special_by_node
+                        .entry(rank)
+                        .or_default()
+                        .insert(net_id, Arc::new(ch));
+                }
+            }
+
+            // Route-wide MTU.
+            let min_pref = vdef
+                .nets
+                .iter()
+                .map(|&i| self.networks[i].driver.caps().preferred_mtu)
+                .min()
+                .expect("at least one network");
+            let max_pkt = vdef
+                .nets
+                .iter()
+                .map(|&i| self.networks[i].driver.caps().max_packet)
+                .min()
+                .expect("at least one network");
+            let mtu = vdef.options.mtu.unwrap_or(min_pref);
+            assert!(
+                mtu <= max_pkt,
+                "virtual channel `{}` MTU {mtu} exceeds the smallest driver packet limit {max_pkt}",
+                vdef.name
+            );
+
+            // Gateway engines.
+            for gw in routing::gateways(&nm) {
+                let handles = spawn_gateway(
+                    gw,
+                    &vdef.name,
+                    regular_by_node[&gw].clone(),
+                    special_by_node[&gw].clone(),
+                    routing::compute_routes(&nm, gw),
+                    vdef.options.gateway,
+                    runtime.clone(),
+                    gateway_stop.clone(),
+                );
+                gateway_stats.push((vdef.name.clone(), gw, handles.stats().clone()));
+                gateway_handles.push(handles);
+            }
+
+            // Per-node virtual channel objects.
+            let mut per_node = HashMap::new();
+            for (&rank, regular) in &regular_by_node {
+                let vc = VirtualChannel::assemble(
+                    vdef.name.clone(),
+                    rank,
+                    regular.clone(),
+                    special_by_node[&rank].clone(),
+                    routing::compute_routes(&nm, rank),
+                    mtu,
+                    node_events[rank.index()].clone(),
+                );
+                per_node.insert(rank, Arc::new(vc));
+            }
+            vcs.push((vdef.name.clone(), per_node));
+        }
+
+        // Spawn the application on every node.
+        let barrier = SessionBarrier::new(&*runtime, n);
+        let f = Arc::new(f);
+        let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let mut app_threads = Vec::new();
+        for rank in 0..n {
+            let rank = NodeId(rank as u32);
+            let channels: HashMap<String, Arc<Channel>> = plain
+                .iter()
+                .filter_map(|(name, map)| map.get(&rank).map(|c| (name.clone(), c.clone())))
+                .collect();
+            let vchannels: HashMap<String, Arc<VirtualChannel>> = vcs
+                .iter()
+                .filter_map(|(name, map)| map.get(&rank).map(|c| (name.clone(), c.clone())))
+                .collect();
+            let node = Node {
+                rank,
+                size: self.n_nodes,
+                channels,
+                vchannels,
+                runtime: runtime.clone(),
+                barrier: barrier.clone(),
+            };
+            let f = f.clone();
+            let results = results.clone();
+            app_threads.push(runtime.spawn(
+                format!("node{}", rank.0),
+                Box::new(move || {
+                    let out = f(node);
+                    results.lock()[rank.index()] = Some(out);
+                }),
+            ));
+        }
+
+        // Release the (possibly virtual) timeline and run to completion.
+        drop(guard);
+        drop(plain);
+        drop(vcs);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for t in app_threads {
+            if let Err(e) = t.join() {
+                panic.get_or_insert(e);
+            }
+        }
+        // With every application thread done, nothing of value is in flight:
+        // tell the gateway engines to stop once idle (two gateways listening
+        // on opposite ends of one channel would otherwise keep each other's
+        // receive sides open forever) and wake them up.
+        gateway_stop.store(true, Ordering::Release);
+        for ev in &node_events {
+            ev.bump();
+        }
+        for g in gateway_handles {
+            g.join();
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        let mut res = results.lock();
+        let out = res
+            .iter_mut()
+            .map(|r| r.take().expect("node result recorded"))
+            .collect();
+        (out, gateway_stats)
+    }
+}
+
+/// One node's view of the running session, handed to the application
+/// closure.
+pub struct Node {
+    rank: NodeId,
+    size: u32,
+    channels: HashMap<String, Arc<Channel>>,
+    vchannels: HashMap<String, Arc<VirtualChannel>>,
+    runtime: Arc<dyn Runtime>,
+    barrier: SessionBarrier,
+}
+
+impl Node {
+    /// This node's rank.
+    pub fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    /// Number of nodes in the session.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// A plain channel this node belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not exist or this node is not a member —
+    /// a configuration bug worth failing loudly on.
+    pub fn channel(&self, name: &str) -> &Arc<Channel> {
+        self.channels
+            .get(name)
+            .unwrap_or_else(|| panic!("node {} has no channel `{name}`", self.rank))
+    }
+
+    /// A virtual channel this node belongs to (same panic contract).
+    pub fn vchannel(&self, name: &str) -> &Arc<VirtualChannel> {
+        self.vchannels
+            .get(name)
+            .unwrap_or_else(|| panic!("node {} has no virtual channel `{name}`", self.rank))
+    }
+
+    /// True if this node is attached to the named plain channel.
+    pub fn has_channel(&self, name: &str) -> bool {
+        self.channels.contains_key(name)
+    }
+
+    /// True if this node is attached to the named virtual channel.
+    pub fn has_vchannel(&self, name: &str) -> bool {
+        self.vchannels.contains_key(name)
+    }
+
+    /// The session runtime (timestamps, cost accounting).
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.runtime
+    }
+
+    /// The session-wide barrier.
+    pub fn barrier(&self) -> &SessionBarrier {
+        &self.barrier
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("channels", &self.channels.keys().collect::<Vec<_>>())
+            .field("vchannels", &self.vchannels.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}

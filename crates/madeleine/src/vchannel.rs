@@ -1,0 +1,242 @@
+//! Virtual channels (paper §2.2).
+//!
+//! A virtual channel groups, for every network it spans, **two** real
+//! channels: a *regular* channel for messages delivered to their final
+//! destination and a *special* channel for messages that must cross a
+//! gateway. When the application sends over the virtual channel, the
+//! appropriate real channel is chosen dynamically from the routing table;
+//! forwarded messages are encoded by the GTM so gateways can relay them
+//! without knowing anything about the application.
+//!
+//! Messages always complete their last hop on the *regular* channel (the
+//! multi-gateway disambiguation argument of §2.2.2), so a receiver cannot
+//! tell from the channel alone whether a message was forwarded. A one-byte
+//! *note* packet therefore precedes every message body ("we chose to
+//! transmit this information before the actual message body transmission"),
+//! selecting the plain or GTM decoding.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::channel::Channel;
+use crate::error::{MadError, Result};
+use crate::flags::{RecvMode, SendMode};
+use crate::gtm::{GtmReader, GtmWriter};
+use crate::message::{MessageReader, MessageWriter};
+use crate::routing::RouteTable;
+use crate::runtime::RtEvent;
+use crate::types::{NetworkId, NodeId};
+
+/// Note byte announcing a direct message.
+pub const NOTE_DIRECT: u8 = 0;
+/// Note byte announcing a gateway-forwarded (GTM-encoded) message.
+pub const NOTE_FORWARDED: u8 = 1;
+
+/// A virtual channel, seen from one node.
+pub struct VirtualChannel {
+    name: String,
+    rank: NodeId,
+    regular: BTreeMap<NetworkId, Arc<Channel>>,
+    special: BTreeMap<NetworkId, Arc<Channel>>,
+    routes: RouteTable,
+    mtu: usize,
+    recv_event: Arc<dyn RtEvent>,
+}
+
+impl std::fmt::Debug for VirtualChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualChannel")
+            .field("name", &self.name)
+            .field("rank", &self.rank)
+            .field("networks", &self.regular.keys().collect::<Vec<_>>())
+            .field("mtu", &self.mtu)
+            .finish()
+    }
+}
+
+impl VirtualChannel {
+    /// Assemble a virtual channel (session-bootstrap use).
+    pub fn assemble(
+        name: String,
+        rank: NodeId,
+        regular: BTreeMap<NetworkId, Arc<Channel>>,
+        special: BTreeMap<NetworkId, Arc<Channel>>,
+        routes: RouteTable,
+        mtu: usize,
+        recv_event: Arc<dyn RtEvent>,
+    ) -> Self {
+        VirtualChannel {
+            name,
+            rank,
+            regular,
+            special,
+            routes,
+            mtu,
+            recv_event,
+        }
+    }
+
+    /// The virtual channel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The local rank.
+    pub fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    /// The route-wide fragment size used for forwarded messages.
+    pub fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    /// Ranks reachable over this virtual channel.
+    pub fn destinations(&self) -> Vec<NodeId> {
+        let mut d: Vec<NodeId> = self.routes.destinations().collect();
+        d.sort_unstable();
+        d
+    }
+
+    /// True if messages to `dest` cross at least one gateway.
+    pub fn is_forwarded(&self, dest: NodeId) -> Result<bool> {
+        Ok(!self.routes.hop(dest)?.last)
+    }
+
+    /// Begin a message to `dest`; transparently picks the direct path or
+    /// the GTM + gateway path.
+    pub fn begin_packing(&self, dest: NodeId) -> Result<VcWriter<'_, '_>> {
+        let hop = self.routes.hop(dest)?;
+        if hop.last {
+            let channel = self
+                .regular
+                .get(&hop.net)
+                .ok_or(MadError::Unroutable(dest))?;
+            // Hold the conduit for the whole message: on gateway nodes the
+            // forwarding engine delivers other nodes' messages over this
+            // same conduit, and the note + body must stay contiguous.
+            let mut writer = channel.begin_packing_exclusive(dest)?;
+            writer.send_control(&[&[NOTE_DIRECT]])?;
+            Ok(VcWriter::Direct(writer))
+        } else {
+            let channel = self
+                .special
+                .get(&hop.net)
+                .ok_or(MadError::Unroutable(dest))?;
+            Ok(VcWriter::Forwarded(GtmWriter::begin(
+                channel, hop.node, self.rank, dest, self.mtu,
+            )?))
+        }
+    }
+
+    /// Block until a message arrives from anyone (over any of this node's
+    /// networks) and begin receiving it.
+    pub fn begin_unpacking(&self) -> Result<VcReader<'_>> {
+        let (net, peer) = self.select_any()?;
+        let channel = &self.regular[&net];
+        let note = channel.lock_conduit(peer)?.recv_owned()?;
+        match note.as_slice() {
+            [NOTE_DIRECT] => Ok(VcReader::Direct(channel.begin_unpacking_from(peer)?)),
+            [NOTE_FORWARDED] => Ok(VcReader::Forwarded(GtmReader::begin(channel, peer)?)),
+            other => Err(MadError::Protocol(format!(
+                "bad virtual-channel note packet: {other:?}"
+            ))),
+        }
+    }
+
+    /// Find a regular-channel conduit with a pending message, scanning
+    /// networks and peers in deterministic order.
+    fn select_any(&self) -> Result<(NetworkId, NodeId)> {
+        loop {
+            let seen = self.recv_event.epoch();
+            let mut all_closed = true;
+            for (&net, channel) in &self.regular {
+                let peers: Vec<NodeId> = channel.peers().collect();
+                for peer in peers {
+                    let c = channel.lock_conduit(peer)?;
+                    if c.ready() {
+                        return Ok((net, peer));
+                    }
+                    if !c.closed() {
+                        all_closed = false;
+                    }
+                }
+            }
+            if all_closed {
+                return Err(MadError::Disconnected);
+            }
+            self.recv_event.wait_past(seen);
+        }
+    }
+}
+
+/// Writer over a virtual channel: either a plain message on the regular
+/// channel or a GTM-encoded message toward a gateway.
+pub enum VcWriter<'c, 'd> {
+    /// Direct delivery on the shared network.
+    Direct(MessageWriter<'c, 'd>),
+    /// Gateway-forwarded delivery.
+    Forwarded(GtmWriter<'c>),
+}
+
+impl<'d> VcWriter<'_, 'd> {
+    /// Append a data block (`mad_pack`).
+    pub fn pack(&mut self, data: &'d [u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        match self {
+            VcWriter::Direct(w) => w.pack(data, send, recv),
+            VcWriter::Forwarded(w) => w.pack(data, send, recv),
+        }
+    }
+
+    /// Finalize the message.
+    pub fn end_packing(self) -> Result<()> {
+        match self {
+            VcWriter::Direct(w) => w.end_packing(),
+            VcWriter::Forwarded(w) => w.end_packing(),
+        }
+    }
+
+    /// True if this message crosses a gateway.
+    pub fn is_forwarded(&self) -> bool {
+        matches!(self, VcWriter::Forwarded(_))
+    }
+}
+
+/// Reader over a virtual channel: plain or GTM decoding, per the note.
+pub enum VcReader<'c> {
+    /// The message came straight from its sender.
+    Direct(MessageReader<'c>),
+    /// The message crossed at least one gateway.
+    Forwarded(GtmReader<'c>),
+}
+
+impl VcReader<'_> {
+    /// The original sender (for forwarded messages, from the GTM header).
+    pub fn source(&self) -> NodeId {
+        match self {
+            VcReader::Direct(r) => r.source(),
+            VcReader::Forwarded(r) => r.source(),
+        }
+    }
+
+    /// True if this message crossed a gateway.
+    pub fn is_forwarded(&self) -> bool {
+        matches!(self, VcReader::Forwarded(_))
+    }
+
+    /// Receive the next block (`mad_unpack`), mirroring the sender's flags.
+    pub fn unpack(&mut self, dst: &mut [u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        match self {
+            VcReader::Direct(r) => r.unpack(dst, send, recv),
+            VcReader::Forwarded(r) => r.unpack(dst, send, recv),
+        }
+    }
+
+    /// Finalize the message.
+    pub fn end_unpacking(self) -> Result<()> {
+        match self {
+            VcReader::Direct(r) => r.end_unpacking(),
+            VcReader::Forwarded(r) => r.end_unpacking(),
+        }
+    }
+}

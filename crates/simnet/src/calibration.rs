@@ -1,0 +1,125 @@
+//! Reconstructed hardware constants for the paper's testbed.
+//!
+//! The source text of the paper is an OCR transcription with garbled
+//! numerals, so exact figures are reconstructed from (a) the prose that did
+//! survive ("theoretical maximum ... 66 MB/s", "slowed down by a factor of
+//! two", software overhead of roughly 40 µs per buffer switch, the ≈16 KB
+//! Myrinet/SCI crossover), (b) the hardware spec the paper states (33 MHz ×
+//! 32-bit PCI = 132 MB/s raw), and (c) published Madeleine II performance on
+//! BIP/Myrinet and SISCI/SCI from the same group and era. Every constant
+//! below is therefore *calibrated*, not measured; EXPERIMENTS.md compares
+//! the shapes, not the absolute values.
+//!
+//! Deliberate modeling choice: per-packet host overhead is a single fixed
+//! cost (no separate small-message fast path), which reproduces the paper's
+//! bandwidth-versus-packet-size behaviour exactly — the spread between the
+//! 8 KB and 128 KB curves *is* the amortization of fixed per-packet costs —
+//! at the expense of inflating sub-microsecond-regime latencies (the paper
+//! explicitly declines to discuss latency, §3.2.1).
+
+use vtime::SimDuration;
+
+use crate::fluid::{Arbitration, XferClass};
+use crate::net::NetParams;
+
+/// 33 MHz × 32-bit PCI: 132 MB/s raw, ~90 % usable under full duplex,
+/// CPU-initiated PIO nearly stalled while NIC DMA bursts own the bus.
+///
+/// The instantaneous PIO share (0.1) is calibrated so the *emergent*
+/// behaviour matches §3.4.1's measurement: with the gateway's double
+/// buffering, a 16 KB SCI send overlaps a 16 KB Myrinet receive for
+/// ~290 µs and ends up taking ~540 µs instead of ~290 µs — the paper's
+/// "slowed down by a factor of two" refers to that aggregate send
+/// duration, which requires PIO to be almost fully starved while the DMA
+/// burst is actually on the bus.
+pub fn pci_2001() -> Arbitration {
+    Arbitration {
+        capacity_bps: 132.0e6,
+        duplex_efficiency: 0.90,
+        pio_slowdown_under_dma: 0.1,
+    }
+}
+
+/// Myrinet LANai 4.3 with BIP: 1.28 Gb/s cable, DMA bus-mastering on both
+/// send and receive, dynamic (user-space) buffers.
+pub fn myrinet_bip() -> NetParams {
+    NetParams {
+        name: "myrinet/bip",
+        link_bw_bps: 160.0e6,
+        latency: SimDuration::from_micros(6),
+        dev_out_bps: 70.0e6,
+        dev_in_bps: 70.0e6,
+        out_class: XferClass::Dma,
+        in_class: XferClass::Dma,
+        overhead_send: SimDuration::from_micros(60),
+        overhead_recv: SimDuration::from_micros(10),
+    }
+}
+
+/// Dolphin D310 SCI with SISCI: sends are CPU programmed I/O through the
+/// write-combining buffer (128-byte PCI bursts), receives land as incoming
+/// remote writes (device-initiated, DMA class on the receiving bus). Static
+/// buffers (the mapped SCI segment).
+pub fn sci_sisci() -> NetParams {
+    NetParams {
+        name: "sci/sisci",
+        link_bw_bps: 150.0e6,
+        latency: SimDuration::from_micros(3),
+        dev_out_bps: 56.0e6,
+        dev_in_bps: 56.0e6,
+        out_class: XferClass::Pio,
+        in_class: XferClass::Dma,
+        overhead_send: SimDuration::from_micros(20),
+        overhead_recv: SimDuration::from_micros(8),
+    }
+}
+
+/// 100 Mb/s Fast Ethernet with TCP: the control/ack network of the paper's
+/// testbed and the inter-cluster transport of PACX-style baselines.
+pub fn fast_ethernet_tcp() -> NetParams {
+    NetParams {
+        name: "fast-ethernet/tcp",
+        link_bw_bps: 12.5e6,
+        latency: SimDuration::from_micros(60),
+        dev_out_bps: 12.5e6,
+        dev_in_bps: 12.5e6,
+        out_class: XferClass::Dma,
+        in_class: XferClass::Dma,
+        overhead_send: SimDuration::from_micros(50),
+        overhead_recv: SimDuration::from_micros(50),
+    }
+}
+
+/// SBP ("Efficient kernel support for reliable communication", Russell &
+/// Hatcher — the paper's §2.3 example of a network whose data "must be
+/// written in special buffers before being sent"): a kernel-level reliable
+/// protocol over gigabit-class hardware. Both directions stage through
+/// kernel buffers, so ordinary sends *and* receives each pay a memcpy —
+/// the worst cell of the zero-copy matrix.
+pub fn sbp_kernel() -> NetParams {
+    NetParams {
+        name: "sbp",
+        link_bw_bps: 100.0e6,
+        latency: SimDuration::from_micros(15),
+        dev_out_bps: 80.0e6,
+        dev_in_bps: 80.0e6,
+        out_class: XferClass::Dma,
+        in_class: XferClass::Dma,
+        overhead_send: SimDuration::from_micros(30),
+        overhead_recv: SimDuration::from_micros(20),
+    }
+}
+
+/// Host memcpy throughput of a 450 MHz Pentium II for uncached data; the
+/// cost of each avoided copy in the zero-copy ablation.
+pub const MEMCPY_BPS: f64 = 180.0e6;
+
+/// Software overhead of one gateway pipeline buffer switch (§3.3.1: the gap
+/// between the expected and observed pipeline period).
+pub fn gateway_switch_overhead() -> SimDuration {
+    SimDuration::from_micros(40)
+}
+
+/// The packet size at which Madeleine performs comparably over Myrinet and
+/// SCI — the paper's suggested MTU (§3.2.2).
+pub const CROSSOVER_PACKET: usize = 16 * 1024;

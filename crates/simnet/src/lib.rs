@@ -1,0 +1,39 @@
+//! # simnet — a virtual-time model of the paper's 2001 cluster hardware
+//!
+//! The Madeleine forwarding paper was evaluated on dual Pentium-II 450 nodes
+//! with a 33 MHz / 32-bit PCI bus, Myrinet (LANai-4, BIP) and Dolphin SCI
+//! (D310, SISCI). None of that hardware is available here, so this crate
+//! models the parts of it that produced the paper's results:
+//!
+//! * [`FluidBus`] — a fluid-flow shared-bandwidth resource with *priority
+//!   arbitration*: bus-master DMA transactions (NIC-initiated) outrank CPU
+//!   programmed-I/O transactions, throttling concurrent PIO to a configurable
+//!   fraction — the phenomenon behind the paper's Myrinet→SCI collapse
+//!   (§3.4.1, Fig. 8). It also derates total capacity under full-duplex load
+//!   (§3.3.1).
+//! * [`Link`] — a serialized point-to-point wire with bandwidth + latency.
+//! * [`Endpoint`] — one side of a modeled NIC-to-NIC connection: sending
+//!   charges per-packet host overhead, a PCI transfer of the appropriate
+//!   class, and link occupancy; receiving charges delivery wait, host
+//!   overhead, and the inbound PCI transfer.
+//! * [`calibration`] — the reconstructed constants for Myrinet/BIP,
+//!   SCI/SISCI, Fast-Ethernet/TCP and the shared PCI bus.
+//!
+//! Everything runs on [`vtime`]: real OS threads, deterministic virtual
+//! timestamps, zero wall-clock sleeps.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+mod fluid;
+mod link;
+mod net;
+mod trace;
+
+pub use fluid::{Arbitration, FluidBus, XferClass, XferDir};
+pub use link::Link;
+pub use net::{Endpoint, Frame, Host, NetParams, SimNet};
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,97 @@
+//! Span traces of simulated activity, for the pipeline-timeline figures.
+//!
+//! The paper's Figures 5 and 8 are timelines of the gateway's receive and
+//! send steps (ideal overlap versus PCI-conflicted). [`TraceLog`] collects
+//! labeled `[start, end]` spans from instrumented code so the bench harness
+//! can print the same timelines.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vtime::SimTime;
+
+/// What a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A packet being received (link + inbound PCI).
+    Recv,
+    /// A packet being sent (outbound PCI + link).
+    Send,
+    /// A memory copy.
+    Copy,
+    /// Software overhead (e.g. the gateway buffer switch).
+    Overhead,
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TraceKind::Recv => "recv",
+            TraceKind::Send => "send",
+            TraceKind::Copy => "copy",
+            TraceKind::Overhead => "overhead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Which component produced the span (e.g. `"gw-recv"`).
+    pub label: String,
+    /// Span category.
+    pub kind: TraceKind,
+    /// Span start, virtual time.
+    pub start: SimTime,
+    /// Span end, virtual time.
+    pub end: SimTime,
+}
+
+/// A shareable, append-only span log.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl TraceLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Append a span.
+    pub fn record(&self, label: impl Into<String>, kind: TraceKind, start: SimTime, end: SimTime) {
+        self.events.lock().push(TraceEvent {
+            label: label.into(),
+            kind,
+            start,
+            end,
+        });
+    }
+
+    /// Snapshot of all recorded spans, in insertion order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Total time covered by spans of `kind` under `label`, in seconds.
+    pub fn total_secs(&self, label: &str, kind: TraceKind) -> f64 {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == kind && e.label == label)
+            .map(|e| e.end.since(e.start).as_secs_f64())
+            .sum()
+    }
+}

@@ -1,0 +1,71 @@
+//! Thread-local "current actor" registry.
+//!
+//! Simulated device models (PCI buses, links) need the [`Actor`] of the
+//! thread that invokes them, but the portable communication-library code in
+//! between is deliberately ignorant of virtual time. Installing the actor in
+//! thread-local storage lets the bottom layer recover it without threading a
+//! handle through every intermediate API.
+//!
+//! [`Clock::spawn`](crate::Clock::spawn) installs the actor automatically;
+//! manual threads can use [`install`] directly.
+
+use std::cell::Cell;
+
+use crate::clock::Actor;
+
+thread_local! {
+    static CURRENT: Cell<*const Actor> = const { Cell::new(std::ptr::null()) };
+}
+
+/// RAII guard restoring the previously installed actor on drop.
+pub struct CurrentGuard {
+    previous: *const Actor,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+/// Install `actor` as this thread's current actor for the guard's lifetime.
+///
+/// The caller must keep `actor` alive (and on this thread) until the guard is
+/// dropped; the borrow makes that the natural shape:
+///
+/// ```
+/// # use vtime::{Clock, SimDuration};
+/// let clock = Clock::new();
+/// let actor = clock.actor("manual");
+/// let _guard = vtime::install(&actor);
+/// vtime::with_current(|a| a.sleep(SimDuration::from_micros(1)));
+/// assert_eq!(clock.now().as_nanos(), 1_000);
+/// ```
+pub fn install(actor: &Actor) -> CurrentGuard {
+    let previous = CURRENT.with(|c| c.replace(actor as *const Actor));
+    CurrentGuard { previous }
+}
+
+/// True if this thread has a current actor (i.e. runs under a virtual clock).
+pub fn has_current() -> bool {
+    CURRENT.with(|c| !c.get().is_null())
+}
+
+/// Run `f` with this thread's current actor.
+///
+/// # Panics
+///
+/// Panics if no actor is installed; simulated drivers must only be driven
+/// from clock-registered threads.
+pub fn with_current<R>(f: impl FnOnce(&Actor) -> R) -> R {
+    let ptr = CURRENT.with(|c| c.get());
+    assert!(
+        !ptr.is_null(),
+        "vtime::with_current called on a thread with no installed actor; \
+         simulated components must run on Clock::spawn'ed threads"
+    );
+    // SAFETY: `install` stored a pointer to an Actor that its caller keeps
+    // alive for the guard's lifetime, and the guard clears/restores the slot
+    // on drop. The pointer never leaves this thread.
+    f(unsafe { &*ptr })
+}

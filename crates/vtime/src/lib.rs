@@ -1,0 +1,41 @@
+//! # vtime — deterministic virtual time for real threads
+//!
+//! The Madeleine reproduction runs its communication stack as ordinary
+//! multi-threaded Rust code, but the performance experiments must be timed
+//! against a *model* of 2001-era hardware (PCI buses, Myrinet and SCI links),
+//! not against the host machine. `vtime` supplies the missing piece: a
+//! [`Clock`] shared by a set of registered [`Actor`]s (one per participating
+//! OS thread) that advances only when **every** actor is waiting. The earliest
+//! pending deadline becomes the new "now", the corresponding actors resume,
+//! and the cycle repeats — a conservative discrete-event scheme in which the
+//! simulated code is regular blocking Rust.
+//!
+//! Three waiting primitives cover everything the simulator needs:
+//!
+//! * [`Actor::sleep`] — wait for a fixed virtual duration (a modeled DMA
+//!   transfer, a link occupancy, a software overhead constant).
+//! * [`Signal`] — an epoch counter; [`Actor::wait_signal`] blocks until the
+//!   epoch moves past a previously observed value, and
+//!   [`Actor::wait_signal_until`] adds a virtual-time deadline. This is the
+//!   cancellable sleep the fluid-flow bus model needs when bus membership
+//!   changes invalidate a predicted completion time.
+//! * [`mailbox`] — an unbounded typed queue whose `recv` blocks in virtual
+//!   time; the wires of the simulated networks are mailboxes.
+//!
+//! If every actor is waiting and none has a deadline, the simulation cannot
+//! progress: the clock panics with a per-actor diagnostic instead of hanging,
+//! which turns distributed deadlocks in the protocol code into crisp test
+//! failures.
+
+#![warn(missing_docs)]
+
+mod clock;
+mod current;
+mod mailbox;
+
+pub use clock::{Actor, Clock, Signal, SimDuration, SimTime, WaitOutcome};
+pub use current::{has_current, install, with_current, CurrentGuard};
+pub use mailbox::{mailbox, mailbox_with_signal, MailReceiver, MailSender, RecvError, SendError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,340 @@
+//! Unit tests for the virtual clock and mailboxes.
+
+use crate::*;
+
+#[test]
+fn single_actor_sleep_advances_time() {
+    let clock = Clock::new();
+    let h = clock.spawn("sleeper", |a| {
+        a.sleep(SimDuration::from_micros(5));
+        a.sleep(SimDuration::from_micros(7));
+        a.now()
+    });
+    assert_eq!(h.join().unwrap(), SimTime(12_000));
+}
+
+#[test]
+fn zero_sleep_is_noop() {
+    let clock = Clock::new();
+    let h = clock.spawn("z", |a| {
+        a.sleep(SimDuration::ZERO);
+        a.now()
+    });
+    assert_eq!(h.join().unwrap(), SimTime::ZERO);
+}
+
+#[test]
+fn two_actors_interleave_deterministically() {
+    // Actor A sleeps 10us three times; actor B sleeps 15us twice.
+    // Wakeups happen at 10,20,30 (A) and 15,30 (B); final time is 30us.
+    let clock = Clock::new();
+    let setup = clock.freeze();
+    let a = clock.spawn("a", |a| {
+        let mut stamps = vec![];
+        for _ in 0..3 {
+            a.sleep(SimDuration::from_micros(10));
+            stamps.push(a.now().as_nanos());
+        }
+        stamps
+    });
+    let b = clock.spawn("b", |a| {
+        let mut stamps = vec![];
+        for _ in 0..2 {
+            a.sleep(SimDuration::from_micros(15));
+            stamps.push(a.now().as_nanos());
+        }
+        stamps
+    });
+    drop(setup);
+    assert_eq!(a.join().unwrap(), vec![10_000, 20_000, 30_000]);
+    assert_eq!(b.join().unwrap(), vec![15_000, 30_000]);
+}
+
+#[test]
+fn mailbox_transfers_in_virtual_time() {
+    let clock = Clock::new();
+    let (tx, rx) = mailbox::<u32>(&clock);
+    let setup = clock.freeze();
+    let producer = clock.spawn("producer", move |a| {
+        for i in 0..5u32 {
+            a.sleep(SimDuration::from_micros(10));
+            tx.send(i).unwrap();
+        }
+    });
+    let consumer = clock.spawn("consumer", move |a| {
+        let mut got = vec![];
+        for _ in 0..5 {
+            got.push(rx.recv(a).unwrap());
+        }
+        (got, a.now())
+    });
+    drop(setup);
+    producer.join().unwrap();
+    let (got, t) = consumer.join().unwrap();
+    assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    assert_eq!(t, SimTime(50_000));
+}
+
+#[test]
+fn mailbox_disconnect_reported() {
+    let clock = Clock::new();
+    let (tx, rx) = mailbox::<u32>(&clock);
+    let producer = clock.spawn("producer", move |a| {
+        a.sleep(SimDuration::from_micros(1));
+        tx.send(7).unwrap();
+        // tx drops here
+    });
+    let consumer = clock.spawn("consumer", move |a| {
+        assert_eq!(rx.recv(a), Ok(7));
+        assert_eq!(rx.recv(a), Err(RecvError::Disconnected));
+    });
+    producer.join().unwrap();
+    consumer.join().unwrap();
+}
+
+#[test]
+fn send_to_dropped_receiver_fails() {
+    let clock = Clock::new();
+    let (tx, rx) = mailbox::<u32>(&clock);
+    drop(rx);
+    assert_eq!(tx.send(3), Err(SendError(3)));
+}
+
+#[test]
+fn recv_until_deadline() {
+    let clock = Clock::new();
+    let (tx, rx) = mailbox::<u32>(&clock);
+    let setup = clock.freeze();
+    let slowpoke = clock.spawn("slow-producer", move |a| {
+        a.sleep(SimDuration::from_millis(10));
+        let _ = tx.send(1);
+    });
+    let consumer = clock.spawn("consumer", move |a| {
+        let deadline = a.now().after(SimDuration::from_micros(100));
+        let r = rx.recv_until(a, deadline);
+        (r, a.now())
+    });
+    drop(setup);
+    let (r, t) = consumer.join().unwrap();
+    assert_eq!(r, Err(RecvError::DeadlineReached));
+    assert_eq!(t, SimTime(100_000));
+    slowpoke.join().unwrap();
+}
+
+#[test]
+fn signal_wakes_deadline_sleeper_early() {
+    let clock = Clock::new();
+    let sig = clock.signal();
+    let sig2 = sig.clone();
+    let setup = clock.freeze();
+    let waiter = clock.spawn("waiter", move |a| {
+        let deadline = a.now().after(SimDuration::from_millis(1));
+        let out = a.wait_signal_until(&sig2, 0, deadline);
+        (out, a.now())
+    });
+    let bumper = clock.spawn("bumper", move |a| {
+        a.sleep(SimDuration::from_micros(50));
+        sig.bump();
+    });
+    drop(setup);
+    let (out, t) = waiter.join().unwrap();
+    assert_eq!(out, WaitOutcome::Signaled(1));
+    assert_eq!(t, SimTime(50_000));
+    bumper.join().unwrap();
+}
+
+#[test]
+fn signal_already_bumped_returns_immediately() {
+    let clock = Clock::new();
+    let sig = clock.signal();
+    sig.bump();
+    sig.bump();
+    let sig2 = sig.clone();
+    let h = clock.spawn("w", move |a| a.wait_signal(&sig2, 1));
+    assert_eq!(h.join().unwrap(), 2);
+}
+
+#[test]
+fn dropping_actor_unblocks_time() {
+    // One actor sleeps; a second registers and immediately drops. The
+    // sleeper must still be able to advance time.
+    let clock = Clock::new();
+    let extra = clock.actor("transient");
+    let sleeper = clock.spawn("sleeper", |a| {
+        a.sleep(SimDuration::from_micros(3));
+        a.now()
+    });
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    drop(extra);
+    assert_eq!(sleeper.join().unwrap(), SimTime(3_000));
+}
+
+#[test]
+fn deadlock_is_detected() {
+    let clock = Clock::new();
+    let (_tx, rx) = mailbox::<u32>(&clock);
+    let h = clock.spawn("starved", move |a| {
+        let _ = rx.recv(a); // no sender will ever feed this
+    });
+    let err = h.join().expect_err("expected deadlock panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+    assert!(msg.contains("deadlock"), "panic message was: {msg}");
+}
+
+#[test]
+fn determinism_across_runs() {
+    fn run() -> Vec<u64> {
+        let clock = Clock::new();
+        let (tx, rx) = mailbox::<u64>(&clock);
+        let setup = clock.freeze();
+        let mut handles = vec![];
+        for i in 1..=4u64 {
+            let tx = tx.clone();
+            handles.push(clock.spawn(format!("p{i}"), move |a| {
+                for k in 0..10 {
+                    a.sleep(SimDuration::from_micros(i * 7 + k));
+                    tx.send(i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let consumer = clock.spawn("c", move |a| {
+            let mut stamps = vec![];
+            while rx.recv(a).is_ok() {
+                stamps.push(a.now().as_nanos());
+            }
+            stamps
+        });
+        drop(setup);
+        for h in handles {
+            h.join().unwrap();
+        }
+        consumer.join().unwrap()
+    }
+    let first = run();
+    for _ in 0..3 {
+        assert_eq!(run(), first);
+    }
+}
+
+#[test]
+fn shared_signal_mailboxes_multiplex() {
+    let clock = Clock::new();
+    let sig = clock.signal();
+    let (tx1, rx1) = mailbox_with_signal::<u8>(sig.clone());
+    let (tx2, rx2) = mailbox_with_signal::<u8>(sig.clone());
+    let setup = clock.freeze();
+    let p = clock.spawn("p", move |a| {
+        a.sleep(SimDuration::from_micros(10));
+        tx2.send(2).unwrap();
+        a.sleep(SimDuration::from_micros(10));
+        tx1.send(1).unwrap();
+    });
+    let c = clock.spawn("c", move |a| {
+        let mut got = vec![];
+        let mut seen = sig.epoch();
+        while got.len() < 2 {
+            if let Some(v) = rx1.try_recv() {
+                got.push((v, a.now().as_nanos()));
+                continue;
+            }
+            if let Some(v) = rx2.try_recv() {
+                got.push((v, a.now().as_nanos()));
+                continue;
+            }
+            seen = a.wait_signal(&sig, seen);
+        }
+        got
+    });
+    drop(setup);
+    p.join().unwrap();
+    assert_eq!(c.join().unwrap(), vec![(2, 10_000), (1, 20_000)]);
+}
+
+#[test]
+fn time_display_formats() {
+    assert_eq!(SimTime(1_500).to_string(), "1.500us");
+    assert_eq!(SimDuration::from_micros(2).to_string(), "2.000us");
+    assert_eq!(SimDuration::from_secs_f64(1e-6), SimDuration(1_000));
+    assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration(0));
+    assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration(0));
+}
+
+#[test]
+fn sim_time_arithmetic() {
+    let t = SimTime(5_000);
+    assert_eq!(t.after(SimDuration(2_000)), SimTime(7_000));
+    assert_eq!(t.since(SimTime(1_000)), SimDuration(4_000));
+    assert_eq!(SimTime(1_000).since(t), SimDuration(0));
+    assert!((SimTime(2_000_000_000).as_secs_f64() - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn current_actor_install_and_nesting() {
+    assert!(!crate::has_current());
+    let clock = Clock::new();
+    let outer = clock.actor("outer");
+    {
+        let _g1 = crate::install(&outer);
+        assert!(crate::has_current());
+        crate::with_current(|a| assert_eq!(a.name(), "outer"));
+        let inner = clock.actor("inner");
+        {
+            let _g2 = crate::install(&inner);
+            crate::with_current(|a| assert_eq!(a.name(), "inner"));
+        }
+        // Restored to the previous actor after the inner guard drops.
+        crate::with_current(|a| assert_eq!(a.name(), "outer"));
+    }
+    assert!(!crate::has_current());
+}
+
+#[test]
+fn spawned_threads_have_current_actor() {
+    let clock = Clock::new();
+    let h = clock.spawn("worker", |_a| {
+        crate::with_current(|a| {
+            a.sleep(SimDuration::from_micros(2));
+            a.now()
+        })
+    });
+    assert_eq!(h.join().unwrap(), SimTime(2_000));
+}
+
+#[test]
+fn wait_until_past_deadline_returns_immediately() {
+    let clock = Clock::new();
+    let sig = clock.signal();
+    let h = clock.spawn("w", move |a| {
+        a.sleep(SimDuration::from_micros(10));
+        // Deadline already in the past: must not block.
+        a.wait_signal_until(&sig, 0, SimTime(5_000))
+    });
+    assert_eq!(h.join().unwrap(), WaitOutcome::DeadlineReached);
+}
+
+#[test]
+fn signal_epoch_visible_across_clones() {
+    let clock = Clock::new();
+    let s1 = clock.signal();
+    let s2 = s1.clone();
+    s1.bump();
+    assert_eq!(s2.epoch(), 1);
+    s2.bump();
+    assert_eq!(s1.epoch(), 2);
+}
+
+#[test]
+fn mailbox_is_closed_tracks_lifecycle() {
+    let clock = Clock::new();
+    let (tx, rx) = mailbox::<u8>(&clock);
+    assert!(!rx.is_closed());
+    tx.send(1).unwrap();
+    drop(tx);
+    assert!(!rx.is_closed(), "still has a queued message");
+    assert_eq!(rx.try_recv(), Some(1));
+    assert!(rx.is_closed());
+}

@@ -1,0 +1,96 @@
+//! Cluster of clusters: the paper's testbed, end to end.
+//!
+//! Five simulated dual-PII nodes: ranks 0–1 form an SCI cluster, ranks 3–4
+//! a Myrinet cluster, and rank 2 is the gateway carrying both NICs. A
+//! virtual channel spans both networks; the application simply addresses
+//! ranks — the library decides whether a message goes direct or through
+//! the gateway's GTM/pipeline machinery, invisibly.
+//!
+//! Run with: `cargo run --release --example cluster_of_clusters`
+
+use madeleine::session::VcOptions;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+use mad_sim::{SimTech, Testbed};
+
+const MSG: usize = 4 << 20;
+
+fn main() {
+    let testbed = Testbed::new(5);
+    let mut session = SessionBuilder::new(5).with_runtime(testbed.runtime());
+    let sci = session.network("sci", testbed.driver(SimTech::Sci), &[0, 1, 2]);
+    let myri = session.network("myrinet", testbed.driver(SimTech::Myrinet), &[2, 3, 4]);
+    session.vchannel(
+        "vc",
+        &[sci, myri],
+        VcOptions {
+            mtu: Some(32 * 1024),
+            ..Default::default()
+        },
+    );
+
+    let results = session.run(|node| {
+        let vc = node.vchannel("vc");
+        let rt = node.runtime().clone();
+        node.barrier().wait();
+        match node.rank().0 {
+            // SCI-cluster node 0 sends a bulk message across clusters to
+            // Myrinet node 4, and a small one inside its own cluster to 1.
+            0 => {
+                assert!(vc.is_forwarded(NodeId(4)).unwrap());
+                assert!(!vc.is_forwarded(NodeId(1)).unwrap());
+
+                let t0 = rt.now_nanos();
+                let bulk = vec![0xCDu8; MSG];
+                let mut w = vc.begin_packing(NodeId(4)).unwrap();
+                w.pack(&bulk, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
+
+                let small = *b"hello, neighbour";
+                let mut w = vc.begin_packing(NodeId(1)).unwrap();
+                w.pack(&small, SendMode::Safer, RecvMode::Express).unwrap();
+                w.end_packing().unwrap();
+                format!("sent {} MB inter-cluster at t={}us", MSG >> 20, t0 / 1000)
+            }
+            // Intra-cluster receiver.
+            1 => {
+                let mut r = vc.begin_unpacking().unwrap();
+                assert!(!r.is_forwarded());
+                let mut buf = [0u8; 16];
+                r.unpack(&mut buf, SendMode::Safer, RecvMode::Express).unwrap();
+                r.end_unpacking().unwrap();
+                format!("direct message: {:?}", String::from_utf8_lossy(&buf))
+            }
+            // The gateway runs no application communication code at all —
+            // forwarding is entirely the library's business.
+            2 => "gateway: no application code involved".to_string(),
+            3 => "idle cluster member".to_string(),
+            // Inter-cluster receiver: measures the achieved bandwidth.
+            4 => {
+                let mut buf = vec![0u8; MSG];
+                let t0 = rt.now_nanos();
+                let mut r = vc.begin_unpacking().unwrap();
+                assert!(r.is_forwarded());
+                assert_eq!(r.source(), NodeId(0));
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.end_unpacking().unwrap();
+                let dt = (rt.now_nanos() - t0) as f64 / 1e9;
+                assert!(buf.iter().all(|&b| b == 0xCD));
+                format!(
+                    "received {} MB from n0 through the gateway: {:.1} MB/s (virtual)",
+                    MSG >> 20,
+                    MSG as f64 / dt / 1e6
+                )
+            }
+            _ => unreachable!(),
+        }
+    });
+
+    for (rank, line) in results.iter().enumerate() {
+        println!("[rank {rank}] {line}");
+    }
+    println!(
+        "\n(total virtual time: {}; the paper's SCI→Myrinet regime delivers\n\
+         ~50 MB/s at this packet size against a 66 MB/s PCI ceiling)",
+        testbed.clock().now()
+    );
+}

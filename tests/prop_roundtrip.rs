@@ -1,0 +1,198 @@
+//! Property-based end-to-end tests: arbitrary message shapes must survive
+//! any path through the stack bit-for-bit.
+
+use madeleine::session::VcOptions;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+use mad_shm::ShmDriver;
+use proptest::prelude::*;
+
+/// A packed block: length plus its flag pair.
+#[derive(Debug, Clone)]
+struct Block {
+    data: Vec<u8>,
+    send: SendMode,
+    recv: RecvMode,
+}
+
+fn block_strategy(max_len: usize) -> impl Strategy<Value = Block> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..max_len),
+        prop_oneof![
+            Just(SendMode::Safer),
+            Just(SendMode::Later),
+            Just(SendMode::Cheaper)
+        ],
+        prop_oneof![Just(RecvMode::Express), Just(RecvMode::Cheaper)],
+    )
+        .prop_map(|(data, send, recv)| Block { data, send, recv })
+}
+
+fn message_strategy() -> impl Strategy<Value = Vec<Block>> {
+    proptest::collection::vec(block_strategy(5000), 1..8)
+}
+
+/// Send `blocks` as one message over a plain channel and check integrity.
+fn roundtrip_plain(blocks: Vec<Block>) {
+    let mut sb = SessionBuilder::new(2);
+    let rt = sb.runtime().clone();
+    let net = sb.network("shm", ShmDriver::new(rt), &[0, 1]);
+    sb.channel("ch", net);
+    let blocks2 = blocks.clone();
+    let ok = sb.run(move |node| {
+        let ch = node.channel("ch");
+        if node.rank() == NodeId(0) {
+            let mut w = ch.begin_packing(NodeId(1)).unwrap();
+            for b in &blocks {
+                w.pack(&b.data, b.send, b.recv).unwrap();
+            }
+            w.end_packing().unwrap();
+            true
+        } else {
+            let mut r = ch.begin_unpacking().unwrap();
+            let mut got = Vec::new();
+            for b in &blocks2 {
+                let mut buf = vec![0u8; b.data.len()];
+                r.unpack(&mut buf, b.send, b.recv).unwrap();
+                got.push(buf);
+            }
+            r.end_unpacking().unwrap();
+            got.iter().zip(&blocks2).all(|(g, b)| g == &b.data)
+        }
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+/// Send `blocks` through a gateway (forwarded path) and check integrity.
+fn roundtrip_forwarded(blocks: Vec<Block>, mtu: usize) {
+    let mut sb = SessionBuilder::new(3);
+    let rt = sb.runtime().clone();
+    let n0 = sb.network("a", ShmDriver::new(rt.clone()), &[0, 1]);
+    let n1 = sb.network("b", ShmDriver::new(rt), &[1, 2]);
+    sb.vchannel(
+        "vc",
+        &[n0, n1],
+        VcOptions {
+            mtu: Some(mtu),
+            ..Default::default()
+        },
+    );
+    let blocks2 = blocks.clone();
+    let ok = sb.run(move |node| {
+        let vc = node.vchannel("vc");
+        match node.rank().0 {
+            0 => {
+                let mut w = vc.begin_packing(NodeId(2)).unwrap();
+                for b in &blocks {
+                    w.pack(&b.data, b.send, b.recv).unwrap();
+                }
+                w.end_packing().unwrap();
+                true
+            }
+            1 => true,
+            2 => {
+                let mut r = vc.begin_unpacking().unwrap();
+                let mut got = Vec::new();
+                for b in &blocks2 {
+                    let mut buf = vec![0u8; b.data.len()];
+                    r.unpack(&mut buf, b.send, b.recv).unwrap();
+                    got.push(buf);
+                }
+                r.end_unpacking().unwrap();
+                got.iter().zip(&blocks2).all(|(g, b)| g == &b.data)
+            }
+            _ => unreachable!(),
+        }
+    });
+    assert!(ok.into_iter().all(|x| x));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case spins up a full session with threads
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn plain_channel_round_trips_any_message(blocks in message_strategy()) {
+        roundtrip_plain(blocks);
+    }
+
+    #[test]
+    fn forwarded_path_round_trips_any_message(
+        blocks in message_strategy(),
+        mtu in prop_oneof![Just(64usize), Just(257), Just(1024), Just(16 * 1024)],
+    ) {
+        roundtrip_forwarded(blocks, mtu);
+    }
+}
+
+/// Forwarded transfers over the *simulated* hardware: integrity must hold
+/// for any technology pairing, MTU, and payload, and virtual timing must
+/// be strictly positive and reproducible.
+mod simulated {
+    use super::*;
+    use mad_sim::{SimTech, Testbed};
+
+    fn run_once(from: SimTech, to: SimTech, mtu: usize, payload: Vec<u8>) -> u64 {
+        let tb = Testbed::new(3);
+        let clock = tb.clock().clone();
+        let mut sb = SessionBuilder::new(3).with_runtime(tb.runtime());
+        let n0 = sb.network("in", tb.driver(from), &[0, 1]);
+        let n1 = sb.network("out", tb.driver(to), &[1, 2]);
+        sb.vchannel(
+            "vc",
+            &[n0, n1],
+            VcOptions {
+                mtu: Some(mtu),
+                ..Default::default()
+            },
+        );
+        let expect = payload.clone();
+        let ok = sb.run(move |node| match node.rank().0 {
+            0 => {
+                let mut w = node.vchannel("vc").begin_packing(NodeId(2)).unwrap();
+                w.pack(&payload, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
+                true
+            }
+            1 => true,
+            2 => {
+                let mut buf = vec![0u8; expect.len()];
+                let mut r = node.vchannel("vc").begin_unpacking().unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.end_unpacking().unwrap();
+                buf == expect
+            }
+            _ => unreachable!(),
+        });
+        assert!(ok.into_iter().all(|x| x));
+        clock.now().as_nanos()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 10,
+            .. ProptestConfig::default()
+        })]
+
+        #[test]
+        fn simulated_forwarding_integrity_and_determinism(
+            from_i in 0usize..4,
+            to_i in 0usize..4,
+            mtu in prop_oneof![Just(512usize), Just(4096), Just(16 * 1024)],
+            payload in proptest::collection::vec(any::<u8>(), 1..20_000),
+        ) {
+            let techs = [
+                SimTech::Myrinet,
+                SimTech::Sci,
+                SimTech::FastEthernet,
+                SimTech::Sbp,
+            ];
+            let (from, to) = (techs[from_i], techs[to_i]);
+            let t1 = run_once(from, to, mtu, payload.clone());
+            prop_assert!(t1 > 0, "a transfer must take virtual time");
+            let t2 = run_once(from, to, mtu, payload);
+            prop_assert_eq!(t1, t2, "virtual timing must be reproducible");
+        }
+    }
+}
