@@ -1,13 +1,14 @@
-//! Criterion microbenchmarks of the library's real (wall-clock) hot paths.
+//! Microbenchmarks of the library's real (wall-clock) hot paths, on the
+//! in-tree `mad_util::microbench` harness.
 //!
 //! The figure binaries measure *modeled* 2001 hardware; these benches
 //! measure what the Rust implementation itself costs on today's machine:
 //! message packing/unpacking, GTM control framing, the shared-memory
 //! transport, and an end-to-end gateway pipeline on real threads.
 
+use mad_util::microbench::Harness;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use mad_shm::ShmDriver;
 use madeleine::conduit::Driver;
 use madeleine::flags::{RecvMode, SendMode};
 use madeleine::gtm;
@@ -16,13 +17,12 @@ use madeleine::runtime::StdRuntime;
 use madeleine::session::VcOptions;
 use madeleine::types::NodeId;
 use madeleine::SessionBuilder;
-use mad_shm::ShmDriver;
 
-fn bench_pack_unpack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pack_unpack_shm");
+fn bench_pack_unpack(h: &mut Harness) {
+    let mut g = h.group("pack_unpack_shm");
     for &size in &[4 * 1024usize, 64 * 1024, 1 << 20] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("single_block", size), &size, |b, &size| {
+        g.throughput_bytes(size as u64);
+        g.bench_function(format!("single_block/{size}"), |b| {
             let rt = StdRuntime::shared();
             let driver = ShmDriver::new(rt.clone());
             let (mut tx, mut rx) = driver.connect(NodeId(0), NodeId(1), rt.event(), rt.event());
@@ -38,8 +38,8 @@ fn bench_pack_unpack(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_gtm_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gtm_codec");
+fn bench_gtm_codec(h: &mut Harness) {
+    let mut g = h.group("gtm_codec");
     g.bench_function("encode_decode_header", |b| {
         let h = gtm::GtmHeader {
             src: NodeId(3),
@@ -65,8 +65,8 @@ fn bench_gtm_codec(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_packetize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("plan_packetize");
+fn bench_packetize(h: &mut Harness) {
+    let mut g = h.group("plan_packetize");
     g.bench_function("mixed_blocks", |b| {
         let lens: Vec<usize> = (0..64).map(|i| 100 + i * 777).collect();
         b.iter(|| std::hint::black_box(plan::packetize(&lens, 16 * 1024, 16)));
@@ -74,14 +74,14 @@ fn bench_packetize(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_gateway_pipeline_real(c: &mut Criterion) {
+fn bench_gateway_pipeline_real(h: &mut Harness) {
     // End-to-end: a 3-node session over real shared memory with a forwarding
-    // gateway, one 1 MB message per iteration. Exercises GTM framing, the
+    // gateway, eight 1 MB messages per iteration. Exercises GTM framing, the
     // pipeline threads, and teardown-free steady state — but rebuilds the
-    // session each iteration batch, so use modest sample counts.
-    let mut g = c.benchmark_group("gateway_pipeline_shm");
+    // session each iteration, so use modest sample counts.
+    let mut g = h.group("gateway_pipeline_shm");
     g.sample_size(10);
-    g.throughput(Throughput::Bytes(1 << 20));
+    g.throughput_bytes(8 << 20);
     g.bench_function("forward_1MB_x8", |b| {
         b.iter(|| {
             let mut sb = SessionBuilder::new(3);
@@ -113,7 +113,8 @@ fn bench_gateway_pipeline_real(c: &mut Criterion) {
                         let mut buf = vec![0u8; 1 << 20];
                         for _ in 0..8 {
                             let mut r = vc.begin_unpacking().unwrap();
-                            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                                .unwrap();
                             r.end_unpacking().unwrap();
                         }
                         buf[0]
@@ -127,9 +128,9 @@ fn bench_gateway_pipeline_real(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_rt_queue(c: &mut Criterion) {
+fn bench_rt_queue(h: &mut Harness) {
     use madeleine::runtime::RtQueue;
-    let mut g = c.benchmark_group("rt_queue");
+    let mut g = h.group("rt_queue");
     g.bench_function("push_pop_unbounded", |b| {
         let rt = StdRuntime::default();
         let (tx, rx) = RtQueue::<u64>::with_capacity(&rt, usize::MAX);
@@ -141,8 +142,9 @@ fn bench_rt_queue(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_vtime_clock(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vtime");
+fn bench_vtime_clock(h: &mut Harness) {
+    let mut g = h.group("vtime");
+    g.sample_size(10);
     g.bench_function("two_actor_handshake_1000", |b| {
         // 1000 virtual-time message handoffs between two actors, measuring
         // the real cost of the conservative clock (the simulator's main
@@ -172,13 +174,12 @@ fn bench_vtime_clock(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pack_unpack,
-    bench_gtm_codec,
-    bench_packetize,
-    bench_gateway_pipeline_real,
-    bench_rt_queue,
-    bench_vtime_clock
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_pack_unpack(&mut h);
+    bench_gtm_codec(&mut h);
+    bench_packetize(&mut h);
+    bench_gateway_pipeline_real(&mut h);
+    bench_rt_queue(&mut h);
+    bench_vtime_clock(&mut h);
+}

@@ -13,7 +13,13 @@ use mad_sim::SimTech;
 fn main() {
     let mut table = Table::new(
         "A2 — gateway zero-copy vs extra-copy, 16 MB messages (MB/s)",
-        &["packet", "s2m_zero_copy", "s2m_extra_copy", "m2s_zero_copy", "m2s_extra_copy"],
+        &[
+            "packet",
+            "s2m_zero_copy",
+            "s2m_extra_copy",
+            "m2s_zero_copy",
+            "m2s_extra_copy",
+        ],
     );
     for &packet in &grids::PACKET_SIZES {
         let mut row = vec![fmt_bytes(packet)];

@@ -8,11 +8,11 @@
 //! out), so per-direction bandwidth must drop below the isolated numbers —
 //! and the PIO-starved direction should suffer disproportionately.
 
-use madeleine::session::VcOptions;
-use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
 use mad_bench::experiments::{forwarded_oneway, GwSetup};
 use mad_bench::report::Table;
 use mad_sim::{SimTech, Testbed};
+use madeleine::session::VcOptions;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
 use simnet::calibration;
 
 const TOTAL: usize = 16 << 20;
@@ -46,7 +46,8 @@ fn bidirectional() -> (f64, f64) {
                 w.end_packing().unwrap();
                 let mut buf = vec![0u8; TOTAL];
                 let mut rd = vc.begin_unpacking().unwrap();
-                rd.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                rd.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 rd.end_unpacking().unwrap();
                 assert!(buf.iter().all(|&b| b == (2 - r) as u8));
                 rt.now_nanos() - t0
@@ -61,8 +62,18 @@ fn bidirectional() -> (f64, f64) {
 }
 
 fn main() {
-    let iso_s2m = forwarded_oneway(SimTech::Sci, SimTech::Myrinet, TOTAL, GwSetup::with_mtu(MTU));
-    let iso_m2s = forwarded_oneway(SimTech::Myrinet, SimTech::Sci, TOTAL, GwSetup::with_mtu(MTU));
+    let iso_s2m = forwarded_oneway(
+        SimTech::Sci,
+        SimTech::Myrinet,
+        TOTAL,
+        GwSetup::with_mtu(MTU),
+    );
+    let iso_m2s = forwarded_oneway(
+        SimTech::Myrinet,
+        SimTech::Sci,
+        TOTAL,
+        GwSetup::with_mtu(MTU),
+    );
     let (bi_s2m, bi_m2s) = bidirectional();
 
     let mut table = Table::new(

@@ -5,10 +5,10 @@
 //! 0, 1 and 2 gateways (alternating SCI and Myrinet segments), measuring
 //! how much each store-and-forward-free relay stage actually costs.
 
-use madeleine::session::VcOptions;
-use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
 use mad_bench::report::Table;
 use mad_sim::{SimTech, Testbed};
+use madeleine::session::VcOptions;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
 use simnet::calibration;
 
 const TOTAL: usize = 16 << 20;
@@ -52,7 +52,8 @@ fn chain_bandwidth(hops: usize) -> f64 {
             r if r == last => {
                 let mut buf = vec![0u8; TOTAL];
                 let mut rd = vc.begin_unpacking().unwrap();
-                rd.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                rd.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 rd.end_unpacking().unwrap();
                 assert!(buf.iter().all(|&b| b == 0x42));
                 rt.now_nanos()

@@ -9,11 +9,11 @@
 
 use std::sync::Arc;
 
-use madeleine::session::VcOptions;
-use madeleine::SessionBuilder;
 use mad_bench::report::{fmt_bytes, Table};
 use mad_mpi::Communicator;
 use mad_sim::{SimTech, Testbed};
+use madeleine::session::VcOptions;
+use madeleine::SessionBuilder;
 
 fn run_world(split: bool, f: impl Fn(&Communicator) + Send + Sync + 'static) -> f64 {
     let tb = Testbed::new(6);
@@ -39,7 +39,11 @@ fn main() {
         "E1 — collective completion time (virtual µs), 6 ranks: flat Myrinet vs split clusters",
         &["collective", "payload", "flat_us", "split_us", "slowdown"],
     );
-    type Op = (&'static str, usize, Box<dyn Fn(&Communicator) + Send + Sync>);
+    type Op = (
+        &'static str,
+        usize,
+        Box<dyn Fn(&Communicator) + Send + Sync>,
+    );
     let ops: Vec<Op> = vec![
         (
             "barrier x10",

@@ -9,11 +9,11 @@
 //! one-way time directly, which is the same quantity without the
 //! subtraction step.
 
+use mad_sim::{SimDriver, SimTech, Testbed};
 use madeleine::baseline;
 use madeleine::gateway::GatewayConfig;
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_sim::{SimDriver, SimTech, Testbed};
 use simnet::{calibration, NetParams, TraceEvent, TraceLog};
 
 /// Result of one one-way transfer.
@@ -165,9 +165,13 @@ fn run_forwarded(
             2 => {
                 let mut buf = vec![0u8; total];
                 let mut r = vc.begin_unpacking().unwrap();
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
-                assert!(buf.iter().all(|&b| b == 0x5A), "payload corrupted in flight");
+                assert!(
+                    buf.iter().all(|&b| b == 0x5A),
+                    "payload corrupted in flight"
+                );
                 rt.now_nanos()
             }
             _ => unreachable!(),
@@ -246,12 +250,11 @@ pub fn appfwd_oneway(from: SimTech, to: SimTech, total: usize) -> Measurement {
                 t0
             }
             1 => {
-                let relayed = baseline::run_relay(
-                    node.channel("ch-in"),
-                    node.channel("ch-out"),
-                    |dest| (dest == NodeId(2)).then_some(NodeId(2)),
-                )
-                .unwrap();
+                let relayed =
+                    baseline::run_relay(node.channel("ch-in"), node.channel("ch-out"), |dest| {
+                        (dest == NodeId(2)).then_some(NodeId(2))
+                    })
+                    .unwrap();
                 assert_eq!(relayed, 1);
                 0
             }
@@ -285,13 +288,7 @@ pub fn sci_with_dma_engine() -> NetParams {
 /// The standard figure sweep grids.
 pub mod grids {
     /// The paper's packet sizes (fig. 6/7 legends): 8 KB … 128 KB.
-    pub const PACKET_SIZES: [usize; 5] = [
-        8 * 1024,
-        16 * 1024,
-        32 * 1024,
-        64 * 1024,
-        128 * 1024,
-    ];
+    pub const PACKET_SIZES: [usize; 5] = [8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024];
 
     /// Message sizes along the x-axis (up to 16 MB, log-spaced).
     pub const MESSAGE_SIZES: [usize; 7] = [

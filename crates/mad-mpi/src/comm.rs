@@ -2,11 +2,11 @@
 
 use std::sync::Arc;
 
+use mad_util::sync::Mutex;
 use madeleine::error::{MadError, Result};
 use madeleine::types::NodeId;
 use madeleine::vchannel::VirtualChannel;
 use madeleine::{RecvMode, SendMode};
-use parking_lot::Mutex;
 
 /// Tags ≥ this value are reserved for the collective algorithms.
 pub(crate) const INTERNAL_TAG_BASE: u32 = 0xFFFF_0000;
@@ -158,8 +158,7 @@ impl Communicator {
         let mut payload = vec![0u8; len];
         reader.unpack(&mut payload, SendMode::Later, RecvMode::Cheaper)?;
         reader.end_unpacking()?;
-        let matches =
-            source.is_none_or(|s| s == src_rank) && tag.is_none_or(|t| t == msg_tag);
+        let matches = source.is_none_or(|s| s == src_rank) && tag.is_none_or(|t| t == msg_tag);
         Ok((
             Buffered {
                 source: src_rank,

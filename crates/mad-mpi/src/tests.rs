@@ -3,17 +3,15 @@
 
 use std::sync::Arc;
 
+use mad_shm::ShmDriver;
 use madeleine::session::VcOptions;
 use madeleine::SessionBuilder;
-use mad_shm::ShmDriver;
 
 use crate::typed::{bytes_to_u64s, u64s_to_bytes};
 use crate::Communicator;
 
 /// A flat 4-node world over one shared-memory network.
-fn flat_world<T: Send + 'static>(
-    f: impl Fn(Communicator) -> T + Send + Sync + 'static,
-) -> Vec<T> {
+fn flat_world<T: Send + 'static>(f: impl Fn(Communicator) -> T + Send + Sync + 'static) -> Vec<T> {
     let mut sb = SessionBuilder::new(4);
     let rt = sb.runtime().clone();
     let net = sb.network("shm", ShmDriver::new(rt), &[0, 1, 2, 3]);
@@ -161,8 +159,8 @@ fn gather_and_scatter() {
             assert!(gathered.is_none());
         }
         // Scatter distinct payloads from root 1.
-        let parts: Option<Vec<Vec<u8>>> = (comm.rank() == 1)
-            .then(|| (0..4).map(|i| vec![9 + i as u8; 2]).collect());
+        let parts: Option<Vec<Vec<u8>>> =
+            (comm.rank() == 1).then(|| (0..4).map(|i| vec![9 + i as u8; 2]).collect());
         let got = comm.scatter(1, parts.as_deref()).unwrap();
         got == vec![9 + comm.rank() as u8; 2]
     });
@@ -223,10 +221,7 @@ fn collectives_work_across_gateways() {
         let gathered = comm.gather(4, &[comm.rank() as u8]).unwrap();
         if comm.rank() == 4 {
             let parts = gathered.unwrap();
-            assert_eq!(
-                parts,
-                vec![vec![0u8], vec![1], vec![2], vec![3], vec![4]]
-            );
+            assert_eq!(parts, vec![vec![0u8], vec![1], vec![2], vec![3], vec![4]]);
         }
         comm.barrier().unwrap();
         true

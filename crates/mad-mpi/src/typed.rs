@@ -12,7 +12,10 @@ pub fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
 
 /// Decode little-endian bytes into `f64`s. Panics on ragged input.
 pub fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
-    assert!(b.len().is_multiple_of(8), "payload is not a whole number of f64");
+    assert!(
+        b.len().is_multiple_of(8),
+        "payload is not a whole number of f64"
+    );
     b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect()
@@ -25,7 +28,10 @@ pub fn u64s_to_bytes(v: &[u64]) -> Vec<u8> {
 
 /// Decode little-endian bytes into `u64`s. Panics on ragged input.
 pub fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
-    assert!(b.len().is_multiple_of(8), "payload is not a whole number of u64");
+    assert!(
+        b.len().is_multiple_of(8),
+        "payload is not a whole number of u64"
+    );
     b.chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
         .collect()

@@ -18,8 +18,7 @@ fn forwarded_bandwidth(from_tech: SimTech, to_tech: SimTech, total: usize, mtu: 
         mtu: Some(mtu),
         ..Default::default()
     };
-    opts.gateway.switch_overhead_ns =
-        simnet::calibration::gateway_switch_overhead().as_nanos();
+    opts.gateway.switch_overhead_ns = simnet::calibration::gateway_switch_overhead().as_nanos();
     sb.vchannel("vc", &[n_in, n_out], opts);
     let results = sb.run(move |node| {
         let vc = node.vchannel("vc");
@@ -37,7 +36,8 @@ fn forwarded_bandwidth(from_tech: SimTech, to_tech: SimTech, total: usize, mtu: 
                 let mut buf = vec![0u8; total];
                 let t0 = rt.now_nanos();
                 let mut r = vc.begin_unpacking().unwrap();
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 let t1 = rt.now_nanos();
                 assert!(buf.iter().all(|&b| b == 0xA5));
@@ -68,7 +68,8 @@ fn direct_sim_myrinet_transfer_is_correct_and_timed() {
         } else {
             let mut buf = vec![0u8; 262_144];
             let mut r = ch.begin_unpacking().unwrap();
-            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                .unwrap();
             r.end_unpacking().unwrap();
             assert!(buf.iter().enumerate().all(|(i, &b)| b == (i % 253) as u8));
             rt.now_nanos()
@@ -150,8 +151,8 @@ fn fast_ethernet_is_much_slower() {
 
 mod driver_units {
     use madeleine::conduit::{BufferMode, Driver};
-    use madeleine::types::NodeId;
     use madeleine::runtime::Runtime;
+    use madeleine::types::NodeId;
 
     use crate::{SimTech, Testbed};
 

@@ -1,0 +1,344 @@
+//! Bounded and unbounded MPMC channels.
+//!
+//! Covers the `crossbeam::channel` surface this workspace needs: cloneable
+//! `Sender`/`Receiver` halves, blocking `send`/`recv`, non-blocking `try_*`
+//! variants, `recv_timeout`, and disconnect semantics (a send fails once
+//! every receiver is gone; a recv fails once every sender is gone *and* the
+//! queue is drained). There is deliberately no `select!`: the Madeleine
+//! runtime multiplexes with `RtEvent` epochs instead, so this module stays
+//! a plain monitor (mutex + two condvars) — simple enough to reason about
+//! under both real threads and the virtual-time runtime's grace periods.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::sync::{Condvar, Mutex};
+
+/// The receiving side disconnected; the unsent value is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a channel with no receivers")
+    }
+}
+
+/// Outcome of a failed [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "sending on a full channel",
+            TrySendError::Disconnected(_) => "sending on a channel with no receivers",
+        })
+    }
+}
+
+/// Every sender disconnected and the queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on a channel with no senders")
+    }
+}
+
+/// Outcome of a failed [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TryRecvError::Empty => "receiving on an empty channel",
+            TryRecvError::Disconnected => "receiving on a channel with no senders",
+        })
+    }
+}
+
+/// Outcome of a failed [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with nothing queued.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecvTimeoutError::Timeout => "timed out receiving on an empty channel",
+            RecvTimeoutError::Disconnected => "receiving on a channel with no senders",
+        })
+    }
+}
+
+macro_rules! impl_error {
+    ($($ty:ty),+) => {$(
+        impl std::error::Error for $ty {}
+    )+};
+}
+impl_error!(RecvError, TryRecvError, RecvTimeoutError);
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    /// Signaled on push and on last-sender disconnect.
+    not_empty: Condvar,
+    /// Signaled on pop and on last-receiver disconnect.
+    not_full: Condvar,
+    /// `usize::MAX` means unbounded.
+    capacity: usize,
+}
+
+/// Create an unbounded channel: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(usize::MAX)
+}
+
+/// Create a bounded channel holding at most `capacity` queued items.
+/// A zero capacity is rounded up to one (this module has no rendezvous
+/// mode; nothing in the workspace wants one).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(capacity.max(1))
+}
+
+fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+/// Producer half. Cloning adds a producer; the channel disconnects for
+/// receivers once the last clone is dropped.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Queue `value`, blocking while a bounded channel is at capacity.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < self.inner.capacity {
+                st.queue.push_back(value);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            self.inner.not_full.wait(&mut st);
+        }
+    }
+
+    /// Queue `value` only if there is room right now.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.inner.state.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.queue.len() >= self.inner.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of items queued right now.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// True if nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Blocked receivers must observe the disconnect.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// Consumer half. Cloning adds a consumer; the channel disconnects for
+/// senders once the last clone is dropped.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the oldest item, blocking until one arrives or every sender
+    /// is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            self.inner.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Dequeue the oldest item if one is queued right now.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.inner.state.lock();
+        match st.queue.pop_front() {
+            Some(v) => {
+                drop(st);
+                self.inner.not_full.notify_one();
+                Ok(v)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Dequeue the oldest item, giving up after `timeout` of emptiness.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            self.inner.not_empty.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Number of items queued right now.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// True if nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A blocking iterator that ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().receivers += 1;
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            // Blocked (bounded) senders must observe the disconnect.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Blocking iterator over received items; see [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}

@@ -1,0 +1,33 @@
+//! # mad-util — the workspace's in-tree support subsystem
+//!
+//! This environment builds with **zero crates.io dependencies**: there is no
+//! registry access, no vendor directory, and therefore no `parking_lot`,
+//! `crossbeam`, `bytes`, `rand`, `proptest`, or `criterion`. Everything the
+//! Madeleine reproduction needs from those crates is reimplemented here, on
+//! `std` alone, with APIs close enough that call sites migrate nearly 1:1 —
+//! and tailored where it pays: the PRNG and property harness are
+//! deterministic by construction, which the virtual-time runtime's
+//! reproducibility tests actually want.
+//!
+//! Modules:
+//!
+//! * [`sync`] — non-poisoning `Mutex`/`RwLock`/`Condvar` wrappers over
+//!   `std::sync` with the `parking_lot` lock API (`lock()` returns a guard,
+//!   `Condvar::wait` takes `&mut MutexGuard`).
+//! * [`chan`] — bounded + unbounded MPMC channels with the
+//!   `crossbeam::channel` send/recv/timeout/disconnect surface.
+//! * [`bytes`] — a cheaply-cloneable `Bytes` buffer (shared owner + range).
+//! * [`rng`] — a seedable SplitMix64 PRNG for workload generation.
+//! * [`prop`] — a small deterministic property-testing harness with
+//!   shrinking and failing-input reports.
+//! * [`microbench`] — a warmup + median-of-N wall-clock timing harness for
+//!   `harness = false` bench targets.
+
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod chan;
+pub mod microbench;
+pub mod prop;
+pub mod rng;
+pub mod sync;

@@ -1,0 +1,216 @@
+//! A warmup + median-of-N wall-clock timing harness for `harness = false`
+//! bench targets.
+//!
+//! Criterion-shaped where it matters (`Harness::group`, `sample_size`,
+//! `throughput_bytes`, `Bencher::iter`) and deliberately smaller: no
+//! statistics beyond min/median/max, no HTML, no state directory. Medians
+//! over N samples resist scheduler noise well enough for the regression
+//! checks this repo runs. Full measurement happens only under `cargo bench`
+//! (the one invocation that passes `--bench`); run any other way — e.g.
+//! `cargo test --benches`, which passes no flag at all — each benchmark
+//! executes exactly once as a smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Wall-clock target for the warmup phase.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+/// Wall-clock target for each timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(50);
+
+/// Top-level bench runner; parses CLI args (an optional substring filter,
+/// plus cargo's `--bench`/`--test` flags).
+pub struct Harness {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Harness {
+    /// Build from `std::env::args`.
+    pub fn from_env() -> Self {
+        let mut filter = None;
+        let mut bench_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => bench_mode = false,
+                a if a.starts_with("--") => {} // ignore unknown cargo flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Harness {
+            filter,
+            test_mode: !bench_mode,
+        }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput_bytes: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and throughput settings.
+pub struct Group<'h> {
+    harness: &'h Harness,
+    name: String,
+    sample_size: usize,
+    throughput_bytes: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Number of timed samples (default 20). Lower it for slow benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare how many payload bytes one iteration moves, enabling the
+    /// MB/s column. Pass 0 to clear.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = (bytes > 0).then_some(bytes);
+        self
+    }
+
+    /// Run one benchmark. `id` extends the group name (`group/id`).
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.harness.test_mode,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        if self.harness.test_mode {
+            println!("{full}: ok (smoke)");
+            return;
+        }
+        b.report(&full, self.throughput_bytes);
+    }
+
+    /// No-op, for call-site symmetry with criterion.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, pick an iteration count that fills a sample
+    /// window, then record `sample_size` timed samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+
+        // Warmup: run until the target is spent, estimating per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let iters_per_sample = ((SAMPLE_TARGET.as_nanos() as f64 / est_ns) as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str, throughput_bytes: Option<u64>) {
+        let mut sorted = self.samples_ns.clone();
+        if sorted.is_empty() {
+            println!("{name}: no measurement (Bencher::iter never called)");
+            return;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+        let mut line = format!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        if let Some(bytes) = throughput_bytes {
+            let mbps = bytes as f64 / (median / 1e9) / 1e6;
+            line.push_str(&format!("  thrpt: {mbps:.1} MB/s"));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut h = Harness {
+            filter: None,
+            test_mode: true,
+        };
+        let mut count = 0;
+        let mut g = h.group("g");
+        g.bench_function("one", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut h = Harness {
+            filter: Some("wanted".into()),
+            test_mode: true,
+        };
+        let mut ran = Vec::new();
+        let mut g = h.group("g");
+        g.bench_function("wanted_bench", |b| b.iter(|| ran.push("a")));
+        g.bench_function("other", |b| b.iter(|| ran.push("b")));
+        assert_eq!(ran, ["a"]);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.0), "12.0ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30us");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500s");
+    }
+}

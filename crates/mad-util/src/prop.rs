@@ -1,0 +1,432 @@
+//! A small deterministic property-testing harness.
+//!
+//! The shape is quickcheck's, the determinism contract is stronger: every
+//! run of a property draws its cases from [`crate::rng::Rng`] streams
+//! derived from a fixed seed, so a failure reported on one machine replays
+//! bit-identically on any other. A failing input is greedily shrunk via the
+//! [`Shrink`] trait and reported with its case seed; re-running reproduces
+//! it without any side-channel state file (the `proptest-regressions`
+//! format this replaces). Regressions worth keeping are instead promoted to
+//! named `#[test]` functions that call the property directly.
+//!
+//! Shrinking is type-directed, not generator-directed: a shrunk candidate
+//! may fall outside the generator's bounds. Properties should tolerate (or
+//! cheaply reject) such inputs, or the test should implement [`Shrink`] on
+//! a wrapper type that respects its invariants.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::Rng;
+
+/// How a property run is sized and seeded.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Root seed; every case seed derives from it deterministically.
+    pub seed: u64,
+    /// Upper bound on accepted shrink steps.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    /// 64 cases from a fixed seed. `MAD_PROP_CASES` and `MAD_PROP_SEED`
+    /// (decimal or `0x`-hex) override, for soak runs and failure replay.
+    fn default() -> Self {
+        let parse = |name: &str| -> Option<u64> {
+            let v = std::env::var(name).ok()?;
+            match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            }
+        };
+        Config {
+            cases: parse("MAD_PROP_CASES").map_or(64, |v| v as u32),
+            seed: parse("MAD_PROP_SEED").unwrap_or(0x4D41_4445_4C45_494E), // "MADELEIN"
+            max_shrink_steps: 400,
+        }
+    }
+}
+
+impl Config {
+    /// Same defaults, different case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Types that can propose strictly "smaller" variants of themselves.
+pub trait Shrink: Sized {
+    /// Candidate simplifications, most aggressive first. Must not include
+    /// `self` (the harness bounds steps, so cycles only waste budget).
+    fn shrink(&self) -> Vec<Self>;
+}
+
+/// Wrapper disabling shrinking for its contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoShrink<T>(pub T);
+
+impl<T> Shrink for NoShrink<T> {
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl<T> std::ops::Deref for NoShrink<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),+) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, v - 1];
+                out.dedup();
+                out.retain(|&c| c != v);
+                out
+            }
+        }
+    )+};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let v = *self;
+        if v == 0.0 || !v.is_finite() {
+            return Vec::new();
+        }
+        vec![0.0, v / 2.0]
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![Vec::new()];
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        // Bound the candidate count on long inputs: probe evenly spaced
+        // positions rather than every index.
+        let step = (n / 8).max(1);
+        for i in (0..n).step_by(step) {
+            if n > 1 {
+                let mut v = self.clone();
+                v.remove(i);
+                out.push(v);
+            }
+            for s in self[i].shrink().into_iter().take(3) {
+                let mut v = self.clone();
+                v[i] = s;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for s in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = s;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_shrink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// `Err` with the failure message, whether the property returned it or
+/// panicked with it.
+fn run_prop<T, P>(prop: &P, input: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Run `prop` against `cfg.cases` inputs drawn from `gen`; on failure,
+/// shrink and panic with a replayable report.
+pub fn check<T, G, P>(name: &str, cfg: &Config, gen: G, prop: P)
+where
+    T: Clone + Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut root = Rng::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let case_seed = root.next_u64();
+        let input = gen(&mut Rng::new(case_seed));
+        let Err(error) = run_prop(&prop, &input) else {
+            continue;
+        };
+
+        // Greedy shrink: take the first failing candidate, repeat.
+        let mut minimal = input.clone();
+        let mut last_error = error.clone();
+        let mut steps = 0u32;
+        'outer: while steps < cfg.max_shrink_steps {
+            for candidate in minimal.shrink() {
+                if let Err(e) = run_prop(&prop, &candidate) {
+                    minimal = candidate;
+                    last_error = e;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "property `{name}` failed\n\
+             \x20 case {case_no} of {total} (case seed {case_seed:#018x}; \
+             rerun with MAD_PROP_SEED={root_seed:#x})\n\
+             \x20 original input: {input:?}\n\
+             \x20 shrunk input ({steps} steps): {minimal:?}\n\
+             \x20 error: {last_error}",
+            case_no = case + 1,
+            total = cfg.cases,
+            root_seed = cfg.seed,
+        );
+    }
+}
+
+/// Generate a `Vec` whose length is drawn from `len_range` and whose
+/// elements come from `elem` — the workhorse collection generator.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len_range: std::ops::Range<usize>,
+    mut elem: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let len = if len_range.start + 1 >= len_range.end {
+        len_range.start
+    } else {
+        rng.gen_range(len_range)
+    };
+    (0..len).map(|_| elem(rng)).collect()
+}
+
+/// Uniformly random bytes with length in `len_range`.
+pub fn bytes(rng: &mut Rng, len_range: std::ops::Range<usize>) -> Vec<u8> {
+    let mut v = vec_of(rng, len_range, |_| 0u8);
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// Guard a property's precondition: inputs that violate it are discarded
+/// as vacuous passes (`return Ok(())`). Type-directed shrinking can step
+/// outside the generator's bounds; guarding with `prop_require!` keeps the
+/// shrinker from "minimizing" into inputs the property was never about.
+#[macro_export]
+macro_rules! prop_require {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Assert inside a property body: evaluates to `return Err(..)` on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assert inside a property body; reports both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::sync::atomic::AtomicU32::new(0);
+        let cfg = Config {
+            cases: 50,
+            seed: 1,
+            max_shrink_steps: 10,
+        };
+        check(
+            "always-true",
+            &cfg,
+            |rng| rng.gen_range(0u64..100),
+            |_| {
+                counted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(())
+            },
+        );
+        assert_eq!(counted.load(std::sync::atomic::Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut seen = Vec::new();
+            let cfg = Config {
+                cases: 20,
+                seed: 777,
+                max_shrink_steps: 0,
+            };
+            // The property records its inputs via interior mutability.
+            let seen_cell = std::cell::RefCell::new(&mut seen);
+            check(
+                "recorder",
+                &cfg,
+                |rng| (rng.gen_range(0u64..1_000_000), prop_bytes(rng)),
+                |input| {
+                    seen_cell.borrow_mut().push(input.clone());
+                    Ok(())
+                },
+            );
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    fn prop_bytes(rng: &mut Rng) -> Vec<u8> {
+        bytes(rng, 0..16)
+    }
+
+    #[test]
+    fn shrinks_to_minimal_counterexample() {
+        // Property: every element < 100. Generator produces one offender
+        // among noise; the shrinker must isolate it to a single-element
+        // vector holding the smallest failing value.
+        let cfg = Config {
+            cases: 64,
+            seed: 3,
+            max_shrink_steps: 400,
+        };
+        let failure = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "all-small",
+                &cfg,
+                |rng| vec_of(rng, 1..20, |r| r.gen_range(0u64..150)),
+                |v| {
+                    for &x in v {
+                        prop_assert!(x < 100, "element {x} too large");
+                    }
+                    Ok(())
+                },
+            );
+        }))
+        .expect_err("property must fail");
+        let report = failure.downcast_ref::<String>().unwrap();
+        assert!(
+            report.contains("shrunk input") && report.contains("[100]"),
+            "expected a fully shrunk report, got:\n{report}"
+        );
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let cfg = Config {
+            cases: 5,
+            seed: 9,
+            max_shrink_steps: 50,
+        };
+        let failure = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "panics",
+                &cfg,
+                |rng| rng.gen_range(1u64..1000),
+                |&v| {
+                    assert!(v == 0, "boom {v}");
+                    Ok(())
+                },
+            );
+        }))
+        .expect_err("property must fail");
+        let report = failure.downcast_ref::<String>().unwrap();
+        assert!(report.contains("panicked: boom"), "got:\n{report}");
+        // Shrinking drives the value to the type-minimal failing input 1.
+        assert!(report.contains("shrunk input"), "got:\n{report}");
+    }
+}

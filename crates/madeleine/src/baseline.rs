@@ -20,12 +20,7 @@ use crate::types::NodeId;
 
 /// Send `payload` to `dest` through an application-level relay chain: the
 /// message goes to `next` (the first relay) with a self-made header.
-pub fn send_via_relay(
-    channel: &Channel,
-    next: NodeId,
-    dest: NodeId,
-    payload: &[u8],
-) -> Result<()> {
+pub fn send_via_relay(channel: &Channel, next: NodeId, dest: NodeId, payload: &[u8]) -> Result<()> {
     let header = encode_header(dest, payload.len());
     let mut msg = channel.begin_packing(next)?;
     msg.pack(&header, SendMode::Safer, RecvMode::Express)?;

@@ -99,10 +99,7 @@ impl Channel {
 
     /// Lock the conduit to `peer`. The lock blocks through the runtime so
     /// contention stays visible to a virtual clock.
-    pub(crate) fn lock_conduit(
-        &self,
-        peer: NodeId,
-    ) -> Result<RtLockGuard<'_, Box<dyn Conduit>>> {
+    pub(crate) fn lock_conduit(&self, peer: NodeId) -> Result<RtLockGuard<'_, Box<dyn Conduit>>> {
         self.conduits
             .get(&peer)
             .map(|m| m.lock())

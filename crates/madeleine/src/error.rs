@@ -48,7 +48,10 @@ impl fmt::Display for MadError {
             MadError::UnknownPeer(n) => write!(f, "peer {n} is not part of this channel"),
             MadError::Unroutable(n) => write!(f, "no route to {n} on this virtual channel"),
             MadError::ForeignStaticBuffer { owner, user } => {
-                write!(f, "static buffer of driver `{owner}` offered to driver `{user}`")
+                write!(
+                    f,
+                    "static buffer of driver `{owner}` offered to driver `{user}`"
+                )
             }
             MadError::NotFinalized => write!(f, "message dropped before end of packing/unpacking"),
         }

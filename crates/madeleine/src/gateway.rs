@@ -206,14 +206,11 @@ pub fn spawn_gateway(
             if cfg.pipeline_depth == 1 {
                 sinks.insert(net_out, Sink::Inline(out_path));
             } else {
-                let (tx, rx) =
-                    RtQueue::<FwdItem>::with_capacity(&*runtime, cfg.pipeline_depth - 1);
+                let (tx, rx) = RtQueue::<FwdItem>::with_capacity(&*runtime, cfg.pipeline_depth - 1);
                 sinks.insert(net_out, Sink::Queue(tx, out_path.clone()));
                 let name = format!("gw{}-{}-fwd-{}-{}", rank.0, vc_name, net_in, net_out);
-                threads.push(runtime.spawn(
-                    name,
-                    Box::new(move || forwarding_thread(rx, out_path)),
-                ));
+                threads
+                    .push(runtime.spawn(name, Box::new(move || forwarding_thread(rx, out_path))));
             }
         }
         let in_channel = special[&net_in].clone();
@@ -224,9 +221,7 @@ pub fn spawn_gateway(
         let name = format!("gw{}-{}-in-{}", rank.0, vc_name, net_in);
         threads.push(runtime.spawn(
             name,
-            Box::new(move || {
-                polling_thread(rank, in_channel, sinks, routes, cfg, rt, stop, stats)
-            }),
+            Box::new(move || polling_thread(rank, in_channel, sinks, routes, cfg, rt, stop, stats)),
         ));
     }
     GatewayHandles { threads, stats }
@@ -250,8 +245,16 @@ fn polling_thread(
             Ok(p) => p,
             Err(_) => return, // inbound peers gone or session stopping
         };
-        match forward_one_message(rank, &in_channel, peer, &sinks, &routes, cfg, &runtime, &stats)
-        {
+        match forward_one_message(
+            rank,
+            &in_channel,
+            peer,
+            &sinks,
+            &routes,
+            cfg,
+            &runtime,
+            &stats,
+        ) {
             Ok(()) => {
                 stats.messages.fetch_add(1, Ordering::Relaxed);
             }
@@ -408,11 +411,7 @@ impl<'a> OutState<'a> {
                     conduit.send(&[&[NOTE_FORWARDED]])?;
                 }
                 conduit.send(&[&header])?;
-                Ok(OutState::Inline {
-                    path,
-                    to,
-                    last_hop,
-                })
+                Ok(OutState::Inline { path, to, last_hop })
             }
         }
     }

@@ -41,7 +41,10 @@ pub struct RouteTable {
 impl RouteTable {
     /// The first hop toward `dest`, if reachable.
     pub fn hop(&self, dest: NodeId) -> Result<Hop> {
-        self.hops.get(&dest).copied().ok_or(MadError::Unroutable(dest))
+        self.hops
+            .get(&dest)
+            .copied()
+            .ok_or(MadError::Unroutable(dest))
     }
 
     /// Destinations reachable from this source (excluding itself).

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use mad_util::sync::{Condvar, Mutex};
 
 /// An epoch counter that threads can block on — the one blocking primitive
 /// the library needs. Semantically identical to `vtime::Signal` so the
@@ -189,7 +189,7 @@ impl<T> RtLock<T> {
 /// RAII guard of an [`RtLock`]; wakes waiters on drop.
 pub struct RtLockGuard<'a, T> {
     lock: &'a RtLock<T>,
-    guard: std::mem::ManuallyDrop<parking_lot::MutexGuard<'a, T>>,
+    guard: std::mem::ManuallyDrop<mad_util::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> std::ops::Deref for RtLockGuard<'_, T> {

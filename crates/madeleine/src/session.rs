@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mad_util::sync::Mutex;
 
 use crate::channel::Channel;
 use crate::conduit::{Conduit, Driver};
@@ -78,8 +78,7 @@ impl SessionBarrier {
 pub type GatewayStatsReport = Vec<(String, NodeId, Arc<crate::gateway::GatewayStats>)>;
 
 /// Options of one virtual channel declaration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct VcOptions {
     /// Route-wide fragment size; defaults to the minimum preferred MTU of
     /// the spanned drivers.
@@ -87,7 +86,6 @@ pub struct VcOptions {
     /// Gateway engine tuning.
     pub gateway: GatewayConfig,
 }
-
 
 struct NetworkDef {
     name: String,
@@ -175,7 +173,10 @@ impl SessionBuilder {
 
     /// Declare a virtual channel spanning several networks.
     pub fn vchannel(&mut self, name: impl Into<String>, nets: &[NetworkId], options: VcOptions) {
-        assert!(!nets.is_empty(), "a virtual channel spans at least one network");
+        assert!(
+            !nets.is_empty(),
+            "a virtual channel spans at least one network"
+        );
         for n in nets {
             assert!((n.0 as usize) < self.networks.len(), "unknown network");
         }
@@ -210,8 +211,7 @@ impl SessionBuilder {
 
         // One arrival event per node, shared by all its conduits so a node
         // can block for "anything from anyone".
-        let node_events: Vec<Arc<dyn RtEvent>> =
-            (0..n).map(|_| runtime.event()).collect();
+        let node_events: Vec<Arc<dyn RtEvent>> = (0..n).map(|_| runtime.event()).collect();
 
         let mut next_channel_id = 0u32;
         let mut alloc_channel_id = || {
@@ -224,11 +224,8 @@ impl SessionBuilder {
         // members, assembled into one per-node Channel.
         let build_channel = |id: ChannelId, net_idx: usize| -> HashMap<NodeId, Channel> {
             let def = &self.networks[net_idx];
-            let mut per_node: HashMap<NodeId, BTreeMap<NodeId, Box<dyn Conduit>>> = def
-                .members
-                .iter()
-                .map(|&m| (m, BTreeMap::new()))
-                .collect();
+            let mut per_node: HashMap<NodeId, BTreeMap<NodeId, Box<dyn Conduit>>> =
+                def.members.iter().map(|&m| (m, BTreeMap::new())).collect();
             for (i, &a) in def.members.iter().enumerate() {
                 for &b in def.members.iter().skip(i + 1) {
                     let (ca, cb) = def.driver.connect(

@@ -200,7 +200,8 @@ mod tests {
         });
         let mut buf = vec![0u8; 10_000];
         let mut r = b.begin_unpacking().unwrap();
-        r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+        r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+            .unwrap();
         r.end_unpacking().unwrap();
         assert!(buf.iter().all(|&x| x == 3));
         h.join().unwrap();
@@ -219,7 +220,8 @@ mod tests {
         });
         let mut buf = vec![0u8; 10 * 1024];
         let mut r = b.begin_unpacking().unwrap();
-        r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+        r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+            .unwrap();
         r.end_unpacking().unwrap();
         h.join().unwrap();
     }

@@ -20,7 +20,7 @@
 //!    achieved, "conflicts appearing on the PCI bus when doing intensive
 //!    full-duplex communications").
 
-use parking_lot::Mutex;
+use mad_util::sync::Mutex;
 use vtime::{Actor, Clock, Signal, SimTime};
 
 /// Who initiates the bus transaction; decides arbitration priority.
@@ -120,18 +120,17 @@ impl BusState {
             .flatten()
             .any(|x| x.class == XferClass::Dma && x.remaining > 0.0);
 
-        let ids =
-            |state: &BusState, class: XferClass| -> Vec<usize> {
-                state
-                    .xfers
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, x)| match x {
-                        Some(x) if x.class == class && x.remaining > 0.0 => Some(i),
-                        _ => None,
-                    })
-                    .collect()
-            };
+        let ids = |state: &BusState, class: XferClass| -> Vec<usize> {
+            state
+                .xfers
+                .iter()
+                .enumerate()
+                .filter_map(|(i, x)| match x {
+                    Some(x) if x.class == class && x.remaining > 0.0 => Some(i),
+                    _ => None,
+                })
+                .collect()
+        };
         let dma_ids = ids(self, XferClass::Dma);
         let pio_ids = ids(self, XferClass::Pio);
 

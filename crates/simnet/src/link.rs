@@ -5,7 +5,7 @@
 //! switching latency. Full-duplex networks (Myrinet, SCI) use two `Link`
 //! instances per cable, so opposite directions never queue behind each other.
 
-use parking_lot::Mutex;
+use mad_util::sync::Mutex;
 use vtime::{SimDuration, SimTime};
 
 /// One direction of a cable: bandwidth-serialized occupancy plus latency.

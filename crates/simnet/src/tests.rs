@@ -363,9 +363,7 @@ fn endpoint_small_message_latency_decomposes() {
     drop(setup);
     s.join().unwrap();
     let t = r.join().unwrap();
-    let expected = p.overhead_send.as_nanos()
-        + p.latency.as_nanos()
-        + p.overhead_recv.as_nanos();
+    let expected = p.overhead_send.as_nanos() + p.latency.as_nanos() + p.overhead_recv.as_nanos();
     // PCI time for 16 bytes is ~230ns on each side; allow 2us slack.
     assert!(
         t >= expected && t <= expected + 2_000,
@@ -391,12 +389,8 @@ fn calibration_invariants() {
     }
     // The paper's technology ordering: SCI cheaper per packet than
     // Myrinet; Ethernet slowest.
-    assert!(
-        calibration::sci_sisci().overhead_send < calibration::myrinet_bip().overhead_send
-    );
-    assert!(
-        calibration::fast_ethernet_tcp().link_bw_bps < calibration::sci_sisci().link_bw_bps
-    );
+    assert!(calibration::sci_sisci().overhead_send < calibration::myrinet_bip().overhead_send);
+    assert!(calibration::fast_ethernet_tcp().link_bw_bps < calibration::sci_sisci().link_bw_bps);
     assert_eq!(calibration::CROSSOVER_PACKET, 16 * 1024);
 }
 

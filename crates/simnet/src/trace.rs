@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mad_util::sync::Mutex;
 use vtime::SimTime;
 
 /// What a span represents.

@@ -11,7 +11,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use mad_util::sync::{Condvar, Mutex};
 
 /// Wall-clock patience before declaring a virtual-time deadlock. Generous
 /// enough for threads mid-teardown to release their resources, short enough
@@ -388,7 +388,7 @@ impl Clock {
 
     fn with_core<R>(&self, f: impl FnOnce(&mut Core) -> R) -> R {
         let mut core = self.monitor.core.lock();
-        
+
         f(&mut core)
     }
 }
@@ -451,12 +451,7 @@ impl Actor {
 
     /// Block until `signal`'s epoch exceeds `seen` or virtual time reaches
     /// `deadline`, whichever comes first.
-    pub fn wait_signal_until(
-        &self,
-        signal: &Signal,
-        seen: u64,
-        deadline: SimTime,
-    ) -> WaitOutcome {
+    pub fn wait_signal_until(&self, signal: &Signal, seen: u64, deadline: SimTime) -> WaitOutcome {
         self.wait_inner(signal, seen, Some(deadline.0))
     }
 
@@ -489,7 +484,7 @@ impl Actor {
     /// hanging forever. The grace period tolerates threads that are between
     /// deregistering their actor and releasing resources (e.g. dropping the
     /// sending half of a mailbox during teardown).
-    fn wait_woken(&self, core: &mut parking_lot::MutexGuard<'_, Core>) {
+    fn wait_woken(&self, core: &mut mad_util::sync::MutexGuard<'_, Core>) {
         while matches!(
             core.actors[self.id].as_ref().map(|r| &r.state),
             Some(ActorState::Waiting { .. })

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mad_util::sync::Mutex;
 
 use crate::clock::{Actor, Clock, Signal, SimTime, WaitOutcome};
 

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example cluster_of_clusters`
 
+use mad_sim::{SimTech, Testbed};
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_sim::{SimTech, Testbed};
 
 const MSG: usize = 4 << 20;
 
@@ -56,7 +56,8 @@ fn main() {
                 let mut r = vc.begin_unpacking().unwrap();
                 assert!(!r.is_forwarded());
                 let mut buf = [0u8; 16];
-                r.unpack(&mut buf, SendMode::Safer, RecvMode::Express).unwrap();
+                r.unpack(&mut buf, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 format!("direct message: {:?}", String::from_utf8_lossy(&buf))
             }
@@ -71,7 +72,8 @@ fn main() {
                 let mut r = vc.begin_unpacking().unwrap();
                 assert!(r.is_forwarded());
                 assert_eq!(r.source(), NodeId(0));
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 let dt = (rt.now_nanos() - t0) as f64 / 1e9;
                 assert!(buf.iter().all(|&b| b == 0xCD));

@@ -14,10 +14,10 @@
 //!
 //! Run with: `cargo run --release --example heterogeneous_matrix`
 
+use mad_sim::{SimTech, Testbed};
 use madeleine::session::VcOptions;
 use madeleine::vchannel::VcReader;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_sim::{SimTech, Testbed};
 
 const N: usize = 512; // matrix dimension (f64 entries)
 const WORKERS: [u32; 3] = [1, 3, 4];
@@ -47,7 +47,8 @@ fn main() {
                     let header = encode_header(first, count);
                     let block = as_bytes(&matrix[first * N..(first + count) * N]);
                     let mut msg = vc.begin_packing(NodeId(worker)).unwrap();
-                    msg.pack(&header, SendMode::Safer, RecvMode::Express).unwrap();
+                    msg.pack(&header, SendMode::Safer, RecvMode::Express)
+                        .unwrap();
                     msg.pack(block, SendMode::Later, RecvMode::Cheaper).unwrap();
                     msg.end_packing().unwrap();
                 }
@@ -56,10 +57,12 @@ fn main() {
                 for _ in 0..WORKERS.len() {
                     let mut r = vc.begin_unpacking().unwrap();
                     let mut header = [0u8; 16];
-                    r.unpack(&mut header, SendMode::Safer, RecvMode::Express).unwrap();
+                    r.unpack(&mut header, SendMode::Safer, RecvMode::Express)
+                        .unwrap();
                     let (first, count) = decode_header(&header);
                     let mut sums = vec![0u8; count * 8];
-                    r.unpack(&mut sums, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    r.unpack(&mut sums, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
                     r.end_unpacking().unwrap();
                     for (i, chunk) in sums.chunks_exact(8).enumerate() {
                         row_sums[first + i] = f64::from_le_bytes(chunk.try_into().unwrap());
@@ -78,10 +81,12 @@ fn main() {
                 let mut r: VcReader = vc.begin_unpacking().unwrap();
                 let forwarded = r.is_forwarded();
                 let mut header = [0u8; 16];
-                r.unpack(&mut header, SendMode::Safer, RecvMode::Express).unwrap();
+                r.unpack(&mut header, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
                 let (first, count) = decode_header(&header);
                 let mut block = vec![0u8; count * N * 8];
-                r.unpack(&mut block, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut block, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
 
                 let rows = from_bytes(&block);
@@ -91,7 +96,8 @@ fn main() {
                     .collect();
 
                 let mut msg = vc.begin_packing(NodeId(0)).unwrap();
-                msg.pack(&header, SendMode::Safer, RecvMode::Express).unwrap();
+                msg.pack(&header, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
                 msg.pack(&sums, SendMode::Later, RecvMode::Cheaper).unwrap();
                 msg.end_packing().unwrap();
                 format!(

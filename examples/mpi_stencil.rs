@@ -11,11 +11,11 @@
 
 use std::sync::Arc;
 
-use madeleine::session::VcOptions;
-use madeleine::SessionBuilder;
 use mad_mpi::typed::{bytes_to_f64s, f64s_to_bytes};
 use mad_mpi::Communicator;
 use mad_sim::{SimTech, Testbed};
+use madeleine::session::VcOptions;
+use madeleine::SessionBuilder;
 
 const CELLS_PER_RANK: usize = 1000;
 const STEPS: usize = 200;
@@ -50,7 +50,8 @@ fn main() {
             let mut left_halo = 0.0;
             let mut right_halo = 0.0;
             if rank > 0 {
-                comm.send(rank - 1, TAG_LEFT, &slab[0].to_le_bytes()).unwrap();
+                comm.send(rank - 1, TAG_LEFT, &slab[0].to_le_bytes())
+                    .unwrap();
             }
             if rank + 1 < size {
                 comm.send(rank + 1, TAG_RIGHT, &slab[CELLS_PER_RANK - 1].to_le_bytes())
@@ -68,12 +69,20 @@ fn main() {
             let mut next = slab.clone();
             for i in 0..CELLS_PER_RANK {
                 let l = if i == 0 {
-                    if rank == 0 { slab[0] } else { left_halo }
+                    if rank == 0 {
+                        slab[0]
+                    } else {
+                        left_halo
+                    }
                 } else {
                     slab[i - 1]
                 };
                 let r = if i == CELLS_PER_RANK - 1 {
-                    if rank == size - 1 { slab[i] } else { right_halo }
+                    if rank == size - 1 {
+                        slab[i]
+                    } else {
+                        right_halo
+                    }
                 } else {
                     slab[i + 1]
                 };

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example multi_gateway`
 
+use mad_sim::{SimTech, Testbed};
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_sim::{SimTech, Testbed};
 
 fn main() {
     let testbed = Testbed::new(5);
@@ -44,7 +44,8 @@ fn main() {
                 let mut r = vc.begin_unpacking().unwrap();
                 assert_eq!(r.source(), NodeId(4));
                 let mut echo = vec![0u8; N];
-                r.unpack(&mut echo, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut echo, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 assert!(echo.iter().all(|&b| b == 0xEE));
                 "round trip 0→4→0 across two gateways verified".to_string()
@@ -57,13 +58,17 @@ fn main() {
                 assert!(r.is_forwarded());
                 assert_eq!(r.source(), NodeId(0));
                 let mut buf = vec![0u8; N];
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 // Echo it back the way it came.
                 let mut w = vc.begin_packing(NodeId(0)).unwrap();
                 w.pack(&buf, SendMode::Later, RecvMode::Cheaper).unwrap();
                 w.end_packing().unwrap();
-                format!("received {} KB from n0 via two gateways, echoed back", N >> 10)
+                format!(
+                    "received {} KB from n0 via two gateways, echoed back",
+                    N >> 10
+                )
             }
             _ => unreachable!(),
         }

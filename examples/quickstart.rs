@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
 use mad_shm::ShmDriver;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
 
 fn main() {
     // 1. Declare the session: two nodes, one network, one channel.
@@ -30,8 +30,10 @@ fn main() {
             let header = (payload.len() as u64).to_le_bytes();
 
             let mut msg = channel.begin_packing(NodeId(1)).unwrap();
-            msg.pack(&header, SendMode::Safer, RecvMode::Express).unwrap();
-            msg.pack(&payload, SendMode::Later, RecvMode::Cheaper).unwrap();
+            msg.pack(&header, SendMode::Safer, RecvMode::Express)
+                .unwrap();
+            msg.pack(&payload, SendMode::Later, RecvMode::Cheaper)
+                .unwrap();
             msg.end_packing().unwrap();
             println!("[rank 0] sent {} payload bytes", payload.len());
             payload.len()
@@ -41,11 +43,13 @@ fn main() {
             // not self-described).
             let mut msg = channel.begin_unpacking().unwrap();
             let mut header = [0u8; 8];
-            msg.unpack(&mut header, SendMode::Safer, RecvMode::Express).unwrap();
+            msg.unpack(&mut header, SendMode::Safer, RecvMode::Express)
+                .unwrap();
             let len = u64::from_le_bytes(header) as usize;
 
             let mut payload = vec![0u8; len];
-            msg.unpack(&mut payload, SendMode::Later, RecvMode::Cheaper).unwrap();
+            msg.unpack(&mut payload, SendMode::Later, RecvMode::Cheaper)
+                .unwrap();
             let source = msg.source();
             msg.end_unpacking().unwrap();
 

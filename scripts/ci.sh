@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, runnable with zero network access.
+#
+# The workspace has no crates.io dependencies (see crates/mad-util), so
+# `--offline` is not a restriction but a statement of fact: if resolution
+# ever needs the network, that is a regression and must fail loudly here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+# Formatting is checked only when a rustfmt binary is actually present:
+# minimal toolchains in sealed containers may lack the component.
+if cargo fmt --version >/dev/null 2>&1; then
+  echo
+  echo "== cargo fmt --check"
+  cargo fmt --check
+else
+  echo
+  echo "== cargo fmt --check skipped (rustfmt not installed)"
+fi
+
+echo
+echo "ci: all gates passed"

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Gate first: nothing below is worth trusting if the build or tests are red.
+./scripts/ci.sh
+
 BINS=(
   table1_raw_networks
   fig5_pipeline_trace
@@ -31,5 +34,5 @@ for b in "${BINS[@]}"; do
 done
 
 echo
-echo "################ criterion microbenches ################"
+echo "################ microbenches (mad_util::microbench) ################"
 cargo bench -p mad-bench --bench microbench

@@ -2,10 +2,10 @@
 //!
 //! Re-exports the public crates so examples and integration tests can use a
 //! single dependency root.
-pub use madeleine;
 pub use mad_mpi;
 pub use mad_shm;
 pub use mad_sim;
 pub use mad_tcp;
+pub use madeleine;
 pub use simnet;
 pub use vtime;

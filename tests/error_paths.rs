@@ -1,10 +1,10 @@
 //! Failure-injection and error-path tests: the library must fail loudly
 //! and precisely on contract violations, not corrupt data.
 
+use mad_shm::ShmDriver;
 use madeleine::error::MadError;
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_shm::ShmDriver;
 
 #[test]
 fn unknown_peer_is_rejected() {
@@ -76,7 +76,8 @@ fn oversized_unpack_is_detected() {
         } else {
             let mut r = ch.begin_unpacking().unwrap();
             let mut buf = [0u8; 4]; // too short: 6 bytes left over
-            r.unpack(&mut buf, SendMode::Safer, RecvMode::Express).unwrap();
+            r.unpack(&mut buf, SendMode::Safer, RecvMode::Express)
+                .unwrap();
             matches!(r.end_unpacking(), Err(MadError::SequenceMismatch(_)))
         }
     });
@@ -145,7 +146,8 @@ fn forwarded_length_mismatch_is_detected() {
                 let err = r.unpack(&mut wrong, SendMode::Later, RecvMode::Cheaper);
                 let ok = matches!(err, Err(MadError::SequenceMismatch(_)));
                 let mut right = [0u8; 64];
-                r.unpack(&mut right, SendMode::Later, RecvMode::Cheaper).ok();
+                r.unpack(&mut right, SendMode::Later, RecvMode::Cheaper)
+                    .ok();
                 r.end_unpacking().ok();
                 ok
             }

@@ -1,12 +1,16 @@
 //! Property-based end-to-end tests: arbitrary message shapes must survive
-//! any path through the stack bit-for-bit.
+//! any path through the stack bit-for-bit. Driven by the deterministic
+//! `mad_util::prop` harness; case counts stay modest because every case
+//! spins up a full multi-threaded session.
 
+use mad_shm::ShmDriver;
+use mad_util::prop::{self, Config, Shrink};
+use mad_util::rng::Rng;
+use mad_util::{prop_assert, prop_require};
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_shm::ShmDriver;
-use proptest::prelude::*;
 
-/// A packed block: length plus its flag pair.
+/// A packed block: payload plus its flag pair.
 #[derive(Debug, Clone)]
 struct Block {
     data: Vec<u8>,
@@ -14,29 +18,46 @@ struct Block {
     recv: RecvMode,
 }
 
-fn block_strategy(max_len: usize) -> impl Strategy<Value = Block> {
-    (
-        proptest::collection::vec(any::<u8>(), 0..max_len),
-        prop_oneof![
-            Just(SendMode::Safer),
-            Just(SendMode::Later),
-            Just(SendMode::Cheaper)
-        ],
-        prop_oneof![Just(RecvMode::Express), Just(RecvMode::Cheaper)],
-    )
-        .prop_map(|(data, send, recv)| Block { data, send, recv })
+impl Shrink for Block {
+    /// Shrink the payload only; the flag pair is part of what the case is
+    /// exercising, so minimization keeps it fixed.
+    fn shrink(&self) -> Vec<Self> {
+        self.data
+            .shrink()
+            .into_iter()
+            .map(|data| Block {
+                data,
+                send: self.send,
+                recv: self.recv,
+            })
+            .collect()
+    }
 }
 
-fn message_strategy() -> impl Strategy<Value = Vec<Block>> {
-    proptest::collection::vec(block_strategy(5000), 1..8)
+fn gen_block(rng: &mut Rng, max_len: usize) -> Block {
+    let send = *rng
+        .choose(&[SendMode::Safer, SendMode::Later, SendMode::Cheaper])
+        .unwrap();
+    let recv = *rng.choose(&[RecvMode::Express, RecvMode::Cheaper]).unwrap();
+    Block {
+        data: prop::bytes(rng, 0..max_len),
+        send,
+        recv,
+    }
+}
+
+fn gen_message(rng: &mut Rng) -> Vec<Block> {
+    prop::vec_of(rng, 1..8, |r| gen_block(r, 5000))
 }
 
 /// Send `blocks` as one message over a plain channel and check integrity.
-fn roundtrip_plain(blocks: Vec<Block>) {
+fn roundtrip_plain(blocks: &[Block]) -> Result<(), String> {
+    prop_require!(!blocks.is_empty());
     let mut sb = SessionBuilder::new(2);
     let rt = sb.runtime().clone();
     let net = sb.network("shm", ShmDriver::new(rt), &[0, 1]);
     sb.channel("ch", net);
+    let blocks = blocks.to_vec();
     let blocks2 = blocks.clone();
     let ok = sb.run(move |node| {
         let ch = node.channel("ch");
@@ -59,11 +80,13 @@ fn roundtrip_plain(blocks: Vec<Block>) {
             got.iter().zip(&blocks2).all(|(g, b)| g == &b.data)
         }
     });
-    assert!(ok.into_iter().all(|x| x));
+    prop_assert!(ok.into_iter().all(|x| x), "payload corrupted on plain path");
+    Ok(())
 }
 
 /// Send `blocks` through a gateway (forwarded path) and check integrity.
-fn roundtrip_forwarded(blocks: Vec<Block>, mtu: usize) {
+fn roundtrip_forwarded(blocks: &[Block], mtu: usize) -> Result<(), String> {
+    prop_require!(!blocks.is_empty() && mtu >= 64);
     let mut sb = SessionBuilder::new(3);
     let rt = sb.runtime().clone();
     let n0 = sb.network("a", ShmDriver::new(rt.clone()), &[0, 1]);
@@ -76,6 +99,7 @@ fn roundtrip_forwarded(blocks: Vec<Block>, mtu: usize) {
             ..Default::default()
         },
     );
+    let blocks = blocks.to_vec();
     let blocks2 = blocks.clone();
     let ok = sb.run(move |node| {
         let vc = node.vchannel("vc");
@@ -103,27 +127,35 @@ fn roundtrip_forwarded(blocks: Vec<Block>, mtu: usize) {
             _ => unreachable!(),
         }
     });
-    assert!(ok.into_iter().all(|x| x));
+    prop_assert!(
+        ok.into_iter().all(|x| x),
+        "payload corrupted through the gateway (mtu {mtu})"
+    );
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case spins up a full session with threads
-        .. ProptestConfig::default()
-    })]
+#[test]
+fn plain_channel_round_trips_any_message() {
+    // Each case spins up a full session with threads: keep the count modest.
+    prop::check(
+        "plain_channel_round_trips_any_message",
+        &Config::with_cases(24),
+        gen_message,
+        |blocks| roundtrip_plain(blocks),
+    );
+}
 
-    #[test]
-    fn plain_channel_round_trips_any_message(blocks in message_strategy()) {
-        roundtrip_plain(blocks);
-    }
-
-    #[test]
-    fn forwarded_path_round_trips_any_message(
-        blocks in message_strategy(),
-        mtu in prop_oneof![Just(64usize), Just(257), Just(1024), Just(16 * 1024)],
-    ) {
-        roundtrip_forwarded(blocks, mtu);
-    }
+#[test]
+fn forwarded_path_round_trips_any_message() {
+    prop::check(
+        "forwarded_path_round_trips_any_message",
+        &Config::with_cases(24),
+        |rng| {
+            let mtu = *rng.choose(&[64usize, 257, 1024, 16 * 1024]).unwrap();
+            (gen_message(rng), mtu)
+        },
+        |(blocks, mtu)| roundtrip_forwarded(blocks, *mtu),
+    );
 }
 
 /// Forwarded transfers over the *simulated* hardware: integrity must hold
@@ -151,7 +183,8 @@ mod simulated {
         let ok = sb.run(move |node| match node.rank().0 {
             0 => {
                 let mut w = node.vchannel("vc").begin_packing(NodeId(2)).unwrap();
-                w.pack(&payload, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.pack(&payload, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 w.end_packing().unwrap();
                 true
             }
@@ -159,40 +192,45 @@ mod simulated {
             2 => {
                 let mut buf = vec![0u8; expect.len()];
                 let mut r = node.vchannel("vc").begin_unpacking().unwrap();
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 buf == expect
             }
             _ => unreachable!(),
         });
-        assert!(ok.into_iter().all(|x| x));
+        assert!(ok.into_iter().all(|x| x), "simulated payload corrupted");
         clock.now().as_nanos()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig {
-            cases: 10,
-            .. ProptestConfig::default()
-        })]
-
-        #[test]
-        fn simulated_forwarding_integrity_and_determinism(
-            from_i in 0usize..4,
-            to_i in 0usize..4,
-            mtu in prop_oneof![Just(512usize), Just(4096), Just(16 * 1024)],
-            payload in proptest::collection::vec(any::<u8>(), 1..20_000),
-        ) {
-            let techs = [
-                SimTech::Myrinet,
-                SimTech::Sci,
-                SimTech::FastEthernet,
-                SimTech::Sbp,
-            ];
-            let (from, to) = (techs[from_i], techs[to_i]);
-            let t1 = run_once(from, to, mtu, payload.clone());
-            prop_assert!(t1 > 0, "a transfer must take virtual time");
-            let t2 = run_once(from, to, mtu, payload);
-            prop_assert_eq!(t1, t2, "virtual timing must be reproducible");
-        }
+    #[test]
+    fn simulated_forwarding_integrity_and_determinism() {
+        const TECHS: [SimTech; 4] = [
+            SimTech::Myrinet,
+            SimTech::Sci,
+            SimTech::FastEthernet,
+            SimTech::Sbp,
+        ];
+        prop::check(
+            "simulated_forwarding_integrity_and_determinism",
+            &Config::with_cases(10),
+            |rng| {
+                (
+                    rng.gen_range(0usize..4),
+                    rng.gen_range(0usize..4),
+                    *rng.choose(&[512usize, 4096, 16 * 1024]).unwrap(),
+                    prop::bytes(rng, 1..20_000),
+                )
+            },
+            |(from_i, to_i, mtu, payload)| {
+                prop_require!(*from_i < 4 && *to_i < 4 && *mtu >= 512 && !payload.is_empty());
+                let (from, to) = (TECHS[*from_i], TECHS[*to_i]);
+                let t1 = run_once(from, to, *mtu, payload.clone());
+                prop_assert!(t1 > 0, "a transfer must take virtual time");
+                let t2 = run_once(from, to, *mtu, payload.clone());
+                prop_assert!(t1 == t2, "virtual timing must be reproducible");
+                Ok(())
+            },
+        );
     }
 }

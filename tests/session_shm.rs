@@ -1,13 +1,15 @@
 //! End-to-end session tests over the real shared-memory driver: plain
 //! channels, virtual channels, gateway forwarding, multi-gateway chains.
 
+use mad_shm::ShmDriver;
 use madeleine::gateway::GatewayConfig;
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_shm::ShmDriver;
 
 fn payload(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 #[test]
@@ -25,13 +27,15 @@ fn plain_channel_ping_pong() {
             msg.end_packing().unwrap();
             let mut back = vec![0u8; 4096];
             let mut r = ch.begin_unpacking().unwrap();
-            r.unpack(&mut back, SendMode::Later, RecvMode::Cheaper).unwrap();
+            r.unpack(&mut back, SendMode::Later, RecvMode::Cheaper)
+                .unwrap();
             r.end_unpacking().unwrap();
             back == data
         } else {
             let mut buf = vec![0u8; 4096];
             let mut r = ch.begin_unpacking().unwrap();
-            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                .unwrap();
             r.end_unpacking().unwrap();
             let mut msg = ch.begin_packing(NodeId(0)).unwrap();
             msg.pack(&buf, SendMode::Later, RecvMode::Cheaper).unwrap();
@@ -68,11 +72,15 @@ fn multi_block_message_with_mixed_flags() {
             let mut c = vec![0u8; 3];
             let mut d = vec![0u8; 64 * 1024];
             let mut r = ch.begin_unpacking().unwrap();
-            r.unpack(&mut a, SendMode::Safer, RecvMode::Express).unwrap();
+            r.unpack(&mut a, SendMode::Safer, RecvMode::Express)
+                .unwrap();
             assert_eq!(a, payload(100, 1), "express data valid immediately");
-            r.unpack(&mut b, SendMode::Later, RecvMode::Cheaper).unwrap();
-            r.unpack(&mut c, SendMode::Cheaper, RecvMode::Cheaper).unwrap();
-            r.unpack(&mut d, SendMode::Later, RecvMode::Express).unwrap();
+            r.unpack(&mut b, SendMode::Later, RecvMode::Cheaper)
+                .unwrap();
+            r.unpack(&mut c, SendMode::Cheaper, RecvMode::Cheaper)
+                .unwrap();
+            r.unpack(&mut d, SendMode::Later, RecvMode::Express)
+                .unwrap();
             r.end_unpacking().unwrap();
             a == payload(100, 1)
                 && b == payload(5000, 2)
@@ -105,7 +113,8 @@ fn vchannel_direct_delivery() {
             assert!(!r.is_forwarded());
             assert_eq!(r.source(), NodeId(0));
             let mut buf = vec![0u8; 10_000];
-            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                .unwrap();
             r.end_unpacking().unwrap();
             buf == payload(10_000, 9)
         }
@@ -149,8 +158,10 @@ fn vchannel_forwarded_through_one_gateway() {
                 assert_eq!(r.source(), NodeId(0));
                 let mut small = vec![0u8; 10];
                 let mut big = vec![0u8; 100_000];
-                r.unpack(&mut small, SendMode::Safer, RecvMode::Express).unwrap();
-                r.unpack(&mut big, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut small, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
+                r.unpack(&mut big, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 small == payload(10, 1) && big == payload(100_000, 2)
             }
@@ -189,7 +200,8 @@ fn vchannel_two_gateway_chain() {
                 let mut r = vc.begin_unpacking().unwrap();
                 assert_eq!(r.source(), NodeId(3));
                 let mut ack = vec![0u8; 16];
-                r.unpack(&mut ack, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut ack, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 ack == payload(16, 6)
             }
@@ -198,7 +210,8 @@ fn vchannel_two_gateway_chain() {
                 let mut r = vc.begin_unpacking().unwrap();
                 assert_eq!(r.source(), NodeId(0));
                 let mut buf = vec![0u8; 50_000];
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 let ok = buf == payload(50_000, 5);
                 let ack = payload(16, 6);
@@ -238,7 +251,8 @@ fn gateway_node_also_receives_its_own_messages() {
                 assert!(!r.is_forwarded());
                 assert_eq!(r.source(), NodeId(0));
                 let mut buf = vec![0u8; 1000];
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 buf == payload(1000, 3)
             }
@@ -255,7 +269,14 @@ fn many_messages_keep_order_per_connection() {
     let rt = sb.runtime().clone();
     let n0 = sb.network("shm0", ShmDriver::new(rt.clone()), &[0, 1]);
     let n1 = sb.network("shm1", ShmDriver::new(rt), &[1, 2]);
-    sb.vchannel("vc", &[n0, n1], VcOptions { mtu: Some(512), ..Default::default() });
+    sb.vchannel(
+        "vc",
+        &[n0, n1],
+        VcOptions {
+            mtu: Some(512),
+            ..Default::default()
+        },
+    );
     let results = sb.run(|node| {
         let vc = node.vchannel("vc");
         match node.rank().0 {
@@ -274,7 +295,8 @@ fn many_messages_keep_order_per_connection() {
                     let expect = payload(1 + (i as usize * 37) % 2000, i as u8);
                     let mut r = vc.begin_unpacking().unwrap();
                     let mut buf = vec![0u8; expect.len()];
-                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
                     r.end_unpacking().unwrap();
                     assert_eq!(buf, expect, "message {i} out of order or corrupt");
                 }
@@ -317,7 +339,8 @@ fn pipeline_depth_one_still_correct() {
             2 => {
                 let mut r = vc.begin_unpacking().unwrap();
                 let mut buf = vec![0u8; 30_000];
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 buf == payload(30_000, 8)
             }
@@ -376,7 +399,8 @@ fn gateway_stats_count_relayed_traffic() {
                 for len in [2500usize, 10] {
                     let mut buf = vec![0u8; len];
                     let mut r = vc.begin_unpacking().unwrap();
-                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
                     r.end_unpacking().unwrap();
                     assert_eq!(buf, payload(len, 7));
                 }

@@ -2,9 +2,9 @@
 //! heterogeneous driver pairings, bidirectional traffic, concurrent
 //! senders, and timing sanity.
 
+use mad_sim::{SimTech, Testbed};
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_sim::{SimTech, Testbed};
 
 fn payload(n: usize, seed: u8) -> Vec<u8> {
     (0..n)
@@ -45,7 +45,8 @@ fn all_tech_pairings_forward_correctly() {
                     2 => {
                         let mut buf = vec![0u8; 100_000];
                         let mut r = vc.begin_unpacking().unwrap();
-                        r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                        r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                            .unwrap();
                         r.end_unpacking().unwrap();
                         buf == payload(100_000, 42)
                     }
@@ -87,7 +88,8 @@ fn bidirectional_forwarding_through_one_gateway() {
                 w.end_packing().unwrap();
                 let mut buf = vec![0u8; 300_000];
                 let mut r = vc.begin_unpacking().unwrap();
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 buf == payload(300_000, 2)
             }
@@ -99,7 +101,8 @@ fn bidirectional_forwarding_through_one_gateway() {
                 w.end_packing().unwrap();
                 let mut buf = vec![0u8; 500_000];
                 let mut r = vc.begin_unpacking().unwrap();
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 buf == payload(500_000, 1)
             }
@@ -144,7 +147,8 @@ fn two_concurrent_senders_one_gateway() {
                     let mut r = vc.begin_unpacking().unwrap();
                     let src = r.source();
                     let mut buf = vec![0u8; 200_000];
-                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
                     r.end_unpacking().unwrap();
                     assert_eq!(buf, payload(200_000, src.0 as u8), "message from {src}");
                     seen[src.index()] = true;
@@ -180,32 +184,31 @@ fn two_virtual_channels_coexist() {
     let n1 = sb.network("myri", tb.driver(SimTech::Myrinet), &[1, 2]);
     sb.vchannel("vc-a", &[n0, n1], VcOptions::default());
     sb.vchannel("vc-b", &[n0, n1], VcOptions::default());
-    let ok = sb.run(|node| {
-        match node.rank().0 {
-            0 => {
-                for (name, seed) in [("vc-a", 7u8), ("vc-b", 9u8)] {
-                    let vc = node.vchannel(name);
-                    let data = payload(50_000, seed);
-                    let mut w = vc.begin_packing(NodeId(2)).unwrap();
-                    w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
-                    w.end_packing().unwrap();
-                }
-                true
+    let ok = sb.run(|node| match node.rank().0 {
+        0 => {
+            for (name, seed) in [("vc-a", 7u8), ("vc-b", 9u8)] {
+                let vc = node.vchannel(name);
+                let data = payload(50_000, seed);
+                let mut w = vc.begin_packing(NodeId(2)).unwrap();
+                w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
             }
-            1 => true,
-            2 => {
-                for (name, seed) in [("vc-a", 7u8), ("vc-b", 9u8)] {
-                    let vc = node.vchannel(name);
-                    let mut buf = vec![0u8; 50_000];
-                    let mut r = vc.begin_unpacking().unwrap();
-                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
-                    r.end_unpacking().unwrap();
-                    assert_eq!(buf, payload(50_000, seed), "channel {name}");
-                }
-                true
-            }
-            _ => unreachable!(),
+            true
         }
+        1 => true,
+        2 => {
+            for (name, seed) in [("vc-a", 7u8), ("vc-b", 9u8)] {
+                let vc = node.vchannel(name);
+                let mut buf = vec![0u8; 50_000];
+                let mut r = vc.begin_unpacking().unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
+                r.end_unpacking().unwrap();
+                assert_eq!(buf, payload(50_000, seed), "channel {name}");
+            }
+            true
+        }
+        _ => unreachable!(),
     });
     assert!(ok.into_iter().all(|x| x));
 }

@@ -2,10 +2,10 @@
 //! configuration mixing TCP and shared memory through a gateway, the
 //! closest real-transport analogue of the paper's setup.
 
-use madeleine::session::VcOptions;
-use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
 use mad_shm::ShmDriver;
 use mad_tcp::TcpDriver;
+use madeleine::session::VcOptions;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
 
 fn payload(n: usize, seed: u8) -> Vec<u8> {
     (0..n)
@@ -30,7 +30,8 @@ fn tcp_plain_channel_bulk_transfer() {
         } else {
             let mut buf = vec![0u8; 2 << 20];
             let mut r = ch.begin_unpacking().unwrap();
-            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+            r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                .unwrap();
             r.end_unpacking().unwrap();
             buf == payload(2 << 20, 5)
         }
@@ -71,7 +72,8 @@ fn heterogeneous_shm_to_tcp_gateway() {
                 let mut r = vc.begin_unpacking().unwrap();
                 assert!(r.is_forwarded());
                 assert_eq!(r.source(), NodeId(0));
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 buf == payload(300_000, 9)
             }
@@ -102,7 +104,8 @@ fn tcp_many_small_messages() {
                 let expect = payload(1 + (i as usize % 100), i as u8);
                 let mut buf = vec![0u8; expect.len()];
                 let mut r = ch.begin_unpacking().unwrap();
-                r.unpack(&mut buf, SendMode::Safer, RecvMode::Express).unwrap();
+                r.unpack(&mut buf, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 assert_eq!(buf, expect, "message {i}");
             }

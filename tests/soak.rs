@@ -2,11 +2,10 @@
 //! topology, exercising direct paths, single- and double-gateway routes,
 //! message interleaving from many senders, and checksum verification.
 
+use mad_shm::ShmDriver;
+use mad_util::rng::Rng;
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use mad_shm::ShmDriver;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Per-(sender, receiver) deterministic payload.
 fn payload(from: u32, to: u32, idx: u32, len: usize) -> Vec<u8> {
@@ -30,7 +29,7 @@ fn random_traffic_soak() {
     let receivers = [1u32, 3, 5];
 
     // Pre-generate the schedule (same on all nodes): sizes per (s,r,idx).
-    let mut rng = StdRng::seed_from_u64(0x4D41_4445);
+    let mut rng = Rng::new(0x4D41_4445);
     let mut sizes = std::collections::HashMap::new();
     for &s in &senders {
         for &r in &receivers {
@@ -83,16 +82,15 @@ fn random_traffic_soak() {
             for _ in 0..total {
                 let mut r = vc.begin_unpacking().unwrap();
                 let mut hdr = [0u8; 2];
-                r.unpack(&mut hdr, SendMode::Safer, RecvMode::Express).unwrap();
+                r.unpack(&mut hdr, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
                 let (s, i) = (hdr[0] as u32, hdr[1] as u32);
-                assert_eq!(
-                    next[&s], i,
-                    "per-sender ordering violated at receiver {me}"
-                );
+                assert_eq!(next[&s], i, "per-sender ordering violated at receiver {me}");
                 *next.get_mut(&s).unwrap() += 1;
                 let len = sizes2[&(s, me, i)];
                 let mut buf = vec![0u8; len];
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper).unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 assert_eq!(buf, payload(s, me, i, len), "payload {s}→{me}#{i}");
             }
@@ -134,14 +132,16 @@ fn channels_are_isolated_worlds() {
             for i in 0..20u8 {
                 let mut r = beta.begin_unpacking().unwrap();
                 let mut b = [0u8; 1];
-                r.unpack(&mut b, SendMode::Safer, RecvMode::Express).unwrap();
+                r.unpack(&mut b, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 assert_eq!(b[0], 100 + i);
             }
             for i in 0..20u8 {
                 let mut r = alpha.begin_unpacking().unwrap();
                 let mut b = [0u8; 1];
-                r.unpack(&mut b, SendMode::Safer, RecvMode::Express).unwrap();
+                r.unpack(&mut b, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
                 r.end_unpacking().unwrap();
                 assert_eq!(b[0], i);
             }
