@@ -40,15 +40,20 @@ fn bench_pack_unpack(h: &mut Harness) {
 
 fn bench_gtm_codec(h: &mut Harness) {
     let mut g = h.group("gtm_codec");
+    let tag = gtm::StreamTag {
+        src: NodeId(3),
+        dest: NodeId(9),
+        msg_id: 41,
+    };
     g.bench_function("encode_decode_header", |b| {
         let h = gtm::GtmHeader {
-            src: NodeId(3),
-            dest: NodeId(9),
+            tag,
             mtu: 16 * 1024,
+            direct: false,
         };
         b.iter(|| {
             let pkt = gtm::encode_header(std::hint::black_box(&h));
-            std::hint::black_box(gtm::decode_control(&pkt).unwrap())
+            std::hint::black_box(gtm::decode_packet(&pkt).unwrap())
         });
     });
     g.bench_function("encode_decode_part", |b| {
@@ -58,8 +63,8 @@ fn bench_gtm_codec(h: &mut Harness) {
             recv: RecvMode::Cheaper,
         };
         b.iter(|| {
-            let pkt = gtm::encode_part(std::hint::black_box(&d));
-            std::hint::black_box(gtm::decode_control(&pkt).unwrap())
+            let pkt = gtm::encode_part(std::hint::black_box(&tag), std::hint::black_box(&d));
+            std::hint::black_box(gtm::decode_packet(&pkt).unwrap())
         });
     });
     g.finish();

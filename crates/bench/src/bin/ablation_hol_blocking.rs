@@ -1,0 +1,129 @@
+//! Ablation A6: head-of-line blocking at the gateway — message-at-a-time
+//! relay vs fragment-granular stream interleaving.
+//!
+//! A 1 KB message and a 16 MB bulk transfer enter the same gateway from
+//! different senders. With the old discipline (modeled by the engine's
+//! `exclusive_streams` knob) the gateway drains the bulk message to
+//! completion before touching the short one, so the short message's
+//! latency is the *remaining bulk relay time* — hundreds of milliseconds.
+//! With version-2 per-packet stream tags the engine round-robins across
+//! inbound connections at fragment granularity and the short message slips
+//! between bulk fragments, paying only a few fragment slots.
+//!
+//! The bulk bandwidth column shows the price of interleaving: the same
+//! per-fragment pipeline, so effectively none.
+
+use mad_bench::report::{fmt_bytes, Table};
+use mad_sim::{SimTech, Testbed};
+use madeleine::gateway::GatewayConfig;
+use madeleine::session::VcOptions;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+use simnet::calibration;
+
+const BULK: usize = 16 << 20;
+const PING: usize = 1024;
+
+/// One run; returns (ping one-way µs, bulk MB/s).
+fn run(exclusive: bool, mtu: usize) -> (f64, f64) {
+    let tb = Testbed::new(5);
+    let mut sb = SessionBuilder::new(5).with_runtime(tb.runtime());
+    // SCI cluster {0,1,2} feeds Myrinet cluster {2,3,4} through gateway 2,
+    // the paper's §3 testbed with one extra host on each side.
+    let n0 = sb.network("sci", tb.driver(SimTech::Sci), &[0, 1, 2]);
+    let n1 = sb.network("myri", tb.driver(SimTech::Myrinet), &[2, 3, 4]);
+    sb.vchannel(
+        "vc",
+        &[n0, n1],
+        VcOptions {
+            mtu: Some(mtu),
+            gateway: GatewayConfig {
+                switch_overhead_ns: calibration::gateway_switch_overhead().as_nanos(),
+                exclusive_streams: exclusive,
+                ..Default::default()
+            },
+        },
+    );
+    let stamps = sb.run(|node| {
+        let rt = node.runtime().clone();
+        let vc = node.vchannel("vc");
+        node.barrier().wait();
+        match node.rank().0 {
+            0 => {
+                // Bulk sender, 0 → 3.
+                let t0 = rt.now_nanos();
+                let data = vec![0x5Au8; BULK];
+                let mut w = vc.begin_packing(NodeId(3)).unwrap();
+                w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
+                t0
+            }
+            1 => {
+                // Ping sender, 1 → 4: inject once the bulk is mid-relay.
+                rt.charge_overhead(20_000_000);
+                let t0 = rt.now_nanos();
+                let data = vec![0xA5u8; PING];
+                let mut w = vc.begin_packing(NodeId(4)).unwrap();
+                w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
+                t0
+            }
+            2 => 0,
+            3 => {
+                let mut buf = vec![0u8; BULK];
+                let mut r = vc.begin_unpacking().unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
+                r.end_unpacking().unwrap();
+                rt.now_nanos()
+            }
+            4 => {
+                let mut buf = vec![0u8; PING];
+                let mut r = vc.begin_unpacking().unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
+                r.end_unpacking().unwrap();
+                rt.now_nanos()
+            }
+            _ => unreachable!(),
+        }
+    });
+    let ping_us = stamps[4].saturating_sub(stamps[1]) as f64 / 1e3;
+    let bulk_s = stamps[3].saturating_sub(stamps[0]) as f64 / 1e9;
+    (ping_us, BULK as f64 / bulk_s / 1e6)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "A6 — 1 KB message latency through a gateway busy relaying 16 MB, \
+         message-at-a-time vs interleaved",
+        &[
+            "packet",
+            "excl ping us",
+            "intl ping us",
+            "speedup",
+            "excl bulk MB/s",
+            "intl bulk MB/s",
+        ],
+    );
+    for mtu in [8 * 1024usize, 32 * 1024, 128 * 1024] {
+        let (excl_ping, excl_bulk) = run(true, mtu);
+        let (intl_ping, intl_bulk) = run(false, mtu);
+        table.row(vec![
+            fmt_bytes(mtu),
+            format!("{excl_ping:.0}"),
+            format!("{intl_ping:.0}"),
+            format!("{:.0}x", excl_ping / intl_ping),
+            format!("{excl_bulk:.1}"),
+            format!("{intl_bulk:.1}"),
+        ]);
+    }
+    table.print();
+    table.write_csv("ablation_hol_blocking");
+    println!(
+        "\npaper shape check: under message-at-a-time relay the short message\n\
+         waits out the rest of the bulk transfer (latency ~ remaining relay\n\
+         time, hundreds of ms); interleaved relay cuts it to a few fragment\n\
+         slots (>=5x, typically orders of magnitude) while the bulk bandwidth\n\
+         columns stay within noise of each other."
+    );
+}

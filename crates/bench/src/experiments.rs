@@ -145,6 +145,7 @@ fn run_forwarded(
                 pipeline_depth: setup.pipeline_depth,
                 switch_overhead_ns: setup.switch_overhead_ns,
                 zero_copy: setup.zero_copy,
+                exclusive_streams: false,
             },
         },
     );

@@ -176,6 +176,46 @@ impl Channel {
         }
     }
 
+    /// Like [`Channel::select_ready_until`], but round-robin instead of
+    /// rank-biased: the scan starts just past `after` and wraps, so a
+    /// gateway polling loop that feeds back the previously served peer
+    /// gives every inbound connection a fair turn at fragment granularity
+    /// — a peer with a long stream of pending packets can no longer shadow
+    /// higher-ranked peers.
+    pub(crate) fn select_ready_after(
+        &self,
+        after: Option<NodeId>,
+        stop: impl Fn() -> bool,
+    ) -> Result<NodeId> {
+        loop {
+            let seen = self.recv_event.epoch();
+            let mut all_closed = !self.conduits.is_empty();
+            let mut first_ready = None;
+            let mut chosen = None;
+            for (&peer, conduit) in &self.conduits {
+                let c = conduit.lock();
+                if c.ready() {
+                    if first_ready.is_none() {
+                        first_ready = Some(peer);
+                    }
+                    if chosen.is_none() && after.is_none_or(|a| peer > a) {
+                        chosen = Some(peer);
+                    }
+                }
+                if !c.closed() {
+                    all_closed = false;
+                }
+            }
+            if let Some(peer) = chosen.or(first_ready) {
+                return Ok(peer);
+            }
+            if all_closed || stop() {
+                return Err(MadError::Disconnected);
+            }
+            self.recv_event.wait_past(seen);
+        }
+    }
+
     /// The shared arrival event of this channel's conduits.
     pub fn recv_event(&self) -> &Arc<dyn RtEvent> {
         &self.recv_event

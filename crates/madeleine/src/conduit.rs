@@ -94,6 +94,14 @@ impl StaticBuf {
         self.data.is_empty()
     }
 
+    /// Shrink to `len` bytes, keeping ownership. Receivers that land
+    /// variable-sized packets into an oversized buffer (the gateway's
+    /// fragment-granular forwarding path) trim it to the received length
+    /// before handing it on.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
     /// Consume into the raw bytes (driver-internal use).
     pub fn into_vec(self) -> Vec<u8> {
         self.data

@@ -4,13 +4,29 @@
 //! thread listening on that network's special channel; every ordered pair
 //! of networks gets a *forwarding* thread. The two are coupled by a bounded
 //! pipeline of buffers (two by default, the paper's double-buffering): the
-//! polling thread receives fragment *k+1* while the forwarding thread
-//! retransmits fragment *k* on the other network.
+//! polling thread receives packet *k+1* while the forwarding thread
+//! retransmits packet *k* on the other network.
+//!
+//! ## Fragment-granular scheduling
+//!
+//! Since GTM wire-format version 2, every packet names its stream (source,
+//! destination, message id), so the engine no longer drains one message at
+//! a time. The polling thread round-robins across the inbound connections
+//! ([`Channel::select_ready_after`]) and relays *one packet per turn*,
+//! keeping per-stream state in a demultiplexing table. A 16 MB bulk
+//! transfer therefore no longer stalls a 1 KB message from another peer
+//! crossing the same gateway — the head-of-line blocking measured by the
+//! `ablation_hol_blocking` bench. [`GatewayConfig::exclusive_streams`]
+//! restores the old message-at-a-time discipline as that ablation's
+//! baseline.
+//!
+//! Because the stream tag is route-invariant, packets are forwarded
+//! verbatim: the engine never re-encodes anything.
 //!
 //! ## Zero-copy handoff (paper §2.3)
 //!
-//! The polling thread chooses the landing buffer per fragment from the
-//! buffer disciplines of the two drivers:
+//! The polling thread picks a per-connection landing policy from the
+//! buffer disciplines of the outgoing drivers it feeds:
 //!
 //! | incoming   | outgoing  | behaviour                                        |
 //! |------------|-----------|--------------------------------------------------|
@@ -18,31 +34,59 @@
 //! | dynamic    | static    | receive *into* an outgoing-driver static buffer (0 copies)     |
 //! | static     | static    | receive into an outgoing static buffer — one unavoidable copy  |
 //!
-//! Setting [`GatewayConfig::zero_copy`] to `false` forces the naive
-//! receive-then-copy path, which is the A2 ablation of the benchmarks.
+//! A stream's packet size is not known before the receive, so static
+//! landings use a buffer sized for the largest MTU announced by any open
+//! stream's header (headers always precede fragments on a conduit) and
+//! trim it afterwards. Setting [`GatewayConfig::zero_copy`] to `false`
+//! forces the naive receive-then-copy path, which is the A2 ablation of
+//! the benchmarks.
 //!
 //! The per-fragment software cost of exchanging pipeline buffers (§3.3.1
 //! estimates it at ~40 µs on the paper's hardware) is charged through
 //! [`Runtime::charge_overhead`], so the simulated gateway reproduces the
 //! paper's pipeline-period analysis.
+//!
+//! ## Teardown
+//!
+//! Engines share a [`GatewayStop`]: the stop request only takes effect
+//! once every accepted stream — across *all* gateways of the session — has
+//! had its end packet retransmitted, closing the old teardown window in
+//! which a multi-hop fragment could be dropped between two gateways. A
+//! gateway whose outbound conduit dies mid-stream abandons its open
+//! streams on exit so the rest of the session can still stop.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::channel::Channel;
-use crate::conduit::{BufferMode, Conduit, DriverCaps, StaticBuf};
+use crate::conduit::{BufferMode, Conduit, StaticBuf};
 use crate::error::{MadError, Result};
-use crate::gtm::{self, Control};
+use crate::gtm::{self, PacketBody, StreamKey, PRELUDE_LEN};
 use crate::routing::RouteTable;
-use crate::runtime::{RtQueue, RtReceiver, RtSender, Runtime};
+use crate::runtime::{RtEvent, RtQueue, RtReceiver, RtSender, Runtime};
 use crate::types::{NetworkId, NodeId};
-use crate::vchannel::NOTE_FORWARDED;
+
+/// Per-(source, destination) forwarding counters of one gateway.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCounters {
+    /// Complete messages relayed for this pair.
+    pub messages: u64,
+    /// Payload fragment bytes relayed (control packets excluded).
+    pub bytes: u64,
+    /// Payload fragments relayed.
+    pub fragments: u64,
+    /// Pipeline pushes that found the bounded queue full.
+    pub stalls: u64,
+    /// Fragment handoffs through the pipeline (0 at depth 1).
+    pub buffer_switches: u64,
+}
 
 /// Live counters of one gateway's forwarding engine, updated by its
-/// polling threads. Cheap relaxed atomics: read them after the session
-/// (or at any point for monitoring).
+/// polling threads. Totals are cheap relaxed atomics; per-stream counters
+/// live behind a mutex. Read them after the session (or at any point for
+/// monitoring).
 #[derive(Debug, Default)]
 pub struct GatewayStats {
     /// Complete messages relayed.
@@ -51,16 +95,63 @@ pub struct GatewayStats {
     pub fragment_bytes: AtomicU64,
     /// Payload fragments relayed.
     pub fragments: AtomicU64,
+    /// Pipeline pushes that found the bounded queue full (backpressure).
+    pub stalls: AtomicU64,
+    /// Fragment handoffs through the pipeline (0 at depth 1).
+    pub buffer_switches: AtomicU64,
+    per_stream: Mutex<BTreeMap<(NodeId, NodeId), StreamCounters>>,
 }
 
 impl GatewayStats {
-    /// Snapshot as (messages, fragments, fragment_bytes).
+    /// Snapshot the totals as (messages, fragments, fragment_bytes).
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (
             self.messages.load(Ordering::Relaxed),
             self.fragments.load(Ordering::Relaxed),
             self.fragment_bytes.load(Ordering::Relaxed),
         )
+    }
+
+    /// Per-(source, destination) counters, sorted by pair.
+    pub fn per_stream(&self) -> Vec<((NodeId, NodeId), StreamCounters)> {
+        self.per_stream
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    fn with_pair(&self, pair: (NodeId, NodeId), f: impl FnOnce(&mut StreamCounters)) {
+        f(self.per_stream.lock().unwrap().entry(pair).or_default())
+    }
+
+    fn on_header(&self, pair: (NodeId, NodeId)) {
+        self.with_pair(pair, |_| {});
+    }
+
+    fn on_frag(&self, pair: (NodeId, NodeId), bytes: u64) {
+        self.fragments.fetch_add(1, Ordering::Relaxed);
+        self.fragment_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.with_pair(pair, |c| {
+            c.fragments += 1;
+            c.bytes += bytes;
+        });
+    }
+
+    fn on_end(&self, pair: (NodeId, NodeId)) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.with_pair(pair, |c| c.messages += 1);
+    }
+
+    fn on_stall(&self, pair: (NodeId, NodeId)) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+        self.with_pair(pair, |c| c.stalls += 1);
+    }
+
+    fn on_switch(&self, pair: (NodeId, NodeId)) {
+        self.buffer_switches.fetch_add(1, Ordering::Relaxed);
+        self.with_pair(pair, |c| c.buffer_switches += 1);
     }
 }
 
@@ -69,7 +160,7 @@ impl GatewayStats {
 pub struct GatewayConfig {
     /// Number of pipeline buffers per direction. `2` is the paper's
     /// double-buffering; `1` disables pipelining (the polling thread
-    /// retransmits each fragment itself before receiving the next).
+    /// retransmits each packet itself before receiving the next).
     pub pipeline_depth: usize,
     /// Software cost charged per fragment handoff (the paper's ~40 µs
     /// buffer-switch overhead). Only the simulated runtime turns this into
@@ -78,6 +169,10 @@ pub struct GatewayConfig {
     /// Use the zero-copy buffer handoff matrix; `false` forces the naive
     /// extra-copy path (ablation A2).
     pub zero_copy: bool,
+    /// Pin the polling thread to one inbound peer until every stream it
+    /// opened has ended — the pre-fragment-scheduling message-at-a-time
+    /// discipline, kept as the head-of-line-blocking ablation baseline.
+    pub exclusive_streams: bool,
 }
 
 impl Default for GatewayConfig {
@@ -86,11 +181,128 @@ impl Default for GatewayConfig {
             pipeline_depth: 2,
             switch_overhead_ns: 0,
             zero_copy: true,
+            exclusive_streams: false,
         }
     }
 }
 
-/// A buffer traveling through the gateway pipeline.
+/// Session-wide shutdown coordinator shared by every gateway engine.
+///
+/// [`GatewayStop::request_stop`] alone does not stop the engines: a
+/// polling thread only gives up once nothing is pending *and* the global
+/// count of accepted-but-not-fully-retransmitted streams is zero, so
+/// multi-hop messages still in flight between gateways are drained rather
+/// than dropped. [`GatewayStop::force`] (used when an application thread
+/// panicked and may never finish a stream) waives the drain.
+#[derive(Default)]
+pub struct GatewayStop {
+    stop: AtomicBool,
+    forced: AtomicBool,
+    open: AtomicU64,
+    wakers: Mutex<Vec<Arc<dyn RtEvent>>>,
+}
+
+impl std::fmt::Debug for GatewayStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayStop")
+            .field("stop", &self.stop.load(Ordering::Acquire))
+            .field("forced", &self.forced.load(Ordering::Acquire))
+            .field("open", &self.open.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl GatewayStop {
+    /// A fresh coordinator (one per session).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ask the engines to stop once all in-flight streams are drained.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    /// Stop without waiting for open streams (some may never end because
+    /// an application thread died mid-message).
+    pub fn force(&self) {
+        self.forced.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+            && (self.forced.load(Ordering::Acquire) || self.open.load(Ordering::Acquire) == 0)
+    }
+
+    fn opened(&self) {
+        self.open.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn end_forwarded(&self) {
+        if self.open.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.wake_all();
+        }
+    }
+
+    fn abandon(&self, n: u64) {
+        if n > 0 {
+            self.open.fetch_sub(n, Ordering::AcqRel);
+            self.wake_all();
+        }
+    }
+
+    fn register_waker(&self, ev: Arc<dyn RtEvent>) {
+        self.wakers.lock().unwrap().push(ev);
+    }
+
+    fn wake_all(&self) {
+        for ev in self.wakers.lock().unwrap().iter() {
+            ev.bump();
+        }
+    }
+}
+
+/// Per-engine liveness accounting: tracks how many streams this engine has
+/// accepted but not fully retransmitted, so the last thread out (normal
+/// exit or unwind) can release them from the session-wide drain count.
+struct EngineLive {
+    threads: AtomicUsize,
+    local_open: AtomicI64,
+    stopctl: Arc<GatewayStop>,
+}
+
+impl EngineLive {
+    fn opened(&self) {
+        self.local_open.fetch_add(1, Ordering::AcqRel);
+        self.stopctl.opened();
+    }
+
+    fn stream_done(&self) {
+        self.local_open.fetch_sub(1, Ordering::AcqRel);
+        self.stopctl.end_forwarded();
+    }
+}
+
+/// Armed at the top of every engine thread; its `Drop` runs even on panic,
+/// so a dying engine cannot leave the rest of the session waiting on
+/// streams it will never finish.
+struct ThreadExitGuard {
+    live: Arc<EngineLive>,
+}
+
+impl Drop for ThreadExitGuard {
+    fn drop(&mut self) {
+        if self.live.threads.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let leaked = self.live.local_open.swap(0, Ordering::AcqRel);
+            self.live.stopctl.abandon(leaked.max(0) as u64);
+        }
+    }
+}
+
+/// A buffer traveling through the gateway pipeline: one wire packet,
+/// forwarded verbatim.
 enum FwdBuf {
     /// The incoming driver's own buffer (outgoing driver is dynamic).
     Owned(Vec<u8>),
@@ -98,20 +310,24 @@ enum FwdBuf {
     Static(StaticBuf),
 }
 
-/// One pipeline slot.
-enum FwdItem {
-    /// Start of a message: where it goes next and its (re-encoded) header.
-    Start {
-        to: NodeId,
-        last_hop: bool,
-        header: Vec<u8>,
-    },
-    /// A GTM control packet forwarded verbatim (part descriptor).
-    Control(Vec<u8>),
-    /// A payload fragment.
-    Frag(FwdBuf),
-    /// The message's end packet, forwarded verbatim.
-    End(Vec<u8>),
+impl FwdBuf {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            FwdBuf::Owned(v) => v,
+            FwdBuf::Static(sb) => sb.as_slice(),
+        }
+    }
+}
+
+/// One self-contained pipeline slot: a packet plus where it goes. Items of
+/// different streams interleave freely in the queue.
+struct FwdItem {
+    to: NodeId,
+    last_hop: bool,
+    buf: FwdBuf,
+    /// True for a stream's end packet: retransmitting it releases the
+    /// stream from the session-wide drain count.
+    end_of_stream: bool,
 }
 
 /// Where the polling thread pushes pipeline items.
@@ -147,8 +363,23 @@ impl OutPath {
     }
 }
 
+/// How a polling thread lands incoming packets (fixed per inbound network,
+/// derived from the outgoing drivers it can feed).
+#[derive(Clone, Copy)]
+enum Landing {
+    /// Take the incoming driver's own buffer (some outgoing driver is
+    /// dynamic, or the outgoing static drivers disagree on ownership).
+    Owned,
+    /// Receive into an oversized static buffer of the (single) outgoing
+    /// driver and trim to the packet length.
+    Static(&'static str),
+    /// Naive extra-copy path (`zero_copy = false`).
+    Tmp,
+}
+
 /// Running gateway engine; joining waits for clean shutdown (which happens
-/// when every inbound special-channel peer has disconnected).
+/// when every inbound special-channel peer has disconnected, or the
+/// session's [`GatewayStop`] fires with no streams left to drain).
 pub struct GatewayHandles {
     threads: Vec<JoinHandle<()>>,
     stats: Arc<GatewayStats>,
@@ -183,13 +414,23 @@ pub fn spawn_gateway(
     routes: RouteTable,
     cfg: GatewayConfig,
     runtime: Arc<dyn Runtime>,
-    stop: Arc<AtomicBool>,
+    stopctl: Arc<GatewayStop>,
 ) -> GatewayHandles {
     assert!(cfg.pipeline_depth >= 1, "pipeline depth must be at least 1");
     let nets: Vec<NetworkId> = special.keys().copied().collect();
     let mut threads = Vec::new();
     let routes = Arc::new(routes);
     let stats = Arc::new(GatewayStats::default());
+    let fwd_per_net = if cfg.pipeline_depth == 1 {
+        0
+    } else {
+        nets.len() - 1
+    };
+    let live = Arc::new(EngineLive {
+        threads: AtomicUsize::new(nets.len() * (1 + fwd_per_net)),
+        local_open: AtomicI64::new(0),
+        stopctl: stopctl.clone(),
+    });
 
     // One polling thread per inbound network; per (in, out) ordered pair a
     // forwarding thread when pipelining is on.
@@ -209,26 +450,39 @@ pub fn spawn_gateway(
                 let (tx, rx) = RtQueue::<FwdItem>::with_capacity(&*runtime, cfg.pipeline_depth - 1);
                 sinks.insert(net_out, Sink::Queue(tx, out_path.clone()));
                 let name = format!("gw{}-{}-fwd-{}-{}", rank.0, vc_name, net_in, net_out);
-                threads
-                    .push(runtime.spawn(name, Box::new(move || forwarding_thread(rx, out_path))));
+                let live = live.clone();
+                threads.push(runtime.spawn(
+                    name,
+                    Box::new(move || forwarding_thread(rx, out_path, live)),
+                ));
             }
         }
         let in_channel = special[&net_in].clone();
+        stopctl.register_waker(in_channel.recv_event().clone());
         let routes = routes.clone();
         let rt = runtime.clone();
-        let stop = stop.clone();
         let stats = stats.clone();
+        let live = live.clone();
         let name = format!("gw{}-{}-in-{}", rank.0, vc_name, net_in);
         threads.push(runtime.spawn(
             name,
-            Box::new(move || polling_thread(rank, in_channel, sinks, routes, cfg, rt, stop, stats)),
+            Box::new(move || polling_thread(rank, in_channel, sinks, routes, cfg, rt, stats, live)),
         ));
     }
     GatewayHandles { threads, stats }
 }
 
-/// The polling thread of one inbound network: waits for forwarded messages
-/// on the special channel and streams them into the pipeline.
+/// Routing decision of one accepted stream, kept while it is in flight.
+struct InStream {
+    out_net: NetworkId,
+    to: NodeId,
+    last_hop: bool,
+    pair: (NodeId, NodeId),
+}
+
+/// The polling thread of one inbound network: round-robins over the
+/// connections of the special channel, relaying one self-described packet
+/// per turn and demultiplexing stream state as it goes.
 #[allow(clippy::too_many_arguments)] // internal thread entry point
 fn polling_thread(
     rank: NodeId,
@@ -237,245 +491,297 @@ fn polling_thread(
     routes: Arc<RouteTable>,
     cfg: GatewayConfig,
     runtime: Arc<dyn Runtime>,
-    stop: Arc<AtomicBool>,
     stats: Arc<GatewayStats>,
+    live: Arc<EngineLive>,
 ) {
+    let _exit = ThreadExitGuard { live: live.clone() };
+    let landing = landing_policy(&sinks, cfg);
+    let stopctl = live.stopctl.clone();
+    // Streams currently crossing this inbound network.
+    let mut streams: BTreeMap<StreamKey, InStream> = BTreeMap::new();
+    // Open-stream count per inbound peer (drives `exclusive_streams`).
+    let mut open_from: BTreeMap<NodeId, u64> = BTreeMap::new();
+    // Fair-scan cursor: the peer served last turn.
+    let mut cursor = None;
+    // Peer the thread is pinned to in `exclusive_streams` mode.
+    let mut pinned: Option<NodeId> = None;
+    // Largest possible packet, grown from the MTUs of accepted headers
+    // (every control packet fits the initial floor; a fragment is always
+    // preceded on its conduit by its stream's header).
+    let mut max_pkt = 256usize;
+
     loop {
-        let peer = match in_channel.select_ready_until(|| stop.load(Ordering::Acquire)) {
-            Ok(p) => p,
-            Err(_) => return, // inbound peers gone or session stopping
+        let peer = match pinned {
+            Some(p) => p,
+            None => match in_channel.select_ready_after(cursor, || stopctl.should_stop()) {
+                Ok(p) => p,
+                Err(_) => return, // inbound peers gone or session stopping
+            },
         };
-        match forward_one_message(
+        cursor = Some(peer);
+        let buf = match receive_packet(&in_channel, peer, landing, max_pkt) {
+            Ok(b) => b,
+            Err(MadError::Disconnected) => return,
+            Err(e) => panic!("gateway {rank} receive failed: {e}"),
+        };
+        match relay_packet(
             rank,
-            &in_channel,
             peer,
+            buf,
             &sinks,
             &routes,
             cfg,
             &runtime,
             &stats,
+            &live,
+            &mut streams,
+            &mut open_from,
+            &mut max_pkt,
         ) {
-            Ok(()) => {
-                stats.messages.fetch_add(1, Ordering::Relaxed);
-            }
+            Ok(()) => {}
             Err(MadError::Disconnected) => return,
             Err(e) => panic!("gateway {rank} forwarding failed: {e}"),
+        }
+        if cfg.exclusive_streams {
+            pinned = match open_from.get(&peer) {
+                Some(&n) if n > 0 => Some(peer),
+                _ => None,
+            };
         }
     }
 }
 
-/// Relay one complete GTM message from `peer` toward its next hop.
+/// Demultiplex and forward one received packet.
 #[allow(clippy::too_many_arguments)] // internal helper of polling_thread
-fn forward_one_message(
+fn relay_packet(
     rank: NodeId,
-    in_channel: &Arc<Channel>,
     peer: NodeId,
+    buf: FwdBuf,
     sinks: &BTreeMap<NetworkId, Sink>,
     routes: &RouteTable,
     cfg: GatewayConfig,
     runtime: &Arc<dyn Runtime>,
     stats: &GatewayStats,
+    live: &EngineLive,
+    streams: &mut BTreeMap<StreamKey, InStream>,
+    open_from: &mut BTreeMap<NodeId, u64>,
+    max_pkt: &mut usize,
 ) -> Result<()> {
-    let header_pkt = in_channel.lock_conduit(peer)?.recv_owned()?;
-    let header = match gtm::decode_control(&header_pkt)? {
-        Control::Header(h) => h,
-        other => {
-            return Err(MadError::Protocol(format!(
-                "gateway expected GTM header, got {other:?}"
-            )))
-        }
-    };
-    if header.dest == rank {
-        return Err(MadError::Protocol(format!(
-            "message for the gateway itself ({rank}) arrived on the special channel"
-        )));
-    }
-    let hop = routes.hop(header.dest)?;
-    let sink = sinks.get(&hop.net).ok_or_else(|| {
-        MadError::Protocol(format!(
-            "route to {} leaves on {}, which this gateway does not bridge",
-            header.dest, hop.net
-        ))
-    })?;
-    // The outgoing caps decide the zero-copy landing-buffer choice; they
-    // are constant per channel, so fetch them once per message.
-    let out_caps = sink.path().channel(hop.last).caps();
-
-    let mut out = OutState::start(sink, hop.node, hop.last, header_pkt)?;
-    loop {
-        let ctl_pkt = in_channel.lock_conduit(peer)?.recv_owned()?;
-        match gtm::decode_control(&ctl_pkt)? {
-            Control::Part(desc) => {
-                let mut remaining = desc.len;
-                out.push(FwdItem::Control(ctl_pkt))?;
-                while remaining > 0 {
-                    let frag_len = remaining.min(header.mtu as u64) as usize;
-                    let buf = receive_fragment(in_channel, peer, frag_len, out_caps, cfg)?;
-                    out.push(FwdItem::Frag(buf))?;
-                    runtime.charge_overhead(cfg.switch_overhead_ns);
-                    stats.fragments.fetch_add(1, Ordering::Relaxed);
-                    stats
-                        .fragment_bytes
-                        .fetch_add(frag_len as u64, Ordering::Relaxed);
-                    remaining -= frag_len as u64;
-                }
+    let (tag, body) = gtm::decode_packet(buf.bytes())?;
+    let key = tag.key();
+    match body {
+        PacketBody::Header(header) => {
+            if header.tag.dest == rank {
+                return Err(MadError::Protocol(format!(
+                    "message for the gateway itself ({rank}) arrived on the special channel"
+                )));
             }
-            Control::End => {
-                out.push(FwdItem::End(ctl_pkt))?;
-                return Ok(());
-            }
-            Control::Header(_) => {
+            if header.direct {
                 return Err(MadError::Protocol(
-                    "nested GTM header inside a message".into(),
-                ))
+                    "direct-delivery GTM stream arrived at a gateway".into(),
+                ));
             }
+            if streams.contains_key(&key) {
+                return Err(MadError::Protocol(format!(
+                    "duplicate GTM header for in-flight stream {key:?}"
+                )));
+            }
+            let hop = routes.hop(header.tag.dest)?;
+            if !sinks.contains_key(&hop.net) {
+                return Err(MadError::Protocol(format!(
+                    "route to {} leaves on {}, which this gateway does not bridge",
+                    header.tag.dest, hop.net
+                )));
+            }
+            *max_pkt = (*max_pkt).max(PRELUDE_LEN + header.mtu as usize);
+            let stream = InStream {
+                out_net: hop.net,
+                to: hop.node,
+                last_hop: hop.last,
+                pair: (tag.src, tag.dest),
+            };
+            stats.on_header(stream.pair);
+            live.opened();
+            *open_from.entry(peer).or_insert(0) += 1;
+            let sink = &sinks[&stream.out_net];
+            dispatch(sink, &stream, buf, false, false, stats, live)?;
+            streams.insert(key, stream);
+            Ok(())
+        }
+        PacketBody::Part(_) => {
+            let stream = streams.get(&key).ok_or_else(|| {
+                MadError::Protocol(format!("GTM descriptor for unknown stream {key:?}"))
+            })?;
+            dispatch(
+                &sinks[&stream.out_net],
+                stream,
+                buf,
+                false,
+                false,
+                stats,
+                live,
+            )
+        }
+        PacketBody::Frag => {
+            let stream = streams.get(&key).ok_or_else(|| {
+                MadError::Protocol(format!("GTM fragment for unknown stream {key:?}"))
+            })?;
+            let payload = (buf.bytes().len() - PRELUDE_LEN) as u64;
+            stats.on_frag(stream.pair, payload);
+            runtime.charge_overhead(cfg.switch_overhead_ns);
+            dispatch(
+                &sinks[&stream.out_net],
+                stream,
+                buf,
+                true,
+                false,
+                stats,
+                live,
+            )
+        }
+        PacketBody::End => {
+            let stream = streams
+                .remove(&key)
+                .ok_or_else(|| MadError::Protocol(format!("GTM end for unknown stream {key:?}")))?;
+            if let Some(n) = open_from.get_mut(&peer) {
+                *n = n.saturating_sub(1);
+            }
+            stats.on_end(stream.pair);
+            dispatch(
+                &sinks[&stream.out_net],
+                &stream,
+                buf,
+                false,
+                true,
+                stats,
+                live,
+            )
         }
     }
 }
 
-/// Receive one fragment from the inbound conduit into the cheapest buffer
-/// allowed by the outgoing driver's discipline (the zero-copy matrix).
-fn receive_fragment(
+/// Receive one packet from the inbound conduit into the cheapest buffer
+/// the landing policy allows.
+fn receive_packet(
     in_channel: &Arc<Channel>,
     peer: NodeId,
-    frag_len: usize,
-    out_caps: DriverCaps,
-    cfg: GatewayConfig,
+    landing: Landing,
+    max_pkt: usize,
 ) -> Result<FwdBuf> {
     let mut conduit = in_channel.lock_conduit(peer)?;
+    match landing {
+        Landing::Owned => Ok(FwdBuf::Owned(conduit.recv_owned()?)),
+        Landing::Static(owner) => {
+            let mut sb = StaticBuf::new(owner, max_pkt);
+            let n = conduit.recv_into(sb.as_mut_slice())?;
+            sb.truncate(n);
+            Ok(FwdBuf::Static(sb))
+        }
+        Landing::Tmp => {
+            let mut tmp = vec![0u8; max_pkt];
+            let n = conduit.recv_into(&mut tmp)?;
+            tmp.truncate(n);
+            Ok(FwdBuf::Owned(tmp))
+        }
+    }
+}
+
+/// Derive the landing policy of one polling thread from the buffer
+/// disciplines of every channel it can forward into.
+fn landing_policy(sinks: &BTreeMap<NetworkId, Sink>, cfg: GatewayConfig) -> Landing {
     if !cfg.zero_copy {
-        // Naive path (ablation A2): always receive into a plain temporary
-        // buffer, paying whatever extraction copy the inbound driver
-        // charges, and later whatever staging the outbound driver needs.
-        let mut tmp = vec![0u8; frag_len];
-        let n = conduit.recv_into(&mut tmp)?;
-        if n != frag_len {
-            return Err(MadError::Protocol(format!(
-                "fragment length {n} does not match descriptor remainder {frag_len}"
-            )));
-        }
-        return Ok(FwdBuf::Owned(tmp));
+        return Landing::Tmp;
     }
-    if out_caps.mode == BufferMode::Static {
-        // Land the fragment directly in an outgoing-driver buffer. When the
-        // inbound driver is static too, `recv_into` charges the one
-        // unavoidable copy.
-        let mut sb = StaticBuf::new(out_caps.name, frag_len);
-        let n = conduit.recv_into(sb.as_mut_slice())?;
-        if n != frag_len {
-            return Err(MadError::Protocol(format!(
-                "fragment length {n} does not match descriptor remainder {frag_len}"
-            )));
-        }
-        Ok(FwdBuf::Static(sb))
-    } else {
-        // Outgoing driver sends from anywhere: take the inbound driver's
-        // own buffer (zero copies even when the inbound side is static).
-        let data = conduit.recv_owned()?;
-        if data.len() != frag_len {
-            return Err(MadError::Protocol(format!(
-                "fragment length {} does not match descriptor remainder {frag_len}",
-                data.len()
-            )));
-        }
-        Ok(FwdBuf::Owned(data))
-    }
-}
-
-/// Per-message output handle: pipelined (queue) or inline (direct sends).
-enum OutState<'a> {
-    Queue(&'a RtSender<FwdItem>),
-    Inline {
-        path: &'a OutPath,
-        to: NodeId,
-        last_hop: bool,
-    },
-}
-
-impl<'a> OutState<'a> {
-    fn start(sink: &'a Sink, to: NodeId, last_hop: bool, header: Vec<u8>) -> Result<Self> {
-        match sink {
-            Sink::Queue(tx, _) => {
-                tx.push(FwdItem::Start {
-                    to,
-                    last_hop,
-                    header,
-                })
-                .map_err(|_| MadError::Disconnected)?;
-                Ok(OutState::Queue(tx))
+    let mut owner: Option<&'static str> = None;
+    for sink in sinks.values() {
+        for caps in [sink.path().regular.caps(), sink.path().special.caps()] {
+            if caps.mode != BufferMode::Static {
+                return Landing::Owned;
             }
-            Sink::Inline(path) => {
-                let channel = path.channel(last_hop);
-                let mut conduit = channel.lock_conduit(to)?;
-                if last_hop {
-                    conduit.send(&[&[NOTE_FORWARDED]])?;
+            match owner {
+                None => owner = Some(caps.name),
+                Some(o) if o == caps.name => {}
+                // Two static drivers with different buffer ownership: no
+                // single landing buffer suits both, fall back to owned.
+                Some(_) => return Landing::Owned,
+            }
+        }
+    }
+    owner.map_or(Landing::Owned, Landing::Static)
+}
+
+/// Hand one packet to its sink: enqueue for the forwarding thread (counting
+/// backpressure stalls) or retransmit inline at depth 1.
+fn dispatch(
+    sink: &Sink,
+    stream: &InStream,
+    buf: FwdBuf,
+    is_frag: bool,
+    end_of_stream: bool,
+    stats: &GatewayStats,
+    live: &EngineLive,
+) -> Result<()> {
+    let item = FwdItem {
+        to: stream.to,
+        last_hop: stream.last_hop,
+        buf,
+        end_of_stream,
+    };
+    match sink {
+        Sink::Queue(tx, _) => {
+            if is_frag {
+                stats.on_switch(stream.pair);
+            }
+            match tx.try_push(item) {
+                Ok(()) => Ok(()),
+                Err(item) => {
+                    stats.on_stall(stream.pair);
+                    tx.push(item).map_err(|_| MadError::Disconnected)
                 }
-                conduit.send(&[&header])?;
-                Ok(OutState::Inline { path, to, last_hop })
             }
         }
-    }
-
-    fn push(&mut self, item: FwdItem) -> Result<()> {
-        match self {
-            OutState::Queue(tx) => tx.push(item).map_err(|_| MadError::Disconnected),
-            OutState::Inline { path, to, last_hop } => {
-                let channel = path.channel(*last_hop);
-                let mut conduit = channel.lock_conduit(*to)?;
-                send_item(&mut **conduit, item)
+        Sink::Inline(path) => {
+            let channel = path.channel(stream.last_hop);
+            let mut conduit = channel.lock_conduit(stream.to)?;
+            send_buf(&mut **conduit, item.buf)?;
+            drop(conduit);
+            if end_of_stream {
+                live.stream_done();
             }
+            Ok(())
         }
     }
 }
 
-/// Transmit one pipeline item on an outgoing conduit.
-fn send_item(conduit: &mut dyn Conduit, item: FwdItem) -> Result<()> {
-    match item {
-        FwdItem::Start { .. } => unreachable!("Start is handled at message setup"),
-        FwdItem::Control(c) => conduit.send(&[&c]),
-        FwdItem::Frag(FwdBuf::Owned(v)) => conduit.send(&[&v]),
-        FwdItem::Frag(FwdBuf::Static(sb)) => conduit.send_static(sb),
-        FwdItem::End(e) => conduit.send(&[&e]),
+/// Transmit one pipeline buffer on an outgoing conduit.
+fn send_buf(conduit: &mut dyn Conduit, buf: FwdBuf) -> Result<()> {
+    match buf {
+        FwdBuf::Owned(v) => conduit.send(&[&v]),
+        FwdBuf::Static(sb) => conduit.send_static(sb),
     }
 }
 
 /// The forwarding thread of one (inbound, outbound) network pair: drains
-/// the pipeline and retransmits. Holds the outgoing conduit for the whole
-/// message so concurrent relays to the same next hop cannot interleave.
-fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath) {
+/// the pipeline and retransmits. Each item is self-contained, so the
+/// outgoing conduit is locked per packet — the §7b lesson-2 invariant at
+/// fragment granularity — and packets of concurrent streams interleave.
+fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, live: Arc<EngineLive>) {
+    let _exit = ThreadExitGuard { live: live.clone() };
     loop {
         let Some(item) = rx.pop() else {
             return; // polling thread gone: shut down
         };
-        let FwdItem::Start {
-            to,
-            last_hop,
-            header,
-        } = item
-        else {
-            panic!("gateway pipeline out of sync: expected Start");
+        let channel = path.channel(item.last_hop);
+        let Ok(mut conduit) = channel.lock_conduit(item.to) else {
+            return;
         };
-        let channel = path.channel(last_hop);
-        let mut conduit = match channel.lock_conduit(to) {
-            Ok(c) => c,
-            Err(_) => return,
-        };
-        let send = |conduit: &mut dyn Conduit, item: FwdItem| send_item(conduit, item);
-        if last_hop && conduit.send(&[&[NOTE_FORWARDED]]).is_err() {
+        let end = item.end_of_stream;
+        if send_buf(&mut **conduit, item.buf).is_err() {
             return;
         }
-        if conduit.send(&[&header]).is_err() {
-            return;
-        }
-        loop {
-            let Some(item) = rx.pop() else { return };
-            let end = matches!(item, FwdItem::End(_));
-            if send(&mut **conduit, item).is_err() {
-                return;
-            }
-            if end {
-                break;
-            }
+        drop(conduit);
+        if end {
+            live.stream_done();
         }
     }
 }

@@ -8,41 +8,106 @@
 //! The GTM also makes messages **self-described**, which regular Madeleine
 //! messages are not: a gateway knows nothing about the messages it relays,
 //! so each forwarded message carries its destination, the route-wide MTU,
-//! and per-block size/flag descriptors. The protocol (paper §2.3):
+//! and per-block size/flag descriptors.
 //!
-//! 1. a *header* packet: source rank, destination rank, MTU;
-//! 2. per packed block: a *descriptor* packet (length + emission/reception
-//!    constraints) followed by the block itself, fragmented into packets of
-//!    at most MTU bytes;
-//! 3. a terminating *end* packet ("the description of an empty message").
+//! ## Wire format (version 2)
 //!
-//! Control packets are tiny and framed; fragments are raw bytes (no
-//! per-fragment header), so gateways and receivers can land them with zero
-//! copies.
+//! Version 2 extends the self-description from the *message* level down to
+//! the *packet* level: every packet — control and fragment alike — opens
+//! with a fixed 15-byte prelude identifying the stream it belongs to:
+//!
+//! ```text
+//! offset 0   GTM_MAGIC (0xAD)
+//! offset 1   GTM_VERSION (2)
+//! offset 2   kind: 1 = header, 2 = part descriptor, 3 = end, 4 = fragment
+//! offset 3   source rank       (u32 LE)
+//! offset 7   destination rank  (u32 LE)
+//! offset 11  message id        (u32 LE, per-source counter)
+//! ```
+//!
+//! followed by a kind-specific body:
+//!
+//! * **header** — route-wide MTU (u32 LE) + a flags byte (bit 0: the
+//!   message is a *direct* delivery from a gateway-resident sender and
+//!   never crossed a gateway);
+//! * **part** — block length (u64 LE) + emission/reception constraint
+//!   bytes;
+//! * **fragment** — raw block bytes (at most MTU of them) at offset 15;
+//! * **end** — nothing ("the description of an empty message").
+//!
+//! Because each packet names its stream, packets from concurrent messages
+//! may interleave freely on a shared conduit: gateways forward at fragment
+//! granularity instead of draining one message at a time, and the receive
+//! side demultiplexes with [`StreamAssembler`]. The §7b lesson-2 atomicity
+//! invariant consequently shrinks from hold-the-conduit-per-message to
+//! hold-per-packet — each packet is sent as a single gather operation
+//! under a single conduit-lock hold.
+//!
+//! The stream tag rides *inside* the fragment packet (as a gather prelude)
+//! rather than as a separate control packet: per-packet send overhead on
+//! the modeled networks is 20–60 µs, so a tag packet per fragment would
+//! nearly double forwarding cost, while 15 extra bytes in-packet are noise.
+//! The tag is route-invariant, which lets gateways relay packets verbatim
+//! — the zero-copy forwarding matrix of §2.3 is unchanged.
+
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::channel::Channel;
-use crate::conduit::Conduit;
 use crate::error::{MadError, Result};
 use crate::flags::{RecvMode, SendMode};
-use crate::runtime::RtLockGuard;
 use crate::types::NodeId;
 
-/// First byte of every GTM control packet.
+/// First byte of every GTM packet.
 pub const GTM_MAGIC: u8 = 0xAD;
+/// Wire-format version emitted and accepted by this module.
+pub const GTM_VERSION: u8 = 2;
+/// Length of the common packet prelude; also the fragment payload offset.
+pub const PRELUDE_LEN: usize = 15;
 
-const KIND_HEADER: u8 = 1;
-const KIND_PART: u8 = 2;
-const KIND_END: u8 = 3;
+pub(crate) const KIND_HEADER: u8 = 1;
+pub(crate) const KIND_PART: u8 = 2;
+pub(crate) const KIND_END: u8 = 3;
+pub(crate) const KIND_FRAG: u8 = 4;
 
-/// Message-level self-description carried by the header packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GtmHeader {
+const HEADER_LEN: usize = PRELUDE_LEN + 5;
+const PART_LEN: usize = PRELUDE_LEN + 10;
+
+/// Flag bit: the stream is a direct (zero-gateway) delivery.
+const FLAG_DIRECT: u8 = 1;
+
+/// Identity of one in-flight message stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StreamTag {
     /// Originating rank.
     pub src: NodeId,
     /// Final destination rank.
     pub dest: NodeId,
+    /// Per-source message counter, unique among the source's live streams.
+    pub msg_id: u32,
+}
+
+/// Demultiplexing key: `(source rank, message id)`. The destination is not
+/// part of the key — at any given hop all streams from one source share a
+/// message-id space, and the final receiver only sees its own.
+pub type StreamKey = (u32, u32);
+
+impl StreamTag {
+    /// The demultiplexing key for this stream.
+    pub fn key(&self) -> StreamKey {
+        (self.src.0, self.msg_id)
+    }
+}
+
+/// Message-level self-description carried by the header packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtmHeader {
+    /// The stream this header opens.
+    pub tag: StreamTag,
     /// Fragment size used for the whole route.
     pub mtu: u32,
+    /// True for direct (zero-gateway) deliveries from gateway-resident
+    /// senders; such streams never enter a forwarding engine.
+    pub direct: bool,
 }
 
 /// Per-block self-description carried by a descriptor packet.
@@ -56,86 +121,127 @@ pub struct GtmPartDesc {
     pub recv: RecvMode,
 }
 
-/// A decoded GTM control packet.
+/// The kind-specific body of a decoded packet. Fragment payload bytes stay
+/// in the packet buffer (from offset [`PRELUDE_LEN`]); use
+/// [`frag_payload`] to borrow them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Control {
-    /// Start of a forwarded message.
+pub enum PacketBody {
+    /// Start of a stream.
     Header(GtmHeader),
     /// Descriptor of the next block.
     Part(GtmPartDesc),
-    /// End of the message.
+    /// One MTU-bounded slice of block data.
+    Frag,
+    /// End of the stream.
     End,
+}
+
+fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
+    v.push(GTM_MAGIC);
+    v.push(GTM_VERSION);
+    v.push(kind);
+    v.extend_from_slice(&tag.src.0.to_le_bytes());
+    v.extend_from_slice(&tag.dest.0.to_le_bytes());
+    v.extend_from_slice(&tag.msg_id.to_le_bytes());
 }
 
 /// Encode a header packet.
 pub fn encode_header(h: &GtmHeader) -> Vec<u8> {
-    let mut v = Vec::with_capacity(14);
-    v.push(GTM_MAGIC);
-    v.push(KIND_HEADER);
-    v.extend_from_slice(&h.src.0.to_le_bytes());
-    v.extend_from_slice(&h.dest.0.to_le_bytes());
+    let mut v = Vec::with_capacity(HEADER_LEN);
+    prelude_into(&mut v, KIND_HEADER, &h.tag);
     v.extend_from_slice(&h.mtu.to_le_bytes());
+    v.push(if h.direct { FLAG_DIRECT } else { 0 });
     v
 }
 
 /// Encode a block-descriptor packet.
-pub fn encode_part(d: &GtmPartDesc) -> Vec<u8> {
-    let mut v = Vec::with_capacity(12);
-    v.push(GTM_MAGIC);
-    v.push(KIND_PART);
+pub fn encode_part(tag: &StreamTag, d: &GtmPartDesc) -> Vec<u8> {
+    let mut v = Vec::with_capacity(PART_LEN);
+    prelude_into(&mut v, KIND_PART, tag);
     v.extend_from_slice(&d.len.to_le_bytes());
     v.push(d.send.to_wire());
     v.push(d.recv.to_wire());
     v
 }
 
-/// Encode the end-of-message packet.
-pub fn encode_end() -> Vec<u8> {
-    vec![GTM_MAGIC, KIND_END]
+/// Encode the end-of-stream packet.
+pub fn encode_end(tag: &StreamTag) -> Vec<u8> {
+    let mut v = Vec::with_capacity(PRELUDE_LEN);
+    prelude_into(&mut v, KIND_END, tag);
+    v
 }
 
-/// Decode a control packet. Fails on anything that is not well-formed GTM
-/// control framing (fragments must never be fed here: callers track when a
-/// fragment is expected from the preceding descriptor).
-pub fn decode_control(packet: &[u8]) -> Result<Control> {
-    let err = |msg: &str| MadError::Protocol(format!("GTM control: {msg}"));
-    if packet.len() < 2 || packet[0] != GTM_MAGIC {
+/// The constant fragment prelude for a stream. Senders emit each fragment
+/// as one gather send `[prelude, chunk]`, so the tag costs no extra packet.
+pub fn frag_prelude(tag: &StreamTag) -> [u8; PRELUDE_LEN] {
+    let mut v = Vec::with_capacity(PRELUDE_LEN);
+    prelude_into(&mut v, KIND_FRAG, tag);
+    v.try_into().expect("prelude length")
+}
+
+/// Borrow the payload bytes of a fragment packet.
+pub fn frag_payload(packet: &[u8]) -> &[u8] {
+    &packet[PRELUDE_LEN..]
+}
+
+/// Decode any GTM packet into its stream tag and body. Fails on anything
+/// that is not well-formed version-2 framing.
+pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
+    let err = |msg: &str| MadError::Protocol(format!("GTM packet: {msg}"));
+    if packet.len() < PRELUDE_LEN || packet[0] != GTM_MAGIC {
         return Err(err("bad magic"));
     }
-    match packet[1] {
+    if packet[1] != GTM_VERSION {
+        return Err(err("unsupported version"));
+    }
+    let tag = StreamTag {
+        src: NodeId(u32::from_le_bytes(packet[3..7].try_into().unwrap())),
+        dest: NodeId(u32::from_le_bytes(packet[7..11].try_into().unwrap())),
+        msg_id: u32::from_le_bytes(packet[11..15].try_into().unwrap()),
+    };
+    let body = match packet[2] {
         KIND_HEADER => {
-            if packet.len() != 14 {
+            if packet.len() != HEADER_LEN {
                 return Err(err("header length"));
             }
-            let src = u32::from_le_bytes(packet[2..6].try_into().unwrap());
-            let dest = u32::from_le_bytes(packet[6..10].try_into().unwrap());
-            let mtu = u32::from_le_bytes(packet[10..14].try_into().unwrap());
+            let mtu = u32::from_le_bytes(packet[15..19].try_into().unwrap());
             if mtu == 0 {
                 return Err(err("zero MTU"));
             }
-            Ok(Control::Header(GtmHeader {
-                src: NodeId(src),
-                dest: NodeId(dest),
+            let flags = packet[19];
+            if flags & !FLAG_DIRECT != 0 {
+                return Err(err("unknown header flags"));
+            }
+            PacketBody::Header(GtmHeader {
+                tag,
                 mtu,
-            }))
+                direct: flags & FLAG_DIRECT != 0,
+            })
         }
         KIND_PART => {
-            if packet.len() != 12 {
+            if packet.len() != PART_LEN {
                 return Err(err("descriptor length"));
             }
-            let len = u64::from_le_bytes(packet[2..10].try_into().unwrap());
-            let send = SendMode::from_wire(packet[10]).ok_or_else(|| err("send mode"))?;
-            let recv = RecvMode::from_wire(packet[11]).ok_or_else(|| err("recv mode"))?;
-            Ok(Control::Part(GtmPartDesc { len, send, recv }))
+            let len = u64::from_le_bytes(packet[15..23].try_into().unwrap());
+            let send = SendMode::from_wire(packet[23]).ok_or_else(|| err("send mode"))?;
+            let recv = RecvMode::from_wire(packet[24]).ok_or_else(|| err("recv mode"))?;
+            PacketBody::Part(GtmPartDesc { len, send, recv })
         }
         KIND_END => {
-            if packet.len() != 2 {
+            if packet.len() != PRELUDE_LEN {
                 return Err(err("end length"));
             }
-            Ok(Control::End)
+            PacketBody::End
         }
-        _ => Err(err("unknown kind")),
-    }
+        KIND_FRAG => {
+            if packet.len() == PRELUDE_LEN {
+                return Err(err("empty fragment"));
+            }
+            PacketBody::Frag
+        }
+        _ => Err(err("unknown kind"))?,
+    };
+    Ok((tag, body))
 }
 
 /// Number of fragments a `len`-byte block occupies at a given MTU.
@@ -147,67 +253,78 @@ pub fn fragment_count(len: u64, mtu: u32) -> u64 {
     }
 }
 
-/// Sender side of the GTM: writes a self-described, MTU-fragmented message
-/// toward the first hop (a gateway, over a *special* channel).
+/// Sender side of the GTM: writes a self-described, MTU-fragmented stream
+/// toward the first hop (a gateway over a *special* channel, or — for
+/// direct streams from gateway-resident senders — the destination itself
+/// over the *regular* channel).
 ///
 /// The GTM transmits eagerly — each block leaves at `pack` time — which is
-/// what keeps the gateway pipeline fed. The first-hop conduit is held
-/// exclusively from `begin` to `end_packing`: on gateway nodes the
-/// forwarding engine relays other nodes' messages over the *same* special
-/// conduits, and whole-message locking is what keeps the two streams from
-/// interleaving.
+/// what keeps the gateway pipeline fed. Unlike version 1, the conduit is
+/// *not* held across the message: every packet is self-described, so each
+/// is sent under its own lock hold and packets of concurrent streams
+/// interleave freely on shared conduits.
 pub struct GtmWriter<'c> {
-    conduit: RtLockGuard<'c, Box<dyn Conduit>>,
+    channel: &'c Channel,
+    first_hop: NodeId,
+    tag: StreamTag,
+    frag_prelude: [u8; PRELUDE_LEN],
     mtu: usize,
     finished: bool,
 }
 
 impl<'c> GtmWriter<'c> {
-    /// Start a forwarded message: emits the header packet immediately.
+    /// Start a stream: emits the header packet immediately.
     pub fn begin(
         channel: &'c Channel,
         first_hop: NodeId,
-        src: NodeId,
-        dest: NodeId,
+        tag: StreamTag,
         mtu: usize,
+        direct: bool,
     ) -> Result<Self> {
         assert!(mtu > 0, "GTM MTU must be positive");
         assert!(
-            mtu <= channel.caps().max_packet,
-            "GTM MTU exceeds the first hop's max packet size"
+            mtu.saturating_add(PRELUDE_LEN) <= channel.caps().max_packet,
+            "GTM MTU plus fragment prelude exceeds the first hop's max packet size"
         );
         let header = encode_header(&GtmHeader {
-            src,
-            dest,
+            tag,
             mtu: mtu as u32,
+            direct,
         });
-        let mut conduit = channel.lock_conduit(first_hop)?;
-        conduit.send(&[&header])?;
+        channel.send_packet(first_hop, &[&header])?;
         Ok(GtmWriter {
-            conduit,
+            channel,
+            first_hop,
+            tag,
+            frag_prelude: frag_prelude(&tag),
             mtu,
             finished: false,
         })
     }
 
-    /// Append a block: descriptor packet, then raw MTU-sized fragments.
+    /// Append a block: descriptor packet, then tagged MTU-sized fragments.
     pub fn pack(&mut self, data: &[u8], send: SendMode, recv: RecvMode) -> Result<()> {
-        let desc = encode_part(&GtmPartDesc {
-            len: data.len() as u64,
-            send,
-            recv,
-        });
-        self.conduit.send(&[&desc])?;
+        let desc = encode_part(
+            &self.tag,
+            &GtmPartDesc {
+                len: data.len() as u64,
+                send,
+                recv,
+            },
+        );
+        self.channel.send_packet(self.first_hop, &[&desc])?;
         for chunk in data.chunks(self.mtu) {
-            self.conduit.send(&[chunk])?;
+            self.channel
+                .send_packet(self.first_hop, &[&self.frag_prelude, chunk])?;
         }
         Ok(())
     }
 
-    /// Finish the message with the end packet and release the conduit.
+    /// Finish the stream with the end packet.
     pub fn end_packing(mut self) -> Result<()> {
         self.finished = true;
-        self.conduit.send(&[&encode_end()])
+        self.channel
+            .send_packet(self.first_hop, &[&encode_end(&self.tag)])
     }
 }
 
@@ -219,96 +336,101 @@ impl Drop for GtmWriter<'_> {
     }
 }
 
-/// Receiver side of the GTM, used by the final destination after the
-/// last-hop gateway announced a forwarded message on the regular channel.
-pub struct GtmReader<'c> {
-    channel: &'c Channel,
-    /// The last-hop gateway we are physically receiving from.
-    via: NodeId,
+/// One buffered item of a partially received stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamItem {
+    /// Descriptor of the next block.
+    Part(GtmPartDesc),
+    /// A fragment packet, stored verbatim (payload at [`PRELUDE_LEN`]).
+    Frag(Vec<u8>),
+    /// End of the stream.
+    End,
+}
+
+struct PendingStream {
     header: GtmHeader,
-    finished: bool,
+    items: VecDeque<StreamItem>,
 }
 
-impl<'c> GtmReader<'c> {
-    /// Read the header packet from `via` and set up the reader.
-    pub fn begin(channel: &'c Channel, via: NodeId) -> Result<Self> {
-        let packet = channel.lock_conduit(via)?.recv_owned()?;
-        match decode_control(&packet)? {
-            Control::Header(header) => Ok(GtmReader {
-                channel,
-                via,
-                header,
-                finished: false,
-            }),
-            other => Err(MadError::Protocol(format!(
-                "expected GTM header, got {other:?}"
-            ))),
-        }
+/// Receive-side demultiplexer: turns an interleaved sequence of version-2
+/// packets (from any number of conduits) back into per-stream item queues.
+///
+/// Purely computational — no I/O, no locking — so the interleave/reassemble
+/// logic is testable in isolation. Streams become *ready* in header-arrival
+/// order; [`StreamAssembler::pop_ready`] hands them out FIFO, which is what
+/// preserves per-sender delivery order end to end.
+#[derive(Default)]
+pub struct StreamAssembler {
+    streams: BTreeMap<StreamKey, PendingStream>,
+    ready: VecDeque<StreamKey>,
+}
+
+impl StreamAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// The original sender of the forwarded message.
-    pub fn source(&self) -> NodeId {
-        self.header.src
-    }
-
-    /// The message header.
-    pub fn header(&self) -> GtmHeader {
-        self.header
-    }
-
-    /// Receive the next block into `dst`, validating the self-description
-    /// against the caller's expectation. Data is valid on return (the GTM
-    /// is eager, so express semantics hold for every block).
-    pub fn unpack(&mut self, dst: &mut [u8], send: SendMode, recv: RecvMode) -> Result<()> {
-        let mut conduit = self.channel.lock_conduit(self.via)?;
-        let packet = conduit.recv_owned()?;
-        let desc = match decode_control(&packet)? {
-            Control::Part(d) => d,
-            other => {
-                return Err(MadError::Protocol(format!(
-                    "expected GTM part descriptor, got {other:?}"
-                )))
+    /// Feed one received packet. Returns the stream key when the packet
+    /// opened a new stream (its header just arrived).
+    pub fn push_packet(&mut self, packet: Vec<u8>) -> Result<Option<StreamKey>> {
+        let (tag, body) = decode_packet(&packet)?;
+        let key = tag.key();
+        match body {
+            PacketBody::Header(header) => {
+                if self.streams.contains_key(&key) {
+                    return Err(MadError::Protocol(format!(
+                        "duplicate GTM header for stream {key:?}"
+                    )));
+                }
+                self.streams.insert(
+                    key,
+                    PendingStream {
+                        header,
+                        items: VecDeque::new(),
+                    },
+                );
+                self.ready.push_back(key);
+                Ok(Some(key))
             }
-        };
-        if desc.len != dst.len() as u64 {
-            return Err(MadError::SequenceMismatch(format!(
-                "forwarded block is {} bytes, unpack expected {}",
-                desc.len,
-                dst.len()
-            )));
-        }
-        if desc.send != send || desc.recv != recv {
-            return Err(MadError::SequenceMismatch(format!(
-                "forwarded block flags ({:?},{:?}) != unpack flags ({:?},{:?})",
-                desc.send, desc.recv, send, recv
-            )));
-        }
-        let mut cursor = 0;
-        while cursor < dst.len() {
-            let n = conduit.recv_into(&mut dst[cursor..])?;
-            cursor += n;
-        }
-        Ok(())
-    }
-
-    /// Consume the end packet and finish.
-    pub fn end_unpacking(mut self) -> Result<()> {
-        self.finished = true;
-        let packet = self.channel.lock_conduit(self.via)?.recv_owned()?;
-        match decode_control(&packet)? {
-            Control::End => Ok(()),
-            other => Err(MadError::Protocol(format!(
-                "expected GTM end, got {other:?}"
-            ))),
+            body => {
+                let stream = self.streams.get_mut(&key).ok_or_else(|| {
+                    MadError::Protocol(format!("GTM packet for unknown stream {key:?}"))
+                })?;
+                stream.items.push_back(match body {
+                    PacketBody::Part(d) => StreamItem::Part(d),
+                    PacketBody::Frag => StreamItem::Frag(packet),
+                    PacketBody::End => StreamItem::End,
+                    PacketBody::Header(_) => unreachable!(),
+                });
+                Ok(None)
+            }
         }
     }
-}
 
-impl Drop for GtmReader<'_> {
-    fn drop(&mut self) {
-        if !self.finished && !std::thread::panicking() {
-            panic!("GtmReader dropped without end_unpacking");
-        }
+    /// Next unclaimed stream, in header-arrival order.
+    pub fn pop_ready(&mut self) -> Option<StreamKey> {
+        self.ready.pop_front()
+    }
+
+    /// The header of a known stream.
+    pub fn header(&self, key: StreamKey) -> Option<GtmHeader> {
+        self.streams.get(&key).map(|s| s.header)
+    }
+
+    /// Pop the next buffered item of a stream, if any.
+    pub fn next_item(&mut self, key: StreamKey) -> Option<StreamItem> {
+        self.streams.get_mut(&key)?.items.pop_front()
+    }
+
+    /// Drop a fully consumed stream.
+    pub fn finish(&mut self, key: StreamKey) {
+        self.streams.remove(&key);
+    }
+
+    /// True when no stream state is held at all.
+    pub fn is_idle(&self) -> bool {
+        self.streams.is_empty() && self.ready.is_empty()
     }
 }
 
@@ -316,45 +438,91 @@ impl Drop for GtmReader<'_> {
 mod tests {
     use super::*;
 
+    fn tag(src: u32, dest: u32, msg_id: u32) -> StreamTag {
+        StreamTag {
+            src: NodeId(src),
+            dest: NodeId(dest),
+            msg_id,
+        }
+    }
+
     #[test]
     fn control_round_trips() {
         let h = GtmHeader {
-            src: NodeId(3),
-            dest: NodeId(7),
+            tag: tag(3, 7, 41),
             mtu: 16384,
+            direct: false,
         };
-        assert_eq!(decode_control(&encode_header(&h)), Ok(Control::Header(h)));
+        assert_eq!(
+            decode_packet(&encode_header(&h)),
+            Ok((h.tag, PacketBody::Header(h)))
+        );
+        let hd = GtmHeader {
+            tag: tag(2, 5, 0),
+            mtu: 1,
+            direct: true,
+        };
+        assert_eq!(
+            decode_packet(&encode_header(&hd)),
+            Ok((hd.tag, PacketBody::Header(hd)))
+        );
         let d = GtmPartDesc {
             len: 123456789,
             send: SendMode::Later,
             recv: RecvMode::Cheaper,
         };
-        assert_eq!(decode_control(&encode_part(&d)), Ok(Control::Part(d)));
-        assert_eq!(decode_control(&encode_end()), Ok(Control::End));
+        let t = tag(1, 2, 3);
+        assert_eq!(
+            decode_packet(&encode_part(&t, &d)),
+            Ok((t, PacketBody::Part(d)))
+        );
+        assert_eq!(decode_packet(&encode_end(&t)), Ok((t, PacketBody::End)));
+        let mut frag = frag_prelude(&t).to_vec();
+        frag.extend_from_slice(b"abc");
+        assert_eq!(decode_packet(&frag), Ok((t, PacketBody::Frag)));
+        assert_eq!(frag_payload(&frag), b"abc");
     }
 
     #[test]
-    fn malformed_controls_rejected() {
-        assert!(decode_control(&[]).is_err());
-        assert!(decode_control(&[0x00, KIND_END]).is_err());
-        assert!(decode_control(&[GTM_MAGIC, 99]).is_err());
-        assert!(decode_control(&[GTM_MAGIC, KIND_HEADER, 1, 2]).is_err());
-        // Zero MTU header.
-        let mut h = encode_header(&GtmHeader {
-            src: NodeId(0),
-            dest: NodeId(1),
-            mtu: 1,
+    fn malformed_packets_rejected() {
+        assert!(decode_packet(&[]).is_err());
+        assert!(decode_packet(&[0x00; PRELUDE_LEN]).is_err());
+        // Version 1 framing must be rejected, not misparsed.
+        let mut v1ish = encode_end(&tag(0, 1, 0));
+        v1ish[1] = 1;
+        assert!(decode_packet(&v1ish).is_err());
+        // Unknown kind.
+        let mut bad = encode_end(&tag(0, 1, 0));
+        bad[2] = 99;
+        assert!(decode_packet(&bad).is_err());
+        // Truncated header.
+        let h = encode_header(&GtmHeader {
+            tag: tag(0, 1, 0),
+            mtu: 64,
+            direct: false,
         });
-        h[10..14].copy_from_slice(&0u32.to_le_bytes());
-        assert!(decode_control(&h).is_err());
+        assert!(decode_packet(&h[..h.len() - 1]).is_err());
+        // Zero MTU.
+        let mut z = h.clone();
+        z[15..19].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_packet(&z).is_err());
+        // Unknown flag bits.
+        let mut f = h.clone();
+        f[19] = 0xF0;
+        assert!(decode_packet(&f).is_err());
         // Bad flag bytes in a descriptor.
-        let mut d = encode_part(&GtmPartDesc {
-            len: 1,
-            send: SendMode::Safer,
-            recv: RecvMode::Express,
-        });
-        d[10] = 77;
-        assert!(decode_control(&d).is_err());
+        let mut d = encode_part(
+            &tag(0, 1, 0),
+            &GtmPartDesc {
+                len: 1,
+                send: SendMode::Safer,
+                recv: RecvMode::Express,
+            },
+        );
+        d[23] = 77;
+        assert!(decode_packet(&d).is_err());
+        // A fragment must carry at least one payload byte.
+        assert!(decode_packet(&frag_prelude(&tag(0, 1, 0))).is_err());
     }
 
     #[test]
@@ -364,5 +532,79 @@ mod tests {
         assert_eq!(fragment_count(1024, 1024), 1);
         assert_eq!(fragment_count(1025, 1024), 2);
         assert_eq!(fragment_count(10 * 1024, 1024), 10);
+    }
+
+    #[test]
+    fn assembler_demultiplexes_interleaved_streams() {
+        let (ta, tb) = (tag(0, 9, 0), tag(4, 9, 7));
+        let mut frag_a = frag_prelude(&ta).to_vec();
+        frag_a.extend_from_slice(b"aaaa");
+        let mut frag_b = frag_prelude(&tb).to_vec();
+        frag_b.extend_from_slice(b"bb");
+        let part = |t: &StreamTag, len: u64| {
+            encode_part(
+                t,
+                &GtmPartDesc {
+                    len,
+                    send: SendMode::Later,
+                    recv: RecvMode::Cheaper,
+                },
+            )
+        };
+
+        let mut asm = StreamAssembler::new();
+        // Interleave two streams packet by packet.
+        asm.push_packet(encode_header(&GtmHeader {
+            tag: ta,
+            mtu: 4,
+            direct: false,
+        }))
+        .unwrap();
+        asm.push_packet(encode_header(&GtmHeader {
+            tag: tb,
+            mtu: 4,
+            direct: true,
+        }))
+        .unwrap();
+        asm.push_packet(part(&ta, 4)).unwrap();
+        asm.push_packet(part(&tb, 2)).unwrap();
+        asm.push_packet(frag_b.clone()).unwrap();
+        asm.push_packet(frag_a.clone()).unwrap();
+        asm.push_packet(encode_end(&tb)).unwrap();
+        asm.push_packet(encode_end(&ta)).unwrap();
+
+        // Ready order follows header arrival.
+        let ka = asm.pop_ready().unwrap();
+        let kb = asm.pop_ready().unwrap();
+        assert_eq!(ka, ta.key());
+        assert_eq!(kb, tb.key());
+        assert!(!asm.header(ka).unwrap().direct);
+        assert!(asm.header(kb).unwrap().direct);
+        // Each stream drains in its own order, unpolluted by the other.
+        assert!(matches!(asm.next_item(ka), Some(StreamItem::Part(d)) if d.len == 4));
+        assert_eq!(asm.next_item(ka), Some(StreamItem::Frag(frag_a)));
+        assert_eq!(asm.next_item(ka), Some(StreamItem::End));
+        assert!(matches!(asm.next_item(kb), Some(StreamItem::Part(d)) if d.len == 2));
+        assert_eq!(asm.next_item(kb), Some(StreamItem::Frag(frag_b)));
+        assert_eq!(asm.next_item(kb), Some(StreamItem::End));
+        asm.finish(ka);
+        asm.finish(kb);
+        assert!(asm.is_idle());
+    }
+
+    #[test]
+    fn assembler_rejects_protocol_violations() {
+        let t = tag(1, 2, 3);
+        let mut asm = StreamAssembler::new();
+        // Body packet for a stream whose header never arrived.
+        assert!(asm.push_packet(encode_end(&t)).is_err());
+        let h = GtmHeader {
+            tag: t,
+            mtu: 16,
+            direct: false,
+        };
+        asm.push_packet(encode_header(&h)).unwrap();
+        // Duplicate header for a live stream.
+        assert!(asm.push_packet(encode_header(&h)).is_err());
     }
 }

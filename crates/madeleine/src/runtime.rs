@@ -340,6 +340,21 @@ impl<T> RtSender<T> {
             self.inner.nonfull.wait_past(seen);
         }
     }
+
+    /// Non-blocking push: `Err(item)` when the queue is at capacity or every
+    /// receiver is gone. Lets producers observe backpressure (the gateway
+    /// counts these as pipeline stalls) before falling back to a blocking
+    /// [`RtSender::push`].
+    pub fn try_push(&self, item: T) -> std::result::Result<(), T> {
+        let mut st = self.inner.q.lock();
+        if st.consumers == 0 || st.items.len() >= self.inner.capacity {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.inner.nonempty.bump();
+        Ok(())
+    }
 }
 
 impl<T> Clone for RtReceiver<T> {

@@ -10,14 +10,13 @@
 //! dependency order.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mad_util::sync::Mutex;
 
 use crate::channel::Channel;
 use crate::conduit::{Conduit, Driver};
-use crate::gateway::{spawn_gateway, GatewayConfig, GatewayHandles};
+use crate::gateway::{spawn_gateway, GatewayConfig, GatewayHandles, GatewayStop};
 use crate::routing::{self, NetworkMembers};
 use crate::runtime::{RtEvent, Runtime, StdRuntime};
 use crate::types::{ChannelId, NetworkId, NodeId};
@@ -271,7 +270,7 @@ impl SessionBuilder {
         let mut vcs: Vec<(String, HashMap<NodeId, Arc<VirtualChannel>>)> = Vec::new();
         let mut gateway_handles: Vec<GatewayHandles> = Vec::new();
         let mut gateway_stats: GatewayStatsReport = Vec::new();
-        let gateway_stop = Arc::new(AtomicBool::new(false));
+        let gateway_stop = Arc::new(GatewayStop::new());
         for vdef in &self.vchannels {
             let nm: Vec<NetworkMembers> = vdef
                 .nets
@@ -326,7 +325,8 @@ impl SessionBuilder {
             );
 
             // Gateway engines.
-            for gw in routing::gateways(&nm) {
+            let gateways = routing::gateways(&nm);
+            for &gw in &gateways {
                 let handles = spawn_gateway(
                     gw,
                     &vdef.name,
@@ -352,6 +352,7 @@ impl SessionBuilder {
                     routing::compute_routes(&nm, rank),
                     mtu,
                     node_events[rank.index()].clone(),
+                    gateways.contains(&rank),
                 );
                 per_node.insert(rank, Arc::new(vc));
             }
@@ -403,11 +404,16 @@ impl SessionBuilder {
                 panic.get_or_insert(e);
             }
         }
-        // With every application thread done, nothing of value is in flight:
-        // tell the gateway engines to stop once idle (two gateways listening
-        // on opposite ends of one channel would otherwise keep each other's
-        // receive sides open forever) and wake them up.
-        gateway_stop.store(true, Ordering::Release);
+        // With every application thread done, tell the gateway engines to
+        // stop — but only once every in-flight stream has drained, so no
+        // already-sent message is lost (two gateways listening on opposite
+        // ends of one channel would otherwise keep each other's receive
+        // sides open forever). If a node panicked, streams may never
+        // complete: force the stop instead of hanging the teardown.
+        gateway_stop.request_stop();
+        if panic.is_some() {
+            gateway_stop.force();
+        }
         for ev in &node_events {
             ev.bump();
         }

@@ -10,27 +10,58 @@
 //!
 //! Messages always complete their last hop on the *regular* channel (the
 //! multi-gateway disambiguation argument of §2.2.2), so a receiver cannot
-//! tell from the channel alone whether a message was forwarded. A one-byte
-//! *note* packet therefore precedes every message body ("we chose to
-//! transmit this information before the actual message body transmission"),
-//! selecting the plain or GTM decoding.
+//! tell from the channel alone whether a message was forwarded. On the
+//! wire two framings coexist:
+//!
+//! * plain messages from non-gateway senders open with a one-byte
+//!   [`NOTE_DIRECT`] packet ("we chose to transmit this information before
+//!   the actual message body transmission") followed by the raw body;
+//! * everything else — forwarded streams relayed by a gateway *and* direct
+//!   messages sent by gateway-resident applications — is GTM version-2
+//!   framed, every packet carrying its stream tag.
+//!
+//! Gateway-resident senders cannot use the plain framing: their node's
+//! forwarding engine interleaves relayed packets on the same outgoing
+//! conduits at fragment granularity, and a raw (non-self-described) body
+//! in the middle of that stream would be unparseable. Their direct
+//! messages therefore travel as GTM streams flagged *direct*, which keeps
+//! `is_forwarded()` honest. The first byte disambiguates the two framings
+//! (`NOTE_DIRECT` = 0, GTM magic = 0xAD).
+//!
+//! The receive side runs a small demultiplexer: packets are pumped one at
+//! a time from ready conduits into a [`StreamAssembler`], which hands back
+//! whole streams in header-arrival order. While a reader drains its
+//! stream, packets of other interleaved streams arriving on the same
+//! conduit are buffered, not lost. Fragment payloads are copied out of the
+//! received packet into the application buffer; the copy is charged to the
+//! cost model only on static-mode networks (matching the old direct
+//! `recv_into` landing — on dynamic-mode networks it models the NIC
+//! demultiplexing into a posted receive).
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::channel::Channel;
+use crate::conduit::BufferMode;
 use crate::error::{MadError, Result};
 use crate::flags::{RecvMode, SendMode};
-use crate::gtm::{GtmReader, GtmWriter};
+use crate::gtm::{self, GtmHeader, GtmWriter, StreamAssembler, StreamItem, StreamKey, StreamTag};
 use crate::message::{MessageReader, MessageWriter};
 use crate::routing::RouteTable;
 use crate::runtime::RtEvent;
 use crate::types::{NetworkId, NodeId};
 
-/// Note byte announcing a direct message.
+/// Note byte announcing a plain direct message (non-gateway senders only).
 pub const NOTE_DIRECT: u8 = 0;
-/// Note byte announcing a gateway-forwarded (GTM-encoded) message.
-pub const NOTE_FORWARDED: u8 = 1;
+
+/// Receive-side demultiplexing state: the assembler plus, per stream, the
+/// conduit it arrives on (so a reader knows where to pump for more).
+#[derive(Default)]
+struct Demux {
+    asm: StreamAssembler,
+    via: BTreeMap<StreamKey, (NetworkId, NodeId)>,
+}
 
 /// A virtual channel, seen from one node.
 pub struct VirtualChannel {
@@ -41,6 +72,11 @@ pub struct VirtualChannel {
     routes: RouteTable,
     mtu: usize,
     recv_event: Arc<dyn RtEvent>,
+    /// True when this node runs a forwarding engine for the channel; its
+    /// direct sends must then be GTM-framed (see module docs).
+    is_gateway: bool,
+    next_msg_id: AtomicU32,
+    demux: Mutex<Demux>,
 }
 
 impl std::fmt::Debug for VirtualChannel {
@@ -50,12 +86,14 @@ impl std::fmt::Debug for VirtualChannel {
             .field("rank", &self.rank)
             .field("networks", &self.regular.keys().collect::<Vec<_>>())
             .field("mtu", &self.mtu)
+            .field("is_gateway", &self.is_gateway)
             .finish()
     }
 }
 
 impl VirtualChannel {
     /// Assemble a virtual channel (session-bootstrap use).
+    #[allow(clippy::too_many_arguments)] // a one-caller bootstrap function
     pub fn assemble(
         name: String,
         rank: NodeId,
@@ -64,6 +102,7 @@ impl VirtualChannel {
         routes: RouteTable,
         mtu: usize,
         recv_event: Arc<dyn RtEvent>,
+        is_gateway: bool,
     ) -> Self {
         VirtualChannel {
             name,
@@ -73,6 +112,9 @@ impl VirtualChannel {
             routes,
             mtu,
             recv_event,
+            is_gateway,
+            next_msg_id: AtomicU32::new(0),
+            demux: Mutex::new(Demux::default()),
         }
     }
 
@@ -103,6 +145,15 @@ impl VirtualChannel {
         Ok(!self.routes.hop(dest)?.last)
     }
 
+    /// Allocate the tag of a new outgoing stream.
+    fn next_tag(&self, dest: NodeId) -> StreamTag {
+        StreamTag {
+            src: self.rank,
+            dest,
+            msg_id: self.next_msg_id.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
     /// Begin a message to `dest`; transparently picks the direct path or
     /// the GTM + gateway path.
     pub fn begin_packing(&self, dest: NodeId) -> Result<VcWriter<'_, '_>> {
@@ -112,39 +163,75 @@ impl VirtualChannel {
                 .regular
                 .get(&hop.net)
                 .ok_or(MadError::Unroutable(dest))?;
-            // Hold the conduit for the whole message: on gateway nodes the
-            // forwarding engine delivers other nodes' messages over this
-            // same conduit, and the note + body must stay contiguous.
-            let mut writer = channel.begin_packing_exclusive(dest)?;
-            writer.send_control(&[&[NOTE_DIRECT]])?;
-            Ok(VcWriter::Direct(writer))
+            if self.is_gateway {
+                // The forwarding engine interleaves relayed packets on this
+                // conduit, so the body must be self-described: send a GTM
+                // stream flagged as direct instead of a raw message.
+                let w = GtmWriter::begin(channel, dest, self.next_tag(dest), self.mtu, true)?;
+                Ok(VcWriter::Gtm {
+                    w,
+                    forwarded: false,
+                })
+            } else {
+                // Hold the conduit for the whole message: only this node's
+                // application sends here, and the note + raw body must stay
+                // contiguous because neither is self-described.
+                let mut writer = channel.begin_packing_exclusive(dest)?;
+                writer.send_control(&[&[NOTE_DIRECT]])?;
+                Ok(VcWriter::Direct(writer))
+            }
         } else {
             let channel = self
                 .special
                 .get(&hop.net)
                 .ok_or(MadError::Unroutable(dest))?;
-            Ok(VcWriter::Forwarded(GtmWriter::begin(
-                channel, hop.node, self.rank, dest, self.mtu,
-            )?))
+            let w = GtmWriter::begin(channel, hop.node, self.next_tag(dest), self.mtu, false)?;
+            Ok(VcWriter::Gtm { w, forwarded: true })
         }
     }
 
-    /// Block until a message arrives from anyone (over any of this node's
-    /// networks) and begin receiving it.
+    /// Block until a whole message is available to start receiving: either
+    /// a plain direct message or a GTM stream whose header has arrived.
     pub fn begin_unpacking(&self) -> Result<VcReader<'_>> {
-        let (net, peer) = self.select_any()?;
-        let channel = &self.regular[&net];
-        let note = channel.lock_conduit(peer)?.recv_owned()?;
-        match note.as_slice() {
-            [NOTE_DIRECT] => Ok(VcReader::Direct(channel.begin_unpacking_from(peer)?)),
-            [NOTE_FORWARDED] => Ok(VcReader::Forwarded(GtmReader::begin(channel, peer)?)),
-            other => Err(MadError::Protocol(format!(
-                "bad virtual-channel note packet: {other:?}"
-            ))),
+        loop {
+            if let Some((key, header, via)) = self.claim_ready_stream() {
+                return Ok(VcReader::Gtm(GtmStreamReader {
+                    vc: self,
+                    key,
+                    header,
+                    via,
+                    finished: false,
+                }));
+            }
+            let (net, peer) = self.select_any()?;
+            let channel = &self.regular[&net];
+            let packet = channel.lock_conduit(peer)?.recv_owned()?;
+            if packet.as_slice() == [NOTE_DIRECT] {
+                return Ok(VcReader::Direct(channel.begin_unpacking_from(peer)?));
+            }
+            self.push_demux(net, peer, packet)?;
         }
     }
 
-    /// Find a regular-channel conduit with a pending message, scanning
+    /// Pop the oldest stream whose header has arrived, if any.
+    fn claim_ready_stream(&self) -> Option<(StreamKey, GtmHeader, (NetworkId, NodeId))> {
+        let mut d = self.demux.lock().unwrap();
+        let key = d.asm.pop_ready()?;
+        let header = d.asm.header(key).expect("ready stream has a header");
+        let via = d.via[&key];
+        Some((key, header, via))
+    }
+
+    /// Feed one received packet into the demultiplexer.
+    fn push_demux(&self, net: NetworkId, peer: NodeId, packet: Vec<u8>) -> Result<()> {
+        let mut d = self.demux.lock().unwrap();
+        if let Some(key) = d.asm.push_packet(packet)? {
+            d.via.insert(key, (net, peer));
+        }
+        Ok(())
+    }
+
+    /// Find a regular-channel conduit with a pending packet, scanning
     /// networks and peers in deterministic order.
     fn select_any(&self) -> Result<(NetworkId, NodeId)> {
         loop {
@@ -171,12 +258,18 @@ impl VirtualChannel {
 }
 
 /// Writer over a virtual channel: either a plain message on the regular
-/// channel or a GTM-encoded message toward a gateway.
+/// channel or a GTM stream (toward a gateway, or direct-but-framed from a
+/// gateway-resident sender).
 pub enum VcWriter<'c, 'd> {
-    /// Direct delivery on the shared network.
+    /// Plain direct delivery on the shared network.
     Direct(MessageWriter<'c, 'd>),
-    /// Gateway-forwarded delivery.
-    Forwarded(GtmWriter<'c>),
+    /// GTM-framed stream.
+    Gtm {
+        /// The stream writer.
+        w: GtmWriter<'c>,
+        /// True when the stream actually crosses a gateway.
+        forwarded: bool,
+    },
 }
 
 impl<'d> VcWriter<'_, 'd> {
@@ -184,7 +277,7 @@ impl<'d> VcWriter<'_, 'd> {
     pub fn pack(&mut self, data: &'d [u8], send: SendMode, recv: RecvMode) -> Result<()> {
         match self {
             VcWriter::Direct(w) => w.pack(data, send, recv),
-            VcWriter::Forwarded(w) => w.pack(data, send, recv),
+            VcWriter::Gtm { w, .. } => w.pack(data, send, recv),
         }
     }
 
@@ -192,43 +285,173 @@ impl<'d> VcWriter<'_, 'd> {
     pub fn end_packing(self) -> Result<()> {
         match self {
             VcWriter::Direct(w) => w.end_packing(),
-            VcWriter::Forwarded(w) => w.end_packing(),
+            VcWriter::Gtm { w, .. } => w.end_packing(),
         }
     }
 
     /// True if this message crosses a gateway.
     pub fn is_forwarded(&self) -> bool {
-        matches!(self, VcWriter::Forwarded(_))
+        matches!(
+            self,
+            VcWriter::Gtm {
+                forwarded: true,
+                ..
+            }
+        )
     }
 }
 
-/// Reader over a virtual channel: plain or GTM decoding, per the note.
+/// Reader of one GTM stream, pulling items from the channel demultiplexer
+/// and pumping the stream's conduit when it runs dry. Packets of *other*
+/// streams encountered while pumping are buffered for their own readers.
+pub struct GtmStreamReader<'c> {
+    vc: &'c VirtualChannel,
+    key: StreamKey,
+    header: GtmHeader,
+    via: (NetworkId, NodeId),
+    finished: bool,
+}
+
+impl GtmStreamReader<'_> {
+    /// The original sender of the stream.
+    pub fn source(&self) -> NodeId {
+        self.header.tag.src
+    }
+
+    /// True if the stream crossed at least one gateway.
+    pub fn is_forwarded(&self) -> bool {
+        !self.header.direct
+    }
+
+    /// Next item of this stream, pumping the via-conduit as needed.
+    fn next_item(&self) -> Result<StreamItem> {
+        loop {
+            if let Some(item) = self.vc.demux.lock().unwrap().asm.next_item(self.key) {
+                return Ok(item);
+            }
+            let (net, peer) = self.via;
+            let channel = &self.vc.regular[&net];
+            let packet = channel.lock_conduit(peer)?.recv_owned()?;
+            if packet.as_slice() == [NOTE_DIRECT] {
+                // The via peer interleaves GTM packets (it is a gateway or a
+                // gateway-resident sender); a raw note here is a bug.
+                return Err(MadError::Protocol(
+                    "plain direct note interleaved with GTM stream packets".into(),
+                ));
+            }
+            self.vc.push_demux(net, peer, packet)?;
+        }
+    }
+
+    /// Receive the next block into `dst`, validating the self-description
+    /// against the caller's expectation. Data is valid on return (the GTM
+    /// is eager, so express semantics hold for every block).
+    pub fn unpack(&mut self, dst: &mut [u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        let desc = match self.next_item()? {
+            StreamItem::Part(d) => d,
+            other => {
+                return Err(MadError::Protocol(format!(
+                    "expected GTM part descriptor, got {other:?}"
+                )))
+            }
+        };
+        if desc.len != dst.len() as u64 {
+            return Err(MadError::SequenceMismatch(format!(
+                "forwarded block is {} bytes, unpack expected {}",
+                desc.len,
+                dst.len()
+            )));
+        }
+        if desc.send != send || desc.recv != recv {
+            return Err(MadError::SequenceMismatch(format!(
+                "forwarded block flags ({:?},{:?}) != unpack flags ({:?},{:?})",
+                desc.send, desc.recv, send, recv
+            )));
+        }
+        let channel = &self.vc.regular[&self.via.0];
+        let charge_copies = channel.caps().mode == BufferMode::Static;
+        let mut cursor = 0;
+        while cursor < dst.len() {
+            let payload_pkt = match self.next_item()? {
+                StreamItem::Frag(p) => p,
+                other => {
+                    return Err(MadError::Protocol(format!(
+                        "expected GTM fragment, got {other:?}"
+                    )))
+                }
+            };
+            let payload = gtm::frag_payload(&payload_pkt);
+            let end = cursor + payload.len();
+            if end > dst.len() {
+                return Err(MadError::Protocol(format!(
+                    "fragment overruns its block: {} > {}",
+                    end,
+                    dst.len()
+                )));
+            }
+            dst[cursor..end].copy_from_slice(payload);
+            if charge_copies {
+                channel.runtime().charge_copy(payload.len());
+            }
+            cursor = end;
+        }
+        Ok(())
+    }
+
+    /// Consume the end packet and drop the stream's demux state.
+    pub fn end_unpacking(mut self) -> Result<()> {
+        self.finished = true;
+        let item = self.next_item()?;
+        let mut d = self.vc.demux.lock().unwrap();
+        d.asm.finish(self.key);
+        d.via.remove(&self.key);
+        match item {
+            StreamItem::End => Ok(()),
+            other => Err(MadError::Protocol(format!(
+                "expected GTM end, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Drop for GtmStreamReader<'_> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!("GtmStreamReader dropped without end_unpacking");
+        }
+    }
+}
+
+/// Reader over a virtual channel: plain or GTM decoding, per the framing.
 pub enum VcReader<'c> {
-    /// The message came straight from its sender.
+    /// The message came straight from its sender as a plain body.
     Direct(MessageReader<'c>),
-    /// The message crossed at least one gateway.
-    Forwarded(GtmReader<'c>),
+    /// The message is a GTM stream (forwarded, or direct-but-framed).
+    Gtm(GtmStreamReader<'c>),
 }
 
 impl VcReader<'_> {
-    /// The original sender (for forwarded messages, from the GTM header).
+    /// The original sender (for GTM streams, from the stream header).
     pub fn source(&self) -> NodeId {
         match self {
             VcReader::Direct(r) => r.source(),
-            VcReader::Forwarded(r) => r.source(),
+            VcReader::Gtm(r) => r.source(),
         }
     }
 
     /// True if this message crossed a gateway.
     pub fn is_forwarded(&self) -> bool {
-        matches!(self, VcReader::Forwarded(_))
+        match self {
+            VcReader::Direct(_) => false,
+            VcReader::Gtm(r) => r.is_forwarded(),
+        }
     }
 
     /// Receive the next block (`mad_unpack`), mirroring the sender's flags.
     pub fn unpack(&mut self, dst: &mut [u8], send: SendMode, recv: RecvMode) -> Result<()> {
         match self {
             VcReader::Direct(r) => r.unpack(dst, send, recv),
-            VcReader::Forwarded(r) => r.unpack(dst, send, recv),
+            VcReader::Gtm(r) => r.unpack(dst, send, recv),
         }
     }
 
@@ -236,7 +459,7 @@ impl VcReader<'_> {
     pub fn end_unpacking(self) -> Result<()> {
         match self {
             VcReader::Direct(r) => r.end_unpacking(),
-            VcReader::Forwarded(r) => r.end_unpacking(),
+            VcReader::Gtm(r) => r.end_unpacking(),
         }
     }
 }

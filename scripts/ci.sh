@@ -14,6 +14,24 @@ echo
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+# The randomized soak, pinned to a fixed seed so CI failures reproduce
+# byte-for-byte (developers can explore other schedules by exporting
+# their own MAD_SOAK_SEED).
+echo
+echo "== soak tests (MAD_SOAK_SEED=20010914)"
+MAD_SOAK_SEED=20010914 cargo test -q --offline --release --test soak
+
+# Lints gate only when clippy is actually installed (sealed containers
+# may ship a toolchain without the component).
+if cargo clippy --version >/dev/null 2>&1; then
+  echo
+  echo "== cargo clippy -q --all-targets"
+  cargo clippy -q --all-targets --offline -- -D warnings
+else
+  echo
+  echo "== cargo clippy skipped (clippy not installed)"
+fi
+
 # Formatting is checked only when a rustfmt binary is actually present:
 # minimal toolchains in sealed containers may lack the component.
 if cargo fmt --version >/dev/null 2>&1; then

@@ -1,0 +1,97 @@
+//! Teardown drain: gateways must finish relaying every stream they have
+//! accepted before stopping, even when no application thread is waiting on
+//! the data anymore. Before the drain protocol, a sender could return from
+//! `end_packing` (the message fully handed to the network), the session
+//! would observe all application threads done, and the engines would stop
+//! with fragments still queued — silently dropping the tail of in-flight
+//! messages.
+
+use std::sync::{Arc, Mutex};
+
+use mad_shm::ShmDriver;
+use madeleine::session::VcOptions;
+use madeleine::vchannel::VirtualChannel;
+use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+
+fn payload(n: usize, seed: u8) -> Vec<u8> {
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed))
+        .collect()
+}
+
+/// Chain 0 → gw1 → gw2 → 3. The sender fires off several messages and
+/// exits; the receiver *never reads them* — it only stashes its virtual
+/// channel so the receive conduits outlive the application. The gateways
+/// must still forward every byte before honoring the stop request, which
+/// the engine statistics prove.
+#[test]
+fn gateways_drain_in_flight_streams_before_stopping() {
+    const MSGS: usize = 5;
+    const LEN: usize = 30_000;
+    const MTU: usize = 1024;
+
+    let stash: Arc<Mutex<Vec<Arc<VirtualChannel>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut sb = SessionBuilder::new(4);
+    let rt = sb.runtime().clone();
+    let n0 = sb.network("shm0", ShmDriver::new(rt.clone()), &[0, 1]);
+    let n1 = sb.network("shm1", ShmDriver::new(rt.clone()), &[1, 2]);
+    let n2 = sb.network("shm2", ShmDriver::new(rt), &[2, 3]);
+    sb.vchannel(
+        "vc",
+        &[n0, n1, n2],
+        VcOptions {
+            mtu: Some(MTU),
+            ..Default::default()
+        },
+    );
+
+    let stash2 = stash.clone();
+    let (_, stats) = sb.run_with_gateway_stats(move |node| {
+        let vc = node.vchannel("vc");
+        match node.rank().0 {
+            0 => {
+                for i in 0..MSGS {
+                    let data = payload(LEN, i as u8);
+                    let mut w = vc.begin_packing(NodeId(3)).unwrap();
+                    w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    w.end_packing().unwrap();
+                }
+            }
+            3 => {
+                // Deliberately do NOT receive: keep the conduits alive past
+                // the application's lifetime and let teardown race the
+                // still-relaying engines.
+                stash2.lock().unwrap().push(vc.clone());
+            }
+            _ => {}
+        }
+    });
+
+    // Both gateways relayed every message in full.
+    assert_eq!(stats.len(), 2, "two gateway engines");
+    let frags_per_msg = LEN.div_ceil(MTU) as u64;
+    for (vc_name, gw, s) in &stats {
+        assert_eq!(vc_name, "vc");
+        let (messages, fragments, bytes) = s.snapshot();
+        assert_eq!(messages, MSGS as u64, "gateway {gw} lost whole messages");
+        assert_eq!(
+            fragments,
+            MSGS as u64 * frags_per_msg,
+            "gateway {gw} lost fragments"
+        );
+        assert_eq!(
+            bytes,
+            (MSGS * LEN) as u64,
+            "gateway {gw} lost payload bytes"
+        );
+        // Per-stream accounting agrees with the totals.
+        let per = s.per_stream();
+        assert_eq!(per.len(), 1, "one (source, destination) pair");
+        let ((src, dest), c) = per[0];
+        assert_eq!((src, dest), (NodeId(0), NodeId(3)));
+        assert_eq!(c.messages, MSGS as u64);
+        assert_eq!(c.bytes, (MSGS * LEN) as u64);
+        assert_eq!(c.fragments, MSGS as u64 * frags_per_msg);
+    }
+    drop(stash);
+}

@@ -71,7 +71,7 @@ fn gtm_decode_never_panics() {
         &Config::default(),
         |rng| prop::bytes(rng, 0..64),
         |bytes| {
-            let _ = gtm::decode_control(bytes); // must not panic, any outcome ok
+            let _ = gtm::decode_packet(bytes); // must not panic, any outcome ok
             Ok(())
         },
     );
@@ -86,19 +86,25 @@ fn gtm_header_round_trip() {
             (
                 rng.next_u32(),
                 rng.next_u32(),
+                rng.next_u32(),
                 rng.gen_range(1u32..u32::MAX),
+                rng.gen_range(0u32..2) == 1,
             )
         },
-        |&(src, dest, mtu)| {
+        |&(src, dest, msg_id, mtu, direct)| {
             prop_require!(mtu >= 1);
             let h = gtm::GtmHeader {
-                src: madeleine::NodeId(src),
-                dest: madeleine::NodeId(dest),
+                tag: gtm::StreamTag {
+                    src: madeleine::NodeId(src),
+                    dest: madeleine::NodeId(dest),
+                    msg_id,
+                },
                 mtu,
+                direct,
             };
             prop_assert_eq!(
-                gtm::decode_control(&gtm::encode_header(&h)).unwrap(),
-                gtm::Control::Header(h)
+                gtm::decode_packet(&gtm::encode_header(&h)).unwrap(),
+                (h.tag, gtm::PacketBody::Header(h))
             );
             Ok(())
         },

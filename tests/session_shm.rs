@@ -418,4 +418,12 @@ fn gateway_stats_count_relayed_traffic() {
     assert_eq!(messages, 2);
     assert_eq!(fragments, 3 + 1);
     assert_eq!(bytes, 2510);
+    // The same traffic, resolved per (source, destination) stream pair.
+    let per = s.per_stream();
+    assert_eq!(per.len(), 1, "all traffic is one 0→2 pair");
+    let ((src, dest), c) = per[0];
+    assert_eq!((src, dest), (NodeId(0), NodeId(2)));
+    assert_eq!(c.messages, 2);
+    assert_eq!(c.fragments, 4);
+    assert_eq!(c.bytes, 2510);
 }
