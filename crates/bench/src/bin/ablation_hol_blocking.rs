@@ -23,9 +23,13 @@ use simnet::calibration;
 const BULK: usize = 16 << 20;
 const PING: usize = 1024;
 
-/// One run; returns (ping one-way µs, bulk MB/s).
-fn run(exclusive: bool, mtu: usize) -> (f64, f64) {
-    let tb = Testbed::new(5);
+/// One run; returns (ping one-way µs, bulk MB/s). When `trace` is given,
+/// the run records the unified event trace into it.
+fn run(exclusive: bool, mtu: usize, trace: Option<simnet::TraceLog>) -> (f64, f64) {
+    let tb = match trace {
+        Some(t) => Testbed::with_trace(5, t),
+        None => Testbed::new(5),
+    };
     let mut sb = SessionBuilder::new(5).with_runtime(tb.runtime());
     // SCI cluster {0,1,2} feeds Myrinet cluster {2,3,4} through gateway 2,
     // the paper's §3 testbed with one extra host on each side.
@@ -106,8 +110,8 @@ fn main() {
         ],
     );
     for mtu in [8 * 1024usize, 32 * 1024, 128 * 1024] {
-        let (excl_ping, excl_bulk) = run(true, mtu);
-        let (intl_ping, intl_bulk) = run(false, mtu);
+        let (excl_ping, excl_bulk) = run(true, mtu, None);
+        let (intl_ping, intl_bulk) = run(false, mtu, None);
         table.row(vec![
             fmt_bytes(mtu),
             format!("{excl_ping:.0}"),
@@ -126,4 +130,12 @@ fn main() {
          slots (>=5x, typically orders of magnitude) while the bulk bandwidth\n\
          columns stay within noise of each other."
     );
+    if let Some(path) = mad_bench::cli::trace_path() {
+        // Re-run the interleaved 32 KB case with tracing on and export it:
+        // the gateway's stall instants and round-robin relay spans are the
+        // interesting part of this ablation.
+        let trace = simnet::TraceLog::new();
+        run(false, 32 * 1024, Some(trace.clone()));
+        mad_bench::cli::export_trace(&trace.tracer().snapshot(), &path);
+    }
 }

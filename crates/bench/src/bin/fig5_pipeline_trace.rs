@@ -31,4 +31,7 @@ fn main() {
         "\npaper shape check: recv and send spans should interleave (pipeline\n\
          overlap), with recv ({recv_us:.0}us) ≈ send ({send_us:.0}us) in this direction."
     );
+    if let Some(path) = mad_bench::cli::trace_path() {
+        mad_bench::cli::export_trace(&trace, &path);
+    }
 }

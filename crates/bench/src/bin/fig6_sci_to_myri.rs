@@ -3,7 +3,7 @@
 //! Paper: asymptotic bandwidth grows from ~41 MB/s at 8 KB packets to
 //! nearly 60 MB/s at 128 KB, against a 66 MB/s one-way PCI ceiling.
 
-use mad_bench::experiments::{forwarded_oneway, grids, GwSetup};
+use mad_bench::experiments::{forwarded_oneway, forwarded_oneway_traced, grids, GwSetup};
 use mad_bench::report::{fmt_bytes, Table};
 use mad_sim::SimTech;
 
@@ -34,4 +34,15 @@ fn main() {
         "\npaper shape check: rightmost column should approach ~55-60 MB/s on the\n\
          largest messages; the 8KB column should sit markedly lower (paper: ~41)."
     );
+    if let Some(path) = mad_bench::cli::trace_path() {
+        // Re-run one representative point (512 KB / 32 KB packets) with
+        // tracing on and export that run.
+        let (_, snap) = forwarded_oneway_traced(
+            SimTech::Sci,
+            SimTech::Myrinet,
+            512 * 1024,
+            GwSetup::with_mtu(32 * 1024),
+        );
+        mad_bench::cli::export_trace(&snap, &path);
+    }
 }

@@ -4,7 +4,7 @@
 //! by Myrinet receive DMA; bandwidth never exceeds ~35 MB/s (asymptote
 //! ~26 MB/s at 8 KB packets).
 
-use mad_bench::experiments::{forwarded_oneway, grids, GwSetup};
+use mad_bench::experiments::{forwarded_oneway, forwarded_oneway_traced, grids, GwSetup};
 use mad_bench::report::{fmt_bytes, Table};
 use mad_sim::SimTech;
 
@@ -35,4 +35,15 @@ fn main() {
         "\npaper shape check: every column should stay below ~35 MB/s — far under\n\
          Fig. 6 — because PCI DMA outranks the CPU's SCI PIO stores on the gateway."
     );
+    if let Some(path) = mad_bench::cli::trace_path() {
+        // Re-run one representative point (512 KB / 16 KB packets) with
+        // tracing on and export that run.
+        let (_, snap) = forwarded_oneway_traced(
+            SimTech::Myrinet,
+            SimTech::Sci,
+            512 * 1024,
+            GwSetup::with_mtu(16 * 1024),
+        );
+        mad_bench::cli::export_trace(&snap, &path);
+    }
 }

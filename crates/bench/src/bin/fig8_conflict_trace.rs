@@ -32,4 +32,7 @@ fn main() {
          the receive steps ({recv_us:.0}us) — the paper measured ~540us vs ~290us\n\
          at this packet size."
     );
+    if let Some(path) = mad_bench::cli::trace_path() {
+        mad_bench::cli::export_trace(&trace, &path);
+    }
 }

@@ -1,0 +1,38 @@
+//! Validate a JSONL trace file against the mad-trace schema.
+//!
+//! `trace_check <file.jsonl>...` — each line must parse as a JSON object
+//! with the required keys (`ts`, `thread`, `kind`, `cat`, `name` plus the
+//! kind-specific ones), and timestamps must be monotone per thread. Exits
+//! non-zero on the first invalid file, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use madeleine::mad_trace::schema::validate_jsonl;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <file.jsonl>...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_jsonl(&text) {
+            Ok(s) => println!(
+                "{path}: ok — {} lines, {} threads, {} spans, {} counts, {} instants",
+                s.lines, s.threads, s.spans, s.counts, s.instants
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -14,7 +14,7 @@ use madeleine::baseline;
 use madeleine::gateway::GatewayConfig;
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
-use simnet::{calibration, NetParams, TraceEvent, TraceLog};
+use simnet::{calibration, NetParams, TraceLog};
 
 /// Result of one one-way transfer.
 #[derive(Debug, Clone, Copy)]
@@ -94,18 +94,19 @@ pub fn forwarded_oneway(from: SimTech, to: SimTech, total: usize, setup: GwSetup
     run_forwarded(&tb, from, to, total, setup)
 }
 
-/// Like [`forwarded_oneway`] but recording driver spans into `trace`
-/// (fig. 5 / fig. 8 timelines).
+/// Like [`forwarded_oneway`] but recording the unified event trace —
+/// driver spans for the fig. 5 / fig. 8 timelines plus Madeleine's own
+/// hot-path spans and counters, ready for the exporters.
 pub fn forwarded_oneway_traced(
     from: SimTech,
     to: SimTech,
     total: usize,
     setup: GwSetup,
-) -> (Measurement, Vec<TraceEvent>) {
+) -> (Measurement, mad_trace::Snapshot) {
     let trace = TraceLog::new();
     let tb = Testbed::with_trace(3, trace.clone());
     let m = run_forwarded(&tb, from, to, total, setup);
-    (m, trace.snapshot())
+    (m, trace.tracer().snapshot())
 }
 
 fn run_forwarded(

@@ -40,6 +40,16 @@ impl RtEvent for SimEvent {
     }
 }
 
+/// The virtual clock as a trace clock: event timestamps are virtual
+/// nanoseconds, marked with the `"sim"` domain in exports.
+struct SimClock(Clock);
+
+impl mad_trace::TraceClock for SimClock {
+    fn now_ns(&self) -> u64 {
+        self.0.now().as_nanos()
+    }
+}
+
 /// Runtime implementation on the virtual clock, with the paper's host cost
 /// model (memcpy bandwidth of a 450 MHz Pentium II).
 pub struct SimRuntime {
@@ -60,8 +70,13 @@ impl SimRuntime {
 
     /// A runtime that records spans (driver sends/receives, overheads) into
     /// `trace`, labeled with the recording thread's name — the raw material
-    /// of the pipeline-timeline figures.
+    /// of the pipeline-timeline figures. The trace's tracer is bound to the
+    /// virtual clock (domain `"sim"`) and handed to Madeleine through
+    /// [`Runtime::tracer`], so library spans share the stream.
     pub fn with_trace(clock: &Clock, trace: TraceLog) -> Arc<Self> {
+        trace
+            .tracer()
+            .init_clock(Arc::new(SimClock(clock.clone())), "sim");
         Arc::new(SimRuntime {
             clock: clock.clone(),
             memcpy_bps: calibration::MEMCPY_BPS,
@@ -141,5 +156,12 @@ impl Runtime for SimRuntime {
 
     fn setup_guard(&self) -> Box<dyn std::any::Any + Send> {
         Box::new(self.clock.freeze())
+    }
+
+    fn tracer(&self) -> mad_trace::Tracer {
+        self.trace
+            .as_ref()
+            .map(|t| t.tracer().clone())
+            .unwrap_or_default()
     }
 }

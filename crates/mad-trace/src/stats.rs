@@ -1,0 +1,163 @@
+//! Per-channel traffic counters — the generalization of the gateway's
+//! `GatewayStats` to every channel on every node.
+//!
+//! Counting is always on (it does not require an enabled tracer): the
+//! totals are relaxed atomics and the per-peer map is touched once per
+//! packet, so the cost is negligible next to a conduit send. The
+//! [`ChannelStats::totals`] snapshot is cheap and safe to call mid-run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::Tracer;
+
+/// Byte/packet counters for one peer of a channel.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PeerCounters {
+    /// Packets sent to this peer.
+    pub packets_sent: u64,
+    /// Payload bytes sent to this peer.
+    pub bytes_sent: u64,
+    /// Packets received from this peer.
+    pub packets_recv: u64,
+    /// Payload bytes received from this peer.
+    pub bytes_recv: u64,
+}
+
+/// Whole-channel totals (a consistent-enough relaxed snapshot).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelTotals {
+    /// Packets sent on this channel.
+    pub packets_sent: u64,
+    /// Payload bytes sent on this channel.
+    pub bytes_sent: u64,
+    /// Packets received on this channel.
+    pub packets_recv: u64,
+    /// Payload bytes received on this channel.
+    pub bytes_recv: u64,
+}
+
+/// Per-channel traffic counters, shared by everything that touches the
+/// channel (app threads, gateway polling/forwarding threads).
+#[derive(Debug, Default)]
+pub struct ChannelStats {
+    packets_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    packets_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+    per_peer: Mutex<BTreeMap<u32, PeerCounters>>,
+}
+
+impl ChannelStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ChannelStats::default()
+    }
+
+    /// Count one packet of `bytes` sent to `peer`.
+    pub fn on_send(&self, peer: u32, bytes: usize) {
+        self.packets_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut map = self.per_peer.lock().unwrap();
+        let c = map.entry(peer).or_default();
+        c.packets_sent += 1;
+        c.bytes_sent += bytes as u64;
+    }
+
+    /// Count one packet of `bytes` received from `peer`.
+    pub fn on_recv(&self, peer: u32, bytes: usize) {
+        self.packets_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut map = self.per_peer.lock().unwrap();
+        let c = map.entry(peer).or_default();
+        c.packets_recv += 1;
+        c.bytes_recv += bytes as u64;
+    }
+
+    /// Cheap snapshot of the totals; safe to call while traffic is in
+    /// flight (each field is individually consistent and monotone).
+    pub fn totals(&self) -> ChannelTotals {
+        ChannelTotals {
+            packets_sent: self.packets_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            packets_recv: self.packets_recv.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Copy of the per-peer breakdown.
+    pub fn per_peer(&self) -> BTreeMap<u32, PeerCounters> {
+        self.per_peer.lock().unwrap().clone()
+    }
+
+    /// Emit the counters as `count` events on `track` (done once at
+    /// session teardown so traces carry the final per-channel totals).
+    pub fn flush_to(&self, tracer: &Tracer, track: &str) {
+        if !tracer.enabled() {
+            return;
+        }
+        let t = self.totals();
+        tracer.count_on(track, "channel", "packets_sent", t.packets_sent as i64, &[]);
+        tracer.count_on(track, "channel", "bytes_sent", t.bytes_sent as i64, &[]);
+        tracer.count_on(track, "channel", "packets_recv", t.packets_recv as i64, &[]);
+        tracer.count_on(track, "channel", "bytes_recv", t.bytes_recv as i64, &[]);
+        for (peer, c) in self.per_peer() {
+            let args = [("peer", peer as u64)];
+            tracer.count_on(
+                track,
+                "channel",
+                "peer_bytes_sent",
+                c.bytes_sent as i64,
+                &args,
+            );
+            tracer.count_on(
+                track,
+                "channel",
+                "peer_bytes_recv",
+                c.bytes_recv as i64,
+                &args,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_peer_and_total() {
+        let s = ChannelStats::new();
+        s.on_send(1, 100);
+        s.on_send(1, 50);
+        s.on_send(2, 7);
+        s.on_recv(1, 9);
+        let t = s.totals();
+        assert_eq!(t.packets_sent, 3);
+        assert_eq!(t.bytes_sent, 157);
+        assert_eq!(t.packets_recv, 1);
+        assert_eq!(t.bytes_recv, 9);
+        let per = s.per_peer();
+        assert_eq!(per[&1].bytes_sent, 150);
+        assert_eq!(per[&2].packets_sent, 1);
+        assert_eq!(per[&1].bytes_recv, 9);
+    }
+
+    #[test]
+    fn flush_emits_count_events() {
+        let s = ChannelStats::new();
+        s.on_send(3, 42);
+        let tracer = Tracer::new();
+        s.flush_to(&tracer, "ch:test@0");
+        let totals = tracer.snapshot().counter_totals();
+        assert_eq!(
+            totals[&(
+                "ch:test@0".to_string(),
+                "channel".to_string(),
+                "bytes_sent".to_string()
+            )],
+            42
+        );
+    }
+}

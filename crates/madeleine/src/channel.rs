@@ -13,6 +13,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use mad_trace::{trace_span, ChannelStats, Tracer};
+
 use crate::conduit::{Conduit, DriverCaps};
 use crate::error::{MadError, Result};
 use crate::message::{MessageReader, MessageWriter};
@@ -22,18 +24,22 @@ use crate::types::{ChannelId, NetworkId, NodeId};
 /// A communication channel over one network, seen from one node.
 pub struct Channel {
     id: ChannelId,
+    label: String,
     network: NetworkId,
     rank: NodeId,
     caps: DriverCaps,
     conduits: BTreeMap<NodeId, RtLock<Box<dyn Conduit>>>,
     recv_event: Arc<dyn RtEvent>,
     runtime: Arc<dyn Runtime>,
+    stats: Arc<ChannelStats>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Channel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Channel")
             .field("id", &self.id)
+            .field("label", &self.label)
             .field("network", &self.network)
             .field("rank", &self.rank)
             .field("driver", &self.caps.name)
@@ -44,8 +50,11 @@ impl std::fmt::Debug for Channel {
 
 impl Channel {
     /// Assemble a channel from its conduits (session-bootstrap use).
+    /// `label` names the channel in traces and counter dumps.
+    #[allow(clippy::too_many_arguments)]
     pub fn assemble(
         id: ChannelId,
+        label: impl Into<String>,
         network: NetworkId,
         rank: NodeId,
         caps: DriverCaps,
@@ -53,8 +62,10 @@ impl Channel {
         recv_event: Arc<dyn RtEvent>,
         runtime: Arc<dyn Runtime>,
     ) -> Self {
+        let tracer = runtime.tracer();
         Channel {
             id,
+            label: label.into(),
             network,
             rank,
             caps,
@@ -64,12 +75,31 @@ impl Channel {
                 .collect(),
             recv_event,
             runtime,
+            stats: Arc::new(ChannelStats::new()),
+            tracer,
         }
     }
 
     /// This channel's identifier.
     pub fn id(&self) -> ChannelId {
         self.id
+    }
+
+    /// The channel's label in traces and counter dumps.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Traffic counters for this channel (always live, cheap to read
+    /// mid-run).
+    pub fn stats(&self) -> &Arc<ChannelStats> {
+        &self.stats
+    }
+
+    /// The tracer this channel records into (disabled unless the
+    /// session's runtime was built with one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The network this channel is bound to.
@@ -98,17 +128,26 @@ impl Channel {
     }
 
     /// Lock the conduit to `peer`. The lock blocks through the runtime so
-    /// contention stays visible to a virtual clock.
+    /// contention stays visible to a virtual clock. A contended acquire
+    /// is recorded as a `conduit/hold-wait` span.
     pub(crate) fn lock_conduit(&self, peer: NodeId) -> Result<RtLockGuard<'_, Box<dyn Conduit>>> {
-        self.conduits
+        let lock = self
+            .conduits
             .get(&peer)
-            .map(|m| m.lock())
-            .ok_or(MadError::UnknownPeer(peer))
+            .ok_or(MadError::UnknownPeer(peer))?;
+        if let Some(guard) = lock.try_lock() {
+            return Ok(guard);
+        }
+        let _wait = trace_span!(self.tracer, "conduit", "hold-wait", "peer" = peer.0 as u64);
+        Ok(lock.lock())
     }
 
     /// Send one raw packet to `peer` (control traffic: notes, GTM frames).
     pub(crate) fn send_packet(&self, peer: NodeId, parts: &[&[u8]]) -> Result<()> {
-        self.lock_conduit(peer)?.send(parts)
+        let bytes: usize = parts.iter().map(|p| p.len()).sum();
+        self.lock_conduit(peer)?.send(parts)?;
+        self.stats.on_send(peer.0, bytes);
+        Ok(())
     }
 
     /// Begin building a message for `dest` (the paper's

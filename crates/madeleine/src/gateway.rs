@@ -60,6 +60,8 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use mad_trace::{trace_instant, trace_span, Tracer};
+
 use crate::channel::Channel;
 use crate::conduit::{BufferMode, Conduit, StaticBuf};
 use crate::error::{MadError, Result};
@@ -102,6 +104,24 @@ pub struct GatewayStats {
     per_stream: Mutex<BTreeMap<(NodeId, NodeId), StreamCounters>>,
 }
 
+/// A point-in-time copy of a gateway's total counters, safe to take
+/// while the engine is running (each field is individually consistent
+/// and monotone) — the mid-run snapshot API that flow-control decisions
+/// and monitoring need.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayTotals {
+    /// Complete messages relayed.
+    pub messages: u64,
+    /// Payload fragments relayed.
+    pub fragments: u64,
+    /// Payload fragment bytes relayed.
+    pub fragment_bytes: u64,
+    /// Pipeline pushes that found the bounded queue full.
+    pub stalls: u64,
+    /// Fragment handoffs through the pipeline.
+    pub buffer_switches: u64,
+}
+
 impl GatewayStats {
     /// Snapshot the totals as (messages, fragments, fragment_bytes).
     pub fn snapshot(&self) -> (u64, u64, u64) {
@@ -110,6 +130,17 @@ impl GatewayStats {
             self.fragments.load(Ordering::Relaxed),
             self.fragment_bytes.load(Ordering::Relaxed),
         )
+    }
+
+    /// Cheap mid-run snapshot of every total (relaxed loads, no locks).
+    pub fn totals(&self) -> GatewayTotals {
+        GatewayTotals {
+            messages: self.messages.load(Ordering::Relaxed),
+            fragments: self.fragments.load(Ordering::Relaxed),
+            fragment_bytes: self.fragment_bytes.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            buffer_switches: self.buffer_switches.load(Ordering::Relaxed),
+        }
     }
 
     /// Per-(source, destination) counters, sorted by pair.
@@ -451,9 +482,10 @@ pub fn spawn_gateway(
                 sinks.insert(net_out, Sink::Queue(tx, out_path.clone()));
                 let name = format!("gw{}-{}-fwd-{}-{}", rank.0, vc_name, net_in, net_out);
                 let live = live.clone();
+                let tracer = runtime.tracer();
                 threads.push(runtime.spawn(
                     name,
-                    Box::new(move || forwarding_thread(rx, out_path, live)),
+                    Box::new(move || forwarding_thread(rx, out_path, live, tracer)),
                 ));
             }
         }
@@ -497,6 +529,7 @@ fn polling_thread(
     let _exit = ThreadExitGuard { live: live.clone() };
     let landing = landing_policy(&sinks, cfg);
     let stopctl = live.stopctl.clone();
+    let tracer = runtime.tracer();
     // Streams currently crossing this inbound network.
     let mut streams: BTreeMap<StreamKey, InStream> = BTreeMap::new();
     // Open-stream count per inbound peer (drives `exclusive_streams`).
@@ -519,11 +552,16 @@ fn polling_thread(
             },
         };
         cursor = Some(peer);
-        let buf = match receive_packet(&in_channel, peer, landing, max_pkt) {
-            Ok(b) => b,
-            Err(MadError::Disconnected) => return,
-            Err(e) => panic!("gateway {rank} receive failed: {e}"),
+        let buf = {
+            let _recv = trace_span!(tracer, "gw", "recv", "peer" = peer.0 as u64);
+            match receive_packet(&in_channel, peer, landing, max_pkt) {
+                Ok(b) => b,
+                Err(MadError::Disconnected) => return,
+                Err(e) => panic!("gateway {rank} receive failed: {e}"),
+            }
         };
+        in_channel.stats().on_recv(peer.0, buf.bytes().len());
+        let _relay = trace_span!(tracer, "gw", "relay", "peer" = peer.0 as u64);
         match relay_packet(
             rank,
             peer,
@@ -534,6 +572,7 @@ fn polling_thread(
             &runtime,
             &stats,
             &live,
+            &tracer,
             &mut streams,
             &mut open_from,
             &mut max_pkt,
@@ -563,6 +602,7 @@ fn relay_packet(
     runtime: &Arc<dyn Runtime>,
     stats: &GatewayStats,
     live: &EngineLive,
+    tracer: &Tracer,
     streams: &mut BTreeMap<StreamKey, InStream>,
     open_from: &mut BTreeMap<NodeId, u64>,
     max_pkt: &mut usize,
@@ -601,10 +641,17 @@ fn relay_packet(
                 pair: (tag.src, tag.dest),
             };
             stats.on_header(stream.pair);
+            trace_instant!(
+                tracer,
+                "gw",
+                "stream-open",
+                "src" = tag.src.0 as u64,
+                "dest" = tag.dest.0 as u64,
+            );
             live.opened();
             *open_from.entry(peer).or_insert(0) += 1;
             let sink = &sinks[&stream.out_net];
-            dispatch(sink, &stream, buf, false, false, stats, live)?;
+            dispatch(sink, &stream, buf, false, false, stats, live, tracer)?;
             streams.insert(key, stream);
             Ok(())
         }
@@ -620,6 +667,7 @@ fn relay_packet(
                 false,
                 stats,
                 live,
+                tracer,
             )
         }
         PacketBody::Frag => {
@@ -637,6 +685,7 @@ fn relay_packet(
                 false,
                 stats,
                 live,
+                tracer,
             )
         }
         PacketBody::End => {
@@ -655,6 +704,7 @@ fn relay_packet(
                 true,
                 stats,
                 live,
+                tracer,
             )
         }
     }
@@ -712,6 +762,7 @@ fn landing_policy(sinks: &BTreeMap<NetworkId, Sink>, cfg: GatewayConfig) -> Land
 
 /// Hand one packet to its sink: enqueue for the forwarding thread (counting
 /// backpressure stalls) or retransmit inline at depth 1.
+#[allow(clippy::too_many_arguments)] // internal helper of relay_packet
 fn dispatch(
     sink: &Sink,
     stream: &InStream,
@@ -720,7 +771,9 @@ fn dispatch(
     end_of_stream: bool,
     stats: &GatewayStats,
     live: &EngineLive,
+    tracer: &Tracer,
 ) -> Result<()> {
+    let bytes = buf.bytes().len();
     let item = FwdItem {
         to: stream.to,
         last_hop: stream.last_hop,
@@ -736,15 +789,26 @@ fn dispatch(
                 Ok(()) => Ok(()),
                 Err(item) => {
                     stats.on_stall(stream.pair);
+                    trace_instant!(
+                        tracer,
+                        "gw",
+                        "stall",
+                        "src" = stream.pair.0 .0 as u64,
+                        "dest" = stream.pair.1 .0 as u64,
+                    );
+                    let _wait = trace_span!(tracer, "gw", "stall-wait");
                     tx.push(item).map_err(|_| MadError::Disconnected)
                 }
             }
         }
         Sink::Inline(path) => {
             let channel = path.channel(stream.last_hop);
+            let send = trace_span!(tracer, "gw", "send", "bytes" = bytes as u64);
             let mut conduit = channel.lock_conduit(stream.to)?;
             send_buf(&mut **conduit, item.buf)?;
             drop(conduit);
+            drop(send);
+            channel.stats().on_send(stream.to.0, bytes);
             if end_of_stream {
                 live.stream_done();
             }
@@ -765,13 +829,20 @@ fn send_buf(conduit: &mut dyn Conduit, buf: FwdBuf) -> Result<()> {
 /// the pipeline and retransmits. Each item is self-contained, so the
 /// outgoing conduit is locked per packet — the §7b lesson-2 invariant at
 /// fragment granularity — and packets of concurrent streams interleave.
-fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, live: Arc<EngineLive>) {
+fn forwarding_thread(
+    rx: RtReceiver<FwdItem>,
+    path: OutPath,
+    live: Arc<EngineLive>,
+    tracer: Tracer,
+) {
     let _exit = ThreadExitGuard { live: live.clone() };
     loop {
         let Some(item) = rx.pop() else {
             return; // polling thread gone: shut down
         };
         let channel = path.channel(item.last_hop);
+        let bytes = item.buf.bytes().len();
+        let send = trace_span!(tracer, "gw", "send", "bytes" = bytes as u64);
         let Ok(mut conduit) = channel.lock_conduit(item.to) else {
             return;
         };
@@ -780,6 +851,8 @@ fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, live: Arc<EngineLiv
             return;
         }
         drop(conduit);
+        drop(send);
+        channel.stats().on_send(item.to.0, bytes);
         if end {
             live.stream_done();
         }

@@ -52,6 +52,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use mad_trace::{trace_count, trace_span};
+
 use crate::channel::Channel;
 use crate::error::{MadError, Result};
 use crate::flags::{RecvMode, SendMode};
@@ -292,6 +294,7 @@ impl<'c> GtmWriter<'c> {
             direct,
         });
         channel.send_packet(first_hop, &[&header])?;
+        trace_count!(channel.tracer(), "gtm", "encode", 1);
         Ok(GtmWriter {
             channel,
             first_hop,
@@ -304,6 +307,13 @@ impl<'c> GtmWriter<'c> {
 
     /// Append a block: descriptor packet, then tagged MTU-sized fragments.
     pub fn pack(&mut self, data: &[u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        let _pack = trace_span!(
+            self.channel.tracer(),
+            "gtm",
+            "pack",
+            "dest" = self.tag.dest.0 as u64,
+            "bytes" = data.len() as u64,
+        );
         let desc = encode_part(
             &self.tag,
             &GtmPartDesc {
@@ -313,9 +323,11 @@ impl<'c> GtmWriter<'c> {
             },
         );
         self.channel.send_packet(self.first_hop, &[&desc])?;
+        trace_count!(self.channel.tracer(), "gtm", "encode", 1);
         for chunk in data.chunks(self.mtu) {
             self.channel
                 .send_packet(self.first_hop, &[&self.frag_prelude, chunk])?;
+            trace_count!(self.channel.tracer(), "gtm", "encode", 1);
         }
         Ok(())
     }
@@ -324,7 +336,9 @@ impl<'c> GtmWriter<'c> {
     pub fn end_packing(mut self) -> Result<()> {
         self.finished = true;
         self.channel
-            .send_packet(self.first_hop, &[&encode_end(&self.tag)])
+            .send_packet(self.first_hop, &[&encode_end(&self.tag)])?;
+        trace_count!(self.channel.tracer(), "gtm", "encode", 1);
+        Ok(())
     }
 }
 

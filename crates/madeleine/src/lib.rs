@@ -77,6 +77,7 @@ pub use channel::Channel;
 pub use conduit::{BufferMode, Conduit, Driver, DriverCaps, StaticBuf};
 pub use error::{MadError, Result};
 pub use flags::{RecvMode, SendMode};
+pub use mad_trace;
 pub use message::{MessageReader, MessageWriter};
 pub use runtime::{Runtime, StdRuntime};
 pub use session::{Node, SessionBuilder};

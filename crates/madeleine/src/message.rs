@@ -23,6 +23,8 @@
 //! destination boundary transit an internal stash, and that double handling
 //! is charged through the runtime.
 
+use mad_trace::trace_span;
+
 use crate::channel::Channel;
 use crate::conduit::Conduit;
 use crate::error::{MadError, Result};
@@ -73,7 +75,12 @@ impl<'c, 'd> MessageWriter<'c, 'd> {
     /// whole-message guard when one is held (virtual-channel notes).
     pub(crate) fn send_control(&mut self, parts: &[&[u8]]) -> Result<()> {
         match self.guard.as_mut() {
-            Some(g) => g.send(parts),
+            Some(g) => {
+                let bytes: usize = parts.iter().map(|p| p.len()).sum();
+                g.send(parts)?;
+                self.channel.stats().on_send(self.dest.0, bytes);
+                Ok(())
+            }
             None => self.channel.send_packet(self.dest, parts),
         }
     }
@@ -100,8 +107,16 @@ impl<'c, 'd> MessageWriter<'c, 'd> {
         }
         let caps = self.channel.caps();
         let lens: Vec<usize> = self.pending.iter().map(|p| p.len()).collect();
+        let total: usize = lens.iter().sum();
         let packets = plan::packetize(&lens, caps.max_packet, caps.max_gather);
         if !packets.is_empty() {
+            let _flush = trace_span!(
+                self.channel.tracer(),
+                "bmm",
+                "flush",
+                "dest" = self.dest.0 as u64,
+                "bytes" = total as u64,
+            );
             // Use the whole-message guard when held; otherwise lock per
             // flushed group.
             let mut transient;
@@ -117,7 +132,9 @@ impl<'c, 'd> MessageWriter<'c, 'd> {
                     .iter()
                     .map(|seg| &self.pending[seg.part][seg.offset..seg.offset + seg.len])
                     .collect();
+                let bytes: usize = parts.iter().map(|p| p.len()).sum();
                 conduit.send(&parts)?;
+                self.channel.stats().on_send(self.dest.0, bytes);
             }
         }
         self.pending.clear();
@@ -178,6 +195,13 @@ impl<'c> MessageReader<'c> {
     /// the call returns (for [`RecvMode::Cheaper`] blocks this may mean
     /// waiting for the sender's next flush).
     pub fn unpack(&mut self, dst: &mut [u8], _send: SendMode, _recv: RecvMode) -> Result<()> {
+        let _unpack = trace_span!(
+            self.channel.tracer(),
+            "bmm",
+            "unpack",
+            "source" = self.source.0 as u64,
+            "bytes" = dst.len() as u64,
+        );
         let mut cursor = 0;
         while cursor < dst.len() {
             // Serve spilled bytes first; this double handling is charged.
@@ -195,6 +219,7 @@ impl<'c> MessageReader<'c> {
                 continue;
             }
             let packet = self.channel.lock_conduit(self.source)?.recv_owned()?;
+            self.channel.stats().on_recv(self.source.0, packet.len());
             let take = packet.len().min(dst.len() - cursor);
             dst[cursor..cursor + take].copy_from_slice(&packet[..take]);
             cursor += take;

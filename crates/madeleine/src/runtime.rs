@@ -60,6 +60,14 @@ pub trait Runtime: Send + Sync {
     /// returned guard is dropped when setup is done. A no-op on real
     /// threads; prevents virtual-time races during simulated bootstrap.
     fn setup_guard(&self) -> Box<dyn std::any::Any + Send>;
+
+    /// The event tracer attached to this runtime. Protocol code records
+    /// spans/counters through this handle; the default is a disabled
+    /// tracer, so untraced runs pay one branch per instrumentation
+    /// point.
+    fn tracer(&self) -> mad_trace::Tracer {
+        mad_trace::Tracer::off()
+    }
 }
 
 #[derive(Default)]
@@ -96,13 +104,27 @@ impl RtEvent for StdEvent {
 /// accounting, `Instant`-based timestamps.
 pub struct StdRuntime {
     start: Instant,
+    tracer: mad_trace::Tracer,
 }
 
 impl Default for StdRuntime {
     fn default() -> Self {
         StdRuntime {
             start: Instant::now(),
+            tracer: mad_trace::Tracer::off(),
         }
+    }
+}
+
+/// Trace clock for [`StdRuntime`]: shares the runtime's epoch so trace
+/// timestamps live in the same domain as [`Runtime::now_nanos`].
+struct StdClock {
+    start: Instant,
+}
+
+impl mad_trace::TraceClock for StdClock {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
     }
 }
 
@@ -110,6 +132,15 @@ impl StdRuntime {
     /// Create a shareable instance.
     pub fn shared() -> Arc<dyn Runtime> {
         Arc::new(StdRuntime::default())
+    }
+
+    /// A real-threads runtime recording into `tracer`. Binds the
+    /// tracer's clock to this runtime's monotonic epoch (domain
+    /// `"mono"`), so trace timestamps align with `now_nanos`.
+    pub fn traced(tracer: mad_trace::Tracer) -> Arc<dyn Runtime> {
+        let start = Instant::now();
+        tracer.init_clock(Arc::new(StdClock { start }), "mono");
+        Arc::new(StdRuntime { start, tracer })
     }
 }
 
@@ -135,6 +166,10 @@ impl Runtime for StdRuntime {
 
     fn setup_guard(&self) -> Box<dyn std::any::Any + Send> {
         Box::new(())
+    }
+
+    fn tracer(&self) -> mad_trace::Tracer {
+        self.tracer.clone()
     }
 }
 

@@ -131,6 +131,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Record the session into `tracer` by installing a traced
+    /// real-threads runtime (binds the tracer's clock to the runtime's
+    /// monotonic epoch). For simulated sessions attach the tracer
+    /// through the simulated runtime instead (`Testbed::with_trace`).
+    pub fn with_tracer(self, tracer: mad_trace::Tracer) -> Self {
+        self.with_runtime(StdRuntime::traced(tracer))
+    }
+
     /// The session's runtime.
     pub fn runtime(&self) -> &Arc<dyn Runtime> {
         &self.runtime
@@ -221,47 +229,57 @@ impl SessionBuilder {
 
         // Builds one channel over a network: a full conduit mesh among the
         // members, assembled into one per-node Channel.
-        let build_channel = |id: ChannelId, net_idx: usize| -> HashMap<NodeId, Channel> {
-            let def = &self.networks[net_idx];
-            let mut per_node: HashMap<NodeId, BTreeMap<NodeId, Box<dyn Conduit>>> =
-                def.members.iter().map(|&m| (m, BTreeMap::new())).collect();
-            for (i, &a) in def.members.iter().enumerate() {
-                for &b in def.members.iter().skip(i + 1) {
-                    let (ca, cb) = def.driver.connect(
-                        a,
-                        b,
-                        node_events[a.index()].clone(),
-                        node_events[b.index()].clone(),
-                    );
-                    per_node.get_mut(&a).unwrap().insert(b, ca);
-                    per_node.get_mut(&b).unwrap().insert(a, cb);
+        let build_channel =
+            |id: ChannelId, label: String, net_idx: usize| -> HashMap<NodeId, Channel> {
+                let def = &self.networks[net_idx];
+                let mut per_node: HashMap<NodeId, BTreeMap<NodeId, Box<dyn Conduit>>> =
+                    def.members.iter().map(|&m| (m, BTreeMap::new())).collect();
+                for (i, &a) in def.members.iter().enumerate() {
+                    for &b in def.members.iter().skip(i + 1) {
+                        let (ca, cb) = def.driver.connect(
+                            a,
+                            b,
+                            node_events[a.index()].clone(),
+                            node_events[b.index()].clone(),
+                        );
+                        per_node.get_mut(&a).unwrap().insert(b, ca);
+                        per_node.get_mut(&b).unwrap().insert(a, cb);
+                    }
                 }
-            }
-            per_node
-                .into_iter()
-                .map(|(rank, conduits)| {
-                    let ch = Channel::assemble(
-                        id,
-                        NetworkId(net_idx as u32),
-                        rank,
-                        def.driver.caps(),
-                        conduits,
-                        node_events[rank.index()].clone(),
-                        runtime.clone(),
-                    );
-                    (rank, ch)
-                })
-                .collect()
-        };
+                per_node
+                    .into_iter()
+                    .map(|(rank, conduits)| {
+                        let ch = Channel::assemble(
+                            id,
+                            label.clone(),
+                            NetworkId(net_idx as u32),
+                            rank,
+                            def.driver.caps(),
+                            conduits,
+                            node_events[rank.index()].clone(),
+                            runtime.clone(),
+                        );
+                        (rank, ch)
+                    })
+                    .collect()
+            };
+
+        // Per-channel traffic counters, collected for the end-of-run
+        // trace flush: (channel label, rank, counters).
+        let mut channel_stats: Vec<(String, NodeId, Arc<mad_trace::ChannelStats>)> = Vec::new();
 
         // Plain channels.
         let mut plain: Vec<(String, HashMap<NodeId, Arc<Channel>>)> = Vec::new();
         for cdef in &self.channels {
             let id = alloc_channel_id();
-            let built = build_channel(id, cdef.net)
-                .into_iter()
-                .map(|(k, v)| (k, Arc::new(v)))
-                .collect();
+            let built: HashMap<NodeId, Arc<Channel>> =
+                build_channel(id, cdef.name.clone(), cdef.net)
+                    .into_iter()
+                    .map(|(k, v)| (k, Arc::new(v)))
+                    .collect();
+            for (&rank, ch) in &built {
+                channel_stats.push((cdef.name.clone(), rank, ch.stats().clone()));
+            }
             plain.push((cdef.name.clone(), built));
         }
 
@@ -288,19 +306,20 @@ impl SessionBuilder {
                 HashMap::new();
             for &net_idx in &vdef.nets {
                 let net_id = NetworkId(net_idx as u32);
+                let net_name = &self.networks[net_idx].name;
                 let reg_id = alloc_channel_id();
-                for (rank, ch) in build_channel(reg_id, net_idx) {
-                    regular_by_node
-                        .entry(rank)
-                        .or_default()
-                        .insert(net_id, Arc::new(ch));
+                let reg_label = format!("{}.regular.{net_name}", vdef.name);
+                for (rank, ch) in build_channel(reg_id, reg_label.clone(), net_idx) {
+                    let ch = Arc::new(ch);
+                    channel_stats.push((reg_label.clone(), rank, ch.stats().clone()));
+                    regular_by_node.entry(rank).or_default().insert(net_id, ch);
                 }
                 let spec_id = alloc_channel_id();
-                for (rank, ch) in build_channel(spec_id, net_idx) {
-                    special_by_node
-                        .entry(rank)
-                        .or_default()
-                        .insert(net_id, Arc::new(ch));
+                let spec_label = format!("{}.special.{net_name}", vdef.name);
+                for (rank, ch) in build_channel(spec_id, spec_label.clone(), net_idx) {
+                    let ch = Arc::new(ch);
+                    channel_stats.push((spec_label.clone(), rank, ch.stats().clone()));
+                    special_by_node.entry(rank).or_default().insert(net_id, ch);
                 }
             }
 
@@ -359,6 +378,19 @@ impl SessionBuilder {
             vcs.push((vdef.name.clone(), per_node));
         }
 
+        // Per-rank view of the gateway counters, so application code can
+        // poll its own node's forwarding engine mid-run.
+        let mut gw_stats_by_rank: HashMap<
+            NodeId,
+            HashMap<String, Arc<crate::gateway::GatewayStats>>,
+        > = HashMap::new();
+        for (vc, gw, st) in &gateway_stats {
+            gw_stats_by_rank
+                .entry(*gw)
+                .or_default()
+                .insert(vc.clone(), st.clone());
+        }
+
         // Spawn the application on every node.
         let barrier = SessionBarrier::new(&*runtime, n);
         let f = Arc::new(f);
@@ -380,6 +412,7 @@ impl SessionBuilder {
                 size: self.n_nodes,
                 channels,
                 vchannels,
+                gateway_stats: gw_stats_by_rank.get(&rank).cloned().unwrap_or_default(),
                 runtime: runtime.clone(),
                 barrier: barrier.clone(),
             };
@@ -423,6 +456,35 @@ impl SessionBuilder {
         if let Some(p) = panic {
             std::panic::resume_unwind(p);
         }
+        // Flush the final per-channel and per-gateway counters into the
+        // trace, one named track per channel/gateway instance.
+        let tracer = runtime.tracer();
+        if tracer.enabled() {
+            for (label, rank, st) in &channel_stats {
+                st.flush_to(&tracer, &format!("ch:{label}@{}", rank.0));
+            }
+            for (vc, gw, st) in &gateway_stats {
+                let t = st.totals();
+                let track = format!("gw:{vc}@{}", gw.0);
+                tracer.count_on(&track, "gateway", "messages", t.messages as i64, &[]);
+                tracer.count_on(&track, "gateway", "fragments", t.fragments as i64, &[]);
+                tracer.count_on(
+                    &track,
+                    "gateway",
+                    "fragment_bytes",
+                    t.fragment_bytes as i64,
+                    &[],
+                );
+                tracer.count_on(&track, "gateway", "stalls", t.stalls as i64, &[]);
+                tracer.count_on(
+                    &track,
+                    "gateway",
+                    "buffer_switches",
+                    t.buffer_switches as i64,
+                    &[],
+                );
+            }
+        }
         let mut res = results.lock();
         let out = res
             .iter_mut()
@@ -439,6 +501,7 @@ pub struct Node {
     size: u32,
     channels: HashMap<String, Arc<Channel>>,
     vchannels: HashMap<String, Arc<VirtualChannel>>,
+    gateway_stats: HashMap<String, Arc<crate::gateway::GatewayStats>>,
     runtime: Arc<dyn Runtime>,
     barrier: SessionBarrier,
 }
@@ -481,6 +544,14 @@ impl Node {
     /// True if this node is attached to the named virtual channel.
     pub fn has_vchannel(&self, name: &str) -> bool {
         self.vchannels.contains_key(name)
+    }
+
+    /// The forwarding counters of this node's gateway engine for the
+    /// named virtual channel, if this node is one of its gateways. The
+    /// counters are live: `GatewayStats::totals` is a cheap mid-run
+    /// snapshot.
+    pub fn gateway_stats(&self, vc: &str) -> Option<&Arc<crate::gateway::GatewayStats>> {
+        self.gateway_stats.get(vc)
     }
 
     /// The session runtime (timestamps, cost accounting).

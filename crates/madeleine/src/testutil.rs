@@ -172,6 +172,7 @@ pub fn channel_pair(driver: Arc<dyn Driver>) -> (crate::Channel, crate::Channel)
         m.insert(NodeId(peer), c);
         Channel::assemble(
             ChannelId(0),
+            "mock",
             NetworkId(0),
             NodeId(rank),
             driver.caps(),

@@ -42,6 +42,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
+use mad_trace::{trace_count, trace_span, Tracer};
+
 use crate::channel::Channel;
 use crate::conduit::BufferMode;
 use crate::error::{MadError, Result};
@@ -77,6 +79,7 @@ pub struct VirtualChannel {
     is_gateway: bool,
     next_msg_id: AtomicU32,
     demux: Mutex<Demux>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for VirtualChannel {
@@ -104,6 +107,11 @@ impl VirtualChannel {
         recv_event: Arc<dyn RtEvent>,
         is_gateway: bool,
     ) -> Self {
+        let tracer = regular
+            .values()
+            .next()
+            .map(|c| c.tracer().clone())
+            .unwrap_or_default();
         VirtualChannel {
             name,
             rank,
@@ -115,6 +123,7 @@ impl VirtualChannel {
             is_gateway,
             next_msg_id: AtomicU32::new(0),
             demux: Mutex::new(Demux::default()),
+            tracer,
         }
     }
 
@@ -206,6 +215,7 @@ impl VirtualChannel {
             let (net, peer) = self.select_any()?;
             let channel = &self.regular[&net];
             let packet = channel.lock_conduit(peer)?.recv_owned()?;
+            channel.stats().on_recv(peer.0, packet.len());
             if packet.as_slice() == [NOTE_DIRECT] {
                 return Ok(VcReader::Direct(channel.begin_unpacking_from(peer)?));
             }
@@ -224,6 +234,7 @@ impl VirtualChannel {
 
     /// Feed one received packet into the demultiplexer.
     fn push_demux(&self, net: NetworkId, peer: NodeId, packet: Vec<u8>) -> Result<()> {
+        trace_count!(self.tracer, "gtm", "decode", 1);
         let mut d = self.demux.lock().unwrap();
         if let Some(key) = d.asm.push_packet(packet)? {
             d.via.insert(key, (net, peer));
@@ -332,6 +343,7 @@ impl GtmStreamReader<'_> {
             let (net, peer) = self.via;
             let channel = &self.vc.regular[&net];
             let packet = channel.lock_conduit(peer)?.recv_owned()?;
+            channel.stats().on_recv(peer.0, packet.len());
             if packet.as_slice() == [NOTE_DIRECT] {
                 // The via peer interleaves GTM packets (it is a gateway or a
                 // gateway-resident sender); a raw note here is a bug.
@@ -347,6 +359,13 @@ impl GtmStreamReader<'_> {
     /// against the caller's expectation. Data is valid on return (the GTM
     /// is eager, so express semantics hold for every block).
     pub fn unpack(&mut self, dst: &mut [u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        let _reassemble = trace_span!(
+            self.vc.tracer,
+            "vc",
+            "reassemble",
+            "src" = self.header.tag.src.0 as u64,
+            "bytes" = dst.len() as u64,
+        );
         let desc = match self.next_item()? {
             StreamItem::Part(d) => d,
             other => {

@@ -21,6 +21,17 @@ echo
 echo "== soak tests (MAD_SOAK_SEED=20010914)"
 MAD_SOAK_SEED=20010914 cargo test -q --offline --release --test soak
 
+# One traced run on each backend (sim + shm), then validate the exported
+# JSONL against the schema checker: every line must parse, carry the
+# required keys, and keep per-thread timestamps monotone.
+echo
+echo "== traced run + JSONL schema validation"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -q --release --offline --example trace_dump -- "$trace_dir/ci"
+cargo run -q --release --offline -p mad-bench --bin trace_check -- \
+  "$trace_dir/ci.sim.jsonl" "$trace_dir/ci.shm.jsonl"
+
 # Lints gate only when clippy is actually installed (sealed containers
 # may ship a toolchain without the component).
 if cargo clippy --version >/dev/null 2>&1; then

@@ -169,7 +169,28 @@ fn hol_soak_short_messages_share_gateway_with_bulk() {
                 }
                 true
             }
-            2 => true,
+            2 => {
+                // The gateway node watches its own engine mid-run through
+                // the cheap snapshot API: totals must grow monotonically
+                // and eventually account for every relayed message.
+                let stats = node.gateway_stats("vc").expect("gateway stats").clone();
+                let mut last = stats.totals();
+                loop {
+                    let t = stats.totals();
+                    assert!(t.messages >= last.messages, "messages went backwards");
+                    assert!(t.fragments >= last.fragments, "fragments went backwards");
+                    assert!(
+                        t.fragment_bytes >= last.fragment_bytes,
+                        "fragment_bytes went backwards"
+                    );
+                    if t.messages >= (BULK_MSGS + SHORT_MSGS) as u64 {
+                        break;
+                    }
+                    last = t;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                true
+            }
             3 => {
                 for (i, &len) in bulk2.iter().enumerate() {
                     let mut buf = vec![0u8; len];
