@@ -9,7 +9,9 @@
 //! in §3.4.1 — driving SCI sends with the NIC's DMA engine — which removes
 //! the arbitration asymmetry and recovers the lost bandwidth.
 
-use mad_bench::experiments::{forwarded_oneway, sci_with_dma_engine, GwSetup};
+use mad_bench::experiments::{
+    forwarded_oneway, forwarded_oneway_stats, sci_with_dma_engine, GwSetup,
+};
 use mad_bench::report::Table;
 use mad_sim::SimTech;
 
@@ -80,5 +82,61 @@ fn main() {
     println!(
         "\nshape check: as a bus master the SCI DMA engine no longer loses\n\
          arbitration to the Myrinet NIC, so the collapse disappears."
+    );
+
+    // Part three: the mechanism that *does* regulate the incoming flow —
+    // per-stream credit windows. The gateway stops pulling from an inbound
+    // stream once `window` fragments are in flight through it, so its peak
+    // buffer occupancy is bounded by window × MTU while the grant traffic
+    // keeps the pipeline overlapped. The sweep shows the occupancy bound
+    // tightening linearly with the window while bandwidth stays put. (On
+    // this Myrinet→SCI pair the pacing keeps the inbound DMA active
+    // alongside the outbound PIO for the whole transfer, so the §3.4.1
+    // arbitration asymmetry charges every windowed run the same flat tax —
+    // the coupling parts one and two measure.)
+    let mut sweep = Table::new(
+        "A4c — credit-window sweep, Myrinet→SCI, 16 MB messages, 32 KB packets",
+        &[
+            "window_frags",
+            "fwd_MB/s",
+            "peak_held_KB",
+            "bound_KB",
+            "credits_granted",
+        ],
+    );
+    let windows: [Option<u32>; 6] = [None, Some(32), Some(16), Some(8), Some(4), Some(2)];
+    for window in windows {
+        // A deep forwarding pipeline: without credits the gateway will
+        // happily queue up to `pipeline_depth` fragments per hop, so the
+        // window is what actually bounds occupancy.
+        let setup = GwSetup {
+            mtu: 32 * 1024,
+            pipeline_depth: 64,
+            credit_window: window,
+            ..Default::default()
+        };
+        let (m, totals) = forwarded_oneway_stats(SimTech::Myrinet, SimTech::Sci, 16 << 20, setup);
+        let label = window.map_or("none".to_string(), |w| w.to_string());
+        let bound = window.map_or("-".to_string(), |w| {
+            format!("{}", w as i64 * (32 * 1024) / 1024)
+        });
+        sweep.row(vec![
+            label,
+            format!("{:.1}", m.mbps()),
+            format!("{:.1}", totals.peak_held_bytes as f64 / 1024.0),
+            bound,
+            format!("{}", totals.credits_granted),
+        ]);
+    }
+    sweep.print();
+    sweep.write_csv("ablation_flow_control_credit_window");
+    println!(
+        "\nshape check: peak occupancy sits exactly on the window × MTU bound\n\
+         (uncapped, the gateway buffers ~2 MB — whatever the 70 MB/s inbound\n\
+         side gets ahead of the slower outbound side). The bandwidth cost is\n\
+         flat across windows: pacing keeps the inbound DMA concurrently\n\
+         active with the outbound PIO sends, so the §3.4.1 arbitration\n\
+         asymmetry taxes every windowed run alike — the bound is bought for\n\
+         one arbitration tax, not a per-window penalty."
     );
 }

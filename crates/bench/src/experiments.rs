@@ -55,6 +55,9 @@ pub struct GwSetup {
     /// model the paper's proposed workaround of driving SCI sends with the
     /// NIC's DMA engine instead of CPU PIO (§3.4.1).
     pub outbound_override: Option<NetParams>,
+    /// Per-stream credit window in fragments at the gateway; `None`
+    /// disables flow control (unbounded gateway occupancy).
+    pub credit_window: Option<u32>,
 }
 
 impl Default for GwSetup {
@@ -66,6 +69,7 @@ impl Default for GwSetup {
             switch_overhead_ns: calibration::gateway_switch_overhead().as_nanos(),
             inbound_rate_cap: None,
             outbound_override: None,
+            credit_window: None,
         }
     }
 }
@@ -116,6 +120,16 @@ fn run_forwarded(
     total: usize,
     setup: GwSetup,
 ) -> Measurement {
+    run_forwarded_stats(tb, from, to, total, setup).0
+}
+
+fn run_forwarded_stats(
+    tb: &Testbed,
+    from: SimTech,
+    to: SimTech,
+    total: usize,
+    setup: GwSetup,
+) -> (Measurement, madeleine::gateway::GatewayTotals) {
     let rt = tb.runtime();
     let mut sb = SessionBuilder::new(3).with_runtime(rt);
     let in_driver = SimDriver::with_params(
@@ -146,11 +160,12 @@ fn run_forwarded(
                 pipeline_depth: setup.pipeline_depth,
                 switch_overhead_ns: setup.switch_overhead_ns,
                 zero_copy: setup.zero_copy,
-                exclusive_streams: false,
+                credit_window: setup.credit_window,
+                ..Default::default()
             },
         },
     );
-    let stamps = sb.run(move |node| {
+    let (stamps, gw_stats) = sb.run_with_gateway_stats(move |node| {
         let vc = node.vchannel("vc");
         let rt = node.runtime().clone();
         node.barrier().wait();
@@ -179,10 +194,31 @@ fn run_forwarded(
             _ => unreachable!(),
         }
     });
-    Measurement {
-        bytes: total,
-        seconds: (stamps[2] - stamps[0]) as f64 / 1e9,
-    }
+    let totals = gw_stats
+        .first()
+        .map(|(_, _, st)| st.totals())
+        .unwrap_or_default();
+    (
+        Measurement {
+            bytes: total,
+            seconds: (stamps[2] - stamps[0]) as f64 / 1e9,
+        },
+        totals,
+    )
+}
+
+/// Like [`forwarded_oneway`] but also returning the gateway engine's
+/// forwarding counters — credit grants, cancellations, and the peak number
+/// of payload bytes held in the forwarding pipeline (the occupancy a
+/// credit window is supposed to bound).
+pub fn forwarded_oneway_stats(
+    from: SimTech,
+    to: SimTech,
+    total: usize,
+    setup: GwSetup,
+) -> (Measurement, madeleine::gateway::GatewayTotals) {
+    let tb = Testbed::new(3);
+    run_forwarded_stats(&tb, from, to, total, setup)
 }
 
 /// One-way transfer of `total` bytes between two directly connected nodes,

@@ -164,6 +164,7 @@ impl Driver for SimDriver {
                 tech: self.tech,
                 ep: ep_a,
                 ev: ev_a,
+                peer: b,
                 runtime: self.runtime.clone(),
             }),
             Box::new(SimConduit {
@@ -171,6 +172,7 @@ impl Driver for SimDriver {
                 tech: self.tech,
                 ep: ep_b,
                 ev: ev_b,
+                peer: a,
                 runtime: self.runtime.clone(),
             }),
         )
@@ -182,6 +184,7 @@ struct SimConduit {
     tech: SimTech,
     ep: Endpoint,
     ev: Arc<dyn RtEvent>,
+    peer: NodeId,
     runtime: Arc<SimRuntime>,
 }
 
@@ -193,6 +196,10 @@ impl SimConduit {
             .record_span(TraceKind::Send, start, self.runtime.clock().now());
         if ok {
             Ok(())
+        } else if self.ep.peer_dead() {
+            // An injected fault killed this direction: surface it as the
+            // typed degradation error rather than an ordinary teardown.
+            Err(MadError::PeerUnreachable(self.peer))
         } else {
             Err(MadError::Disconnected)
         }

@@ -26,6 +26,7 @@ mod testbed;
 
 pub use driver::{SimDriver, SimTech};
 pub use runtime::{SimEvent, SimRuntime};
+pub use simnet::LinkFault;
 pub use testbed::Testbed;
 
 #[cfg(test)]

@@ -35,6 +35,16 @@ impl RtEvent for SimEvent {
         vtime::with_current(|actor| actor.wait_signal(&self.signal, seen))
     }
 
+    fn wait_past_timeout(&self, seen: u64, timeout_ns: u64) -> Option<u64> {
+        vtime::with_current(|actor| {
+            let deadline = actor.now().after(SimDuration::from_nanos(timeout_ns));
+            match actor.wait_signal_until(&self.signal, seen, deadline) {
+                vtime::WaitOutcome::Signaled(epoch) => Some(epoch),
+                vtime::WaitOutcome::DeadlineReached => None,
+            }
+        })
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -7,8 +7,8 @@
 
 use std::sync::Arc;
 
-use simnet::{calibration, Arbitration, Host, SimNet};
-use vtime::Clock;
+use simnet::{calibration, Arbitration, Host, LinkFault, SimNet};
+use vtime::{Clock, SimTime};
 
 use crate::driver::{SimDriver, SimTech};
 use crate::runtime::SimRuntime;
@@ -84,6 +84,30 @@ impl Testbed {
     /// The simulated fabric (for building custom drivers).
     pub fn net(&self) -> &SimNet {
         &self.net
+    }
+
+    /// Inject `fault` on both directions of the link between ranks `a`
+    /// and `b`. Must be called before the session is built: wiring (which
+    /// happens inside `SessionBuilder::run`) captures the registered
+    /// faults.
+    pub fn fault_link(&self, a: usize, b: usize, fault: LinkFault) {
+        self.net.fault_link(&self.hosts[a], &self.hosts[b], fault);
+        self.net.fault_link(&self.hosts[b], &self.hosts[a], fault);
+    }
+
+    /// Inject `fault` on the `from` → `to` direction only.
+    pub fn fault_link_dir(&self, from: usize, to: usize, fault: LinkFault) {
+        self.net
+            .fault_link(&self.hosts[from], &self.hosts[to], fault);
+    }
+
+    /// Silently kill the host of rank `rank` at virtual nanosecond
+    /// `after_nanos`: from then on every packet it sends or should
+    /// receive vanishes without notification — only deadlines (credit or
+    /// drain timeouts) can detect the loss. Must be called before the
+    /// session is built.
+    pub fn kill_host(&self, rank: usize, after_nanos: u64) {
+        self.net.kill_host(&self.hosts[rank], SimTime(after_nanos));
     }
 
     /// A driver of the given technology for this testbed's hosts.

@@ -27,7 +27,7 @@ pub mod schema;
 mod stats;
 
 pub use export::{Snapshot, ThreadSnapshot};
-pub use stats::{ChannelStats, ChannelTotals, PeerCounters};
+pub use stats::{ChannelStats, ChannelTotals, Gauge, PeerCounters};
 
 use std::cell::RefCell;
 use std::collections::VecDeque;

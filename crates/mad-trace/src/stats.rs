@@ -7,10 +7,56 @@
 //! [`ChannelStats::totals`] snapshot is cheap and safe to call mid-run.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::Tracer;
+
+/// A level counter that remembers its high-water mark — occupancy-style
+/// metrics (bytes resident in a gateway, entries in a queue) where the
+/// peak matters as much as the final value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Raise the level by `n`, updating the peak.
+    pub fn add(&self, n: i64) {
+        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while now > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => peak = seen,
+            }
+        }
+    }
+
+    /// Lower the level by `n`.
+    pub fn sub(&self, n: i64) {
+        self.current.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn current(&self) -> i64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever observed.
+    pub fn peak(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
 
 /// Byte/packet counters for one peer of a channel.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +171,18 @@ impl ChannelStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let g = Gauge::new();
+        g.add(10);
+        g.add(5);
+        g.sub(12);
+        assert_eq!(g.current(), 3);
+        assert_eq!(g.peak(), 15);
+        g.add(20);
+        assert_eq!(g.peak(), 23);
+    }
 
     #[test]
     fn counters_accumulate_per_peer_and_total() {

@@ -221,10 +221,18 @@ impl Channel {
     /// gives every inbound connection a fair turn at fragment granularity
     /// — a peer with a long stream of pending packets can no longer shadow
     /// higher-ranked peers.
+    ///
+    /// `wait_timeout_ns` bounds each idle wait: `None` waits indefinitely;
+    /// `Some(ns)` waits at most that long before rescanning; `Some(0)`
+    /// gives up immediately with [`MadError::Disconnected`]. Gateways feed
+    /// their teardown drain deadline through it, so a stream whose source
+    /// died silently (and whose end packet will therefore never arrive)
+    /// cannot hang the session forever.
     pub(crate) fn select_ready_after(
         &self,
         after: Option<NodeId>,
         stop: impl Fn() -> bool,
+        wait_timeout_ns: impl Fn() -> Option<u64>,
     ) -> Result<NodeId> {
         loop {
             let seen = self.recv_event.epoch();
@@ -251,7 +259,17 @@ impl Channel {
             if all_closed || stop() {
                 return Err(MadError::Disconnected);
             }
-            self.recv_event.wait_past(seen);
+            match wait_timeout_ns() {
+                None => {
+                    self.recv_event.wait_past(seen);
+                }
+                Some(0) => return Err(MadError::Disconnected),
+                Some(ns) => {
+                    // Timeout or signal, either way rescan: the next turn
+                    // of the loop re-evaluates the deadline.
+                    let _ = self.recv_event.wait_past_timeout(seen, ns);
+                }
+            }
         }
     }
 

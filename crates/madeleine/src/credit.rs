@@ -1,0 +1,439 @@
+//! Hop-by-hop credit accounting for gateway flow control.
+//!
+//! The paper's §4 names "some sophisticated bandwidth control mechanism" as
+//! future work: without one, a gateway whose outbound network is slower
+//! than its inbound one buffers an entire message. This module implements
+//! the classic link-level answer (credit/buffer accounting, as in the
+//! APENet-style interconnects of the related work): every *fragment* sent
+//! toward a gateway consumes one credit from a per-stream window, and the
+//! gateway returns one credit upstream each time it finishes
+//! *retransmitting* a fragment. Fragments resident in a gateway are
+//! therefore bounded by `window` per stream — occupancy becomes
+//! `window × MTU` instead of message size — while a window larger than the
+//! pipeline depth keeps the retransmission overlap intact.
+//!
+//! One [`CreditLedger`] exists per (virtual channel, node) and is shared by
+//! everything on that node that participates in flow control:
+//!
+//! * application writers ([`WriterFlow`]) consume credits before each
+//!   fragment and deposit grants arriving on their outbound conduit;
+//! * the gateway engine's polling threads deposit grants they receive
+//!   (credits for relayed streams *and* for streams originated by
+//!   gateway-resident writers arrive interleaved on the same special
+//!   conduits);
+//! * the engine's forwarding side consumes credits before retransmitting
+//!   on a non-final hop.
+//!
+//! The ledger is also the node-local cancellation bus: when a stream dies
+//! (unreachable peer, credit timeout), [`CreditLedger::cancel`] marks it
+//! and wakes every waiter, which then surfaces a typed
+//! [`MadError`](crate::error::MadError) instead of blocking forever.
+//!
+//! All waits are deadline-bounded through
+//! [`RtEvent::wait_past_timeout`](crate::runtime::RtEvent), so a silently
+//! dead peer degrades into an error, never a hang.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mad_util::sync::Mutex;
+
+use crate::channel::Channel;
+use crate::error::{MadError, Result};
+use crate::gtm::{self, CancelReason, PacketBody, StreamKey, StreamTag};
+use crate::runtime::{RtEvent, Runtime};
+use crate::types::NodeId;
+
+/// One stream's window state.
+#[derive(Debug, Default)]
+struct Entry {
+    available: u64,
+    cancelled: Option<CancelReason>,
+}
+
+/// Outcome of a non-blocking credit take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeOutcome {
+    /// One credit consumed.
+    Taken,
+    /// The window is exhausted (or the stream unknown): wait for a grant.
+    Empty,
+    /// The stream was cancelled; stop sending and surface the reason.
+    Cancelled(CancelReason),
+}
+
+/// Why a blocking credit take gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeFailure {
+    /// No grant arrived within the deadline.
+    Timeout,
+    /// The stream was cancelled while waiting.
+    Cancelled(CancelReason),
+}
+
+/// Per-node credit accounts, keyed by stream. See the module docs.
+pub struct CreditLedger {
+    state: Mutex<HashMap<StreamKey, Entry>>,
+    event: Arc<dyn RtEvent>,
+}
+
+impl std::fmt::Debug for CreditLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CreditLedger")
+            .field("streams", &self.state.lock().len())
+            .finish()
+    }
+}
+
+impl CreditLedger {
+    /// A ledger whose waiters block on `event`. Sessions pass the node's
+    /// shared arrival event, so one wait covers both "a credit was
+    /// deposited" and "a packet arrived on some conduit" — a writer
+    /// pumping its own conduit needs exactly that disjunction.
+    pub fn new(event: Arc<dyn RtEvent>) -> Arc<Self> {
+        Arc::new(CreditLedger {
+            state: Mutex::new(HashMap::new()),
+            event,
+        })
+    }
+
+    /// The event waiters block on (bumped by deposits and cancels).
+    pub fn event(&self) -> &Arc<dyn RtEvent> {
+        &self.event
+    }
+
+    /// Open a stream's account with its initial self-granted window.
+    pub fn open(&self, key: StreamKey, window: u32) {
+        self.state.lock().insert(
+            key,
+            Entry {
+                available: window as u64,
+                cancelled: None,
+            },
+        );
+    }
+
+    /// Drop a stream's account (normal end or after its cancellation has
+    /// been fully handled). Unknown keys are fine.
+    pub fn close(&self, key: StreamKey) {
+        self.state.lock().remove(&key);
+    }
+
+    /// Deposit `n` granted credits. Grants for unknown (already closed)
+    /// streams are dropped — a late credit from a drained hop is harmless.
+    pub fn deposit(&self, key: StreamKey, n: u32) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.get_mut(&key) {
+            e.available += n as u64;
+            drop(st);
+            self.event.bump();
+        }
+    }
+
+    /// Mark a stream cancelled, creating the account if none exists (the
+    /// canceller may race the opener), and wake every waiter. The first
+    /// reason wins.
+    pub fn cancel(&self, key: StreamKey, reason: CancelReason) {
+        {
+            let mut st = self.state.lock();
+            let e = st.entry(key).or_default();
+            if e.cancelled.is_none() {
+                e.cancelled = Some(reason);
+            }
+        }
+        self.event.bump();
+    }
+
+    /// Like [`CreditLedger::cancel`], but only for streams that hold an
+    /// account here — returns false (and changes nothing) otherwise. Used
+    /// for cancels arriving from *downstream*, whose stream may already be
+    /// fully relayed and closed on this node.
+    pub fn cancel_existing(&self, key: StreamKey, reason: CancelReason) -> bool {
+        let mut st = self.state.lock();
+        match st.get_mut(&key) {
+            Some(e) => {
+                if e.cancelled.is_none() {
+                    e.cancelled = Some(reason);
+                }
+                drop(st);
+                self.event.bump();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The cancellation reason of a stream, if it was cancelled.
+    pub fn cancelled(&self, key: StreamKey) -> Option<CancelReason> {
+        self.state.lock().get(&key).and_then(|e| e.cancelled)
+    }
+
+    /// Credits currently available to a stream (tests and diagnostics).
+    pub fn available(&self, key: StreamKey) -> Option<u64> {
+        self.state.lock().get(&key).map(|e| e.available)
+    }
+
+    /// Consume one credit if possible, without blocking.
+    pub fn try_take(&self, key: StreamKey) -> TakeOutcome {
+        let mut st = self.state.lock();
+        match st.get_mut(&key) {
+            Some(e) => {
+                if let Some(r) = e.cancelled {
+                    TakeOutcome::Cancelled(r)
+                } else if e.available > 0 {
+                    e.available -= 1;
+                    TakeOutcome::Taken
+                } else {
+                    TakeOutcome::Empty
+                }
+            }
+            // An unknown account reads as an empty window: the caller's
+            // deadline turns a genuinely lost account into a typed error.
+            None => TakeOutcome::Empty,
+        }
+    }
+
+    /// Consume one credit, blocking up to `timeout_ns` on the ledger event.
+    /// Used by gateway forwarding sides (which never pump a conduit — the
+    /// polling threads deposit on their behalf).
+    pub fn take_blocking(
+        &self,
+        key: StreamKey,
+        timeout_ns: u64,
+        rt: &dyn Runtime,
+    ) -> std::result::Result<(), TakeFailure> {
+        let start = rt.now_nanos();
+        loop {
+            let seen = self.event.epoch();
+            match self.try_take(key) {
+                TakeOutcome::Taken => return Ok(()),
+                TakeOutcome::Cancelled(r) => return Err(TakeFailure::Cancelled(r)),
+                TakeOutcome::Empty => {}
+            }
+            let elapsed = rt.now_nanos().saturating_sub(start);
+            let remaining = timeout_ns.saturating_sub(elapsed);
+            if remaining == 0 || self.event.wait_past_timeout(seen, remaining).is_none() {
+                return Err(TakeFailure::Timeout);
+            }
+        }
+    }
+
+    /// True when no stream holds an account — the post-session leak check.
+    pub fn is_idle(&self) -> bool {
+        self.state.lock().is_empty()
+    }
+}
+
+/// Flow-control configuration of one node on one virtual channel: the
+/// shared ledger plus the session-wide window and deadline.
+#[derive(Clone)]
+pub struct FlowControl {
+    ledger: Arc<CreditLedger>,
+    window: u32,
+    timeout_ns: u64,
+}
+
+impl FlowControl {
+    /// Bundle a ledger with the channel's window and credit deadline.
+    pub fn new(ledger: Arc<CreditLedger>, window: u32, timeout_ns: u64) -> Self {
+        assert!(window > 0, "a credit window must hold at least one packet");
+        FlowControl {
+            ledger,
+            window,
+            timeout_ns,
+        }
+    }
+
+    /// The shared ledger.
+    pub fn ledger(&self) -> &Arc<CreditLedger> {
+        &self.ledger
+    }
+
+    /// The per-stream window, in fragments.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The credit-wait deadline, in nanoseconds.
+    pub fn timeout_ns(&self) -> u64 {
+        self.timeout_ns
+    }
+
+    /// The writer-side handle. `pump` must be true on nodes whose special
+    /// conduits have no other reader (non-gateway nodes); gateway-resident
+    /// writers must leave it false — their engine's polling threads own
+    /// the conduit receive sides and deposit grants on their behalf.
+    pub fn writer(&self, pump: bool) -> WriterFlow {
+        WriterFlow {
+            ctl: self.clone(),
+            pump,
+        }
+    }
+}
+
+impl std::fmt::Debug for FlowControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowControl")
+            .field("window", &self.window)
+            .field("timeout_ns", &self.timeout_ns)
+            .finish()
+    }
+}
+
+/// Sender-side flow control of one GTM stream, used by
+/// [`GtmWriter`](crate::gtm::GtmWriter).
+pub struct WriterFlow {
+    ctl: FlowControl,
+    pump: bool,
+}
+
+impl WriterFlow {
+    /// Open the stream's account with the initial window.
+    pub(crate) fn open(&self, key: StreamKey) {
+        self.ctl.ledger.open(key, self.ctl.window);
+    }
+
+    /// Drop the stream's account.
+    pub(crate) fn close(&self, key: StreamKey) {
+        self.ctl.ledger.close(key);
+    }
+
+    /// Consume one credit before emitting a fragment, pumping the writer's
+    /// conduit for incoming grants while waiting. Deadline-bounded: a
+    /// stalled or dead downstream surfaces as
+    /// [`MadError::CreditTimeout`] / [`MadError::PeerUnreachable`].
+    pub(crate) fn take(&self, channel: &Channel, first_hop: NodeId, tag: &StreamTag) -> Result<()> {
+        let key = tag.key();
+        let rt = channel.runtime();
+        let start = rt.now_nanos();
+        loop {
+            let seen = self.ctl.ledger.event.epoch();
+            match self.ctl.ledger.try_take(key) {
+                TakeOutcome::Taken => return Ok(()),
+                TakeOutcome::Cancelled(reason) => return Err(cancel_error(reason, tag)),
+                TakeOutcome::Empty => {}
+            }
+            if self.pump && self.pump_conduit(channel, first_hop)? {
+                continue; // something arrived: re-check before blocking
+            }
+            let elapsed = rt.now_nanos().saturating_sub(start);
+            let remaining = self.ctl.timeout_ns.saturating_sub(elapsed);
+            if remaining == 0
+                || self
+                    .ctl
+                    .ledger
+                    .event
+                    .wait_past_timeout(seen, remaining)
+                    .is_none()
+            {
+                return Err(MadError::CreditTimeout {
+                    src: tag.src,
+                    dest: tag.dest,
+                    msg_id: tag.msg_id,
+                });
+            }
+        }
+    }
+
+    /// Drain whatever is pending on the conduit to `peer` — only credit
+    /// grants and cancels ever travel toward a non-gateway sender on its
+    /// special channel. Returns true if anything was consumed.
+    fn pump_conduit(&self, channel: &Channel, peer: NodeId) -> Result<bool> {
+        let mut any = false;
+        loop {
+            let mut conduit = channel.lock_conduit(peer)?;
+            if !conduit.ready() {
+                return Ok(any);
+            }
+            let packet = conduit.recv_owned()?;
+            drop(conduit);
+            channel.stats().on_recv(peer.0, packet.len());
+            let (tag, body) = gtm::decode_packet(&packet)?;
+            match body {
+                PacketBody::Credit(n) => self.ctl.ledger.deposit(tag.key(), n),
+                PacketBody::Cancel(reason) => self.ctl.ledger.cancel(tag.key(), reason),
+                other => {
+                    return Err(MadError::Protocol(format!(
+                        "unexpected {other:?} on a sender's special conduit"
+                    )))
+                }
+            }
+            any = true;
+        }
+    }
+}
+
+/// The typed error a cancelled stream surfaces at its sender.
+pub(crate) fn cancel_error(reason: CancelReason, tag: &StreamTag) -> MadError {
+    match reason {
+        CancelReason::PeerUnreachable => MadError::PeerUnreachable(tag.dest),
+        CancelReason::CreditTimeout => MadError::CreditTimeout {
+            src: tag.src,
+            dest: tag.dest,
+            msg_id: tag.msg_id,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::StdRuntime;
+
+    fn ledger() -> Arc<CreditLedger> {
+        let rt = StdRuntime::default();
+        CreditLedger::new(crate::runtime::Runtime::event(&rt))
+    }
+
+    #[test]
+    fn window_accounting() {
+        let l = ledger();
+        let key = (3, 7);
+        l.open(key, 2);
+        assert_eq!(l.try_take(key), TakeOutcome::Taken);
+        assert_eq!(l.try_take(key), TakeOutcome::Taken);
+        assert_eq!(l.try_take(key), TakeOutcome::Empty);
+        l.deposit(key, 1);
+        assert_eq!(l.available(key), Some(1));
+        assert_eq!(l.try_take(key), TakeOutcome::Taken);
+        l.close(key);
+        assert!(l.is_idle());
+        // Late grants for closed streams are dropped, not resurrected.
+        l.deposit(key, 5);
+        assert!(l.is_idle());
+    }
+
+    #[test]
+    fn cancellation_beats_credits() {
+        let l = ledger();
+        let key = (1, 1);
+        l.open(key, 4);
+        l.cancel(key, CancelReason::PeerUnreachable);
+        assert_eq!(
+            l.try_take(key),
+            TakeOutcome::Cancelled(CancelReason::PeerUnreachable)
+        );
+        // First reason wins.
+        l.cancel(key, CancelReason::CreditTimeout);
+        assert_eq!(l.cancelled(key), Some(CancelReason::PeerUnreachable));
+        // A cancel may precede the open on a racing stream.
+        let other = (9, 9);
+        l.cancel(other, CancelReason::CreditTimeout);
+        assert_eq!(
+            l.try_take(other),
+            TakeOutcome::Cancelled(CancelReason::CreditTimeout)
+        );
+    }
+
+    #[test]
+    fn blocking_take_times_out_typed() {
+        let l = ledger();
+        let rt = StdRuntime::default();
+        let key = (2, 0);
+        l.open(key, 0);
+        assert_eq!(
+            l.take_blocking(key, 2_000_000, &rt),
+            Err(TakeFailure::Timeout)
+        );
+    }
+}

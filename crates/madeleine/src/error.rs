@@ -34,6 +34,21 @@ pub enum MadError {
     },
     /// The message was not finalized (missing `end_packing`/`end_unpacking`).
     NotFinalized,
+    /// A peer stopped responding mid-stream (hard fault, not an orderly
+    /// teardown): a send toward it failed or its stream was cancelled by a
+    /// gateway that could no longer reach it.
+    PeerUnreachable(NodeId),
+    /// A credit-flow-controlled stream made no progress within its
+    /// deadline: the downstream gateway stopped granting credits (stalled
+    /// or dead) and the wait timed out.
+    CreditTimeout {
+        /// Originating rank of the starved stream.
+        src: NodeId,
+        /// Final destination of the starved stream.
+        dest: NodeId,
+        /// Per-source message id of the starved stream.
+        msg_id: u32,
+    },
 }
 
 impl fmt::Display for MadError {
@@ -54,6 +69,11 @@ impl fmt::Display for MadError {
                 )
             }
             MadError::NotFinalized => write!(f, "message dropped before end of packing/unpacking"),
+            MadError::PeerUnreachable(n) => write!(f, "peer {n} stopped responding mid-stream"),
+            MadError::CreditTimeout { src, dest, msg_id } => write!(
+                f,
+                "credit wait timed out for stream {src}->{dest}#{msg_id} (downstream stalled)"
+            ),
         }
     }
 }

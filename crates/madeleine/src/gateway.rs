@@ -23,6 +23,29 @@
 //! Because the stream tag is route-invariant, packets are forwarded
 //! verbatim: the engine never re-encodes anything.
 //!
+//! ## Credit-based flow control
+//!
+//! The paper names bandwidth control across the gateway as future work:
+//! without it, a fast inbound network dumps a whole bulk message into the
+//! gateway when the outbound network is slower. With
+//! [`GatewayConfig::credit_window`] set, every *fragment* sent toward a
+//! gateway consumes one credit from the stream's window, and the gateway
+//! returns one credit upstream each time it finishes *retransmitting* one
+//! — so at most `window` fragments of a stream are resident per gateway
+//! and occupancy is bounded by `window × (MTU + prelude)` instead of the
+//! message size. Credits travel hop-by-hop as [`gtm`] control packets on
+//! the same conduits as the stream, in the opposite direction; the
+//! per-node accounting lives in a shared [`CreditLedger`].
+//!
+//! Every credit wait is deadline-bounded ([`GatewayConfig`]'s
+//! `credit_timeout_ns`): a stalled or dead downstream degrades the
+//! affected stream into a typed cancellation
+//! ([`MadError::CreditTimeout`] / [`MadError::PeerUnreachable`]) that
+//! propagates both ways as a cancel packet, while unrelated streams keep
+//! flowing. Without a window there is no upstream backchannel, so a
+//! cancelled stream is dropped silently at the gateway (its sender cannot
+//! be told) — flow control is also what makes fault degradation loud.
+//!
 //! ## Zero-copy handoff (paper §2.3)
 //!
 //! The polling thread picks a per-connection landing policy from the
@@ -53,19 +76,27 @@
 //! had its end packet retransmitted, closing the old teardown window in
 //! which a multi-hop fragment could be dropped between two gateways. A
 //! gateway whose outbound conduit dies mid-stream abandons its open
-//! streams on exit so the rest of the session can still stop.
+//! streams on exit so the rest of the session can still stop. The drain
+//! itself is bounded by `drain_timeout_ns`: if a fault leaves a stream
+//! that will never end (its source died silently), the engine abandons it
+//! after the deadline instead of hanging the session forever.
 
-use std::collections::BTreeMap;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use mad_trace::{trace_instant, trace_span, Tracer};
+use mad_trace::{trace_instant, trace_span, Gauge, Tracer};
+use mad_util::sync::Mutex;
 
 use crate::channel::Channel;
 use crate::conduit::{BufferMode, Conduit, StaticBuf};
+use crate::credit::{CreditLedger, TakeFailure};
 use crate::error::{MadError, Result};
-use crate::gtm::{self, PacketBody, StreamKey, PRELUDE_LEN};
+use crate::gtm::{self, CancelReason, PacketBody, StreamKey, StreamTag, PRELUDE_LEN};
 use crate::routing::RouteTable;
 use crate::runtime::{RtEvent, RtQueue, RtReceiver, RtSender, Runtime};
 use crate::types::{NetworkId, NodeId};
@@ -101,6 +132,22 @@ pub struct GatewayStats {
     pub stalls: AtomicU64,
     /// Fragment handoffs through the pipeline (0 at depth 1).
     pub buffer_switches: AtomicU64,
+    /// Credit grants returned upstream (one per retransmitted fragment of
+    /// a flow-controlled stream).
+    pub credits_granted: AtomicU64,
+    /// Streams dropped mid-flight by a cancellation (either received from
+    /// a neighbour hop or initiated here).
+    pub cancelled: AtomicU64,
+    /// Credit waits that hit their deadline on this gateway's outbound
+    /// side (each one cancels its stream).
+    pub credit_timeouts: AtomicU64,
+    /// Non-fatal errors the engine degraded through instead of dying
+    /// (failed sends, protocol violations on one conduit).
+    pub errors: AtomicU64,
+    /// Packet bytes currently resident in this engine (received but not
+    /// yet retransmitted or dropped) and their high-water mark — the
+    /// occupancy the credit window bounds.
+    pub held: Gauge,
     per_stream: Mutex<BTreeMap<(NodeId, NodeId), StreamCounters>>,
 }
 
@@ -120,6 +167,18 @@ pub struct GatewayTotals {
     pub stalls: u64,
     /// Fragment handoffs through the pipeline.
     pub buffer_switches: u64,
+    /// Credit grants returned upstream.
+    pub credits_granted: u64,
+    /// Streams dropped mid-flight by a cancellation.
+    pub cancelled: u64,
+    /// Credit waits that hit their deadline here.
+    pub credit_timeouts: u64,
+    /// Non-fatal errors degraded through.
+    pub errors: u64,
+    /// Packet bytes resident in the engine at snapshot time.
+    pub held_bytes: i64,
+    /// High-water mark of resident packet bytes.
+    pub peak_held_bytes: i64,
 }
 
 impl GatewayStats {
@@ -140,6 +199,12 @@ impl GatewayStats {
             fragment_bytes: self.fragment_bytes.load(Ordering::Relaxed),
             stalls: self.stalls.load(Ordering::Relaxed),
             buffer_switches: self.buffer_switches.load(Ordering::Relaxed),
+            credits_granted: self.credits_granted.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            credit_timeouts: self.credit_timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            held_bytes: self.held.current(),
+            peak_held_bytes: self.held.peak(),
         }
     }
 
@@ -147,14 +212,13 @@ impl GatewayStats {
     pub fn per_stream(&self) -> Vec<((NodeId, NodeId), StreamCounters)> {
         self.per_stream
             .lock()
-            .unwrap()
             .iter()
             .map(|(&k, &v)| (k, v))
             .collect()
     }
 
     fn with_pair(&self, pair: (NodeId, NodeId), f: impl FnOnce(&mut StreamCounters)) {
-        f(self.per_stream.lock().unwrap().entry(pair).or_default())
+        f(self.per_stream.lock().entry(pair).or_default())
     }
 
     fn on_header(&self, pair: (NodeId, NodeId)) {
@@ -184,6 +248,14 @@ impl GatewayStats {
         self.buffer_switches.fetch_add(1, Ordering::Relaxed);
         self.with_pair(pair, |c| c.buffer_switches += 1);
     }
+
+    fn on_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Tuning knobs of a gateway's forwarding engine.
@@ -204,6 +276,21 @@ pub struct GatewayConfig {
     /// opened has ended — the pre-fragment-scheduling message-at-a-time
     /// discipline, kept as the head-of-line-blocking ablation baseline.
     pub exclusive_streams: bool,
+    /// Per-stream credit window in fragments. `None` disables flow
+    /// control (unbounded gateway occupancy, the pre-credit behaviour).
+    /// Every node of the virtual channel must agree on this value — both
+    /// ends of a conduit derive the same window from configuration, so no
+    /// handshake is needed.
+    pub credit_window: Option<u32>,
+    /// Deadline for any single credit wait (sender side and gateway
+    /// outbound side). A stream that makes no progress within it is
+    /// cancelled with [`MadError::CreditTimeout`].
+    pub credit_timeout_ns: u64,
+    /// Deadline for the teardown drain: once a stop is requested, a
+    /// polling thread waits at most this long for its in-flight streams
+    /// to end before abandoning them (a fault may have killed a source
+    /// that will never send its end packet).
+    pub drain_timeout_ns: u64,
 }
 
 impl Default for GatewayConfig {
@@ -213,6 +300,9 @@ impl Default for GatewayConfig {
             switch_overhead_ns: 0,
             zero_copy: true,
             exclusive_streams: false,
+            credit_window: None,
+            credit_timeout_ns: 500_000_000,
+            drain_timeout_ns: 2_000_000_000,
         }
     }
 }
@@ -262,6 +352,11 @@ impl GatewayStop {
         self.wake_all();
     }
 
+    /// True once a stop has been requested (the drain may still be going).
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
     fn should_stop(&self) -> bool {
         self.stop.load(Ordering::Acquire)
             && (self.forced.load(Ordering::Acquire) || self.open.load(Ordering::Acquire) == 0)
@@ -285,11 +380,11 @@ impl GatewayStop {
     }
 
     fn register_waker(&self, ev: Arc<dyn RtEvent>) {
-        self.wakers.lock().unwrap().push(ev);
+        self.wakers.lock().push(ev);
     }
 
     fn wake_all(&self) {
-        for ev in self.wakers.lock().unwrap().iter() {
+        for ev in self.wakers.lock().iter() {
             ev.bump();
         }
     }
@@ -356,9 +451,21 @@ struct FwdItem {
     to: NodeId,
     last_hop: bool,
     buf: FwdBuf,
-    /// True for a stream's end packet: retransmitting it releases the
-    /// stream from the session-wide drain count.
+    /// The stream the packet belongs to.
+    tag: StreamTag,
+    /// True for a stream's end-equivalent packet (real end or a cancel):
+    /// consuming it — retransmitted or dropped — releases the stream from
+    /// the session-wide drain count and closes its ledger account.
     end_of_stream: bool,
+    /// Packet bytes counted in the held-bytes gauge (fragments only; 0
+    /// for control packets).
+    held_bytes: usize,
+    /// Consume one outbound credit before retransmitting (flow-controlled
+    /// stream on a non-final hop).
+    consume: bool,
+    /// Return one credit on this channel to this peer after a successful
+    /// retransmission (the upstream side of a flow-controlled fragment).
+    grant: Option<(Arc<Channel>, NodeId)>,
 }
 
 /// Where the polling thread pushes pipeline items.
@@ -394,6 +501,17 @@ impl OutPath {
     }
 }
 
+/// State shared by everything that consumes pipeline items (forwarding
+/// threads and the depth-1 inline path).
+struct FwdShared {
+    stats: Arc<GatewayStats>,
+    live: Arc<EngineLive>,
+    ledger: Arc<CreditLedger>,
+    runtime: Arc<dyn Runtime>,
+    credit_timeout_ns: u64,
+    tracer: Tracer,
+}
+
 /// How a polling thread lands incoming packets (fixed per inbound network,
 /// derived from the outgoing drivers it can feed).
 #[derive(Clone, Copy)]
@@ -410,7 +528,8 @@ enum Landing {
 
 /// Running gateway engine; joining waits for clean shutdown (which happens
 /// when every inbound special-channel peer has disconnected, or the
-/// session's [`GatewayStop`] fires with no streams left to drain).
+/// session's [`GatewayStop`] fires with no streams left to drain, or the
+/// drain deadline expires on stuck streams).
 pub struct GatewayHandles {
     threads: Vec<JoinHandle<()>>,
     stats: Arc<GatewayStats>,
@@ -435,7 +554,9 @@ impl GatewayHandles {
 /// Spawn the forwarding engine of one gateway node for one virtual channel.
 ///
 /// `regular`/`special` hold this node's two real channels per network;
-/// `routes` is the gateway's own routing table over the virtual channel.
+/// `routes` is the gateway's own routing table over the virtual channel;
+/// `ledger` is the node's shared credit ledger (used even with flow
+/// control off, as the cancellation bus).
 #[allow(clippy::too_many_arguments)] // a one-caller bootstrap function
 pub fn spawn_gateway(
     rank: NodeId,
@@ -446,6 +567,7 @@ pub fn spawn_gateway(
     cfg: GatewayConfig,
     runtime: Arc<dyn Runtime>,
     stopctl: Arc<GatewayStop>,
+    ledger: Arc<CreditLedger>,
 ) -> GatewayHandles {
     assert!(cfg.pipeline_depth >= 1, "pipeline depth must be at least 1");
     let nets: Vec<NetworkId> = special.keys().copied().collect();
@@ -481,11 +603,17 @@ pub fn spawn_gateway(
                 let (tx, rx) = RtQueue::<FwdItem>::with_capacity(&*runtime, cfg.pipeline_depth - 1);
                 sinks.insert(net_out, Sink::Queue(tx, out_path.clone()));
                 let name = format!("gw{}-{}-fwd-{}-{}", rank.0, vc_name, net_in, net_out);
-                let live = live.clone();
-                let tracer = runtime.tracer();
+                let shared = FwdShared {
+                    stats: stats.clone(),
+                    live: live.clone(),
+                    ledger: ledger.clone(),
+                    runtime: runtime.clone(),
+                    credit_timeout_ns: cfg.credit_timeout_ns,
+                    tracer: runtime.tracer(),
+                };
                 threads.push(runtime.spawn(
                     name,
-                    Box::new(move || forwarding_thread(rx, out_path, live, tracer)),
+                    Box::new(move || forwarding_thread(rx, out_path, shared)),
                 ));
             }
         }
@@ -495,10 +623,15 @@ pub fn spawn_gateway(
         let rt = runtime.clone();
         let stats = stats.clone();
         let live = live.clone();
+        let ledger = ledger.clone();
         let name = format!("gw{}-{}-in-{}", rank.0, vc_name, net_in);
         threads.push(runtime.spawn(
             name,
-            Box::new(move || polling_thread(rank, in_channel, sinks, routes, cfg, rt, stats, live)),
+            Box::new(move || {
+                polling_thread(
+                    rank, in_channel, sinks, routes, cfg, rt, stats, live, ledger,
+                )
+            }),
         ));
     }
     GatewayHandles { threads, stats }
@@ -510,11 +643,18 @@ struct InStream {
     to: NodeId,
     last_hop: bool,
     pair: (NodeId, NodeId),
+    tag: StreamTag,
+    /// The inbound peer the stream arrives from (cancellations go back
+    /// this way).
+    upstream: NodeId,
 }
 
 /// The polling thread of one inbound network: round-robins over the
 /// connections of the special channel, relaying one self-described packet
-/// per turn and demultiplexing stream state as it goes.
+/// per turn and demultiplexing stream state as it goes. Conduits are
+/// bidirectional, so the same thread also receives the *returning* credit
+/// grants and cancels of streams this gateway sends out on `net_in`, and
+/// deposits them into the node's shared ledger.
 #[allow(clippy::too_many_arguments)] // internal thread entry point
 fn polling_thread(
     rank: NodeId,
@@ -525,13 +665,25 @@ fn polling_thread(
     runtime: Arc<dyn Runtime>,
     stats: Arc<GatewayStats>,
     live: Arc<EngineLive>,
+    ledger: Arc<CreditLedger>,
 ) {
     let _exit = ThreadExitGuard { live: live.clone() };
     let landing = landing_policy(&sinks, cfg);
     let stopctl = live.stopctl.clone();
     let tracer = runtime.tracer();
+    let shared = FwdShared {
+        stats: stats.clone(),
+        live: live.clone(),
+        ledger: ledger.clone(),
+        runtime: runtime.clone(),
+        credit_timeout_ns: cfg.credit_timeout_ns,
+        tracer: tracer.clone(),
+    };
     // Streams currently crossing this inbound network.
     let mut streams: BTreeMap<StreamKey, InStream> = BTreeMap::new();
+    // Streams cancelled here whose upstream may still be sending: their
+    // late packets are dropped silently until the end/cancel arrives.
+    let mut cancelled: BTreeSet<StreamKey> = BTreeSet::new();
     // Open-stream count per inbound peer (drives `exclusive_streams`).
     let mut open_from: BTreeMap<NodeId, u64> = BTreeMap::new();
     // Fair-scan cursor: the peer served last turn.
@@ -542,14 +694,37 @@ fn polling_thread(
     // (every control packet fits the initial floor; a fragment is always
     // preceded on its conduit by its stream's header).
     let mut max_pkt = 256usize;
+    // Deadline of the teardown drain, armed when a stop is requested while
+    // streams are still open.
+    let drain_deadline: Cell<Option<u64>> = Cell::new(None);
 
     loop {
+        let wait_timeout = || -> Option<u64> {
+            if !stopctl.stop_requested() {
+                return None; // no stop in sight: wait indefinitely
+            }
+            let now = runtime.now_nanos();
+            let deadline = match drain_deadline.get() {
+                Some(d) => d,
+                None => {
+                    let d = now.saturating_add(cfg.drain_timeout_ns);
+                    drain_deadline.set(Some(d));
+                    d
+                }
+            };
+            Some(deadline.saturating_sub(now))
+        };
         let peer = match pinned {
             Some(p) => p,
-            None => match in_channel.select_ready_after(cursor, || stopctl.should_stop()) {
-                Ok(p) => p,
-                Err(_) => return, // inbound peers gone or session stopping
-            },
+            None => {
+                match in_channel.select_ready_after(cursor, || stopctl.should_stop(), wait_timeout)
+                {
+                    Ok(p) => p,
+                    // Inbound peers gone, session stopping, or the drain
+                    // deadline expired on streams that will never end.
+                    Err(_) => return,
+                }
+            }
         };
         cursor = Some(peer);
         let buf = {
@@ -557,7 +732,25 @@ fn polling_thread(
             match receive_packet(&in_channel, peer, landing, max_pkt) {
                 Ok(b) => b,
                 Err(MadError::Disconnected) => return,
-                Err(e) => panic!("gateway {rank} receive failed: {e}"),
+                Err(e) => {
+                    // A broken receive loses the packet, and with it the
+                    // framing of every stream on this conduit: degrade by
+                    // cancelling this peer's streams, keep serving others.
+                    stats.on_error();
+                    trace_instant!(tracer, "gw", "recv-error", "peer" = peer.0 as u64);
+                    let _ = e;
+                    cancel_peer_streams(
+                        peer,
+                        &in_channel,
+                        &sinks,
+                        &mut streams,
+                        &mut cancelled,
+                        &mut open_from,
+                        &shared,
+                    );
+                    pinned = None;
+                    continue;
+                }
             }
         };
         in_channel.stats().on_recv(peer.0, buf.bytes().len());
@@ -566,20 +759,24 @@ fn polling_thread(
             rank,
             peer,
             buf,
+            &in_channel,
             &sinks,
             &routes,
             cfg,
-            &runtime,
-            &stats,
-            &live,
-            &tracer,
+            &shared,
             &mut streams,
+            &mut cancelled,
             &mut open_from,
             &mut max_pkt,
         ) {
             Ok(()) => {}
             Err(MadError::Disconnected) => return,
-            Err(e) => panic!("gateway {rank} forwarding failed: {e}"),
+            Err(_) => {
+                // A malformed or misrouted packet poisons only itself:
+                // count it, drop it, keep forwarding everything else.
+                stats.on_error();
+                trace_instant!(tracer, "gw", "relay-error", "peer" = peer.0 as u64);
+            }
         }
         if cfg.exclusive_streams {
             pinned = match open_from.get(&peer) {
@@ -596,20 +793,55 @@ fn relay_packet(
     rank: NodeId,
     peer: NodeId,
     buf: FwdBuf,
+    in_channel: &Arc<Channel>,
     sinks: &BTreeMap<NetworkId, Sink>,
     routes: &RouteTable,
     cfg: GatewayConfig,
-    runtime: &Arc<dyn Runtime>,
-    stats: &GatewayStats,
-    live: &EngineLive,
-    tracer: &Tracer,
+    shared: &FwdShared,
     streams: &mut BTreeMap<StreamKey, InStream>,
+    cancelled: &mut BTreeSet<StreamKey>,
     open_from: &mut BTreeMap<NodeId, u64>,
     max_pkt: &mut usize,
 ) -> Result<()> {
     let (tag, body) = gtm::decode_packet(buf.bytes())?;
     let key = tag.key();
+
+    // Returning flow-control traffic for streams this node sends out on
+    // the inbound network: not forwarded, deposited into the ledger.
+    if let PacketBody::Credit(n) = body {
+        shared.ledger.deposit(key, n);
+        return Ok(());
+    }
+
+    // Late packets of a stream cancelled here: swallow until its source
+    // stops (the end or cancel clears the tombstone).
+    if cancelled.contains(&key) {
+        if matches!(body, PacketBody::End | PacketBody::Cancel(_)) {
+            cancelled.remove(&key);
+        }
+        return Ok(());
+    }
+
+    // A live in-flight stream marked cancelled in the ledger (its outbound
+    // side timed out or hit a dead peer): tear it down on this side too —
+    // tell the upstream hop, relay a cancel downstream in place of the
+    // end, and tombstone the key.
+    if streams.contains_key(&key) {
+        if let Some(reason) = shared.ledger.cancelled(key) {
+            cancel_stream(
+                key, reason, true, in_channel, sinks, streams, cancelled, open_from, shared,
+            );
+            // The packet in hand belongs to the dead stream: swallow it,
+            // unless it is the source's own last word (no more will come).
+            if matches!(body, PacketBody::End | PacketBody::Cancel(_)) {
+                cancelled.remove(&key);
+            }
+            return Ok(());
+        }
+    }
+
     match body {
+        PacketBody::Credit(_) => unreachable!("handled above"),
         PacketBody::Header(header) => {
             if header.tag.dest == rank {
                 return Err(MadError::Protocol(format!(
@@ -639,19 +871,27 @@ fn relay_packet(
                 to: hop.node,
                 last_hop: hop.last,
                 pair: (tag.src, tag.dest),
+                tag,
+                upstream: peer,
             };
-            stats.on_header(stream.pair);
+            // On a non-final hop this gateway is the next conduit's
+            // sender: self-grant the window it will spend re-sending.
+            if let (Some(w), false) = (cfg.credit_window, hop.last) {
+                shared.ledger.open(key, w);
+            }
+            shared.stats.on_header(stream.pair);
             trace_instant!(
-                tracer,
+                shared.tracer,
                 "gw",
                 "stream-open",
                 "src" = tag.src.0 as u64,
                 "dest" = tag.dest.0 as u64,
             );
-            live.opened();
+            shared.live.opened();
             *open_from.entry(peer).or_insert(0) += 1;
             let sink = &sinks[&stream.out_net];
-            dispatch(sink, &stream, buf, false, false, stats, live, tracer)?;
+            let item = make_item(&stream, buf, false, false, cfg, in_channel, peer);
+            dispatch(sink, &stream, item, false, shared)?;
             streams.insert(key, stream);
             Ok(())
         }
@@ -659,34 +899,19 @@ fn relay_packet(
             let stream = streams.get(&key).ok_or_else(|| {
                 MadError::Protocol(format!("GTM descriptor for unknown stream {key:?}"))
             })?;
-            dispatch(
-                &sinks[&stream.out_net],
-                stream,
-                buf,
-                false,
-                false,
-                stats,
-                live,
-                tracer,
-            )
+            let item = make_item(stream, buf, false, false, cfg, in_channel, peer);
+            dispatch(&sinks[&stream.out_net], stream, item, false, shared)
         }
         PacketBody::Frag => {
             let stream = streams.get(&key).ok_or_else(|| {
                 MadError::Protocol(format!("GTM fragment for unknown stream {key:?}"))
             })?;
             let payload = (buf.bytes().len() - PRELUDE_LEN) as u64;
-            stats.on_frag(stream.pair, payload);
-            runtime.charge_overhead(cfg.switch_overhead_ns);
-            dispatch(
-                &sinks[&stream.out_net],
-                stream,
-                buf,
-                true,
-                false,
-                stats,
-                live,
-                tracer,
-            )
+            shared.stats.on_frag(stream.pair, payload);
+            shared.runtime.charge_overhead(cfg.switch_overhead_ns);
+            let item = make_item(stream, buf, true, false, cfg, in_channel, peer);
+            shared.stats.held.add(item.held_bytes as i64);
+            dispatch(&sinks[&stream.out_net], stream, item, true, shared)
         }
         PacketBody::End => {
             let stream = streams
@@ -695,18 +920,152 @@ fn relay_packet(
             if let Some(n) = open_from.get_mut(&peer) {
                 *n = n.saturating_sub(1);
             }
-            stats.on_end(stream.pair);
-            dispatch(
-                &sinks[&stream.out_net],
-                &stream,
-                buf,
-                false,
-                true,
-                stats,
-                live,
-                tracer,
-            )
+            shared.stats.on_end(stream.pair);
+            let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
+            dispatch(&sinks[&stream.out_net], &stream, item, false, shared)
         }
+        PacketBody::Cancel(reason) => {
+            if let Some(stream) = streams.remove(&key) {
+                // The upstream hop killed the stream: drop its state, mark
+                // the ledger (waking any forwarding side blocked on its
+                // credits) and relay the cancel downstream in place of the
+                // end packet.
+                if let Some(n) = open_from.get_mut(&peer) {
+                    *n = n.saturating_sub(1);
+                }
+                shared.ledger.cancel(key, reason);
+                shared.stats.on_cancelled();
+                trace_instant!(
+                    shared.tracer,
+                    "gw",
+                    "stream-cancel",
+                    "src" = tag.src.0 as u64,
+                    "dest" = tag.dest.0 as u64,
+                );
+                let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
+                dispatch(&sinks[&stream.out_net], &stream, item, false, shared)
+            } else if shared.ledger.cancel_existing(key, reason) {
+                // Returning-direction cancel: a downstream hop killed a
+                // stream this node *sends* out on the inbound network.
+                // Marking the account wakes the blocked sender (a local
+                // writer or a forwarding thread), which surfaces the
+                // typed error.
+                Ok(())
+            } else {
+                Err(MadError::Protocol(format!(
+                    "GTM cancel for unknown stream {key:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Build the pipeline item for one accepted packet.
+fn make_item(
+    stream: &InStream,
+    buf: FwdBuf,
+    is_frag: bool,
+    end_of_stream: bool,
+    cfg: GatewayConfig,
+    in_channel: &Arc<Channel>,
+    peer: NodeId,
+) -> FwdItem {
+    let held_bytes = if is_frag { buf.bytes().len() } else { 0 };
+    FwdItem {
+        to: stream.to,
+        last_hop: stream.last_hop,
+        buf,
+        tag: stream.tag,
+        end_of_stream,
+        held_bytes,
+        consume: is_frag && cfg.credit_window.is_some() && !stream.last_hop,
+        grant: (is_frag && cfg.credit_window.is_some()).then(|| (in_channel.clone(), peer)),
+    }
+}
+
+/// Tear down one in-flight stream after a cancellation: notify the
+/// upstream hop (so its sender stops), enqueue a cancel downstream in
+/// place of the end packet (so later hops and the receiver drop it), and
+/// tombstone the key so the source's still-in-flight packets are
+/// swallowed. Only the affected stream dies — everything else keeps
+/// flowing.
+#[allow(clippy::too_many_arguments)] // internal helper of polling_thread
+fn cancel_stream(
+    key: StreamKey,
+    reason: CancelReason,
+    notify_upstream: bool,
+    in_channel: &Arc<Channel>,
+    sinks: &BTreeMap<NetworkId, Sink>,
+    streams: &mut BTreeMap<StreamKey, InStream>,
+    cancelled: &mut BTreeSet<StreamKey>,
+    open_from: &mut BTreeMap<NodeId, u64>,
+    shared: &FwdShared,
+) {
+    let Some(stream) = streams.remove(&key) else {
+        return;
+    };
+    shared.stats.on_cancelled();
+    trace_instant!(
+        shared.tracer,
+        "gw",
+        "stream-cancel",
+        "src" = stream.tag.src.0 as u64,
+        "dest" = stream.tag.dest.0 as u64,
+    );
+    if let Some(n) = open_from.get_mut(&stream.upstream) {
+        *n = n.saturating_sub(1);
+    }
+    if notify_upstream {
+        let _ =
+            in_channel.send_packet(stream.upstream, &[&gtm::encode_cancel(&stream.tag, reason)]);
+    }
+    cancelled.insert(key);
+    // A synthesized cancel replaces the end packet downstream; dropping it
+    // on a dead sink is fine — its consumption is what releases the
+    // stream from the drain count either way.
+    let item = FwdItem {
+        to: stream.to,
+        last_hop: stream.last_hop,
+        buf: FwdBuf::Owned(gtm::encode_cancel(&stream.tag, reason)),
+        tag: stream.tag,
+        end_of_stream: true,
+        held_bytes: 0,
+        consume: false,
+        grant: None,
+    };
+    let _ = dispatch(&sinks[&stream.out_net], &stream, item, false, shared);
+}
+
+/// Cancel every stream that entered through `peer` (its conduit framing is
+/// lost). Downstream hops are told; the peer itself is not (its conduit
+/// just failed).
+fn cancel_peer_streams(
+    peer: NodeId,
+    in_channel: &Arc<Channel>,
+    sinks: &BTreeMap<NetworkId, Sink>,
+    streams: &mut BTreeMap<StreamKey, InStream>,
+    cancelled: &mut BTreeSet<StreamKey>,
+    open_from: &mut BTreeMap<NodeId, u64>,
+    shared: &FwdShared,
+) {
+    let keys: Vec<StreamKey> = streams
+        .iter()
+        .filter(|(_, s)| s.upstream == peer)
+        .map(|(&k, _)| k)
+        .collect();
+    for key in keys {
+        shared.ledger.cancel(key, CancelReason::PeerUnreachable);
+        cancel_stream(
+            key,
+            CancelReason::PeerUnreachable,
+            false,
+            in_channel,
+            sinks,
+            streams,
+            cancelled,
+            open_from,
+            shared,
+        );
     }
 }
 
@@ -762,57 +1121,197 @@ fn landing_policy(sinks: &BTreeMap<NetworkId, Sink>, cfg: GatewayConfig) -> Land
 
 /// Hand one packet to its sink: enqueue for the forwarding thread (counting
 /// backpressure stalls) or retransmit inline at depth 1.
-#[allow(clippy::too_many_arguments)] // internal helper of relay_packet
 fn dispatch(
     sink: &Sink,
     stream: &InStream,
-    buf: FwdBuf,
+    item: FwdItem,
     is_frag: bool,
-    end_of_stream: bool,
-    stats: &GatewayStats,
-    live: &EngineLive,
-    tracer: &Tracer,
+    shared: &FwdShared,
 ) -> Result<()> {
-    let bytes = buf.bytes().len();
-    let item = FwdItem {
-        to: stream.to,
-        last_hop: stream.last_hop,
-        buf,
-        end_of_stream,
-    };
     match sink {
         Sink::Queue(tx, _) => {
             if is_frag {
-                stats.on_switch(stream.pair);
+                shared.stats.on_switch(stream.pair);
             }
             match tx.try_push(item) {
                 Ok(()) => Ok(()),
                 Err(item) => {
-                    stats.on_stall(stream.pair);
+                    shared.stats.on_stall(stream.pair);
                     trace_instant!(
-                        tracer,
+                        shared.tracer,
                         "gw",
                         "stall",
                         "src" = stream.pair.0 .0 as u64,
                         "dest" = stream.pair.1 .0 as u64,
                     );
-                    let _wait = trace_span!(tracer, "gw", "stall-wait");
-                    tx.push(item).map_err(|_| MadError::Disconnected)
+                    let _wait = trace_span!(shared.tracer, "gw", "stall-wait");
+                    match tx.push(item) {
+                        Ok(()) => Ok(()),
+                        Err(item) => {
+                            // The forwarding thread is gone: account the
+                            // item ourselves, then shut this side down.
+                            drop_item(&item, shared);
+                            Err(MadError::Disconnected)
+                        }
+                    }
                 }
             }
         }
         Sink::Inline(path) => {
-            let channel = path.channel(stream.last_hop);
-            let send = trace_span!(tracer, "gw", "send", "bytes" = bytes as u64);
-            let mut conduit = channel.lock_conduit(stream.to)?;
-            send_buf(&mut **conduit, item.buf)?;
-            drop(conduit);
-            drop(send);
-            channel.stats().on_send(stream.to.0, bytes);
-            if end_of_stream {
-                live.stream_done();
+            if consume_item(path, item, shared) {
+                Ok(())
+            } else {
+                Err(MadError::Disconnected)
             }
-            Ok(())
+        }
+    }
+}
+
+/// Account for a pipeline item that is being dropped instead of sent: the
+/// held-bytes gauge goes down, and an end-equivalent item still releases
+/// its stream (consumed-by-sink means sent *or* dropped).
+fn drop_item(item: &FwdItem, shared: &FwdShared) {
+    shared.stats.held.sub(item.held_bytes as i64);
+    if item.end_of_stream {
+        shared.live.stream_done();
+        shared.ledger.close(item.tag.key());
+    }
+}
+
+/// Cancel a stream from its outbound side (credit deadline hit or dead
+/// peer): mark the node's ledger, and — if this is the first cancellation
+/// of the stream — send best-effort cancel packets to the neighbour hops.
+/// `tell_downstream` is false when the downstream conduit itself is what
+/// just failed.
+#[allow(clippy::too_many_arguments)] // internal helper of consume_item
+fn cancel_outbound(
+    path: &OutPath,
+    to: NodeId,
+    last_hop: bool,
+    tag: &StreamTag,
+    grant: &Option<(Arc<Channel>, NodeId)>,
+    reason: CancelReason,
+    tell_downstream: bool,
+    shared: &FwdShared,
+) {
+    let key = tag.key();
+    let first = shared.ledger.cancelled(key).is_none();
+    shared.ledger.cancel(key, reason);
+    if !first {
+        return; // the stream is already being torn down; don't re-notify
+    }
+    trace_instant!(
+        shared.tracer,
+        "gw",
+        "stream-cancel",
+        "src" = tag.src.0 as u64,
+        "dest" = tag.dest.0 as u64,
+    );
+    let cancel = gtm::encode_cancel(tag, reason);
+    if tell_downstream {
+        let _ = path.channel(last_hop).send_packet(to, &[&cancel]);
+    }
+    if let Some((grant_ch, grant_peer)) = grant {
+        let _ = grant_ch.send_packet(*grant_peer, &[&cancel]);
+    }
+}
+
+/// Retransmit one pipeline item on its outgoing conduit, driving the
+/// credit protocol around it: consume an outbound credit first (deadline-
+/// bounded), return an upstream grant after, degrade the stream — not the
+/// engine — on failure. Returns `false` only on an orderly disconnect,
+/// which shuts the consuming thread down.
+fn consume_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
+    let FwdItem {
+        to,
+        last_hop,
+        buf,
+        tag,
+        end_of_stream,
+        held_bytes,
+        consume,
+        grant,
+    } = item;
+    let account_drop = |shared: &FwdShared| {
+        shared.stats.held.sub(held_bytes as i64);
+        if end_of_stream {
+            shared.live.stream_done();
+            shared.ledger.close(tag.key());
+        }
+    };
+    if consume {
+        match shared
+            .ledger
+            .take_blocking(tag.key(), shared.credit_timeout_ns, &*shared.runtime)
+        {
+            Ok(()) => {}
+            Err(fail) => {
+                let reason = match fail {
+                    TakeFailure::Timeout => {
+                        shared.stats.credit_timeouts.fetch_add(1, Ordering::Relaxed);
+                        CancelReason::CreditTimeout
+                    }
+                    TakeFailure::Cancelled(r) => r,
+                };
+                cancel_outbound(path, to, last_hop, &tag, &grant, reason, true, shared);
+                account_drop(shared);
+                return true;
+            }
+        }
+    }
+    let channel = path.channel(last_hop);
+    let bytes = buf.bytes().len();
+    let send = trace_span!(shared.tracer, "gw", "send", "bytes" = bytes as u64);
+    let sent = match channel.lock_conduit(to) {
+        Ok(mut conduit) => {
+            let r = send_buf(&mut **conduit, buf);
+            drop(conduit);
+            r
+        }
+        Err(e) => Err(e),
+    };
+    drop(send);
+    match sent {
+        Ok(()) => {
+            channel.stats().on_send(to.0, bytes);
+            shared.stats.held.sub(held_bytes as i64);
+            if let Some((grant_ch, grant_peer)) = &grant {
+                if grant_ch
+                    .send_packet(*grant_peer, &[&gtm::encode_credit(&tag, 1)])
+                    .is_ok()
+                {
+                    shared.stats.credits_granted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if end_of_stream {
+                shared.live.stream_done();
+                shared.ledger.close(tag.key());
+            }
+            true
+        }
+        Err(MadError::Disconnected) => {
+            // Orderly teardown of the outbound conduit: account the item
+            // and let the caller shut this side down.
+            account_drop(shared);
+            false
+        }
+        Err(_) => {
+            // A hard fault on the outbound hop (dead peer): this stream
+            // cannot make progress — cancel it both ways, drop the
+            // packet, and keep serving every other stream.
+            shared.stats.on_error();
+            cancel_outbound(
+                path,
+                to,
+                last_hop,
+                &tag,
+                &grant,
+                CancelReason::PeerUnreachable,
+                false,
+                shared,
+            );
+            account_drop(shared);
+            true
         }
     }
 }
@@ -829,32 +1328,16 @@ fn send_buf(conduit: &mut dyn Conduit, buf: FwdBuf) -> Result<()> {
 /// the pipeline and retransmits. Each item is self-contained, so the
 /// outgoing conduit is locked per packet — the §7b lesson-2 invariant at
 /// fragment granularity — and packets of concurrent streams interleave.
-fn forwarding_thread(
-    rx: RtReceiver<FwdItem>,
-    path: OutPath,
-    live: Arc<EngineLive>,
-    tracer: Tracer,
-) {
-    let _exit = ThreadExitGuard { live: live.clone() };
+fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, shared: FwdShared) {
+    let _exit = ThreadExitGuard {
+        live: shared.live.clone(),
+    };
     loop {
         let Some(item) = rx.pop() else {
             return; // polling thread gone: shut down
         };
-        let channel = path.channel(item.last_hop);
-        let bytes = item.buf.bytes().len();
-        let send = trace_span!(tracer, "gw", "send", "bytes" = bytes as u64);
-        let Ok(mut conduit) = channel.lock_conduit(item.to) else {
+        if !consume_item(&path, item, &shared) {
             return;
-        };
-        let end = item.end_of_stream;
-        if send_buf(&mut **conduit, item.buf).is_err() {
-            return;
-        }
-        drop(conduit);
-        drop(send);
-        channel.stats().on_send(item.to.0, bytes);
-        if end {
-            live.stream_done();
         }
     }
 }

@@ -55,6 +55,7 @@ use std::collections::{BTreeMap, VecDeque};
 use mad_trace::{trace_count, trace_span};
 
 use crate::channel::Channel;
+use crate::credit::WriterFlow;
 use crate::error::{MadError, Result};
 use crate::flags::{RecvMode, SendMode};
 use crate::types::NodeId;
@@ -70,9 +71,13 @@ pub(crate) const KIND_HEADER: u8 = 1;
 pub(crate) const KIND_PART: u8 = 2;
 pub(crate) const KIND_END: u8 = 3;
 pub(crate) const KIND_FRAG: u8 = 4;
+pub(crate) const KIND_CREDIT: u8 = 5;
+pub(crate) const KIND_CANCEL: u8 = 6;
 
 const HEADER_LEN: usize = PRELUDE_LEN + 5;
 const PART_LEN: usize = PRELUDE_LEN + 10;
+const CREDIT_LEN: usize = PRELUDE_LEN + 4;
+const CANCEL_LEN: usize = PRELUDE_LEN + 1;
 
 /// Flag bit: the stream is a direct (zero-gateway) delivery.
 const FLAG_DIRECT: u8 = 1;
@@ -123,6 +128,33 @@ pub struct GtmPartDesc {
     pub recv: RecvMode,
 }
 
+/// Why a stream was cancelled mid-flight, carried by the cancel packet so
+/// every party drops the stream with the same typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// A hop toward the destination stopped responding (send failure).
+    PeerUnreachable,
+    /// A credit wait exceeded its deadline (downstream stalled).
+    CreditTimeout,
+}
+
+impl CancelReason {
+    pub(crate) fn to_wire(self) -> u8 {
+        match self {
+            CancelReason::PeerUnreachable => 1,
+            CancelReason::CreditTimeout => 2,
+        }
+    }
+
+    pub(crate) fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(CancelReason::PeerUnreachable),
+            2 => Some(CancelReason::CreditTimeout),
+            _ => None,
+        }
+    }
+}
+
 /// The kind-specific body of a decoded packet. Fragment payload bytes stay
 /// in the packet buffer (from offset [`PRELUDE_LEN`]); use
 /// [`frag_payload`] to borrow them.
@@ -136,6 +168,13 @@ pub enum PacketBody {
     Frag,
     /// End of the stream.
     End,
+    /// Flow control: the downstream end of a conduit has retransmitted this
+    /// many of the stream's fragments and grants the sender the right to
+    /// emit as many more. Flows *against* the stream direction.
+    Credit(u32),
+    /// The stream is dead and will never deliver its end packet; every
+    /// holder of its state must drop it and surface the typed reason.
+    Cancel(CancelReason),
 }
 
 fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
@@ -170,6 +209,25 @@ pub fn encode_part(tag: &StreamTag, d: &GtmPartDesc) -> Vec<u8> {
 pub fn encode_end(tag: &StreamTag) -> Vec<u8> {
     let mut v = Vec::with_capacity(PRELUDE_LEN);
     prelude_into(&mut v, KIND_END, tag);
+    v
+}
+
+/// Encode a credit grant of `count` fragments for a stream. Credits travel
+/// hop-by-hop on the same (bidirectional) conduit as the stream, in the
+/// opposite direction.
+pub fn encode_credit(tag: &StreamTag, count: u32) -> Vec<u8> {
+    assert!(count > 0, "a credit grant must carry at least one credit");
+    let mut v = Vec::with_capacity(CREDIT_LEN);
+    prelude_into(&mut v, KIND_CREDIT, tag);
+    v.extend_from_slice(&count.to_le_bytes());
+    v
+}
+
+/// Encode a stream-cancel packet.
+pub fn encode_cancel(tag: &StreamTag, reason: CancelReason) -> Vec<u8> {
+    let mut v = Vec::with_capacity(CANCEL_LEN);
+    prelude_into(&mut v, KIND_CANCEL, tag);
+    v.push(reason.to_wire());
     v
 }
 
@@ -241,6 +299,23 @@ pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
             }
             PacketBody::Frag
         }
+        KIND_CREDIT => {
+            if packet.len() != CREDIT_LEN {
+                return Err(err("credit length"));
+            }
+            let count = u32::from_le_bytes(packet[15..19].try_into().unwrap());
+            if count == 0 {
+                return Err(err("zero credit grant"));
+            }
+            PacketBody::Credit(count)
+        }
+        KIND_CANCEL => {
+            if packet.len() != CANCEL_LEN {
+                return Err(err("cancel length"));
+            }
+            let reason = CancelReason::from_wire(packet[15]).ok_or_else(|| err("cancel reason"))?;
+            PacketBody::Cancel(reason)
+        }
         _ => Err(err("unknown kind"))?,
     };
     Ok((tag, body))
@@ -272,16 +347,21 @@ pub struct GtmWriter<'c> {
     frag_prelude: [u8; PRELUDE_LEN],
     mtu: usize,
     finished: bool,
+    flow: Option<WriterFlow>,
 }
 
 impl<'c> GtmWriter<'c> {
-    /// Start a stream: emits the header packet immediately.
+    /// Start a stream: emits the header packet immediately. When `flow` is
+    /// given the stream is credit-controlled: each fragment consumes one
+    /// credit from the stream's window before it may leave, and the wait is
+    /// deadline-bounded (see [`crate::credit`]).
     pub fn begin(
         channel: &'c Channel,
         first_hop: NodeId,
         tag: StreamTag,
         mtu: usize,
         direct: bool,
+        flow: Option<WriterFlow>,
     ) -> Result<Self> {
         assert!(mtu > 0, "GTM MTU must be positive");
         assert!(
@@ -293,7 +373,15 @@ impl<'c> GtmWriter<'c> {
             mtu: mtu as u32,
             direct,
         });
-        channel.send_packet(first_hop, &[&header])?;
+        if let Some(flow) = &flow {
+            flow.open(tag.key());
+        }
+        if let Err(e) = channel.send_packet(first_hop, &[&header]) {
+            if let Some(flow) = &flow {
+                flow.close(tag.key());
+            }
+            return Err(e);
+        }
         trace_count!(channel.tracer(), "gtm", "encode", 1);
         Ok(GtmWriter {
             channel,
@@ -302,11 +390,29 @@ impl<'c> GtmWriter<'c> {
             frag_prelude: frag_prelude(&tag),
             mtu,
             finished: false,
+            flow,
         })
     }
 
     /// Append a block: descriptor packet, then tagged MTU-sized fragments.
+    ///
+    /// On error the stream is dead: the writer seals itself (no further
+    /// packets, dropping it is fine), the stream's credit account is
+    /// released, and — if the stream was cancelled (credit timeout or
+    /// unreachable peer) — a best-effort cancel packet chases the stream so
+    /// downstream hops can release its state instead of waiting for an end
+    /// that will never come.
     pub fn pack(&mut self, data: &[u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        match self.pack_inner(data, send, recv) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.abort(&e);
+                Err(e)
+            }
+        }
+    }
+
+    fn pack_inner(&mut self, data: &[u8], send: SendMode, recv: RecvMode) -> Result<()> {
         let _pack = trace_span!(
             self.channel.tracer(),
             "gtm",
@@ -325,6 +431,9 @@ impl<'c> GtmWriter<'c> {
         self.channel.send_packet(self.first_hop, &[&desc])?;
         trace_count!(self.channel.tracer(), "gtm", "encode", 1);
         for chunk in data.chunks(self.mtu) {
+            if let Some(flow) = &self.flow {
+                flow.take(self.channel, self.first_hop, &self.tag)?;
+            }
             self.channel
                 .send_packet(self.first_hop, &[&self.frag_prelude, chunk])?;
             trace_count!(self.channel.tracer(), "gtm", "encode", 1);
@@ -332,9 +441,32 @@ impl<'c> GtmWriter<'c> {
         Ok(())
     }
 
+    /// Seal a failed stream: release its credit account and, when the local
+    /// credit wait is what gave up, tell downstream hops to drop it.
+    fn abort(&mut self, cause: &MadError) {
+        self.finished = true;
+        if let Some(flow) = self.flow.take() {
+            flow.close(self.tag.key());
+        }
+        let reason = match cause {
+            MadError::CreditTimeout { .. } => Some(CancelReason::CreditTimeout),
+            MadError::PeerUnreachable(_) => Some(CancelReason::PeerUnreachable),
+            _ => None,
+        };
+        if let Some(reason) = reason {
+            // Best effort — the first hop may itself be unreachable.
+            let _ = self
+                .channel
+                .send_packet(self.first_hop, &[&encode_cancel(&self.tag, reason)]);
+        }
+    }
+
     /// Finish the stream with the end packet.
     pub fn end_packing(mut self) -> Result<()> {
         self.finished = true;
+        if let Some(flow) = self.flow.take() {
+            flow.close(self.tag.key());
+        }
         self.channel
             .send_packet(self.first_hop, &[&encode_end(&self.tag)])?;
         trace_count!(self.channel.tracer(), "gtm", "encode", 1);
@@ -359,6 +491,8 @@ pub enum StreamItem {
     Frag(Vec<u8>),
     /// End of the stream.
     End,
+    /// The stream was cancelled upstream and will never end normally.
+    Cancelled(CancelReason),
 }
 
 struct PendingStream {
@@ -391,6 +525,14 @@ impl StreamAssembler {
         let (tag, body) = decode_packet(&packet)?;
         let key = tag.key();
         match body {
+            PacketBody::Credit(_) => {
+                // Credits are hop-by-hop flow control consumed by writers
+                // and gateway engines; one surviving to an assembler means
+                // a routing layer leaked it.
+                Err(MadError::Protocol(format!(
+                    "credit packet for stream {key:?} reached a stream assembler"
+                )))
+            }
             PacketBody::Header(header) => {
                 if self.streams.contains_key(&key) {
                     return Err(MadError::Protocol(format!(
@@ -415,7 +557,8 @@ impl StreamAssembler {
                     PacketBody::Part(d) => StreamItem::Part(d),
                     PacketBody::Frag => StreamItem::Frag(packet),
                     PacketBody::End => StreamItem::End,
-                    PacketBody::Header(_) => unreachable!(),
+                    PacketBody::Cancel(reason) => StreamItem::Cancelled(reason),
+                    PacketBody::Header(_) | PacketBody::Credit(_) => unreachable!(),
                 });
                 Ok(None)
             }
@@ -495,6 +638,20 @@ mod tests {
         frag.extend_from_slice(b"abc");
         assert_eq!(decode_packet(&frag), Ok((t, PacketBody::Frag)));
         assert_eq!(frag_payload(&frag), b"abc");
+        assert_eq!(
+            decode_packet(&encode_credit(&t, 1)),
+            Ok((t, PacketBody::Credit(1)))
+        );
+        assert_eq!(
+            decode_packet(&encode_credit(&t, u32::MAX)),
+            Ok((t, PacketBody::Credit(u32::MAX)))
+        );
+        for reason in [CancelReason::PeerUnreachable, CancelReason::CreditTimeout] {
+            assert_eq!(
+                decode_packet(&encode_cancel(&t, reason)),
+                Ok((t, PacketBody::Cancel(reason)))
+            );
+        }
     }
 
     #[test]
@@ -537,6 +694,39 @@ mod tests {
         assert!(decode_packet(&d).is_err());
         // A fragment must carry at least one payload byte.
         assert!(decode_packet(&frag_prelude(&tag(0, 1, 0))).is_err());
+        // A zero-count credit grant is meaningless and must be rejected.
+        let mut c = encode_credit(&tag(0, 1, 0), 1);
+        c[15..19].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_packet(&c).is_err());
+        // Truncated credit.
+        let c2 = encode_credit(&tag(0, 1, 0), 3);
+        assert!(decode_packet(&c2[..c2.len() - 1]).is_err());
+        // Unknown cancel reason byte.
+        let mut k = encode_cancel(&tag(0, 1, 0), CancelReason::PeerUnreachable);
+        k[15] = 0;
+        assert!(decode_packet(&k).is_err());
+    }
+
+    #[test]
+    fn assembler_rejects_stray_credits_and_queues_cancels() {
+        let t = tag(5, 6, 1);
+        let mut asm = StreamAssembler::new();
+        asm.push_packet(encode_header(&GtmHeader {
+            tag: t,
+            mtu: 8,
+            direct: false,
+        }))
+        .unwrap();
+        // A credit must never reach an assembler, even for a live stream.
+        assert!(asm.push_packet(encode_credit(&t, 2)).is_err());
+        // A cancel ends the stream in-band, after already-buffered items.
+        asm.push_packet(encode_cancel(&t, CancelReason::CreditTimeout))
+            .unwrap();
+        let k = asm.pop_ready().unwrap();
+        assert_eq!(
+            asm.next_item(k),
+            Some(StreamItem::Cancelled(CancelReason::CreditTimeout))
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@
 pub mod baseline;
 pub mod channel;
 pub mod conduit;
+pub mod credit;
 pub mod error;
 pub mod flags;
 pub mod gateway;
@@ -75,6 +76,7 @@ pub mod vchannel;
 
 pub use channel::Channel;
 pub use conduit::{BufferMode, Conduit, Driver, DriverCaps, StaticBuf};
+pub use credit::{CreditLedger, FlowControl};
 pub use error::{MadError, Result};
 pub use flags::{RecvMode, SendMode};
 pub use mad_trace;

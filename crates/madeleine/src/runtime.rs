@@ -27,6 +27,13 @@ pub trait RtEvent: Send + Sync {
     /// Block the calling thread until the epoch exceeds `seen`; returns the
     /// epoch observed at wake-up.
     fn wait_past(&self, seen: u64) -> u64;
+    /// Like [`RtEvent::wait_past`], but give up after `timeout_ns`
+    /// (relative) nanoseconds of the runtime's clock: `Some(epoch)` when
+    /// the epoch moved, `None` on timeout. The robustness deadlines of the
+    /// gateway (credit waits, teardown drains) are built on this — it is
+    /// the only way a blocked protocol thread can observe that a peer has
+    /// silently died.
+    fn wait_past_timeout(&self, seen: u64, timeout_ns: u64) -> Option<u64>;
     /// Concrete-type access, so a driver can recover runtime-specific
     /// internals (the simulated driver extracts the virtual-clock signal).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -93,6 +100,22 @@ impl RtEvent for StdEvent {
             self.cv.wait(&mut e);
         }
         *e
+    }
+
+    fn wait_past_timeout(&self, seen: u64, timeout_ns: u64) -> Option<u64> {
+        let deadline = Instant::now() + std::time::Duration::from_nanos(timeout_ns);
+        let mut e = self.epoch.lock();
+        while *e <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let res = self.cv.wait_for(&mut e, deadline - now);
+            if res.timed_out() && *e <= seen {
+                return None;
+            }
+        }
+        Some(*e)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -475,6 +498,20 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         ev.bump();
         assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn std_event_wait_timeout_expires_and_wakes() {
+        let rt = StdRuntime::default();
+        let ev = rt.event();
+        // Nothing bumps: the wait must time out, not hang.
+        assert_eq!(ev.wait_past_timeout(0, 5_000_000), None);
+        // A bump within the window is observed.
+        let ev2 = ev.clone();
+        let h = std::thread::spawn(move || ev2.wait_past_timeout(0, 5_000_000_000));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ev.bump();
+        assert_eq!(h.join().unwrap(), Some(1));
     }
 
     #[test]

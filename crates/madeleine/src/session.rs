@@ -16,6 +16,7 @@ use mad_util::sync::Mutex;
 
 use crate::channel::Channel;
 use crate::conduit::{Conduit, Driver};
+use crate::credit::{CreditLedger, FlowControl};
 use crate::gateway::{spawn_gateway, GatewayConfig, GatewayHandles, GatewayStop};
 use crate::routing::{self, NetworkMembers};
 use crate::runtime::{RtEvent, Runtime, StdRuntime};
@@ -343,6 +344,17 @@ impl SessionBuilder {
                 vdef.name
             );
 
+            // One credit ledger per (virtual channel, node), shared by the
+            // node's gateway engine (if any) and its sending side, keyed
+            // off the node's arrival event so a blocked writer wakes on
+            // either a conduit arrival or a credit deposit. The ledger
+            // exists even without a credit window: it doubles as the
+            // cancellation bus for fault degradation.
+            let ledgers: HashMap<NodeId, Arc<CreditLedger>> = regular_by_node
+                .keys()
+                .map(|&rank| (rank, CreditLedger::new(node_events[rank.index()].clone())))
+                .collect();
+
             // Gateway engines.
             let gateways = routing::gateways(&nm);
             for &gw in &gateways {
@@ -355,6 +367,7 @@ impl SessionBuilder {
                     vdef.options.gateway,
                     runtime.clone(),
                     gateway_stop.clone(),
+                    ledgers[&gw].clone(),
                 );
                 gateway_stats.push((vdef.name.clone(), gw, handles.stats().clone()));
                 gateway_handles.push(handles);
@@ -363,6 +376,13 @@ impl SessionBuilder {
             // Per-node virtual channel objects.
             let mut per_node = HashMap::new();
             for (&rank, regular) in &regular_by_node {
+                let flow = vdef.options.gateway.credit_window.map(|w| {
+                    FlowControl::new(
+                        ledgers[&rank].clone(),
+                        w,
+                        vdef.options.gateway.credit_timeout_ns,
+                    )
+                });
                 let vc = VirtualChannel::assemble(
                     vdef.name.clone(),
                     rank,
@@ -372,6 +392,7 @@ impl SessionBuilder {
                     mtu,
                     node_events[rank.index()].clone(),
                     gateways.contains(&rank),
+                    flow,
                 );
                 per_node.insert(rank, Arc::new(vc));
             }
@@ -483,6 +504,23 @@ impl SessionBuilder {
                     t.buffer_switches as i64,
                     &[],
                 );
+                tracer.count_on(
+                    &track,
+                    "gateway",
+                    "credits_granted",
+                    t.credits_granted as i64,
+                    &[],
+                );
+                tracer.count_on(&track, "gateway", "cancelled", t.cancelled as i64, &[]);
+                tracer.count_on(
+                    &track,
+                    "gateway",
+                    "credit_timeouts",
+                    t.credit_timeouts as i64,
+                    &[],
+                );
+                tracer.count_on(&track, "gateway", "errors", t.errors as i64, &[]);
+                tracer.count_on(&track, "gateway", "peak_held_bytes", t.peak_held_bytes, &[]);
             }
         }
         let mut res = results.lock();

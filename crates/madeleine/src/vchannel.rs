@@ -46,9 +46,12 @@ use mad_trace::{trace_count, trace_span, Tracer};
 
 use crate::channel::Channel;
 use crate::conduit::BufferMode;
+use crate::credit::{cancel_error, FlowControl};
 use crate::error::{MadError, Result};
 use crate::flags::{RecvMode, SendMode};
-use crate::gtm::{self, GtmHeader, GtmWriter, StreamAssembler, StreamItem, StreamKey, StreamTag};
+use crate::gtm::{
+    self, CancelReason, GtmHeader, GtmWriter, StreamAssembler, StreamItem, StreamKey, StreamTag,
+};
 use crate::message::{MessageReader, MessageWriter};
 use crate::routing::RouteTable;
 use crate::runtime::RtEvent;
@@ -77,6 +80,9 @@ pub struct VirtualChannel {
     /// True when this node runs a forwarding engine for the channel; its
     /// direct sends must then be GTM-framed (see module docs).
     is_gateway: bool,
+    /// Credit-based flow control for forwarded sends, when the session
+    /// configured a window (see [`crate::credit`]).
+    flow: Option<FlowControl>,
     next_msg_id: AtomicU32,
     demux: Mutex<Demux>,
     tracer: Tracer,
@@ -106,6 +112,7 @@ impl VirtualChannel {
         mtu: usize,
         recv_event: Arc<dyn RtEvent>,
         is_gateway: bool,
+        flow: Option<FlowControl>,
     ) -> Self {
         let tracer = regular
             .values()
@@ -121,6 +128,7 @@ impl VirtualChannel {
             mtu,
             recv_event,
             is_gateway,
+            flow,
             next_msg_id: AtomicU32::new(0),
             demux: Mutex::new(Demux::default()),
             tracer,
@@ -176,7 +184,9 @@ impl VirtualChannel {
                 // The forwarding engine interleaves relayed packets on this
                 // conduit, so the body must be self-described: send a GTM
                 // stream flagged as direct instead of a raw message.
-                let w = GtmWriter::begin(channel, dest, self.next_tag(dest), self.mtu, true)?;
+                // Direct streams never enter a forwarding engine, so no
+                // hop buffers fragments and no flow control applies.
+                let w = GtmWriter::begin(channel, dest, self.next_tag(dest), self.mtu, true, None)?;
                 Ok(VcWriter::Gtm {
                     w,
                     forwarded: false,
@@ -194,7 +204,18 @@ impl VirtualChannel {
                 .special
                 .get(&hop.net)
                 .ok_or(MadError::Unroutable(dest))?;
-            let w = GtmWriter::begin(channel, hop.node, self.next_tag(dest), self.mtu, false)?;
+            // On a gateway node the engine's polling threads own the
+            // special conduits' receive sides and deposit arriving grants;
+            // everywhere else the writer must pump its own conduit.
+            let flow = self.flow.as_ref().map(|f| f.writer(!self.is_gateway));
+            let w = GtmWriter::begin(
+                channel,
+                hop.node,
+                self.next_tag(dest),
+                self.mtu,
+                false,
+                flow,
+            )?;
             Ok(VcWriter::Gtm { w, forwarded: true })
         }
     }
@@ -334,6 +355,16 @@ impl GtmStreamReader<'_> {
         !self.header.direct
     }
 
+    /// The stream was cancelled in flight: drop its demux state, seal the
+    /// reader (no end packet will ever come) and build the typed error.
+    fn cancel_cleanup(&mut self, reason: CancelReason) -> MadError {
+        self.finished = true;
+        let mut d = self.vc.demux.lock().unwrap();
+        d.asm.finish(self.key);
+        d.via.remove(&self.key);
+        cancel_error(reason, &self.header.tag)
+    }
+
     /// Next item of this stream, pumping the via-conduit as needed.
     fn next_item(&self) -> Result<StreamItem> {
         loop {
@@ -368,6 +399,7 @@ impl GtmStreamReader<'_> {
         );
         let desc = match self.next_item()? {
             StreamItem::Part(d) => d,
+            StreamItem::Cancelled(reason) => return Err(self.cancel_cleanup(reason)),
             other => {
                 return Err(MadError::Protocol(format!(
                     "expected GTM part descriptor, got {other:?}"
@@ -393,6 +425,7 @@ impl GtmStreamReader<'_> {
         while cursor < dst.len() {
             let payload_pkt = match self.next_item()? {
                 StreamItem::Frag(p) => p,
+                StreamItem::Cancelled(reason) => return Err(self.cancel_cleanup(reason)),
                 other => {
                     return Err(MadError::Protocol(format!(
                         "expected GTM fragment, got {other:?}"
@@ -426,6 +459,9 @@ impl GtmStreamReader<'_> {
         d.via.remove(&self.key);
         match item {
             StreamItem::End => Ok(()),
+            // The demux state is already dropped above, which is all the
+            // cleanup a cancelled stream needs here.
+            StreamItem::Cancelled(reason) => Err(cancel_error(reason, &self.header.tag)),
             other => Err(MadError::Protocol(format!(
                 "expected GTM end, got {other:?}"
             ))),

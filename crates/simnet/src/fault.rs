@@ -1,0 +1,199 @@
+//! Fault injection for the modeled fabric.
+//!
+//! The paper's gateway was evaluated on a healthy cluster; its §4 future
+//! work (flow control, robustness) is exactly about what happens when the
+//! fabric is *not* healthy. This module lets a test perturb individual
+//! link directions deterministically:
+//!
+//! * **jitter** — a seeded uniform delay added to each packet's delivery
+//!   time, shaking the pipeline out of its lockstep schedule;
+//! * **stalls** — with a configured probability a packet is additionally
+//!   held for a fixed stall duration, modeling a transient link hiccup;
+//! * **silent death** — from a configured instant, sends on the direction
+//!   charge their normal send-side overhead and then vanish: the far end
+//!   is never notified, exactly like a crashed peer whose NIC stopped
+//!   acking. The mailbox stays open, so the receiver keeps waiting — only
+//!   a deadline above (credit or drain timeout) can detect the loss.
+//!
+//! Faults are registered on the [`crate::SimNet`] *before* the session
+//! wires its conduit meshes; each direction of each wired cable captures
+//! its effective fault (and its own seeded RNG) at wire time.
+
+use mad_util::rng::Rng;
+use mad_util::sync::Mutex;
+use std::collections::HashMap;
+use vtime::{SimDuration, SimTime};
+
+/// Fault description for one direction of one link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkFault {
+    /// Uniform random extra delivery delay in `[0, jitter_max]` per packet.
+    pub jitter_max: SimDuration,
+    /// Probability that a packet is stalled for [`LinkFault::stall`].
+    pub stall_prob: f64,
+    /// Extra delivery delay of a stalled packet.
+    pub stall: SimDuration,
+    /// From this instant on, sends silently vanish (overhead is still
+    /// charged, the receiver is never notified). `None` = never dies.
+    pub dead_after: Option<SimTime>,
+    /// Base RNG seed; mixed with the host names so each direction draws
+    /// an independent deterministic sequence.
+    pub seed: u64,
+}
+
+impl LinkFault {
+    /// True if this fault perturbs anything at all.
+    fn is_active(&self) -> bool {
+        self.jitter_max > SimDuration::ZERO
+            || (self.stall_prob > 0.0 && self.stall > SimDuration::ZERO)
+            || self.dead_after.is_some()
+    }
+}
+
+/// The per-direction state an [`crate::Endpoint`] carries once wired
+/// across a faulty direction.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    fault: LinkFault,
+    rng: Mutex<Rng>,
+}
+
+impl FaultState {
+    /// True once the direction has gone silently dead at `now`.
+    pub(crate) fn dead_at(&self, now: SimTime) -> bool {
+        self.fault.dead_after.is_some_and(|t| now >= t)
+    }
+
+    /// Perturb a packet's delivery time with jitter and stalls.
+    pub(crate) fn perturb(&self, deliver_at: SimTime) -> SimTime {
+        let mut rng = self.rng.lock();
+        let mut at = deliver_at;
+        if self.fault.jitter_max > SimDuration::ZERO {
+            let extra = rng.gen_range(0..self.fault.jitter_max.as_nanos().saturating_add(1));
+            at = at.after(SimDuration::from_nanos(extra));
+        }
+        if self.fault.stall > SimDuration::ZERO && rng.bool_with(self.fault.stall_prob) {
+            at = at.after(self.fault.stall);
+        }
+        at
+    }
+}
+
+/// FNV-1a over a byte string — stable, dependency-free name hashing for
+/// per-direction seed derivation.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Registry of pending faults, consulted when links are wired.
+#[derive(Debug, Default)]
+pub(crate) struct FaultRegistry {
+    /// Directional faults keyed by (sender host, receiver host) name.
+    links: HashMap<(String, String), LinkFault>,
+    /// Hosts whose every direction dies at the recorded instant.
+    dead_hosts: HashMap<String, SimTime>,
+}
+
+impl FaultRegistry {
+    /// Register a fault on the `from` → `to` direction (replaces any
+    /// previously registered fault on that direction).
+    pub(crate) fn fault_link(&mut self, from: &str, to: &str, fault: LinkFault) {
+        self.links.insert((from.to_string(), to.to_string()), fault);
+    }
+
+    /// Mark every direction touching `host` dead from `after` on.
+    pub(crate) fn kill_host(&mut self, host: &str, after: SimTime) {
+        let entry = self.dead_hosts.entry(host.to_string()).or_insert(after);
+        *entry = (*entry).min(after);
+    }
+
+    /// The effective fault state for the `from` → `to` direction, if any.
+    pub(crate) fn effective(&self, from: &str, to: &str) -> Option<FaultState> {
+        let mut fault = self
+            .links
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or_default();
+        let host_death = [from, to]
+            .iter()
+            .filter_map(|h| self.dead_hosts.get(*h))
+            .min()
+            .copied();
+        if let Some(t) = host_death {
+            fault.dead_after = Some(fault.dead_after.map_or(t, |d| d.min(t)));
+        }
+        if !fault.is_active() {
+            return None;
+        }
+        let seed = fault.seed ^ fnv(from) ^ fnv(to).rotate_left(17);
+        Some(FaultState {
+            fault,
+            rng: Mutex::new(Rng::new(seed)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_direction_has_no_state() {
+        let reg = FaultRegistry::default();
+        assert!(reg.effective("a", "b").is_none());
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut reg = FaultRegistry::default();
+        reg.fault_link(
+            "a",
+            "b",
+            LinkFault {
+                jitter_max: SimDuration::from_micros(10),
+                ..Default::default()
+            },
+        );
+        assert!(reg.effective("a", "b").is_some());
+        assert!(reg.effective("b", "a").is_none());
+    }
+
+    #[test]
+    fn host_death_applies_to_both_roles_and_takes_earliest() {
+        let mut reg = FaultRegistry::default();
+        reg.kill_host("b", SimTime(2_000));
+        reg.kill_host("b", SimTime(1_000));
+        let out = reg.effective("b", "c").expect("sender side dead");
+        let inbound = reg.effective("a", "b").expect("receiver side dead");
+        assert!(out.dead_at(SimTime(1_000)));
+        assert!(!out.dead_at(SimTime(999)));
+        assert!(inbound.dead_at(SimTime(1_500)));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_direction() {
+        let mk = || {
+            let mut reg = FaultRegistry::default();
+            reg.fault_link(
+                "a",
+                "b",
+                LinkFault {
+                    jitter_max: SimDuration::from_micros(50),
+                    seed: 7,
+                    ..Default::default()
+                },
+            );
+            reg.effective("a", "b").expect("active")
+        };
+        let (s1, s2) = (mk(), mk());
+        for i in 0..64u64 {
+            let t = SimTime(i * 1_000);
+            assert_eq!(s1.perturb(t), s2.perturb(t), "packet {i} diverged");
+        }
+    }
+}

@@ -18,6 +18,10 @@
 //!   overhead, and the inbound PCI transfer.
 //! * [`calibration`] — the reconstructed constants for Myrinet/BIP,
 //!   SCI/SISCI, Fast-Ethernet/TCP and the shared PCI bus.
+//! * [`LinkFault`] — deterministic fault injection per link direction:
+//!   seeded delivery jitter, probabilistic stalls, and silent peer death
+//!   (sends vanish after a configured instant without notifying anyone),
+//!   for exercising the flow-control and degradation paths above.
 //!
 //! Everything runs on [`vtime`]: real OS threads, deterministic virtual
 //! timestamps, zero wall-clock sleeps.
@@ -25,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
+mod fault;
 mod fluid;
 mod link;
 mod net;
 mod trace;
 
+pub use fault::LinkFault;
 pub use fluid::{Arbitration, FluidBus, XferClass, XferDir};
 pub use link::Link;
 pub use net::{Endpoint, Frame, Host, NetParams, SimNet};

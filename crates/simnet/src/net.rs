@@ -10,10 +10,12 @@
 
 use std::sync::Arc;
 
+use mad_util::sync::Mutex;
 use vtime::{
     mailbox_with_signal, Actor, Clock, MailReceiver, MailSender, Signal, SimDuration, SimTime,
 };
 
+use crate::fault::{FaultRegistry, FaultState, LinkFault};
 use crate::fluid::{Arbitration, FluidBus, XferClass, XferDir};
 use crate::link::Link;
 
@@ -73,6 +75,7 @@ pub struct Frame {
 #[derive(Debug, Clone)]
 pub struct SimNet {
     clock: Clock,
+    faults: Arc<Mutex<FaultRegistry>>,
 }
 
 impl SimNet {
@@ -80,12 +83,28 @@ impl SimNet {
     pub fn new(clock: &Clock) -> Self {
         SimNet {
             clock: clock.clone(),
+            faults: Arc::new(Mutex::new(FaultRegistry::default())),
         }
     }
 
     /// The underlying clock.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// Inject a fault on the `from` → `to` direction of any cable wired
+    /// between these hosts *after* this call (wiring captures the
+    /// registered faults). Replaces a previously registered fault on the
+    /// same direction.
+    pub fn fault_link(&self, from: &Arc<Host>, to: &Arc<Host>, fault: LinkFault) {
+        self.faults.lock().fault_link(from.name(), to.name(), fault);
+    }
+
+    /// Silently kill `host` at virtual instant `after`: every direction
+    /// touching it (wired after this call) drops packets sent past that
+    /// instant without notifying anyone.
+    pub fn kill_host(&self, host: &Arc<Host>, after: SimTime) {
+        self.faults.lock().kill_host(host.name(), after);
     }
 
     /// Create a host with the given PCI arbitration policy.
@@ -120,6 +139,13 @@ impl SimNet {
         let ba = Arc::new(Link::new(params.link_bw_bps, params.latency));
         let (tx_to_b, rx_at_b) = mailbox_with_signal::<Frame>(rx_signal_b);
         let (tx_to_a, rx_at_a) = mailbox_with_signal::<Frame>(rx_signal_a);
+        let (fault_ab, fault_ba) = {
+            let reg = self.faults.lock();
+            (
+                reg.effective(a.name(), b.name()),
+                reg.effective(b.name(), a.name()),
+            )
+        };
         let ep_a = Endpoint {
             clock: self.clock.clone(),
             host: a.clone(),
@@ -127,6 +153,7 @@ impl SimNet {
             out_link: ab,
             tx: tx_to_b,
             rx: rx_at_a,
+            fault: fault_ab,
         };
         let ep_b = Endpoint {
             clock: self.clock.clone(),
@@ -135,6 +162,7 @@ impl SimNet {
             out_link: ba,
             tx: tx_to_a,
             rx: rx_at_b,
+            fault: fault_ba,
         };
         (ep_a, ep_b)
     }
@@ -150,6 +178,8 @@ pub struct Endpoint {
     out_link: Arc<Link>,
     tx: MailSender<Frame>,
     rx: MailReceiver<Frame>,
+    /// Injected fault on this endpoint's *outbound* direction.
+    fault: Option<FaultState>,
 }
 
 impl Endpoint {
@@ -164,10 +194,19 @@ impl Endpoint {
     }
 
     /// Send one packet, blocking `actor` for the modeled send-side costs.
-    /// Returns `false` if the far endpoint was dropped (session teardown).
+    /// Returns `false` if the far endpoint was dropped (session teardown)
+    /// — or if an injected fault killed this direction: the send-side
+    /// overhead is still charged (the sender cannot tell yet), then the
+    /// packet silently vanishes. Use [`Endpoint::peer_dead`] to tell the
+    /// two apart.
     #[must_use]
     pub fn send(&self, actor: &Actor, data: Vec<u8>) -> bool {
         actor.sleep(self.params.overhead_send);
+        if let Some(f) = &self.fault {
+            if f.dead_at(actor.now()) {
+                return false;
+            }
+        }
         self.host.bus.transfer(
             actor,
             self.params.out_class,
@@ -175,7 +214,10 @@ impl Endpoint {
             data.len() as u64,
             self.params.dev_out_bps,
         );
-        let deliver_at = self.out_link.schedule(actor.now(), data.len() as u64);
+        let mut deliver_at = self.out_link.schedule(actor.now(), data.len() as u64);
+        if let Some(f) = &self.fault {
+            deliver_at = f.perturb(deliver_at);
+        }
         self.tx.send(Frame { data, deliver_at }).is_ok()
     }
 
@@ -207,6 +249,16 @@ impl Endpoint {
     /// True once the peer endpoint is gone and no frame remains queued.
     pub fn closed(&self) -> bool {
         self.rx.is_closed()
+    }
+
+    /// True once an injected fault has silently killed this endpoint's
+    /// outbound direction (at the current virtual instant). Distinguishes
+    /// a failed [`Endpoint::send`] caused by peer death from an ordinary
+    /// teardown disconnect.
+    pub fn peer_dead(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.dead_at(self.clock.now()))
     }
 
     /// The signal bumped whenever a frame is enqueued for this endpoint.

@@ -1,8 +1,10 @@
-//! One command, two traced runs, four Perfetto-ready files.
+//! One command, three traced runs, a stack of Perfetto-ready files.
 //!
-//! Runs the paper's cluster-of-clusters scenario twice — once on the
-//! simulated testbed (virtual clock, `"sim"` domain) and once on the real
-//! shared-memory driver (monotonic clock, `"mono"` domain) — and exports
+//! Runs the paper's cluster-of-clusters scenario three times — on the
+//! simulated testbed (virtual clock, `"sim"` domain), on the same testbed
+//! under fault injection with a finite gateway credit window (`"fault"`),
+//! and on the real shared-memory driver (monotonic clock, `"mono"`
+//! domain) — and exports
 //! each run's unified event trace as JSONL, as a Chrome `trace_event` file
 //! (open in Perfetto or `chrome://tracing`), and as a per-channel counter
 //! CSV. Both runs go through the same schema and the same exporters.
@@ -11,11 +13,12 @@
 //! (default prefix `results/trace_dump`).
 
 use mad_shm::ShmDriver;
-use mad_sim::{SimTech, Testbed};
+use mad_sim::{LinkFault, SimTech, Testbed};
 use madeleine::gateway::GatewayConfig;
 use madeleine::mad_trace;
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+use vtime::SimDuration;
 
 const MSG: usize = 1 << 20;
 
@@ -78,6 +81,45 @@ fn run_sim() -> mad_trace::Snapshot {
     trace.tracer().snapshot()
 }
 
+/// The same simulated layout under fault injection: seeded delivery
+/// jitter and occasional stalls on the bulk sender's first hop, plus a
+/// finite credit window on the gateway. The run still completes correctly
+/// (the faults only delay), and the exported trace carries the gateway's
+/// credit and occupancy counters on its `gw:` tracks — the trace a
+/// degraded-but-correct session leaves behind.
+fn run_sim_faulted() -> mad_trace::Snapshot {
+    let trace = simnet::TraceLog::new();
+    let testbed = Testbed::with_trace(5, trace.clone());
+    testbed.fault_link(
+        0,
+        2,
+        LinkFault {
+            jitter_max: SimDuration::from_micros(100),
+            stall_prob: 0.02,
+            stall: SimDuration::from_millis(1),
+            seed: 20010914,
+            ..Default::default()
+        },
+    );
+    let mut sb = SessionBuilder::new(5).with_runtime(testbed.runtime());
+    let sci = sb.network("sci", testbed.driver(SimTech::Sci), &[0, 1, 2]);
+    let myri = sb.network("myrinet", testbed.driver(SimTech::Myrinet), &[2, 3, 4]);
+    sb.vchannel(
+        "vc",
+        &[sci, myri],
+        VcOptions {
+            mtu: Some(32 * 1024),
+            gateway: GatewayConfig {
+                credit_window: Some(8),
+                ..Default::default()
+            },
+        },
+    );
+    let ok = sb.run(app);
+    assert!(ok.into_iter().all(|b| b), "faulted sim run failed");
+    trace.tracer().snapshot()
+}
+
 /// The same layout on the real shared-memory driver.
 fn run_shm() -> mad_trace::Snapshot {
     let tracer = mad_trace::Tracer::new();
@@ -117,6 +159,7 @@ fn main() {
         }
     }
     export(&run_sim(), &prefix, "sim");
+    export(&run_sim_faulted(), &prefix, "fault");
     export(&run_shm(), &prefix, "shm");
     println!("\nopen the .trace.json files in Perfetto (https://ui.perfetto.dev).");
 }

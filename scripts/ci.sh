@@ -14,23 +14,26 @@ echo
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
-# The randomized soak, pinned to a fixed seed so CI failures reproduce
+# The randomized soaks, pinned to a fixed seed so CI failures reproduce
 # byte-for-byte (developers can explore other schedules by exporting
-# their own MAD_SOAK_SEED).
+# their own MAD_SOAK_SEED). This includes the fault-injection soak:
+# seeded jitter/stall on a live link plus a silently dead host, which
+# must surface as typed errors — zero hangs, zero panics.
 echo
-echo "== soak tests (MAD_SOAK_SEED=20010914)"
+echo "== soak + fault-injection tests (MAD_SOAK_SEED=20010914)"
 MAD_SOAK_SEED=20010914 cargo test -q --offline --release --test soak
 
-# One traced run on each backend (sim + shm), then validate the exported
-# JSONL against the schema checker: every line must parse, carry the
-# required keys, and keep per-thread timestamps monotone.
+# One traced run on each backend (sim, fault-injected sim with a credit
+# window, shm), then validate the exported JSONL against the schema
+# checker: every line must parse, carry the required keys, and keep
+# per-thread timestamps monotone — under fault injection too.
 echo
-echo "== traced run + JSONL schema validation"
+echo "== traced runs (incl. fault-injected) + JSONL schema validation"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
 cargo run -q --release --offline --example trace_dump -- "$trace_dir/ci"
 cargo run -q --release --offline -p mad-bench --bin trace_check -- \
-  "$trace_dir/ci.sim.jsonl" "$trace_dir/ci.shm.jsonl"
+  "$trace_dir/ci.sim.jsonl" "$trace_dir/ci.fault.jsonl" "$trace_dir/ci.shm.jsonl"
 
 # Lints gate only when clippy is actually installed (sealed containers
 # may ship a toolchain without the component).

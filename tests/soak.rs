@@ -3,10 +3,13 @@
 //! message interleaving from many senders, and checksum verification.
 
 use mad_shm::ShmDriver;
-use mad_sim::{SimTech, Testbed};
+use mad_sim::{LinkFault, SimTech, Testbed};
 use mad_util::rng::Rng;
+use madeleine::error::MadError;
+use madeleine::gateway::GatewayConfig;
 use madeleine::session::VcOptions;
 use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+use vtime::SimDuration;
 
 /// Root seed of the randomized soaks; override with `MAD_SOAK_SEED=<u64>`
 /// to explore other schedules (CI pins one fixed value).
@@ -297,6 +300,222 @@ fn short_message_delay_is_bounded_during_bulk_relay() {
         ping_ns < 5_000_000,
         "1 KB message delayed {ping_ns} ns behind a bulk relay — \
          head-of-line blocking is back"
+    );
+}
+
+/// The credit window bounds gateway occupancy. A 4 MB transfer funnels
+/// from fast Myrinet (70 MB/s) into slow Fast-Ethernet (12.5 MB/s)
+/// through one gateway whose pipeline is deep enough (64 buffers) to soak
+/// up the rate mismatch; without flow control the engine's resident-bytes
+/// high-water mark grows far past the window bound, with an 8-fragment
+/// credit window it stays under `window × (MTU + prelude)` — at a
+/// bulk-bandwidth cost of at most 5%. (A PIO-send outbound network like
+/// SCI would *not* stay within 5%: pacing the inbound DMA to the outbound
+/// rate keeps both NICs concurrently active, and the paper's §3.4.1 bus
+/// arbitration then throttles the PIO sends — that interaction is
+/// measured by the A4 flow-control ablation, not asserted here.)
+#[test]
+fn credit_window_bounds_gateway_occupancy() {
+    const TOTAL: usize = 4 << 20;
+    const MTU: usize = 32 * 1024;
+    const WINDOW: u32 = 8;
+
+    fn run_one(window: Option<u32>) -> (u64, madeleine::gateway::GatewayTotals) {
+        let tb = Testbed::new(3);
+        let mut sb = SessionBuilder::new(3).with_runtime(tb.runtime());
+        let n0 = sb.network("myri", tb.driver(SimTech::Myrinet), &[0, 1]);
+        let n1 = sb.network("fe", tb.driver(SimTech::FastEthernet), &[1, 2]);
+        sb.vchannel(
+            "vc",
+            &[n0, n1],
+            VcOptions {
+                mtu: Some(MTU),
+                gateway: GatewayConfig {
+                    pipeline_depth: 64,
+                    credit_window: window,
+                    ..Default::default()
+                },
+            },
+        );
+        let (stamps, stats) = sb.run_with_gateway_stats(move |node| {
+            let rt = node.runtime().clone();
+            let vc = node.vchannel("vc");
+            node.barrier().wait();
+            match node.rank().0 {
+                0 => {
+                    let t0 = rt.now_nanos();
+                    let data = vec![0x5Au8; TOTAL];
+                    let mut w = vc.begin_packing(NodeId(2)).unwrap();
+                    w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    w.end_packing().unwrap();
+                    t0
+                }
+                1 => 0,
+                2 => {
+                    let mut buf = vec![0u8; TOTAL];
+                    let mut r = vc.begin_unpacking().unwrap();
+                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
+                    r.end_unpacking().unwrap();
+                    assert!(buf.iter().all(|&b| b == 0x5A), "payload corrupted");
+                    rt.now_nanos()
+                }
+                _ => unreachable!(),
+            }
+        });
+        assert_eq!(stats.len(), 1);
+        (stamps[2] - stamps[0], stats[0].2.totals())
+    }
+
+    let (t_uncapped, uncapped) = run_one(None);
+    let (t_capped, capped) = run_one(Some(WINDOW));
+
+    // A fragment packet is the payload plus the 15-byte GTM prelude; allow
+    // a little slack on top of the window bound.
+    let bound = WINDOW as i64 * (MTU as i64 + 64) + 4096;
+    assert!(
+        capped.peak_held_bytes <= bound,
+        "credit window violated: peak {} bytes > bound {bound}",
+        capped.peak_held_bytes
+    );
+    assert!(
+        uncapped.peak_held_bytes > bound,
+        "uncapped run never exceeded the bound (peak {}), the assertion \
+         above is vacuous",
+        uncapped.peak_held_bytes
+    );
+    assert_eq!(
+        capped.held_bytes, 0,
+        "engine still holds bytes after teardown"
+    );
+    // Every relayed fragment grants a credit — except the tail ones whose
+    // grants race the sender's exit (its conduits close once the message
+    // is fully handed over), at most a window's worth.
+    let frags = (TOTAL / MTU) as u64;
+    assert!(
+        capped.credits_granted >= frags - WINDOW as u64,
+        "missing credit grants: granted {} of {frags} fragments",
+        capped.credits_granted
+    );
+    assert_eq!(capped.cancelled, 0);
+    assert_eq!(capped.credit_timeouts, 0);
+    // Flow control must not cost meaningful bandwidth: the window (8)
+    // comfortably covers the pipeline, so the bulk transfer stays within
+    // 5% of the uncapped baseline on the virtual clock.
+    assert!(
+        t_capped as f64 <= t_uncapped as f64 * 1.05,
+        "flow control cost too much bandwidth: {t_capped} ns vs {t_uncapped} ns"
+    );
+}
+
+/// Fault-injection soak on the paper's two-cluster topology: jitter and
+/// stalls on one inbound link, a silently dead receiver host behind the
+/// gateway. The healthy stream must arrive intact; the stream toward the
+/// dead host must degrade into a *typed* error at its sender (peer
+/// unreachable or credit timeout, depending on how the cancel races); the
+/// session must tear down without hanging and with clean gateway
+/// accounting. Seeded via `MAD_SOAK_SEED`.
+#[test]
+fn fault_soak_stall_jitter_peer_death() {
+    const HEALTHY: usize = 200_000;
+    const DOOMED: usize = 128 * 1024;
+    const MTU: usize = 4096;
+
+    let tb = Testbed::new(5);
+    // Perturb the healthy sender's first hop: seeded delivery jitter plus
+    // occasional 1 ms stalls.
+    tb.fault_link(
+        0,
+        2,
+        LinkFault {
+            jitter_max: SimDuration::from_micros(200),
+            stall_prob: 0.05,
+            stall: SimDuration::from_millis(1),
+            seed: soak_seed(),
+            ..Default::default()
+        },
+    );
+    // Host 4 is dead from the start: every packet to or from it silently
+    // vanishes after the send-side overhead — nobody is notified.
+    tb.kill_host(4, 0);
+
+    let mut sb = SessionBuilder::new(5).with_runtime(tb.runtime());
+    let n0 = sb.network("myri", tb.driver(SimTech::Myrinet), &[0, 1, 2]);
+    let n1 = sb.network("sci", tb.driver(SimTech::Sci), &[2, 3, 4]);
+    sb.vchannel(
+        "vc",
+        &[n0, n1],
+        VcOptions {
+            mtu: Some(MTU),
+            gateway: GatewayConfig {
+                credit_window: Some(4),
+                credit_timeout_ns: 50_000_000, // 50 virtual ms
+                drain_timeout_ns: 100_000_000, // 100 virtual ms
+                ..Default::default()
+            },
+        },
+    );
+
+    let (results, stats) = sb.run_with_gateway_stats(move |node| {
+        let vc = node.vchannel("vc");
+        node.barrier().wait();
+        match node.rank().0 {
+            0 => {
+                // Healthy stream 0 → 3, through the faulty (but alive) link.
+                let data = payload(0, 3, 0, HEALTHY);
+                let mut w = vc.begin_packing(NodeId(3)).unwrap();
+                w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
+                Ok(())
+            }
+            1 => {
+                // Doomed stream 1 → 4: the gateway's retransmit toward the
+                // dead host fails, the stream is cancelled, and the typed
+                // error propagates back here through the credit machinery.
+                let data = payload(1, 4, 0, DOOMED);
+                (|| {
+                    let mut w = vc.begin_packing(NodeId(4))?;
+                    w.pack(&data, SendMode::Later, RecvMode::Cheaper)?;
+                    w.end_packing()
+                })()
+            }
+            2 => Ok(()), // the gateway
+            3 => {
+                let mut buf = vec![0u8; HEALTHY];
+                let mut r = vc.begin_unpacking().unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
+                r.end_unpacking().unwrap();
+                assert_eq!(buf, payload(0, 3, 0, HEALTHY), "healthy stream corrupted");
+                Ok(())
+            }
+            4 => Ok(()), // dead host: must not block on receives that never come
+            _ => unreachable!(),
+        }
+    });
+
+    assert!(
+        results[0].is_ok(),
+        "healthy sender failed: {:?}",
+        results[0]
+    );
+    match &results[1] {
+        Err(MadError::PeerUnreachable(peer)) => assert_eq!(*peer, NodeId(4)),
+        Err(MadError::CreditTimeout { dest, .. }) => assert_eq!(*dest, NodeId(4)),
+        other => panic!("doomed sender must fail typed, got {other:?}"),
+    }
+    assert!(results[3].is_ok());
+
+    // Gateway accounting: the healthy stream relayed in full, the doomed
+    // one cancelled, nothing left resident in the engine.
+    assert_eq!(stats.len(), 1);
+    let t = stats[0].2.totals();
+    assert!(t.messages >= 1, "healthy message not relayed");
+    assert!(t.cancelled >= 1, "the doomed stream was never cancelled");
+    assert_eq!(t.held_bytes, 0, "engine leaked resident bytes");
+    assert!(
+        t.fragment_bytes >= HEALTHY as u64,
+        "healthy payload not fully relayed"
     );
 }
 
