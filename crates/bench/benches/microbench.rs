@@ -67,6 +67,70 @@ fn bench_gtm_codec(h: &mut Harness) {
             std::hint::black_box(gtm::decode_packet(&pkt).unwrap())
         });
     });
+    // The in-place variant the hot paths use: same wire bytes, no
+    // allocation — the scratch Vec is reused across iterations exactly as
+    // a pooled buffer is reused across fragments.
+    g.bench_function("encode_credit_into_reused", |b| {
+        let mut scratch = Vec::with_capacity(64);
+        b.iter(|| {
+            scratch.clear();
+            gtm::encode_credit_into(&mut scratch, std::hint::black_box(&tag), 3);
+            std::hint::black_box(gtm::decode_packet(&scratch).unwrap())
+        });
+    });
+    // A gateway transmit train: frame 8 fragment packets as one batch,
+    // validate, and split it back into sub-packets (what the next hop's
+    // relay / assembler does).
+    g.bench_function("batch_frame_roundtrip_8x1KB", |b| {
+        let prelude = gtm::frag_prelude(&tag);
+        let frags: Vec<Vec<u8>> = (0..8)
+            .map(|i| {
+                let mut p = prelude.to_vec();
+                p.extend(std::iter::repeat_n(i as u8, 1024));
+                p
+            })
+            .collect();
+        let refs: Vec<&[u8]> = frags.iter().map(|f| f.as_slice()).collect();
+        b.iter(|| {
+            let frame = gtm::encode_batch(std::hint::black_box(&refs));
+            let mut n = 0usize;
+            for sub in gtm::batch_packets(&frame).unwrap() {
+                n += sub.len();
+            }
+            std::hint::black_box(n)
+        });
+    });
+    g.finish();
+}
+
+fn bench_pool(h: &mut Harness) {
+    use mad_util::pool::BufferPool;
+    let mut g = h.group("buffer_pool");
+    // Steady-state recycling: after the first iteration every get is a
+    // hit, so this measures the per-fragment pool cost on the hot path.
+    for &size in &[1024usize, 64 * 1024] {
+        g.bench_function(format!("get_put_warm/{size}"), |b| {
+            let pool = BufferPool::new();
+            drop(pool.get(size)); // warm the class
+            b.iter(|| {
+                let mut buf = pool.get(std::hint::black_box(size));
+                buf.vec().push(7);
+                std::hint::black_box(&buf);
+            });
+        });
+    }
+    // The wire handoff cycle: a received Vec is adopted into the pool and
+    // recycled on drop (every conduit recv path does this per packet).
+    g.bench_function("adopt_drop_recycle", |b| {
+        let pool = BufferPool::new();
+        let mut v = Some(pool.get(4096).detach());
+        b.iter(|| {
+            let adopted = pool.adopt(v.take().unwrap());
+            std::hint::black_box(&adopted);
+            drop(adopted);
+            v = Some(pool.get(4096).detach());
+        });
+    });
     g.finish();
 }
 
@@ -183,6 +247,7 @@ fn main() {
     let mut h = Harness::from_env();
     bench_pack_unpack(&mut h);
     bench_gtm_codec(&mut h);
+    bench_pool(&mut h);
     bench_packetize(&mut h);
     bench_gateway_pipeline_real(&mut h);
     bench_rt_queue(&mut h);

@@ -1,0 +1,153 @@
+//! Ablation A7: gateway transmit batching.
+//!
+//! Small forwarded fragments pay one per-send software overhead each on
+//! the outbound wire, plus the gateway's per-fragment buffer switch
+//! (§3.3.1). Coalescing up to `max_batch` consecutive same-destination
+//! packets into one batched wire frame amortizes the per-send cost while
+//! fragment granularity — and with it the pipelining the paper's §2.3
+//! design is built on — is preserved end-to-end: the frame is split back
+//! into fragments at the next hop.
+//!
+//! The sweep crosses batch depth with fragment size and the modeled
+//! buffer-switch overhead on the overhead-dominated SCI→FastEthernet
+//! route. Expected shape: sub-KB fragments gain the most (their wire time
+//! is small next to the 50 µs per-send overhead), while bulk fragments at
+//! the route MTU never fit a batch frame under the frame budget and ride
+//! the unchanged zero-copy path — batching must cost them nothing.
+//!
+//! Part two re-checks the A4c invariant under batching: the credit window
+//! still bounds peak gateway occupancy (credits are taken per fragment
+//! *before* it may join a train, so a batch cannot overdraw the window).
+
+use mad_bench::cli;
+use mad_bench::experiments::{forwarded_oneway_stats, forwarded_oneway_traced, GwSetup};
+use mad_bench::report::{fmt_bytes, Table};
+use mad_sim::SimTech;
+
+fn main() {
+    let smoke = cli::flag("--smoke");
+    let batches: &[usize] = if smoke { &[1, 8] } else { &[1, 2, 4, 8, 16] };
+    // (fragment size, message size): smaller messages for tiny fragments
+    // keep the event count — and the run time — flat across rows.
+    let frags: &[(usize, usize)] = if smoke {
+        &[(1024, 1 << 20)]
+    } else {
+        &[(256, 256 * 1024), (1024, 1 << 20), (32 * 1024, 16 << 20)]
+    };
+    let overheads_us: &[u64] = if smoke { &[40] } else { &[0, 40, 80] };
+
+    let mut header = vec!["frag".to_string(), "switch_us".to_string()];
+    header.extend(batches.iter().map(|b| format!("b{b}_MB/s")));
+    header.push("best_gain_%".to_string());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "A7 — SCI→FastEthernet forwarded bandwidth (MB/s) vs gateway transmit batching",
+        &header_refs,
+    );
+
+    for &(frag, total) in frags {
+        for &overhead in overheads_us {
+            let mut row = vec![fmt_bytes(frag), format!("{overhead}")];
+            let mut base = 0.0f64;
+            let mut best = 0.0f64;
+            for &max_batch in batches {
+                let setup = GwSetup {
+                    mtu: frag,
+                    pipeline_depth: 32,
+                    switch_overhead_ns: overhead * 1000,
+                    max_batch,
+                    ..Default::default()
+                };
+                let (m, _) =
+                    forwarded_oneway_stats(SimTech::Sci, SimTech::FastEthernet, total, setup);
+                let bw = m.mbps();
+                if max_batch == 1 {
+                    base = bw;
+                }
+                best = best.max(bw);
+                row.push(format!("{bw:.2}"));
+            }
+            row.push(format!("{:+.1}", (best / base - 1.0) * 100.0));
+            table.row(row);
+        }
+    }
+    table.print();
+    if !smoke {
+        table.write_csv("ablation_batching");
+    }
+    println!(
+        "\nshape check: ≤1KB fragments gain well over 25% with max_batch ≥ 4 at\n\
+         the calibrated 40us switch overhead (one 50us per-send overhead is\n\
+         amortized over the train), while 32KB fragments exceed the batch\n\
+         frame budget, stay on the unbatched zero-copy path, and land within\n\
+         measurement noise of the b1 column."
+    );
+
+    // Part two: the A4c occupancy bound must survive batching. Credits are
+    // taken per fragment before it may join a train, so peak held bytes
+    // stay under window × MTU regardless of batch depth.
+    let mut bound_tbl = Table::new(
+        "A7b — credit-window occupancy bound under batching (1KB fragments)",
+        &[
+            "window_frags",
+            "max_batch",
+            "fwd_MB/s",
+            "peak_held_KB",
+            "bound_KB",
+        ],
+    );
+    let windows: &[u32] = if smoke { &[8] } else { &[8, 16] };
+    let bound_batches: &[usize] = if smoke { &[8] } else { &[1, 4, 16] };
+    for &window in windows {
+        for &max_batch in bound_batches {
+            let setup = GwSetup {
+                mtu: 1024,
+                pipeline_depth: 64,
+                credit_window: Some(window),
+                max_batch,
+                ..Default::default()
+            };
+            let (m, totals) =
+                forwarded_oneway_stats(SimTech::Sci, SimTech::FastEthernet, 1 << 20, setup);
+            // A held fragment is payload plus the GTM prelude; same slack
+            // formula as the tier-1 occupancy test.
+            let bound = window as i64 * (1024 + 64) + 4096;
+            assert!(
+                totals.peak_held_bytes <= bound,
+                "occupancy bound violated under batching: held {} > bound {}",
+                totals.peak_held_bytes,
+                bound
+            );
+            bound_tbl.row(vec![
+                format!("{window}"),
+                format!("{max_batch}"),
+                format!("{:.2}", m.mbps()),
+                format!("{:.1}", totals.peak_held_bytes as f64 / 1024.0),
+                format!("{}", bound / 1024),
+            ]);
+        }
+    }
+    bound_tbl.print();
+    if !smoke {
+        bound_tbl.write_csv("ablation_batching_occupancy");
+    }
+    println!(
+        "\nshape check: peak occupancy never exceeds window × MTU at any batch\n\
+         depth (asserted above, not just eyeballed)."
+    );
+
+    if let Some(path) = cli::trace_path() {
+        let (_, snap) = forwarded_oneway_traced(
+            SimTech::Sci,
+            SimTech::FastEthernet,
+            1 << 20,
+            GwSetup {
+                mtu: 1024,
+                pipeline_depth: 32,
+                max_batch: 8,
+                ..Default::default()
+            },
+        );
+        cli::export_trace(&snap, &path);
+    }
+}

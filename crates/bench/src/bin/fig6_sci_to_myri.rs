@@ -8,6 +8,8 @@ use mad_bench::report::{fmt_bytes, Table};
 use mad_sim::SimTech;
 
 fn main() {
+    // Optional gateway transmit batching (A7): --max-batch <n>, default 1.
+    let max_batch = mad_bench::cli::max_batch();
     let mut header = vec!["message".to_string()];
     header.extend(grids::PACKET_SIZES.iter().map(|p| fmt_bytes(*p)));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -22,7 +24,10 @@ fn main() {
                 SimTech::Sci,
                 SimTech::Myrinet,
                 msg,
-                GwSetup::with_mtu(packet),
+                GwSetup {
+                    max_batch,
+                    ..GwSetup::with_mtu(packet)
+                },
             );
             row.push(format!("{:.1}", m.mbps()));
         }
@@ -41,7 +46,10 @@ fn main() {
             SimTech::Sci,
             SimTech::Myrinet,
             512 * 1024,
-            GwSetup::with_mtu(32 * 1024),
+            GwSetup {
+                max_batch,
+                ..GwSetup::with_mtu(32 * 1024)
+            },
         );
         mad_bench::cli::export_trace(&snap, &path);
     }

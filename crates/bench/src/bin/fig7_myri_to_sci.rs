@@ -9,6 +9,8 @@ use mad_bench::report::{fmt_bytes, Table};
 use mad_sim::SimTech;
 
 fn main() {
+    // Optional gateway transmit batching (A7): --max-batch <n>, default 1.
+    let max_batch = mad_bench::cli::max_batch();
     let mut header = vec!["message".to_string()];
     header.extend(grids::PACKET_SIZES.iter().map(|p| fmt_bytes(*p)));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -23,7 +25,10 @@ fn main() {
                 SimTech::Myrinet,
                 SimTech::Sci,
                 msg,
-                GwSetup::with_mtu(packet),
+                GwSetup {
+                    max_batch,
+                    ..GwSetup::with_mtu(packet)
+                },
             );
             row.push(format!("{:.1}", m.mbps()));
         }
@@ -42,7 +47,10 @@ fn main() {
             SimTech::Myrinet,
             SimTech::Sci,
             512 * 1024,
-            GwSetup::with_mtu(16 * 1024),
+            GwSetup {
+                max_batch,
+                ..GwSetup::with_mtu(16 * 1024)
+            },
         );
         mad_bench::cli::export_trace(&snap, &path);
     }

@@ -12,6 +12,34 @@ pub fn trace_path() -> Option<PathBuf> {
     trace_path_from(std::env::args().skip(1))
 }
 
+/// True when the bare flag `name` (e.g. `--smoke`) is present.
+pub fn flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
+}
+
+/// The gateway transmit-batching depth from `--max-batch <n>` (or
+/// `--max-batch=<n>`), defaulting to 1 (batching off) — accepted by the
+/// forwarded-route bench binaries.
+pub fn max_batch() -> usize {
+    opt_value("--max-batch")
+        .map(|v| v.parse().expect("--max-batch takes a positive integer"))
+        .unwrap_or(1)
+}
+
+fn opt_value(name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
 fn trace_path_from(args: impl Iterator<Item = String>) -> Option<PathBuf> {
     let mut args = args.peekable();
     while let Some(a) = args.next() {

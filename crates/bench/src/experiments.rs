@@ -58,6 +58,9 @@ pub struct GwSetup {
     /// Per-stream credit window in fragments at the gateway; `None`
     /// disables flow control (unbounded gateway occupancy).
     pub credit_window: Option<u32>,
+    /// Max packets the gateway coalesces into one batched wire send
+    /// (1 = batching off).
+    pub max_batch: usize,
 }
 
 impl Default for GwSetup {
@@ -70,6 +73,7 @@ impl Default for GwSetup {
             inbound_rate_cap: None,
             outbound_override: None,
             credit_window: None,
+            max_batch: 1,
         }
     }
 }
@@ -161,6 +165,7 @@ fn run_forwarded_stats(
                 switch_overhead_ns: setup.switch_overhead_ns,
                 zero_copy: setup.zero_copy,
                 credit_window: setup.credit_window,
+                max_batch: setup.max_batch,
                 ..Default::default()
             },
         },

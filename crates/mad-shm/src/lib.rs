@@ -62,11 +62,13 @@ impl Driver for ShmDriver {
                 tx: tx_ab,
                 rx: rx_at_a,
                 ev: ev_a,
+                pool: self.runtime.pool().clone(),
             }),
             Box::new(ShmConduit {
                 tx: tx_ba,
                 rx: rx_at_b,
                 ev: ev_b,
+                pool: self.runtime.pool().clone(),
             }),
         )
     }
@@ -76,6 +78,7 @@ struct ShmConduit {
     tx: RtSender<Vec<u8>>,
     rx: RtReceiver<Vec<u8>>,
     ev: Arc<dyn RtEvent>,
+    pool: Arc<mad_util::pool::BufferPool>,
 }
 
 impl ShmConduit {
@@ -100,7 +103,9 @@ impl Conduit for ShmConduit {
 
     fn send(&mut self, parts: &[&[u8]]) -> Result<()> {
         let total: usize = parts.iter().map(|p| p.len()).sum();
-        let mut packet = Vec::with_capacity(total);
+        // Stage into a recycled buffer; the receiving side adopts the Vec
+        // back into the same session pool when it consumes the packet.
+        let mut packet = self.pool.get(total).detach();
         for p in parts {
             packet.extend_from_slice(p);
         }
@@ -127,7 +132,10 @@ impl Conduit for ShmConduit {
             });
         }
         dst[..packet.len()].copy_from_slice(&packet);
-        Ok(packet.len())
+        let n = packet.len();
+        // The wire buffer is spent: recycle it for the next staging send.
+        drop(self.pool.adopt(packet));
+        Ok(n)
     }
 
     fn recv_owned(&mut self) -> Result<Vec<u8>> {

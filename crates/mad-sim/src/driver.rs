@@ -237,7 +237,9 @@ impl Conduit for SimConduit {
             // buffer first; that copy costs host time.
             self.runtime.charge_copy(total);
         }
-        let mut packet = Vec::with_capacity(total);
+        // Stage into a recycled buffer: the receiver adopts the landed
+        // Vec back into the same session pool, closing the cycle.
+        let mut packet = self.runtime.pool().get(total).detach();
         for p in parts {
             packet.extend_from_slice(p);
         }
@@ -258,7 +260,10 @@ impl Conduit for SimConduit {
 
     fn alloc_static(&mut self, len: usize) -> Option<StaticBuf> {
         match self.caps.mode {
-            BufferMode::Static => Some(StaticBuf::new(self.caps.name, len)),
+            BufferMode::Static => Some(StaticBuf::from_pooled(
+                self.caps.name,
+                self.runtime.pool().take(len),
+            )),
             BufferMode::Dynamic => None,
         }
     }
@@ -277,7 +282,11 @@ impl Conduit for SimConduit {
             // caller's memory is a real copy.
             self.runtime.charge_copy(packet.len());
         }
-        Ok(packet.len())
+        let n = packet.len();
+        // The wire buffer is spent: recycle it instead of freeing, so the
+        // sender's next staging `get` is a pool hit.
+        drop(self.runtime.pool().adopt(packet));
+        Ok(n)
     }
 
     fn recv_owned(&mut self) -> Result<Vec<u8>> {

@@ -66,6 +66,7 @@ pub struct SimRuntime {
     clock: Clock,
     memcpy_bps: f64,
     trace: Option<TraceLog>,
+    pool: Arc<mad_util::pool::BufferPool>,
 }
 
 impl SimRuntime {
@@ -75,6 +76,7 @@ impl SimRuntime {
             clock: clock.clone(),
             memcpy_bps: calibration::MEMCPY_BPS,
             trace: None,
+            pool: mad_util::pool::BufferPool::new(),
         })
     }
 
@@ -91,6 +93,7 @@ impl SimRuntime {
             clock: clock.clone(),
             memcpy_bps: calibration::MEMCPY_BPS,
             trace: Some(trace),
+            pool: mad_util::pool::BufferPool::new(),
         })
     }
 
@@ -117,6 +120,7 @@ impl SimRuntime {
             clock: clock.clone(),
             memcpy_bps,
             trace: None,
+            pool: mad_util::pool::BufferPool::new(),
         })
     }
 
@@ -173,5 +177,9 @@ impl Runtime for SimRuntime {
             .as_ref()
             .map(|t| t.tracer().clone())
             .unwrap_or_default()
+    }
+
+    fn pool(&self) -> &Arc<mad_util::pool::BufferPool> {
+        &self.pool
     }
 }

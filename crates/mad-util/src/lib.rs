@@ -22,12 +22,15 @@
 //!   shrinking and failing-input reports.
 //! * [`microbench`] — a warmup + median-of-N wall-clock timing harness for
 //!   `harness = false` bench targets.
+//! * [`pool`] — a size-classed recycling byte-buffer pool with
+//!   return-on-drop handles and hit/miss counters.
 
 #![warn(missing_docs)]
 
 pub mod bytes;
 pub mod chan;
 pub mod microbench;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod sync;

@@ -54,10 +54,17 @@ pub struct DriverCaps {
 }
 
 /// A driver-owned buffer for zero-copy staging on static-buffer networks.
+///
+/// The bytes live in a [`mad_util::pool::PooledBuf`], so a buffer landed
+/// from recycled pool memory returns to the pool when it is dropped
+/// without being sent (e.g. a gateway item cancelled mid-flight, or one
+/// whose bytes were gathered into a batch frame). [`StaticBuf::into_vec`]
+/// detaches instead — those bytes leave on the wire and are adopted back
+/// by the receiving side.
 #[derive(Debug)]
 pub struct StaticBuf {
     owner: &'static str,
-    data: Vec<u8>,
+    data: mad_util::pool::PooledBuf,
 }
 
 impl StaticBuf {
@@ -65,8 +72,15 @@ impl StaticBuf {
     pub fn new(owner: &'static str, len: usize) -> Self {
         StaticBuf {
             owner,
-            data: vec![0u8; len],
+            data: vec![0u8; len].into(),
         }
+    }
+
+    /// Wrap pool-backed bytes as a buffer owned by `owner`. The gateway
+    /// and the drivers land packets into recycled pool memory this way
+    /// instead of allocating a fresh buffer per receive.
+    pub fn from_pooled(owner: &'static str, data: mad_util::pool::PooledBuf) -> Self {
+        StaticBuf { owner, data }
     }
 
     /// The driver this buffer belongs to.
@@ -99,12 +113,14 @@ impl StaticBuf {
     /// fragment-granular forwarding path) trim it to the received length
     /// before handing it on.
     pub fn truncate(&mut self, len: usize) {
-        self.data.truncate(len);
+        self.data.vec().truncate(len);
     }
 
-    /// Consume into the raw bytes (driver-internal use).
+    /// Consume into the raw bytes (driver-internal use). Detaches from
+    /// the pool: callers put the bytes on the wire, and the receiving
+    /// side adopts them back.
     pub fn into_vec(self) -> Vec<u8> {
-        self.data
+        self.data.detach()
     }
 
     /// Check this buffer belongs to `user`, for `send_static` preconditions.
@@ -133,6 +149,29 @@ pub trait Conduit: Send {
     /// copy. Total length must be ≤ `caps().max_packet` and
     /// `parts.len()` ≤ `caps().max_gather`.
     fn send(&mut self, parts: &[&[u8]]) -> Result<()>;
+
+    /// Send several complete GTM packets as one batch frame (one wire
+    /// packet, one per-send overhead). The default implementation gathers
+    /// the batch prelude, a u32 LE length prefix per packet, and the
+    /// packet bytes through [`Conduit::send`], so drivers inherit their
+    /// usual staging/copy accounting; a driver with native multi-packet
+    /// submission may override. The caller keeps the framing within
+    /// `caps().max_packet` and `1 + 2 × packets.len()` ≤
+    /// `caps().max_gather`.
+    fn send_batch(&mut self, packets: &[&[u8]]) -> Result<()> {
+        let prelude = crate::gtm::batch_prelude();
+        let lens: Vec<[u8; 4]> = packets
+            .iter()
+            .map(|p| (p.len() as u32).to_le_bytes())
+            .collect();
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(1 + 2 * packets.len());
+        parts.push(&prelude);
+        for (len, p) in lens.iter().zip(packets) {
+            parts.push(len);
+            parts.push(p);
+        }
+        self.send(&parts)
+    }
 
     /// Send a driver-allocated buffer as one packet without any copy.
     /// The buffer must come from this conduit's [`Conduit::alloc_static`].

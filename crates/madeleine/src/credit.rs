@@ -345,7 +345,7 @@ impl WriterFlow {
             if !conduit.ready() {
                 return Ok(any);
             }
-            let packet = conduit.recv_owned()?;
+            let packet = channel.runtime().pool().adopt(conduit.recv_owned()?);
             drop(conduit);
             channel.stats().on_recv(peer.0, packet.len());
             let (tag, body) = gtm::decode_packet(&packet)?;

@@ -23,6 +23,21 @@
 //! Because the stream tag is route-invariant, packets are forwarded
 //! verbatim: the engine never re-encodes anything.
 //!
+//! ## Transmit batching
+//!
+//! A slow outbound network pays a fixed per-send cost (protocol overhead,
+//! staging) for every packet. When the pipeline queue has a backlog and
+//! [`GatewayConfig::max_batch`] ≥ 2, the forwarding thread coalesces
+//! queued packets bound for the same outgoing conduit into one [`gtm`]
+//! batch frame — one wire send amortizes one per-send overhead over the
+//! whole train. Credits are still consumed per fragment *before* a packet
+//! joins a train (the occupancy bound is unchanged) and grants are
+//! aggregated into one credit packet per stream afterwards. Frames stay
+//! within the outgoing driver's preferred packet size, so bulk fragments
+//! already at the route MTU keep their single-packet zero-copy path. The
+//! next hop splits the train and re-coalesces by its own queue state;
+//! batch frames are never forwarded verbatim.
+//!
 //! ## Credit-based flow control
 //!
 //! The paper names bandwidth control across the gateway as future work:
@@ -81,7 +96,12 @@
 //! that will never end (its source died silently), the engine abandons it
 //! after the deadline instead of hanging the session forever.
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::redundant_clone,
+    clippy::large_types_passed_by_value
+)]
 
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -90,6 +110,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use mad_trace::{trace_instant, trace_span, Gauge, Tracer};
+use mad_util::pool::PooledBuf;
 use mad_util::sync::Mutex;
 
 use crate::channel::Channel;
@@ -291,6 +312,18 @@ pub struct GatewayConfig {
     /// to end before abandoning them (a fault may have killed a source
     /// that will never send its end packet).
     pub drain_timeout_ns: u64,
+    /// Maximum packets a forwarding thread coalesces into one batch frame
+    /// per outbound send. `1` (the default) transmits packet-at-a-time —
+    /// exactly the pre-batching behaviour. With a backlogged pipeline and
+    /// `max_batch ≥ 2`, queued packets bound for the same conduit ride one
+    /// wire send (one per-send overhead for the whole train), which is
+    /// where slow outbound networks with high fixed send costs win. A
+    /// frame never exceeds the outgoing driver's preferred packet size,
+    /// so route-MTU-sized bulk fragments are still sent singly and keep
+    /// their zero-copy static path. Batching needs `pipeline_depth ≥ 2`
+    /// (the queue is the coalescing buffer); the depth-1 inline path
+    /// ignores this knob.
+    pub max_batch: usize,
 }
 
 impl Default for GatewayConfig {
@@ -303,6 +336,7 @@ impl Default for GatewayConfig {
             credit_window: None,
             credit_timeout_ns: 500_000_000,
             drain_timeout_ns: 2_000_000_000,
+            max_batch: 1,
         }
     }
 }
@@ -430,8 +464,9 @@ impl Drop for ThreadExitGuard {
 /// A buffer traveling through the gateway pipeline: one wire packet,
 /// forwarded verbatim.
 enum FwdBuf {
-    /// The incoming driver's own buffer (outgoing driver is dynamic).
-    Owned(Vec<u8>),
+    /// The incoming driver's own buffer (outgoing driver is dynamic),
+    /// attached to the session pool so consuming it recycles the memory.
+    Owned(PooledBuf),
     /// An outgoing-driver static buffer, filled by the receive.
     Static(StaticBuf),
 }
@@ -611,9 +646,10 @@ pub fn spawn_gateway(
                     credit_timeout_ns: cfg.credit_timeout_ns,
                     tracer: runtime.tracer(),
                 };
+                let max_batch = cfg.max_batch;
                 threads.push(runtime.spawn(
                     name,
-                    Box::new(move || forwarding_thread(rx, out_path, shared)),
+                    Box::new(move || forwarding_thread(rx, out_path, shared, max_batch)),
                 ));
             }
         }
@@ -647,6 +683,33 @@ struct InStream {
     /// The inbound peer the stream arrives from (cancellations go back
     /// this way).
     upstream: NodeId,
+    /// The fragment MTU its header announced — the landing-buffer size is
+    /// recomputed from the *open* streams' MTUs, so one bulk transfer no
+    /// longer pins the static landing buffer at its high-water size
+    /// forever.
+    mtu: u32,
+}
+
+/// Size of the static/naive landing buffer, derived from the currently
+/// open streams (headers always precede fragments on a conduit, so every
+/// receivable packet fits). Recomputed on stream open *and* close: the
+/// old monotone high-water grow leaked the largest MTU ever seen across
+/// the rest of the session. With batching on, upstream gateways may send
+/// whole trains, bounded by their outgoing driver's preferred packet size
+/// — which is this thread's inbound driver.
+fn landing_size(
+    streams: &BTreeMap<StreamKey, InStream>,
+    max_batch: usize,
+    caps: &crate::conduit::DriverCaps,
+) -> usize {
+    let mut size = 256usize; // floor: every control packet fits
+    for s in streams.values() {
+        size = size.max(PRELUDE_LEN + s.mtu as usize);
+    }
+    if max_batch > 1 {
+        size = size.max(caps.preferred_mtu.min(caps.max_packet));
+    }
+    size.min(caps.max_packet)
 }
 
 /// The polling thread of one inbound network: round-robins over the
@@ -673,8 +736,8 @@ fn polling_thread(
     let tracer = runtime.tracer();
     let shared = FwdShared {
         stats: stats.clone(),
-        live: live.clone(),
-        ledger: ledger.clone(),
+        live,
+        ledger,
         runtime: runtime.clone(),
         credit_timeout_ns: cfg.credit_timeout_ns,
         tracer: tracer.clone(),
@@ -690,10 +753,11 @@ fn polling_thread(
     let mut cursor = None;
     // Peer the thread is pinned to in `exclusive_streams` mode.
     let mut pinned: Option<NodeId> = None;
-    // Largest possible packet, grown from the MTUs of accepted headers
-    // (every control packet fits the initial floor; a fragment is always
+    // Largest possible packet, tracked from the MTUs of the *open*
+    // streams (every control packet fits the floor; a fragment is always
     // preceded on its conduit by its stream's header).
-    let mut max_pkt = 256usize;
+    let in_caps = in_channel.caps();
+    let mut max_pkt = landing_size(&streams, cfg.max_batch, &in_caps);
     // Deadline of the teardown drain, armed when a stop is requested while
     // streams are still open.
     let drain_deadline: Cell<Option<u64>> = Cell::new(None);
@@ -729,7 +793,7 @@ fn polling_thread(
         cursor = Some(peer);
         let buf = {
             let _recv = trace_span!(tracer, "gw", "recv", "peer" = peer.0 as u64);
-            match receive_packet(&in_channel, peer, landing, max_pkt) {
+            match receive_packet(&in_channel, peer, landing, max_pkt, runtime.pool()) {
                 Ok(b) => b,
                 Err(MadError::Disconnected) => return,
                 Err(e) => {
@@ -748,6 +812,7 @@ fn polling_thread(
                         &mut open_from,
                         &shared,
                     );
+                    max_pkt = landing_size(&streams, cfg.max_batch, &in_caps);
                     pinned = None;
                     continue;
                 }
@@ -806,6 +871,36 @@ fn relay_packet(
     let (tag, body) = gtm::decode_packet(buf.bytes())?;
     let key = tag.key();
 
+    // A batch frame from an upstream gateway: split the train and relay
+    // each packet on its own. Frames are never forwarded verbatim — this
+    // gateway re-coalesces by its *own* queue state, so a batch shaped
+    // for a fast hop does not dictate the framing of a slow one.
+    if matches!(body, PacketBody::Batch) {
+        let mut subs: Vec<FwdBuf> = Vec::new();
+        for sub in gtm::batch_packets(buf.bytes())? {
+            let mut landed = shared.runtime.pool().get(sub.len());
+            landed.vec().extend_from_slice(sub);
+            subs.push(FwdBuf::Owned(landed));
+        }
+        drop(buf);
+        for sub in subs {
+            match relay_packet(
+                rank, peer, sub, in_channel, sinks, routes, cfg, shared, streams, cancelled,
+                open_from, max_pkt,
+            ) {
+                Ok(()) => {}
+                Err(MadError::Disconnected) => return Err(MadError::Disconnected),
+                Err(_) => {
+                    // One bad packet poisons only itself, as on the
+                    // unbatched path.
+                    shared.stats.on_error();
+                    trace_instant!(shared.tracer, "gw", "relay-error", "peer" = peer.0 as u64);
+                }
+            }
+        }
+        return Ok(());
+    }
+
     // Returning flow-control traffic for streams this node sends out on
     // the inbound network: not forwarded, deposited into the ledger.
     if let PacketBody::Credit(n) = body {
@@ -831,6 +926,7 @@ fn relay_packet(
             cancel_stream(
                 key, reason, true, in_channel, sinks, streams, cancelled, open_from, shared,
             );
+            *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
             // The packet in hand belongs to the dead stream: swallow it,
             // unless it is the source's own last word (no more will come).
             if matches!(body, PacketBody::End | PacketBody::Cancel(_)) {
@@ -841,7 +937,7 @@ fn relay_packet(
     }
 
     match body {
-        PacketBody::Credit(_) => unreachable!("handled above"),
+        PacketBody::Credit(_) | PacketBody::Batch => unreachable!("handled above"),
         PacketBody::Header(header) => {
             if header.tag.dest == rank {
                 return Err(MadError::Protocol(format!(
@@ -865,7 +961,6 @@ fn relay_packet(
                     header.tag.dest, hop.net
                 )));
             }
-            *max_pkt = (*max_pkt).max(PRELUDE_LEN + header.mtu as usize);
             let stream = InStream {
                 out_net: hop.net,
                 to: hop.node,
@@ -873,6 +968,7 @@ fn relay_packet(
                 pair: (tag.src, tag.dest),
                 tag,
                 upstream: peer,
+                mtu: header.mtu,
             };
             // On a non-final hop this gateway is the next conduit's
             // sender: self-grant the window it will spend re-sending.
@@ -893,6 +989,7 @@ fn relay_packet(
             let item = make_item(&stream, buf, false, false, cfg, in_channel, peer);
             dispatch(sink, &stream, item, false, shared)?;
             streams.insert(key, stream);
+            *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
             Ok(())
         }
         PacketBody::Part(_) => {
@@ -920,6 +1017,7 @@ fn relay_packet(
             if let Some(n) = open_from.get_mut(&peer) {
                 *n = n.saturating_sub(1);
             }
+            *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
             shared.stats.on_end(stream.pair);
             let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
             dispatch(&sinks[&stream.out_net], &stream, item, false, shared)
@@ -933,6 +1031,7 @@ fn relay_packet(
                 if let Some(n) = open_from.get_mut(&peer) {
                     *n = n.saturating_sub(1);
                 }
+                *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
                 shared.ledger.cancel(key, reason);
                 shared.stats.on_cancelled();
                 trace_instant!(
@@ -1016,17 +1115,20 @@ fn cancel_stream(
         *n = n.saturating_sub(1);
     }
     if notify_upstream {
-        let _ =
-            in_channel.send_packet(stream.upstream, &[&gtm::encode_cancel(&stream.tag, reason)]);
+        let mut cancel = shared.runtime.pool().get(PRELUDE_LEN + 1);
+        gtm::encode_cancel_into(cancel.vec(), &stream.tag, reason);
+        let _ = in_channel.send_packet(stream.upstream, &[&cancel]);
     }
     cancelled.insert(key);
     // A synthesized cancel replaces the end packet downstream; dropping it
     // on a dead sink is fine — its consumption is what releases the
     // stream from the drain count either way.
+    let mut cancel = shared.runtime.pool().get(PRELUDE_LEN + 1);
+    gtm::encode_cancel_into(cancel.vec(), &stream.tag, reason);
     let item = FwdItem {
         to: stream.to,
         last_hop: stream.last_hop,
-        buf: FwdBuf::Owned(gtm::encode_cancel(&stream.tag, reason)),
+        buf: FwdBuf::Owned(cancel),
         tag: stream.tag,
         end_of_stream: true,
         held_bytes: 0,
@@ -1070,26 +1172,28 @@ fn cancel_peer_streams(
 }
 
 /// Receive one packet from the inbound conduit into the cheapest buffer
-/// the landing policy allows.
+/// the landing policy allows. All three landings draw on the session
+/// buffer pool, so a warmed-up gateway allocates nothing per packet.
 fn receive_packet(
     in_channel: &Arc<Channel>,
     peer: NodeId,
     landing: Landing,
     max_pkt: usize,
+    pool: &Arc<mad_util::pool::BufferPool>,
 ) -> Result<FwdBuf> {
     let mut conduit = in_channel.lock_conduit(peer)?;
     match landing {
-        Landing::Owned => Ok(FwdBuf::Owned(conduit.recv_owned()?)),
+        Landing::Owned => Ok(FwdBuf::Owned(pool.adopt(conduit.recv_owned()?))),
         Landing::Static(owner) => {
-            let mut sb = StaticBuf::new(owner, max_pkt);
+            let mut sb = StaticBuf::from_pooled(owner, pool.take(max_pkt));
             let n = conduit.recv_into(sb.as_mut_slice())?;
             sb.truncate(n);
             Ok(FwdBuf::Static(sb))
         }
         Landing::Tmp => {
-            let mut tmp = vec![0u8; max_pkt];
+            let mut tmp = pool.take(max_pkt);
             let n = conduit.recv_into(&mut tmp)?;
-            tmp.truncate(n);
+            tmp.vec().truncate(n);
             Ok(FwdBuf::Owned(tmp))
         }
     }
@@ -1207,12 +1311,49 @@ fn cancel_outbound(
         "src" = tag.src.0 as u64,
         "dest" = tag.dest.0 as u64,
     );
-    let cancel = gtm::encode_cancel(tag, reason);
+    let mut cancel = shared.runtime.pool().get(PRELUDE_LEN + 1);
+    gtm::encode_cancel_into(cancel.vec(), tag, reason);
     if tell_downstream {
         let _ = path.channel(last_hop).send_packet(to, &[&cancel]);
     }
     if let Some((grant_ch, grant_peer)) = grant {
         let _ = grant_ch.send_packet(*grant_peer, &[&cancel]);
+    }
+}
+
+/// Consume the outbound credit of one pipeline item, waiting up to the
+/// credit deadline. On failure the stream is cancelled and the item
+/// accounted (dropped); `None` tells the caller the item was consumed.
+fn take_credit_blocking(path: &OutPath, item: FwdItem, shared: &FwdShared) -> Option<FwdItem> {
+    if !item.consume {
+        return Some(item);
+    }
+    match shared
+        .ledger
+        .take_blocking(item.tag.key(), shared.credit_timeout_ns, &*shared.runtime)
+    {
+        Ok(()) => Some(item),
+        Err(fail) => {
+            let reason = match fail {
+                TakeFailure::Timeout => {
+                    shared.stats.credit_timeouts.fetch_add(1, Ordering::Relaxed);
+                    CancelReason::CreditTimeout
+                }
+                TakeFailure::Cancelled(r) => r,
+            };
+            cancel_outbound(
+                path,
+                item.to,
+                item.last_hop,
+                &item.tag,
+                &item.grant,
+                reason,
+                true,
+                shared,
+            );
+            drop_item(&item, shared);
+            None
+        }
     }
 }
 
@@ -1222,6 +1363,14 @@ fn cancel_outbound(
 /// engine — on failure. Returns `false` only on an orderly disconnect,
 /// which shuts the consuming thread down.
 fn consume_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
+    match take_credit_blocking(path, item, shared) {
+        Some(item) => transmit_item(path, item, shared),
+        None => true,
+    }
+}
+
+/// Retransmit one pipeline item whose credit (if any) is already in hand.
+fn transmit_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
     let FwdItem {
         to,
         last_hop,
@@ -1229,7 +1378,7 @@ fn consume_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
         tag,
         end_of_stream,
         held_bytes,
-        consume,
+        consume: _,
         grant,
     } = item;
     let account_drop = |shared: &FwdShared| {
@@ -1239,26 +1388,6 @@ fn consume_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
             shared.ledger.close(tag.key());
         }
     };
-    if consume {
-        match shared
-            .ledger
-            .take_blocking(tag.key(), shared.credit_timeout_ns, &*shared.runtime)
-        {
-            Ok(()) => {}
-            Err(fail) => {
-                let reason = match fail {
-                    TakeFailure::Timeout => {
-                        shared.stats.credit_timeouts.fetch_add(1, Ordering::Relaxed);
-                        CancelReason::CreditTimeout
-                    }
-                    TakeFailure::Cancelled(r) => r,
-                };
-                cancel_outbound(path, to, last_hop, &tag, &grant, reason, true, shared);
-                account_drop(shared);
-                return true;
-            }
-        }
-    }
     let channel = path.channel(last_hop);
     let bytes = buf.bytes().len();
     let send = trace_span!(shared.tracer, "gw", "send", "bytes" = bytes as u64);
@@ -1276,10 +1405,9 @@ fn consume_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
             channel.stats().on_send(to.0, bytes);
             shared.stats.held.sub(held_bytes as i64);
             if let Some((grant_ch, grant_peer)) = &grant {
-                if grant_ch
-                    .send_packet(*grant_peer, &[&gtm::encode_credit(&tag, 1)])
-                    .is_ok()
-                {
+                let mut credit = shared.runtime.pool().get(PRELUDE_LEN + 4);
+                gtm::encode_credit_into(credit.vec(), &tag, 1);
+                if grant_ch.send_packet(*grant_peer, &[&credit]).is_ok() {
                     shared.stats.credits_granted.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -1316,6 +1444,105 @@ fn consume_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
     }
 }
 
+/// Retransmit a train of credit-holding pipeline items bound for the same
+/// conduit as one batch frame: one wire send, one per-send overhead. A
+/// train of one degenerates to the plain single-packet path (no framing).
+/// Upstream credit grants are aggregated into one packet per stream.
+/// Returns `false` only on an orderly disconnect.
+fn transmit_batch(path: &OutPath, batch: Vec<FwdItem>, shared: &FwdShared) -> bool {
+    if batch.len() == 1 {
+        let Some(item) = batch.into_iter().next() else {
+            return true;
+        };
+        return transmit_item(path, item, shared);
+    }
+    let to = batch[0].to;
+    let last_hop = batch[0].last_hop;
+    let channel = path.channel(last_hop);
+    let bytes: usize = batch.iter().map(|i| i.buf.bytes().len()).sum();
+    let send = trace_span!(
+        shared.tracer,
+        "gw",
+        "send-batch",
+        "packets" = batch.len() as u64,
+        "bytes" = bytes as u64
+    );
+    let sent = match channel.lock_conduit(to) {
+        Ok(mut conduit) => {
+            let packets: Vec<&[u8]> = batch.iter().map(|i| i.buf.bytes()).collect();
+            let r = conduit.send_batch(&packets);
+            drop(packets);
+            drop(conduit);
+            r
+        }
+        Err(e) => Err(e),
+    };
+    drop(send);
+    match sent {
+        Ok(()) => {
+            channel.stats().on_send(to.0, bytes);
+            // One aggregated grant per (upstream peer, stream) instead of
+            // one packet per fragment.
+            let mut grants: Vec<(Arc<Channel>, NodeId, StreamTag, u32)> = Vec::new();
+            for item in &batch {
+                if let Some((ch, p)) = &item.grant {
+                    match grants
+                        .iter_mut()
+                        .find(|g| g.1 == *p && g.2.key() == item.tag.key())
+                    {
+                        Some(g) => g.3 += 1,
+                        None => grants.push((ch.clone(), *p, item.tag, 1)),
+                    }
+                }
+            }
+            for (ch, p, tag, n) in grants {
+                let mut credit = shared.runtime.pool().get(PRELUDE_LEN + 4);
+                gtm::encode_credit_into(credit.vec(), &tag, n);
+                if ch.send_packet(p, &[&credit]).is_ok() {
+                    shared
+                        .stats
+                        .credits_granted
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                }
+            }
+            for item in &batch {
+                shared.stats.held.sub(item.held_bytes as i64);
+                if item.end_of_stream {
+                    shared.live.stream_done();
+                    shared.ledger.close(item.tag.key());
+                }
+            }
+            true
+        }
+        Err(MadError::Disconnected) => {
+            for item in &batch {
+                drop_item(item, shared);
+            }
+            false
+        }
+        Err(_) => {
+            // A hard fault kills every stream with a packet on the train
+            // (the conduit's framing is gone for all of them) — cancel
+            // each once, keep the engine alive.
+            shared.stats.on_error();
+            for item in &batch {
+                cancel_outbound(
+                    path,
+                    item.to,
+                    item.last_hop,
+                    &item.tag,
+                    &item.grant,
+                    CancelReason::PeerUnreachable,
+                    false,
+                    shared,
+                );
+                drop_item(item, shared);
+            }
+            true
+        }
+    }
+}
+
 /// Transmit one pipeline buffer on an outgoing conduit.
 fn send_buf(conduit: &mut dyn Conduit, buf: FwdBuf) -> Result<()> {
     match buf {
@@ -1326,17 +1553,90 @@ fn send_buf(conduit: &mut dyn Conduit, buf: FwdBuf) -> Result<()> {
 
 /// The forwarding thread of one (inbound, outbound) network pair: drains
 /// the pipeline and retransmits. Each item is self-contained, so the
-/// outgoing conduit is locked per packet — the §7b lesson-2 invariant at
+/// outgoing conduit is locked per train — the §7b lesson-2 invariant at
 /// fragment granularity — and packets of concurrent streams interleave.
-fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, shared: FwdShared) {
+///
+/// With `max_batch ≥ 2` the thread coalesces opportunistically: after the
+/// head item's credit is secured, already-queued items bound for the same
+/// conduit are pulled (non-blocking credit takes only) until the train
+/// reaches `max_batch`, the driver's preferred packet size, its gather
+/// limit, or an incompatible/credit-dry item — which is carried over as
+/// the next head, preserving FIFO order. An idle pipeline degenerates to
+/// packet-at-a-time, so batching never adds latency, only removes
+/// per-send overhead when a backlog exists.
+fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, shared: FwdShared, max_batch: usize) {
     let _exit = ThreadExitGuard {
         live: shared.live.clone(),
     };
+    let mut pending: Option<FwdItem> = None;
     loop {
-        let Some(item) = rx.pop() else {
-            return; // polling thread gone: shut down
+        let head = match pending.take() {
+            Some(item) => item,
+            None => match rx.pop() {
+                Some(item) => item,
+                None => return, // polling thread gone: shut down
+            },
         };
-        if !consume_item(&path, item, &shared) {
+        if max_batch <= 1 {
+            if !consume_item(&path, head, &shared) {
+                return;
+            }
+            continue;
+        }
+        let Some(head) = take_credit_blocking(&path, head, &shared) else {
+            continue; // stream cancelled; item accounted
+        };
+        let caps = path.channel(head.last_hop).caps();
+        // Frame budget: never exceed what the driver performs best with —
+        // a route-MTU bulk fragment fails this check alone and is sent
+        // singly (keeping its zero-copy static path), so batching cannot
+        // penalize bulk streams.
+        let budget = caps.preferred_mtu.min(caps.max_packet);
+        let mut frame = PRELUDE_LEN + gtm::BATCH_ENTRY_OVERHEAD + head.buf.bytes().len();
+        let mut batch = vec![head];
+        while batch.len() < max_batch && frame <= budget && 2 * (batch.len() + 1) < caps.max_gather
+        {
+            let Some(next) = rx.try_pop() else {
+                break; // queue drained: send what we have
+            };
+            if next.to != batch[0].to || next.last_hop != batch[0].last_hop {
+                pending = Some(next); // different conduit: next train's head
+                break;
+            }
+            let need = gtm::BATCH_ENTRY_OVERHEAD + next.buf.bytes().len();
+            if frame + need > budget {
+                pending = Some(next);
+                break;
+            }
+            if next.consume {
+                match shared.ledger.try_take(next.tag.key()) {
+                    crate::credit::TakeOutcome::Taken => {}
+                    crate::credit::TakeOutcome::Empty => {
+                        // Credit-dry: don't reorder behind it — stash it
+                        // as the next head and let the blocking wait run.
+                        pending = Some(next);
+                        break;
+                    }
+                    crate::credit::TakeOutcome::Cancelled(r) => {
+                        cancel_outbound(
+                            &path,
+                            next.to,
+                            next.last_hop,
+                            &next.tag,
+                            &next.grant,
+                            r,
+                            true,
+                            &shared,
+                        );
+                        drop_item(&next, &shared);
+                        continue; // dead stream's packet drops out of the train
+                    }
+                }
+            }
+            frame += need;
+            batch.push(next);
+        }
+        if !transmit_batch(&path, batch, &shared) {
             return;
         }
     }

@@ -19,7 +19,8 @@
 //! ```text
 //! offset 0   GTM_MAGIC (0xAD)
 //! offset 1   GTM_VERSION (2)
-//! offset 2   kind: 1 = header, 2 = part descriptor, 3 = end, 4 = fragment
+//! offset 2   kind: 1 = header, 2 = part descriptor, 3 = end, 4 = fragment,
+//!            5 = credit, 6 = cancel, 7 = batch
 //! offset 3   source rank       (u32 LE)
 //! offset 7   destination rank  (u32 LE)
 //! offset 11  message id        (u32 LE, per-source counter)
@@ -49,10 +50,30 @@
 //! nearly double forwarding cost, while 15 extra bytes in-packet are noise.
 //! The tag is route-invariant, which lets gateways relay packets verbatim
 //! — the zero-copy forwarding matrix of §2.3 is unchanged.
+//!
+//! ## Batch frames
+//!
+//! A **batch** packet (kind 7, zero stream tag) carries a train of complete
+//! GTM packets, each prefixed by its u32 LE length:
+//!
+//! ```text
+//! offset 0   common prelude, kind = 7, src = dest = msg_id = 0
+//! offset 15  len₀ (u32 LE) ‖ packet₀ ‖ len₁ (u32 LE) ‖ packet₁ ‖ …
+//! ```
+//!
+//! Gateways use it to amortize the per-send buffer-switch overhead: several
+//! queued packets bound for the same next hop leave as one conduit send and
+//! are split back into individual packets by the receiving relay or
+//! [`StreamAssembler`]. Batches never nest, and they are a transport-hop
+//! artifact — a relay always re-batches (or not) according to its own queue
+//! state rather than forwarding a batch frame verbatim.
+
+#![deny(clippy::redundant_clone, clippy::large_types_passed_by_value)]
 
 use std::collections::{BTreeMap, VecDeque};
 
 use mad_trace::{trace_count, trace_span};
+use mad_util::pool::PooledBuf;
 
 use crate::channel::Channel;
 use crate::credit::WriterFlow;
@@ -73,6 +94,12 @@ pub(crate) const KIND_END: u8 = 3;
 pub(crate) const KIND_FRAG: u8 = 4;
 pub(crate) const KIND_CREDIT: u8 = 5;
 pub(crate) const KIND_CANCEL: u8 = 6;
+pub(crate) const KIND_BATCH: u8 = 7;
+
+/// Per-sub-packet framing overhead inside a batch frame (the u32 length
+/// prefix). `PRELUDE_LEN + Σ (BATCH_ENTRY_OVERHEAD + lenᵢ)` is the full
+/// frame size — senders use this to respect the conduit's packet limit.
+pub const BATCH_ENTRY_OVERHEAD: usize = 4;
 
 const HEADER_LEN: usize = PRELUDE_LEN + 5;
 const PART_LEN: usize = PRELUDE_LEN + 10;
@@ -175,6 +202,10 @@ pub enum PacketBody {
     /// The stream is dead and will never deliver its end packet; every
     /// holder of its state must drop it and surface the typed reason.
     Cancel(CancelReason),
+    /// A length-prefixed train of complete packets sent as one conduit
+    /// operation; split with [`batch_packets`]. Carries no stream tag of
+    /// its own.
+    Batch,
 }
 
 fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
@@ -186,49 +217,156 @@ fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
     v.extend_from_slice(&tag.msg_id.to_le_bytes());
 }
 
+/// Encode a header packet into `v` (cleared first). The `_into` encoders
+/// exist so hot paths can stage control packets in recycled buffers
+/// instead of allocating a fresh `Vec` per packet.
+pub fn encode_header_into(v: &mut Vec<u8>, h: &GtmHeader) {
+    v.clear();
+    v.reserve(HEADER_LEN);
+    prelude_into(v, KIND_HEADER, &h.tag);
+    v.extend_from_slice(&h.mtu.to_le_bytes());
+    v.push(if h.direct { FLAG_DIRECT } else { 0 });
+}
+
 /// Encode a header packet.
 pub fn encode_header(h: &GtmHeader) -> Vec<u8> {
     let mut v = Vec::with_capacity(HEADER_LEN);
-    prelude_into(&mut v, KIND_HEADER, &h.tag);
-    v.extend_from_slice(&h.mtu.to_le_bytes());
-    v.push(if h.direct { FLAG_DIRECT } else { 0 });
+    encode_header_into(&mut v, h);
     v
+}
+
+/// Encode a block-descriptor packet into `v` (cleared first).
+pub fn encode_part_into(v: &mut Vec<u8>, tag: &StreamTag, d: &GtmPartDesc) {
+    v.clear();
+    v.reserve(PART_LEN);
+    prelude_into(v, KIND_PART, tag);
+    v.extend_from_slice(&d.len.to_le_bytes());
+    v.push(d.send.to_wire());
+    v.push(d.recv.to_wire());
 }
 
 /// Encode a block-descriptor packet.
 pub fn encode_part(tag: &StreamTag, d: &GtmPartDesc) -> Vec<u8> {
     let mut v = Vec::with_capacity(PART_LEN);
-    prelude_into(&mut v, KIND_PART, tag);
-    v.extend_from_slice(&d.len.to_le_bytes());
-    v.push(d.send.to_wire());
-    v.push(d.recv.to_wire());
+    encode_part_into(&mut v, tag, d);
     v
+}
+
+/// Encode the end-of-stream packet into `v` (cleared first).
+pub fn encode_end_into(v: &mut Vec<u8>, tag: &StreamTag) {
+    v.clear();
+    v.reserve(PRELUDE_LEN);
+    prelude_into(v, KIND_END, tag);
 }
 
 /// Encode the end-of-stream packet.
 pub fn encode_end(tag: &StreamTag) -> Vec<u8> {
     let mut v = Vec::with_capacity(PRELUDE_LEN);
-    prelude_into(&mut v, KIND_END, tag);
+    encode_end_into(&mut v, tag);
     v
 }
 
-/// Encode a credit grant of `count` fragments for a stream. Credits travel
-/// hop-by-hop on the same (bidirectional) conduit as the stream, in the
-/// opposite direction.
-pub fn encode_credit(tag: &StreamTag, count: u32) -> Vec<u8> {
+/// Encode a credit grant of `count` fragments for a stream into `v`
+/// (cleared first). Credits travel hop-by-hop on the same (bidirectional)
+/// conduit as the stream, in the opposite direction.
+pub fn encode_credit_into(v: &mut Vec<u8>, tag: &StreamTag, count: u32) {
     assert!(count > 0, "a credit grant must carry at least one credit");
-    let mut v = Vec::with_capacity(CREDIT_LEN);
-    prelude_into(&mut v, KIND_CREDIT, tag);
+    v.clear();
+    v.reserve(CREDIT_LEN);
+    prelude_into(v, KIND_CREDIT, tag);
     v.extend_from_slice(&count.to_le_bytes());
+}
+
+/// Encode a credit grant of `count` fragments for a stream.
+pub fn encode_credit(tag: &StreamTag, count: u32) -> Vec<u8> {
+    let mut v = Vec::with_capacity(CREDIT_LEN);
+    encode_credit_into(&mut v, tag, count);
     v
+}
+
+/// Encode a stream-cancel packet into `v` (cleared first).
+pub fn encode_cancel_into(v: &mut Vec<u8>, tag: &StreamTag, reason: CancelReason) {
+    v.clear();
+    v.reserve(CANCEL_LEN);
+    prelude_into(v, KIND_CANCEL, tag);
+    v.push(reason.to_wire());
 }
 
 /// Encode a stream-cancel packet.
 pub fn encode_cancel(tag: &StreamTag, reason: CancelReason) -> Vec<u8> {
     let mut v = Vec::with_capacity(CANCEL_LEN);
-    prelude_into(&mut v, KIND_CANCEL, tag);
-    v.push(reason.to_wire());
+    encode_cancel_into(&mut v, tag, reason);
     v
+}
+
+/// The constant prelude of a batch frame. A batch carries no stream of its
+/// own, so the tag fields are zero; the sub-packet train follows as a
+/// gather send `[prelude, len₀, packet₀, len₁, packet₁, …]`.
+pub fn batch_prelude() -> [u8; PRELUDE_LEN] {
+    let mut v = Vec::with_capacity(PRELUDE_LEN);
+    prelude_into(
+        &mut v,
+        KIND_BATCH,
+        &StreamTag {
+            src: NodeId(0),
+            dest: NodeId(0),
+            msg_id: 0,
+        },
+    );
+    v.try_into().expect("prelude length")
+}
+
+/// Assemble a batch frame from complete packets. Test/diagnostic helper —
+/// hot paths gather the identical layout wire-side with
+/// [`crate::conduit::Conduit::send_batch`] instead of staging a frame.
+pub fn encode_batch(packets: &[&[u8]]) -> Vec<u8> {
+    assert!(!packets.is_empty(), "a batch carries at least one packet");
+    let total = PRELUDE_LEN
+        + packets
+            .iter()
+            .map(|p| BATCH_ENTRY_OVERHEAD + p.len())
+            .sum::<usize>();
+    let mut v = Vec::with_capacity(total);
+    v.extend_from_slice(&batch_prelude());
+    for p in packets {
+        v.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        v.extend_from_slice(p);
+    }
+    v
+}
+
+/// Iterate the complete sub-packets of a validated batch frame, in order.
+/// Fails if `frame` is not a well-formed batch packet.
+pub fn batch_packets(frame: &[u8]) -> Result<BatchPackets<'_>> {
+    match decode_packet(frame)? {
+        (_, PacketBody::Batch) => Ok(BatchPackets {
+            rest: &frame[PRELUDE_LEN..],
+        }),
+        _ => Err(MadError::Protocol(
+            "batch_packets on a non-batch GTM packet".into(),
+        )),
+    }
+}
+
+/// Iterator over the sub-packet slices of a batch frame; see
+/// [`batch_packets`]. Infallible because the frame was validated whole at
+/// decode time.
+pub struct BatchPackets<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for BatchPackets<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.rest[..4].try_into().unwrap()) as usize;
+        let (pkt, rest) = self.rest[4..].split_at(len);
+        self.rest = rest;
+        Some(pkt)
+    }
 }
 
 /// The constant fragment prelude for a stream. Senders emit each fragment
@@ -316,6 +454,30 @@ pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
             let reason = CancelReason::from_wire(packet[15]).ok_or_else(|| err("cancel reason"))?;
             PacketBody::Cancel(reason)
         }
+        KIND_BATCH => {
+            // Validate the whole train up front so the sub-packet iterator
+            // can be infallible: every length prefix must delimit a
+            // plausibly-framed, non-nested packet.
+            let mut rest = &packet[PRELUDE_LEN..];
+            if rest.is_empty() {
+                return Err(err("empty batch"));
+            }
+            while !rest.is_empty() {
+                if rest.len() < 4 {
+                    return Err(err("truncated batch length prefix"));
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+                rest = &rest[4..];
+                if len < PRELUDE_LEN || len > rest.len() {
+                    return Err(err("batch entry length"));
+                }
+                if rest[2] == KIND_BATCH {
+                    return Err(err("nested batch"));
+                }
+                rest = &rest[len..];
+            }
+            PacketBody::Batch
+        }
         _ => Err(err("unknown kind"))?,
     };
     Ok((tag, body))
@@ -348,6 +510,10 @@ pub struct GtmWriter<'c> {
     mtu: usize,
     finished: bool,
     flow: Option<WriterFlow>,
+    /// Recycled staging buffer for the stream's control packets (header,
+    /// descriptors, end, cancel) — one pool hit per stream instead of one
+    /// heap allocation per packet.
+    scratch: PooledBuf,
 }
 
 impl<'c> GtmWriter<'c> {
@@ -368,15 +534,19 @@ impl<'c> GtmWriter<'c> {
             mtu.saturating_add(PRELUDE_LEN) <= channel.caps().max_packet,
             "GTM MTU plus fragment prelude exceeds the first hop's max packet size"
         );
-        let header = encode_header(&GtmHeader {
-            tag,
-            mtu: mtu as u32,
-            direct,
-        });
+        let mut scratch = channel.runtime().pool().get(PART_LEN);
+        encode_header_into(
+            scratch.vec(),
+            &GtmHeader {
+                tag,
+                mtu: mtu as u32,
+                direct,
+            },
+        );
         if let Some(flow) = &flow {
             flow.open(tag.key());
         }
-        if let Err(e) = channel.send_packet(first_hop, &[&header]) {
+        if let Err(e) = channel.send_packet(first_hop, &[&scratch]) {
             if let Some(flow) = &flow {
                 flow.close(tag.key());
             }
@@ -391,6 +561,7 @@ impl<'c> GtmWriter<'c> {
             mtu,
             finished: false,
             flow,
+            scratch,
         })
     }
 
@@ -420,7 +591,8 @@ impl<'c> GtmWriter<'c> {
             "dest" = self.tag.dest.0 as u64,
             "bytes" = data.len() as u64,
         );
-        let desc = encode_part(
+        encode_part_into(
+            self.scratch.vec(),
             &self.tag,
             &GtmPartDesc {
                 len: data.len() as u64,
@@ -428,7 +600,7 @@ impl<'c> GtmWriter<'c> {
                 recv,
             },
         );
-        self.channel.send_packet(self.first_hop, &[&desc])?;
+        self.channel.send_packet(self.first_hop, &[&self.scratch])?;
         trace_count!(self.channel.tracer(), "gtm", "encode", 1);
         for chunk in data.chunks(self.mtu) {
             if let Some(flow) = &self.flow {
@@ -455,9 +627,8 @@ impl<'c> GtmWriter<'c> {
         };
         if let Some(reason) = reason {
             // Best effort — the first hop may itself be unreachable.
-            let _ = self
-                .channel
-                .send_packet(self.first_hop, &[&encode_cancel(&self.tag, reason)]);
+            encode_cancel_into(self.scratch.vec(), &self.tag, reason);
+            let _ = self.channel.send_packet(self.first_hop, &[&self.scratch]);
         }
     }
 
@@ -467,8 +638,8 @@ impl<'c> GtmWriter<'c> {
         if let Some(flow) = self.flow.take() {
             flow.close(self.tag.key());
         }
-        self.channel
-            .send_packet(self.first_hop, &[&encode_end(&self.tag)])?;
+        encode_end_into(self.scratch.vec(), &self.tag);
+        self.channel.send_packet(self.first_hop, &[&self.scratch])?;
         trace_count!(self.channel.tracer(), "gtm", "encode", 1);
         Ok(())
     }
@@ -488,7 +659,9 @@ pub enum StreamItem {
     /// Descriptor of the next block.
     Part(GtmPartDesc),
     /// A fragment packet, stored verbatim (payload at [`PRELUDE_LEN`]).
-    Frag(Vec<u8>),
+    /// Pool-backed when the assembler has a pool, so consuming a fragment
+    /// recycles its landing buffer.
+    Frag(PooledBuf),
     /// End of the stream.
     End,
     /// The stream was cancelled upstream and will never end normally.
@@ -511,6 +684,9 @@ struct PendingStream {
 pub struct StreamAssembler {
     streams: BTreeMap<StreamKey, PendingStream>,
     ready: VecDeque<StreamKey>,
+    /// When present, fragments split out of batch frames are copied into
+    /// recycled buffers instead of fresh heap allocations.
+    pool: Option<std::sync::Arc<mad_util::pool::BufferPool>>,
 }
 
 impl StreamAssembler {
@@ -519,12 +695,54 @@ impl StreamAssembler {
         Self::default()
     }
 
-    /// Feed one received packet. Returns the stream key when the packet
-    /// opened a new stream (its header just arrived).
-    pub fn push_packet(&mut self, packet: Vec<u8>) -> Result<Option<StreamKey>> {
+    /// An empty assembler drawing batch-split fragment copies from `pool`.
+    pub fn with_pool(pool: std::sync::Arc<mad_util::pool::BufferPool>) -> Self {
+        StreamAssembler {
+            pool: Some(pool),
+            ..Self::default()
+        }
+    }
+
+    /// Feed one received packet — possibly a batch frame, which is split
+    /// into its sub-packets in order. Returns the keys of the streams the
+    /// packet opened (headers that just arrived); empty for anything else.
+    pub fn push_packet(&mut self, packet: impl Into<PooledBuf>) -> Result<Vec<StreamKey>> {
+        let packet = packet.into();
         let (tag, body) = decode_packet(&packet)?;
+        if matches!(body, PacketBody::Batch) {
+            let mut opened = Vec::new();
+            for sub in batch_packets(&packet)? {
+                let buf = match &self.pool {
+                    Some(pool) => {
+                        let mut b = pool.get(sub.len());
+                        b.vec().extend_from_slice(sub);
+                        b
+                    }
+                    None => PooledBuf::from(sub.to_vec()),
+                };
+                opened.extend(self.push_one(buf)?);
+            }
+            return Ok(opened);
+        }
+        self.push_one_decoded(packet, tag, body)
+    }
+
+    fn push_one(&mut self, packet: PooledBuf) -> Result<Vec<StreamKey>> {
+        let (tag, body) = decode_packet(&packet)?;
+        self.push_one_decoded(packet, tag, body)
+    }
+
+    fn push_one_decoded(
+        &mut self,
+        packet: PooledBuf,
+        tag: StreamTag,
+        body: PacketBody,
+    ) -> Result<Vec<StreamKey>> {
         let key = tag.key();
         match body {
+            PacketBody::Batch => Err(MadError::Protocol(
+                "nested batch frame reached a stream assembler".into(),
+            )),
             PacketBody::Credit(_) => {
                 // Credits are hop-by-hop flow control consumed by writers
                 // and gateway engines; one surviving to an assembler means
@@ -547,7 +765,7 @@ impl StreamAssembler {
                     },
                 );
                 self.ready.push_back(key);
-                Ok(Some(key))
+                Ok(vec![key])
             }
             body => {
                 let stream = self.streams.get_mut(&key).ok_or_else(|| {
@@ -558,9 +776,11 @@ impl StreamAssembler {
                     PacketBody::Frag => StreamItem::Frag(packet),
                     PacketBody::End => StreamItem::End,
                     PacketBody::Cancel(reason) => StreamItem::Cancelled(reason),
-                    PacketBody::Header(_) | PacketBody::Credit(_) => unreachable!(),
+                    PacketBody::Header(_) | PacketBody::Credit(_) | PacketBody::Batch => {
+                        unreachable!()
+                    }
                 });
-                Ok(None)
+                Ok(Vec::new())
             }
         }
     }
@@ -730,6 +950,72 @@ mod tests {
     }
 
     #[test]
+    fn batch_round_trips() {
+        let t = tag(1, 2, 3);
+        let mut frag = frag_prelude(&t).to_vec();
+        frag.extend_from_slice(b"payload");
+        let end = encode_end(&t);
+        let credit = encode_credit(&t, 4);
+        let frame = encode_batch(&[&frag, &end, &credit]);
+        assert_eq!(decode_packet(&frame).unwrap().1, PacketBody::Batch);
+        let subs: Vec<&[u8]> = batch_packets(&frame).unwrap().collect();
+        assert_eq!(subs, vec![&frag[..], &end[..], &credit[..]]);
+    }
+
+    #[test]
+    fn malformed_batches_rejected() {
+        let t = tag(0, 1, 0);
+        let end = encode_end(&t);
+        // An empty batch is meaningless.
+        assert!(decode_packet(&batch_prelude()).is_err());
+        // Truncated train: length prefix promises more than is there.
+        let mut frame = encode_batch(&[&end]);
+        frame.truncate(frame.len() - 1);
+        assert!(decode_packet(&frame).is_err());
+        // Nested batches are forbidden.
+        let inner = encode_batch(&[&end]);
+        assert!(decode_packet(&encode_batch(&[&inner])).is_err());
+        // batch_packets refuses non-batch input.
+        assert!(batch_packets(&end).is_err());
+    }
+
+    #[test]
+    fn assembler_splits_batch_frames() {
+        let t = tag(8, 9, 2);
+        let header = encode_header(&GtmHeader {
+            tag: t,
+            mtu: 4,
+            direct: false,
+        });
+        let part = encode_part(
+            &t,
+            &GtmPartDesc {
+                len: 3,
+                send: SendMode::Later,
+                recv: RecvMode::Cheaper,
+            },
+        );
+        let mut frag = frag_prelude(&t).to_vec();
+        frag.extend_from_slice(b"xyz");
+        let end = encode_end(&t);
+        let frame = encode_batch(&[&header, &part, &frag, &end]);
+
+        let pool = mad_util::pool::BufferPool::new();
+        let mut asm = StreamAssembler::with_pool(pool);
+        let opened = asm.push_packet(frame).unwrap();
+        assert_eq!(opened, vec![t.key()], "batch split reports opened streams");
+        let k = asm.pop_ready().unwrap();
+        assert!(matches!(asm.next_item(k), Some(StreamItem::Part(d)) if d.len == 3));
+        match asm.next_item(k) {
+            Some(StreamItem::Frag(f)) => assert_eq!(frag_payload(&f), b"xyz"),
+            other => panic!("expected fragment, got {other:?}"),
+        }
+        assert_eq!(asm.next_item(k), Some(StreamItem::End));
+        asm.finish(k);
+        assert!(asm.is_idle());
+    }
+
+    #[test]
     fn fragment_counts() {
         assert_eq!(fragment_count(0, 1024), 0);
         assert_eq!(fragment_count(1, 1024), 1);
@@ -786,10 +1072,10 @@ mod tests {
         assert!(asm.header(kb).unwrap().direct);
         // Each stream drains in its own order, unpolluted by the other.
         assert!(matches!(asm.next_item(ka), Some(StreamItem::Part(d)) if d.len == 4));
-        assert_eq!(asm.next_item(ka), Some(StreamItem::Frag(frag_a)));
+        assert_eq!(asm.next_item(ka), Some(StreamItem::Frag(frag_a.into())));
         assert_eq!(asm.next_item(ka), Some(StreamItem::End));
         assert!(matches!(asm.next_item(kb), Some(StreamItem::Part(d)) if d.len == 2));
-        assert_eq!(asm.next_item(kb), Some(StreamItem::Frag(frag_b)));
+        assert_eq!(asm.next_item(kb), Some(StreamItem::Frag(frag_b.into())));
         assert_eq!(asm.next_item(kb), Some(StreamItem::End));
         asm.finish(ka);
         asm.finish(kb);

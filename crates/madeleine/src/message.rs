@@ -218,7 +218,13 @@ impl<'c> MessageReader<'c> {
                 }
                 continue;
             }
-            let packet = self.channel.lock_conduit(self.source)?.recv_owned()?;
+            // Adopt the wire buffer into the session pool so its memory is
+            // recycled once the bytes are copied out below.
+            let packet = self
+                .channel
+                .runtime()
+                .pool()
+                .adopt(self.channel.lock_conduit(self.source)?.recv_owned()?);
             self.channel.stats().on_recv(self.source.0, packet.len());
             let take = packet.len().min(dst.len() - cursor);
             dst[cursor..cursor + take].copy_from_slice(&packet[..take]);

@@ -75,6 +75,13 @@ pub trait Runtime: Send + Sync {
     fn tracer(&self) -> mad_trace::Tracer {
         mad_trace::Tracer::off()
     }
+
+    /// The session-wide recycling buffer pool. Hot-path code (gateway
+    /// landings, GTM staging, control-packet encodes) draws its buffers
+    /// here so steady-state forwarding allocates nothing; because the
+    /// whole session shares one runtime, a buffer staged on the sending
+    /// node and adopted on the receiving one closes the recycle loop.
+    fn pool(&self) -> &Arc<mad_util::pool::BufferPool>;
 }
 
 #[derive(Default)]
@@ -128,6 +135,7 @@ impl RtEvent for StdEvent {
 pub struct StdRuntime {
     start: Instant,
     tracer: mad_trace::Tracer,
+    pool: Arc<mad_util::pool::BufferPool>,
 }
 
 impl Default for StdRuntime {
@@ -135,6 +143,7 @@ impl Default for StdRuntime {
         StdRuntime {
             start: Instant::now(),
             tracer: mad_trace::Tracer::off(),
+            pool: mad_util::pool::BufferPool::new(),
         }
     }
 }
@@ -163,7 +172,11 @@ impl StdRuntime {
     pub fn traced(tracer: mad_trace::Tracer) -> Arc<dyn Runtime> {
         let start = Instant::now();
         tracer.init_clock(Arc::new(StdClock { start }), "mono");
-        Arc::new(StdRuntime { start, tracer })
+        Arc::new(StdRuntime {
+            start,
+            tracer,
+            pool: mad_util::pool::BufferPool::new(),
+        })
     }
 }
 
@@ -193,6 +206,10 @@ impl Runtime for StdRuntime {
 
     fn tracer(&self) -> mad_trace::Tracer {
         self.tracer.clone()
+    }
+
+    fn pool(&self) -> &Arc<mad_util::pool::BufferPool> {
+        &self.pool
     }
 }
 

@@ -522,6 +522,17 @@ impl SessionBuilder {
                 tracer.count_on(&track, "gateway", "errors", t.errors as i64, &[]);
                 tracer.count_on(&track, "gateway", "peak_held_bytes", t.peak_held_bytes, &[]);
             }
+            // Session-wide buffer-pool counters: `misses` is the number of
+            // real heap allocations behind every staging/landing/control
+            // buffer — a warmed-up fault-free run keeps it flat while
+            // `gets` grows with traffic (the zero-alloc-per-fragment
+            // property the soak test asserts).
+            let p = runtime.pool().stats();
+            tracer.count_on("pool", "pool", "gets", p.gets as i64, &[]);
+            tracer.count_on("pool", "pool", "hits", p.hits as i64, &[]);
+            tracer.count_on("pool", "pool", "misses", p.misses as i64, &[]);
+            tracer.count_on("pool", "pool", "recycled", p.recycled as i64, &[]);
+            tracer.count_on("pool", "pool", "discarded", p.discarded as i64, &[]);
         }
         let mut res = results.lock();
         let out = res

@@ -62,7 +62,6 @@ pub const NOTE_DIRECT: u8 = 0;
 
 /// Receive-side demultiplexing state: the assembler plus, per stream, the
 /// conduit it arrives on (so a reader knows where to pump for more).
-#[derive(Default)]
 struct Demux {
     asm: StreamAssembler,
     via: BTreeMap<StreamKey, (NetworkId, NodeId)>,
@@ -86,6 +85,9 @@ pub struct VirtualChannel {
     next_msg_id: AtomicU32,
     demux: Mutex<Demux>,
     tracer: Tracer,
+    /// Session buffer pool: received packets are adopted into it so their
+    /// landing buffers recycle once the application consumes them.
+    pool: Arc<mad_util::pool::BufferPool>,
 }
 
 impl std::fmt::Debug for VirtualChannel {
@@ -119,6 +121,11 @@ impl VirtualChannel {
             .next()
             .map(|c| c.tracer().clone())
             .unwrap_or_default();
+        let pool = regular
+            .values()
+            .next()
+            .map(|c| c.runtime().pool().clone())
+            .unwrap_or_default();
         VirtualChannel {
             name,
             rank,
@@ -130,8 +137,12 @@ impl VirtualChannel {
             is_gateway,
             flow,
             next_msg_id: AtomicU32::new(0),
-            demux: Mutex::new(Demux::default()),
+            demux: Mutex::new(Demux {
+                asm: StreamAssembler::with_pool(pool.clone()),
+                via: BTreeMap::new(),
+            }),
             tracer,
+            pool,
         }
     }
 
@@ -238,6 +249,7 @@ impl VirtualChannel {
             let packet = channel.lock_conduit(peer)?.recv_owned()?;
             channel.stats().on_recv(peer.0, packet.len());
             if packet.as_slice() == [NOTE_DIRECT] {
+                drop(self.pool.adopt(packet)); // spent note: recycle
                 return Ok(VcReader::Direct(channel.begin_unpacking_from(peer)?));
             }
             self.push_demux(net, peer, packet)?;
@@ -253,11 +265,12 @@ impl VirtualChannel {
         Some((key, header, via))
     }
 
-    /// Feed one received packet into the demultiplexer.
+    /// Feed one received packet into the demultiplexer. Batch frames split
+    /// into several packets and may open several streams at once.
     fn push_demux(&self, net: NetworkId, peer: NodeId, packet: Vec<u8>) -> Result<()> {
         trace_count!(self.tracer, "gtm", "decode", 1);
         let mut d = self.demux.lock().unwrap();
-        if let Some(key) = d.asm.push_packet(packet)? {
+        for key in d.asm.push_packet(self.pool.adopt(packet))? {
             d.via.insert(key, (net, peer));
         }
         Ok(())
@@ -378,6 +391,7 @@ impl GtmStreamReader<'_> {
             if packet.as_slice() == [NOTE_DIRECT] {
                 // The via peer interleaves GTM packets (it is a gateway or a
                 // gateway-resident sender); a raw note here is a bug.
+                drop(self.vc.pool.adopt(packet));
                 return Err(MadError::Protocol(
                     "plain direct note interleaved with GTM stream packets".into(),
                 ));

@@ -32,8 +32,18 @@ echo "== traced runs (incl. fault-injected) + JSONL schema validation"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
 cargo run -q --release --offline --example trace_dump -- "$trace_dir/ci"
+
+# A7 smoke: a reduced transmit-batching sweep (including its occupancy-
+# bound assertion) with a traced batched run. Smoke mode skips the CSVs
+# so it never clobbers the committed full-grid results.
+echo
+echo "== ablation_batching --smoke (gateway transmit batching)"
+cargo run -q --release --offline -p mad-bench --bin ablation_batching -- \
+  --smoke --trace "$trace_dir/a7.jsonl"
+
 cargo run -q --release --offline -p mad-bench --bin trace_check -- \
-  "$trace_dir/ci.sim.jsonl" "$trace_dir/ci.fault.jsonl" "$trace_dir/ci.shm.jsonl"
+  "$trace_dir/ci.sim.jsonl" "$trace_dir/ci.fault.jsonl" "$trace_dir/ci.shm.jsonl" \
+  "$trace_dir/a7.jsonl"
 
 # Lints gate only when clippy is actually installed (sealed containers
 # may ship a toolchain without the component).

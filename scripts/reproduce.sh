@@ -20,6 +20,8 @@ BINS=(
   ablation_pipeline_depth
   ablation_flow_control
   ablation_switch_overhead
+  ablation_hol_blocking
+  ablation_batching
   ext_mpi_collectives
   ext_copy_matrix
   ext_bidirectional

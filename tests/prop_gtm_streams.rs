@@ -177,6 +177,179 @@ fn fragment_interleave_reassemble_is_identity() {
     );
 }
 
+/// Re-frame an arbitrary packet sequence into batch trains the way a
+/// gateway's forwarding thread does: consecutive runs of `1 + sizes[i] % 5`
+/// packets; a run of one stays a plain packet, longer runs become one
+/// batch frame.
+fn frame_trains(seq: &[Vec<u8>], sizes: &[u32]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    let mut i = 0usize;
+    let mut pick = 0usize;
+    while i < seq.len() {
+        let n = if sizes.is_empty() {
+            1
+        } else {
+            1 + (sizes[pick % sizes.len()] as usize % 5)
+        };
+        pick += 1;
+        let train: Vec<&[u8]> = seq[i..seq.len().min(i + n)]
+            .iter()
+            .map(|p| p.as_slice())
+            .collect();
+        if train.len() == 1 {
+            frames.push(train[0].to_vec());
+        } else {
+            frames.push(gtm::encode_batch(&train));
+        }
+        i += train.len();
+    }
+    frames
+}
+
+/// Drain an assembler completely into comparable per-stream transcripts.
+fn drain(mut asm: StreamAssembler) -> Vec<(gtm::StreamKey, GtmHeader, Vec<StreamItem>)> {
+    let mut out = Vec::new();
+    while let Some(key) = asm.pop_ready() {
+        let header = asm.header(key).expect("ready stream has a header");
+        let mut items = Vec::new();
+        while let Some(item) = asm.next_item(key) {
+            items.push(item);
+        }
+        asm.finish(key);
+        out.push((key, header, items));
+    }
+    out
+}
+
+/// The tentpole equivalence: any packet sequence — headers, parts,
+/// fragments, ends, cancels, and (wire-level) credits, interleaved across
+/// streams — means exactly the same thing after being re-framed into
+/// batch trains of arbitrary sizes.
+#[test]
+fn batched_trains_equal_unbatched_sequence() {
+    type Case = (Vec<GenStream>, Vec<u32>, Vec<u32>, Vec<u32>);
+    prop::check(
+        "batched_trains_equal_unbatched_sequence",
+        &Config::default(),
+        |rng| -> Case {
+            let n = rng.gen_range(1usize..5);
+            let streams = (0..n)
+                .map(|i| {
+                    (
+                        rng.gen_range(0u32..4),
+                        rng.gen_range(0u32..4),
+                        i as u32 * 8 + rng.gen_range(0u32..8),
+                        rng.gen_range(0u32..2) == 1, // reused as: cancel at end
+                        prop::vec_of(rng, 0..4, |r| {
+                            (prop::bytes(r, 0..120), r.next_u32(), r.next_u32())
+                        }),
+                    )
+                })
+                .collect();
+            let schedule = prop::vec_of(rng, 0..300, |r| r.next_u32());
+            let sizes = prop::vec_of(rng, 1..40, |r| r.next_u32());
+            let credit_at = prop::vec_of(rng, 0..6, |r| r.next_u32());
+            (streams, schedule, sizes, credit_at)
+        },
+        |case: &Case| -> Result<(), String> {
+            let (streams, schedule, sizes, credit_at) = case;
+            let mut keys: Vec<_> = streams
+                .iter()
+                .map(|(src, _dest, msg_id, ..)| (*src, *msg_id))
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            prop_require!(keys.len() == streams.len());
+
+            // Encode each stream, ending half of them with a cancel.
+            let tags: Vec<StreamTag> = streams
+                .iter()
+                .map(|&(src, dest, msg_id, ..)| StreamTag {
+                    src: NodeId(src),
+                    dest: NodeId(dest),
+                    msg_id,
+                })
+                .collect();
+            let mut queues: Vec<std::collections::VecDeque<Vec<u8>>> = streams
+                .iter()
+                .zip(&tags)
+                .map(|((_, _, _, cancel, blocks), tag)| {
+                    let mtu = 1 + (tag.msg_id % 64);
+                    let mut pkts = encode_stream(tag, mtu, false, blocks);
+                    if *cancel {
+                        pkts.pop();
+                        pkts.push(gtm::encode_cancel(tag, gtm::CancelReason::PeerUnreachable));
+                    }
+                    pkts.into()
+                })
+                .collect();
+            let mut seq: Vec<Vec<u8>> = Vec::new();
+            for &pick in schedule {
+                let nonempty: Vec<usize> = (0..queues.len())
+                    .filter(|&i| !queues[i].is_empty())
+                    .collect();
+                if nonempty.is_empty() {
+                    break;
+                }
+                let q = nonempty[pick as usize % nonempty.len()];
+                seq.push(queues[q].pop_front().unwrap());
+            }
+            for q in &mut queues {
+                while let Some(pkt) = q.pop_front() {
+                    seq.push(pkt);
+                }
+            }
+
+            // Wire-level equivalence, with hop-local credit packets mixed
+            // in: splitting the framed trains recovers the exact byte
+            // sequence, packet for packet.
+            let mut wire_seq = seq.clone();
+            for (i, &at) in credit_at.iter().enumerate() {
+                let tag = &tags[i % tags.len()];
+                let pos = at as usize % (wire_seq.len() + 1);
+                wire_seq.insert(pos, gtm::encode_credit(tag, 1 + at % 7));
+            }
+            let mut recovered: Vec<Vec<u8>> = Vec::new();
+            for frame in frame_trains(&wire_seq, sizes) {
+                let (_, body) = gtm::decode_packet(&frame).map_err(|e| e.to_string())?;
+                if matches!(body, gtm::PacketBody::Batch) {
+                    for sub in gtm::batch_packets(&frame).map_err(|e| e.to_string())? {
+                        recovered.push(sub.to_vec());
+                    }
+                } else {
+                    recovered.push(frame);
+                }
+            }
+            prop_assert_eq!(
+                &recovered,
+                &wire_seq,
+                "trains split back to the same packets"
+            );
+
+            // Assembler-level equivalence (credits never reach an
+            // assembler in real routing): plain feed and batched feed
+            // leave identical stream transcripts.
+            let mut plain = StreamAssembler::new();
+            for pkt in &seq {
+                plain.push_packet(pkt.clone()).map_err(|e| e.to_string())?;
+            }
+            let mut batched = StreamAssembler::new();
+            for frame in frame_trains(&seq, sizes) {
+                batched.push_packet(frame).map_err(|e| e.to_string())?;
+            }
+            let (a, b) = (drain(plain), drain(batched));
+            prop_assert_eq!(a.len(), b.len(), "same stream count both ways");
+            for ((ka, ha, ia), (kb, hb, ib)) in a.iter().zip(&b) {
+                prop_assert_eq!(ka, kb);
+                prop_assert_eq!(ha.tag, hb.tag);
+                prop_assert_eq!(ha.mtu, hb.mtu);
+                prop_assert_eq!(ia, ib, "identical item transcripts");
+            }
+            Ok(())
+        },
+    );
+}
+
 /// A degenerate but important pin: a single maximal interleave (strict
 /// round-robin of three streams, MTU 1) is the identity too.
 #[test]
