@@ -46,11 +46,7 @@ fn bench_gtm_codec(h: &mut Harness) {
         msg_id: 41,
     };
     g.bench_function("encode_decode_header", |b| {
-        let h = gtm::GtmHeader {
-            tag,
-            mtu: 16 * 1024,
-            direct: false,
-        };
+        let h = gtm::GtmHeader::new(tag, 16 * 1024, false);
         b.iter(|| {
             let pkt = gtm::encode_header(std::hint::black_box(&h));
             std::hint::black_box(gtm::decode_packet(&pkt).unwrap())

@@ -45,6 +45,7 @@ fn run(exclusive: bool, mtu: usize, trace: Option<simnet::TraceLog>) -> (f64, f6
                 exclusive_streams: exclusive,
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
     let stamps = sb.run(|node| {

@@ -1,18 +1,32 @@
-//! Validate a JSONL trace file against the mad-trace schema.
+//! Validate JSONL trace files against the mad-trace schema.
 //!
-//! `trace_check <file.jsonl>...` — each line must parse as a JSON object
-//! with the required keys (`ts`, `thread`, `kind`, `cat`, `name` plus the
-//! kind-specific ones), and timestamps must be monotone per thread. Exits
-//! non-zero on the first invalid file, so CI can gate on it.
+//! `trace_check [--require-route] <file.jsonl>...` — each line must parse
+//! as a JSON object with the required keys (`ts`, `thread`, `kind`,
+//! `cat`, `name` plus the kind-specific ones), timestamps must be
+//! monotone per thread, and any routing-plane tracks (`route:`/`gw:`
+//! prefixes) must carry only their known counter events (`path_bytes`
+//! with its `gateway` arg, `switches`, `failovers`, `deaths`; the gateway
+//! totals and `delta_*` windows). With `--require-route`, a file with no
+//! `route:` events at all fails — the flag guards traces that are
+//! supposed to come from a multi-path run. Exits non-zero on the first
+//! invalid file, so CI can gate on it.
 
 use std::process::ExitCode;
 
-use madeleine::mad_trace::schema::validate_jsonl;
+use madeleine::mad_trace::schema::{validate_jsonl, validate_route_tracks};
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut require_route = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--require-route" {
+            require_route = true;
+        } else {
+            paths.push(arg);
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: trace_check <file.jsonl>...");
+        eprintln!("usage: trace_check [--require-route] <file.jsonl>...");
         return ExitCode::FAILURE;
     }
     for path in &paths {
@@ -23,16 +37,34 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match validate_jsonl(&text) {
-            Ok(s) => println!(
-                "{path}: ok — {} lines, {} threads, {} spans, {} counts, {} instants",
-                s.lines, s.threads, s.spans, s.counts, s.instants
-            ),
+        let base = match validate_jsonl(&text) {
+            Ok(s) => s,
             Err(e) => {
                 eprintln!("{path}: INVALID — {e}");
                 return ExitCode::FAILURE;
             }
+        };
+        let route = match validate_route_tracks(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}: INVALID route/gw track — {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if require_route && route.route_events == 0 {
+            eprintln!("{path}: INVALID — no `route:` track events (expected a multi-path trace)");
+            return ExitCode::FAILURE;
         }
+        println!(
+            "{path}: ok — {} lines, {} threads, {} spans, {} counts, {} instants, {} route events, {} gw events",
+            base.lines,
+            base.threads,
+            base.spans,
+            base.counts,
+            base.instants,
+            route.route_events,
+            route.gw_events
+        );
     }
     ExitCode::SUCCESS
 }

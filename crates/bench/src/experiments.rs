@@ -168,6 +168,7 @@ fn run_forwarded_stats(
                 max_batch: setup.max_batch,
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
     let (stamps, gw_stats) = sb.run_with_gateway_stats(move |node| {
@@ -326,6 +327,342 @@ pub fn sci_with_dma_engine() -> NetParams {
     p.dev_out_bps = 50.0e6;
     p.overhead_send = vtime::SimDuration::from_micros(35);
     p
+}
+
+/// Deterministic soak payload, distinct per stream index.
+fn stream_payload(idx: u32, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(13).wrapping_add(7 * idx as u8))
+        .collect()
+}
+
+/// Result of one multi-path aggregate transfer: the measurement plus the
+/// per-gateway payload split recorded by the routing plane (empty when the
+/// plan had width 1 and the legacy single-path writer ran).
+#[derive(Debug, Clone)]
+pub struct MultipathRun {
+    /// Aggregate one-way measurement.
+    pub m: Measurement,
+    /// Payload bytes per gateway rank, from [`madeleine::multipath::MultiPath::path_bytes`].
+    pub split: Vec<(u32, u64)>,
+}
+
+/// Wire a `gateways`-wide parallel relay fabric on `sb`: rank 0 on the
+/// inbound network, ranks `1..=gateways` spanning both clusters, rank
+/// `gateways + 1` on the outbound network — the E3 topology widened from
+/// one relay box to `gateways` of them.
+fn multipath_vchannel(
+    sb: &mut SessionBuilder,
+    tb: &Testbed,
+    gateways: usize,
+    mtu: usize,
+    policy: madeleine::mad_route::StripePolicy,
+    drain_timeout_ns: Option<u64>,
+) {
+    let inbound: Vec<u32> = (0..=gateways as u32).collect();
+    let outbound: Vec<u32> = (1..=gateways as u32 + 1).collect();
+    let n_in = sb.network("net-in", tb.driver(SimTech::Myrinet), &inbound);
+    let n_out = sb.network("net-out", tb.driver(SimTech::Sci), &outbound);
+    sb.vchannel(
+        "vc",
+        &[n_in, n_out],
+        VcOptions {
+            mtu: Some(mtu),
+            multipath: Some(madeleine::MultipathConfig {
+                policy,
+                ..Default::default()
+            }),
+            gateway: GatewayConfig {
+                switch_overhead_ns: calibration::gateway_switch_overhead().as_nanos(),
+                drain_timeout_ns: drain_timeout_ns.unwrap_or(2_000_000_000),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+}
+
+/// Stripe unit of the A8 scaling runs. Coarser than the paper's 16 KB
+/// crossover MTU on purpose: striping wants fragments big enough to
+/// amortize the sender's fixed per-packet cost, otherwise the sending
+/// host — not the relay fabric — is the first bottleneck and extra paths
+/// cannot show.
+pub const STRIPE_MTU: usize = 128 * 1024;
+
+fn run_multipath(
+    tb: &Testbed,
+    gateways: usize,
+    total: usize,
+    policy: madeleine::mad_route::StripePolicy,
+) -> MultipathRun {
+    let mut sb = SessionBuilder::new(gateways as u32 + 2).with_runtime(tb.runtime());
+    multipath_vchannel(&mut sb, tb, gateways, STRIPE_MTU, policy, None);
+    let sink = gateways as u32 + 1;
+    let results = sb.run(move |node| {
+        let vc = node.vchannel("vc");
+        let rt = node.runtime().clone();
+        node.barrier().wait();
+        match node.rank().0 {
+            0 => {
+                let t0 = rt.now_nanos();
+                let data = vec![0x5Au8; total];
+                let mut w = vc.begin_packing(NodeId(sink)).unwrap();
+                w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
+                let split = vc.multipath().expect("multipath enabled").path_bytes();
+                (t0, split)
+            }
+            r if r == sink => {
+                let mut buf = vec![0u8; total];
+                let mut r = vc.begin_unpacking().unwrap();
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
+                r.end_unpacking().unwrap();
+                assert!(
+                    buf.iter().all(|&b| b == 0x5A),
+                    "payload corrupted in flight"
+                );
+                (rt.now_nanos(), Vec::new())
+            }
+            _ => (0, Vec::new()), // the relay ranks
+        }
+    });
+    MultipathRun {
+        m: Measurement {
+            bytes: total,
+            seconds: (results[sink as usize].0 - results[0].0) as f64 / 1e9,
+        },
+        split: results[0].1.clone(),
+    }
+}
+
+/// Aggregate one-way bandwidth of one bulk message through `gateways`
+/// parallel relays (the A8 scaling curve; `gateways = 1` is the E3
+/// baseline fabric with the routing plane enabled).
+pub fn multipath_oneway(
+    gateways: usize,
+    total: usize,
+    policy: madeleine::mad_route::StripePolicy,
+) -> MultipathRun {
+    let tb = Testbed::new(gateways + 2);
+    run_multipath(&tb, gateways, total, policy)
+}
+
+/// Like [`multipath_oneway`] but recording the unified event trace — the
+/// `route:` per-path byte splits and the `gw:` delta counters land on their
+/// own tracks at session teardown.
+pub fn multipath_oneway_traced(
+    gateways: usize,
+    total: usize,
+    policy: madeleine::mad_route::StripePolicy,
+) -> (MultipathRun, mad_trace::Snapshot) {
+    let trace = TraceLog::new();
+    let tb = Testbed::with_trace(gateways + 2, trace.clone());
+    let run = run_multipath(&tb, gateways, total, policy);
+    (run, trace.tracer().snapshot())
+}
+
+fn run_multipath_aggregate(
+    tb: &Testbed,
+    gateways: usize,
+    pairs: usize,
+    msgs: u32,
+    len: usize,
+) -> MultipathRun {
+    let nodes = (pairs * 2 + gateways) as u32;
+    let mut sb = SessionBuilder::new(nodes).with_runtime(tb.runtime());
+    // Senders 0..pairs, gateways pairs..pairs+gateways, receivers after.
+    let gw0 = pairs as u32;
+    let rx0 = (pairs + gateways) as u32;
+    let inbound: Vec<u32> = (0..gw0 + gateways as u32).collect();
+    let outbound: Vec<u32> = (gw0..nodes).collect();
+    let n_in = sb.network("net-in", tb.driver(SimTech::Myrinet), &inbound);
+    let n_out = sb.network("net-out", tb.driver(SimTech::Sci), &outbound);
+    sb.vchannel(
+        "vc",
+        &[n_in, n_out],
+        VcOptions {
+            mtu: Some(STRIPE_MTU),
+            multipath: Some(madeleine::MultipathConfig::default()),
+            gateway: GatewayConfig {
+                switch_overhead_ns: calibration::gateway_switch_overhead().as_nanos(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let results = sb.run(move |node| {
+        let vc = node.vchannel("vc");
+        let rt = node.runtime().clone();
+        node.barrier().wait();
+        let rank = node.rank().0;
+        let out = if rank < gw0 {
+            // Sender `rank`, paired with receiver `rx0 + rank`.
+            let t0 = rt.now_nanos();
+            for i in 0..msgs {
+                let data = stream_payload(rank.wrapping_mul(101).wrapping_add(i), len);
+                let mut w = vc.begin_packing(NodeId(rx0 + rank)).unwrap();
+                let hdr = [i as u8];
+                w.pack(&hdr, SendMode::Safer, RecvMode::Express).unwrap();
+                w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                w.end_packing().unwrap();
+            }
+            (t0, 0, Vec::new())
+        } else if rank >= rx0 {
+            let from = rank - rx0;
+            let mut seen = vec![false; msgs as usize];
+            for _ in 0..msgs {
+                let mut r = vc.begin_unpacking().unwrap();
+                let mut hdr = [0u8; 1];
+                r.unpack(&mut hdr, SendMode::Safer, RecvMode::Express)
+                    .unwrap();
+                let i = hdr[0] as u32;
+                let mut buf = vec![0u8; len];
+                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
+                r.end_unpacking().unwrap();
+                assert_eq!(
+                    buf,
+                    stream_payload(from.wrapping_mul(101).wrapping_add(i), len),
+                    "pair {from} stream #{i} corrupted"
+                );
+                assert!(!seen[i as usize], "pair {from} stream #{i} delivered twice");
+                seen[i as usize] = true;
+            }
+            (0, rt.now_nanos(), Vec::new())
+        } else {
+            (0, 0, Vec::new()) // the relay ranks
+        };
+        // Second barrier: every stream has ended (and been accounted to its
+        // path) before rank 0 snapshots the session-wide split.
+        node.barrier().wait();
+        if rank == 0 {
+            let split = vc.multipath().expect("multipath enabled").path_bytes();
+            (out.0, out.1, split)
+        } else {
+            out
+        }
+    });
+    let t0 = results[..pairs].iter().map(|r| r.0).min().unwrap();
+    let t_end = results[rx0 as usize..].iter().map(|r| r.1).max().unwrap();
+    MultipathRun {
+        m: Measurement {
+            bytes: pairs * msgs as usize * (len + 1),
+            seconds: (t_end - t0) as f64 / 1e9,
+        },
+        split: results[0].2.clone(),
+    }
+}
+
+/// Aggregate inter-cluster bandwidth of `pairs` concurrent sender/receiver
+/// pairs whose streams share `gateways` parallel relays (per-stream
+/// adaptive routing). This is the A8 scaling curve proper: with several
+/// endpoint pairs offering load, the relay fabric — not a single host's
+/// serial receive path — is the bottleneck, so aggregate bandwidth tracks
+/// the gateway count.
+pub fn multipath_aggregate(gateways: usize, pairs: usize, msgs: u32, len: usize) -> MultipathRun {
+    let tb = Testbed::new(pairs * 2 + gateways);
+    run_multipath_aggregate(&tb, gateways, pairs, msgs, len)
+}
+
+/// Like [`multipath_aggregate`] but recording the unified event trace.
+pub fn multipath_aggregate_traced(
+    gateways: usize,
+    pairs: usize,
+    msgs: u32,
+    len: usize,
+) -> (MultipathRun, mad_trace::Snapshot) {
+    let trace = TraceLog::new();
+    let tb = Testbed::with_trace(pairs * 2 + gateways, trace.clone());
+    let run = run_multipath_aggregate(&tb, gateways, pairs, msgs, len);
+    (run, trace.tracer().snapshot())
+}
+
+/// Outcome of one seeded gateway-death soak schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct DeathSoakRun {
+    /// Streams the sink received intact (must equal the schedule length).
+    pub delivered: u32,
+    /// Streams the routing plane re-issued on a surviving path.
+    pub failovers: u64,
+    /// Gateways the routing plane retired (must be >= 1: the kill was
+    /// detected). Zero failovers with a death means every affected stream
+    /// was caught at its header send, before any payload needed replaying.
+    pub deaths: u64,
+    /// Wall (virtual) time of the whole schedule.
+    pub seconds: f64,
+}
+
+/// Seeded death soak: push `msgs` streams of `len` bytes through a
+/// `gateways`-wide fabric while gateway rank 1 silently dies at
+/// `kill_at_ns`. Every stream must still arrive intact, exactly once —
+/// streams caught on the dead path are re-issued on survivors.
+pub fn multipath_death_soak(
+    gateways: usize,
+    msgs: u32,
+    len: usize,
+    kill_at_ns: u64,
+) -> DeathSoakRun {
+    assert!(gateways >= 2, "a death soak needs a surviving path");
+    let tb = Testbed::new(gateways + 2);
+    tb.kill_host(1, kill_at_ns);
+    let mut sb = SessionBuilder::new(gateways as u32 + 2).with_runtime(tb.runtime());
+    multipath_vchannel(
+        &mut sb,
+        &tb,
+        gateways,
+        calibration::CROSSOVER_PACKET,
+        madeleine::mad_route::StripePolicy::PerStream,
+        Some(100_000_000), // the dead engine must not hang teardown
+    );
+    let sink = gateways as u32 + 1;
+    let results = sb.run(move |node| {
+        let vc = node.vchannel("vc");
+        let rt = node.runtime().clone();
+        node.barrier().wait();
+        match node.rank().0 {
+            0 => {
+                let t0 = rt.now_nanos();
+                for i in 0..msgs {
+                    let data = stream_payload(i, len);
+                    let mut w = vc.begin_packing(NodeId(sink)).unwrap();
+                    // Index stamp: streams on different paths may overtake.
+                    let hdr = [i as u8];
+                    w.pack(&hdr, SendMode::Safer, RecvMode::Express).unwrap();
+                    w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    w.end_packing().unwrap();
+                }
+                let c = vc.multipath().expect("multipath enabled").counters();
+                (t0, 0u32, c.failovers, c.deaths)
+            }
+            r if r == sink => {
+                let mut seen = vec![false; msgs as usize];
+                for _ in 0..msgs {
+                    let mut r = vc.begin_unpacking().unwrap();
+                    let mut hdr = [0u8; 1];
+                    r.unpack(&mut hdr, SendMode::Safer, RecvMode::Express)
+                        .unwrap();
+                    let i = hdr[0] as u32;
+                    let mut buf = vec![0u8; len];
+                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
+                    r.end_unpacking().unwrap();
+                    assert_eq!(buf, stream_payload(i, len), "stream #{i} corrupted");
+                    assert!(!seen[i as usize], "stream #{i} delivered twice");
+                    seen[i as usize] = true;
+                }
+                let delivered = seen.iter().filter(|&&s| s).count() as u32;
+                (rt.now_nanos(), delivered, 0, 0)
+            }
+            _ => (0, 0, 0, 0),
+        }
+    });
+    DeathSoakRun {
+        delivered: results[sink as usize].1,
+        failovers: results[0].2,
+        deaths: results[0].3,
+        seconds: (results[sink as usize].0 - results[0].0) as f64 / 1e9,
+    }
 }
 
 /// The standard figure sweep grids.

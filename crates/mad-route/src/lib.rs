@@ -1,0 +1,690 @@
+//! mad-route: a routing plane for multi-path gateway fabrics.
+//!
+//! The paper's flagged open problem is the relay host itself: one gateway's
+//! internal bus carries every inter-cluster byte, so bidirectional flows
+//! keep only ~63–65 % of one-way bandwidth and chains inherit the worst
+//! link. This crate attacks the bottleneck with *path count* instead of a
+//! hotter box: a session declares several parallel gateways between
+//! cluster pairs, and traffic is striped across them.
+//!
+//! The crate is deliberately policy-only — plain graph + cost-model code
+//! over `u32` network/node ids, with no knowledge of channels, packets or
+//! threads — so the transport layer (`madeleine`) owns all I/O and this
+//! layer stays trivially unit-testable.
+//!
+//! Three pieces:
+//!
+//! * [`RoutePlan`] / [`RoutingTable`] — per-source multi-path first-hop
+//!   tables computed from the session topology. `paths(dest)[0]` is
+//!   **byte-for-byte the hop the legacy single-path BFS would pick** (same
+//!   algorithm, same tie-breaks), so a one-path plan reproduces existing
+//!   behavior exactly; the remaining entries are every other minimum-hop
+//!   first edge, in deterministic `(net, node)` order.
+//! * [`StripePolicy`] — how a stream uses the plan: `PerStream` (default)
+//!   binds each message to one path chosen at `begin_packing`;
+//!   `PerFragment` round-robins individual fragments over all live paths
+//!   (reorder-safe: the wire layer sequences striped packets).
+//! * [`Selector`] — the adaptive cost model. Live gateway snapshots
+//!   (occupancy, stall and throughput *rates*, not lifetime counters) are
+//!   folded into an EWMA per-gateway cost; `choose` picks the cheapest
+//!   live path with an in-flight-stream penalty and deterministic
+//!   round-robin tie-breaking, and a dead-set drives failover.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Mutex;
+
+/// One network's membership within a virtual channel (ids are the session's
+/// `NetworkId`/`NodeId` raw values).
+#[derive(Debug, Clone)]
+pub struct NetworkDecl {
+    /// Network id.
+    pub net: u32,
+    /// Ranks attached to it.
+    pub members: Vec<u32>,
+}
+
+/// The first edge of one minimum-hop path toward a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PathHop {
+    /// Network to send on.
+    pub net: u32,
+    /// Node to send to: the destination itself, or a gateway.
+    pub node: u32,
+    /// True if `node` is the final destination (direct delivery).
+    pub last: bool,
+}
+
+/// Per-source multi-path routing plan: for every reachable destination,
+/// all first edges of minimum-hop paths.
+///
+/// Invariants: `paths(dest)` is non-empty for reachable destinations,
+/// contains no duplicate `(net, node)` edges, every entry starts a path of
+/// the same (minimum) length, and `paths(dest)[0]` equals the hop the
+/// legacy breadth-first search (`madeleine::routing::compute_routes`)
+/// returns — the anchor that keeps one-path plans byte-identical to the
+/// pre-multipath library.
+#[derive(Debug, Clone, Default)]
+pub struct RoutePlan {
+    paths: BTreeMap<u32, Vec<PathHop>>,
+}
+
+impl RoutePlan {
+    /// All minimum-hop first edges toward `dest` (empty if unreachable).
+    /// The first entry is the legacy single-path hop.
+    pub fn paths(&self, dest: u32) -> &[PathHop] {
+        self.paths.get(&dest).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The legacy (single-path) hop toward `dest`.
+    pub fn primary(&self, dest: u32) -> Option<PathHop> {
+        self.paths(dest).first().copied()
+    }
+
+    /// Number of parallel paths toward `dest`.
+    pub fn width(&self, dest: u32) -> usize {
+        self.paths(dest).len()
+    }
+
+    /// Maximum path count over all destinations (1 for a single-gateway
+    /// topology; the session uses this to size striping).
+    pub fn max_width(&self) -> usize {
+        self.paths.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Reachable destinations, ascending.
+    pub fn destinations(&self) -> impl Iterator<Item = u32> + '_ {
+        self.paths.keys().copied()
+    }
+}
+
+/// Routing plans for every node of the session.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    plans: BTreeMap<u32, RoutePlan>,
+}
+
+impl RoutingTable {
+    /// The plan computed for `src` (empty plan if `src` is isolated).
+    pub fn plan(&self, src: u32) -> &RoutePlan {
+        static EMPTY: RoutePlan = RoutePlan {
+            paths: BTreeMap::new(),
+        };
+        self.plans.get(&src).unwrap_or(&EMPTY)
+    }
+
+    /// Nodes with a computed plan, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.plans.keys().copied()
+    }
+}
+
+struct Graph {
+    nets_of: BTreeMap<u32, Vec<u32>>,
+    members_of: BTreeMap<u32, Vec<u32>>,
+}
+
+impl Graph {
+    fn build(networks: &[NetworkDecl]) -> Graph {
+        let mut nets_of: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut members_of: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for nm in networks {
+            let mut members = nm.members.clone();
+            members.sort_unstable();
+            members.dedup();
+            for &n in &members {
+                nets_of.entry(n).or_default().push(nm.net);
+            }
+            members_of.insert(nm.net, members);
+        }
+        for nets in nets_of.values_mut() {
+            nets.sort_unstable();
+            nets.dedup();
+        }
+        Graph {
+            nets_of,
+            members_of,
+        }
+    }
+
+    /// BFS distances and legacy first hops from `src` — the *same*
+    /// traversal order as the transport's single-path router: networks of
+    /// a node ascending, members of a network ascending, queue FIFO.
+    fn bfs(&self, src: u32) -> (BTreeMap<u32, u32>, BTreeMap<u32, PathHop>) {
+        let mut dist: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut first_hop: BTreeMap<u32, PathHop> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(src, 0);
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            let Some(nets) = self.nets_of.get(&u) else {
+                continue;
+            };
+            for &net in nets {
+                for &v in &self.members_of[&net] {
+                    if v == u || dist.contains_key(&v) {
+                        continue;
+                    }
+                    dist.insert(v, du + 1);
+                    let hop = if u == src {
+                        PathHop {
+                            net,
+                            node: v,
+                            last: true,
+                        }
+                    } else {
+                        let mut h = first_hop[&u];
+                        h.last = false;
+                        h
+                    };
+                    first_hop.insert(v, hop);
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (dest, hop) in first_hop.iter_mut() {
+            hop.last = dist[dest] == 1;
+        }
+        (dist, first_hop)
+    }
+}
+
+/// Compute `src`'s multi-path plan over the given networks.
+///
+/// For every reachable destination: the legacy BFS hop first, then every
+/// other first edge that starts a path of the same minimum length —
+/// for distance-1 destinations the other directly shared networks, for
+/// farther ones every other adjacent gateway `g` with
+/// `1 + dist(g, dest) == dist(src, dest)` (via the lowest network shared
+/// with `src`), ordered by `(net, node)`.
+pub fn compute_plan(networks: &[NetworkDecl], src: u32) -> RoutePlan {
+    let g = Graph::build(networks);
+    let (dist, legacy) = g.bfs(src);
+
+    // Direct neighbors of src and the sorted (net, neighbor) edge list.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    if let Some(nets) = g.nets_of.get(&src) {
+        for &net in nets {
+            for &v in &g.members_of[&net] {
+                if v != src {
+                    edges.push((net, v));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    // Distance maps from each distinct neighbor (gateway candidates).
+    let mut neigh_dist: BTreeMap<u32, BTreeMap<u32, u32>> = BTreeMap::new();
+    for &(_, v) in &edges {
+        neigh_dist.entry(v).or_insert_with(|| g.bfs(v).0);
+    }
+
+    let mut plan = RoutePlan::default();
+    for (&dest, &d) in &dist {
+        if dest == src {
+            continue;
+        }
+        let primary = legacy[&dest];
+        let mut alts: Vec<PathHop> = Vec::new();
+        if d == 1 {
+            // Every directly shared network is a parallel path.
+            for &(net, v) in &edges {
+                if v == dest {
+                    alts.push(PathHop {
+                        net,
+                        node: v,
+                        last: true,
+                    });
+                }
+            }
+        } else {
+            // Every adjacent node continuing a minimum-hop path, entered
+            // via the lowest shared network (one path per gateway host:
+            // parallel wires into the same relay share its internal bus,
+            // which is the very bottleneck multipath works around).
+            for (&v, dv) in &neigh_dist {
+                if dv.get(&dest) == Some(&(d - 1)) {
+                    let net = edges.iter().find(|&&(_, w)| w == v).map(|&(n, _)| n);
+                    if let Some(net) = net {
+                        alts.push(PathHop {
+                            net,
+                            node: v,
+                            last: false,
+                        });
+                    }
+                }
+            }
+            alts.sort_unstable_by_key(|h| (h.net, h.node));
+        }
+        let mut paths = vec![primary];
+        paths.extend(alts.into_iter().filter(|&h| h != primary));
+        plan.paths.insert(dest, paths);
+    }
+    plan
+}
+
+/// Compute the plans of every node appearing in the topology.
+pub fn compute_table(networks: &[NetworkDecl]) -> RoutingTable {
+    let mut nodes: BTreeSet<u32> = BTreeSet::new();
+    for nm in networks {
+        nodes.extend(nm.members.iter().copied());
+    }
+    RoutingTable {
+        plans: nodes
+            .into_iter()
+            .map(|n| (n, compute_plan(networks, n)))
+            .collect(),
+    }
+}
+
+// ------------------------------------------------------------- striping
+
+/// How a stream spreads over the plan's parallel paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StripePolicy {
+    /// Each message is bound to one path chosen at `begin_packing`
+    /// (adaptive per-stream load balancing; failover re-issues the stream
+    /// on a surviving path).
+    #[default]
+    PerStream,
+    /// Individual fragments round-robin over every live path; the wire
+    /// layer sequences them so reassembly is reorder-safe. Highest
+    /// aggregate bandwidth for one bulk stream.
+    PerFragment,
+}
+
+// ------------------------------------------------------------ cost model
+
+/// One gateway's load over the last observation window — *rates*, not
+/// lifetime totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatewayLoad {
+    /// Pipeline stalls per second (writer waited for a free buffer).
+    pub stall_rate: f64,
+    /// Payload bytes currently held in the forwarding pipeline.
+    pub occupancy_bytes: f64,
+    /// Forwarded payload bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl GatewayLoad {
+    /// Scalar congestion cost; occupancy is normalized so that 256 KiB of
+    /// queued payload costs as much as one stall per second.
+    fn cost(&self) -> f64 {
+        self.stall_rate + self.occupancy_bytes / (256.0 * 1024.0)
+    }
+}
+
+/// EWMA smoothing factor for fed gateway costs.
+const EWMA_ALPHA: f64 = 0.5;
+/// Cost added per in-flight stream already bound to a gateway.
+const INFLIGHT_PENALTY: f64 = 0.125;
+/// Costs within this margin are ties, resolved round-robin.
+const TIE_EPSILON: f64 = 1e-9;
+
+#[derive(Default)]
+struct SelectorState {
+    cost: BTreeMap<u32, f64>,
+    inflight: BTreeMap<u32, u32>,
+    dead: BTreeSet<u32>,
+    last_pick: BTreeMap<u32, u32>,
+    rr: BTreeMap<u32, usize>,
+    switches: u64,
+    failovers: u64,
+    deaths: u64,
+}
+
+/// Counter snapshot of the selector's routing decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectorCounters {
+    /// Times a destination's chosen path differed from the previous pick.
+    pub switches: u64,
+    /// Streams re-issued on a surviving path after a gateway died.
+    pub failovers: u64,
+    /// Gateways retired from the live set (first `mark_dead` per node).
+    /// A death with zero failovers means every affected stream was caught
+    /// at its header send, before any payload needed replaying.
+    pub deaths: u64,
+}
+
+/// Adaptive, failure-aware path selection. Thread-safe; every decision is
+/// deterministic given the sequence of `feed`/`mark_dead` calls.
+#[derive(Default)]
+pub struct Selector {
+    state: Mutex<SelectorState>,
+}
+
+impl Selector {
+    /// A fresh selector: all gateways cost 0, none dead.
+    pub fn new() -> Selector {
+        Selector::default()
+    }
+
+    /// Fold one observation window of `node`'s load into its EWMA cost.
+    pub fn feed(&self, node: u32, load: GatewayLoad) {
+        let mut st = self.lock();
+        let prev = st.cost.get(&node).copied().unwrap_or(0.0);
+        st.cost
+            .insert(node, prev * (1.0 - EWMA_ALPHA) + load.cost() * EWMA_ALPHA);
+    }
+
+    /// Mark `node`'s host dead (failover trigger). Returns true the first
+    /// time.
+    pub fn mark_dead(&self, node: u32) -> bool {
+        let mut st = self.lock();
+        let first = st.dead.insert(node);
+        if first {
+            st.deaths += 1;
+        }
+        first
+    }
+
+    /// True if `node` has been marked dead.
+    pub fn is_dead(&self, node: u32) -> bool {
+        self.lock().dead.contains(&node)
+    }
+
+    /// Count one stream re-issued on a surviving path.
+    pub fn note_failover(&self) {
+        self.lock().failovers += 1;
+    }
+
+    /// The live subset of `paths`, in plan order.
+    pub fn live(&self, paths: &[PathHop]) -> Vec<PathHop> {
+        let st = self.lock();
+        paths
+            .iter()
+            .filter(|h| !st.dead.contains(&h.node))
+            .copied()
+            .collect::<Vec<_>>()
+    }
+
+    /// Pick a path for a new stream toward `dest`, skipping dead gateways
+    /// and any in `exclude` (already-failed attempts of this stream).
+    /// Cheapest EWMA cost plus an in-flight penalty wins; ties rotate
+    /// round-robin per destination. Bumps the winner's in-flight count —
+    /// pair with [`Selector::complete`].
+    pub fn choose(&self, dest: u32, paths: &[PathHop], exclude: &[u32]) -> Option<PathHop> {
+        let mut st = self.lock();
+        let live: Vec<PathHop> = paths
+            .iter()
+            .filter(|h| !st.dead.contains(&h.node) && !exclude.contains(&h.node))
+            .copied()
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let score = |st: &SelectorState, h: &PathHop| {
+            st.cost.get(&h.node).copied().unwrap_or(0.0)
+                + INFLIGHT_PENALTY * st.inflight.get(&h.node).copied().unwrap_or(0) as f64
+        };
+        let best = live
+            .iter()
+            .map(|h| score(&st, h))
+            .fold(f64::INFINITY, f64::min);
+        let tied: Vec<PathHop> = live
+            .iter()
+            .filter(|h| score(&st, h) <= best + TIE_EPSILON)
+            .copied()
+            .collect();
+        let cursor = st.rr.entry(dest).or_insert(0);
+        let pick = tied[*cursor % tied.len()];
+        *cursor = cursor.wrapping_add(1);
+        *st.inflight.entry(pick.node).or_insert(0) += 1;
+        if let Some(&prev) = st.last_pick.get(&dest) {
+            if prev != pick.node {
+                st.switches += 1;
+            }
+        }
+        st.last_pick.insert(dest, pick.node);
+        Some(pick)
+    }
+
+    /// A stream bound to `node` finished (or failed): release its
+    /// in-flight slot.
+    pub fn complete(&self, node: u32) {
+        let mut st = self.lock();
+        if let Some(c) = st.inflight.get_mut(&node) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Routing-decision counters (for the `route:` trace track).
+    pub fn counters(&self) -> SelectorCounters {
+        let st = self.lock();
+        SelectorCounters {
+            switches: st.switches,
+            failovers: st.failovers,
+            deaths: st.deaths,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SelectorState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(net: u32, members: &[u32]) -> NetworkDecl {
+        NetworkDecl {
+            net,
+            members: members.to_vec(),
+        }
+    }
+
+    #[test]
+    fn single_network_gives_one_direct_path() {
+        let plan = compute_plan(&[nm(0, &[0, 1, 2])], 0);
+        assert_eq!(
+            plan.paths(2),
+            &[PathHop {
+                net: 0,
+                node: 2,
+                last: true
+            }]
+        );
+        assert_eq!(plan.width(1), 1);
+        assert_eq!(plan.max_width(), 1);
+    }
+
+    #[test]
+    fn parallel_networks_are_parallel_direct_paths() {
+        // Two wires between the same pair: lowest net first (legacy
+        // tie-break), both listed.
+        let plan = compute_plan(&[nm(1, &[0, 1]), nm(0, &[0, 1])], 0);
+        assert_eq!(
+            plan.paths(1),
+            &[
+                PathHop {
+                    net: 0,
+                    node: 1,
+                    last: true
+                },
+                PathHop {
+                    net: 1,
+                    node: 1,
+                    last: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_gateways_fan_out() {
+        // net0: {0,1,2,3}; net1: {1,2,3,4} — gateways 1,2,3 all bridge.
+        let plan = compute_plan(&[nm(0, &[0, 1, 2, 3]), nm(1, &[1, 2, 3, 4])], 0);
+        assert_eq!(
+            plan.paths(4),
+            &[
+                PathHop {
+                    net: 0,
+                    node: 1,
+                    last: false
+                },
+                PathHop {
+                    net: 0,
+                    node: 2,
+                    last: false
+                },
+                PathHop {
+                    net: 0,
+                    node: 3,
+                    last: false
+                },
+            ]
+        );
+        assert_eq!(plan.width(1), 1); // gateways themselves are direct
+        assert_eq!(plan.max_width(), 3);
+    }
+
+    #[test]
+    fn longer_detours_are_not_paths() {
+        // 0 —net0— 1 —net1— 3, and 0 —net0— 2 —net2— 4 —net3— 3:
+        // the 3-hop detour via 2 must not appear next to the 2-hop path.
+        let nets = [
+            nm(0, &[0, 1, 2]),
+            nm(1, &[1, 3]),
+            nm(2, &[2, 4]),
+            nm(3, &[4, 3]),
+        ];
+        let plan = compute_plan(&nets, 0);
+        assert_eq!(
+            plan.paths(3),
+            &[PathHop {
+                net: 0,
+                node: 1,
+                last: false
+            }]
+        );
+    }
+
+    #[test]
+    fn direct_beats_gateway_and_stays_single() {
+        // Legacy `prefers_direct_over_gateway`: a directly shared net and
+        // a 2-hop alternative — only the direct edge is minimum-hop.
+        let nets = [nm(0, &[0, 1]), nm(1, &[0, 2]), nm(2, &[2, 1])];
+        let plan = compute_plan(&nets, 0);
+        assert_eq!(
+            plan.paths(1),
+            &[PathHop {
+                net: 0,
+                node: 1,
+                last: true
+            }]
+        );
+    }
+
+    #[test]
+    fn table_covers_every_node() {
+        let nets = [nm(0, &[0, 1, 2]), nm(1, &[1, 2, 3])];
+        let table = compute_table(&nets);
+        assert_eq!(table.nodes().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(table.plan(3).width(0), 2); // via gateway 1 or 2
+        assert_eq!(table.plan(0).primary(3).unwrap().node, 1);
+    }
+
+    #[test]
+    fn selector_round_robins_equal_paths() {
+        let sel = Selector::new();
+        let paths = [
+            PathHop {
+                net: 0,
+                node: 1,
+                last: false,
+            },
+            PathHop {
+                net: 0,
+                node: 2,
+                last: false,
+            },
+        ];
+        let a = sel.choose(9, &paths, &[]).unwrap();
+        sel.complete(a.node);
+        let b = sel.choose(9, &paths, &[]).unwrap();
+        sel.complete(b.node);
+        assert_ne!(a.node, b.node, "equal-cost paths must alternate");
+        assert_eq!(sel.counters().switches, 1);
+    }
+
+    #[test]
+    fn selector_sheds_load_from_congested_gateway() {
+        let sel = Selector::new();
+        let paths = [
+            PathHop {
+                net: 0,
+                node: 1,
+                last: false,
+            },
+            PathHop {
+                net: 0,
+                node: 2,
+                last: false,
+            },
+        ];
+        sel.feed(
+            1,
+            GatewayLoad {
+                stall_rate: 50.0,
+                occupancy_bytes: 4.0 * 1024.0 * 1024.0,
+                bytes_per_sec: 1e6,
+            },
+        );
+        for _ in 0..4 {
+            let h = sel.choose(9, &paths, &[]).unwrap();
+            assert_eq!(h.node, 2, "congested gateway must shed load");
+        }
+    }
+
+    #[test]
+    fn selector_skips_dead_and_excluded() {
+        let sel = Selector::new();
+        let paths = [
+            PathHop {
+                net: 0,
+                node: 1,
+                last: false,
+            },
+            PathHop {
+                net: 0,
+                node: 2,
+                last: false,
+            },
+        ];
+        assert!(sel.mark_dead(1));
+        assert!(!sel.mark_dead(1), "second mark is not news");
+        assert_eq!(sel.choose(9, &paths, &[]).unwrap().node, 2);
+        assert_eq!(sel.choose(9, &paths, &[2]), None);
+        assert_eq!(sel.live(&paths).len(), 1);
+    }
+
+    #[test]
+    fn inflight_penalty_balances_new_streams() {
+        let sel = Selector::new();
+        let paths = [
+            PathHop {
+                net: 0,
+                node: 1,
+                last: false,
+            },
+            PathHop {
+                net: 0,
+                node: 2,
+                last: false,
+            },
+        ];
+        // Without complete() calls, in-flight counts force alternation.
+        let picks: Vec<u32> = (0..4)
+            .map(|_| sel.choose(9, &paths, &[]).unwrap().node)
+            .collect();
+        assert_eq!(picks.iter().filter(|&&n| n == 1).count(), 2);
+        assert_eq!(picks.iter().filter(|&&n| n == 2).count(), 2);
+    }
+}

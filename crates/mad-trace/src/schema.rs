@@ -364,6 +364,93 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
     Ok(summary)
 }
 
+/// Event names allowed on a `route:` track (all `count`s, cat `route`).
+pub const ROUTE_EVENT_NAMES: [&str; 4] = ["path_bytes", "switches", "failovers", "deaths"];
+
+/// Event names allowed on a `gw:` track (all `count`s, cat `gateway`):
+/// the teardown totals plus the windowed cost-model deltas.
+pub const GW_EVENT_NAMES: [&str; 13] = [
+    "messages",
+    "fragments",
+    "fragment_bytes",
+    "stalls",
+    "buffer_switches",
+    "credits_granted",
+    "cancelled",
+    "credit_timeouts",
+    "errors",
+    "peak_held_bytes",
+    "delta_bytes",
+    "delta_stalls",
+    "delta_occupancy",
+];
+
+/// What [`validate_route_tracks`] found.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouteSummary {
+    /// Events on `route:` tracks.
+    pub route_events: usize,
+    /// Events on `gw:` tracks.
+    pub gw_events: usize,
+}
+
+/// Validate the routing-plane tracks of a JSONL trace: every event on a
+/// `route:`-prefixed track is a `count` of cat `route` named in
+/// [`ROUTE_EVENT_NAMES`], with `path_bytes` carrying an integer
+/// `args.gateway`; every event on a `gw:`-prefixed track is a `count` of
+/// cat `gateway` named in [`GW_EVENT_NAMES`]. Traces without such tracks
+/// validate trivially (zero counts) — run [`validate_jsonl`] first for
+/// the base schema.
+pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
+    let mut summary = RouteSummary::default();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let thread = require_str(&v, "thread", line_no)?;
+        let (expect_cat, names, counter): (&str, &[&str], &mut usize) =
+            if thread.starts_with("route:") {
+                ("route", &ROUTE_EVENT_NAMES, &mut summary.route_events)
+            } else if thread.starts_with("gw:") {
+                ("gateway", &GW_EVENT_NAMES, &mut summary.gw_events)
+            } else {
+                continue;
+            };
+        let kind = require_str(&v, "kind", line_no)?;
+        if kind != "count" {
+            return Err(format!(
+                "line {line_no}: track \"{thread}\" carries a \"{kind}\" (only counts allowed)"
+            ));
+        }
+        let cat = require_str(&v, "cat", line_no)?;
+        if cat != expect_cat {
+            return Err(format!(
+                "line {line_no}: track \"{thread}\" event has cat \"{cat}\" (expected \"{expect_cat}\")"
+            ));
+        }
+        let name = require_str(&v, "name", line_no)?;
+        if !names.contains(&name) {
+            return Err(format!(
+                "line {line_no}: unknown event \"{name}\" on track \"{thread}\""
+            ));
+        }
+        if name == "path_bytes"
+            && v.get("args")
+                .and_then(|a| a.get("gateway"))
+                .and_then(|g| g.as_u64())
+                .is_none()
+        {
+            return Err(format!(
+                "line {line_no}: \"path_bytes\" without integer args[\"gateway\"]"
+            ));
+        }
+        *counter += 1;
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +498,47 @@ mod tests {
 ";
         let err = validate_jsonl(text).unwrap_err();
         assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    #[test]
+    fn route_tracks_validate() {
+        let text = "\
+{\"ts\":1,\"thread\":\"route:vc\",\"kind\":\"count\",\"cat\":\"route\",\"name\":\"path_bytes\",\"value\":512,\"args\":{\"gateway\":1}}
+{\"ts\":1,\"thread\":\"route:vc\",\"kind\":\"count\",\"cat\":\"route\",\"name\":\"failovers\",\"value\":1}
+{\"ts\":1,\"thread\":\"route:vc\",\"kind\":\"count\",\"cat\":\"route\",\"name\":\"deaths\",\"value\":1}
+{\"ts\":2,\"thread\":\"gw:vc@1\",\"kind\":\"count\",\"cat\":\"gateway\",\"name\":\"delta_bytes\",\"value\":9}
+{\"ts\":3,\"thread\":\"node0\",\"kind\":\"instant\",\"cat\":\"route\",\"name\":\"anything-goes\"}
+";
+        let s = validate_route_tracks(text).unwrap();
+        assert_eq!((s.route_events, s.gw_events), (3, 1));
+    }
+
+    #[test]
+    fn route_tracks_reject_bad_events() {
+        // Unknown name on the route track.
+        let bad_name = "{\"ts\":1,\"thread\":\"route:vc\",\"kind\":\"count\",\"cat\":\"route\",\"name\":\"zap\",\"value\":1}\n";
+        assert!(validate_route_tracks(bad_name)
+            .unwrap_err()
+            .contains("unknown event"));
+        // path_bytes without its gateway arg.
+        let no_gw = "{\"ts\":1,\"thread\":\"route:vc\",\"kind\":\"count\",\"cat\":\"route\",\"name\":\"path_bytes\",\"value\":1}\n";
+        assert!(validate_route_tracks(no_gw)
+            .unwrap_err()
+            .contains("gateway"));
+        // Wrong cat on a gw track.
+        let bad_cat = "{\"ts\":1,\"thread\":\"gw:vc@1\",\"kind\":\"count\",\"cat\":\"gw\",\"name\":\"stalls\",\"value\":1}\n";
+        assert!(validate_route_tracks(bad_cat).unwrap_err().contains("cat"));
+        // Spans don't belong on counter tracks.
+        let bad_kind = "{\"ts\":1,\"thread\":\"route:vc\",\"kind\":\"span\",\"cat\":\"route\",\"name\":\"switches\",\"dur\":2}\n";
+        assert!(validate_route_tracks(bad_kind)
+            .unwrap_err()
+            .contains("only counts"));
+        // Unrelated tracks are ignored entirely.
+        let other = "{\"ts\":1,\"thread\":\"node0\",\"kind\":\"span\",\"cat\":\"x\",\"name\":\"y\",\"dur\":2}\n";
+        assert_eq!(
+            validate_route_tracks(other).unwrap(),
+            RouteSummary::default()
+        );
     }
 
     #[test]

@@ -352,6 +352,10 @@ impl WriterFlow {
             match body {
                 PacketBody::Credit(n) => self.ctl.ledger.deposit(tag.key(), n),
                 PacketBody::Cancel(reason) => self.ctl.ledger.cancel(tag.key(), reason),
+                // A handoff ack racing ahead of the multi-path writer's own
+                // ack pump (e.g. while a later stream is still packing) is
+                // not an error — the pump that cares will see its own.
+                PacketBody::Ack => {}
                 other => {
                     return Err(MadError::Protocol(format!(
                         "unexpected {other:?} on a sender's special conduit"

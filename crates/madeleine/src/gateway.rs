@@ -165,11 +165,64 @@ pub struct GatewayStats {
     /// Non-fatal errors the engine degraded through instead of dying
     /// (failed sends, protocol violations on one conduit).
     pub errors: AtomicU64,
+    /// Handoff acknowledgments sent back to multi-path stream origins
+    /// (one per acked stream whose end packet this engine relayed).
+    pub acks_sent: AtomicU64,
     /// Packet bytes currently resident in this engine (received but not
     /// yet retransmitted or dropped) and their high-water mark — the
     /// occupancy the credit window bounds.
     pub held: Gauge,
     per_stream: Mutex<BTreeMap<(NodeId, NodeId), StreamCounters>>,
+    delta_prev: Mutex<DeltaPrev>,
+}
+
+/// Baseline of the previous [`GatewayStats::delta_since_last`] call.
+#[derive(Debug, Default)]
+struct DeltaPrev {
+    at_ns: u64,
+    totals: GatewayTotals,
+    per_stream: BTreeMap<(NodeId, NodeId), StreamCounters>,
+}
+
+/// Activity of one forwarded (source, destination) pair since the
+/// previous snapshot — deltas over the window, not lifetime counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDelta {
+    /// Payload fragment bytes relayed in the window.
+    pub bytes: u64,
+    /// Payload fragments relayed in the window.
+    pub fragments: u64,
+    /// Backpressure stalls hit in the window.
+    pub stalls: u64,
+    /// Pipeline buffer switches in the window.
+    pub switches: u64,
+}
+
+/// Windowed view of one gateway between two successive
+/// [`GatewayStats::delta_since_last`] calls: per-link deltas plus the
+/// derived rates route selection feeds on. Unlike [`GatewayTotals`] every
+/// count here covers only the elapsed window, so a long-running session
+/// sees *current* load, not its lifetime average.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct GatewayDelta {
+    /// Nanoseconds covered by this window (0 on the first call).
+    pub interval_ns: u64,
+    /// Payload fragments relayed in the window.
+    pub fragments: u64,
+    /// Payload fragment bytes relayed in the window.
+    pub bytes: u64,
+    /// Backpressure stalls in the window.
+    pub stalls: u64,
+    /// Payload throughput over the window in bytes per second (0 if the
+    /// window is empty).
+    pub bytes_per_sec: f64,
+    /// Stalls per relayed fragment in the window — the congestion signal
+    /// (0 when idle, approaches 1 when every handoff blocks).
+    pub stall_rate: f64,
+    /// Packet bytes resident in the engine at snapshot time.
+    pub occupancy_bytes: i64,
+    /// Per-(source, destination) deltas, sorted by pair.
+    pub per_link: Vec<((NodeId, NodeId), LinkDelta)>,
 }
 
 /// A point-in-time copy of a gateway's total counters, safe to take
@@ -196,6 +249,8 @@ pub struct GatewayTotals {
     pub credit_timeouts: u64,
     /// Non-fatal errors degraded through.
     pub errors: u64,
+    /// Handoff acknowledgments sent back to stream origins.
+    pub acks_sent: u64,
     /// Packet bytes resident in the engine at snapshot time.
     pub held_bytes: i64,
     /// High-water mark of resident packet bytes.
@@ -224,8 +279,69 @@ impl GatewayStats {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             credit_timeouts: self.credit_timeouts.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
             held_bytes: self.held.current(),
             peak_held_bytes: self.held.peak(),
+        }
+    }
+
+    /// Windowed snapshot: everything that happened since the *previous*
+    /// `delta_since_last` call (or engine start, on the first call), with
+    /// rates derived from the caller-supplied clock. The baseline advances
+    /// on every call, so periodic callers see disjoint windows. Counter
+    /// reads are relaxed; a window may misattribute an in-flight update by
+    /// one tick, which is harmless for load estimation.
+    pub fn delta_since_last(&self, now_ns: u64) -> GatewayDelta {
+        let totals = self.totals();
+        let per: BTreeMap<(NodeId, NodeId), StreamCounters> = self
+            .per_stream
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        let mut prev = self.delta_prev.lock();
+        let interval_ns = now_ns.saturating_sub(prev.at_ns);
+        let fragments = totals.fragments.saturating_sub(prev.totals.fragments);
+        let bytes = totals
+            .fragment_bytes
+            .saturating_sub(prev.totals.fragment_bytes);
+        let stalls = totals.stalls.saturating_sub(prev.totals.stalls);
+        let per_link: Vec<((NodeId, NodeId), LinkDelta)> = per
+            .iter()
+            .map(|(&pair, &c)| {
+                let p = prev.per_stream.get(&pair).copied().unwrap_or_default();
+                (
+                    pair,
+                    LinkDelta {
+                        bytes: c.bytes.saturating_sub(p.bytes),
+                        fragments: c.fragments.saturating_sub(p.fragments),
+                        stalls: c.stalls.saturating_sub(p.stalls),
+                        switches: c.buffer_switches.saturating_sub(p.buffer_switches),
+                    },
+                )
+            })
+            .collect();
+        let secs = interval_ns as f64 / 1e9;
+        let bytes_per_sec = if secs > 0.0 { bytes as f64 / secs } else { 0.0 };
+        let stall_rate = if fragments > 0 {
+            stalls as f64 / fragments as f64
+        } else {
+            0.0
+        };
+        *prev = DeltaPrev {
+            at_ns: now_ns,
+            totals,
+            per_stream: per,
+        };
+        GatewayDelta {
+            interval_ns,
+            fragments,
+            bytes,
+            stalls,
+            bytes_per_sec,
+            stall_rate,
+            occupancy_bytes: totals.held_bytes,
+            per_link,
         }
     }
 
@@ -501,6 +617,12 @@ struct FwdItem {
     /// Return one credit on this channel to this peer after a successful
     /// retransmission (the upstream side of a flow-controlled fragment).
     grant: Option<(Arc<Channel>, NodeId)>,
+    /// Send a handoff ack on this channel to this peer after the end
+    /// packet is successfully retransmitted (an acked stream whose origin
+    /// is our upstream neighbour). Never set together with a failed
+    /// retransmission — on failure the origin's ack deadline fires
+    /// instead and drives its failover.
+    ack: Option<(Arc<Channel>, NodeId)>,
 }
 
 /// Where the polling thread pushes pipeline items.
@@ -688,6 +810,10 @@ struct InStream {
     /// longer pins the static landing buffer at its high-water size
     /// forever.
     mtu: u32,
+    /// The stream's header requested a handoff acknowledgment and this
+    /// engine is its first hop (the inbound peer *is* the origin): once
+    /// the end packet is retransmitted, send an ack back upstream.
+    ack: bool,
 }
 
 /// Size of the static/naive landing buffer, derived from the currently
@@ -968,7 +1094,17 @@ fn relay_packet(
                 pair: (tag.src, tag.dest),
                 tag,
                 upstream: peer,
-                mtu: header.mtu,
+                // Striped streams wrap every fragment in a seq envelope, so
+                // the landing buffer must fit the envelope, not just the
+                // inner packet.
+                mtu: if header.stripes > 0 {
+                    header.mtu + gtm::STRIPE_OVERHEAD as u32
+                } else {
+                    header.mtu
+                },
+                // Only the first hop acks: the inbound peer must *be* the
+                // origin, so a chained gateway never acks on its behalf.
+                ack: header.acked && peer == tag.src,
             };
             // On a non-final hop this gateway is the next conduit's
             // sender: self-grant the window it will spend re-sending.
@@ -1010,6 +1146,25 @@ fn relay_packet(
             shared.stats.held.add(item.held_bytes as i64);
             dispatch(&sinks[&stream.out_net], stream, item, true, shared)
         }
+        PacketBody::Stripe(_) => {
+            // A stripe envelope is an opaque body packet of its stream: it
+            // follows the stored route like any fragment and only the final
+            // receiver unwraps it. The per-path raw end — not the enveloped
+            // one — is what closes this gateway's stream state.
+            let stream = streams.get(&key).ok_or_else(|| {
+                MadError::Protocol(format!("GTM stripe for unknown stream {key:?}"))
+            })?;
+            let inner = gtm::stripe_inner(buf.bytes());
+            let is_frag = inner.get(2) == Some(&gtm::KIND_FRAG);
+            if is_frag {
+                let payload = (inner.len() - PRELUDE_LEN) as u64;
+                shared.stats.on_frag(stream.pair, payload);
+                shared.runtime.charge_overhead(cfg.switch_overhead_ns);
+            }
+            let item = make_item(stream, buf, is_frag, false, cfg, in_channel, peer);
+            shared.stats.held.add(item.held_bytes as i64);
+            dispatch(&sinks[&stream.out_net], stream, item, is_frag, shared)
+        }
         PacketBody::End => {
             let stream = streams
                 .remove(&key)
@@ -1022,8 +1177,14 @@ fn relay_packet(
             let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
             dispatch(&sinks[&stream.out_net], &stream, item, false, shared)
         }
+        PacketBody::Ack => {
+            // Handoff acks flow from a first-hop gateway straight to the
+            // stream's origin and are consumed by its writer; one arriving
+            // here is a stale leftover of a failed-over path — ignore it.
+            Ok(())
+        }
         PacketBody::Cancel(reason) => {
-            if let Some(stream) = streams.remove(&key) {
+            if let Some(mut stream) = streams.remove(&key) {
                 // The upstream hop killed the stream: drop its state, mark
                 // the ledger (waking any forwarding side blocked on its
                 // credits) and relay the cancel downstream in place of the
@@ -1041,6 +1202,9 @@ fn relay_packet(
                     "src" = tag.src.0 as u64,
                     "dest" = tag.dest.0 as u64,
                 );
+                // A relayed cancel terminates the stream but is not a
+                // successful handoff — never ack it.
+                stream.ack = false;
                 let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
                 dispatch(&sinks[&stream.out_net], &stream, item, false, shared)
             } else if shared.ledger.cancel_existing(key, reason) {
@@ -1079,6 +1243,7 @@ fn make_item(
         held_bytes,
         consume: is_frag && cfg.credit_window.is_some() && !stream.last_hop,
         grant: (is_frag && cfg.credit_window.is_some()).then(|| (in_channel.clone(), peer)),
+        ack: (end_of_stream && stream.ack).then(|| (in_channel.clone(), peer)),
     }
 }
 
@@ -1134,6 +1299,9 @@ fn cancel_stream(
         held_bytes: 0,
         consume: false,
         grant: None,
+        // A cancelled stream is never acked: the origin's ack deadline (or
+        // the upstream cancel notification) drives its failover.
+        ack: None,
     };
     let _ = dispatch(&sinks[&stream.out_net], &stream, item, false, shared);
 }
@@ -1380,6 +1548,7 @@ fn transmit_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
         held_bytes,
         consume: _,
         grant,
+        ack,
     } = item;
     let account_drop = |shared: &FwdShared| {
         shared.stats.held.sub(held_bytes as i64);
@@ -1409,6 +1578,17 @@ fn transmit_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
                 gtm::encode_credit_into(credit.vec(), &tag, 1);
                 if grant_ch.send_packet(*grant_peer, &[&credit]).is_ok() {
                     shared.stats.credits_granted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if let Some((ack_ch, ack_peer)) = &ack {
+                // The stream's end packet is on the wire: tell the origin
+                // the handoff succeeded. A lost ack is recovered by the
+                // origin's deadline (it re-issues; the receiver absorbs the
+                // ghost), so a failed send here is not an error.
+                let mut ackp = shared.runtime.pool().get(PRELUDE_LEN);
+                gtm::encode_ack_into(ackp.vec(), &tag);
+                if ack_ch.send_packet(*ack_peer, &[&ackp]).is_ok() {
+                    shared.stats.acks_sent.fetch_add(1, Ordering::Relaxed);
                 }
             }
             if end_of_stream {
@@ -1506,6 +1686,13 @@ fn transmit_batch(path: &OutPath, batch: Vec<FwdItem>, shared: &FwdShared) -> bo
                 }
             }
             for item in &batch {
+                if let Some((ack_ch, ack_peer)) = &item.ack {
+                    let mut ackp = shared.runtime.pool().get(PRELUDE_LEN);
+                    gtm::encode_ack_into(ackp.vec(), &item.tag);
+                    if ack_ch.send_packet(*ack_peer, &[&ackp]).is_ok() {
+                        shared.stats.acks_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 shared.stats.held.sub(item.held_bytes as i64);
                 if item.end_of_stream {
                     shared.live.stream_done();

@@ -20,7 +20,8 @@
 //! offset 0   GTM_MAGIC (0xAD)
 //! offset 1   GTM_VERSION (2)
 //! offset 2   kind: 1 = header, 2 = part descriptor, 3 = end, 4 = fragment,
-//!            5 = credit, 6 = cancel, 7 = batch
+//!            5 = credit, 6 = cancel, 7 = batch, 8 = stripe envelope,
+//!            9 = handoff ack
 //! offset 3   source rank       (u32 LE)
 //! offset 7   destination rank  (u32 LE)
 //! offset 11  message id        (u32 LE, per-source counter)
@@ -30,11 +31,23 @@
 //!
 //! * **header** — route-wide MTU (u32 LE) + a flags byte (bit 0: the
 //!   message is a *direct* delivery from a gateway-resident sender and
-//!   never crossed a gateway);
+//!   never crossed a gateway; bit 1: *retry*, the stream re-issues an
+//!   earlier failed attempt with the same tag and replaces its partial
+//!   state; bit 2: *striped*, the stream's packets arrive over several
+//!   parallel paths inside sequence-numbered stripe envelopes — a striped
+//!   header carries one extra byte, the path count);
 //! * **part** — block length (u64 LE) + emission/reception constraint
 //!   bytes;
 //! * **fragment** — raw block bytes (at most MTU of them) at offset 15;
-//! * **end** — nothing ("the description of an empty message").
+//! * **end** — nothing ("the description of an empty message");
+//! * **stripe envelope** — a u32 LE global sequence number followed by one
+//!   complete part/fragment/end packet of the same stream. Multi-path
+//!   (striped) senders round-robin envelopes over parallel gateway routes;
+//!   each route preserves order, and the receive side replays envelopes in
+//!   sequence order, so reassembly is byte-identical to the single-path
+//!   stream no matter how the paths interleave. On each path a plain
+//!   (unenveloped) end packet additionally trails the stream so every
+//!   relay on that path can close its per-stream state.
 //!
 //! Because each packet names its stream, packets from concurrent messages
 //! may interleave freely on a shared conduit: gateways forward at fragment
@@ -70,7 +83,7 @@
 
 #![deny(clippy::redundant_clone, clippy::large_types_passed_by_value)]
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mad_trace::{trace_count, trace_span};
 use mad_util::pool::PooledBuf;
@@ -95,6 +108,8 @@ pub(crate) const KIND_FRAG: u8 = 4;
 pub(crate) const KIND_CREDIT: u8 = 5;
 pub(crate) const KIND_CANCEL: u8 = 6;
 pub(crate) const KIND_BATCH: u8 = 7;
+pub(crate) const KIND_STRIPE: u8 = 8;
+pub(crate) const KIND_ACK: u8 = 9;
 
 /// Per-sub-packet framing overhead inside a batch frame (the u32 length
 /// prefix). `PRELUDE_LEN + Σ (BATCH_ENTRY_OVERHEAD + lenᵢ)` is the full
@@ -106,8 +121,25 @@ const PART_LEN: usize = PRELUDE_LEN + 10;
 const CREDIT_LEN: usize = PRELUDE_LEN + 4;
 const CANCEL_LEN: usize = PRELUDE_LEN + 1;
 
+/// Bytes a stripe envelope adds in front of its inner packet (the common
+/// prelude plus the u32 LE sequence number). Striped senders budget
+/// `mtu + PRELUDE_LEN + STRIPE_OVERHEAD` against the conduit packet limit.
+pub const STRIPE_OVERHEAD: usize = PRELUDE_LEN + 4;
+
 /// Flag bit: the stream is a direct (zero-gateway) delivery.
 const FLAG_DIRECT: u8 = 1;
+/// Flag bit: the stream re-issues a failed earlier attempt (same tag).
+const FLAG_RETRY: u8 = 2;
+/// Flag bit: the stream is striped over parallel paths; the header carries
+/// an extra path-count byte and body packets travel in stripe envelopes.
+const FLAG_STRIPED: u8 = 4;
+/// Flag bit: the origin wants a handoff acknowledgment — the first-hop
+/// gateway sends an ack packet back upstream once it has retransmitted the
+/// stream's end packet. Multi-path senders set this to close the silent
+/// loss window of a gateway that dies *after* accepting a whole stream but
+/// *before* relaying its tail; an ack that never comes is what triggers
+/// failover for a fully-handed-off stream.
+const FLAG_ACKED: u8 = 8;
 
 /// Identity of one in-flight message stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -142,6 +174,33 @@ pub struct GtmHeader {
     /// True for direct (zero-gateway) deliveries from gateway-resident
     /// senders; such streams never enter a forwarding engine.
     pub direct: bool,
+    /// True when the stream re-issues a failed earlier attempt under the
+    /// same tag: the receiver discards the partial first attempt and
+    /// restarts the stream from scratch (multi-path failover).
+    pub retry: bool,
+    /// Number of parallel paths the stream is striped over (0 = not
+    /// striped; striped streams use ≥ 2). Each path carries a copy of
+    /// the header, sequence-numbered stripe envelopes, and a trailing
+    /// plain end packet.
+    pub stripes: u8,
+    /// True when the origin wants a handoff acknowledgment from the
+    /// first-hop gateway after the end packet is relayed (multi-path
+    /// failover; see [`FLAG_ACKED`]).
+    pub acked: bool,
+}
+
+impl GtmHeader {
+    /// A plain single-path header (no retry, no striping, no ack).
+    pub fn new(tag: StreamTag, mtu: u32, direct: bool) -> GtmHeader {
+        GtmHeader {
+            tag,
+            mtu,
+            direct,
+            retry: false,
+            stripes: 0,
+            acked: false,
+        }
+    }
 }
 
 /// Per-block self-description carried by a descriptor packet.
@@ -206,6 +265,14 @@ pub enum PacketBody {
     /// operation; split with [`batch_packets`]. Carries no stream tag of
     /// its own.
     Batch,
+    /// A sequence-numbered envelope around one part/fragment/end packet of
+    /// a striped stream; borrow the inner packet with [`stripe_inner`].
+    Stripe(u32),
+    /// Handoff acknowledgment: the first-hop gateway has retransmitted the
+    /// stream's end packet (the whole stream left the gateway). Flows
+    /// *against* the stream direction, like credits, and only for streams
+    /// whose header set the acked flag.
+    Ack,
 }
 
 fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
@@ -221,11 +288,32 @@ fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
 /// exist so hot paths can stage control packets in recycled buffers
 /// instead of allocating a fresh `Vec` per packet.
 pub fn encode_header_into(v: &mut Vec<u8>, h: &GtmHeader) {
+    assert_ne!(h.stripes, 1, "a striped stream uses at least two paths");
+    assert!(
+        !(h.retry && h.stripes > 0),
+        "striped streams do not retry (fragments have no replay cursor)"
+    );
     v.clear();
-    v.reserve(HEADER_LEN);
+    v.reserve(HEADER_LEN + 1);
     prelude_into(v, KIND_HEADER, &h.tag);
     v.extend_from_slice(&h.mtu.to_le_bytes());
-    v.push(if h.direct { FLAG_DIRECT } else { 0 });
+    let mut flags = 0u8;
+    if h.direct {
+        flags |= FLAG_DIRECT;
+    }
+    if h.retry {
+        flags |= FLAG_RETRY;
+    }
+    if h.stripes > 0 {
+        flags |= FLAG_STRIPED;
+    }
+    if h.acked {
+        flags |= FLAG_ACKED;
+    }
+    v.push(flags);
+    if h.stripes > 0 {
+        v.push(h.stripes);
+    }
 }
 
 /// Encode a header packet.
@@ -296,6 +384,22 @@ pub fn encode_cancel_into(v: &mut Vec<u8>, tag: &StreamTag, reason: CancelReason
 pub fn encode_cancel(tag: &StreamTag, reason: CancelReason) -> Vec<u8> {
     let mut v = Vec::with_capacity(CANCEL_LEN);
     encode_cancel_into(&mut v, tag, reason);
+    v
+}
+
+/// Encode a handoff-acknowledgment packet into `v` (cleared first). Like
+/// credits, acks travel hop-by-hop against the stream direction; the
+/// packet is the bare prelude — the tag identifies the acked stream.
+pub fn encode_ack_into(v: &mut Vec<u8>, tag: &StreamTag) {
+    v.clear();
+    v.reserve(PRELUDE_LEN);
+    prelude_into(v, KIND_ACK, tag);
+}
+
+/// Encode a handoff-acknowledgment packet.
+pub fn encode_ack(tag: &StreamTag) -> Vec<u8> {
+    let mut v = Vec::with_capacity(PRELUDE_LEN);
+    encode_ack_into(&mut v, tag);
     v
 }
 
@@ -382,6 +486,22 @@ pub fn frag_payload(packet: &[u8]) -> &[u8] {
     &packet[PRELUDE_LEN..]
 }
 
+/// The stripe-envelope prelude for one sequence number: common prelude
+/// plus the u32 LE sequence. Striped senders emit each envelope as a
+/// gather send `[stripe_prelude, inner packet…]`, so striping costs
+/// [`STRIPE_OVERHEAD`] bytes and no extra copy.
+pub fn stripe_prelude(tag: &StreamTag, seq: u32) -> [u8; STRIPE_OVERHEAD] {
+    let mut v = Vec::with_capacity(STRIPE_OVERHEAD);
+    prelude_into(&mut v, KIND_STRIPE, tag);
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.try_into().expect("stripe prelude length")
+}
+
+/// Borrow the complete inner packet of a stripe envelope.
+pub fn stripe_inner(packet: &[u8]) -> &[u8] {
+    &packet[STRIPE_OVERHEAD..]
+}
+
 /// Decode any GTM packet into its stream tag and body. Fails on anything
 /// that is not well-formed version-2 framing.
 pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
@@ -399,7 +519,7 @@ pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
     };
     let body = match packet[2] {
         KIND_HEADER => {
-            if packet.len() != HEADER_LEN {
+            if packet.len() < HEADER_LEN {
                 return Err(err("header length"));
             }
             let mtu = u32::from_le_bytes(packet[15..19].try_into().unwrap());
@@ -407,13 +527,29 @@ pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
                 return Err(err("zero MTU"));
             }
             let flags = packet[19];
-            if flags & !FLAG_DIRECT != 0 {
+            if flags & !(FLAG_DIRECT | FLAG_RETRY | FLAG_STRIPED | FLAG_ACKED) != 0 {
                 return Err(err("unknown header flags"));
+            }
+            let striped = flags & FLAG_STRIPED != 0;
+            // Only a striped header carries the extra path-count byte.
+            if packet.len() != HEADER_LEN + usize::from(striped) {
+                return Err(err("header length"));
+            }
+            let stripes = if striped { packet[HEADER_LEN] } else { 0 };
+            if striped && stripes < 2 {
+                return Err(err("striped header with fewer than two paths"));
+            }
+            let retry = flags & FLAG_RETRY != 0;
+            if retry && striped {
+                return Err(err("striped retry"));
             }
             PacketBody::Header(GtmHeader {
                 tag,
                 mtu,
                 direct: flags & FLAG_DIRECT != 0,
+                retry,
+                stripes,
+                acked: flags & FLAG_ACKED != 0,
             })
         }
         KIND_PART => {
@@ -478,6 +614,30 @@ pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
             }
             PacketBody::Batch
         }
+        KIND_STRIPE => {
+            if packet.len() < STRIPE_OVERHEAD + PRELUDE_LEN {
+                return Err(err("stripe envelope length"));
+            }
+            let seq = u32::from_le_bytes(packet[15..19].try_into().unwrap());
+            // The inner packet must itself be well-formed, belong to the
+            // same stream, and be one of the enveloped kinds — validated
+            // here so consumers can unwrap envelopes infallibly.
+            let (inner_tag, inner_body) = decode_packet(&packet[STRIPE_OVERHEAD..])?;
+            if inner_tag != tag {
+                return Err(err("stripe envelope around a foreign stream"));
+            }
+            match inner_body {
+                PacketBody::Part(_) | PacketBody::Frag | PacketBody::End => {}
+                _ => return Err(err("stripe envelope around a non-body packet")),
+            }
+            PacketBody::Stripe(seq)
+        }
+        KIND_ACK => {
+            if packet.len() != PRELUDE_LEN {
+                return Err(err("ack length"));
+            }
+            PacketBody::Ack
+        }
         _ => Err(err("unknown kind"))?,
     };
     Ok((tag, body))
@@ -529,6 +689,27 @@ impl<'c> GtmWriter<'c> {
         direct: bool,
         flow: Option<WriterFlow>,
     ) -> Result<Self> {
+        Self::begin_attempt(channel, first_hop, tag, mtu, direct, false, false, flow)
+    }
+
+    /// Like [`GtmWriter::begin`], but with control over the header's retry
+    /// and acked flags — set by the multi-path layer when re-issuing a
+    /// failed stream on a surviving route (retry: the receiver discards the
+    /// partial first attempt instead of rejecting the duplicate header) and
+    /// when requesting a handoff acknowledgment from the first-hop gateway
+    /// (acked: the sender can detect a gateway that dies after accepting
+    /// the whole stream but before relaying it).
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_attempt(
+        channel: &'c Channel,
+        first_hop: NodeId,
+        tag: StreamTag,
+        mtu: usize,
+        direct: bool,
+        retry: bool,
+        acked: bool,
+        flow: Option<WriterFlow>,
+    ) -> Result<Self> {
         assert!(mtu > 0, "GTM MTU must be positive");
         assert!(
             mtu.saturating_add(PRELUDE_LEN) <= channel.caps().max_packet,
@@ -541,6 +722,9 @@ impl<'c> GtmWriter<'c> {
                 tag,
                 mtu: mtu as u32,
                 direct,
+                retry,
+                stripes: 0,
+                acked,
             },
         );
         if let Some(flow) = &flow {
@@ -666,11 +850,37 @@ pub enum StreamItem {
     End,
     /// The stream was cancelled upstream and will never end normally.
     Cancelled(CancelReason),
+    /// The sender re-issued the stream from scratch on another path
+    /// (multi-path failover): everything buffered before this point was
+    /// discarded, and the items that follow replay the stream from its
+    /// first block. Readers that already consumed a prefix skip the same
+    /// prefix of the replay — fragmentation is deterministic, so the
+    /// replayed items line up one-to-one with the originals.
+    Restart,
+}
+
+/// Reorder state of a striped stream: envelopes are replayed in sequence
+/// order, and per-path plain end packets are counted for teardown.
+struct StripeState {
+    next_seq: u32,
+    pending: BTreeMap<u32, PooledBuf>,
+    path_ends: u8,
 }
 
 struct PendingStream {
     header: GtmHeader,
     items: VecDeque<StreamItem>,
+    /// Conduit the stream's header arrived on (0 = unconstrained). Body
+    /// packets from other origins are stale leftovers of a failed-over
+    /// path and are dropped silently. Striped streams are unconstrained —
+    /// their packets legitimately arrive from every path.
+    origin: u64,
+    stripe: Option<StripeState>,
+    /// A ghost stream is the retry of a stream that was already delivered
+    /// (the handoff ack was lost, not the stream). It is never surfaced to
+    /// the application: its body packets are swallowed and the stream is
+    /// dropped when its end or cancel arrives.
+    ghost: bool,
 }
 
 /// Receive-side demultiplexer: turns an interleaved sequence of version-2
@@ -684,9 +894,18 @@ struct PendingStream {
 pub struct StreamAssembler {
     streams: BTreeMap<StreamKey, PendingStream>,
     ready: VecDeque<StreamKey>,
+    /// Finished striped streams still owed per-path end packets: the
+    /// remaining count is parked here so slow paths' trailing ends are
+    /// swallowed instead of reported as unknown-stream errors.
+    stripe_tombstones: BTreeMap<StreamKey, u8>,
     /// When present, fragments split out of batch frames are copied into
     /// recycled buffers instead of fresh heap allocations.
     pool: Option<std::sync::Arc<mad_util::pool::BufferPool>>,
+    /// Streams whose end packet was consumed successfully (recorded by
+    /// [`StreamAssembler::finish_delivered`]). A retry header for such a
+    /// stream means only the sender's handoff ack was lost — the replay is
+    /// absorbed as a ghost instead of delivered twice.
+    delivered: BTreeSet<StreamKey>,
 }
 
 impl StreamAssembler {
@@ -707,6 +926,21 @@ impl StreamAssembler {
     /// into its sub-packets in order. Returns the keys of the streams the
     /// packet opened (headers that just arrived); empty for anything else.
     pub fn push_packet(&mut self, packet: impl Into<PooledBuf>) -> Result<Vec<StreamKey>> {
+        self.push_packet_from(0, packet)
+    }
+
+    /// Like [`StreamAssembler::push_packet`], naming the conduit the packet
+    /// arrived on (any non-zero token; 0 means "unconstrained"). Multi-path
+    /// receivers pass distinct origins per conduit: a single-path stream is
+    /// pinned to the conduit its header came from, so stale packets of a
+    /// failed-over (dead) path are dropped silently instead of corrupting
+    /// the replayed stream. Striped streams are exempt — their packets
+    /// legitimately arrive from every path.
+    pub fn push_packet_from(
+        &mut self,
+        origin: u64,
+        packet: impl Into<PooledBuf>,
+    ) -> Result<Vec<StreamKey>> {
         let packet = packet.into();
         let (tag, body) = decode_packet(&packet)?;
         if matches!(body, PacketBody::Batch) {
@@ -720,20 +954,21 @@ impl StreamAssembler {
                     }
                     None => PooledBuf::from(sub.to_vec()),
                 };
-                opened.extend(self.push_one(buf)?);
+                opened.extend(self.push_one(origin, buf)?);
             }
             return Ok(opened);
         }
-        self.push_one_decoded(packet, tag, body)
+        self.push_one_decoded(origin, packet, tag, body)
     }
 
-    fn push_one(&mut self, packet: PooledBuf) -> Result<Vec<StreamKey>> {
+    fn push_one(&mut self, origin: u64, packet: PooledBuf) -> Result<Vec<StreamKey>> {
         let (tag, body) = decode_packet(&packet)?;
-        self.push_one_decoded(packet, tag, body)
+        self.push_one_decoded(origin, packet, tag, body)
     }
 
     fn push_one_decoded(
         &mut self,
+        origin: u64,
         packet: PooledBuf,
         tag: StreamTag,
         body: PacketBody,
@@ -751,36 +986,201 @@ impl StreamAssembler {
                     "credit packet for stream {key:?} reached a stream assembler"
                 )))
             }
-            PacketBody::Header(header) => {
-                if self.streams.contains_key(&key) {
-                    return Err(MadError::Protocol(format!(
-                        "duplicate GTM header for stream {key:?}"
-                    )));
-                }
-                self.streams.insert(
-                    key,
-                    PendingStream {
-                        header,
-                        items: VecDeque::new(),
-                    },
-                );
-                self.ready.push_back(key);
-                Ok(vec![key])
+            PacketBody::Ack => {
+                // Acks flow toward stream origins and are consumed by the
+                // multi-path writer's pump, never by a receiving assembler.
+                Err(MadError::Protocol(format!(
+                    "handoff ack for stream {key:?} reached a stream assembler"
+                )))
             }
+            PacketBody::Header(header) => self.push_header(origin, key, header),
             body => {
+                if let Some(remaining) = self.stripe_tombstones.get_mut(&key) {
+                    // A finished striped stream is owed only its slower
+                    // paths' trailing end packets.
+                    if !matches!(body, PacketBody::End) {
+                        return Err(MadError::Protocol(format!(
+                            "non-end packet for finished striped stream {key:?}"
+                        )));
+                    }
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        self.stripe_tombstones.remove(&key);
+                    }
+                    return Ok(Vec::new());
+                }
                 let stream = self.streams.get_mut(&key).ok_or_else(|| {
                     MadError::Protocol(format!("GTM packet for unknown stream {key:?}"))
                 })?;
+                if stream.ghost {
+                    // Replay of an already-delivered stream: swallow the
+                    // body and drop the ghost once its terminator arrives.
+                    if matches!(body, PacketBody::End | PacketBody::Cancel(_)) {
+                        self.streams.remove(&key);
+                    }
+                    return Ok(Vec::new());
+                }
+                if stream.origin != 0 && origin != 0 && origin != stream.origin {
+                    // Stale leftover of a path the stream failed away from.
+                    return Ok(Vec::new());
+                }
+                if stream.stripe.is_some() {
+                    Self::push_striped(stream, packet, body)?;
+                    return Ok(Vec::new());
+                }
                 stream.items.push_back(match body {
                     PacketBody::Part(d) => StreamItem::Part(d),
                     PacketBody::Frag => StreamItem::Frag(packet),
                     PacketBody::End => StreamItem::End,
                     PacketBody::Cancel(reason) => StreamItem::Cancelled(reason),
-                    PacketBody::Header(_) | PacketBody::Credit(_) | PacketBody::Batch => {
+                    PacketBody::Stripe(_) => {
+                        return Err(MadError::Protocol(format!(
+                            "stripe envelope for unstriped stream {key:?}"
+                        )))
+                    }
+                    PacketBody::Header(_)
+                    | PacketBody::Credit(_)
+                    | PacketBody::Batch
+                    | PacketBody::Ack => {
                         unreachable!()
                     }
                 });
                 Ok(Vec::new())
+            }
+        }
+    }
+
+    fn push_header(
+        &mut self,
+        origin: u64,
+        key: StreamKey,
+        header: GtmHeader,
+    ) -> Result<Vec<StreamKey>> {
+        let duplicate = || MadError::Protocol(format!("duplicate GTM header for stream {key:?}"));
+        if self.stripe_tombstones.contains_key(&key) {
+            return Err(duplicate());
+        }
+        match self.streams.get_mut(&key) {
+            None => {
+                if header.retry && self.delivered.contains(&key) {
+                    // The stream already arrived in full on its first
+                    // attempt — only the sender's handoff ack was lost.
+                    // Open a ghost: absorb the replay without surfacing a
+                    // second copy to the application.
+                    self.streams.insert(
+                        key,
+                        PendingStream {
+                            header,
+                            items: VecDeque::new(),
+                            origin,
+                            stripe: None,
+                            ghost: true,
+                        },
+                    );
+                    return Ok(Vec::new());
+                }
+                let striped = header.stripes > 0;
+                self.streams.insert(
+                    key,
+                    PendingStream {
+                        header,
+                        items: VecDeque::new(),
+                        origin: if striped { 0 } else { origin },
+                        stripe: striped.then(|| StripeState {
+                            next_seq: 0,
+                            pending: BTreeMap::new(),
+                            path_ends: 0,
+                        }),
+                        ghost: false,
+                    },
+                );
+                self.ready.push_back(key);
+                Ok(vec![key])
+            }
+            Some(stream) => {
+                if stream.ghost {
+                    // A further retry of an already-delivered stream: keep
+                    // absorbing on the new path.
+                    if header.retry {
+                        stream.origin = origin;
+                        stream.items.clear();
+                        return Ok(Vec::new());
+                    }
+                    return Err(duplicate());
+                }
+                if header.stripes > 0 && stream.header == header {
+                    // Another path's copy of a striped header.
+                    return Ok(Vec::new());
+                }
+                if header.retry && stream.stripe.is_none() {
+                    // Failover graft: the sender re-issues the stream from
+                    // scratch on a surviving path. Unconsumed buffered
+                    // items (including a queued cancel) are superseded by
+                    // the replay; the restart marker tells the reader to
+                    // resynchronize.
+                    stream.header = header;
+                    stream.origin = origin;
+                    stream.items.clear();
+                    stream.items.push_back(StreamItem::Restart);
+                    return Ok(Vec::new());
+                }
+                Err(duplicate())
+            }
+        }
+    }
+
+    /// Apply one body packet to a striped stream: count per-path transport
+    /// ends, surface cancels immediately, and replay stripe envelopes in
+    /// sequence order.
+    fn push_striped(stream: &mut PendingStream, packet: PooledBuf, body: PacketBody) -> Result<()> {
+        let PendingStream {
+            items,
+            stripe,
+            header,
+            ..
+        } = stream;
+        let st = match stripe.as_mut() {
+            Some(st) => st,
+            None => unreachable!("push_striped on an unstriped stream"),
+        };
+        match body {
+            PacketBody::End => {
+                // A path's transport terminator; the logical end of the
+                // stream travels inside an envelope.
+                st.path_ends = st.path_ends.saturating_add(1);
+                Ok(())
+            }
+            PacketBody::Cancel(reason) => {
+                items.push_back(StreamItem::Cancelled(reason));
+                Ok(())
+            }
+            PacketBody::Stripe(seq) => {
+                if seq < st.next_seq || st.pending.contains_key(&seq) {
+                    return Err(MadError::Protocol(format!(
+                        "duplicate stripe sequence {seq} for stream {:?}",
+                        header.tag.key()
+                    )));
+                }
+                st.pending.insert(seq, packet);
+                while let Some(mut buf) = st.pending.remove(&st.next_seq) {
+                    buf.vec().drain(..STRIPE_OVERHEAD);
+                    // Envelope decoding already validated the inner packet.
+                    let (_, inner) = decode_packet(&buf)?;
+                    items.push_back(match inner {
+                        PacketBody::Part(d) => StreamItem::Part(d),
+                        PacketBody::Frag => StreamItem::Frag(buf),
+                        PacketBody::End => StreamItem::End,
+                        _ => unreachable!("validated at envelope decode"),
+                    });
+                    st.next_seq += 1;
+                }
+                Ok(())
+            }
+            PacketBody::Part(_) | PacketBody::Frag => Err(MadError::Protocol(
+                "bare body packet on a striped stream".into(),
+            )),
+            PacketBody::Header(_) | PacketBody::Credit(_) | PacketBody::Batch | PacketBody::Ack => {
+                unreachable!()
             }
         }
     }
@@ -800,9 +1200,31 @@ impl StreamAssembler {
         self.streams.get_mut(&key)?.items.pop_front()
     }
 
-    /// Drop a fully consumed stream.
+    /// Drop a fully consumed stream. A striped stream still owed trailing
+    /// per-path end packets leaves a tombstone so they are swallowed when
+    /// the slower paths deliver them.
     pub fn finish(&mut self, key: StreamKey) {
-        self.streams.remove(&key);
+        if let Some(stream) = self.streams.remove(&key) {
+            if let Some(st) = stream.stripe {
+                let expected = stream.header.stripes;
+                if st.path_ends < expected {
+                    self.stripe_tombstones.insert(key, expected - st.path_ends);
+                }
+            }
+        }
+    }
+
+    /// Like [`StreamAssembler::finish`], for a stream whose end packet was
+    /// consumed successfully. Streams that requested a handoff ack are
+    /// remembered so a later retry — meaning the ack, not the stream, was
+    /// lost — is absorbed as a ghost instead of delivered twice. Only
+    /// acked streams are recorded, keeping the set bounded to multi-path
+    /// traffic.
+    pub fn finish_delivered(&mut self, key: StreamKey) {
+        if self.streams.get(&key).is_some_and(|s| s.header.acked) {
+            self.delivered.insert(key);
+        }
+        self.finish(key);
     }
 
     /// True when no stream state is held at all.
@@ -825,20 +1247,12 @@ mod tests {
 
     #[test]
     fn control_round_trips() {
-        let h = GtmHeader {
-            tag: tag(3, 7, 41),
-            mtu: 16384,
-            direct: false,
-        };
+        let h = GtmHeader::new(tag(3, 7, 41), 16384, false);
         assert_eq!(
             decode_packet(&encode_header(&h)),
             Ok((h.tag, PacketBody::Header(h)))
         );
-        let hd = GtmHeader {
-            tag: tag(2, 5, 0),
-            mtu: 1,
-            direct: true,
-        };
+        let hd = GtmHeader::new(tag(2, 5, 0), 1, true);
         assert_eq!(
             decode_packet(&encode_header(&hd)),
             Ok((hd.tag, PacketBody::Header(hd)))
@@ -872,6 +1286,19 @@ mod tests {
                 Ok((t, PacketBody::Cancel(reason)))
             );
         }
+        assert_eq!(decode_packet(&encode_ack(&t)), Ok((t, PacketBody::Ack)));
+        let mut acked = GtmHeader::new(t, 4096, false);
+        acked.acked = true;
+        assert_eq!(
+            decode_packet(&encode_header(&acked)),
+            Ok((t, PacketBody::Header(acked)))
+        );
+        let mut acked_retry = acked;
+        acked_retry.retry = true;
+        assert_eq!(
+            decode_packet(&encode_header(&acked_retry)),
+            Ok((t, PacketBody::Header(acked_retry)))
+        );
     }
 
     #[test]
@@ -887,11 +1314,7 @@ mod tests {
         bad[2] = 99;
         assert!(decode_packet(&bad).is_err());
         // Truncated header.
-        let h = encode_header(&GtmHeader {
-            tag: tag(0, 1, 0),
-            mtu: 64,
-            direct: false,
-        });
+        let h = encode_header(&GtmHeader::new(tag(0, 1, 0), 64, false));
         assert!(decode_packet(&h[..h.len() - 1]).is_err());
         // Zero MTU.
         let mut z = h.clone();
@@ -925,18 +1348,79 @@ mod tests {
         let mut k = encode_cancel(&tag(0, 1, 0), CancelReason::PeerUnreachable);
         k[15] = 0;
         assert!(decode_packet(&k).is_err());
+        // An ack is the bare prelude — trailing bytes are a framing error.
+        let mut a = encode_ack(&tag(0, 1, 0));
+        a.push(0);
+        assert!(decode_packet(&a).is_err());
+    }
+
+    /// The handoff-ack dedup: a retry of a stream finished via
+    /// `finish_delivered` is absorbed as a ghost (never surfaced), while a
+    /// retry of a *cancelled* stream replays normally.
+    #[test]
+    fn retry_of_delivered_stream_is_absorbed_as_ghost() {
+        let t = tag(3, 9, 7);
+        let mut h = GtmHeader::new(t, 8, false);
+        h.acked = true;
+        let desc = GtmPartDesc {
+            len: 3,
+            send: SendMode::Later,
+            recv: RecvMode::Cheaper,
+        };
+        let mut frag = frag_prelude(&t).to_vec();
+        frag.extend_from_slice(b"abc");
+
+        // First attempt delivers in full.
+        let mut asm = StreamAssembler::new();
+        assert_eq!(
+            asm.push_packet_from(1, encode_header(&h)).unwrap(),
+            [t.key()]
+        );
+        asm.push_packet_from(1, encode_part(&t, &desc)).unwrap();
+        asm.push_packet_from(1, frag.clone()).unwrap();
+        asm.push_packet_from(1, encode_end(&t)).unwrap();
+        let k = asm.pop_ready().unwrap();
+        assert!(matches!(asm.next_item(k), Some(StreamItem::Part(_))));
+        assert!(matches!(asm.next_item(k), Some(StreamItem::Frag(_))));
+        assert_eq!(asm.next_item(k), Some(StreamItem::End));
+        asm.finish_delivered(k);
+
+        // The ack was lost: the sender re-issues the whole stream with the
+        // retry flag. Nothing must surface a second time.
+        let mut hr = h;
+        hr.retry = true;
+        assert!(asm
+            .push_packet_from(2, encode_header(&hr))
+            .unwrap()
+            .is_empty());
+        asm.push_packet_from(2, encode_part(&t, &desc)).unwrap();
+        asm.push_packet_from(2, frag.clone()).unwrap();
+        asm.push_packet_from(2, encode_end(&t)).unwrap();
+        assert_eq!(asm.pop_ready(), None);
+        assert!(asm.is_idle(), "ghost must be dropped once its end arrives");
+
+        // A key finished WITHOUT delivery (cancelled) replays normally.
+        let t2 = tag(3, 9, 8);
+        let mut h2 = GtmHeader::new(t2, 8, false);
+        h2.acked = true;
+        asm.push_packet_from(1, encode_header(&h2)).unwrap();
+        let k2 = asm.pop_ready().unwrap();
+        asm.finish(k2); // plain finish: not delivered
+        let mut h2r = h2;
+        h2r.retry = true;
+        assert_eq!(
+            asm.push_packet_from(2, encode_header(&h2r)).unwrap(),
+            [t2.key()],
+            "retry of an undelivered stream must open normally"
+        );
     }
 
     #[test]
     fn assembler_rejects_stray_credits_and_queues_cancels() {
         let t = tag(5, 6, 1);
         let mut asm = StreamAssembler::new();
-        asm.push_packet(encode_header(&GtmHeader {
-            tag: t,
-            mtu: 8,
-            direct: false,
-        }))
-        .unwrap();
+        asm.push_packet(encode_header(&GtmHeader::new(t, 8, false)))
+            .unwrap();
         // A credit must never reach an assembler, even for a live stream.
         assert!(asm.push_packet(encode_credit(&t, 2)).is_err());
         // A cancel ends the stream in-band, after already-buffered items.
@@ -982,11 +1466,7 @@ mod tests {
     #[test]
     fn assembler_splits_batch_frames() {
         let t = tag(8, 9, 2);
-        let header = encode_header(&GtmHeader {
-            tag: t,
-            mtu: 4,
-            direct: false,
-        });
+        let header = encode_header(&GtmHeader::new(t, 4, false));
         let part = encode_part(
             &t,
             &GtmPartDesc {
@@ -1044,18 +1524,10 @@ mod tests {
 
         let mut asm = StreamAssembler::new();
         // Interleave two streams packet by packet.
-        asm.push_packet(encode_header(&GtmHeader {
-            tag: ta,
-            mtu: 4,
-            direct: false,
-        }))
-        .unwrap();
-        asm.push_packet(encode_header(&GtmHeader {
-            tag: tb,
-            mtu: 4,
-            direct: true,
-        }))
-        .unwrap();
+        asm.push_packet(encode_header(&GtmHeader::new(ta, 4, false)))
+            .unwrap();
+        asm.push_packet(encode_header(&GtmHeader::new(tb, 4, true)))
+            .unwrap();
         asm.push_packet(part(&ta, 4)).unwrap();
         asm.push_packet(part(&tb, 2)).unwrap();
         asm.push_packet(frag_b.clone()).unwrap();
@@ -1088,13 +1560,159 @@ mod tests {
         let mut asm = StreamAssembler::new();
         // Body packet for a stream whose header never arrived.
         assert!(asm.push_packet(encode_end(&t)).is_err());
-        let h = GtmHeader {
-            tag: t,
-            mtu: 16,
-            direct: false,
-        };
+        let h = GtmHeader::new(t, 16, false);
         asm.push_packet(encode_header(&h)).unwrap();
         // Duplicate header for a live stream.
         assert!(asm.push_packet(encode_header(&h)).is_err());
+    }
+
+    #[test]
+    fn striped_and_retry_headers_round_trip() {
+        let t = tag(3, 9, 5);
+        let mut striped = GtmHeader::new(t, 4096, false);
+        striped.stripes = 3;
+        let pkt = encode_header(&striped);
+        assert_eq!(
+            pkt.len(),
+            HEADER_LEN + 1,
+            "striped header carries the path count"
+        );
+        assert_eq!(decode_packet(&pkt), Ok((t, PacketBody::Header(striped))));
+
+        let mut retry = GtmHeader::new(t, 4096, false);
+        retry.retry = true;
+        let pkt = encode_header(&retry);
+        assert_eq!(pkt.len(), HEADER_LEN);
+        assert_eq!(decode_packet(&pkt), Ok((t, PacketBody::Header(retry))));
+
+        // One declared path is not striping; a striped retry is forbidden.
+        let mut one = pkt.clone();
+        one[19] |= FLAG_STRIPED;
+        one.push(1);
+        assert!(decode_packet(&one).is_err());
+        let mut both = encode_header(&striped);
+        both[19] |= FLAG_RETRY;
+        assert!(decode_packet(&both).is_err());
+    }
+
+    fn envelope(t: &StreamTag, seq: u32, inner: &[u8]) -> Vec<u8> {
+        let mut v = stripe_prelude(t, seq).to_vec();
+        v.extend_from_slice(inner);
+        v
+    }
+
+    #[test]
+    fn stripe_envelopes_round_trip_and_validate() {
+        let t = tag(1, 2, 3);
+        let mut frag = frag_prelude(&t).to_vec();
+        frag.extend_from_slice(b"data");
+        let env = envelope(&t, 7, &frag);
+        assert_eq!(decode_packet(&env), Ok((t, PacketBody::Stripe(7))));
+        assert_eq!(stripe_inner(&env), &frag[..]);
+
+        // Inner packet of a different stream.
+        let foreign = frag_prelude(&tag(9, 2, 3)).to_vec();
+        let mut bad = foreign.clone();
+        bad.push(1);
+        assert!(decode_packet(&envelope(&t, 0, &bad)).is_err());
+        // Inner packet of a non-body kind.
+        let hdr = encode_header(&GtmHeader::new(t, 16, false));
+        assert!(decode_packet(&envelope(&t, 0, &hdr)).is_err());
+        // Truncated envelope.
+        assert!(decode_packet(&stripe_prelude(&t, 0)).is_err());
+    }
+
+    #[test]
+    fn assembler_replays_stripes_in_sequence_order() {
+        let t = tag(4, 8, 1);
+        let mut h = GtmHeader::new(t, 4, false);
+        h.stripes = 2;
+        let part = encode_part(
+            &t,
+            &GtmPartDesc {
+                len: 6,
+                send: SendMode::Later,
+                recv: RecvMode::Cheaper,
+            },
+        );
+        let frag = |b: &[u8]| {
+            let mut f = frag_prelude(&t).to_vec();
+            f.extend_from_slice(b);
+            f
+        };
+        let (f0, f1) = (frag(b"abcd"), frag(b"ef"));
+        let end = encode_end(&t);
+
+        let mut asm = StreamAssembler::new();
+        // Path A delivers the header first; path B's copy is tolerated.
+        asm.push_packet_from(1, encode_header(&h)).unwrap();
+        asm.push_packet_from(2, encode_header(&h)).unwrap();
+        // Envelopes arrive out of order across the two paths.
+        asm.push_packet_from(2, envelope(&t, 1, &f0)).unwrap();
+        asm.push_packet_from(2, envelope(&t, 3, &end)).unwrap();
+        asm.push_packet_from(1, envelope(&t, 0, &part)).unwrap();
+        let k = asm.pop_ready().unwrap();
+        // Nothing past seq 1 is visible until seq 2 fills the gap.
+        assert!(matches!(asm.next_item(k), Some(StreamItem::Part(d)) if d.len == 6));
+        assert!(matches!(asm.next_item(k), Some(StreamItem::Frag(_))));
+        assert_eq!(asm.next_item(k), None);
+        asm.push_packet_from(1, envelope(&t, 2, &f1)).unwrap();
+        match asm.next_item(k) {
+            Some(StreamItem::Frag(f)) => assert_eq!(frag_payload(&f), b"ef"),
+            other => panic!("expected fragment, got {other:?}"),
+        }
+        assert_eq!(asm.next_item(k), Some(StreamItem::End));
+        // One path's transport end arrives before finish, one straggles.
+        asm.push_packet_from(1, end.clone()).unwrap();
+        asm.finish(k);
+        assert!(!asm.is_idle() || !asm.stripe_tombstones.is_empty());
+        asm.push_packet_from(2, end.clone()).unwrap();
+        assert!(asm.is_idle() && asm.stripe_tombstones.is_empty());
+        // A third end would be a protocol violation (unknown stream).
+        assert!(asm.push_packet_from(2, end).is_err());
+        // Duplicate sequence numbers are rejected while the stream lives.
+        let mut asm = StreamAssembler::new();
+        asm.push_packet_from(1, encode_header(&h)).unwrap();
+        asm.push_packet_from(1, envelope(&t, 0, &part)).unwrap();
+        assert!(asm.push_packet_from(2, envelope(&t, 0, &part)).is_err());
+        // Bare body packets may not bypass the envelope layer.
+        assert!(asm.push_packet_from(1, f0).is_err());
+    }
+
+    #[test]
+    fn assembler_grafts_retry_and_drops_stale_origins() {
+        let t = tag(6, 2, 9);
+        let part = |len: u64| {
+            encode_part(
+                &t,
+                &GtmPartDesc {
+                    len,
+                    send: SendMode::Later,
+                    recv: RecvMode::Cheaper,
+                },
+            )
+        };
+        let mut asm = StreamAssembler::new();
+        // First attempt arrives via origin 1 and stalls mid-stream.
+        asm.push_packet_from(1, encode_header(&GtmHeader::new(t, 8, false)))
+            .unwrap();
+        asm.push_packet_from(1, part(8)).unwrap();
+        // The failover re-issue arrives via origin 2 with the retry flag:
+        // buffered items are superseded by a restart marker.
+        let mut retry = GtmHeader::new(t, 8, false);
+        retry.retry = true;
+        asm.push_packet_from(2, encode_header(&retry)).unwrap();
+        let k = asm.pop_ready().unwrap();
+        assert_eq!(asm.next_item(k), Some(StreamItem::Restart));
+        // Stale leftovers of the dead path are swallowed silently...
+        asm.push_packet_from(1, part(8)).unwrap();
+        assert_eq!(asm.next_item(k), None);
+        // ...while the live path's replay flows through.
+        asm.push_packet_from(2, part(8)).unwrap();
+        asm.push_packet_from(2, encode_end(&t)).unwrap();
+        assert!(matches!(asm.next_item(k), Some(StreamItem::Part(d)) if d.len == 8));
+        assert_eq!(asm.next_item(k), Some(StreamItem::End));
+        asm.finish(k);
+        assert!(asm.is_idle());
     }
 }

@@ -65,6 +65,7 @@ pub mod flags;
 pub mod gateway;
 pub mod gtm;
 pub mod message;
+pub mod multipath;
 pub mod plan;
 pub mod routing;
 pub mod runtime;
@@ -79,8 +80,10 @@ pub use conduit::{BufferMode, Conduit, Driver, DriverCaps, StaticBuf};
 pub use credit::{CreditLedger, FlowControl};
 pub use error::{MadError, Result};
 pub use flags::{RecvMode, SendMode};
+pub use mad_route;
 pub use mad_trace;
 pub use message::{MessageReader, MessageWriter};
+pub use multipath::{MultiPath, MultipathConfig};
 pub use runtime::{Runtime, StdRuntime};
 pub use session::{Node, SessionBuilder};
 pub use types::{ChannelId, NetworkId, NodeId};

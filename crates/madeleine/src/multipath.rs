@@ -1,0 +1,243 @@
+//! The multi-path routing plane of a virtual channel.
+//!
+//! This module is the transport-side owner of the policy crate
+//! [`mad_route`]: it computes the session's [`mad_route::RoutingTable`]
+//! from the same topology declaration the legacy router uses, feeds the
+//! adaptive [`mad_route::Selector`] with live [`GatewayStats`] windows
+//! ([`GatewayStats::delta_since_last`]), and keeps the per-path byte
+//! accounting that ends up on the `route:` trace track.
+//!
+//! One [`MultiPath`] instance is shared by every node of a virtual
+//! channel, which is what makes the cost model *global*: a sender on
+//! rank 0 sheds load off a gateway that rank 5's streams congested. The
+//! per-node send machinery (path choice at `begin_packing`, failover
+//! re-issue, fragment striping) lives in [`crate::vchannel`]; this module
+//! only decides *where* packets should go.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mad_route::{GatewayLoad, PathHop, RoutePlan, Selector, SelectorCounters, StripePolicy};
+use mad_trace::Tracer;
+use mad_util::sync::Mutex;
+
+use crate::gateway::GatewayStats;
+use crate::routing::NetworkMembers;
+use crate::types::NodeId;
+
+/// Multi-path behaviour of one virtual channel, set through
+/// [`crate::session::VcOptions`].
+#[derive(Debug, Clone, Copy)]
+pub struct MultipathConfig {
+    /// How streams spread over parallel paths.
+    pub policy: StripePolicy,
+    /// Minimum interval between cost-model refreshes: a send-path call to
+    /// [`MultiPath::refresh`] inside the window is free. Windows also pace
+    /// the `gw:` delta trace events.
+    pub refresh_interval_ns: u64,
+    /// How long a sender waits for the first-hop gateway's handoff
+    /// acknowledgment after the stream's end packet. Expiry means the
+    /// gateway died after accepting the stream — the sender marks the
+    /// path dead and re-issues on a survivor.
+    pub ack_timeout_ns: u64,
+}
+
+impl Default for MultipathConfig {
+    fn default() -> Self {
+        MultipathConfig {
+            policy: StripePolicy::PerStream,
+            refresh_interval_ns: 2_000_000, // 2 ms
+            ack_timeout_ns: 500_000_000,    // 500 ms
+        }
+    }
+}
+
+/// The shared routing plane of one virtual channel: multi-path plans,
+/// the adaptive selector, registered gateway feeds, and per-path byte
+/// accounting.
+pub struct MultiPath {
+    table: mad_route::RoutingTable,
+    selector: Selector,
+    policy: StripePolicy,
+    refresh_interval_ns: u64,
+    ack_timeout_ns: u64,
+    last_refresh: AtomicU64,
+    /// Live counter feeds of the session's gateway engines, registered
+    /// after spawn: (gateway rank, its stats block).
+    feeds: Mutex<Vec<(u32, Arc<GatewayStats>)>>,
+    /// Payload bytes the session's senders bound to each gateway path.
+    path_bytes: Mutex<BTreeMap<u32, u64>>,
+    tracer: Mutex<Option<(Tracer, String)>>,
+}
+
+impl std::fmt::Debug for MultiPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiPath")
+            .field("policy", &self.policy)
+            .field("nodes", &self.table.nodes().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl MultiPath {
+    /// Build the routing plane for a virtual channel topology.
+    pub fn new(networks: &[NetworkMembers], cfg: MultipathConfig) -> Self {
+        let decls: Vec<mad_route::NetworkDecl> = networks
+            .iter()
+            .map(|nm| mad_route::NetworkDecl {
+                net: nm.net.0,
+                members: nm.members.iter().map(|m| m.0).collect(),
+            })
+            .collect();
+        MultiPath {
+            table: mad_route::compute_table(&decls),
+            selector: Selector::new(),
+            policy: cfg.policy,
+            refresh_interval_ns: cfg.refresh_interval_ns,
+            ack_timeout_ns: cfg.ack_timeout_ns,
+            last_refresh: AtomicU64::new(0),
+            feeds: Mutex::new(Vec::new()),
+            path_bytes: Mutex::new(BTreeMap::new()),
+            tracer: Mutex::new(None),
+        }
+    }
+
+    /// The striping policy of this channel.
+    pub fn policy(&self) -> StripePolicy {
+        self.policy
+    }
+
+    /// The handoff-ack deadline of this channel's multi-path senders.
+    pub fn ack_timeout_ns(&self) -> u64 {
+        self.ack_timeout_ns
+    }
+
+    /// The multi-path plan of one node.
+    pub fn plan(&self, src: NodeId) -> &RoutePlan {
+        self.table.plan(src.0)
+    }
+
+    /// Attach a trace sink: refresh windows emit `gw:` delta counters and
+    /// [`MultiPath::flush_trace`] emits the final `route:` track.
+    pub fn set_trace(&self, tracer: Tracer, vc_name: &str) {
+        *self.tracer.lock() = Some((tracer, vc_name.to_string()));
+    }
+
+    /// Register one gateway engine's live counters as a cost-model feed.
+    pub fn register_gateway(&self, gw: NodeId, stats: Arc<GatewayStats>) {
+        self.feeds.lock().push((gw.0, stats));
+    }
+
+    /// Rate-limited cost-model refresh, called from the send path: at most
+    /// once per configured window, fold every registered gateway's delta
+    /// since the previous window into the selector's EWMA costs.
+    pub fn refresh(&self, now_ns: u64) {
+        let last = self.last_refresh.load(Ordering::Relaxed);
+        if now_ns.saturating_sub(last) < self.refresh_interval_ns {
+            return;
+        }
+        if self
+            .last_refresh
+            .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // another sender refreshed this window
+        }
+        let trace = self.tracer.lock().clone();
+        for (gw, stats) in self.feeds.lock().iter() {
+            let d = stats.delta_since_last(now_ns);
+            let secs = d.interval_ns as f64 / 1e9;
+            let load = GatewayLoad {
+                stall_rate: if secs > 0.0 {
+                    d.stalls as f64 / secs
+                } else {
+                    0.0
+                },
+                occupancy_bytes: d.occupancy_bytes.max(0) as f64,
+                bytes_per_sec: d.bytes_per_sec,
+            };
+            self.selector.feed(*gw, load);
+            if let Some((tracer, vc)) = &trace {
+                if tracer.enabled() && d.interval_ns > 0 {
+                    let track = format!("gw:{vc}@{gw}");
+                    tracer.count_on(&track, "gateway", "delta_bytes", d.bytes as i64, &[]);
+                    tracer.count_on(&track, "gateway", "delta_stalls", d.stalls as i64, &[]);
+                    tracer.count_on(&track, "gateway", "delta_occupancy", d.occupancy_bytes, &[]);
+                }
+            }
+        }
+    }
+
+    /// Pick a path for a new stream toward `dest`, skipping gateways in
+    /// `exclude` (failed attempts of this stream). Bumps the pick's
+    /// in-flight count — pair with [`MultiPath::complete`].
+    pub fn choose(&self, dest: NodeId, paths: &[PathHop], exclude: &[u32]) -> Option<PathHop> {
+        self.selector.choose(dest.0, paths, exclude)
+    }
+
+    /// The live (not-known-dead) subset of `paths`, in plan order.
+    pub fn live(&self, paths: &[PathHop]) -> Vec<PathHop> {
+        self.selector.live(paths)
+    }
+
+    /// A stream bound to gateway `gw` finished or failed.
+    pub fn complete(&self, gw: u32) {
+        self.selector.complete(gw);
+    }
+
+    /// A send through gateway `gw` hit a dead host: exclude it from every
+    /// future choice. Returns true the first time (worth tracing).
+    pub fn mark_dead(&self, gw: u32) -> bool {
+        self.selector.mark_dead(gw)
+    }
+
+    /// Count one stream successfully re-issued on a surviving path.
+    pub fn note_failover(&self) {
+        self.selector.note_failover();
+    }
+
+    /// Account payload bytes bound to gateway path `gw`.
+    pub fn note_bytes(&self, gw: u32, bytes: u64) {
+        *self.path_bytes.lock().entry(gw).or_insert(0) += bytes;
+    }
+
+    /// Payload bytes sent per gateway path, sorted by gateway rank.
+    pub fn path_bytes(&self) -> Vec<(u32, u64)> {
+        self.path_bytes
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// The selector's routing-decision counters.
+    pub fn counters(&self) -> SelectorCounters {
+        self.selector.counters()
+    }
+
+    /// Emit the final `route:` track: per-path byte splits plus the
+    /// switch/failover counters (session teardown calls this once).
+    pub fn flush_trace(&self) {
+        let Some((tracer, vc)) = self.tracer.lock().clone() else {
+            return;
+        };
+        if !tracer.enabled() {
+            return;
+        }
+        let track = format!("route:{vc}");
+        for (gw, bytes) in self.path_bytes() {
+            tracer.count_on(
+                &track,
+                "route",
+                "path_bytes",
+                bytes as i64,
+                &[("gateway", gw as u64)],
+            );
+        }
+        let c = self.counters();
+        tracer.count_on(&track, "route", "switches", c.switches as i64, &[]);
+        tracer.count_on(&track, "route", "failovers", c.failovers as i64, &[]);
+        tracer.count_on(&track, "route", "deaths", c.deaths as i64, &[]);
+    }
+}

@@ -18,6 +18,7 @@ use crate::channel::Channel;
 use crate::conduit::{Conduit, Driver};
 use crate::credit::{CreditLedger, FlowControl};
 use crate::gateway::{spawn_gateway, GatewayConfig, GatewayHandles, GatewayStop};
+use crate::multipath::{MultiPath, MultipathConfig};
 use crate::routing::{self, NetworkMembers};
 use crate::runtime::{RtEvent, Runtime, StdRuntime};
 use crate::types::{ChannelId, NetworkId, NodeId};
@@ -85,6 +86,11 @@ pub struct VcOptions {
     pub mtu: Option<usize>,
     /// Gateway engine tuning.
     pub gateway: GatewayConfig,
+    /// Multi-path routing plane: when set, topologies with parallel
+    /// gateways between the same cluster pair stripe traffic across them
+    /// and fail over when a gateway dies. `None` (the default) keeps the
+    /// legacy single-path router, byte-identical on the wire.
+    pub multipath: Option<MultipathConfig>,
 }
 
 struct NetworkDef {
@@ -289,6 +295,7 @@ impl SessionBuilder {
         let mut vcs: Vec<(String, HashMap<NodeId, Arc<VirtualChannel>>)> = Vec::new();
         let mut gateway_handles: Vec<GatewayHandles> = Vec::new();
         let mut gateway_stats: GatewayStatsReport = Vec::new();
+        let mut route_planes: Vec<Arc<MultiPath>> = Vec::new();
         let gateway_stop = Arc::new(GatewayStop::new());
         for vdef in &self.vchannels {
             let nm: Vec<NetworkMembers> = vdef
@@ -355,6 +362,23 @@ impl SessionBuilder {
                 .map(|&rank| (rank, CreditLedger::new(node_events[rank.index()].clone())))
                 .collect();
 
+            // Multi-path routing plane, shared by every node of the
+            // virtual channel so the cost model is session-global.
+            let mp = vdef.options.multipath.map(|cfg| {
+                if matches!(cfg.policy, mad_route::StripePolicy::PerFragment) {
+                    assert!(
+                        vdef.options.gateway.credit_window.is_none(),
+                        "virtual channel `{}`: per-fragment striping is \
+                         incompatible with credit flow control (credits are \
+                         granted per path, fragments interleave across paths)",
+                        vdef.name
+                    );
+                }
+                let mp = Arc::new(MultiPath::new(&nm, cfg));
+                mp.set_trace(runtime.tracer(), &vdef.name);
+                mp
+            });
+
             // Gateway engines.
             let gateways = routing::gateways(&nm);
             for &gw in &gateways {
@@ -369,8 +393,14 @@ impl SessionBuilder {
                     gateway_stop.clone(),
                     ledgers[&gw].clone(),
                 );
+                if let Some(mp) = &mp {
+                    mp.register_gateway(gw, handles.stats().clone());
+                }
                 gateway_stats.push((vdef.name.clone(), gw, handles.stats().clone()));
                 gateway_handles.push(handles);
+            }
+            if let Some(mp) = &mp {
+                route_planes.push(mp.clone());
             }
 
             // Per-node virtual channel objects.
@@ -393,6 +423,7 @@ impl SessionBuilder {
                     node_events[rank.index()].clone(),
                     gateways.contains(&rank),
                     flow,
+                    mp.clone(),
                 );
                 per_node.insert(rank, Arc::new(vc));
             }
@@ -521,6 +552,12 @@ impl SessionBuilder {
                 );
                 tracer.count_on(&track, "gateway", "errors", t.errors as i64, &[]);
                 tracer.count_on(&track, "gateway", "peak_held_bytes", t.peak_held_bytes, &[]);
+            }
+            // Routing-plane summary: per-path byte splits plus the
+            // selector's switch/failover counters, one `route:` track per
+            // multi-path virtual channel.
+            for mp in &route_planes {
+                mp.flush_trace();
             }
             // Session-wide buffer-pool counters: `misses` is the number of
             // real heap allocations behind every staging/landing/control

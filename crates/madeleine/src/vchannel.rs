@@ -42,7 +42,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
-use mad_trace::{trace_count, trace_span, Tracer};
+use mad_route::{PathHop, StripePolicy};
+use mad_trace::{trace_count, trace_instant, trace_span, Tracer};
 
 use crate::channel::Channel;
 use crate::conduit::BufferMode;
@@ -50,9 +51,11 @@ use crate::credit::{cancel_error, FlowControl};
 use crate::error::{MadError, Result};
 use crate::flags::{RecvMode, SendMode};
 use crate::gtm::{
-    self, CancelReason, GtmHeader, GtmWriter, StreamAssembler, StreamItem, StreamKey, StreamTag,
+    self, CancelReason, GtmHeader, GtmPartDesc, GtmWriter, PacketBody, StreamAssembler, StreamItem,
+    StreamKey, StreamTag, PRELUDE_LEN, STRIPE_OVERHEAD,
 };
 use crate::message::{MessageReader, MessageWriter};
+use crate::multipath::MultiPath;
 use crate::routing::RouteTable;
 use crate::runtime::RtEvent;
 use crate::types::{NetworkId, NodeId};
@@ -82,6 +85,10 @@ pub struct VirtualChannel {
     /// Credit-based flow control for forwarded sends, when the session
     /// configured a window (see [`crate::credit`]).
     flow: Option<FlowControl>,
+    /// The channel's shared multi-path routing plane, when the session
+    /// enabled one. `None` keeps every path below byte-identical to the
+    /// single-path library.
+    multipath: Option<Arc<MultiPath>>,
     next_msg_id: AtomicU32,
     demux: Mutex<Demux>,
     tracer: Tracer,
@@ -115,6 +122,7 @@ impl VirtualChannel {
         recv_event: Arc<dyn RtEvent>,
         is_gateway: bool,
         flow: Option<FlowControl>,
+        multipath: Option<Arc<MultiPath>>,
     ) -> Self {
         let tracer = regular
             .values()
@@ -136,6 +144,7 @@ impl VirtualChannel {
             recv_event,
             is_gateway,
             flow,
+            multipath,
             next_msg_id: AtomicU32::new(0),
             demux: Mutex::new(Demux {
                 asm: StreamAssembler::with_pool(pool.clone()),
@@ -171,6 +180,12 @@ impl VirtualChannel {
     /// True if messages to `dest` cross at least one gateway.
     pub fn is_forwarded(&self, dest: NodeId) -> Result<bool> {
         Ok(!self.routes.hop(dest)?.last)
+    }
+
+    /// The channel's multi-path routing plane, when the session enabled
+    /// one (per-path byte splits, selector counters, route plans).
+    pub fn multipath(&self) -> Option<&Arc<MultiPath>> {
+        self.multipath.as_ref()
     }
 
     /// Allocate the tag of a new outgoing stream.
@@ -211,6 +226,32 @@ impl VirtualChannel {
                 Ok(VcWriter::Direct(writer))
             }
         } else {
+            // Forwarded: with a multi-path plan of width ≥ 2 the stream
+            // goes through the routing plane (adaptive path choice or
+            // fragment striping). A one-path plan falls through to the
+            // legacy code below, keeping single-gateway sessions
+            // byte-identical to the pre-multipath library. Gateway-resident
+            // senders also fall through: their engine's polling threads own
+            // the special conduits' receive sides, so a multi-path writer
+            // here could never pump its own handoff acks.
+            if let (Some(mp), false) = (&self.multipath, self.is_gateway) {
+                if let Some(ch) = self.regular.values().next() {
+                    mp.refresh(ch.runtime().now_nanos());
+                }
+                let paths: Vec<PathHop> = mp
+                    .plan(self.rank)
+                    .paths(dest.0)
+                    .iter()
+                    .filter(|h| self.special.contains_key(&NetworkId(h.net)))
+                    .copied()
+                    .collect();
+                if paths.len() >= 2 {
+                    return match mp.policy() {
+                        StripePolicy::PerFragment => self.begin_striped(dest, mp.clone(), paths),
+                        StripePolicy::PerStream => self.begin_adaptive(dest, mp.clone(), paths),
+                    };
+                }
+            }
             let channel = self
                 .special
                 .get(&hop.net)
@@ -231,6 +272,77 @@ impl VirtualChannel {
         }
     }
 
+    /// Start a per-stream adaptive multi-path message: the whole stream is
+    /// bound to the cheapest live path now; a path fault mid-stream
+    /// re-issues it on a surviving path (see [`MultipathWriter`]).
+    fn begin_adaptive(
+        &self,
+        dest: NodeId,
+        mp: Arc<MultiPath>,
+        paths: Vec<PathHop>,
+    ) -> Result<VcWriter<'_, '_>> {
+        let hop = paths[0]; // placeholder; start() binds the real path
+        let mut w = MultipathWriter {
+            vc: self,
+            mp,
+            dest,
+            tag: self.next_tag(dest),
+            paths,
+            packed: Vec::new(),
+            inner: None,
+            hop,
+            tried: Vec::new(),
+        };
+        w.start(false)?;
+        Ok(VcWriter::Multi(w))
+    }
+
+    /// Start a fragment-striped message over every live path (see
+    /// [`StripedWriter`]). Falls back to the adaptive writer if fewer than
+    /// two paths are currently live.
+    fn begin_striped(
+        &self,
+        dest: NodeId,
+        mp: Arc<MultiPath>,
+        paths: Vec<PathHop>,
+    ) -> Result<VcWriter<'_, '_>> {
+        let mut live = mp.live(&paths);
+        live.truncate(u8::MAX as usize);
+        if live.len() < 2 {
+            return self.begin_adaptive(dest, mp, paths);
+        }
+        // The stripe envelope must fit every path's packet limit; shrink
+        // the announced MTU if a path is tighter than the route MTU.
+        let mut mtu = self.mtu;
+        for h in &live {
+            let cap = self.special[&NetworkId(h.net)].caps().max_packet;
+            mtu = mtu.min(cap.saturating_sub(PRELUDE_LEN + STRIPE_OVERHEAD));
+        }
+        assert!(mtu >= 1, "stripe envelope cannot fit any fragment");
+        let tag = self.next_tag(dest);
+        let mut header = GtmHeader::new(tag, mtu as u32, false);
+        header.stripes = live.len() as u8;
+        let pkt = gtm::encode_header(&header);
+        // Every path's relays see the header before any envelope (conduit
+        // FIFO per path), so each can open its per-stream state.
+        for h in &live {
+            self.special[&NetworkId(h.net)].send_packet(NodeId(h.node), &[&pkt])?;
+        }
+        let bytes_by_path = vec![0u64; live.len()];
+        Ok(VcWriter::Striped(StripedWriter {
+            vc: self,
+            mp,
+            tag,
+            frag_prelude: gtm::frag_prelude(&tag),
+            paths: live,
+            mtu,
+            next_seq: 0,
+            rr: 0,
+            bytes_by_path,
+            finished: false,
+        }))
+    }
+
     /// Block until a whole message is available to start receiving: either
     /// a plain direct message or a GTM stream whose header has arrived.
     pub fn begin_unpacking(&self) -> Result<VcReader<'_>> {
@@ -242,6 +354,8 @@ impl VirtualChannel {
                     header,
                     via,
                     finished: false,
+                    consumed: 0,
+                    skip: 0,
                 }));
             }
             let (net, peer) = self.select_any()?;
@@ -269,8 +383,16 @@ impl VirtualChannel {
     /// into several packets and may open several streams at once.
     fn push_demux(&self, net: NetworkId, peer: NodeId, packet: Vec<u8>) -> Result<()> {
         trace_count!(self.tracer, "gtm", "decode", 1);
+        // With a routing plane each stream is pinned to the conduit its
+        // header arrived on, so stale packets of a failed-over attempt
+        // (still in flight on the old path) are dropped, not interleaved.
+        let origin = if self.multipath.is_some() {
+            ((net.0 as u64 + 1) << 32) | peer.0 as u64
+        } else {
+            0
+        };
         let mut d = self.demux.lock().unwrap();
-        for key in d.asm.push_packet(self.pool.adopt(packet))? {
+        for key in d.asm.push_packet_from(origin, self.pool.adopt(packet))? {
             d.via.insert(key, (net, peer));
         }
         Ok(())
@@ -315,6 +437,11 @@ pub enum VcWriter<'c, 'd> {
         /// True when the stream actually crosses a gateway.
         forwarded: bool,
     },
+    /// Adaptive multi-path GTM stream: bound to one gateway path now,
+    /// re-issued on a surviving path if that gateway dies mid-stream.
+    Multi(MultipathWriter<'c, 'd>),
+    /// Fragment-striped GTM stream over every live parallel path.
+    Striped(StripedWriter<'c>),
 }
 
 impl<'d> VcWriter<'_, 'd> {
@@ -323,6 +450,8 @@ impl<'d> VcWriter<'_, 'd> {
         match self {
             VcWriter::Direct(w) => w.pack(data, send, recv),
             VcWriter::Gtm { w, .. } => w.pack(data, send, recv),
+            VcWriter::Multi(w) => w.pack(data, send, recv),
+            VcWriter::Striped(w) => w.pack(data, send, recv),
         }
     }
 
@@ -331,6 +460,8 @@ impl<'d> VcWriter<'_, 'd> {
         match self {
             VcWriter::Direct(w) => w.end_packing(),
             VcWriter::Gtm { w, .. } => w.end_packing(),
+            VcWriter::Multi(w) => w.end_packing(),
+            VcWriter::Striped(w) => w.end_packing(),
         }
     }
 
@@ -341,8 +472,351 @@ impl<'d> VcWriter<'_, 'd> {
             VcWriter::Gtm {
                 forwarded: true,
                 ..
-            }
+            } | VcWriter::Multi(_)
+                | VcWriter::Striped(_)
         )
+    }
+}
+
+/// True when a send error means *this path* is unusable (the stream can be
+/// re-issued on another path) rather than the stream itself being invalid.
+fn is_path_fault(e: &MadError) -> bool {
+    matches!(
+        e,
+        MadError::PeerUnreachable(_) | MadError::CreditTimeout { .. }
+    )
+}
+
+/// Per-stream adaptive multi-path writer. The stream is an ordinary GTM
+/// stream bound to the gateway the selector deems cheapest; every packed
+/// block is also remembered (by reference — `pack` data must outlive the
+/// writer anyway) so that, if the bound gateway dies mid-stream, the whole
+/// stream can be re-issued from scratch on a surviving path with the
+/// header's retry flag set. The receiver's assembler grafts the retry over
+/// the partial first attempt, and readers skip the already-consumed prefix
+/// of the replay ([`StreamItem::Restart`]).
+pub struct MultipathWriter<'c, 'd> {
+    vc: &'c VirtualChannel,
+    mp: Arc<MultiPath>,
+    dest: NodeId,
+    tag: StreamTag,
+    paths: Vec<PathHop>,
+    /// Blocks packed so far, for failover replay.
+    packed: Vec<(&'d [u8], SendMode, RecvMode)>,
+    inner: Option<GtmWriter<'c>>,
+    /// The path the live attempt is bound to (gateway rank + network).
+    hop: PathHop,
+    /// Gateways that already failed this stream (never re-chosen).
+    tried: Vec<u32>,
+}
+
+impl<'d> MultipathWriter<'_, 'd> {
+    /// Bind the stream to the cheapest live untried path and send its
+    /// header. Path faults during the header send mark the path dead and
+    /// move on; only running out of paths (or a non-path error) fails.
+    fn start(&mut self, retry: bool) -> Result<()> {
+        loop {
+            let Some(hop) = self.mp.choose(self.dest, &self.paths, &self.tried) else {
+                return Err(MadError::PeerUnreachable(self.dest));
+            };
+            let channel = &self.vc.special[&NetworkId(hop.net)];
+            let flow = self.vc.flow.as_ref().map(|f| f.writer(!self.vc.is_gateway));
+            // Request a handoff ack: the retry machinery can then also
+            // cover a gateway that dies *after* accepting the whole stream
+            // but before relaying its tail.
+            match GtmWriter::begin_attempt(
+                channel,
+                NodeId(hop.node),
+                self.tag,
+                self.vc.mtu,
+                false,
+                retry,
+                true,
+                flow,
+            ) {
+                Ok(w) => {
+                    self.inner = Some(w);
+                    self.hop = hop;
+                    if retry {
+                        self.mp.note_failover();
+                        trace_instant!(
+                            self.vc.tracer,
+                            "route",
+                            "failover",
+                            "gateway" = hop.node as u64,
+                        );
+                    }
+                    return Ok(());
+                }
+                Err(e) if is_path_fault(&e) => {
+                    self.mp.mark_dead(hop.node);
+                    self.mp.complete(hop.node);
+                    self.tried.push(hop.node);
+                }
+                Err(e) => {
+                    self.mp.complete(hop.node);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// The bound gateway died: retire it, re-issue the stream (retry
+    /// header + replay of every packed block) on a surviving path.
+    fn failover(&mut self) -> Result<()> {
+        // The failed inner writer sealed itself on its error path.
+        self.inner = None;
+        self.mp.mark_dead(self.hop.node);
+        self.mp.complete(self.hop.node);
+        self.tried.push(self.hop.node);
+        loop {
+            self.start(true)?;
+            match self.replay() {
+                Ok(()) => return Ok(()),
+                Err(e) if is_path_fault(&e) => {
+                    self.inner = None;
+                    self.mp.mark_dead(self.hop.node);
+                    self.mp.complete(self.hop.node);
+                    self.tried.push(self.hop.node);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Re-pack every block of the stream on the freshly bound path.
+    fn replay(&mut self) -> Result<()> {
+        let w = self.inner.as_mut().expect("replay without a live attempt");
+        for &(data, send, recv) in &self.packed {
+            w.pack(data, send, recv)?;
+        }
+        Ok(())
+    }
+
+    fn pack(&mut self, data: &'d [u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        loop {
+            let w = self.inner.as_mut().expect("pack on a finished stream");
+            match w.pack(data, send, recv) {
+                Ok(()) => {
+                    self.packed.push((data, send, recv));
+                    return Ok(());
+                }
+                // After a successful failover the replay covered `packed`
+                // but not this block: loop to retry it on the new path.
+                Err(e) if is_path_fault(&e) => self.failover()?,
+                Err(e) => {
+                    self.mp.complete(self.hop.node);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Finish the stream: send the end packet, then wait for the first-hop
+    /// gateway's handoff ack. The ack (sent only after the gateway has
+    /// retransmitted the end) closes the last failure window — a gateway
+    /// that accepted the whole stream and died before relaying it would
+    /// otherwise lose the stream with no one noticing. An ack deadline or
+    /// a returning cancel marks the path dead and re-issues the stream on
+    /// a survivor; the receiver absorbs replays of streams that did arrive
+    /// (the ack, not the stream, was lost) as ghosts.
+    fn end_packing(mut self) -> Result<()> {
+        loop {
+            let w = self.inner.take().expect("stream already finished");
+            match w.end_packing().and_then(|()| self.wait_ack()) {
+                Ok(()) => {
+                    self.mp.complete(self.hop.node);
+                    let bytes: u64 = self.packed.iter().map(|(d, _, _)| d.len() as u64).sum();
+                    self.mp.note_bytes(self.hop.node, bytes);
+                    return Ok(());
+                }
+                Err(e) if is_path_fault(&e) => self.failover()?,
+                Err(e) => {
+                    self.mp.complete(self.hop.node);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Pump the bound path's special conduit until the gateway's handoff
+    /// ack for this stream arrives. Interleaved flow-control traffic of
+    /// other streams is deposited into the shared ledger on the way; a
+    /// cancel for this stream surfaces as its typed error; deadline expiry
+    /// means the gateway died holding the stream.
+    fn wait_ack(&self) -> Result<()> {
+        let channel = &self.vc.special[&NetworkId(self.hop.net)];
+        let peer = NodeId(self.hop.node);
+        let runtime = channel.runtime();
+        let deadline = runtime.now_nanos().saturating_add(self.mp.ack_timeout_ns());
+        loop {
+            let seen = channel.recv_event().epoch();
+            loop {
+                let mut conduit = channel.lock_conduit(peer)?;
+                if !conduit.ready() {
+                    break;
+                }
+                let packet = runtime.pool().adopt(conduit.recv_owned()?);
+                drop(conduit);
+                channel.stats().on_recv(peer.0, packet.len());
+                let (tag, body) = gtm::decode_packet(&packet)?;
+                match body {
+                    PacketBody::Ack if tag.key() == self.tag.key() => return Ok(()),
+                    // A stale ack of an earlier stream whose wait already
+                    // gave up (its retry is what actually delivered).
+                    PacketBody::Ack => {}
+                    PacketBody::Credit(n) => {
+                        if let Some(f) = &self.vc.flow {
+                            f.ledger().deposit(tag.key(), n);
+                        }
+                    }
+                    PacketBody::Cancel(reason) if tag.key() == self.tag.key() => {
+                        return Err(cancel_error(reason, &self.tag));
+                    }
+                    PacketBody::Cancel(reason) => {
+                        if let Some(f) = &self.vc.flow {
+                            f.ledger().cancel(tag.key(), reason);
+                        }
+                    }
+                    other => {
+                        return Err(MadError::Protocol(format!(
+                            "unexpected {other:?} while awaiting a handoff ack"
+                        )))
+                    }
+                }
+            }
+            let now = runtime.now_nanos();
+            if now >= deadline {
+                return Err(MadError::PeerUnreachable(peer));
+            }
+            channel.recv_event().wait_past_timeout(seen, deadline - now);
+        }
+    }
+}
+
+/// Fragment-striped writer: the stream's header travels on *every* path,
+/// and each body packet (descriptor, fragment, logical end) is wrapped in
+/// a sequence-numbered stripe envelope and round-robined across the paths.
+/// The receiver's assembler replays envelopes in sequence order, so the
+/// reader sees exactly the single-path stream. Each path finally carries a
+/// plain end packet as its transport terminator.
+pub struct StripedWriter<'c> {
+    vc: &'c VirtualChannel,
+    mp: Arc<MultiPath>,
+    tag: StreamTag,
+    frag_prelude: [u8; PRELUDE_LEN],
+    paths: Vec<PathHop>,
+    /// Effective fragment size: the route MTU shrunk so prelude + envelope
+    /// + fragment fits every path's packet limit.
+    mtu: usize,
+    next_seq: u32,
+    rr: usize,
+    bytes_by_path: Vec<u64>,
+    finished: bool,
+}
+
+impl StripedWriter<'_> {
+    /// Envelope one body packet and send it on the next path round-robin.
+    /// Returns the path index used. A send failure marks unreachable paths
+    /// dead so *future* streams shrink to the live set.
+    fn send_next(&mut self, inner: &[&[u8]]) -> Result<usize> {
+        let i = self.rr % self.paths.len();
+        self.rr += 1;
+        let hop = self.paths[i];
+        let sp = gtm::stripe_prelude(&self.tag, self.next_seq);
+        self.next_seq += 1;
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(inner.len() + 1);
+        parts.push(&sp);
+        parts.extend_from_slice(inner);
+        let channel = &self.vc.special[&NetworkId(hop.net)];
+        match channel.send_packet(NodeId(hop.node), &parts) {
+            Ok(()) => Ok(i),
+            Err(e) => {
+                if matches!(e, MadError::PeerUnreachable(_)) {
+                    self.mp.mark_dead(hop.node);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn pack(&mut self, data: &[u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        match self.pack_inner(data, send, recv) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.finished = true;
+                self.cancel_paths(0);
+                Err(e)
+            }
+        }
+    }
+
+    fn pack_inner(&mut self, data: &[u8], send: SendMode, recv: RecvMode) -> Result<()> {
+        let part = gtm::encode_part(
+            &self.tag,
+            &GtmPartDesc {
+                len: data.len() as u64,
+                send,
+                recv,
+            },
+        );
+        self.send_next(&[&part])?;
+        for chunk in data.chunks(self.mtu) {
+            let fp = self.frag_prelude;
+            let i = self.send_next(&[&fp, chunk])?;
+            self.bytes_by_path[i] += chunk.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Best-effort cancel on paths `from..` so downstream hops (and the
+    /// receiver) release the stream instead of waiting for ends that will
+    /// never come. Paths before `from` already carried their terminator.
+    fn cancel_paths(&self, from: usize) {
+        let pkt = gtm::encode_cancel(&self.tag, CancelReason::PeerUnreachable);
+        for hop in &self.paths[from..] {
+            let _ = self.vc.special[&NetworkId(hop.net)].send_packet(NodeId(hop.node), &[&pkt]);
+        }
+    }
+
+    fn end_packing(mut self) -> Result<()> {
+        let r = self.end_inner();
+        self.finished = true;
+        r
+    }
+
+    fn end_inner(&mut self) -> Result<()> {
+        let end = gtm::encode_end(&self.tag);
+        // The *logical* end rides an envelope (it carries the stream's
+        // highest sequence number); the plain ends below only terminate
+        // each path's transport-level stream state.
+        if let Err(e) = self.send_next(&[&end]) {
+            self.cancel_paths(0);
+            return Err(e);
+        }
+        for i in 0..self.paths.len() {
+            let hop = self.paths[i];
+            let channel = &self.vc.special[&NetworkId(hop.net)];
+            if let Err(e) = channel.send_packet(NodeId(hop.node), &[&end]) {
+                if matches!(e, MadError::PeerUnreachable(_)) {
+                    self.mp.mark_dead(hop.node);
+                }
+                self.cancel_paths(i);
+                return Err(e);
+            }
+        }
+        for (i, hop) in self.paths.iter().enumerate() {
+            self.mp.note_bytes(hop.node, self.bytes_by_path[i]);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for StripedWriter<'_> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!("StripedWriter dropped without end_packing");
+        }
     }
 }
 
@@ -355,6 +829,11 @@ pub struct GtmStreamReader<'c> {
     header: GtmHeader,
     via: (NetworkId, NodeId),
     finished: bool,
+    /// Items already handed to the caller, so a multi-path failover replay
+    /// ([`StreamItem::Restart`]) can skip the same deterministic prefix.
+    consumed: u64,
+    /// Items of the current replay still to swallow silently.
+    skip: u64,
 }
 
 impl GtmStreamReader<'_> {
@@ -378,13 +857,39 @@ impl GtmStreamReader<'_> {
         cancel_error(reason, &self.header.tag)
     }
 
-    /// Next item of this stream, pumping the via-conduit as needed.
-    fn next_item(&self) -> Result<StreamItem> {
+    /// Next item of this stream, pumping conduits as needed. Without a
+    /// routing plane only the stream's via-conduit is pumped; with one,
+    /// any ready conduit is (stripes and failover replays arrive on paths
+    /// other than the one the header came in on).
+    fn next_item(&mut self) -> Result<StreamItem> {
         loop {
-            if let Some(item) = self.vc.demux.lock().unwrap().asm.next_item(self.key) {
-                return Ok(item);
+            let buffered = self.vc.demux.lock().unwrap().asm.next_item(self.key);
+            if let Some(item) = buffered {
+                match item {
+                    StreamItem::Restart => {
+                        // The sender re-issued the stream from scratch:
+                        // swallow the prefix this reader already consumed
+                        // (fragmentation is deterministic, so the replay's
+                        // items line up one-to-one with the originals).
+                        self.skip = self.consumed;
+                        continue;
+                    }
+                    item @ StreamItem::Cancelled(_) => return Ok(item),
+                    item => {
+                        if self.skip > 0 {
+                            self.skip -= 1;
+                            continue;
+                        }
+                        self.consumed += 1;
+                        return Ok(item);
+                    }
+                }
             }
-            let (net, peer) = self.via;
+            let (net, peer) = if self.vc.multipath.is_some() {
+                self.vc.select_any()?
+            } else {
+                self.via
+            };
             let channel = &self.vc.regular[&net];
             let packet = channel.lock_conduit(peer)?.recv_owned()?;
             channel.stats().on_recv(peer.0, packet.len());
@@ -464,21 +969,31 @@ impl GtmStreamReader<'_> {
         Ok(())
     }
 
-    /// Consume the end packet and drop the stream's demux state.
+    /// Consume the end packet and drop the stream's demux state. Only a
+    /// real end marks the stream *delivered* (so the assembler can absorb
+    /// an ack-lost replay as a ghost); cancelled streams stay replayable.
     pub fn end_unpacking(mut self) -> Result<()> {
         self.finished = true;
         let item = self.next_item()?;
         let mut d = self.vc.demux.lock().unwrap();
-        d.asm.finish(self.key);
         d.via.remove(&self.key);
         match item {
-            StreamItem::End => Ok(()),
-            // The demux state is already dropped above, which is all the
-            // cleanup a cancelled stream needs here.
-            StreamItem::Cancelled(reason) => Err(cancel_error(reason, &self.header.tag)),
-            other => Err(MadError::Protocol(format!(
-                "expected GTM end, got {other:?}"
-            ))),
+            StreamItem::End => {
+                d.asm.finish_delivered(self.key);
+                Ok(())
+            }
+            // Dropping the demux state is all the cleanup a cancelled
+            // stream needs here.
+            StreamItem::Cancelled(reason) => {
+                d.asm.finish(self.key);
+                Err(cancel_error(reason, &self.header.tag))
+            }
+            other => {
+                d.asm.finish(self.key);
+                Err(MadError::Protocol(format!(
+                    "expected GTM end, got {other:?}"
+                )))
+            }
         }
     }
 }

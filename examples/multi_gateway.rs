@@ -1,76 +1,129 @@
-//! Multi-gateway routing: three heterogeneous clusters in a chain.
+//! Parallel gateways through the multi-path routing plane.
 //!
-//! SCI cluster {0,1} — gateway 1 — Myrinet cluster {1,2,3} — gateway 3 —
-//! Fast-Ethernet cluster {3,4}. A message from 0 to 4 crosses *two*
-//! gateways; the paper's §2.2.2 explains why the last hop must arrive on
-//! the regular channel (a second gateway could not otherwise distinguish
-//! "forward me" from "deliver me").
+//! Two clusters — Myrinet {0,1,2} and SCI {1,2,3} — are bridged by *two*
+//! gateway hosts (ranks 1 and 2), so the `RoutePlan` for 0 → 3 has width
+//! 2. Two virtual channels over the same wires demonstrate both striping
+//! policies:
+//!
+//! * `streams` (per-stream, the default): each message binds to the
+//!   cheapest path at its header and stays there; concurrent messages
+//!   spread across both gateways.
+//! * `striped` (per-fragment): a single bulk message round-robins its
+//!   fragments over both paths inside sequence-numbered stripe envelopes
+//!   and is reassembled byte-identically at the receiver.
+//!
+//! Either way the routing plane accounts every payload byte to the
+//! gateway that carried it — the per-path splits printed at the end.
 //!
 //! Run with: `cargo run --release --example multi_gateway`
 
 use mad_sim::{SimTech, Testbed};
+use madeleine::mad_route::StripePolicy;
 use madeleine::session::VcOptions;
-use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+use madeleine::{MultipathConfig, NodeId, RecvMode, SendMode, SessionBuilder};
+
+const MSGS: u32 = 6;
+const LEN: usize = 200 * 1024;
+const BULK: usize = 1 << 20;
+
+fn split_line(split: &[(u32, u64)]) -> String {
+    split
+        .iter()
+        .map(|&(gw, b)| format!("gateway {gw}: {} KB", b >> 10))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 fn main() {
-    let testbed = Testbed::new(5);
-    let mut session = SessionBuilder::new(5).with_runtime(testbed.runtime());
-    let sci = session.network("sci", testbed.driver(SimTech::Sci), &[0, 1]);
-    let myri = session.network("myrinet", testbed.driver(SimTech::Myrinet), &[1, 2, 3]);
-    let eth = session.network("ethernet", testbed.driver(SimTech::FastEthernet), &[3, 4]);
+    let testbed = Testbed::new(4);
+    let mut session = SessionBuilder::new(4).with_runtime(testbed.runtime());
+    let myri = session.network("myrinet", testbed.driver(SimTech::Myrinet), &[0, 1, 2]);
+    let sci = session.network("sci", testbed.driver(SimTech::Sci), &[1, 2, 3]);
     session.vchannel(
-        "vc",
-        &[sci, myri, eth],
+        "streams",
+        &[myri, sci],
         VcOptions {
             mtu: Some(16 * 1024),
+            multipath: Some(MultipathConfig::default()),
+            ..Default::default()
+        },
+    );
+    session.vchannel(
+        "striped",
+        &[myri, sci],
+        VcOptions {
+            mtu: Some(16 * 1024),
+            multipath: Some(MultipathConfig {
+                policy: StripePolicy::PerFragment,
+                ..Default::default()
+            }),
             ..Default::default()
         },
     );
 
-    const N: usize = 256 * 1024;
     let results = session.run(|node| {
-        let vc = node.vchannel("vc");
+        let streams = node.vchannel("streams");
+        let striped = node.vchannel("striped");
         node.barrier().wait();
         match node.rank().0 {
             0 => {
-                // 0 can reach everyone; 4 is two gateways away.
-                let dests = vc.destinations();
-                assert_eq!(dests.len(), 4);
-                let data = vec![0xEEu8; N];
-                let mut w = vc.begin_packing(NodeId(4)).unwrap();
-                w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                // The plan for 0 → 3 goes through either gateway.
+                let mp = streams.multipath().expect("multipath enabled");
+                let width = mp.plan(NodeId(0)).width(3);
+                assert_eq!(width, 2, "expected two parallel paths to rank 3");
+
+                // A schedule of per-stream-routed messages...
+                for i in 0..MSGS {
+                    let data = vec![i as u8; LEN];
+                    let hdr = [i as u8];
+                    let mut w = streams.begin_packing(NodeId(3)).unwrap();
+                    w.pack(&hdr, SendMode::Safer, RecvMode::Express).unwrap();
+                    w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    w.end_packing().unwrap();
+                }
+                // ...then one bulk message striped fragment-by-fragment.
+                let bulk: Vec<u8> = (0..BULK).map(|i| i as u8).collect();
+                let mut w = striped.begin_packing(NodeId(3)).unwrap();
+                w.pack(&bulk, SendMode::Later, RecvMode::Cheaper).unwrap();
                 w.end_packing().unwrap();
-                // Wait for the echo that 4 sends back through both gateways.
-                let mut r = vc.begin_unpacking().unwrap();
-                assert_eq!(r.source(), NodeId(4));
-                let mut echo = vec![0u8; N];
-                r.unpack(&mut echo, SendMode::Later, RecvMode::Cheaper)
-                    .unwrap();
-                r.end_unpacking().unwrap();
-                assert!(echo.iter().all(|&b| b == 0xEE));
-                "round trip 0→4→0 across two gateways verified".to_string()
-            }
-            1 => "gateway SCI↔Myrinet (library threads only)".to_string(),
-            2 => "bystander on the Myrinet cluster".to_string(),
-            3 => "gateway Myrinet↔Fast-Ethernet (library threads only)".to_string(),
-            4 => {
-                let mut r = vc.begin_unpacking().unwrap();
-                assert!(r.is_forwarded());
-                assert_eq!(r.source(), NodeId(0));
-                let mut buf = vec![0u8; N];
-                r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
-                    .unwrap();
-                r.end_unpacking().unwrap();
-                // Echo it back the way it came.
-                let mut w = vc.begin_packing(NodeId(0)).unwrap();
-                w.pack(&buf, SendMode::Later, RecvMode::Cheaper).unwrap();
-                w.end_packing().unwrap();
+
+                let stream_split = mp.path_bytes();
+                let stripe_split = striped.multipath().unwrap().path_bytes();
                 format!(
-                    "received {} KB from n0 via two gateways, echoed back",
-                    N >> 10
+                    "plan width {width}\n         per-stream split: {}\n         per-fragment split: {}",
+                    split_line(&stream_split),
+                    split_line(&stripe_split),
                 )
             }
-            _ => unreachable!(),
+            3 => {
+                let mut seen = 0u64;
+                for _ in 0..MSGS {
+                    let mut r = streams.begin_unpacking().unwrap();
+                    let mut hdr = [0u8; 1];
+                    r.unpack(&mut hdr, SendMode::Safer, RecvMode::Express)
+                        .unwrap();
+                    let mut buf = vec![0u8; LEN];
+                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
+                    r.end_unpacking().unwrap();
+                    assert!(buf.iter().all(|&b| b == hdr[0]), "stream corrupted");
+                    seen += 1;
+                }
+                let mut bulk = vec![0u8; BULK];
+                let mut r = striped.begin_unpacking().unwrap();
+                r.unpack(&mut bulk, SendMode::Later, RecvMode::Cheaper)
+                    .unwrap();
+                r.end_unpacking().unwrap();
+                assert!(
+                    bulk.iter().enumerate().all(|(i, &b)| b == i as u8),
+                    "striped bulk message corrupted"
+                );
+                format!(
+                    "received {seen} per-stream messages and a {} KB striped bulk intact",
+                    BULK >> 10
+                )
+            }
+            r => format!("gateway {r} Myrinet↔SCI (library threads only)"),
         }
     });
 

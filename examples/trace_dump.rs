@@ -28,6 +28,7 @@ fn vc_options() -> VcOptions {
     VcOptions {
         mtu: Some(32 * 1024),
         gateway: GatewayConfig::default(),
+        ..Default::default()
     }
 }
 
@@ -113,6 +114,7 @@ fn run_sim_faulted() -> mad_trace::Snapshot {
                 credit_window: Some(8),
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
     let ok = sb.run(app);

@@ -41,9 +41,20 @@ echo "== ablation_batching --smoke (gateway transmit batching)"
 cargo run -q --release --offline -p mad-bench --bin ablation_batching -- \
   --smoke --trace "$trace_dir/a7.jsonl"
 
+# A8 smoke: multi-path gateway scaling (with its >=1.6x two-path
+# aggregate-bandwidth assertion) plus the seeded gateway-death soak, with
+# a traced 2-gateway run — the one trace that must carry the `route:`
+# track, which trace_check enforces via --require-route.
+echo
+echo "== multipath_scaling --smoke (multi-path gateway fabrics)"
+cargo run -q --release --offline -p mad-bench --bin multipath_scaling -- \
+  --smoke --trace "$trace_dir/a8.jsonl"
+
 cargo run -q --release --offline -p mad-bench --bin trace_check -- \
   "$trace_dir/ci.sim.jsonl" "$trace_dir/ci.fault.jsonl" "$trace_dir/ci.shm.jsonl" \
   "$trace_dir/a7.jsonl"
+cargo run -q --release --offline -p mad-bench --bin trace_check -- \
+  --require-route "$trace_dir/a8.jsonl"
 
 # Lints gate only when clippy is actually installed (sealed containers
 # may ship a toolchain without the component).

@@ -131,6 +131,7 @@ fn drain_timeout_unblocks_lost_source() {
                 drain_timeout_ns: DRAIN_NS,
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
 

@@ -37,11 +37,7 @@ fn encode_stream(
     direct: bool,
     blocks: &[(Vec<u8>, u32, u32)],
 ) -> Vec<Vec<u8>> {
-    let mut pkts = vec![gtm::encode_header(&GtmHeader {
-        tag: *tag,
-        mtu,
-        direct,
-    })];
+    let mut pkts = vec![gtm::encode_header(&GtmHeader::new(*tag, mtu, direct))];
     for (data, s, r) in blocks {
         pkts.push(gtm::encode_part(
             tag,

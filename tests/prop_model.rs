@@ -10,7 +10,9 @@ use std::sync::Arc;
 use mad_util::prop::{self, Config};
 use mad_util::{prop_assert, prop_assert_eq, prop_require};
 use madeleine::gtm;
+use madeleine::mad_route;
 use madeleine::plan;
+use madeleine::routing;
 use simnet::{Arbitration, FluidBus, XferClass, XferDir};
 use vtime::{Clock, SimDuration};
 
@@ -93,15 +95,15 @@ fn gtm_header_round_trip() {
         },
         |&(src, dest, msg_id, mtu, direct)| {
             prop_require!(mtu >= 1);
-            let h = gtm::GtmHeader {
-                tag: gtm::StreamTag {
+            let h = gtm::GtmHeader::new(
+                gtm::StreamTag {
                     src: madeleine::NodeId(src),
                     dest: madeleine::NodeId(dest),
                     msg_id,
                 },
                 mtu,
                 direct,
-            };
+            );
             prop_assert_eq!(
                 gtm::decode_packet(&gtm::encode_header(&h)).unwrap(),
                 (h.tag, gtm::PacketBody::Header(h))
@@ -241,6 +243,228 @@ fn virtual_clock_sums_sleeps_exactly() {
             prop_assert_eq!(h.join().unwrap(), expect);
             Ok(())
         },
+    );
+}
+
+// ------------------------------------------------------------ routing plane
+
+/// The multi-path plan must agree with the legacy single-path router on
+/// every topology: same reachable set, and `paths(dest)[0]` — the hop the
+/// transport uses whenever it is not striping — identical to the BFS hop,
+/// so a width-1 plan forwards byte-identically to the pre-multipath
+/// library. Plus the plan invariants: no duplicate parallel edges, every
+/// edge starts at `src`, `last` exactly for distance-1 destinations.
+fn plan_matches_legacy_router_property(nets: &[(u32, Vec<u32>)]) -> Result<(), String> {
+    use std::collections::BTreeSet;
+
+    let decls: Vec<mad_route::NetworkDecl> = nets
+        .iter()
+        .map(|(net, members)| mad_route::NetworkDecl {
+            net: *net,
+            members: members.clone(),
+        })
+        .collect();
+    let legacy_nets: Vec<routing::NetworkMembers> = nets
+        .iter()
+        .map(|(net, members)| routing::NetworkMembers {
+            net: madeleine::NetworkId(*net),
+            members: members.iter().map(|&m| madeleine::NodeId(m)).collect(),
+        })
+        .collect();
+
+    let table = mad_route::compute_table(&decls);
+    let nodes: BTreeSet<u32> = nets.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+    for &src in &nodes {
+        let plan = table.plan(src);
+        let legacy = routing::compute_routes(&legacy_nets, madeleine::NodeId(src));
+        let plan_dests: BTreeSet<u32> = plan.destinations().collect();
+        let legacy_dests: BTreeSet<u32> = legacy.destinations().map(|d| d.0).collect();
+        prop_assert_eq!(plan_dests, legacy_dests, "reachable sets differ from {src}");
+        for dest in plan.destinations() {
+            let hop = legacy
+                .hop(madeleine::NodeId(dest))
+                .map_err(|e| format!("legacy lost {src} -> {dest}: {e:?}"))?;
+            let primary = plan
+                .primary(dest)
+                .ok_or(format!("plan lost {src} -> {dest}"))?;
+            prop_assert_eq!(primary.net, hop.net.0, "{src} -> {dest}: wrong net");
+            prop_assert_eq!(primary.node, hop.node.0, "{src} -> {dest}: wrong node");
+            prop_assert_eq!(primary.last, hop.last, "{src} -> {dest}: wrong last");
+            let paths = plan.paths(dest);
+            let edges: BTreeSet<(u32, u32)> = paths.iter().map(|h| (h.net, h.node)).collect();
+            prop_assert_eq!(
+                edges.len(),
+                paths.len(),
+                "{src} -> {dest}: duplicate parallel edges {paths:?}"
+            );
+            for h in paths {
+                prop_assert_eq!(h.last, hop.last, "{src} -> {dest}: disagreeing last flags");
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn route_plan_primary_matches_legacy_router() {
+    prop::check(
+        "route_plan_primary_matches_legacy_router",
+        &Config::default(),
+        |rng| {
+            prop::vec_of(rng, 1..5, |r| {
+                (
+                    r.gen_range(0u32..6),
+                    prop::vec_of(r, 0..7, |r2| r2.gen_range(0u32..10)),
+                )
+            })
+            .into_iter()
+            .enumerate()
+            // Distinct network ids (duplicate decls would just shadow each
+            // other identically in both routers — not interesting).
+            .map(|(i, (_, m))| (i as u32, m))
+            .collect::<Vec<_>>()
+        },
+        |nets| plan_matches_legacy_router_property(nets),
+    );
+}
+
+/// Pinned case: the paper's two-parallel-gateway topology. The primary
+/// must be the lowest (net, node) edge and the plan width 2.
+#[test]
+fn route_plan_regression_parallel_gateways() {
+    let nets = vec![(0u32, vec![0u32, 1, 2]), (1u32, vec![1u32, 2, 3])];
+    plan_matches_legacy_router_property(&nets).unwrap();
+    let table = mad_route::compute_table(&[
+        mad_route::NetworkDecl {
+            net: 0,
+            members: vec![0, 1, 2],
+        },
+        mad_route::NetworkDecl {
+            net: 1,
+            members: vec![1, 2, 3],
+        },
+    ]);
+    let paths = table.plan(0).paths(3);
+    assert_eq!(paths.len(), 2);
+    assert_eq!((paths[0].net, paths[0].node), (0, 1));
+    assert_eq!((paths[1].net, paths[1].node), (0, 2));
+}
+
+/// Per-fragment striping reassembles byte-identically: the envelopes of a
+/// striped stream are dealt to random paths and delivered in any
+/// order-preserving interleaving of the per-path queues (each path is a
+/// FIFO conduit, but paths race each other freely); the assembler must
+/// reconstruct every block exactly, then drain the per-path transport
+/// ends and go idle.
+fn striped_reassembly_property(input: &(Vec<Vec<u8>>, usize, usize, u64)) -> Result<(), String> {
+    let (parts, mtu, paths, seed) = input;
+    let (mtu, paths) = (*mtu, *paths);
+    prop_require!(mtu >= 1 && (2..=4).contains(&paths) && !parts.is_empty());
+
+    let t = gtm::StreamTag {
+        src: madeleine::NodeId(0),
+        dest: madeleine::NodeId(9),
+        msg_id: 7,
+    };
+    let mut h = gtm::GtmHeader::new(t, mtu as u32, false);
+    h.stripes = paths as u8;
+
+    // The sender's global envelope sequence: per block, a part descriptor
+    // followed by its MTU-sized fragments; then the logical end.
+    let mut inners: Vec<Vec<u8>> = Vec::new();
+    for data in parts {
+        inners.push(gtm::encode_part(
+            &t,
+            &gtm::GtmPartDesc {
+                len: data.len() as u64,
+                send: madeleine::SendMode::Later,
+                recv: madeleine::RecvMode::Cheaper,
+            },
+        ));
+        for chunk in data.chunks(mtu) {
+            let mut f = gtm::frag_prelude(&t).to_vec();
+            f.extend_from_slice(chunk);
+            inners.push(f);
+        }
+    }
+    inners.push(gtm::encode_end(&t));
+
+    // Deal the envelopes to random paths (any deal is legal — the writer
+    // happens to round-robin); each path opens with its header copy and
+    // closes with its plain transport end.
+    let mut rng = mad_util::rng::Rng::new(*seed);
+    let mut queues: Vec<std::collections::VecDeque<Vec<u8>>> = (0..paths)
+        .map(|_| std::collections::VecDeque::from([gtm::encode_header(&h)]))
+        .collect();
+    for (seq, inner) in inners.iter().enumerate() {
+        let mut pkt = gtm::stripe_prelude(&t, seq as u32).to_vec();
+        pkt.extend_from_slice(inner);
+        queues[rng.gen_range(0..paths)].push_back(pkt);
+    }
+    for q in &mut queues {
+        q.push_back(gtm::encode_end(&t));
+    }
+
+    // Random order-preserving merge, one packet at a time.
+    let mut asm = gtm::StreamAssembler::new();
+    while queues.iter().any(|q| !q.is_empty()) {
+        let nonempty: Vec<usize> = (0..paths).filter(|&i| !queues[i].is_empty()).collect();
+        let i = nonempty[rng.gen_range(0..nonempty.len())];
+        let pkt = queues[i].pop_front().unwrap();
+        asm.push_packet_from(i as u64 + 1, pkt)
+            .map_err(|e| format!("push rejected: {e:?}"))?;
+    }
+
+    // Drain: blocks must come back byte-identical, in order.
+    let key = asm.pop_ready().ok_or("stream never became ready")?;
+    let mut got: Vec<Vec<u8>> = Vec::new();
+    let mut ended = false;
+    while let Some(item) = asm.next_item(key) {
+        match item {
+            gtm::StreamItem::Part(d) => {
+                if let Some(prev) = got.last() {
+                    prop_assert_eq!(prev.len(), parts[got.len() - 1].len(), "short block");
+                }
+                got.push(Vec::with_capacity(d.len as usize));
+            }
+            gtm::StreamItem::Frag(f) => {
+                let cur = got.last_mut().ok_or("fragment before any part")?;
+                cur.extend_from_slice(gtm::frag_payload(&f));
+            }
+            gtm::StreamItem::End => {
+                ended = true;
+                break;
+            }
+            other => return Err(format!("unexpected item {other:?}")),
+        }
+    }
+    prop_assert!(ended, "logical end never surfaced");
+    prop_assert_eq!(got.len(), parts.len(), "block count differs");
+    for (i, (g, p)) in got.iter().zip(parts).enumerate() {
+        prop_assert_eq!(g, p, "block #{i} not byte-identical");
+    }
+    asm.finish(key);
+    prop_assert!(
+        asm.is_idle(),
+        "assembler not idle after finish + all path ends"
+    );
+    Ok(())
+}
+
+#[test]
+fn striped_stream_reassembles_byte_identically() {
+    prop::check(
+        "striped_stream_reassembles_byte_identically",
+        &Config::default(),
+        |rng| {
+            (
+                prop::vec_of(rng, 1..4, |r| prop::bytes(r, 0..5_000)),
+                rng.gen_range(1usize..2_048),
+                rng.gen_range(2usize..5),
+                rng.next_u64(),
+            )
+        },
+        striped_reassembly_property,
     );
 }
 

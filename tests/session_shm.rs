@@ -323,6 +323,7 @@ fn pipeline_depth_one_still_correct() {
                 pipeline_depth: 1,
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
     let results = sb.run(|node| {

@@ -8,7 +8,7 @@ use mad_util::rng::Rng;
 use madeleine::error::MadError;
 use madeleine::gateway::GatewayConfig;
 use madeleine::session::VcOptions;
-use madeleine::{NodeId, RecvMode, SendMode, SessionBuilder};
+use madeleine::{MultipathConfig, NodeId, RecvMode, SendMode, SessionBuilder};
 use vtime::SimDuration;
 
 /// Root seed of the randomized soaks; override with `MAD_SOAK_SEED=<u64>`
@@ -335,6 +335,7 @@ fn credit_window_bounds_gateway_occupancy() {
                     credit_window: window,
                     ..Default::default()
                 },
+                ..Default::default()
             },
         );
         let (stamps, stats) = sb.run_with_gateway_stats(move |node| {
@@ -453,6 +454,7 @@ fn fault_soak_stall_jitter_peer_death() {
                 drain_timeout_ns: 100_000_000, // 100 virtual ms
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
 
@@ -549,6 +551,7 @@ fn pool_reaches_zero_miss_steady_state() {
                 max_batch: 4,
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
 
@@ -600,6 +603,101 @@ fn pool_reaches_zero_miss_steady_state() {
         "pool missed {} times after warm-up: the gateway/GTM path is \
          allocating per fragment again",
         end_misses - warm_misses
+    );
+}
+
+/// Multi-path death soak, seeded: a width-3 parallel-gateway fabric
+/// relays a schedule of bulk streams while one gateway — chosen by the
+/// seed — silently dies at a seeded point mid-schedule. The routing
+/// plane must retire the dead path (`deaths >= 1`), every stream must
+/// arrive intact and exactly once on a surviving gateway, the plane's
+/// byte accounting must balance, and the session must tear down with
+/// zero hangs. Which streams need a mid-flight *failover* (vs. being
+/// caught at their header send and merely re-routed) depends on the
+/// schedule, so failovers are not asserted — delivery is.
+#[test]
+fn multipath_death_soak_delivers_every_stream() {
+    const MSGS: u32 = 18;
+
+    // Seeded schedule: bulk sizes, the victim gateway, and the kill time.
+    let mut rng = Rng::new(soak_seed() ^ 0x4D50_4454); // "MPDT"
+    let sizes: Vec<usize> = (0..MSGS)
+        .map(|_| rng.gen_range(100_000..300_000usize))
+        .collect();
+    let victim = rng.gen_range(1..4usize) as u32; // one of gateways 1..3
+    let kill_at_ns = 10_000_000 + rng.gen_range(0..20_000_000usize) as u64;
+    let sizes = std::sync::Arc::new(sizes);
+
+    // net0 {0,1,2,3} Myrinet, net1 {1,2,3,4} Sci: ranks 1–3 all span the
+    // clusters, so the plan for 0 → 4 has width 3.
+    let tb = Testbed::new(5);
+    tb.kill_host(victim as usize, kill_at_ns);
+    let mut sb = SessionBuilder::new(5).with_runtime(tb.runtime());
+    let n0 = sb.network("myri", tb.driver(SimTech::Myrinet), &[0, 1, 2, 3]);
+    let n1 = sb.network("sci", tb.driver(SimTech::Sci), &[1, 2, 3, 4]);
+    sb.vchannel(
+        "vc",
+        &[n0, n1],
+        VcOptions {
+            mtu: Some(8 * 1024),
+            multipath: Some(MultipathConfig::default()),
+            gateway: GatewayConfig {
+                drain_timeout_ns: 100_000_000, // dead engine must not hang teardown
+                ..Default::default()
+            },
+        },
+    );
+
+    let sizes2 = sizes.clone();
+    let deaths = sb.run(move |node| {
+        let vc = node.vchannel("vc");
+        node.barrier().wait();
+        match node.rank().0 {
+            0 => {
+                for (i, &len) in sizes2.iter().enumerate() {
+                    let data = payload(0, 4, i as u32, len);
+                    let mut w = vc.begin_packing(NodeId(4)).unwrap();
+                    // Streams on different paths may overtake each other,
+                    // so stamp the index for the receiver.
+                    let hdr = [i as u8];
+                    w.pack(&hdr, SendMode::Safer, RecvMode::Express).unwrap();
+                    w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    w.end_packing().unwrap();
+                }
+                let mp = vc.multipath().expect("multipath enabled");
+                // Conservation: every delivered byte is accounted to the
+                // path that actually carried it, replays included.
+                let total: u64 = mp.path_bytes().iter().map(|&(_, b)| b).sum();
+                let expect: u64 = sizes2.iter().map(|&l| l as u64 + 1).sum();
+                assert_eq!(total, expect, "path accounting out of balance");
+                mp.counters().deaths
+            }
+            4 => {
+                let mut seen = vec![false; MSGS as usize];
+                for _ in 0..MSGS {
+                    let mut r = vc.begin_unpacking().unwrap();
+                    let mut hdr = [0u8; 1];
+                    r.unpack(&mut hdr, SendMode::Safer, RecvMode::Express)
+                        .unwrap();
+                    let i = hdr[0] as u32;
+                    let len = sizes2[i as usize];
+                    let mut buf = vec![0u8; len];
+                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
+                    r.end_unpacking().unwrap();
+                    assert_eq!(buf, payload(0, 4, i, len), "stream #{i} corrupted");
+                    assert!(!seen[i as usize], "stream #{i} delivered twice");
+                    seen[i as usize] = true;
+                }
+                assert!(seen.iter().all(|&s| s), "missing streams: {seen:?}");
+                0
+            }
+            _ => 0, // the three gateways (one of them doomed)
+        }
+    });
+    assert!(
+        deaths[0] >= 1,
+        "gateway {victim} died at {kill_at_ns} ns but the routing plane never retired it"
     );
 }
 
