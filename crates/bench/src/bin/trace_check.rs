@@ -3,10 +3,11 @@
 //! `trace_check [--require-route] <file.jsonl>...` — each line must parse
 //! as a JSON object with the required keys (`ts`, `thread`, `kind`,
 //! `cat`, `name` plus the kind-specific ones), timestamps must be
-//! monotone per thread, and any routing-plane tracks (`route:`/`gw:`
-//! prefixes) must carry only their known counter events (`path_bytes`
-//! with its `gateway` arg, `switches`, `failovers`, `deaths`; the gateway
-//! totals and `delta_*` windows). With `--require-route`, a file with no
+//! monotone per thread, and any routing-plane or runtime tracks
+//! (`route:`/`gw:`/`rt:` prefixes) must carry only their known counter
+//! events (`path_bytes` with its `gateway` arg, `switches`, `failovers`,
+//! `deaths`; the gateway totals and `delta_*` windows; the `rt:`
+//! thread-budget totals). With `--require-route`, a file with no
 //! `route:` events at all fails — the flag guards traces that are
 //! supposed to come from a multi-path run. Exits non-zero on the first
 //! invalid file, so CI can gate on it.
@@ -56,14 +57,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!(
-            "{path}: ok — {} lines, {} threads, {} spans, {} counts, {} instants, {} route events, {} gw events",
+            "{path}: ok — {} lines, {} threads, {} spans, {} counts, {} instants, {} route events, {} gw events, {} rt events",
             base.lines,
             base.threads,
             base.spans,
             base.counts,
             base.instants,
             route.route_events,
-            route.gw_events
+            route.gw_events,
+            route.rt_events
         );
     }
     ExitCode::SUCCESS

@@ -67,6 +67,7 @@ pub struct SimRuntime {
     memcpy_bps: f64,
     trace: Option<TraceLog>,
     pool: Arc<mad_util::pool::BufferPool>,
+    spawned: std::sync::atomic::AtomicU64,
 }
 
 impl SimRuntime {
@@ -77,6 +78,7 @@ impl SimRuntime {
             memcpy_bps: calibration::MEMCPY_BPS,
             trace: None,
             pool: mad_util::pool::BufferPool::new(),
+            spawned: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -94,6 +96,7 @@ impl SimRuntime {
             memcpy_bps: calibration::MEMCPY_BPS,
             trace: Some(trace),
             pool: mad_util::pool::BufferPool::new(),
+            spawned: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -121,6 +124,7 @@ impl SimRuntime {
             memcpy_bps,
             trace: None,
             pool: mad_util::pool::BufferPool::new(),
+            spawned: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -132,6 +136,8 @@ impl SimRuntime {
 
 impl Runtime for SimRuntime {
     fn spawn(&self, name: String, f: Box<dyn FnOnce() + Send>) -> JoinHandle<()> {
+        self.spawned
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.clock.spawn(name, move |_actor| f())
     }
 
@@ -181,5 +187,9 @@ impl Runtime for SimRuntime {
 
     fn pool(&self) -> &Arc<mad_util::pool::BufferPool> {
         &self.pool
+    }
+
+    fn threads_spawned(&self) -> u64 {
+        self.spawned.load(std::sync::atomic::Ordering::Relaxed)
     }
 }

@@ -369,7 +369,7 @@ pub const ROUTE_EVENT_NAMES: [&str; 4] = ["path_bytes", "switches", "failovers",
 
 /// Event names allowed on a `gw:` track (all `count`s, cat `gateway`):
 /// the teardown totals plus the windowed cost-model deltas.
-pub const GW_EVENT_NAMES: [&str; 13] = [
+pub const GW_EVENT_NAMES: [&str; 14] = [
     "messages",
     "fragments",
     "fragment_bytes",
@@ -383,7 +383,13 @@ pub const GW_EVENT_NAMES: [&str; 13] = [
     "delta_bytes",
     "delta_stalls",
     "delta_occupancy",
+    "threads_spawned",
 ];
+
+/// Event names allowed on an `rt:` track (all `count`s, cat `runtime`):
+/// the session's end-of-run thread-budget accounting — runtime-spawned
+/// threads plus the reactor pools' worker and task totals.
+pub const RT_EVENT_NAMES: [&str; 3] = ["threads_spawned", "reactor_workers", "reactor_tasks"];
 
 /// What [`validate_route_tracks`] found.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -392,15 +398,18 @@ pub struct RouteSummary {
     pub route_events: usize,
     /// Events on `gw:` tracks.
     pub gw_events: usize,
+    /// Events on `rt:` tracks.
+    pub rt_events: usize,
 }
 
 /// Validate the routing-plane tracks of a JSONL trace: every event on a
 /// `route:`-prefixed track is a `count` of cat `route` named in
 /// [`ROUTE_EVENT_NAMES`], with `path_bytes` carrying an integer
 /// `args.gateway`; every event on a `gw:`-prefixed track is a `count` of
-/// cat `gateway` named in [`GW_EVENT_NAMES`]. Traces without such tracks
-/// validate trivially (zero counts) — run [`validate_jsonl`] first for
-/// the base schema.
+/// cat `gateway` named in [`GW_EVENT_NAMES`]; every event on an
+/// `rt:`-prefixed track is a `count` of cat `runtime` named in
+/// [`RT_EVENT_NAMES`]. Traces without such tracks validate trivially
+/// (zero counts) — run [`validate_jsonl`] first for the base schema.
 pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
     let mut summary = RouteSummary::default();
     for (i, line) in text.lines().enumerate() {
@@ -415,6 +424,8 @@ pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
                 ("route", &ROUTE_EVENT_NAMES, &mut summary.route_events)
             } else if thread.starts_with("gw:") {
                 ("gateway", &GW_EVENT_NAMES, &mut summary.gw_events)
+            } else if thread.starts_with("rt:") {
+                ("runtime", &RT_EVENT_NAMES, &mut summary.rt_events)
             } else {
                 continue;
             };
@@ -511,6 +522,25 @@ mod tests {
 ";
         let s = validate_route_tracks(text).unwrap();
         assert_eq!((s.route_events, s.gw_events), (3, 1));
+    }
+
+    #[test]
+    fn rt_tracks_validate() {
+        let text = "\
+{\"ts\":1,\"thread\":\"rt:session\",\"kind\":\"count\",\"cat\":\"runtime\",\"name\":\"threads_spawned\",\"value\":7}
+{\"ts\":1,\"thread\":\"rt:session\",\"kind\":\"count\",\"cat\":\"runtime\",\"name\":\"reactor_workers\",\"value\":2}
+{\"ts\":1,\"thread\":\"rt:session\",\"kind\":\"count\",\"cat\":\"runtime\",\"name\":\"reactor_tasks\",\"value\":4}
+{\"ts\":2,\"thread\":\"gw:vc@1\",\"kind\":\"count\",\"cat\":\"gateway\",\"name\":\"threads_spawned\",\"value\":0}
+";
+        let s = validate_route_tracks(text).unwrap();
+        assert_eq!((s.rt_events, s.gw_events), (3, 1));
+        // Wrong cat and unknown names on an rt track are rejected.
+        let bad_cat = "{\"ts\":1,\"thread\":\"rt:session\",\"kind\":\"count\",\"cat\":\"rt\",\"name\":\"threads_spawned\",\"value\":1}\n";
+        assert!(validate_route_tracks(bad_cat).unwrap_err().contains("cat"));
+        let bad_name = "{\"ts\":1,\"thread\":\"rt:session\",\"kind\":\"count\",\"cat\":\"runtime\",\"name\":\"zap\",\"value\":1}\n";
+        assert!(validate_route_tracks(bad_name)
+            .unwrap_err()
+            .contains("unknown event"));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   `harness = false` bench targets.
 //! * [`pool`] — a size-classed recycling byte-buffer pool with
 //!   return-on-drop handles and hit/miss counters.
+//! * [`reactor`] — a readiness reactor (poll-driven tasks, timer wheel,
+//!   fixed worker pool) over a pluggable parking substrate, so the same
+//!   event loop runs on real condvars and on the virtual clock.
 
 #![warn(missing_docs)]
 
@@ -32,5 +35,6 @@ pub mod chan;
 pub mod microbench;
 pub mod pool;
 pub mod prop;
+pub mod reactor;
 pub mod rng;
 pub mod sync;

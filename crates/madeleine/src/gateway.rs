@@ -84,6 +84,24 @@
 //! [`Runtime::charge_overhead`], so the simulated gateway reproduces the
 //! paper's pipeline-period analysis.
 //!
+//! ## Engine cores: threaded and reactor
+//!
+//! The engine above is described in terms of *threads* — one polling
+//! thread per inbound network, one forwarding thread per (in, out) pair —
+//! which is [`EngineKind::Threaded`], the paper-faithful baseline. That
+//! costs 2×(networks−1)+… OS threads per gateway per virtual channel and
+//! caps how many channels one node can host. [`EngineKind::Reactor`]
+//! runs the same demultiplexing logic as poll-driven state machines
+//! ([`reactor_engine`]) on a gateway-node-wide [`mad_util::reactor`]
+//! worker pool parked on the node's arrival event: credit waits, the
+//! teardown drain, and batch coalescing become reactor timers and
+//! non-blocking queue scans instead of blocked threads. Both engines
+//! funnel through the same [`ItemSink`]-generic `relay_packet`, which is
+//! what makes their forwarded byte streams identical (asserted by the
+//! `prop_engine` property test). Select with [`GatewayConfig::engine`],
+//! or set `MAD_ENGINE=reactor` to flip every default-constructed config —
+//! the switch CI uses to run whole suites in reactor mode.
+//!
 //! ## Teardown
 //!
 //! Engines share a [`GatewayStop`]: the stop request only takes effect
@@ -121,6 +139,10 @@ use crate::gtm::{self, CancelReason, PacketBody, StreamKey, StreamTag, PRELUDE_L
 use crate::routing::RouteTable;
 use crate::runtime::{RtEvent, RtQueue, RtReceiver, RtSender, Runtime};
 use crate::types::{NetworkId, NodeId};
+
+pub mod reactor_engine;
+
+pub use reactor_engine::GatewayReactor;
 
 /// Per-(source, destination) forwarding counters of one gateway.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +190,11 @@ pub struct GatewayStats {
     /// Handoff acknowledgments sent back to multi-path stream origins
     /// (one per acked stream whose end packet this engine relayed).
     pub acks_sent: AtomicU64,
+    /// Dedicated OS threads this engine spawned: polling + forwarding
+    /// threads for [`EngineKind::Threaded`], 0 for
+    /// [`EngineKind::Reactor`] (its tasks ride the node-wide worker
+    /// pool) — the per-gateway slice of the session thread budget.
+    pub threads_spawned: AtomicU64,
     /// Packet bytes currently resident in this engine (received but not
     /// yet retransmitted or dropped) and their high-water mark — the
     /// occupancy the credit window bounds.
@@ -251,6 +278,8 @@ pub struct GatewayTotals {
     pub errors: u64,
     /// Handoff acknowledgments sent back to stream origins.
     pub acks_sent: u64,
+    /// Dedicated OS threads the engine spawned (0 in reactor mode).
+    pub threads_spawned: u64,
     /// Packet bytes resident in the engine at snapshot time.
     pub held_bytes: i64,
     /// High-water mark of resident packet bytes.
@@ -280,6 +309,7 @@ impl GatewayStats {
             credit_timeouts: self.credit_timeouts.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
             held_bytes: self.held.current(),
             peak_held_bytes: self.held.peak(),
         }
@@ -395,6 +425,34 @@ impl GatewayStats {
     }
 }
 
+/// Which execution core drives a gateway's forwarding engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// One polling thread per inbound network plus one forwarding thread
+    /// per (in, out) network pair — the paper-faithful baseline, kept as
+    /// the ablation reference.
+    Threaded,
+    /// The same state machines as poll-driven tasks on a per-gateway-node
+    /// reactor worker pool ([`reactor_engine`]): a fixed thread budget no
+    /// matter how many channels and networks the node bridges.
+    Reactor,
+}
+
+impl EngineKind {
+    /// The engine named by the `MAD_ENGINE` environment variable
+    /// (`"reactor"`, case-insensitive, selects [`EngineKind::Reactor`];
+    /// anything else, or unset, the threaded baseline). This feeds
+    /// [`GatewayConfig::default`], so existing tests and benches run in
+    /// reactor mode without code changes — how CI exercises both engines
+    /// over one test suite.
+    pub fn from_env() -> Self {
+        match std::env::var("MAD_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("reactor") => EngineKind::Reactor,
+            _ => EngineKind::Threaded,
+        }
+    }
+}
+
 /// Tuning knobs of a gateway's forwarding engine.
 #[derive(Debug, Clone, Copy)]
 pub struct GatewayConfig {
@@ -440,6 +498,16 @@ pub struct GatewayConfig {
     /// (the queue is the coalescing buffer); the depth-1 inline path
     /// ignores this knob.
     pub max_batch: usize,
+    /// Execution core: dedicated threads per direction, or poll-driven
+    /// tasks on the node's shared reactor. Defaults to
+    /// [`EngineKind::from_env`], so `MAD_ENGINE=reactor` flips every
+    /// default-constructed config.
+    pub engine: EngineKind,
+    /// Worker threads of the per-gateway-node reactor (only read in
+    /// [`EngineKind::Reactor`] mode; the first reactor-mode virtual
+    /// channel of a node sizes its pool). Two workers keep receive and
+    /// retransmit overlapped — the reactor's double-buffering analog.
+    pub reactor_workers: usize,
 }
 
 impl Default for GatewayConfig {
@@ -453,6 +521,8 @@ impl Default for GatewayConfig {
             credit_timeout_ns: 500_000_000,
             drain_timeout_ns: 2_000_000_000,
             max_batch: 1,
+            engine: EngineKind::from_env(),
+            reactor_workers: 2,
         }
     }
 }
@@ -641,6 +711,48 @@ impl Sink {
     }
 }
 
+/// Where the demultiplexer hands accepted packets. `relay_packet` and the
+/// cancellation helpers are generic over this, so the threaded engine
+/// (bounded queues + forwarding threads) and the reactor engine
+/// (task-local per-net queues flushed by non-blocking polls) share every
+/// byte of routing, credit, and cancellation logic — the reason the two
+/// engines forward byte-identical streams.
+trait ItemSink {
+    /// Does this gateway bridge onto `net`?
+    fn bridges(&self, net: NetworkId) -> bool;
+    /// Accept one packet for the stream's outbound network. Failing with
+    /// [`MadError::Disconnected`] shuts the inbound side down (the
+    /// outbound consumer is gone); the implementation must account the
+    /// item (via [`drop_item`]) before failing.
+    fn accept(
+        &mut self,
+        stream: &InStream,
+        item: FwdItem,
+        is_frag: bool,
+        shared: &FwdShared,
+    ) -> Result<()>;
+}
+
+/// The threaded engine's sink set: one [`Sink`] per outbound network,
+/// dispatching to forwarding threads (or inline at depth 1).
+struct ThreadedSinks(BTreeMap<NetworkId, Sink>);
+
+impl ItemSink for ThreadedSinks {
+    fn bridges(&self, net: NetworkId) -> bool {
+        self.0.contains_key(&net)
+    }
+
+    fn accept(
+        &mut self,
+        stream: &InStream,
+        item: FwdItem,
+        is_frag: bool,
+        shared: &FwdShared,
+    ) -> Result<()> {
+        dispatch(&self.0[&stream.out_net], stream, item, is_frag, shared)
+    }
+}
+
 /// The outgoing channels of one network direction.
 #[derive(Clone)]
 struct OutPath {
@@ -659,7 +771,9 @@ impl OutPath {
 }
 
 /// State shared by everything that consumes pipeline items (forwarding
-/// threads and the depth-1 inline path).
+/// threads and the depth-1 inline path). Cloneable so the reactor
+/// engine's receive and flush tasks can each carry one.
+#[derive(Clone)]
 struct FwdShared {
     stats: Arc<GatewayStats>,
     live: Arc<EngineLive>,
@@ -689,16 +803,24 @@ enum Landing {
 /// drain deadline expires on stuck streams).
 pub struct GatewayHandles {
     threads: Vec<JoinHandle<()>>,
+    /// Reactor mode: completion latch decremented as each inbound task is
+    /// dropped (finished, panicked, or drained at shutdown). Task panics
+    /// are not resumed here — the session surfaces them from
+    /// [`GatewayReactor::shutdown_and_join`] after every engine is down.
+    latch: Option<Arc<reactor_engine::TaskLatch>>,
     stats: Arc<GatewayStats>,
 }
 
 impl GatewayHandles {
-    /// Wait for all gateway threads to finish.
+    /// Wait for all gateway threads (or reactor tasks) to finish.
     pub fn join(self) {
         for t in self.threads {
             if let Err(e) = t.join() {
                 std::panic::resume_unwind(e);
             }
+        }
+        if let Some(latch) = self.latch {
+            latch.wait();
         }
     }
 
@@ -713,7 +835,9 @@ impl GatewayHandles {
 /// `regular`/`special` hold this node's two real channels per network;
 /// `routes` is the gateway's own routing table over the virtual channel;
 /// `ledger` is the node's shared credit ledger (used even with flow
-/// control off, as the cancellation bus).
+/// control off, as the cancellation bus). In [`EngineKind::Reactor`] mode
+/// `reactor` must name the node's shared reactor (the session builds one
+/// per gateway node); in threaded mode it is ignored.
 #[allow(clippy::too_many_arguments)] // a one-caller bootstrap function
 pub fn spawn_gateway(
     rank: NodeId,
@@ -725,8 +849,17 @@ pub fn spawn_gateway(
     runtime: Arc<dyn Runtime>,
     stopctl: Arc<GatewayStop>,
     ledger: Arc<CreditLedger>,
+    reactor: Option<&Arc<GatewayReactor>>,
 ) -> GatewayHandles {
     assert!(cfg.pipeline_depth >= 1, "pipeline depth must be at least 1");
+    if cfg.engine == EngineKind::Reactor {
+        let Some(reactor) = reactor else {
+            panic!("EngineKind::Reactor requires the node's GatewayReactor");
+        };
+        return reactor_engine::spawn_reactor_gateway(
+            rank, vc_name, regular, special, routes, cfg, runtime, stopctl, ledger, reactor,
+        );
+    }
     let nets: Vec<NetworkId> = special.keys().copied().collect();
     let mut threads = Vec::new();
     let routes = Arc::new(routes);
@@ -741,6 +874,9 @@ pub fn spawn_gateway(
         local_open: AtomicI64::new(0),
         stopctl: stopctl.clone(),
     });
+    stats
+        .threads_spawned
+        .store((nets.len() * (1 + fwd_per_net)) as u64, Ordering::Relaxed);
 
     // One polling thread per inbound network; per (in, out) ordered pair a
     // forwarding thread when pipelining is on.
@@ -787,12 +923,24 @@ pub fn spawn_gateway(
             name,
             Box::new(move || {
                 polling_thread(
-                    rank, in_channel, sinks, routes, cfg, rt, stats, live, ledger,
+                    rank,
+                    in_channel,
+                    ThreadedSinks(sinks),
+                    routes,
+                    cfg,
+                    rt,
+                    stats,
+                    live,
+                    ledger,
                 )
             }),
         ));
     }
-    GatewayHandles { threads, stats }
+    GatewayHandles {
+        threads,
+        latch: None,
+        stats,
+    }
 }
 
 /// Routing decision of one accepted stream, kept while it is in flight.
@@ -848,7 +996,7 @@ fn landing_size(
 fn polling_thread(
     rank: NodeId,
     in_channel: Arc<Channel>,
-    sinks: BTreeMap<NetworkId, Sink>,
+    mut sinks: ThreadedSinks,
     routes: Arc<RouteTable>,
     cfg: GatewayConfig,
     runtime: Arc<dyn Runtime>,
@@ -857,7 +1005,7 @@ fn polling_thread(
     ledger: Arc<CreditLedger>,
 ) {
     let _exit = ThreadExitGuard { live: live.clone() };
-    let landing = landing_policy(&sinks, cfg);
+    let landing = landing_policy(sinks.0.values().map(Sink::path), cfg);
     let stopctl = live.stopctl.clone();
     let tracer = runtime.tracer();
     let shared = FwdShared {
@@ -932,7 +1080,7 @@ fn polling_thread(
                     cancel_peer_streams(
                         peer,
                         &in_channel,
-                        &sinks,
+                        &mut sinks,
                         &mut streams,
                         &mut cancelled,
                         &mut open_from,
@@ -951,7 +1099,7 @@ fn polling_thread(
             peer,
             buf,
             &in_channel,
-            &sinks,
+            &mut sinks,
             &routes,
             cfg,
             &shared,
@@ -978,14 +1126,15 @@ fn polling_thread(
     }
 }
 
-/// Demultiplex and forward one received packet.
-#[allow(clippy::too_many_arguments)] // internal helper of polling_thread
-fn relay_packet(
+/// Demultiplex and forward one received packet. Generic over the sink so
+/// both engine cores run the exact same demultiplexing logic.
+#[allow(clippy::too_many_arguments)] // internal helper of the engine cores
+fn relay_packet<S: ItemSink>(
     rank: NodeId,
     peer: NodeId,
     buf: FwdBuf,
     in_channel: &Arc<Channel>,
-    sinks: &BTreeMap<NetworkId, Sink>,
+    sinks: &mut S,
     routes: &RouteTable,
     cfg: GatewayConfig,
     shared: &FwdShared,
@@ -1081,7 +1230,7 @@ fn relay_packet(
                 )));
             }
             let hop = routes.hop(header.tag.dest)?;
-            if !sinks.contains_key(&hop.net) {
+            if !sinks.bridges(hop.net) {
                 return Err(MadError::Protocol(format!(
                     "route to {} leaves on {}, which this gateway does not bridge",
                     header.tag.dest, hop.net
@@ -1121,9 +1270,8 @@ fn relay_packet(
             );
             shared.live.opened();
             *open_from.entry(peer).or_insert(0) += 1;
-            let sink = &sinks[&stream.out_net];
             let item = make_item(&stream, buf, false, false, cfg, in_channel, peer);
-            dispatch(sink, &stream, item, false, shared)?;
+            sinks.accept(&stream, item, false, shared)?;
             streams.insert(key, stream);
             *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
             Ok(())
@@ -1133,7 +1281,7 @@ fn relay_packet(
                 MadError::Protocol(format!("GTM descriptor for unknown stream {key:?}"))
             })?;
             let item = make_item(stream, buf, false, false, cfg, in_channel, peer);
-            dispatch(&sinks[&stream.out_net], stream, item, false, shared)
+            sinks.accept(stream, item, false, shared)
         }
         PacketBody::Frag => {
             let stream = streams.get(&key).ok_or_else(|| {
@@ -1144,7 +1292,7 @@ fn relay_packet(
             shared.runtime.charge_overhead(cfg.switch_overhead_ns);
             let item = make_item(stream, buf, true, false, cfg, in_channel, peer);
             shared.stats.held.add(item.held_bytes as i64);
-            dispatch(&sinks[&stream.out_net], stream, item, true, shared)
+            sinks.accept(stream, item, true, shared)
         }
         PacketBody::Stripe(_) => {
             // A stripe envelope is an opaque body packet of its stream: it
@@ -1163,7 +1311,7 @@ fn relay_packet(
             }
             let item = make_item(stream, buf, is_frag, false, cfg, in_channel, peer);
             shared.stats.held.add(item.held_bytes as i64);
-            dispatch(&sinks[&stream.out_net], stream, item, is_frag, shared)
+            sinks.accept(stream, item, is_frag, shared)
         }
         PacketBody::End => {
             let stream = streams
@@ -1175,7 +1323,7 @@ fn relay_packet(
             *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
             shared.stats.on_end(stream.pair);
             let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
-            dispatch(&sinks[&stream.out_net], &stream, item, false, shared)
+            sinks.accept(&stream, item, false, shared)
         }
         PacketBody::Ack => {
             // Handoff acks flow from a first-hop gateway straight to the
@@ -1206,7 +1354,7 @@ fn relay_packet(
                 // successful handoff — never ack it.
                 stream.ack = false;
                 let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
-                dispatch(&sinks[&stream.out_net], &stream, item, false, shared)
+                sinks.accept(&stream, item, false, shared)
             } else if shared.ledger.cancel_existing(key, reason) {
                 // Returning-direction cancel: a downstream hop killed a
                 // stream this node *sends* out on the inbound network.
@@ -1253,13 +1401,13 @@ fn make_item(
 /// tombstone the key so the source's still-in-flight packets are
 /// swallowed. Only the affected stream dies — everything else keeps
 /// flowing.
-#[allow(clippy::too_many_arguments)] // internal helper of polling_thread
-fn cancel_stream(
+#[allow(clippy::too_many_arguments)] // internal helper of the engine cores
+fn cancel_stream<S: ItemSink>(
     key: StreamKey,
     reason: CancelReason,
     notify_upstream: bool,
     in_channel: &Arc<Channel>,
-    sinks: &BTreeMap<NetworkId, Sink>,
+    sinks: &mut S,
     streams: &mut BTreeMap<StreamKey, InStream>,
     cancelled: &mut BTreeSet<StreamKey>,
     open_from: &mut BTreeMap<NodeId, u64>,
@@ -1303,16 +1451,16 @@ fn cancel_stream(
         // the upstream cancel notification) drives its failover.
         ack: None,
     };
-    let _ = dispatch(&sinks[&stream.out_net], &stream, item, false, shared);
+    let _ = sinks.accept(&stream, item, false, shared);
 }
 
 /// Cancel every stream that entered through `peer` (its conduit framing is
 /// lost). Downstream hops are told; the peer itself is not (its conduit
 /// just failed).
-fn cancel_peer_streams(
+fn cancel_peer_streams<S: ItemSink>(
     peer: NodeId,
     in_channel: &Arc<Channel>,
-    sinks: &BTreeMap<NetworkId, Sink>,
+    sinks: &mut S,
     streams: &mut BTreeMap<StreamKey, InStream>,
     cancelled: &mut BTreeSet<StreamKey>,
     open_from: &mut BTreeMap<NodeId, u64>,
@@ -1367,15 +1515,15 @@ fn receive_packet(
     }
 }
 
-/// Derive the landing policy of one polling thread from the buffer
+/// Derive the landing policy of one inbound direction from the buffer
 /// disciplines of every channel it can forward into.
-fn landing_policy(sinks: &BTreeMap<NetworkId, Sink>, cfg: GatewayConfig) -> Landing {
+fn landing_policy<'a>(paths: impl Iterator<Item = &'a OutPath>, cfg: GatewayConfig) -> Landing {
     if !cfg.zero_copy {
         return Landing::Tmp;
     }
     let mut owner: Option<&'static str> = None;
-    for sink in sinks.values() {
-        for caps in [sink.path().regular.caps(), sink.path().special.caps()] {
+    for path in paths {
+        for caps in [path.regular.caps(), path.special.caps()] {
             if caps.mode != BufferMode::Static {
                 return Landing::Owned;
             }

@@ -1,0 +1,889 @@
+//! The reactor engine core: the gateway's forwarding logic as poll-driven
+//! state machines on a fixed worker pool (paper §2.2.2 rethought for
+//! scale).
+//!
+//! The threaded engine burns `nets × (1 + (nets−1))` OS threads per
+//! gateway per virtual channel. This module runs the *same* forwarding
+//! logic — the [`ItemSink`]-generic `relay_packet` demultiplexer, the
+//! credit protocol, batch coalescing, cancellation — as a pair of tasks
+//! per inbound network (a [`RecvTask`] and a [`FlushTask`] sharing the
+//! outbound queues), scheduled by a per-gateway-node [`GatewayReactor`]
+//! whose worker count is fixed no matter how many virtual channels,
+//! networks, or streams the node hosts.
+//!
+//! ## Why a receive/flush task *pair*
+//!
+//! The threaded engine overlaps the polling thread's receive cost with
+//! the forwarding thread's transmit cost — that overlap is where its
+//! single-stream pipeline bandwidth comes from. A single task would
+//! serialize the two on whichever worker polls it. Splitting them along
+//! the same seam as the threaded engine (the bounded pipeline queue,
+//! here a mutex-guarded per-net `VecDeque`) lets two workers drive
+//! receive and transmit concurrently, so bulk bandwidth matches the
+//! threaded engine while the thread count stays flat.
+//!
+//! ## Why one reactor per gateway *node*
+//!
+//! A session creates every conduit of a node against that node's single
+//! arrival event, and the node's [`CreditLedger`] shares it: any packet
+//! arrival, credit deposit, or cancellation bumps exactly that event. The
+//! reactor parks its workers on it ([`RtPark`]), so "anything happened on
+//! this node" is precisely "stir the reactor" — no per-source waker
+//! plumbing, and under the simulated runtime the park maps onto the
+//! virtual-clock signal, keeping reactor-mode sessions deterministic.
+//! The task pair uses the same event to hand off: enqueueing an item or
+//! freeing queue space bumps it, which stirs the peer task.
+//!
+//! ## Blocking calls become poll state
+//!
+//! * the polling thread's blocking `select_ready_after` becomes a
+//!   non-blocking `try_select_ready_after` scan, re-armed by stirs;
+//! * the forwarding thread's bounded queue becomes a per-outbound-net
+//!   `VecDeque` whose length gates intake at `pipeline_depth` (same
+//!   backpressure, no parked thread), flushed with the same train
+//!   coalescing as `forwarding_thread`;
+//! * blocking credit takes become `try_take` plus a reactor timer at the
+//!   credit deadline (on expiry the stream is cancelled exactly as the
+//!   threaded engine's `take_blocking` timeout would);
+//! * the teardown drain deadline becomes a timer armed when a stop is
+//!   requested or the inbound side disconnects.
+//!
+//! Packets of one stream only ever traverse one receive task and one net
+//! queue in FIFO order, so per-stream byte sequences are identical to the
+//! threaded engine's — the `prop_engine` property test asserts it.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use mad_trace::{trace_instant, trace_span};
+use mad_util::reactor::{Context, Park, Poll, PollTask, Reactor};
+use mad_util::sync::{Condvar, Mutex};
+
+use super::{
+    EngineLive, FwdItem, FwdShared, GatewayConfig, GatewayHandles, GatewayStats, GatewayStop,
+    InStream, ItemSink, Landing, OutPath, ThreadExitGuard,
+};
+use crate::channel::Channel;
+use crate::conduit::DriverCaps;
+use crate::credit::{CreditLedger, TakeOutcome};
+use crate::error::{MadError, Result};
+use crate::gtm::{self, CancelReason, StreamKey, PRELUDE_LEN};
+use crate::routing::RouteTable;
+use crate::runtime::{RtEvent, Runtime};
+use crate::types::{NetworkId, NodeId};
+
+/// [`Park`] over a node's arrival event and its runtime's clock: the glue
+/// that lets one `mad_util` reactor block correctly under both the real
+/// and the simulated runtime. `prepare`/`park` map 1:1 onto the event's
+/// epoch protocol, and `now_ns` onto [`Runtime::now_nanos`], so reactor
+/// timers live in virtual time when the clock does.
+struct RtPark {
+    ev: Arc<dyn RtEvent>,
+    rt: Arc<dyn Runtime>,
+}
+
+impl Park for RtPark {
+    fn now_ns(&self) -> u64 {
+        self.rt.now_nanos()
+    }
+
+    fn prepare(&self) -> u64 {
+        self.ev.epoch()
+    }
+
+    fn park(&self, token: u64) {
+        self.ev.wait_past(token);
+    }
+
+    fn park_timeout(&self, token: u64, timeout_ns: u64) {
+        let _ = self.ev.wait_past_timeout(token, timeout_ns);
+    }
+
+    fn unpark(&self) {
+        self.ev.bump();
+    }
+}
+
+/// Completion latch for one engine's reactor tasks, decremented as each
+/// task is dropped (finished, panicked, or drained at shutdown).
+///
+/// Plain `std`-style sync on purpose: the session's main thread — which
+/// is *not* a virtual-clock actor and therefore must never wait on an
+/// [`RtEvent`] — joins gateways through this, mirroring how it joins
+/// threaded engines with `JoinHandle::join`.
+pub(super) struct TaskLatch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl TaskLatch {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(TaskLatch {
+            remaining: Mutex::new(n),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Block until every task of the engine has been dropped.
+    pub(super) fn wait(&self) {
+        let mut left = self.remaining.lock();
+        while *left > 0 {
+            self.cv.wait(&mut left);
+        }
+    }
+
+    fn done(&self) {
+        let mut left = self.remaining.lock();
+        *left = left.saturating_sub(1);
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Decrements the latch on drop — panics and drains count as completion,
+/// so a joiner can never hang on a task that no longer exists.
+struct LatchGuard(Arc<TaskLatch>);
+
+impl Drop for LatchGuard {
+    fn drop(&mut self) {
+        self.0.done();
+    }
+}
+
+/// The shared reactor of one gateway node: a `mad_util` reactor parked on
+/// the node's arrival event plus the fixed worker pool driving it. One
+/// instance serves every reactor-mode virtual channel of the node; the
+/// session builds it, hands it to `spawn_gateway`, and shuts it down after
+/// all engines have drained.
+pub struct GatewayReactor {
+    core: Arc<Reactor>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl GatewayReactor {
+    /// Build the reactor of gateway node `rank` and spawn `workers`
+    /// worker threads (at least one) through the runtime — so they are
+    /// virtual-clock actors under simulation and counted in the session
+    /// thread budget.
+    pub fn new(
+        rank: NodeId,
+        runtime: &Arc<dyn Runtime>,
+        event: Arc<dyn RtEvent>,
+        workers: usize,
+    ) -> Arc<Self> {
+        let core = Reactor::new(Arc::new(RtPark {
+            ev: event,
+            rt: runtime.clone(),
+        }));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let core = core.clone();
+                runtime.spawn(
+                    format!("gw{}-reactor-w{}", rank.0, i),
+                    Box::new(move || core.run_worker()),
+                )
+            })
+            .collect();
+        Arc::new(GatewayReactor {
+            core,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Worker threads driving this reactor.
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().len()
+    }
+
+    /// Tasks ever spawned on this reactor (a receive/flush pair per
+    /// inbound network, across all virtual channels of the node).
+    pub fn tasks_spawned(&self) -> u64 {
+        self.core.spawned_total()
+    }
+
+    /// Stop the workers, join them, drop any remaining task (running its
+    /// RAII guards), and resurface the first task panic. The session
+    /// calls this after every engine's latch has been joined, so in a
+    /// healthy run there is nothing left to drain.
+    pub fn shutdown_and_join(&self) {
+        self.core.shutdown();
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+        self.core.drain_tasks();
+        if let Some(p) = self.core.take_panic() {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+/// One outbound network's queue: the reactor analog of the threaded
+/// engine's bounded pipeline. Per-net queues (rather than one) keep a
+/// credit-blocked stream toward one network from head-of-line-blocking
+/// traffic toward another, matching the isolation threaded per-pair
+/// pipelines provide. Per-stream FIFO holds because a stream pins to one
+/// outbound net for its whole life.
+struct NetQueue {
+    q: VecDeque<FwdItem>,
+    /// When the head item first found its credit window empty — the start
+    /// of the current credit-blocked episode, whose deadline becomes a
+    /// reactor timer.
+    blocked_since: Option<u64>,
+}
+
+/// The queues one inbound direction feeds, shared between its receive
+/// task (producer) and flush task (consumer) — the reactor's version of
+/// the bounded channel between the threaded polling and forwarding
+/// threads. Guarded by a plain mutex: both sides only hold it for queue
+/// surgery, never across a conduit send or receive.
+struct Queues {
+    nets: BTreeMap<NetworkId, NetQueue>,
+}
+
+/// The reactor engine's [`ItemSink`]: relayed packets land in the
+/// outbound net's queue and the flush task transmits them with
+/// non-blocking credit takes and train coalescing. Enqueueing bumps the
+/// node event so a drained flush task wakes up.
+struct ReactorSinks {
+    nets: BTreeSet<NetworkId>,
+    queues: Arc<Mutex<Queues>>,
+    wake: Arc<dyn RtEvent>,
+}
+
+impl ItemSink for ReactorSinks {
+    fn bridges(&self, net: NetworkId) -> bool {
+        self.nets.contains(&net)
+    }
+
+    fn accept(
+        &mut self,
+        stream: &InStream,
+        item: FwdItem,
+        is_frag: bool,
+        shared: &FwdShared,
+    ) -> Result<()> {
+        {
+            let mut g = self.queues.lock();
+            let Some(nq) = g.nets.get_mut(&stream.out_net) else {
+                // `bridges` is checked before a stream is accepted, so this
+                // is unreachable in practice; account the item and poison
+                // only it.
+                super::drop_item(&item, shared);
+                return Err(MadError::Protocol(format!(
+                    "no reactor queue for network {}",
+                    stream.out_net
+                )));
+            };
+            if is_frag {
+                // Every reactor item crosses a queue boundary — the analog
+                // of the threaded pipeline handoff.
+                shared.stats.on_switch(stream.pair);
+            }
+            nq.q.push_back(item);
+        }
+        self.wake.bump();
+        Ok(())
+    }
+}
+
+/// Packets received per poll before yielding the worker to other tasks —
+/// the reactor's fairness quantum (a busy inbound net cannot monopolize a
+/// worker the way it *should* monopolize its dedicated thread).
+const RECV_BUDGET: usize = 32;
+
+/// Trains transmitted per flush poll before yielding, for the same
+/// fairness reason on the output side.
+const TRAIN_BUDGET: usize = 16;
+
+/// The receive half of one inbound network: the threaded engine's polling
+/// thread (select + receive + demux) as a non-blocking task. Items it
+/// relays land in the [`Queues`] its [`FlushTask`] partner drains; a full
+/// queue parks intake at `pipeline_depth`, exactly like the threaded
+/// engine's bounded pipeline send.
+struct RecvTask {
+    rank: NodeId,
+    in_channel: Arc<Channel>,
+    routes: Arc<RouteTable>,
+    cfg: GatewayConfig,
+    shared: FwdShared,
+    stopctl: Arc<GatewayStop>,
+    sinks: ReactorSinks,
+    streams: BTreeMap<StreamKey, InStream>,
+    cancelled: BTreeSet<StreamKey>,
+    open_from: BTreeMap<NodeId, u64>,
+    cursor: Option<NodeId>,
+    pinned: Option<NodeId>,
+    landing: Landing,
+    in_caps: DriverCaps,
+    max_pkt: usize,
+    /// Armed when a stop is requested; expiry abandons streams that will
+    /// never end.
+    drain_deadline: Option<u64>,
+    /// Set (on drop) once this side stops producing, so the flush task
+    /// knows the queue tail is final.
+    inbound_done: Arc<AtomicBool>,
+    /// Set by the flush task when an outbound conduit died: nothing this
+    /// side receives can be forwarded anymore, so it finishes.
+    output_dead: Arc<AtomicBool>,
+    _latch: LatchGuard,
+    _exit: ThreadExitGuard,
+}
+
+impl RecvTask {
+    fn queues_full(&self) -> bool {
+        self.sinks
+            .queues
+            .lock()
+            .nets
+            .values()
+            .any(|n| n.q.len() >= self.cfg.pipeline_depth)
+    }
+}
+
+impl Drop for RecvTask {
+    fn drop(&mut self) {
+        // Finished, panicked, or drained: either way the producer is gone.
+        // Publish that and stir the reactor so the flush task moves to its
+        // endgame. `_exit` and `_latch` drop after this body.
+        self.inbound_done.store(true, Ordering::Release);
+        self.sinks.wake.bump();
+    }
+}
+
+impl PollTask for RecvTask {
+    fn poll(&mut self, cx: &mut Context) -> Poll {
+        let mut received = 0usize;
+        loop {
+            let now = cx.now_ns();
+            if self.output_dead.load(Ordering::Acquire) {
+                // The flush side lost its conduit and drains the queues;
+                // receiving more would only feed a dead path.
+                return Poll::Ready;
+            }
+            if self.stopctl.stop_requested() {
+                let deadline = *self
+                    .drain_deadline
+                    .get_or_insert(now.saturating_add(self.cfg.drain_timeout_ns));
+                if now >= deadline {
+                    // Streams that will never end (their source died
+                    // silently): abandon instead of hanging the session.
+                    return Poll::Ready;
+                }
+                cx.wake_at(deadline);
+            }
+            if self.queues_full() {
+                // Backpressure: the threaded polling thread would park on
+                // the bounded pipeline send here. The flush task bumps the
+                // node event whenever it frees space.
+                return Poll::Pending;
+            }
+            let sel = match self.pinned {
+                Some(p) => match self.in_channel.conduit_ready(p) {
+                    Ok(true) => Some(p),
+                    Ok(false) => None,
+                    Err(_) => return Poll::Ready,
+                },
+                None => match self.in_channel.try_select_ready_after(self.cursor) {
+                    Ok(s) => s,
+                    Err(_) => return Poll::Ready,
+                },
+            };
+            let Some(peer) = sel else {
+                // Intake stalled: sleep until the node's arrival event
+                // stirs us.
+                if self.stopctl.should_stop() {
+                    return Poll::Ready;
+                }
+                return Poll::Pending;
+            };
+            self.cursor = Some(peer);
+            let buf = {
+                let _recv = trace_span!(self.shared.tracer, "gw", "recv", "peer" = peer.0 as u64);
+                match super::receive_packet(
+                    &self.in_channel,
+                    peer,
+                    self.landing,
+                    self.max_pkt,
+                    self.shared.runtime.pool(),
+                ) {
+                    Ok(b) => b,
+                    Err(MadError::Disconnected) => return Poll::Ready,
+                    Err(e) => {
+                        // Same degradation as the threaded engine: the
+                        // conduit's framing is lost, cancel this peer's
+                        // streams and keep serving the others.
+                        self.shared.stats.on_error();
+                        trace_instant!(
+                            self.shared.tracer,
+                            "gw",
+                            "recv-error",
+                            "peer" = peer.0 as u64
+                        );
+                        let _ = e;
+                        super::cancel_peer_streams(
+                            peer,
+                            &self.in_channel,
+                            &mut self.sinks,
+                            &mut self.streams,
+                            &mut self.cancelled,
+                            &mut self.open_from,
+                            &self.shared,
+                        );
+                        self.max_pkt =
+                            super::landing_size(&self.streams, self.cfg.max_batch, &self.in_caps);
+                        self.pinned = None;
+                        continue;
+                    }
+                }
+            };
+            self.in_channel.stats().on_recv(peer.0, buf.bytes().len());
+            let relayed = {
+                let _relay = trace_span!(self.shared.tracer, "gw", "relay", "peer" = peer.0 as u64);
+                super::relay_packet(
+                    self.rank,
+                    peer,
+                    buf,
+                    &self.in_channel,
+                    &mut self.sinks,
+                    &self.routes,
+                    self.cfg,
+                    &self.shared,
+                    &mut self.streams,
+                    &mut self.cancelled,
+                    &mut self.open_from,
+                    &mut self.max_pkt,
+                )
+            };
+            match relayed {
+                Ok(()) => {}
+                Err(MadError::Disconnected) => return Poll::Ready,
+                Err(_) => {
+                    self.shared.stats.on_error();
+                    trace_instant!(
+                        self.shared.tracer,
+                        "gw",
+                        "relay-error",
+                        "peer" = peer.0 as u64
+                    );
+                }
+            }
+            if self.cfg.exclusive_streams {
+                self.pinned = match self.open_from.get(&peer) {
+                    Some(&n) if n > 0 => Some(peer),
+                    _ => None,
+                };
+            }
+            received += 1;
+            if received >= RECV_BUDGET {
+                cx.yield_now();
+                return Poll::Pending;
+            }
+        }
+    }
+}
+
+/// One step the flush task resolved under the queue lock, executed (any
+/// conduit I/O) after the lock is released.
+enum FlushStep {
+    /// A coalesced train ready to transmit, plus any ledger-cancelled
+    /// items popped while building it.
+    Train {
+        batch: Vec<FwdItem>,
+        cancels: Vec<(FwdItem, CancelReason)>,
+    },
+    /// The head item's stream is dead (ledger cancel or credit timeout).
+    Cancel(FwdItem, CancelReason),
+    /// Nothing sendable: queue empty, or head credit-blocked with the
+    /// deadline timer armed.
+    Idle,
+}
+
+/// The transmit half of one inbound network: the threaded engine's
+/// forwarding threads (credit + train coalescing + transmit) as a
+/// non-blocking task. It pops decisions under the queue lock but performs
+/// every conduit send outside it, so its partner keeps receiving while it
+/// transmits — that concurrency is what keeps reactor bulk bandwidth at
+/// parity with the threaded engine.
+struct FlushTask {
+    cfg: GatewayConfig,
+    shared: FwdShared,
+    stopctl: Arc<GatewayStop>,
+    queues: Arc<Mutex<Queues>>,
+    paths: BTreeMap<NetworkId, OutPath>,
+    wake: Arc<dyn RtEvent>,
+    inbound_done: Arc<AtomicBool>,
+    output_dead: Arc<AtomicBool>,
+    drain_deadline: Option<u64>,
+    _latch: LatchGuard,
+    _exit: ThreadExitGuard,
+}
+
+impl FlushTask {
+    /// Resolve the next action for `net`'s queue under the lock: cancel a
+    /// dead head, arm the credit timer for a blocked one, or pop a train
+    /// (coalescing exactly like `forwarding_thread`).
+    fn next_step(&mut self, net: NetworkId, cx: &mut Context) -> FlushStep {
+        let now = cx.now_ns();
+        let shared = &self.shared;
+        let cfg = self.cfg;
+        let Some(path) = self.paths.get(&net) else {
+            return FlushStep::Idle;
+        };
+        let mut g = self.queues.lock();
+        let Some(nq) = g.nets.get_mut(&net) else {
+            return FlushStep::Idle;
+        };
+        let NetQueue { q, blocked_since } = nq;
+        let Some(head) = q.front() else {
+            *blocked_since = None;
+            return FlushStep::Idle;
+        };
+        if head.consume {
+            match shared.ledger.try_take(head.tag.key()) {
+                TakeOutcome::Taken => {}
+                TakeOutcome::Cancelled(r) => {
+                    *blocked_since = None;
+                    return match q.pop_front() {
+                        Some(item) => FlushStep::Cancel(item, r),
+                        None => FlushStep::Idle,
+                    };
+                }
+                TakeOutcome::Empty => {
+                    let since = match *blocked_since {
+                        Some(s) => s,
+                        None => {
+                            shared.stats.on_stall((head.tag.src, head.tag.dest));
+                            trace_instant!(
+                                shared.tracer,
+                                "gw",
+                                "stall",
+                                "src" = head.tag.src.0 as u64,
+                                "dest" = head.tag.dest.0 as u64,
+                            );
+                            *blocked_since = Some(now);
+                            now
+                        }
+                    };
+                    let deadline = since.saturating_add(shared.credit_timeout_ns);
+                    if now >= deadline {
+                        // The blocking credit take would have timed out by
+                        // now: same degradation, same order.
+                        shared.stats.credit_timeouts.fetch_add(1, Ordering::Relaxed);
+                        *blocked_since = None;
+                        return match q.pop_front() {
+                            Some(item) => FlushStep::Cancel(item, CancelReason::CreditTimeout),
+                            None => FlushStep::Idle,
+                        };
+                    }
+                    cx.wake_at(deadline);
+                    return FlushStep::Idle; // blocked head holds this net's FIFO
+                }
+            }
+        }
+        *blocked_since = None;
+        let Some(head) = q.pop_front() else {
+            return FlushStep::Idle;
+        };
+        let caps = path.channel(head.last_hop).caps();
+        let budget = caps.preferred_mtu.min(caps.max_packet);
+        let mut frame = PRELUDE_LEN + gtm::BATCH_ENTRY_OVERHEAD + head.buf.bytes().len();
+        let mut batch = vec![head];
+        let mut cancels = Vec::new();
+        while cfg.max_batch > 1
+            && batch.len() < cfg.max_batch
+            && frame <= budget
+            && 2 * (batch.len() + 1) < caps.max_gather
+        {
+            let Some(next) = q.front() else { break };
+            if next.to != batch[0].to || next.last_hop != batch[0].last_hop {
+                break; // different conduit: next train's head
+            }
+            let need = gtm::BATCH_ENTRY_OVERHEAD + next.buf.bytes().len();
+            if frame + need > budget {
+                break;
+            }
+            if next.consume {
+                match shared.ledger.try_take(next.tag.key()) {
+                    TakeOutcome::Taken => {}
+                    // Credit-dry: don't reorder behind it — it stays the
+                    // queue head for the next flush.
+                    TakeOutcome::Empty => break,
+                    TakeOutcome::Cancelled(r) => {
+                        if let Some(item) = q.pop_front() {
+                            cancels.push((item, r)); // dead stream drops out of the train
+                        }
+                        continue;
+                    }
+                }
+            }
+            frame += need;
+            let Some(next) = q.pop_front() else { break };
+            batch.push(next);
+        }
+        FlushStep::Train { batch, cancels }
+    }
+
+    fn cancel_and_drop(&self, net: NetworkId, item: FwdItem, reason: CancelReason) {
+        if let Some(path) = self.paths.get(&net) {
+            super::cancel_outbound(
+                path,
+                item.to,
+                item.last_hop,
+                &item.tag,
+                &item.grant,
+                reason,
+                true,
+                &self.shared,
+            );
+        }
+        super::drop_item(&item, &self.shared);
+    }
+
+    /// Transmit until every queue is empty or credit-blocked (or the
+    /// fairness budget runs out). Returns whether anything was popped.
+    /// An outbound conduit failure sets `output_dead`; the caller drains.
+    fn flush_pass(&mut self, cx: &mut Context, sent: &mut usize) -> bool {
+        let nets: Vec<NetworkId> = self.paths.keys().copied().collect();
+        let mut progress = false;
+        for net in nets {
+            loop {
+                if *sent >= TRAIN_BUDGET || self.output_dead.load(Ordering::Acquire) {
+                    return progress;
+                }
+                match self.next_step(net, cx) {
+                    FlushStep::Idle => break,
+                    FlushStep::Cancel(item, r) => {
+                        self.cancel_and_drop(net, item, r);
+                        progress = true;
+                    }
+                    FlushStep::Train { batch, cancels } => {
+                        for (item, r) in cancels {
+                            self.cancel_and_drop(net, item, r);
+                        }
+                        let Some(path) = self.paths.get(&net) else {
+                            break;
+                        };
+                        if !super::transmit_batch(path, batch, &self.shared) {
+                            self.output_dead.store(true, Ordering::Release);
+                            return true;
+                        }
+                        *sent += 1;
+                        progress = true;
+                    }
+                }
+            }
+        }
+        progress
+    }
+
+    /// Drop every still-queued item with full accounting (held-bytes
+    /// gauge, ledger close). Idempotent; also run on task drop so a
+    /// drained or panicked task cannot leak stream accounting.
+    fn drain_all(&self) {
+        let mut g = self.queues.lock();
+        for nq in g.nets.values_mut() {
+            while let Some(item) = nq.q.pop_front() {
+                super::drop_item(&item, &self.shared);
+            }
+            nq.blocked_since = None;
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.queues.lock().nets.values().map(|n| n.q.len()).sum()
+    }
+}
+
+impl Drop for FlushTask {
+    fn drop(&mut self) {
+        // The consumer is gone: kill the path so the receive task stops
+        // producing, and account anything still queued.
+        self.output_dead.store(true, Ordering::Release);
+        self.drain_all();
+        self.wake.bump();
+        // `_exit` (ThreadExitGuard) and `_latch` drop after this body:
+        // last-task-out releases leaked streams, then the joiner wakes.
+    }
+}
+
+impl PollTask for FlushTask {
+    fn poll(&mut self, cx: &mut Context) -> Poll {
+        if self.output_dead.load(Ordering::Acquire) {
+            // Sink mode after a conduit death: swallow whatever the
+            // receive task pushed before it noticed, until it is done.
+            self.drain_all();
+            if self.inbound_done.load(Ordering::Acquire) {
+                return Poll::Ready;
+            }
+            return Poll::Pending;
+        }
+        let mut sent = 0usize;
+        let progress = self.flush_pass(cx, &mut sent);
+        if progress {
+            // Freed queue space: stir the reactor so a backpressured
+            // receive task resumes intake.
+            self.wake.bump();
+        }
+        if self.output_dead.load(Ordering::Acquire) {
+            self.drain_all();
+            if self.inbound_done.load(Ordering::Acquire) {
+                return Poll::Ready;
+            }
+            return Poll::Pending;
+        }
+        if sent >= TRAIN_BUDGET {
+            cx.yield_now();
+            return Poll::Pending;
+        }
+        if self.queued() == 0 {
+            if self.inbound_done.load(Ordering::Acquire) {
+                return Poll::Ready;
+            }
+            // Empty and the producer lives: sleep until an accept bumps
+            // the node event.
+            return Poll::Pending;
+        }
+        // Non-empty: every head is credit-blocked (its timer is armed).
+        // Once the producer is done or a stop is in flight, the tail drain
+        // is bounded like the threaded engine's.
+        let now = cx.now_ns();
+        if self.inbound_done.load(Ordering::Acquire) || self.stopctl.stop_requested() {
+            let deadline = *self
+                .drain_deadline
+                .get_or_insert(now.saturating_add(self.cfg.drain_timeout_ns));
+            if now >= deadline {
+                self.drain_all();
+                return Poll::Ready;
+            }
+            cx.wake_at(deadline);
+        }
+        Poll::Pending
+    }
+}
+
+/// Reactor-mode counterpart of the threaded `spawn_gateway` body: a
+/// [`RecvTask`]/[`FlushTask`] pair per inbound network, spawned on the
+/// node's shared reactor instead of dedicated threads. Joining the
+/// returned handles waits on the tasks' completion latch.
+#[allow(clippy::too_many_arguments)] // one-caller bootstrap, same shape as spawn_gateway
+pub(super) fn spawn_reactor_gateway(
+    rank: NodeId,
+    _vc_name: &str,
+    regular: BTreeMap<NetworkId, Arc<Channel>>,
+    special: BTreeMap<NetworkId, Arc<Channel>>,
+    routes: RouteTable,
+    cfg: GatewayConfig,
+    runtime: Arc<dyn Runtime>,
+    stopctl: Arc<GatewayStop>,
+    ledger: Arc<CreditLedger>,
+    reactor: &Arc<GatewayReactor>,
+) -> GatewayHandles {
+    let nets: Vec<NetworkId> = special.keys().copied().collect();
+    let routes = Arc::new(routes);
+    let stats = Arc::new(GatewayStats::default());
+    // threads_spawned stays 0: the engine borrows the node's shared
+    // worker pool instead of spawning its own threads — the whole point.
+    let live = Arc::new(EngineLive {
+        threads: AtomicUsize::new(nets.len() * 2),
+        local_open: AtomicI64::new(0),
+        stopctl: stopctl.clone(),
+    });
+    let latch = TaskLatch::new(nets.len() * 2);
+    for &net_in in &nets {
+        let mut net_queues: BTreeMap<NetworkId, NetQueue> = BTreeMap::new();
+        let mut paths: BTreeMap<NetworkId, OutPath> = BTreeMap::new();
+        for &net_out in &nets {
+            if net_out == net_in {
+                continue;
+            }
+            net_queues.insert(
+                net_out,
+                NetQueue {
+                    q: VecDeque::new(),
+                    blocked_since: None,
+                },
+            );
+            paths.insert(
+                net_out,
+                OutPath {
+                    regular: regular[&net_out].clone(),
+                    special: special[&net_out].clone(),
+                },
+            );
+        }
+        let in_channel = special[&net_in].clone();
+        stopctl.register_waker(in_channel.recv_event().clone());
+        let wake: Arc<dyn RtEvent> = in_channel.recv_event().clone();
+        let queues = Arc::new(Mutex::new(Queues { nets: net_queues }));
+        let inbound_done = Arc::new(AtomicBool::new(false));
+        let output_dead = Arc::new(AtomicBool::new(false));
+        let shared = FwdShared {
+            stats: stats.clone(),
+            live: live.clone(),
+            ledger: ledger.clone(),
+            runtime: runtime.clone(),
+            credit_timeout_ns: cfg.credit_timeout_ns,
+            tracer: runtime.tracer(),
+        };
+        let landing = super::landing_policy(paths.values(), cfg);
+        let in_caps = in_channel.caps();
+        let streams = BTreeMap::new();
+        let max_pkt = super::landing_size(&streams, cfg.max_batch, &in_caps);
+        let flush = FlushTask {
+            cfg,
+            shared: shared.clone(),
+            stopctl: stopctl.clone(),
+            queues: queues.clone(),
+            paths,
+            wake: wake.clone(),
+            inbound_done: inbound_done.clone(),
+            output_dead: output_dead.clone(),
+            drain_deadline: None,
+            _latch: LatchGuard(latch.clone()),
+            _exit: ThreadExitGuard { live: live.clone() },
+        };
+        let recv = RecvTask {
+            rank,
+            in_channel,
+            routes: routes.clone(),
+            cfg,
+            shared,
+            stopctl: stopctl.clone(),
+            sinks: ReactorSinks {
+                nets: paths_keys(&flush.paths),
+                queues,
+                wake,
+            },
+            streams,
+            cancelled: BTreeSet::new(),
+            open_from: BTreeMap::new(),
+            cursor: None,
+            pinned: None,
+            landing,
+            in_caps,
+            max_pkt,
+            drain_deadline: None,
+            inbound_done,
+            output_dead,
+            _latch: LatchGuard(latch.clone()),
+            _exit: ThreadExitGuard { live: live.clone() },
+        };
+        reactor.core.spawn(Box::new(recv));
+        reactor.core.spawn(Box::new(flush));
+    }
+    GatewayHandles {
+        threads: Vec::new(),
+        latch: Some(latch),
+        stats,
+    }
+}
+
+fn paths_keys(paths: &BTreeMap<NetworkId, OutPath>) -> BTreeSet<NetworkId> {
+    paths.keys().copied().collect()
+}

@@ -82,6 +82,14 @@ pub trait Runtime: Send + Sync {
     /// whole session shares one runtime, a buffer staged on the sending
     /// node and adopted on the receiving one closes the recycle loop.
     fn pool(&self) -> &Arc<mad_util::pool::BufferPool>;
+
+    /// Total threads spawned through this runtime so far — engine
+    /// threads, application nodes, driver readers and pollers. This is
+    /// the observable thread budget the reactor engine exists to bound;
+    /// sessions flush it to the `rt:` trace track at teardown.
+    fn threads_spawned(&self) -> u64 {
+        0
+    }
 }
 
 #[derive(Default)]
@@ -136,6 +144,7 @@ pub struct StdRuntime {
     start: Instant,
     tracer: mad_trace::Tracer,
     pool: Arc<mad_util::pool::BufferPool>,
+    spawned: std::sync::atomic::AtomicU64,
 }
 
 impl Default for StdRuntime {
@@ -144,6 +153,7 @@ impl Default for StdRuntime {
             start: Instant::now(),
             tracer: mad_trace::Tracer::off(),
             pool: mad_util::pool::BufferPool::new(),
+            spawned: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -176,12 +186,15 @@ impl StdRuntime {
             start,
             tracer,
             pool: mad_util::pool::BufferPool::new(),
+            spawned: std::sync::atomic::AtomicU64::new(0),
         })
     }
 }
 
 impl Runtime for StdRuntime {
     fn spawn(&self, name: String, f: Box<dyn FnOnce() + Send>) -> JoinHandle<()> {
+        self.spawned
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         std::thread::Builder::new()
             .name(name)
             .spawn(f)
@@ -210,6 +223,10 @@ impl Runtime for StdRuntime {
 
     fn pool(&self) -> &Arc<mad_util::pool::BufferPool> {
         &self.pool
+    }
+
+    fn threads_spawned(&self) -> u64 {
+        self.spawned.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

@@ -297,6 +297,12 @@ impl SessionBuilder {
         let mut gateway_stats: GatewayStatsReport = Vec::new();
         let mut route_planes: Vec<Arc<MultiPath>> = Vec::new();
         let gateway_stop = Arc::new(GatewayStop::new());
+        // One shared reactor per gateway *node*, built lazily on the first
+        // reactor-mode virtual channel that needs it: every virtual channel
+        // of the node multiplexes onto the same fixed worker pool, which is
+        // the engine's whole scaling argument. The pool parks on the node's
+        // arrival event, so it is stirred by exactly the traffic it serves.
+        let mut reactors: HashMap<NodeId, Arc<crate::gateway::GatewayReactor>> = HashMap::new();
         for vdef in &self.vchannels {
             let nm: Vec<NetworkMembers> = vdef
                 .nets
@@ -382,6 +388,20 @@ impl SessionBuilder {
             // Gateway engines.
             let gateways = routing::gateways(&nm);
             for &gw in &gateways {
+                let reactor = (vdef.options.gateway.engine == crate::gateway::EngineKind::Reactor)
+                    .then(|| {
+                        reactors
+                            .entry(gw)
+                            .or_insert_with(|| {
+                                crate::gateway::GatewayReactor::new(
+                                    gw,
+                                    &runtime,
+                                    node_events[gw.index()].clone(),
+                                    vdef.options.gateway.reactor_workers,
+                                )
+                            })
+                            .clone()
+                    });
                 let handles = spawn_gateway(
                     gw,
                     &vdef.name,
@@ -392,6 +412,7 @@ impl SessionBuilder {
                     runtime.clone(),
                     gateway_stop.clone(),
                     ledgers[&gw].clone(),
+                    reactor.as_ref(),
                 );
                 if let Some(mp) = &mp {
                     mp.register_gateway(gw, handles.stats().clone());
@@ -505,6 +526,19 @@ impl SessionBuilder {
         for g in gateway_handles {
             g.join();
         }
+        // Every engine's tasks have completed; stop the shared reactor
+        // pools and join their workers before surfacing any panic, so no
+        // worker (a sim actor under virtual time) outlives the session. An
+        // application panic recorded above still takes precedence over a
+        // reactor-task panic.
+        for r in reactors.values() {
+            let r = r.clone();
+            if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                r.shutdown_and_join()
+            })) {
+                panic.get_or_insert(e);
+            }
+        }
         if let Some(p) = panic {
             std::panic::resume_unwind(p);
         }
@@ -552,7 +586,30 @@ impl SessionBuilder {
                 );
                 tracer.count_on(&track, "gateway", "errors", t.errors as i64, &[]);
                 tracer.count_on(&track, "gateway", "peak_held_bytes", t.peak_held_bytes, &[]);
+                tracer.count_on(
+                    &track,
+                    "gateway",
+                    "threads_spawned",
+                    t.threads_spawned as i64,
+                    &[],
+                );
             }
+            // Session-wide thread-budget accounting: how many OS (or sim
+            // actor) threads the runtime ever spawned, plus the reactor
+            // pools' worker and task counts — the `rt:` track the A9
+            // scaling experiment and the scalability smoke read back.
+            let rt_track = "rt:session";
+            tracer.count_on(
+                rt_track,
+                "runtime",
+                "threads_spawned",
+                runtime.threads_spawned() as i64,
+                &[],
+            );
+            let workers: usize = reactors.values().map(|r| r.worker_count()).sum();
+            let tasks: u64 = reactors.values().map(|r| r.tasks_spawned()).sum();
+            tracer.count_on(rt_track, "runtime", "reactor_workers", workers as i64, &[]);
+            tracer.count_on(rt_track, "runtime", "reactor_tasks", tasks as i64, &[]);
             // Routing-plane summary: per-path byte splits plus the
             // selector's switch/failover counters, one `route:` track per
             // multi-path virtual channel.

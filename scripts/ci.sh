@@ -23,6 +23,17 @@ echo
 echo "== soak + fault-injection tests (MAD_SOAK_SEED=20010914)"
 MAD_SOAK_SEED=20010914 cargo test -q --offline --release --test soak
 
+# The same soaks — plus the teardown-drain and multi-path suites — under
+# the reactor engine core. MAD_ENGINE=reactor flips every
+# GatewayConfig::engine default, so the identical test bodies exercise
+# the poll-driven engine; byte-identical forwarding between the two
+# cores is property-checked by tests/prop_engine.rs in the main pass.
+echo
+echo "== soak + drain + multipath suites, reactor engine (MAD_ENGINE=reactor)"
+MAD_SOAK_SEED=20010914 MAD_ENGINE=reactor cargo test -q --offline --release --test soak
+MAD_ENGINE=reactor cargo test -q --offline --release --test gateway_drain
+MAD_ENGINE=reactor cargo test -q --offline --release --test multipath
+
 # One traced run on each backend (sim, fault-injected sim with a credit
 # window, shm), then validate the exported JSONL against the schema
 # checker: every line must parse, carry the required keys, and keep
@@ -50,11 +61,26 @@ echo "== multipath_scaling --smoke (multi-path gateway fabrics)"
 cargo run -q --release --offline -p mad-bench --bin multipath_scaling -- \
   --smoke --trace "$trace_dir/a8.jsonl"
 
+# A9 smoke: the reactor engine core — channel scaling at the 32-thread
+# budget (with its >=8x assertion) and single-stream bulk parity (within
+# 5% of the threaded engine, asserted). Smoke mode skips the CSVs.
+echo
+echo "== reactor_scaling --smoke (reactor engine core)"
+cargo run -q --release --offline -p mad-bench --bin reactor_scaling -- --smoke
+
+# The same multi-path traced run under the reactor engine: its export
+# must still carry the route: track (enforced via --require-route below)
+# and now also the rt: thread-budget track the schema validates.
+echo
+echo "== multipath_scaling --smoke, reactor engine, traced"
+MAD_ENGINE=reactor cargo run -q --release --offline -p mad-bench --bin multipath_scaling -- \
+  --smoke --trace "$trace_dir/a8-reactor.jsonl"
+
 cargo run -q --release --offline -p mad-bench --bin trace_check -- \
   "$trace_dir/ci.sim.jsonl" "$trace_dir/ci.fault.jsonl" "$trace_dir/ci.shm.jsonl" \
   "$trace_dir/a7.jsonl"
 cargo run -q --release --offline -p mad-bench --bin trace_check -- \
-  --require-route "$trace_dir/a8.jsonl"
+  --require-route "$trace_dir/a8.jsonl" "$trace_dir/a8-reactor.jsonl"
 
 # Lints gate only when clippy is actually installed (sealed containers
 # may ship a toolchain without the component).
