@@ -391,6 +391,55 @@ pub const GW_EVENT_NAMES: [&str; 14] = [
 /// threads plus the reactor pools' worker and task totals.
 pub const RT_EVENT_NAMES: [&str; 3] = ["threads_spawned", "reactor_workers", "reactor_tasks"];
 
+/// Event names allowed on a `metrics:` track (all `count`s, cat
+/// `metrics`): the teardown flush of each node's live registry —
+/// counters and gauges by name (per-gateway stripe gauges folded into
+/// `stripe_path_bytes` keyed by `args.gateway`, `queue_depth` paired
+/// with its `queue_depth_peak` high-water mark) plus the derived
+/// quantiles of the three latency histograms.
+pub const METRICS_EVENT_NAMES: [&str; 30] = [
+    "degradations",
+    "health_credit_starvation",
+    "health_queue_saturation",
+    "health_stalled_stream",
+    "health_dead_path_flap",
+    "queue_depth",
+    "queue_depth_peak",
+    "rt_threads_spawned",
+    "pool_gets",
+    "pool_hits",
+    "pool_misses",
+    "gw_held_bytes",
+    "gw_bytes_per_sec",
+    "open_streams",
+    "stripe_path_bytes",
+    "gw_forward_ns_p50",
+    "gw_forward_ns_p90",
+    "gw_forward_ns_p99",
+    "gw_forward_ns_max",
+    "gw_forward_ns_count",
+    "credit_wait_ns_p50",
+    "credit_wait_ns_p90",
+    "credit_wait_ns_p99",
+    "credit_wait_ns_max",
+    "credit_wait_ns_count",
+    "reactor_poll_ns_p50",
+    "reactor_poll_ns_p90",
+    "reactor_poll_ns_p99",
+    "reactor_poll_ns_max",
+    "reactor_poll_ns_count",
+];
+
+/// Event names allowed on a `health:` track (all `count`s, cat
+/// `health`): the mid-run watchdog verdicts, one event per detector
+/// firing.
+pub const HEALTH_EVENT_NAMES: [&str; 4] = [
+    "credit_starvation",
+    "queue_saturation",
+    "stalled_stream",
+    "dead_path_flap",
+];
+
 /// What [`validate_route_tracks`] found.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RouteSummary {
@@ -400,6 +449,10 @@ pub struct RouteSummary {
     pub gw_events: usize,
     /// Events on `rt:` tracks.
     pub rt_events: usize,
+    /// Events on `metrics:` tracks.
+    pub metrics_events: usize,
+    /// Events on `health:` tracks.
+    pub health_events: usize,
 }
 
 /// Validate the routing-plane tracks of a JSONL trace: every event on a
@@ -408,8 +461,13 @@ pub struct RouteSummary {
 /// `args.gateway`; every event on a `gw:`-prefixed track is a `count` of
 /// cat `gateway` named in [`GW_EVENT_NAMES`]; every event on an
 /// `rt:`-prefixed track is a `count` of cat `runtime` named in
-/// [`RT_EVENT_NAMES`]. Traces without such tracks validate trivially
-/// (zero counts) — run [`validate_jsonl`] first for the base schema.
+/// [`RT_EVENT_NAMES`]; every event on a `metrics:`-prefixed track is a
+/// `count` of cat `metrics` named in [`METRICS_EVENT_NAMES`] (with
+/// `stripe_path_bytes` carrying an integer `args.gateway`); every event
+/// on a `health:`-prefixed track is a `count` of cat `health` named in
+/// [`HEALTH_EVENT_NAMES`]. Traces without such tracks validate
+/// trivially (zero counts) — run [`validate_jsonl`] first for the base
+/// schema.
 pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
     let mut summary = RouteSummary::default();
     for (i, line) in text.lines().enumerate() {
@@ -426,6 +484,10 @@ pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
                 ("gateway", &GW_EVENT_NAMES, &mut summary.gw_events)
             } else if thread.starts_with("rt:") {
                 ("runtime", &RT_EVENT_NAMES, &mut summary.rt_events)
+            } else if thread.starts_with("metrics:") {
+                ("metrics", &METRICS_EVENT_NAMES, &mut summary.metrics_events)
+            } else if thread.starts_with("health:") {
+                ("health", &HEALTH_EVENT_NAMES, &mut summary.health_events)
             } else {
                 continue;
             };
@@ -447,14 +509,14 @@ pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
                 "line {line_no}: unknown event \"{name}\" on track \"{thread}\""
             ));
         }
-        if name == "path_bytes"
+        if matches!(name, "path_bytes" | "stripe_path_bytes")
             && v.get("args")
                 .and_then(|a| a.get("gateway"))
                 .and_then(|g| g.as_u64())
                 .is_none()
         {
             return Err(format!(
-                "line {line_no}: \"path_bytes\" without integer args[\"gateway\"]"
+                "line {line_no}: \"{name}\" without integer args[\"gateway\"]"
             ));
         }
         *counter += 1;
@@ -541,6 +603,31 @@ mod tests {
         assert!(validate_route_tracks(bad_name)
             .unwrap_err()
             .contains("unknown event"));
+    }
+
+    #[test]
+    fn metrics_and_health_tracks_validate() {
+        let text = "\
+{\"ts\":1,\"thread\":\"metrics:node0\",\"kind\":\"count\",\"cat\":\"metrics\",\"name\":\"gw_forward_ns_p99\",\"value\":4096}
+{\"ts\":1,\"thread\":\"metrics:node0\",\"kind\":\"count\",\"cat\":\"metrics\",\"name\":\"queue_depth_peak\",\"value\":7}
+{\"ts\":1,\"thread\":\"metrics:node0\",\"kind\":\"count\",\"cat\":\"metrics\",\"name\":\"stripe_path_bytes\",\"value\":512,\"args\":{\"gateway\":2}}
+{\"ts\":2,\"thread\":\"health:vc@1\",\"kind\":\"count\",\"cat\":\"health\",\"name\":\"credit_starvation\",\"value\":3}
+{\"ts\":3,\"thread\":\"health:vc@1\",\"kind\":\"count\",\"cat\":\"health\",\"name\":\"stalled_stream\",\"value\":1}
+";
+        let s = validate_route_tracks(text).unwrap();
+        assert_eq!((s.metrics_events, s.health_events), (3, 2));
+        // Unknown metric names, wrong cats, and stripe events without
+        // their gateway arg are all rejected.
+        let bad_name = "{\"ts\":1,\"thread\":\"metrics:node0\",\"kind\":\"count\",\"cat\":\"metrics\",\"name\":\"zap\",\"value\":1}\n";
+        assert!(validate_route_tracks(bad_name)
+            .unwrap_err()
+            .contains("unknown event"));
+        let bad_cat = "{\"ts\":1,\"thread\":\"health:vc@1\",\"kind\":\"count\",\"cat\":\"metrics\",\"name\":\"stalled_stream\",\"value\":1}\n";
+        assert!(validate_route_tracks(bad_cat).unwrap_err().contains("cat"));
+        let no_gw = "{\"ts\":1,\"thread\":\"metrics:node0\",\"kind\":\"count\",\"cat\":\"metrics\",\"name\":\"stripe_path_bytes\",\"value\":1}\n";
+        assert!(validate_route_tracks(no_gw)
+            .unwrap_err()
+            .contains("gateway"));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   `harness = false` bench targets.
 //! * [`pool`] — a size-classed recycling byte-buffer pool with
 //!   return-on-drop handles and hit/miss counters.
+//! * [`hist`] — lock-free log2-bucketed histograms (relaxed-atomic
+//!   record, quantiles derived from plain snapshots) for the live
+//!   metrics plane.
 //! * [`reactor`] — a readiness reactor (poll-driven tasks, timer wheel,
 //!   fixed worker pool) over a pluggable parking substrate, so the same
 //!   event loop runs on real condvars and on the virtual clock.
@@ -32,6 +35,7 @@
 
 pub mod bytes;
 pub mod chan;
+pub mod hist;
 pub mod microbench;
 pub mod pool;
 pub mod prop;

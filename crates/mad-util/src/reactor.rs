@@ -290,6 +290,10 @@ impl Sched {
 pub struct Reactor {
     park: Arc<dyn Park>,
     state: Mutex<Sched>,
+    /// Optional poll-duration sink: when set, every task poll records
+    /// its wall (or virtual) duration. A `OnceLock` keeps the disabled
+    /// path at one relaxed load, with no lock and no clock reads.
+    poll_hist: std::sync::OnceLock<Arc<crate::hist::AtomicHistogram>>,
 }
 
 impl Reactor {
@@ -297,6 +301,7 @@ impl Reactor {
     pub fn new(park: Arc<dyn Park>) -> Arc<Self> {
         Arc::new(Reactor {
             park,
+            poll_hist: std::sync::OnceLock::new(),
             state: Mutex::new(Sched {
                 slots: Vec::new(),
                 ready: VecDeque::new(),
@@ -416,6 +421,14 @@ impl Reactor {
         self.state.lock().panic.take()
     }
 
+    /// Record every future task-poll duration (in this park's clock
+    /// domain, nanoseconds) into `hist`. First caller wins; later calls
+    /// are ignored — the hook is set once at wiring time, before
+    /// workers observe meaningful load.
+    pub fn set_poll_histogram(&self, hist: Arc<crate::hist::AtomicHistogram>) {
+        let _ = self.poll_hist.set(hist);
+    }
+
     fn wake_slot(&self, id: TaskId) {
         {
             let mut st = self.state.lock();
@@ -488,8 +501,13 @@ impl Reactor {
                 continue;
             };
             let mut cx = Context::new(now);
+            let hist = self.poll_hist.get();
+            let poll_start = hist.map(|_| self.park.now_ns());
             let polled =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.poll(&mut cx)));
+            if let (Some(hist), Some(start)) = (hist, poll_start) {
+                hist.record(self.park.now_ns().saturating_sub(start));
+            }
             match polled {
                 Ok(Poll::Pending) => {
                     let mut st = self.state.lock();

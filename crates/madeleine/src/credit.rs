@@ -231,6 +231,9 @@ pub struct FlowControl {
     ledger: Arc<CreditLedger>,
     window: u32,
     timeout_ns: u64,
+    /// The node's telemetry plane: writer pumps hand it stray handoff
+    /// acks and in-band metrics packets they drain off the conduit.
+    plane: Option<Arc<crate::metrics_plane::MetricsPlane>>,
 }
 
 impl FlowControl {
@@ -241,7 +244,17 @@ impl FlowControl {
             ledger,
             window,
             timeout_ns,
+            plane: None,
         }
+    }
+
+    /// Attach the node's telemetry plane (session wiring).
+    pub(crate) fn with_metrics(
+        mut self,
+        plane: Option<Arc<crate::metrics_plane::MetricsPlane>>,
+    ) -> Self {
+        self.plane = plane;
+        self
     }
 
     /// The shared ledger.
@@ -354,8 +367,21 @@ impl WriterFlow {
                 PacketBody::Cancel(reason) => self.ctl.ledger.cancel(tag.key(), reason),
                 // A handoff ack racing ahead of the multi-path writer's own
                 // ack pump (e.g. while a later stream is still packing) is
-                // not an error — the pump that cares will see its own.
-                PacketBody::Ack => {}
+                // not an error — park it in the plane's side table so the
+                // waiting pump can still claim it; without a plane the old
+                // swallow-and-rely-on-the-deadline behaviour stands.
+                PacketBody::Ack => {
+                    if let Some(p) = &self.ctl.plane {
+                        p.deposit_ack(tag.key());
+                    }
+                }
+                // In-band metrics pull traffic shares the conduit: hand it
+                // to the node's plane (or drop it when telemetry is off).
+                PacketBody::MetricsRequest | PacketBody::MetricsReply => {
+                    if let Some(p) = &self.ctl.plane {
+                        p.handle_packet(&tag, &body, &packet);
+                    }
+                }
                 other => {
                     return Err(MadError::Protocol(format!(
                         "unexpected {other:?} on a sender's special conduit"

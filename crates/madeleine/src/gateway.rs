@@ -136,6 +136,7 @@ use crate::conduit::{BufferMode, Conduit, StaticBuf};
 use crate::credit::{CreditLedger, TakeFailure};
 use crate::error::{MadError, Result};
 use crate::gtm::{self, CancelReason, PacketBody, StreamKey, StreamTag, PRELUDE_LEN};
+use crate::metrics_plane::GwMetrics;
 use crate::routing::RouteTable;
 use crate::runtime::{RtEvent, RtQueue, RtReceiver, RtSender, Runtime};
 use crate::types::{NetworkId, NodeId};
@@ -199,11 +200,32 @@ pub struct GatewayStats {
     /// yet retransmitted or dropped) and their high-water mark — the
     /// occupancy the credit window bounds.
     pub held: Gauge,
+    /// Streams currently open in the engine's demultiplexing table
+    /// (header accepted, end/cancel not yet relayed).
+    open_streams: AtomicI64,
     per_stream: Mutex<BTreeMap<(NodeId, NodeId), StreamCounters>>,
-    delta_prev: Mutex<DeltaPrev>,
+    delta_prev: Mutex<[DeltaPrev; DELTA_CURSORS]>,
 }
 
-/// Baseline of the previous [`GatewayStats::delta_since_last`] call.
+/// Independent windowed readers of one [`GatewayStats`]. Each cursor
+/// keeps its own baseline, so the multi-path selector's refresh, the
+/// telemetry sampler, and the health watchdog all see complete disjoint
+/// windows instead of stealing deltas from each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaCursor {
+    /// The multi-path selector's refresh windows
+    /// ([`GatewayStats::delta_since_last`]).
+    Selector = 0,
+    /// The telemetry plane's sampling windows.
+    Metrics = 1,
+    /// The health watchdog's evaluation windows.
+    Watchdog = 2,
+}
+
+/// Number of [`DeltaCursor`] variants (baseline array length).
+const DELTA_CURSORS: usize = 3;
+
+/// Baseline of one cursor's previous windowed snapshot.
 #[derive(Debug, Default)]
 struct DeltaPrev {
     at_ns: u64,
@@ -234,6 +256,10 @@ pub struct LinkDelta {
 pub struct GatewayDelta {
     /// Nanoseconds covered by this window (0 on the first call).
     pub interval_ns: u64,
+    /// Complete messages relayed in the window.
+    pub messages: u64,
+    /// Credit waits that hit their deadline in the window.
+    pub credit_timeouts: u64,
     /// Payload fragments relayed in the window.
     pub fragments: u64,
     /// Payload fragment bytes relayed in the window.
@@ -322,6 +348,14 @@ impl GatewayStats {
     /// reads are relaxed; a window may misattribute an in-flight update by
     /// one tick, which is harmless for load estimation.
     pub fn delta_since_last(&self, now_ns: u64) -> GatewayDelta {
+        self.delta_for(DeltaCursor::Selector, now_ns)
+    }
+
+    /// [`GatewayStats::delta_since_last`] on an explicit cursor: each
+    /// [`DeltaCursor`] advances its own baseline, so concurrent periodic
+    /// readers (route selection, sampling, health checks) each see every
+    /// window exactly once.
+    pub fn delta_for(&self, cursor: DeltaCursor, now_ns: u64) -> GatewayDelta {
         let totals = self.totals();
         let per: BTreeMap<(NodeId, NodeId), StreamCounters> = self
             .per_stream
@@ -329,8 +363,13 @@ impl GatewayStats {
             .iter()
             .map(|(&k, &v)| (k, v))
             .collect();
-        let mut prev = self.delta_prev.lock();
+        let mut prevs = self.delta_prev.lock();
+        let prev = &mut prevs[cursor as usize];
         let interval_ns = now_ns.saturating_sub(prev.at_ns);
+        let messages = totals.messages.saturating_sub(prev.totals.messages);
+        let credit_timeouts = totals
+            .credit_timeouts
+            .saturating_sub(prev.totals.credit_timeouts);
         let fragments = totals.fragments.saturating_sub(prev.totals.fragments);
         let bytes = totals
             .fragment_bytes
@@ -365,6 +404,8 @@ impl GatewayStats {
         };
         GatewayDelta {
             interval_ns,
+            messages,
+            credit_timeouts,
             fragments,
             bytes,
             stalls,
@@ -373,6 +414,13 @@ impl GatewayStats {
             occupancy_bytes: totals.held_bytes,
             per_link,
         }
+    }
+
+    /// Streams currently open in the engine (accepted header, end or
+    /// cancel not yet relayed) — the live companion of the windowed
+    /// counters, read by the health watchdog's stalled-stream detector.
+    pub fn open_streams(&self) -> i64 {
+        self.open_streams.load(Ordering::Relaxed)
     }
 
     /// Per-(source, destination) counters, sorted by pair.
@@ -389,6 +437,7 @@ impl GatewayStats {
     }
 
     fn on_header(&self, pair: (NodeId, NodeId)) {
+        self.open_streams.fetch_add(1, Ordering::Relaxed);
         self.with_pair(pair, |_| {});
     }
 
@@ -402,6 +451,7 @@ impl GatewayStats {
     }
 
     fn on_end(&self, pair: (NodeId, NodeId)) {
+        self.open_streams.fetch_sub(1, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.with_pair(pair, |c| c.messages += 1);
     }
@@ -421,6 +471,7 @@ impl GatewayStats {
     }
 
     fn on_cancelled(&self) {
+        self.open_streams.fetch_sub(1, Ordering::Relaxed);
         self.cancelled.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -681,6 +732,10 @@ struct FwdItem {
     /// Packet bytes counted in the held-bytes gauge (fragments only; 0
     /// for control packets).
     held_bytes: usize,
+    /// When the polling side received the packet (engine clock), or 0
+    /// when telemetry is off or the packet is not a payload fragment —
+    /// the start of the per-fragment forward-latency measurement.
+    recv_ns: u64,
     /// Consume one outbound credit before retransmitting (flow-controlled
     /// stream on a non-final hop).
     consume: bool,
@@ -781,6 +836,9 @@ struct FwdShared {
     runtime: Arc<dyn Runtime>,
     credit_timeout_ns: u64,
     tracer: Tracer,
+    /// Hot-path telemetry handles; `None` compiles the recording out of
+    /// the forwarding path entirely (the metrics-off default).
+    metrics: Option<GwMetrics>,
 }
 
 /// How a polling thread lands incoming packets (fixed per inbound network,
@@ -850,14 +908,17 @@ pub fn spawn_gateway(
     stopctl: Arc<GatewayStop>,
     ledger: Arc<CreditLedger>,
     reactor: Option<&Arc<GatewayReactor>>,
+    metrics: Option<Arc<crate::metrics_plane::MetricsPlane>>,
 ) -> GatewayHandles {
     assert!(cfg.pipeline_depth >= 1, "pipeline depth must be at least 1");
+    let metrics = metrics.map(GwMetrics::new);
     if cfg.engine == EngineKind::Reactor {
         let Some(reactor) = reactor else {
             panic!("EngineKind::Reactor requires the node's GatewayReactor");
         };
         return reactor_engine::spawn_reactor_gateway(
             rank, vc_name, regular, special, routes, cfg, runtime, stopctl, ledger, reactor,
+            metrics,
         );
     }
     let nets: Vec<NetworkId> = special.keys().copied().collect();
@@ -903,6 +964,7 @@ pub fn spawn_gateway(
                     runtime: runtime.clone(),
                     credit_timeout_ns: cfg.credit_timeout_ns,
                     tracer: runtime.tracer(),
+                    metrics: metrics.clone(),
                 };
                 let max_batch = cfg.max_batch;
                 threads.push(runtime.spawn(
@@ -918,6 +980,7 @@ pub fn spawn_gateway(
         let stats = stats.clone();
         let live = live.clone();
         let ledger = ledger.clone();
+        let metrics = metrics.clone();
         let name = format!("gw{}-{}-in-{}", rank.0, vc_name, net_in);
         threads.push(runtime.spawn(
             name,
@@ -932,6 +995,7 @@ pub fn spawn_gateway(
                     stats,
                     live,
                     ledger,
+                    metrics,
                 )
             }),
         ));
@@ -976,7 +1040,9 @@ fn landing_size(
     max_batch: usize,
     caps: &crate::conduit::DriverCaps,
 ) -> usize {
-    let mut size = 256usize; // floor: every control packet fits
+    // Floor: every control packet fits, including a full-size in-band
+    // metrics reply (kind 10).
+    let mut size = 256usize.max(gtm::METRICS_PACKET_MAX);
     for s in streams.values() {
         size = size.max(PRELUDE_LEN + s.mtu as usize);
     }
@@ -1003,6 +1069,7 @@ fn polling_thread(
     stats: Arc<GatewayStats>,
     live: Arc<EngineLive>,
     ledger: Arc<CreditLedger>,
+    metrics: Option<GwMetrics>,
 ) {
     let _exit = ThreadExitGuard { live: live.clone() };
     let landing = landing_policy(sinks.0.values().map(Sink::path), cfg);
@@ -1015,6 +1082,7 @@ fn polling_thread(
         runtime: runtime.clone(),
         credit_timeout_ns: cfg.credit_timeout_ns,
         tracer: tracer.clone(),
+        metrics,
     };
     // Streams currently crossing this inbound network.
     let mut streams: BTreeMap<StreamKey, InStream> = BTreeMap::new();
@@ -1145,6 +1213,12 @@ fn relay_packet<S: ItemSink>(
 ) -> Result<()> {
     let (tag, body) = gtm::decode_packet(buf.bytes())?;
     let key = tag.key();
+    // Arrival timestamp for the forward-latency histogram: one clock read
+    // per relayed packet, and only when telemetry is on.
+    let recv_ns = match &shared.metrics {
+        Some(_) => shared.runtime.now_nanos(),
+        None => 0,
+    };
 
     // A batch frame from an upstream gateway: split the train and relay
     // each packet on its own. Frames are never forwarded verbatim — this
@@ -1183,6 +1257,18 @@ fn relay_packet<S: ItemSink>(
         return Ok(());
     }
 
+    // In-band metrics pull traffic rides the special conduits but never
+    // touches stream state: hand it to the telemetry plane (serve a
+    // request addressed here, file a reply, or relay it toward its
+    // destination) and move on. Without a plane the packet is dropped —
+    // telemetry is strictly best-effort.
+    if matches!(body, PacketBody::MetricsRequest | PacketBody::MetricsReply) {
+        if let Some(m) = &shared.metrics {
+            m.plane.handle_packet(&tag, &body, buf.bytes());
+        }
+        return Ok(());
+    }
+
     // Late packets of a stream cancelled here: swallow until its source
     // stops (the end or cancel clears the tombstone).
     if cancelled.contains(&key) {
@@ -1212,7 +1298,10 @@ fn relay_packet<S: ItemSink>(
     }
 
     match body {
-        PacketBody::Credit(_) | PacketBody::Batch => unreachable!("handled above"),
+        PacketBody::Credit(_)
+        | PacketBody::Batch
+        | PacketBody::MetricsRequest
+        | PacketBody::MetricsReply => unreachable!("handled above"),
         PacketBody::Header(header) => {
             if header.tag.dest == rank {
                 return Err(MadError::Protocol(format!(
@@ -1270,7 +1359,7 @@ fn relay_packet<S: ItemSink>(
             );
             shared.live.opened();
             *open_from.entry(peer).or_insert(0) += 1;
-            let item = make_item(&stream, buf, false, false, cfg, in_channel, peer);
+            let item = make_item(&stream, buf, false, false, cfg, in_channel, peer, recv_ns);
             sinks.accept(&stream, item, false, shared)?;
             streams.insert(key, stream);
             *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
@@ -1280,7 +1369,7 @@ fn relay_packet<S: ItemSink>(
             let stream = streams.get(&key).ok_or_else(|| {
                 MadError::Protocol(format!("GTM descriptor for unknown stream {key:?}"))
             })?;
-            let item = make_item(stream, buf, false, false, cfg, in_channel, peer);
+            let item = make_item(stream, buf, false, false, cfg, in_channel, peer, recv_ns);
             sinks.accept(stream, item, false, shared)
         }
         PacketBody::Frag => {
@@ -1290,7 +1379,7 @@ fn relay_packet<S: ItemSink>(
             let payload = (buf.bytes().len() - PRELUDE_LEN) as u64;
             shared.stats.on_frag(stream.pair, payload);
             shared.runtime.charge_overhead(cfg.switch_overhead_ns);
-            let item = make_item(stream, buf, true, false, cfg, in_channel, peer);
+            let item = make_item(stream, buf, true, false, cfg, in_channel, peer, recv_ns);
             shared.stats.held.add(item.held_bytes as i64);
             sinks.accept(stream, item, true, shared)
         }
@@ -1309,7 +1398,7 @@ fn relay_packet<S: ItemSink>(
                 shared.stats.on_frag(stream.pair, payload);
                 shared.runtime.charge_overhead(cfg.switch_overhead_ns);
             }
-            let item = make_item(stream, buf, is_frag, false, cfg, in_channel, peer);
+            let item = make_item(stream, buf, is_frag, false, cfg, in_channel, peer, recv_ns);
             shared.stats.held.add(item.held_bytes as i64);
             sinks.accept(stream, item, is_frag, shared)
         }
@@ -1322,7 +1411,7 @@ fn relay_packet<S: ItemSink>(
             }
             *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
             shared.stats.on_end(stream.pair);
-            let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
+            let item = make_item(&stream, buf, false, true, cfg, in_channel, peer, recv_ns);
             sinks.accept(&stream, item, false, shared)
         }
         PacketBody::Ack => {
@@ -1353,7 +1442,7 @@ fn relay_packet<S: ItemSink>(
                 // A relayed cancel terminates the stream but is not a
                 // successful handoff — never ack it.
                 stream.ack = false;
-                let item = make_item(&stream, buf, false, true, cfg, in_channel, peer);
+                let item = make_item(&stream, buf, false, true, cfg, in_channel, peer, recv_ns);
                 sinks.accept(&stream, item, false, shared)
             } else if shared.ledger.cancel_existing(key, reason) {
                 // Returning-direction cancel: a downstream hop killed a
@@ -1372,6 +1461,7 @@ fn relay_packet<S: ItemSink>(
 }
 
 /// Build the pipeline item for one accepted packet.
+#[allow(clippy::too_many_arguments)] // internal helper of relay_packet
 fn make_item(
     stream: &InStream,
     buf: FwdBuf,
@@ -1380,6 +1470,7 @@ fn make_item(
     cfg: GatewayConfig,
     in_channel: &Arc<Channel>,
     peer: NodeId,
+    recv_ns: u64,
 ) -> FwdItem {
     let held_bytes = if is_frag { buf.bytes().len() } else { 0 };
     FwdItem {
@@ -1389,6 +1480,8 @@ fn make_item(
         tag: stream.tag,
         end_of_stream,
         held_bytes,
+        // Forward latency is measured on payload fragments only.
+        recv_ns: if is_frag { recv_ns } else { 0 },
         consume: is_frag && cfg.credit_window.is_some() && !stream.last_hop,
         grant: (is_frag && cfg.credit_window.is_some()).then(|| (in_channel.clone(), peer)),
         ack: (end_of_stream && stream.ack).then(|| (in_channel.clone(), peer)),
@@ -1445,6 +1538,7 @@ fn cancel_stream<S: ItemSink>(
         tag: stream.tag,
         end_of_stream: true,
         held_bytes: 0,
+        recv_ns: 0,
         consume: false,
         grant: None,
         // A cancelled stream is never acked: the origin's ack deadline (or
@@ -1554,7 +1648,12 @@ fn dispatch(
                 shared.stats.on_switch(stream.pair);
             }
             match tx.try_push(item) {
-                Ok(()) => Ok(()),
+                Ok(()) => {
+                    if let Some(m) = &shared.metrics {
+                        m.queue_depth.add(1);
+                    }
+                    Ok(())
+                }
                 Err(item) => {
                     shared.stats.on_stall(stream.pair);
                     trace_instant!(
@@ -1566,7 +1665,12 @@ fn dispatch(
                     );
                     let _wait = trace_span!(shared.tracer, "gw", "stall-wait");
                     match tx.push(item) {
-                        Ok(()) => Ok(()),
+                        Ok(()) => {
+                            if let Some(m) = &shared.metrics {
+                                m.queue_depth.add(1);
+                            }
+                            Ok(())
+                        }
                         Err(item) => {
                             // The forwarding thread is gone: account the
                             // item ourselves, then shut this side down.
@@ -1644,11 +1748,18 @@ fn take_credit_blocking(path: &OutPath, item: FwdItem, shared: &FwdShared) -> Op
     if !item.consume {
         return Some(item);
     }
+    let wait_start = shared.metrics.as_ref().map(|_| shared.runtime.now_nanos());
     match shared
         .ledger
         .take_blocking(item.tag.key(), shared.credit_timeout_ns, &*shared.runtime)
     {
-        Ok(()) => Some(item),
+        Ok(()) => {
+            if let (Some(m), Some(start)) = (&shared.metrics, wait_start) {
+                m.credit_wait_ns
+                    .record(shared.runtime.now_nanos().saturating_sub(start));
+            }
+            Some(item)
+        }
         Err(fail) => {
             let reason = match fail {
                 TakeFailure::Timeout => {
@@ -1694,6 +1805,7 @@ fn transmit_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
         tag,
         end_of_stream,
         held_bytes,
+        recv_ns,
         consume: _,
         grant,
         ack,
@@ -1720,6 +1832,12 @@ fn transmit_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
     match sent {
         Ok(()) => {
             channel.stats().on_send(to.0, bytes);
+            if let Some(m) = &shared.metrics {
+                if recv_ns > 0 {
+                    m.forward_ns
+                        .record(shared.runtime.now_nanos().saturating_sub(recv_ns));
+                }
+            }
             shared.stats.held.sub(held_bytes as i64);
             if let Some((grant_ch, grant_peer)) = &grant {
                 let mut credit = shared.runtime.pool().get(PRELUDE_LEN + 4);
@@ -1809,6 +1927,14 @@ fn transmit_batch(path: &OutPath, batch: Vec<FwdItem>, shared: &FwdShared) -> bo
     match sent {
         Ok(()) => {
             channel.stats().on_send(to.0, bytes);
+            if let Some(m) = &shared.metrics {
+                let now = shared.runtime.now_nanos();
+                for item in &batch {
+                    if item.recv_ns > 0 {
+                        m.forward_ns.record(now.saturating_sub(item.recv_ns));
+                    }
+                }
+            }
             // One aggregated grant per (upstream peer, stream) instead of
             // one packet per fragment.
             let mut grants: Vec<(Arc<Channel>, NodeId, StreamTag, u32)> = Vec::new();
@@ -1908,7 +2034,12 @@ fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, shared: FwdShared, 
         let head = match pending.take() {
             Some(item) => item,
             None => match rx.pop() {
-                Some(item) => item,
+                Some(item) => {
+                    if let Some(m) = &shared.metrics {
+                        m.queue_depth.add(-1);
+                    }
+                    item
+                }
                 None => return, // polling thread gone: shut down
             },
         };
@@ -1934,6 +2065,9 @@ fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, shared: FwdShared, 
             let Some(next) = rx.try_pop() else {
                 break; // queue drained: send what we have
             };
+            if let Some(m) = &shared.metrics {
+                m.queue_depth.add(-1);
+            }
             if next.to != batch[0].to || next.last_hop != batch[0].last_hop {
                 pending = Some(next); // different conduit: next train's head
                 break;

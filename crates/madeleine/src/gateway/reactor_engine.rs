@@ -204,6 +204,19 @@ impl GatewayReactor {
         self.core.spawned_total()
     }
 
+    /// Spawn an auxiliary task (e.g. a health watchdog) on the node's
+    /// worker pool.
+    pub(crate) fn spawn_task(&self, task: Box<dyn mad_util::reactor::PollTask>) {
+        self.core.spawn(task);
+    }
+
+    /// Route every task-poll duration on this reactor into `hist` (the
+    /// node's `reactor_poll_ns` histogram). First caller wins; later
+    /// calls are no-ops.
+    pub fn set_poll_histogram(&self, hist: Arc<mad_util::hist::AtomicHistogram>) {
+        self.core.set_poll_histogram(hist);
+    }
+
     /// Stop the workers, join them, drop any remaining task (running its
     /// RAII guards), and resurface the first task panic. The session
     /// calls this after every engine's latch has been joined, so in a
@@ -284,6 +297,9 @@ impl ItemSink for ReactorSinks {
                 // Every reactor item crosses a queue boundary — the analog
                 // of the threaded pipeline handoff.
                 shared.stats.on_switch(stream.pair);
+            }
+            if let Some(m) = &shared.metrics {
+                m.queue_depth.add(1);
             }
             nq.q.push_back(item);
         }
@@ -546,11 +562,24 @@ impl FlushTask {
         };
         if head.consume {
             match shared.ledger.try_take(head.tag.key()) {
-                TakeOutcome::Taken => {}
+                TakeOutcome::Taken => {
+                    // Credit in hand: record how long the head's blocked
+                    // episode lasted (0 when the take was instant), the
+                    // reactor analog of the blocking-wait measurement.
+                    if let Some(m) = &shared.metrics {
+                        m.credit_wait_ns
+                            .record(now.saturating_sub(blocked_since.unwrap_or(now)));
+                    }
+                }
                 TakeOutcome::Cancelled(r) => {
                     *blocked_since = None;
                     return match q.pop_front() {
-                        Some(item) => FlushStep::Cancel(item, r),
+                        Some(item) => {
+                            if let Some(m) = &shared.metrics {
+                                m.queue_depth.add(-1);
+                            }
+                            FlushStep::Cancel(item, r)
+                        }
                         None => FlushStep::Idle,
                     };
                 }
@@ -577,7 +606,12 @@ impl FlushTask {
                         shared.stats.credit_timeouts.fetch_add(1, Ordering::Relaxed);
                         *blocked_since = None;
                         return match q.pop_front() {
-                            Some(item) => FlushStep::Cancel(item, CancelReason::CreditTimeout),
+                            Some(item) => {
+                                if let Some(m) = &shared.metrics {
+                                    m.queue_depth.add(-1);
+                                }
+                                FlushStep::Cancel(item, CancelReason::CreditTimeout)
+                            }
                             None => FlushStep::Idle,
                         };
                     }
@@ -590,6 +624,9 @@ impl FlushTask {
         let Some(head) = q.pop_front() else {
             return FlushStep::Idle;
         };
+        if let Some(m) = &shared.metrics {
+            m.queue_depth.add(-1);
+        }
         let caps = path.channel(head.last_hop).caps();
         let budget = caps.preferred_mtu.min(caps.max_packet);
         let mut frame = PRELUDE_LEN + gtm::BATCH_ENTRY_OVERHEAD + head.buf.bytes().len();
@@ -616,6 +653,9 @@ impl FlushTask {
                     TakeOutcome::Empty => break,
                     TakeOutcome::Cancelled(r) => {
                         if let Some(item) = q.pop_front() {
+                            if let Some(m) = &shared.metrics {
+                                m.queue_depth.add(-1);
+                            }
                             cancels.push((item, r)); // dead stream drops out of the train
                         }
                         continue;
@@ -624,6 +664,9 @@ impl FlushTask {
             }
             frame += need;
             let Some(next) = q.pop_front() else { break };
+            if let Some(m) = &shared.metrics {
+                m.queue_depth.add(-1);
+            }
             batch.push(next);
         }
         FlushStep::Train { batch, cancels }
@@ -689,6 +732,9 @@ impl FlushTask {
         let mut g = self.queues.lock();
         for nq in g.nets.values_mut() {
             while let Some(item) = nq.q.pop_front() {
+                if let Some(m) = &self.shared.metrics {
+                    m.queue_depth.add(-1);
+                }
                 super::drop_item(&item, &self.shared);
             }
             nq.blocked_since = None;
@@ -783,6 +829,7 @@ pub(super) fn spawn_reactor_gateway(
     stopctl: Arc<GatewayStop>,
     ledger: Arc<CreditLedger>,
     reactor: &Arc<GatewayReactor>,
+    metrics: Option<super::GwMetrics>,
 ) -> GatewayHandles {
     let nets: Vec<NetworkId> = special.keys().copied().collect();
     let routes = Arc::new(routes);
@@ -830,6 +877,7 @@ pub(super) fn spawn_reactor_gateway(
             runtime: runtime.clone(),
             credit_timeout_ns: cfg.credit_timeout_ns,
             tracer: runtime.tracer(),
+            metrics: metrics.clone(),
         };
         let landing = super::landing_policy(paths.values(), cfg);
         let in_caps = in_channel.caps();

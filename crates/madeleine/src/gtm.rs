@@ -110,6 +110,21 @@ pub(crate) const KIND_CANCEL: u8 = 6;
 pub(crate) const KIND_BATCH: u8 = 7;
 pub(crate) const KIND_STRIPE: u8 = 8;
 pub(crate) const KIND_ACK: u8 = 9;
+pub(crate) const KIND_METRICS: u8 = 10;
+
+/// Direction byte of a kind-10 metrics packet: a snapshot request.
+const METRICS_REQUEST: u8 = 1;
+/// Direction byte of a kind-10 metrics packet: a snapshot reply.
+const METRICS_REPLY: u8 = 2;
+
+/// Byte budget for the encoded snapshot a metrics reply carries. Bounded
+/// so one reply always fits a single packet on every driver (the gateway
+/// landing buffer is sized to accept [`METRICS_PACKET_MAX`]); the
+/// snapshot encoder truncates to fit and flags it in-band.
+pub const METRICS_MAX: usize = 2048;
+
+/// Largest kind-10 packet: prelude, direction byte, full reply payload.
+pub const METRICS_PACKET_MAX: usize = PRELUDE_LEN + 1 + METRICS_MAX;
 
 /// Per-sub-packet framing overhead inside a batch frame (the u32 length
 /// prefix). `PRELUDE_LEN + Σ (BATCH_ENTRY_OVERHEAD + lenᵢ)` is the full
@@ -273,6 +288,16 @@ pub enum PacketBody {
     /// *against* the stream direction, like credits, and only for streams
     /// whose header set the acked flag.
     Ack,
+    /// In-band metrics pull, request direction: `tag.src` asks `tag.dest`
+    /// for its live metrics snapshot. Carries no payload; `tag.msg_id` is
+    /// the requester's pull sequence, echoed by the reply. Routed hop by
+    /// hop over special channels like any forwarded stream, but
+    /// stateless — no stream is opened.
+    MetricsRequest,
+    /// In-band metrics pull, reply direction: `tag.src` (the replier)
+    /// returns its encoded [`mad_metrics::Snapshot`] to `tag.dest`.
+    /// Borrow the payload with [`metrics_payload`].
+    MetricsReply,
 }
 
 fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
@@ -401,6 +426,49 @@ pub fn encode_ack(tag: &StreamTag) -> Vec<u8> {
     let mut v = Vec::with_capacity(PRELUDE_LEN);
     encode_ack_into(&mut v, tag);
     v
+}
+
+/// Encode a metrics-pull request into `v` (cleared first): `tag.src`
+/// asks `tag.dest` for a snapshot, `tag.msg_id` names the pull.
+pub fn encode_metrics_request_into(v: &mut Vec<u8>, tag: &StreamTag) {
+    v.clear();
+    v.reserve(PRELUDE_LEN + 1);
+    prelude_into(v, KIND_METRICS, tag);
+    v.push(METRICS_REQUEST);
+}
+
+/// Encode a metrics-pull request.
+pub fn encode_metrics_request(tag: &StreamTag) -> Vec<u8> {
+    let mut v = Vec::with_capacity(PRELUDE_LEN + 1);
+    encode_metrics_request_into(&mut v, tag);
+    v
+}
+
+/// Encode a metrics-pull reply into `v` (cleared first): `tag.src` (the
+/// replier) carries its encoded snapshot back to `tag.dest`, echoing the
+/// request's `msg_id`. The payload must respect [`METRICS_MAX`].
+pub fn encode_metrics_reply_into(v: &mut Vec<u8>, tag: &StreamTag, payload: &[u8]) {
+    assert!(
+        payload.len() <= METRICS_MAX,
+        "metrics reply payload over budget"
+    );
+    v.clear();
+    v.reserve(PRELUDE_LEN + 1 + payload.len());
+    prelude_into(v, KIND_METRICS, tag);
+    v.push(METRICS_REPLY);
+    v.extend_from_slice(payload);
+}
+
+/// Encode a metrics-pull reply.
+pub fn encode_metrics_reply(tag: &StreamTag, payload: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(PRELUDE_LEN + 1 + payload.len());
+    encode_metrics_reply_into(&mut v, tag, payload);
+    v
+}
+
+/// Borrow the encoded snapshot of a metrics reply packet.
+pub fn metrics_payload(packet: &[u8]) -> &[u8] {
+    &packet[PRELUDE_LEN + 1..]
 }
 
 /// The constant prelude of a batch frame. A batch carries no stream of its
@@ -637,6 +705,26 @@ pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
                 return Err(err("ack length"));
             }
             PacketBody::Ack
+        }
+        KIND_METRICS => {
+            if packet.len() < PRELUDE_LEN + 1 {
+                return Err(err("metrics packet length"));
+            }
+            match packet[PRELUDE_LEN] {
+                METRICS_REQUEST => {
+                    if packet.len() != PRELUDE_LEN + 1 {
+                        return Err(err("metrics request length"));
+                    }
+                    PacketBody::MetricsRequest
+                }
+                METRICS_REPLY => {
+                    if packet.len() > METRICS_PACKET_MAX {
+                        return Err(err("metrics reply over budget"));
+                    }
+                    PacketBody::MetricsReply
+                }
+                _ => return Err(err("metrics direction")),
+            }
         }
         _ => Err(err("unknown kind"))?,
     };
@@ -993,6 +1081,14 @@ impl StreamAssembler {
                     "handoff ack for stream {key:?} reached a stream assembler"
                 )))
             }
+            PacketBody::MetricsRequest | PacketBody::MetricsReply => {
+                // Metrics pulls are served by the metrics plane (gateway
+                // engines and endpoint responders) on special channels and
+                // open no stream; one here means a routing layer leaked it.
+                Err(MadError::Protocol(format!(
+                    "metrics packet for {key:?} reached a stream assembler"
+                )))
+            }
             PacketBody::Header(header) => self.push_header(origin, key, header),
             body => {
                 if let Some(remaining) = self.stripe_tombstones.get_mut(&key) {
@@ -1041,7 +1137,9 @@ impl StreamAssembler {
                     PacketBody::Header(_)
                     | PacketBody::Credit(_)
                     | PacketBody::Batch
-                    | PacketBody::Ack => {
+                    | PacketBody::Ack
+                    | PacketBody::MetricsRequest
+                    | PacketBody::MetricsReply => {
                         unreachable!()
                     }
                 });
@@ -1179,7 +1277,12 @@ impl StreamAssembler {
             PacketBody::Part(_) | PacketBody::Frag => Err(MadError::Protocol(
                 "bare body packet on a striped stream".into(),
             )),
-            PacketBody::Header(_) | PacketBody::Credit(_) | PacketBody::Batch | PacketBody::Ack => {
+            PacketBody::Header(_)
+            | PacketBody::Credit(_)
+            | PacketBody::Batch
+            | PacketBody::Ack
+            | PacketBody::MetricsRequest
+            | PacketBody::MetricsReply => {
                 unreachable!()
             }
         }

@@ -65,6 +65,7 @@ pub mod flags;
 pub mod gateway;
 pub mod gtm;
 pub mod message;
+pub mod metrics_plane;
 pub mod multipath;
 pub mod plan;
 pub mod routing;
@@ -83,6 +84,7 @@ pub use flags::{RecvMode, SendMode};
 pub use mad_route;
 pub use mad_trace;
 pub use message::{MessageReader, MessageWriter};
+pub use metrics_plane::{MetricsOptions, MetricsPlane, WatchdogConfig};
 pub use multipath::{MultiPath, MultipathConfig};
 pub use runtime::{Runtime, StdRuntime};
 pub use session::{Node, SessionBuilder};

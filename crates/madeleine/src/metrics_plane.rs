@@ -1,0 +1,791 @@
+//! The live telemetry plane: one [`mad_metrics::Registry`] per node,
+//! wired into the hot paths of the forwarding engines, plus the in-band
+//! machinery that makes every node's metrics visible to every other node
+//! *while the session runs*.
+//!
+//! Three cooperating pieces live here:
+//!
+//! * **[`MetricsPlane`]** — the per-(virtual channel, node) hub. It owns
+//!   the node's [`Registry`] handle, serves kind-10 metrics-pull requests
+//!   ([`crate::gtm`]) arriving on the node's special conduits, forwards
+//!   in-transit pull packets along the routing table (so a pull crosses
+//!   gateways exactly like any forwarded message), and collects replies
+//!   for a local [`MetricsPlane::pull`] caller. On gateway nodes the
+//!   engine's own polling threads hand kind-10 packets to the plane; on
+//!   endpoint nodes a small responder thread drains the special conduits
+//!   (depositing credit grants and cancels into the shared ledger on the
+//!   way, and parking handoff acks in a side table so the multi-path
+//!   writer's ack wait still sees them).
+//!
+//! * **Health watchdogs** — one per gateway node per channel, in both
+//!   engine cores (a dedicated thread in [`EngineKind::Threaded`], a
+//!   [`PollTask`] on the node's shared reactor in
+//!   [`EngineKind::Reactor`]). Each tick takes a windowed
+//!   [`GatewayStats::delta_for`] snapshot on its own cursor and turns
+//!   threshold breaches into typed `health:` trace events plus
+//!   registry counters: credit starvation, queue saturation, stalled
+//!   streams, dead-path flapping.
+//!
+//! * **Exposition** — an optional per-node sampler thread dumping
+//!   Prometheus-style text and CSV at a fixed interval, and
+//!   [`flush_snapshot_to_trace`], which folds a final snapshot into the
+//!   session trace on `metrics:` tracks (validated by `trace_check
+//!   --require-metrics`).
+//!
+//! Recording stays lock-free: the plane only touches locks at wiring
+//! time (handle interning), pull time, and sampling time — never on a
+//! per-packet path.
+//!
+//! [`EngineKind::Threaded`]: crate::gateway::EngineKind::Threaded
+//! [`EngineKind::Reactor`]: crate::gateway::EngineKind::Reactor
+//! [`GatewayStats::delta_for`]: crate::gateway::GatewayStats::delta_for
+//! [`PollTask`]: mad_util::reactor::PollTask
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use mad_metrics::{Counter, Gauge, Hist, Registry, Snapshot};
+use mad_trace::Tracer;
+use mad_util::reactor::{Context, Poll, PollTask};
+use mad_util::sync::Mutex;
+
+use crate::channel::Channel;
+use crate::credit::CreditLedger;
+use crate::error::{MadError, Result};
+use crate::gateway::{DeltaCursor, GatewayStats, GatewayStop};
+use crate::gtm::{self, PacketBody, StreamKey, StreamTag};
+use crate::multipath::MultiPath;
+use crate::routing::RouteTable;
+use crate::runtime::{RtEvent, Runtime};
+use crate::types::{NetworkId, NodeId};
+
+/// Per-virtual-channel telemetry configuration
+/// ([`crate::session::VcOptions::metrics`]). The default enables the
+/// watchdog with its default thresholds and no file exposition.
+#[derive(Debug, Clone)]
+pub struct MetricsOptions {
+    /// Health watchdog thresholds; `None` disables the watchdog (the
+    /// registry and in-band pull still run).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Directory the per-node sampler dumps Prometheus-style text and
+    /// CSV exposition into (`mad-metrics-node<rank>.prom` / `.csv`,
+    /// rewritten every interval). `None` disables the sampler thread.
+    pub dump_dir: Option<std::path::PathBuf>,
+    /// Sampler rewrite interval in nanoseconds (0 picks the 5 ms
+    /// default). Only read when `dump_dir` is set.
+    pub sample_interval_ns: u64,
+}
+
+impl Default for MetricsOptions {
+    fn default() -> Self {
+        Self {
+            watchdog: Some(WatchdogConfig::default()),
+            dump_dir: None,
+            sample_interval_ns: 0,
+        }
+    }
+}
+
+impl MetricsOptions {
+    /// The effective sampler interval (5 ms unless overridden).
+    pub fn effective_sample_interval_ns(&self) -> u64 {
+        if self.sample_interval_ns == 0 {
+            5_000_000
+        } else {
+            self.sample_interval_ns
+        }
+    }
+}
+
+/// Thresholds of one gateway health watchdog (DESIGN §13.4).
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Evaluation tick interval in nanoseconds.
+    pub interval_ns: u64,
+    /// Minimum backpressure stalls in a window before queue saturation
+    /// is even considered (filters one-off blips).
+    pub saturation_min_stalls: u64,
+    /// Stall fraction `stalls / (stalls + fragments)` at or above which
+    /// a window counts as queue saturation.
+    pub saturation_stall_ratio: f64,
+    /// Consecutive zero-progress ticks (open streams but no fragments
+    /// and no messages) before a stalled stream is reported.
+    pub stalled_stream_ticks: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            interval_ns: 5_000_000,
+            saturation_min_stalls: 8,
+            saturation_stall_ratio: 0.75,
+            stalled_stream_ticks: 2,
+        }
+    }
+}
+
+/// Cached hot-path metric handles of one gateway engine, cloned into
+/// every `FwdShared`. Absent (engine-wide) when the channel runs without
+/// a telemetry plane, which keeps the metrics-off fast path free of even
+/// the atomic adds.
+#[derive(Clone)]
+pub(crate) struct GwMetrics {
+    /// Receive→retransmit latency of forwarded fragments.
+    pub(crate) forward_ns: Hist,
+    /// Time spent blocked waiting for an outbound credit.
+    pub(crate) credit_wait_ns: Hist,
+    /// Packets resident in the engine's outbound pipeline queues.
+    pub(crate) queue_depth: Gauge,
+    /// The node's plane, for in-band kind-10 handling inside
+    /// `relay_packet`.
+    pub(crate) plane: Arc<MetricsPlane>,
+}
+
+impl GwMetrics {
+    pub(crate) fn new(plane: Arc<MetricsPlane>) -> Self {
+        let r = plane.registry();
+        GwMetrics {
+            forward_ns: r.histogram("gw_forward_ns"),
+            credit_wait_ns: r.histogram("credit_wait_ns"),
+            queue_depth: r.gauge("queue_depth"),
+            plane,
+        }
+    }
+}
+
+/// Reply collection state of the current in-band pull.
+#[derive(Default)]
+struct HubState {
+    /// Sequence number of the pull in flight (replies carrying any other
+    /// id are stale and dropped).
+    seq: u32,
+    replies: BTreeMap<NodeId, Snapshot>,
+}
+
+/// The per-(virtual channel, node) telemetry hub: the node's registry
+/// plus the in-band pull endpoint riding the channel's special conduits.
+pub struct MetricsPlane {
+    rank: NodeId,
+    registry: Arc<Registry>,
+    routes: RouteTable,
+    special: BTreeMap<NetworkId, Arc<Channel>>,
+    /// The node's arrival event: reply deposits bump it so a blocked
+    /// [`MetricsPlane::pull`] wakes.
+    event: Arc<dyn RtEvent>,
+    runtime: Arc<dyn Runtime>,
+    next_pull: AtomicU32,
+    hub: Mutex<HubState>,
+    /// Handoff acks consumed by the responder thread on behalf of a
+    /// multi-path writer (see [`crate::vchannel`]'s ack wait).
+    acks: Mutex<BTreeSet<StreamKey>>,
+    /// Gateway engines feeding this node's live gauges.
+    feeds: Mutex<Vec<Arc<GatewayStats>>>,
+    /// The channel's multi-path plane, for per-path stripe-byte gauges.
+    mp: Mutex<Option<Arc<MultiPath>>>,
+    // Cached refresh handles (interned once at wiring time).
+    rt_threads: Gauge,
+    pool_gets: Gauge,
+    pool_hits: Gauge,
+    pool_misses: Gauge,
+    gw_held: Gauge,
+    gw_open: Gauge,
+    gw_bps: Gauge,
+}
+
+impl std::fmt::Debug for MetricsPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsPlane")
+            .field("rank", &self.rank)
+            .field("nets", &self.special.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl MetricsPlane {
+    /// Build the plane of one node on one virtual channel (session
+    /// bootstrap). `registry` is the *node's* registry, shared across
+    /// the node's channels; `routes`/`special` are this node's own view
+    /// of the channel, so pulls route exactly like forwarded messages.
+    pub(crate) fn new(
+        rank: NodeId,
+        registry: Arc<Registry>,
+        routes: RouteTable,
+        special: BTreeMap<NetworkId, Arc<Channel>>,
+        event: Arc<dyn RtEvent>,
+        runtime: Arc<dyn Runtime>,
+    ) -> Arc<Self> {
+        // Intern the standard instruments eagerly so even an idle node's
+        // snapshot exposes the full schema.
+        registry.counter("degradations");
+        Arc::new(MetricsPlane {
+            rank,
+            rt_threads: registry.gauge("rt_threads_spawned"),
+            pool_gets: registry.gauge("pool_gets"),
+            pool_hits: registry.gauge("pool_hits"),
+            pool_misses: registry.gauge("pool_misses"),
+            gw_held: registry.gauge("gw_held_bytes"),
+            gw_open: registry.gauge("open_streams"),
+            gw_bps: registry.gauge("gw_bytes_per_sec"),
+            registry,
+            routes,
+            special,
+            event,
+            runtime,
+            next_pull: AtomicU32::new(1),
+            hub: Mutex::new(HubState::default()),
+            acks: Mutex::new(BTreeSet::new()),
+            feeds: Mutex::new(Vec::new()),
+            mp: Mutex::new(None),
+        })
+    }
+
+    /// The node's local rank.
+    pub fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    /// The node's live registry (shared with every instrumented
+    /// subsystem of the node).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Register a gateway engine whose stats feed the live gauges.
+    pub(crate) fn register_gateway(&self, stats: &Arc<GatewayStats>) {
+        self.feeds.lock().push(stats.clone());
+    }
+
+    /// Register the channel's multi-path plane (per-path stripe gauges).
+    pub(crate) fn register_multipath(&self, mp: &Arc<MultiPath>) {
+        *self.mp.lock() = Some(mp.clone());
+    }
+
+    /// Refresh the sampled gauges that mirror other subsystems: runtime
+    /// thread count (live, not just at teardown), pool hit/miss
+    /// counters, gateway occupancy and throughput (on the metrics
+    /// plane's *own* delta cursor, so the multi-path selector's windows
+    /// are untouched), and per-path stripe bytes.
+    pub fn refresh_live(&self) {
+        self.rt_threads.set(self.runtime.threads_spawned() as i64);
+        let ps = self.runtime.pool().stats();
+        self.pool_gets.set(ps.gets as i64);
+        self.pool_hits.set(ps.hits as i64);
+        self.pool_misses.set(ps.misses as i64);
+        let now = self.runtime.now_nanos();
+        let mut held = 0i64;
+        let mut open = 0i64;
+        let mut bps = 0f64;
+        for stats in self.feeds.lock().iter() {
+            let d = stats.delta_for(DeltaCursor::Metrics, now);
+            held += d.occupancy_bytes;
+            bps += d.bytes_per_sec;
+            open += stats.open_streams();
+        }
+        self.gw_held.set(held);
+        self.gw_open.set(open);
+        self.gw_bps.set(bps as i64);
+        if let Some(mp) = self.mp.lock().as_ref() {
+            for (gw, bytes) in mp.path_bytes() {
+                self.registry
+                    .gauge(&format!("stripe_path_bytes_gw{gw}"))
+                    .set(bytes as i64);
+            }
+        }
+    }
+
+    /// Refresh the sampled gauges and snapshot the whole registry.
+    pub fn local_snapshot(&self) -> Snapshot {
+        self.refresh_live();
+        self.registry.snapshot()
+    }
+
+    /// Pull the live snapshot of every node in `targets` over the
+    /// channel itself — requests and replies travel as kind-10 GTM
+    /// control packets on the existing special conduits, crossing
+    /// gateways along the ordinary routing table. Returns whatever
+    /// arrived by the deadline (partial on timeout; the local node is
+    /// always present when listed). One pull at a time per node: a
+    /// newer pull retires the previous one's outstanding replies.
+    pub fn pull(&self, targets: &[NodeId], timeout_ns: u64) -> BTreeMap<NodeId, Snapshot> {
+        let seq = self.next_pull.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut hub = self.hub.lock();
+            hub.seq = seq;
+            hub.replies.clear();
+        }
+        let mut out = BTreeMap::new();
+        let mut want = 0usize;
+        for &t in targets {
+            if t == self.rank {
+                out.insert(t, self.local_snapshot());
+                continue;
+            }
+            let tag = StreamTag {
+                src: self.rank,
+                dest: t,
+                msg_id: seq,
+            };
+            let pkt = gtm::encode_metrics_request(&tag);
+            if self.send_toward(t, &pkt).is_ok() {
+                want += 1;
+            }
+        }
+        let deadline = self.runtime.now_nanos().saturating_add(timeout_ns);
+        loop {
+            let seen = self.event.epoch();
+            if self.hub.lock().replies.len() >= want {
+                break;
+            }
+            let now = self.runtime.now_nanos();
+            if now >= deadline {
+                break;
+            }
+            let _ = self.event.wait_past_timeout(seen, deadline - now);
+        }
+        let mut hub = self.hub.lock();
+        if hub.seq == seq {
+            out.append(&mut hub.replies);
+        }
+        out
+    }
+
+    /// Handle one kind-10 packet that arrived on a special conduit:
+    /// serve a request addressed here, deposit a reply addressed here,
+    /// or relay an in-transit pull toward its destination. Errors are
+    /// swallowed — telemetry must never take a data path down.
+    pub(crate) fn handle_packet(&self, tag: &StreamTag, body: &PacketBody, packet: &[u8]) {
+        if tag.dest != self.rank {
+            let _ = self.send_toward(tag.dest, packet);
+            return;
+        }
+        match body {
+            PacketBody::MetricsRequest => self.serve_request(tag),
+            PacketBody::MetricsReply => self.deposit_reply(tag, gtm::metrics_payload(packet)),
+            _ => {}
+        }
+    }
+
+    /// Answer a pull request: encode the local snapshot within the
+    /// kind-10 payload budget and route the reply back to the requester.
+    fn serve_request(&self, req: &StreamTag) {
+        let snap = self.local_snapshot();
+        let mut payload = Vec::new();
+        snap.encode_into(&mut payload, gtm::METRICS_MAX);
+        let reply_tag = StreamTag {
+            src: self.rank,
+            dest: req.src,
+            msg_id: req.msg_id,
+        };
+        let pkt = gtm::encode_metrics_reply(&reply_tag, &payload);
+        let _ = self.send_toward(req.src, &pkt);
+    }
+
+    /// File a reply under the pull it answers (stale ids are dropped)
+    /// and wake the waiting puller.
+    fn deposit_reply(&self, tag: &StreamTag, payload: &[u8]) {
+        let Ok(snap) = Snapshot::decode(payload) else {
+            return;
+        };
+        {
+            let mut hub = self.hub.lock();
+            if hub.seq == tag.msg_id {
+                hub.replies.insert(tag.src, snap);
+            }
+        }
+        self.event.bump();
+    }
+
+    /// Send one verbatim packet toward `dest` along the routing table.
+    fn send_toward(&self, dest: NodeId, packet: &[u8]) -> Result<()> {
+        let hop = self.routes.hop(dest)?;
+        let ch = self
+            .special
+            .get(&hop.net)
+            .ok_or(MadError::Unroutable(dest))?;
+        ch.send_packet(hop.node, &[packet])
+    }
+
+    /// Park a handoff ack consumed off a special conduit by a reader
+    /// other than the multi-path writer waiting for it.
+    pub(crate) fn deposit_ack(&self, key: StreamKey) {
+        self.acks.lock().insert(key);
+        self.event.bump();
+    }
+
+    /// Claim a parked handoff ack, if one arrived for `key`.
+    pub(crate) fn take_ack(&self, key: StreamKey) -> bool {
+        self.acks.lock().remove(&key)
+    }
+}
+
+/// The endpoint-side responder: on non-gateway nodes nothing drains the
+/// special conduits between writer pumps, so arriving pull requests (and
+/// replies to this node's own pulls) would sit unread. This loop drains
+/// whatever shows up — credit grants and cancels go into the shared
+/// ledger exactly as the writer pump would deposit them, handoff acks
+/// are parked in the plane's side table for the multi-path writer, and
+/// kind-10 packets go to the plane. Exits when the session's stop
+/// coordinator fires (teardown bumps the node event).
+pub(crate) fn run_responder(
+    plane: Arc<MetricsPlane>,
+    channels: Vec<Arc<Channel>>,
+    ledger: Arc<CreditLedger>,
+    stop: Arc<GatewayStop>,
+) {
+    loop {
+        let seen = plane.event.epoch();
+        let mut any = true;
+        while any {
+            any = false;
+            for ch in &channels {
+                let peers: Vec<NodeId> = ch.peers().collect();
+                for peer in peers {
+                    let Ok(mut conduit) = ch.lock_conduit(peer) else {
+                        continue;
+                    };
+                    if !conduit.ready() {
+                        continue;
+                    }
+                    let Ok(raw) = conduit.recv_owned() else {
+                        continue;
+                    };
+                    drop(conduit);
+                    let packet = plane.runtime.pool().adopt(raw);
+                    ch.stats().on_recv(peer.0, packet.len());
+                    any = true;
+                    let Ok((tag, body)) = gtm::decode_packet(&packet) else {
+                        continue;
+                    };
+                    match body {
+                        PacketBody::Credit(n) => ledger.deposit(tag.key(), n),
+                        PacketBody::Cancel(reason) => ledger.cancel(tag.key(), reason),
+                        PacketBody::Ack => plane.deposit_ack(tag.key()),
+                        PacketBody::MetricsRequest | PacketBody::MetricsReply => {
+                            plane.handle_packet(&tag, &body, &packet)
+                        }
+                        // Streams never arrive on an endpoint's special
+                        // conduit inbound side; drop anything else.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if stop.stop_requested() {
+            return;
+        }
+        plane.event.wait_past(seen);
+    }
+}
+
+/// Health event names, in the fixed order the watchdog's counters use.
+const HEALTH_NAMES: [&str; 4] = [
+    "credit_starvation",
+    "queue_saturation",
+    "stalled_stream",
+    "dead_path_flap",
+];
+
+/// One gateway node's health evaluator: turns windowed stat deltas into
+/// typed `health:` trace events and registry counters. Shared by both
+/// engine cores — only the driving loop differs.
+pub(crate) struct Watchdog {
+    cfg: WatchdogConfig,
+    stats: Arc<GatewayStats>,
+    mp: Option<Arc<MultiPath>>,
+    tracer: Tracer,
+    /// The `health:{vc}@{rank}` trace track.
+    track: String,
+    counters: [Counter; 4],
+    degradations: Counter,
+    /// Consecutive zero-progress ticks with streams open.
+    idle_ticks: u32,
+    /// Selector failovers + deaths at the previous tick.
+    prev_flap: u64,
+}
+
+impl Watchdog {
+    pub(crate) fn new(
+        cfg: WatchdogConfig,
+        stats: Arc<GatewayStats>,
+        mp: Option<Arc<MultiPath>>,
+        registry: &Registry,
+        tracer: Tracer,
+        track: String,
+    ) -> Self {
+        let counters = [
+            registry.counter("health_credit_starvation"),
+            registry.counter("health_queue_saturation"),
+            registry.counter("health_stalled_stream"),
+            registry.counter("health_dead_path_flap"),
+        ];
+        Watchdog {
+            cfg,
+            stats,
+            mp,
+            tracer,
+            track,
+            counters,
+            degradations: registry.counter("degradations"),
+            idle_ticks: 0,
+            prev_flap: 0,
+        }
+    }
+
+    pub(crate) fn interval_ns(&self) -> u64 {
+        self.cfg.interval_ns
+    }
+
+    fn fire(&self, which: usize, n: u64) {
+        self.tracer
+            .count_on(&self.track, "health", HEALTH_NAMES[which], n as i64, &[]);
+        self.counters[which].add(n);
+        self.degradations.add(n);
+    }
+
+    /// Evaluate one window ending `now`.
+    pub(crate) fn tick(&mut self, now_ns: u64) {
+        let d = self.stats.delta_for(DeltaCursor::Watchdog, now_ns);
+        // Credit starvation: the outbound side hit its credit deadline
+        // (each hit already cancelled a stream).
+        if d.credit_timeouts > 0 {
+            self.fire(0, d.credit_timeouts);
+        }
+        // Queue saturation: nearly every handoff in a busy window found
+        // the pipeline full.
+        let attempts = d.stalls + d.fragments;
+        if d.stalls >= self.cfg.saturation_min_stalls
+            && attempts > 0
+            && d.stalls as f64 / attempts as f64 >= self.cfg.saturation_stall_ratio
+        {
+            self.fire(1, 1);
+        }
+        // Stalled stream: accepted streams are open but the window moved
+        // no fragments and finished no messages — the upstream or
+        // downstream side went quiet mid-stream. Fires once per episode
+        // (on the tick crossing the threshold), not on every idle tick.
+        if self.stats.open_streams() > 0 && d.fragments == 0 && d.messages == 0 {
+            self.idle_ticks = self.idle_ticks.saturating_add(1);
+            if self.idle_ticks == self.cfg.stalled_stream_ticks {
+                self.fire(2, 1);
+            }
+        } else {
+            self.idle_ticks = 0;
+        }
+        // Dead-path flap: the multi-path selector failed streams over or
+        // declared gateways dead since the previous tick.
+        if let Some(mp) = &self.mp {
+            let c = mp.counters();
+            let flap = c.failovers + c.deaths;
+            let delta = flap.saturating_sub(self.prev_flap);
+            if delta > 0 {
+                self.fire(3, delta);
+            }
+            self.prev_flap = flap;
+        }
+    }
+}
+
+/// The threaded engine's watchdog driver: a dedicated runtime thread
+/// ticking at the configured interval, woken early by teardown bumps of
+/// the node event. Teardown gets one final evaluation so a fault that
+/// lands between the last tick and the stop request is still reported.
+pub(crate) fn run_watchdog(
+    mut wd: Watchdog,
+    runtime: Arc<dyn Runtime>,
+    event: Arc<dyn RtEvent>,
+    stop: Arc<GatewayStop>,
+) {
+    let mut next = runtime.now_nanos().saturating_add(wd.interval_ns());
+    loop {
+        let seen = event.epoch();
+        if stop.stop_requested() {
+            wd.tick(runtime.now_nanos());
+            return;
+        }
+        let now = runtime.now_nanos();
+        if now >= next {
+            wd.tick(now);
+            next = now.saturating_add(wd.interval_ns());
+        }
+        let wait = next.saturating_sub(runtime.now_nanos()).max(1);
+        let _ = event.wait_past_timeout(seen, wait);
+    }
+}
+
+/// The reactor engine's watchdog driver: the same evaluator as a timer
+/// task on the gateway node's shared worker pool — zero extra threads,
+/// matching the reactor core's whole point.
+pub(crate) struct WatchdogTask {
+    wd: Watchdog,
+    stop: Arc<GatewayStop>,
+    next: u64,
+}
+
+impl WatchdogTask {
+    pub(crate) fn new(wd: Watchdog, stop: Arc<GatewayStop>) -> Self {
+        WatchdogTask { wd, stop, next: 0 }
+    }
+}
+
+impl PollTask for WatchdogTask {
+    fn poll(&mut self, cx: &mut Context) -> Poll {
+        if self.stop.stop_requested() {
+            // Final window: report faults that landed since the last tick.
+            self.wd.tick(cx.now_ns());
+            return Poll::Ready;
+        }
+        let now = cx.now_ns();
+        if self.next == 0 {
+            self.next = now.saturating_add(self.wd.interval_ns());
+        }
+        if now >= self.next {
+            self.wd.tick(now);
+            self.next = now.saturating_add(self.wd.interval_ns());
+        }
+        cx.wake_at(self.next);
+        Poll::Pending
+    }
+}
+
+/// The per-node sampler: rewrites Prometheus-style and CSV exposition
+/// files at a fixed interval until the session stops, then once more on
+/// the way out (so short runs still leave a dump). Best-effort I/O —
+/// an unwritable directory degrades to a no-op, never an engine fault.
+pub(crate) fn run_sampler(
+    plane: Arc<MetricsPlane>,
+    dir: std::path::PathBuf,
+    interval_ns: u64,
+    stop: Arc<GatewayStop>,
+) {
+    let _ = std::fs::create_dir_all(&dir);
+    let rank = plane.rank().0;
+    let prom_path = dir.join(format!("mad-metrics-node{rank}.prom"));
+    let csv_path = dir.join(format!("mad-metrics-node{rank}.csv"));
+    let node_label = format!("{rank}");
+    let dump = |plane: &MetricsPlane| {
+        let snap = plane.local_snapshot();
+        let mut prom = String::new();
+        snap.render_prometheus(&mut prom, &[("node", &node_label)]);
+        let mut csv = String::new();
+        snap.render_csv(&mut csv);
+        let _ = std::fs::write(&prom_path, prom);
+        let _ = std::fs::write(&csv_path, csv);
+    };
+    loop {
+        let seen = plane.event.epoch();
+        if stop.stop_requested() {
+            dump(&plane);
+            return;
+        }
+        dump(&plane);
+        let _ = plane.event.wait_past_timeout(seen, interval_ns.max(1));
+    }
+}
+
+/// Scalar metric names the teardown trace flush recognizes. Dynamic or
+/// application-defined registry entries are exposed through snapshots
+/// and the samplers, but only this fixed schema reaches the trace
+/// (trace event names must be static; `mad-trace` schema validation
+/// enforces the same list).
+const SCALAR_TRACE_NAMES: &[&str] = &[
+    "degradations",
+    "health_credit_starvation",
+    "health_queue_saturation",
+    "health_stalled_stream",
+    "health_dead_path_flap",
+    "queue_depth",
+    "rt_threads_spawned",
+    "pool_gets",
+    "pool_hits",
+    "pool_misses",
+    "gw_held_bytes",
+    "gw_bytes_per_sec",
+    "open_streams",
+];
+
+/// Quantile-event names per known histogram, in
+/// (p50, p90, p99, max, count) order.
+const HIST_TRACE_NAMES: &[(&str, [&str; 5])] = &[
+    (
+        "gw_forward_ns",
+        [
+            "gw_forward_ns_p50",
+            "gw_forward_ns_p90",
+            "gw_forward_ns_p99",
+            "gw_forward_ns_max",
+            "gw_forward_ns_count",
+        ],
+    ),
+    (
+        "credit_wait_ns",
+        [
+            "credit_wait_ns_p50",
+            "credit_wait_ns_p90",
+            "credit_wait_ns_p99",
+            "credit_wait_ns_max",
+            "credit_wait_ns_count",
+        ],
+    ),
+    (
+        "reactor_poll_ns",
+        [
+            "reactor_poll_ns_p50",
+            "reactor_poll_ns_p90",
+            "reactor_poll_ns_p99",
+            "reactor_poll_ns_max",
+            "reactor_poll_ns_count",
+        ],
+    ),
+];
+
+fn static_scalar_name(name: &str) -> Option<&'static str> {
+    SCALAR_TRACE_NAMES.iter().copied().find(|n| *n == name)
+}
+
+/// Fold one node's final snapshot into the session trace on a
+/// `metrics:` track: counters and gauges as-is, histograms as derived
+/// quantiles, per-path stripe gauges folded into one event family keyed
+/// by a `gateway` arg.
+pub(crate) fn flush_snapshot_to_trace(snap: &Snapshot, tracer: &Tracer, track: &str) {
+    for (name, v) in &snap.counters {
+        if let Some(n) = static_scalar_name(name) {
+            tracer.count_on(track, "metrics", n, *v as i64, &[]);
+        }
+    }
+    for (name, v, peak) in &snap.gauges {
+        if let Some(rest) = name.strip_prefix("stripe_path_bytes_gw") {
+            if let Ok(gw) = rest.parse::<u64>() {
+                tracer.count_on(
+                    track,
+                    "metrics",
+                    "stripe_path_bytes",
+                    *v,
+                    &[("gateway", gw)],
+                );
+            }
+            continue;
+        }
+        if let Some(n) = static_scalar_name(name) {
+            tracer.count_on(track, "metrics", n, *v, &[]);
+        }
+        if name == "queue_depth" {
+            tracer.count_on(track, "metrics", "queue_depth_peak", *peak, &[]);
+        }
+    }
+    for (name, h) in &snap.hists {
+        let Some((_, names)) = HIST_TRACE_NAMES.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let values = [
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            h.max,
+            h.count(),
+        ];
+        for (n, v) in names.iter().zip(values) {
+            tracer.count_on(track, "metrics", n, v as i64, &[]);
+        }
+    }
+}

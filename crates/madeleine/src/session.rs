@@ -18,6 +18,7 @@ use crate::channel::Channel;
 use crate::conduit::{Conduit, Driver};
 use crate::credit::{CreditLedger, FlowControl};
 use crate::gateway::{spawn_gateway, GatewayConfig, GatewayHandles, GatewayStop};
+use crate::metrics_plane::{self, MetricsOptions, MetricsPlane, Watchdog, WatchdogTask};
 use crate::multipath::{MultiPath, MultipathConfig};
 use crate::routing::{self, NetworkMembers};
 use crate::runtime::{RtEvent, Runtime, StdRuntime};
@@ -91,6 +92,12 @@ pub struct VcOptions {
     /// and fail over when a gateway dies. `None` (the default) keeps the
     /// legacy single-path router, byte-identical on the wire.
     pub multipath: Option<MultipathConfig>,
+    /// Live telemetry plane: when set, every member node gets a metrics
+    /// registry wired into the engine hot paths, answers in-band kind-10
+    /// snapshot pulls, and (by default) runs a health watchdog on each
+    /// gateway node. `None` (the default) compiles the recording out of
+    /// every hot path.
+    pub metrics: Option<MetricsOptions>,
 }
 
 struct NetworkDef {
@@ -297,6 +304,15 @@ impl SessionBuilder {
         let mut gateway_stats: GatewayStatsReport = Vec::new();
         let mut route_planes: Vec<Arc<MultiPath>> = Vec::new();
         let gateway_stop = Arc::new(GatewayStop::new());
+        // Live telemetry: one registry per *node* (shared by all its
+        // telemetry-enabled virtual channels), one plane per (virtual
+        // channel, node), plus the auxiliary threads driving watchdogs,
+        // endpoint responders, and samplers.
+        let mut node_registries: HashMap<NodeId, Arc<mad_metrics::Registry>> = HashMap::new();
+        let mut metrics_planes: Vec<Arc<MetricsPlane>> = Vec::new();
+        let mut aux_threads = Vec::new();
+        let mut samplers_spawned: std::collections::HashSet<NodeId> =
+            std::collections::HashSet::new();
         // One shared reactor per gateway *node*, built lazily on the first
         // reactor-mode virtual channel that needs it: every virtual channel
         // of the node multiplexes onto the same fixed worker pool, which is
@@ -385,6 +401,33 @@ impl SessionBuilder {
                 mp
             });
 
+            // Telemetry planes: one per member node, answering in-band
+            // kind-10 pulls on the channel's special conduits and feeding
+            // the node's live gauges.
+            let planes: HashMap<NodeId, Arc<MetricsPlane>> = if vdef.options.metrics.is_some() {
+                regular_by_node
+                    .keys()
+                    .map(|&rank| {
+                        let registry = node_registries.entry(rank).or_default().clone();
+                        let plane = MetricsPlane::new(
+                            rank,
+                            registry,
+                            routing::compute_routes(&nm, rank),
+                            special_by_node[&rank].clone(),
+                            node_events[rank.index()].clone(),
+                            runtime.clone(),
+                        );
+                        if let Some(mp) = &mp {
+                            plane.register_multipath(mp);
+                        }
+                        metrics_planes.push(plane.clone());
+                        (rank, plane)
+                    })
+                    .collect()
+            } else {
+                HashMap::new()
+            };
+
             // Gateway engines.
             let gateways = routing::gateways(&nm);
             for &gw in &gateways {
@@ -413,15 +456,92 @@ impl SessionBuilder {
                     gateway_stop.clone(),
                     ledgers[&gw].clone(),
                     reactor.as_ref(),
+                    planes.get(&gw).cloned(),
                 );
                 if let Some(mp) = &mp {
                     mp.register_gateway(gw, handles.stats().clone());
+                }
+                if let Some(plane) = planes.get(&gw) {
+                    plane.register_gateway(handles.stats());
+                    if let Some(r) = &reactor {
+                        r.set_poll_histogram(
+                            plane.registry().histogram("reactor_poll_ns").shared(),
+                        );
+                    }
+                    // Health watchdog: a dedicated thread in threaded
+                    // mode, a timer task on the node's shared worker pool
+                    // in reactor mode.
+                    if let Some(wd_cfg) = vdef.options.metrics.as_ref().and_then(|m| m.watchdog) {
+                        let wd = Watchdog::new(
+                            wd_cfg,
+                            handles.stats().clone(),
+                            mp.clone(),
+                            plane.registry(),
+                            runtime.tracer(),
+                            format!("health:{}@{}", vdef.name, gw.0),
+                        );
+                        match &reactor {
+                            Some(r) => {
+                                r.spawn_task(Box::new(WatchdogTask::new(wd, gateway_stop.clone())));
+                            }
+                            None => {
+                                let rt = runtime.clone();
+                                let ev = node_events[gw.index()].clone();
+                                let stop = gateway_stop.clone();
+                                aux_threads.push(runtime.spawn(
+                                    format!("gw{}-{}-watchdog", gw.0, vdef.name),
+                                    Box::new(move || metrics_plane::run_watchdog(wd, rt, ev, stop)),
+                                ));
+                            }
+                        }
+                    }
                 }
                 gateway_stats.push((vdef.name.clone(), gw, handles.stats().clone()));
                 gateway_handles.push(handles);
             }
             if let Some(mp) = &mp {
                 route_planes.push(mp.clone());
+            }
+
+            // Endpoint responders: on non-gateway members nothing else
+            // drains the special conduits between writer pumps, so pull
+            // requests (and replies to this node's own pulls) would sit
+            // unread. Gateway nodes are served by their engine instead.
+            for (&rank, plane) in &planes {
+                if gateways.contains(&rank) {
+                    continue;
+                }
+                let chans: Vec<Arc<Channel>> = special_by_node[&rank].values().cloned().collect();
+                let plane = plane.clone();
+                let ledger = ledgers[&rank].clone();
+                let stop = gateway_stop.clone();
+                aux_threads.push(runtime.spawn(
+                    format!("metrics-resp-{}-{}", vdef.name, rank.0),
+                    Box::new(move || metrics_plane::run_responder(plane, chans, ledger, stop)),
+                ));
+            }
+
+            // Per-node exposition samplers (at most one per node even when
+            // several virtual channels enable telemetry — they share the
+            // node registry anyway).
+            if let Some(mopts) = &vdef.options.metrics {
+                if let Some(dir) = &mopts.dump_dir {
+                    for (&rank, plane) in &planes {
+                        if !samplers_spawned.insert(rank) {
+                            continue;
+                        }
+                        let plane = plane.clone();
+                        let dir = dir.clone();
+                        let interval = mopts.effective_sample_interval_ns();
+                        let stop = gateway_stop.clone();
+                        aux_threads.push(runtime.spawn(
+                            format!("metrics-dump-{}", rank.0),
+                            Box::new(move || {
+                                metrics_plane::run_sampler(plane, dir, interval, stop)
+                            }),
+                        ));
+                    }
+                }
             }
 
             // Per-node virtual channel objects.
@@ -433,6 +553,7 @@ impl SessionBuilder {
                         w,
                         vdef.options.gateway.credit_timeout_ns,
                     )
+                    .with_metrics(planes.get(&rank).cloned())
                 });
                 let vc = VirtualChannel::assemble(
                     vdef.name.clone(),
@@ -445,6 +566,7 @@ impl SessionBuilder {
                     gateways.contains(&rank),
                     flow,
                     mp.clone(),
+                    planes.get(&rank).cloned(),
                 );
                 per_node.insert(rank, Arc::new(vc));
             }
@@ -525,6 +647,13 @@ impl SessionBuilder {
         }
         for g in gateway_handles {
             g.join();
+        }
+        // Auxiliary telemetry threads (watchdogs, responders, samplers)
+        // exit once the stop latch is set and their node event bumps.
+        for t in aux_threads {
+            if let Err(e) = t.join() {
+                panic.get_or_insert(e);
+            }
         }
         // Every engine's tasks have completed; stop the shared reactor
         // pools and join their workers before surfacing any panic, so no
@@ -615,6 +744,21 @@ impl SessionBuilder {
             // multi-path virtual channel.
             for mp in &route_planes {
                 mp.flush_trace();
+            }
+            // Final live-registry snapshot of every telemetry-enabled
+            // node, one `metrics:` track each (validated by `trace_check
+            // --require-metrics`).
+            for plane in &metrics_planes {
+                plane.refresh_live();
+            }
+            let mut regs: Vec<_> = node_registries.iter().collect();
+            regs.sort_by_key(|(rank, _)| rank.0);
+            for (rank, reg) in regs {
+                metrics_plane::flush_snapshot_to_trace(
+                    &reg.snapshot(),
+                    &tracer,
+                    &format!("metrics:node{}", rank.0),
+                );
             }
             // Session-wide buffer-pool counters: `misses` is the number of
             // real heap allocations behind every staging/landing/control

@@ -89,6 +89,9 @@ pub struct VirtualChannel {
     /// enabled one. `None` keeps every path below byte-identical to the
     /// single-path library.
     multipath: Option<Arc<MultiPath>>,
+    /// The node's telemetry plane on this channel, when the session
+    /// enabled live metrics (in-band pulls, registry access).
+    metrics: Option<Arc<crate::metrics_plane::MetricsPlane>>,
     next_msg_id: AtomicU32,
     demux: Mutex<Demux>,
     tracer: Tracer,
@@ -123,6 +126,7 @@ impl VirtualChannel {
         is_gateway: bool,
         flow: Option<FlowControl>,
         multipath: Option<Arc<MultiPath>>,
+        metrics: Option<Arc<crate::metrics_plane::MetricsPlane>>,
     ) -> Self {
         let tracer = regular
             .values()
@@ -145,6 +149,7 @@ impl VirtualChannel {
             is_gateway,
             flow,
             multipath,
+            metrics,
             next_msg_id: AtomicU32::new(0),
             demux: Mutex::new(Demux {
                 asm: StreamAssembler::with_pool(pool.clone()),
@@ -186,6 +191,13 @@ impl VirtualChannel {
     /// one (per-path byte splits, selector counters, route plans).
     pub fn multipath(&self) -> Option<&Arc<MultiPath>> {
         self.multipath.as_ref()
+    }
+
+    /// This node's telemetry plane on the channel, when the session
+    /// enabled live metrics: registry access plus the in-band
+    /// [`crate::metrics_plane::MetricsPlane::pull`] of remote snapshots.
+    pub fn metrics_plane(&self) -> Option<&Arc<crate::metrics_plane::MetricsPlane>> {
+        self.metrics.as_ref()
     }
 
     /// Allocate the tag of a new outgoing stream.
@@ -651,6 +663,15 @@ impl<'d> MultipathWriter<'_, 'd> {
         let deadline = runtime.now_nanos().saturating_add(self.mp.ack_timeout_ns());
         loop {
             let seen = channel.recv_event().epoch();
+            // The node's metrics responder may have drained our ack off the
+            // conduit while serving a pull; it parks such acks in the
+            // plane's side table, and its deposit bumps the node event —
+            // this wait's own event — so the claim below always runs.
+            if let Some(p) = &self.vc.metrics {
+                if p.take_ack(self.tag.key()) {
+                    return Ok(());
+                }
+            }
             loop {
                 let mut conduit = channel.lock_conduit(peer)?;
                 if !conduit.ready() {
@@ -662,9 +683,15 @@ impl<'d> MultipathWriter<'_, 'd> {
                 let (tag, body) = gtm::decode_packet(&packet)?;
                 match body {
                     PacketBody::Ack if tag.key() == self.tag.key() => return Ok(()),
-                    // A stale ack of an earlier stream whose wait already
-                    // gave up (its retry is what actually delivered).
-                    PacketBody::Ack => {}
+                    // An ack for some other stream: usually a stale one
+                    // whose wait already gave up, but possibly a concurrent
+                    // writer's — park it in the plane's side table so that
+                    // writer can still claim it.
+                    PacketBody::Ack => {
+                        if let Some(p) = &self.vc.metrics {
+                            p.deposit_ack(tag.key());
+                        }
+                    }
                     PacketBody::Credit(n) => {
                         if let Some(f) = &self.vc.flow {
                             f.ledger().deposit(tag.key(), n);
@@ -676,6 +703,11 @@ impl<'d> MultipathWriter<'_, 'd> {
                     PacketBody::Cancel(reason) => {
                         if let Some(f) = &self.vc.flow {
                             f.ledger().cancel(tag.key(), reason);
+                        }
+                    }
+                    PacketBody::MetricsRequest | PacketBody::MetricsReply => {
+                        if let Some(p) = &self.vc.metrics {
+                            p.handle_packet(&tag, &body, &packet);
                         }
                     }
                     other => {

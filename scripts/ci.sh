@@ -33,6 +33,7 @@ echo "== soak + drain + multipath suites, reactor engine (MAD_ENGINE=reactor)"
 MAD_SOAK_SEED=20010914 MAD_ENGINE=reactor cargo test -q --offline --release --test soak
 MAD_ENGINE=reactor cargo test -q --offline --release --test gateway_drain
 MAD_ENGINE=reactor cargo test -q --offline --release --test multipath
+MAD_ENGINE=reactor cargo test -q --offline --release --test metrics
 
 # One traced run on each backend (sim, fault-injected sim with a credit
 # window, shm), then validate the exported JSONL against the schema
@@ -68,6 +69,25 @@ echo
 echo "== reactor_scaling --smoke (reactor engine core)"
 cargo run -q --release --offline -p mad-bench --bin reactor_scaling -- --smoke
 
+# A10 smoke: the telemetry plane's price — registry primitive costs plus
+# the forwarded bulk/short-message runs with metrics off vs on, asserting
+# the modeled throughput moves < 2% and the per-fragment registry cost
+# stays < 2% of the forwarding time. Smoke mode skips the CSVs.
+echo
+echo "== metrics_overhead --smoke (A10 telemetry-plane overhead)"
+cargo run -q --release --offline -p mad-bench --bin metrics_overhead -- --smoke
+
+# mad_top, once per engine core: a metrics-enabled run whose mid-run
+# in-band kind-10 pull must reach all 5 nodes (asserted by the binary)
+# and whose exported trace must carry the metrics: track — enforced via
+# trace_check --require-metrics below.
+echo
+echo "== mad_top --once, both engine cores, traced (in-band metrics pull)"
+cargo run -q --release --offline -p mad-bench --bin mad_top -- \
+  --once --trace "$trace_dir/madtop.jsonl"
+MAD_ENGINE=reactor cargo run -q --release --offline -p mad-bench --bin mad_top -- \
+  --once --trace "$trace_dir/madtop-reactor.jsonl"
+
 # The same multi-path traced run under the reactor engine: its export
 # must still carry the route: track (enforced via --require-route below)
 # and now also the rt: thread-budget track the schema validates.
@@ -81,6 +101,8 @@ cargo run -q --release --offline -p mad-bench --bin trace_check -- \
   "$trace_dir/a7.jsonl"
 cargo run -q --release --offline -p mad-bench --bin trace_check -- \
   --require-route "$trace_dir/a8.jsonl" "$trace_dir/a8-reactor.jsonl"
+cargo run -q --release --offline -p mad-bench --bin trace_check -- \
+  --require-metrics "$trace_dir/madtop.jsonl" "$trace_dir/madtop-reactor.jsonl"
 
 # Lints gate only when clippy is actually installed (sealed containers
 # may ship a toolchain without the component).

@@ -185,6 +185,7 @@ fn gateway_death_fails_over_to_surviving_path() {
                 drain_timeout_ns: 100_000_000, // dead engine must not hang teardown
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
     let failovers = sb.run(move |node| {

@@ -645,6 +645,7 @@ fn multipath_death_soak_delivers_every_stream() {
                 drain_timeout_ns: 100_000_000, // dead engine must not hang teardown
                 ..Default::default()
             },
+            ..Default::default()
         },
     );
 
