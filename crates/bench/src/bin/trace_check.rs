@@ -1,20 +1,24 @@
 //! Validate JSONL trace files against the mad-trace schema.
 //!
-//! `trace_check [--require-route] [--require-metrics] <file.jsonl>...` —
-//! each line must parse
+//! `trace_check [--require-route] [--require-metrics]
+//! [--require-membership] <file.jsonl>...` — each line must parse
 //! as a JSON object with the required keys (`ts`, `thread`, `kind`,
 //! `cat`, `name` plus the kind-specific ones), timestamps must be
 //! monotone per thread, and any routing-plane or runtime tracks
 //! (`route:`/`gw:`/`rt:` prefixes) must carry only their known counter
 //! events (`path_bytes` with its `gateway` arg, `switches`, `failovers`,
-//! `deaths`; the gateway totals and `delta_*` windows; the `rt:`
-//! thread-budget totals; the `metrics:` registry flush and `health:`
-//! watchdog verdicts). With `--require-route`, a file with no `route:`
-//! events at all fails — the flag guards traces that are supposed to
-//! come from a multi-path run. With `--require-metrics`, a file with no
-//! `metrics:` events fails — the flag guards traces from runs with the
-//! telemetry plane enabled. Exits non-zero on the first invalid file,
-//! so CI can gate on it.
+//! `deaths`, `readmissions`; the gateway totals and `delta_*` windows;
+//! the `rt:` thread-budget totals; the `metrics:` registry flush and
+//! `health:` watchdog verdicts; the `member:` protocol transitions and
+//! `ctl:` retune decisions). With `--require-route`, a file with no
+//! `route:` events at all fails — the flag guards traces that are
+//! supposed to come from a multi-path run. With `--require-metrics`, a
+//! file with no `metrics:` events fails — the flag guards traces from
+//! runs with the telemetry plane enabled. With `--require-membership`, a
+//! file missing either `member:` or `ctl:` events fails — the flag
+//! guards traces from dynamic-membership runs with a self-tuning
+//! controller. Exits non-zero on the first invalid file, so CI can gate
+//! on it.
 
 use std::process::ExitCode;
 
@@ -23,18 +27,23 @@ use madeleine::mad_trace::schema::{validate_jsonl, validate_route_tracks};
 fn main() -> ExitCode {
     let mut require_route = false;
     let mut require_metrics = false;
+    let mut require_membership = false;
     let mut paths: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if arg == "--require-route" {
             require_route = true;
         } else if arg == "--require-metrics" {
             require_metrics = true;
+        } else if arg == "--require-membership" {
+            require_membership = true;
         } else {
             paths.push(arg);
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: trace_check [--require-route] [--require-metrics] <file.jsonl>...");
+        eprintln!(
+            "usage: trace_check [--require-route] [--require-metrics]              [--require-membership] <file.jsonl>..."
+        );
         return ExitCode::FAILURE;
     }
     for path in &paths {
@@ -69,8 +78,15 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        if require_membership && (route.member_events == 0 || route.ctl_events == 0) {
+            eprintln!(
+                "{path}: INVALID — {} `member:` and {} `ctl:` track events (a                  dynamic-membership trace needs at least one of each)",
+                route.member_events, route.ctl_events
+            );
+            return ExitCode::FAILURE;
+        }
         println!(
-            "{path}: ok — {} lines, {} threads, {} spans, {} counts, {} instants, {} route events, {} gw events, {} rt events, {} metrics events, {} health events",
+            "{path}: ok — {} lines, {} threads, {} spans, {} counts, {} instants, {} route events, {} gw events, {} rt events, {} metrics events, {} health events, {} member events, {} ctl events",
             base.lines,
             base.threads,
             base.spans,
@@ -80,7 +96,9 @@ fn main() -> ExitCode {
             route.gw_events,
             route.rt_events,
             route.metrics_events,
-            route.health_events
+            route.health_events,
+            route.member_events,
+            route.ctl_events
         );
     }
     ExitCode::SUCCESS

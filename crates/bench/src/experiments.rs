@@ -665,6 +665,165 @@ pub fn multipath_death_soak(
     }
 }
 
+/// Outcome of one seeded membership-churn soak schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnSoakRun {
+    /// Streams the sink received intact (must equal the schedule length).
+    pub delivered: u32,
+    /// Leave → rejoin episodes the churning gateway completed.
+    pub episodes: u32,
+    /// Times the routing plane readmitted the retired path (>= episodes:
+    /// every graceful rejoin re-plans before its ack).
+    pub readmissions: u64,
+    /// Paths the routing plane retired across the schedule.
+    pub deaths: u64,
+    /// Stale-incarnation packets dropped, summed over every plane (must
+    /// be zero: graceful churn is epoch-monotone).
+    pub stale_drops: u64,
+    /// The churning gateway's incarnation epoch after the last rejoin.
+    pub final_epoch: u64,
+    /// Wall (virtual) time of the whole schedule.
+    pub seconds: f64,
+}
+
+/// Seeded membership-churn soak (A11): rank 0 streams
+/// `rounds * msgs_per_round` messages of `len` bytes to rank 3 over the
+/// two-gateway parallel fabric (net0 {0,1,2}, net1 {1,2,3}) while
+/// gateway rank 1 cycles leave → seeded linger → rejoin `rounds` times.
+/// Membership, multi-path routing, the metrics plane, and the
+/// self-tuning controller are all live: every stream must arrive intact
+/// exactly once, every episode must retire and readmit the path, and no
+/// packet may be dropped as stale.
+fn run_membership_churn(
+    tb: &Testbed,
+    rounds: u32,
+    msgs_per_round: u32,
+    len: usize,
+    seed: u64,
+) -> ChurnSoakRun {
+    const JOIN_TIMEOUT: u64 = 2_000_000_000;
+    let mut sb = SessionBuilder::new(4).with_runtime(tb.runtime());
+    let n0 = sb.network("myri", tb.driver(SimTech::Myrinet), &[0, 1, 2]);
+    let n1 = sb.network("sci", tb.driver(SimTech::Sci), &[1, 2, 3]);
+    sb.vchannel(
+        "vc",
+        &[n0, n1],
+        VcOptions {
+            mtu: Some(8 * 1024),
+            multipath: Some(madeleine::MultipathConfig::default()),
+            membership: Some(madeleine::MembershipOptions::default()),
+            metrics: Some(madeleine::MetricsOptions::default()),
+            controller: Some(madeleine::ControllerConfig::default()),
+            gateway: GatewayConfig {
+                credit_window: Some(8),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let results = sb.run(move |node| {
+        let vc = node.vchannel("vc");
+        let rt = node.runtime().clone();
+        let me = node.rank().0;
+        let peers: Vec<NodeId> = (0..4).filter(|&r| r != me).map(NodeId).collect();
+        let plane = vc.membership().expect("membership enabled").clone();
+        node.barrier().wait();
+        plane.join(&peers, JOIN_TIMEOUT).expect("join failed");
+        node.barrier().wait();
+
+        let total = rounds * msgs_per_round;
+        let out = match me {
+            0 => {
+                // The sender never pauses: streams are in flight across
+                // every leave and rejoin below.
+                let t0 = rt.now_nanos();
+                for i in 0..total {
+                    let data = stream_payload(i, len);
+                    let mut w = vc.begin_packing(NodeId(3)).unwrap();
+                    let hdr = [i as u8];
+                    w.pack(&hdr, SendMode::Safer, RecvMode::Express).unwrap();
+                    w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                    w.end_packing().unwrap();
+                }
+                (t0, 0u32, 0u64, 0u64, 0u64)
+            }
+            3 => {
+                let mut seen = vec![false; total as usize];
+                for _ in 0..total {
+                    let mut r = vc.begin_unpacking().unwrap();
+                    let mut hdr = [0u8; 1];
+                    r.unpack(&mut hdr, SendMode::Safer, RecvMode::Express)
+                        .unwrap();
+                    let i = hdr[0] as u32;
+                    let mut buf = vec![0u8; len];
+                    r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                        .unwrap();
+                    r.end_unpacking().unwrap();
+                    assert_eq!(buf, stream_payload(i, len), "stream #{i} corrupted");
+                    assert!(!seen[i as usize], "stream #{i} delivered twice");
+                    seen[i as usize] = true;
+                }
+                let delivered = seen.iter().filter(|&&s| s).count() as u32;
+                (rt.now_nanos(), delivered, 0, 0, 0)
+            }
+            1 => {
+                // The churning gateway: leave, seeded linger, rejoin.
+                let mut s = seed | 1;
+                let mut epoch = 1;
+                for _ in 0..rounds {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    rt.charge_overhead(2_000_000 + s % 4_000_000);
+                    plane.leave(&peers);
+                    rt.charge_overhead(2_000_000 + (s >> 8) % 4_000_000);
+                    epoch = plane.rejoin(&peers, JOIN_TIMEOUT).expect("rejoin failed");
+                }
+                let c = vc.multipath().expect("multipath enabled").counters();
+                (0, 0, c.readmissions, c.deaths, epoch)
+            }
+            _ => (0, 0, 0, 0, 0),
+        };
+        node.barrier().wait();
+        (out, plane.stale_drops())
+    });
+    ChurnSoakRun {
+        delivered: results[3].0 .1,
+        episodes: rounds,
+        readmissions: results[1].0 .2,
+        deaths: results[1].0 .3,
+        stale_drops: results.iter().map(|r| r.1).sum(),
+        final_epoch: results[1].0 .4,
+        seconds: (results[3].0 .0 - results[0].0 .0) as f64 / 1e9,
+    }
+}
+
+/// See [`run_membership_churn`].
+pub fn membership_churn_soak(
+    rounds: u32,
+    msgs_per_round: u32,
+    len: usize,
+    seed: u64,
+) -> ChurnSoakRun {
+    let tb = Testbed::new(4);
+    run_membership_churn(&tb, rounds, msgs_per_round, len, seed)
+}
+
+/// Like [`membership_churn_soak`] but recording the unified event trace
+/// (the `member:`, `ctl:`, and `health:` tracks ride along with the
+/// `route:` and `gw:` ones).
+pub fn membership_churn_soak_traced(
+    rounds: u32,
+    msgs_per_round: u32,
+    len: usize,
+    seed: u64,
+) -> (ChurnSoakRun, mad_trace::Snapshot) {
+    let trace = TraceLog::new();
+    let tb = Testbed::with_trace(4, trace.clone());
+    let run = run_membership_churn(&tb, rounds, msgs_per_round, len, seed);
+    (run, trace.tracer().snapshot())
+}
+
 /// The standard figure sweep grids.
 pub mod grids {
     /// The paper's packet sizes (fig. 6/7 legends): 8 KB … 128 KB.

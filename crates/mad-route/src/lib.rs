@@ -331,9 +331,12 @@ struct SelectorState {
     dead: BTreeSet<u32>,
     last_pick: BTreeMap<u32, u32>,
     rr: BTreeMap<u32, usize>,
+    /// Highest membership epoch (incarnation) observed per node.
+    epoch: BTreeMap<u32, u64>,
     switches: u64,
     failovers: u64,
     deaths: u64,
+    readmissions: u64,
 }
 
 /// Counter snapshot of the selector's routing decisions.
@@ -347,6 +350,25 @@ pub struct SelectorCounters {
     /// A death with zero failovers means every affected stream was caught
     /// at its header send, before any payload needed replaying.
     pub deaths: u64,
+    /// Retired gateways returned to the live set (rejoin at a higher
+    /// epoch, or an explicit [`Selector::readmit`]).
+    pub readmissions: u64,
+}
+
+/// What [`Selector::observe_epoch`] concluded about an epoch observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochObservation {
+    /// The epoch advanced and the node was dead: it is readmitted to the
+    /// live set with a reset cost.
+    Readmitted,
+    /// The epoch advanced (new incarnation) for a node that was not
+    /// retired.
+    Advanced,
+    /// Same epoch as already known — nothing to do.
+    Unchanged,
+    /// The epoch is *older* than the recorded incarnation: the packet or
+    /// event carrying it is from a dead incarnation and must be dropped.
+    Stale,
 }
 
 /// Adaptive, failure-aware path selection. Thread-safe; every decision is
@@ -384,6 +406,48 @@ impl Selector {
     /// True if `node` has been marked dead.
     pub fn is_dead(&self, node: u32) -> bool {
         self.lock().dead.contains(&node)
+    }
+
+    /// Return a retired node to the live set (the inverse of
+    /// [`Selector::mark_dead`]). Its EWMA cost is reset — the pre-death
+    /// congestion history says nothing about the revived incarnation.
+    /// Returns true if the node was actually dead.
+    pub fn readmit(&self, node: u32) -> bool {
+        let mut st = self.lock();
+        let was_dead = st.dead.remove(&node);
+        if was_dead {
+            st.cost.insert(node, 0.0);
+            st.readmissions += 1;
+        }
+        was_dead
+    }
+
+    /// Fold a membership epoch observation for `node` into the selector.
+    /// A *higher* epoch than recorded is a new incarnation: it readmits a
+    /// retired node (reset cost) and advances the recorded epoch. A
+    /// *lower* epoch is stale — the caller must drop whatever carried it.
+    pub fn observe_epoch(&self, node: u32, epoch: u64) -> EpochObservation {
+        let mut st = self.lock();
+        let known = st.epoch.get(&node).copied().unwrap_or(0);
+        if epoch < known {
+            return EpochObservation::Stale;
+        }
+        st.epoch.insert(node, epoch);
+        if epoch == known {
+            return EpochObservation::Unchanged;
+        }
+        if st.dead.remove(&node) {
+            st.cost.insert(node, 0.0);
+            st.readmissions += 1;
+            EpochObservation::Readmitted
+        } else {
+            EpochObservation::Advanced
+        }
+    }
+
+    /// The highest membership epoch observed for `node` (0 if never fed).
+    pub fn epoch(&self, node: u32) -> u64 {
+        self.lock().epoch.get(&node).copied().unwrap_or(0)
     }
 
     /// Count one stream re-issued on a surviving path.
@@ -458,6 +522,7 @@ impl Selector {
             switches: st.switches,
             failovers: st.failovers,
             deaths: st.deaths,
+            readmissions: st.readmissions,
         }
     }
 
@@ -663,6 +728,58 @@ mod tests {
         assert_eq!(sel.choose(9, &paths, &[]).unwrap().node, 2);
         assert_eq!(sel.choose(9, &paths, &[2]), None);
         assert_eq!(sel.live(&paths).len(), 1);
+    }
+
+    #[test]
+    fn readmit_revives_a_dead_path_and_resets_cost() {
+        let sel = Selector::new();
+        let paths = [
+            PathHop {
+                net: 0,
+                node: 1,
+                last: false,
+            },
+            PathHop {
+                net: 0,
+                node: 2,
+                last: false,
+            },
+        ];
+        sel.feed(
+            1,
+            GatewayLoad {
+                stall_rate: 100.0,
+                ..Default::default()
+            },
+        );
+        assert!(sel.mark_dead(1));
+        assert_eq!(sel.live(&paths).len(), 1);
+        assert!(sel.readmit(1));
+        assert!(!sel.readmit(1), "second readmit is not news");
+        assert_eq!(sel.live(&paths).len(), 2);
+        // Cost was reset: node 1 competes again instead of being shunned
+        // for its pre-death congestion.
+        let picks: Vec<u32> = (0..2)
+            .map(|_| sel.choose(9, &paths, &[]).unwrap().node)
+            .collect();
+        assert!(picks.contains(&1), "readmitted path must win ties again");
+        let c = sel.counters();
+        assert_eq!((c.deaths, c.readmissions), (1, 1));
+    }
+
+    #[test]
+    fn epoch_observations_readmit_and_reject_stale() {
+        let sel = Selector::new();
+        assert_eq!(sel.observe_epoch(3, 1), EpochObservation::Advanced);
+        assert_eq!(sel.observe_epoch(3, 1), EpochObservation::Unchanged);
+        assert!(sel.mark_dead(3));
+        assert_eq!(sel.observe_epoch(3, 2), EpochObservation::Readmitted);
+        assert!(!sel.is_dead(3));
+        assert_eq!(sel.epoch(3), 2);
+        // An echo from the dead incarnation must be flagged for dropping.
+        assert_eq!(sel.observe_epoch(3, 1), EpochObservation::Stale);
+        assert_eq!(sel.epoch(3), 2, "stale observation must not regress");
+        assert_eq!(sel.counters().readmissions, 1);
     }
 
     #[test]

@@ -87,9 +87,8 @@ impl Testbed {
     }
 
     /// Inject `fault` on both directions of the link between ranks `a`
-    /// and `b`. Must be called before the session is built: wiring (which
-    /// happens inside `SessionBuilder::run`) captures the registered
-    /// faults.
+    /// and `b`. Live: wired cables share their fault state with the
+    /// fabric, so this works before *and* during a session run.
     pub fn fault_link(&self, a: usize, b: usize, fault: LinkFault) {
         self.net.fault_link(&self.hosts[a], &self.hosts[b], fault);
         self.net.fault_link(&self.hosts[b], &self.hosts[a], fault);
@@ -101,13 +100,29 @@ impl Testbed {
             .fault_link(&self.hosts[from], &self.hosts[to], fault);
     }
 
+    /// Remove any link-level fault between ranks `a` and `b`, both
+    /// directions (host deaths from [`Testbed::kill_host`] are
+    /// unaffected). Live, like [`Testbed::fault_link`].
+    pub fn heal_link(&self, a: usize, b: usize) {
+        self.net.heal_link(&self.hosts[a], &self.hosts[b]);
+        self.net.heal_link(&self.hosts[b], &self.hosts[a]);
+    }
+
     /// Silently kill the host of rank `rank` at virtual nanosecond
     /// `after_nanos`: from then on every packet it sends or should
     /// receive vanishes without notification — only deadlines (credit or
-    /// drain timeouts) can detect the loss. Must be called before the
-    /// session is built.
+    /// drain timeouts) can detect the loss. Live: takes effect on a
+    /// running session too, so churn soaks can kill hosts mid-run.
     pub fn kill_host(&self, rank: usize, after_nanos: u64) {
         self.net.kill_host(&self.hosts[rank], SimTime(after_nanos));
+    }
+
+    /// Erase rank `rank`'s death record: its links deliver again (unless
+    /// a link-level `dead_after` fault remains). The inverse of
+    /// [`Testbed::kill_host`]; pairs with a membership-plane rejoin to
+    /// bring the node back into a running session.
+    pub fn revive_host(&self, rank: usize) {
+        self.net.revive_host(&self.hosts[rank]);
     }
 
     /// A driver of the given technology for this testbed's hosts.

@@ -20,9 +20,10 @@
 //!   reactor gateway engine pairs with to keep a whole session on a fixed
 //!   thread budget.
 //!
-//! Connecting retries with exponential backoff instead of failing fast, so
-//! a transient refusal (listener backlog full under a connection storm)
-//! does not kill session bootstrap.
+//! Connecting retries with seeded-jittered exponential backoff instead of
+//! failing fast, so a transient refusal (listener backlog full under a
+//! connection storm) does not kill session bootstrap — and a mass rejoin
+//! after a gateway restart does not retry in lockstep.
 //!
 //! This driver runs on the real-threads runtime only (its reader and
 //! poller threads block in kernel calls, which virtual time cannot see).
@@ -31,8 +32,11 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+use mad_util::rng::Rng;
 
 use madeleine::conduit::{BufferMode, Conduit, Driver, DriverCaps, StaticBuf};
 use madeleine::error::{MadError, Result};
@@ -51,12 +55,41 @@ pub const TCP_CAPS: DriverCaps = DriverCaps {
 /// Attempts a [`connect_retry`] makes before giving up.
 const CONNECT_ATTEMPTS: u32 = 8;
 
-/// Connect to `addr` with bounded exponential backoff: 8 attempts, the
-/// delay doubling from 1 ms and capped at 100 ms. Loopback connects only
-/// fail transiently when the accept backlog overflows (many nodes
-/// bootstrapping at once), and that clears in milliseconds.
+/// Base of the exponential backoff schedule, in microseconds (1 ms).
+const BACKOFF_BASE_US: u64 = 1_000;
+
+/// Ceiling of the exponential backoff schedule, in microseconds (100 ms).
+const BACKOFF_CAP_US: u64 = 100_000;
+
+/// The delay slept after 0-based `attempt` fails: exponential from
+/// [`BACKOFF_BASE_US`], doubling per attempt and capped at
+/// [`BACKOFF_CAP_US`], with seeded "equal jitter" — half the interval is
+/// deterministic, the other half a uniform draw — so a mass rejoin after
+/// a gateway restart spreads its reconnects across the interval instead
+/// of thundering-herding the listener backlog in lockstep.
+fn backoff_delay(attempt: u32, rng: &mut Rng) -> Duration {
+    // The cap is reached by attempt 7, so clamping the exponent there
+    // keeps the shift far from the bit width.
+    let base = (BACKOFF_BASE_US << attempt.min(7)).min(BACKOFF_CAP_US);
+    let half = base / 2;
+    Duration::from_micros(half + rng.gen_range(0..half.saturating_add(1)))
+}
+
+/// Connect to `addr` with bounded, jittered exponential backoff (see
+/// [`backoff_delay`]). Loopback connects only fail transiently when the
+/// accept backlog overflows (many nodes bootstrapping at once), and that
+/// clears in milliseconds. Each call draws an independent jitter
+/// sequence (address hash mixed with the process id and a call nonce),
+/// so simultaneous connectors de-synchronize deterministically per run.
 fn connect_retry(addr: SocketAddr) -> std::io::Result<TcpStream> {
-    let mut delay = Duration::from_millis(1);
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{addr}").bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed ^= (std::process::id() as u64).rotate_left(32);
+    seed ^= NONCE.fetch_add(1, Ordering::Relaxed).rotate_left(17);
+    let mut rng = Rng::new(seed);
     let mut last = None;
     for attempt in 0..CONNECT_ATTEMPTS {
         match TcpStream::connect(addr) {
@@ -64,8 +97,7 @@ fn connect_retry(addr: SocketAddr) -> std::io::Result<TcpStream> {
             Err(e) => last = Some(e),
         }
         if attempt + 1 < CONNECT_ATTEMPTS {
-            std::thread::sleep(delay);
-            delay = (delay * 2).min(Duration::from_millis(100));
+            std::thread::sleep(backoff_delay(attempt, &mut rng));
         }
     }
     Err(last.unwrap_or_else(|| ErrorKind::ConnectionRefused.into()))
@@ -594,6 +626,35 @@ mod tests {
         let rt = StdRuntime::shared();
         let driver = TcpDriver::multiplexed(rt.clone());
         driver.connect(NodeId(0), NodeId(1), rt.event(), rt.event())
+    }
+
+    #[test]
+    fn backoff_schedule_is_bounded_and_jittered() {
+        // Every delay lives in [base/2, base] with the base doubling from
+        // 1 ms and capping at 100 ms; the schedule is deterministic per
+        // seed and diverges across seeds (the anti-thundering-herd point).
+        let mut rng = Rng::new(42);
+        let mut prev_base = 0u64;
+        for attempt in 0..CONNECT_ATTEMPTS {
+            let base = (BACKOFF_BASE_US << attempt.min(7)).min(BACKOFF_CAP_US);
+            let d = backoff_delay(attempt, &mut rng).as_micros() as u64;
+            assert!(d >= base / 2, "attempt {attempt}: {d}us under half-base");
+            assert!(d <= base, "attempt {attempt}: {d}us over base");
+            assert!(base >= prev_base, "base must not shrink");
+            prev_base = base;
+        }
+        assert_eq!(prev_base, BACKOFF_CAP_US, "schedule reaches the cap");
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut rng = Rng::new(seed);
+            (0..CONNECT_ATTEMPTS)
+                .map(|a| backoff_delay(a, &mut rng).as_micros() as u64)
+                .collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7), schedule(8), "different seeds de-sync");
+        // Far past the cap the shift saturates instead of overflowing.
+        let late = backoff_delay(200, &mut rng).as_micros() as u64;
+        assert!((BACKOFF_CAP_US / 2..=BACKOFF_CAP_US).contains(&late));
     }
 
     #[test]

@@ -365,7 +365,13 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
 }
 
 /// Event names allowed on a `route:` track (all `count`s, cat `route`).
-pub const ROUTE_EVENT_NAMES: [&str; 4] = ["path_bytes", "switches", "failovers", "deaths"];
+pub const ROUTE_EVENT_NAMES: [&str; 5] = [
+    "path_bytes",
+    "switches",
+    "failovers",
+    "deaths",
+    "readmissions",
+];
 
 /// Event names allowed on a `gw:` track (all `count`s, cat `gateway`):
 /// the teardown totals plus the windowed cost-model deltas.
@@ -440,6 +446,44 @@ pub const HEALTH_EVENT_NAMES: [&str; 4] = [
     "dead_path_flap",
 ];
 
+/// Event names allowed on a `member:` track (all `count`s, cat
+/// `member`): the membership plane's live protocol transitions (join
+/// phases, requests, acks, leaves, epoch rejections, path retire /
+/// readmit decisions) plus its teardown totals.
+pub const MEMBERSHIP_EVENT_NAMES: [&str; 18] = [
+    "phase_connect",
+    "phase_exchange",
+    "phase_verify",
+    "phase_activate",
+    "join_request",
+    "join_ack",
+    "announce",
+    "peer_leave",
+    "leave",
+    "rejoin",
+    "stale_drop",
+    "retire",
+    "readmit",
+    "joins",
+    "leaves",
+    "rejoins",
+    "stale_drops",
+    "acks_served",
+];
+
+/// Event names allowed on a `ctl:` track (all `count`s, cat `ctl`): the
+/// self-tuning controller's live retune steps (each carrying the new
+/// value) plus the final operating point its stop tick records.
+pub const CONTROL_EVENT_NAMES: [&str; 7] = [
+    "window_raise",
+    "window_lower",
+    "batch_raise",
+    "batch_lower",
+    "window",
+    "batch",
+    "adjustments",
+];
+
 /// What [`validate_route_tracks`] found.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RouteSummary {
@@ -453,6 +497,10 @@ pub struct RouteSummary {
     pub metrics_events: usize,
     /// Events on `health:` tracks.
     pub health_events: usize,
+    /// Events on `member:` tracks.
+    pub member_events: usize,
+    /// Events on `ctl:` tracks.
+    pub ctl_events: usize,
 }
 
 /// Validate the routing-plane tracks of a JSONL trace: every event on a
@@ -465,7 +513,10 @@ pub struct RouteSummary {
 /// `count` of cat `metrics` named in [`METRICS_EVENT_NAMES`] (with
 /// `stripe_path_bytes` carrying an integer `args.gateway`); every event
 /// on a `health:`-prefixed track is a `count` of cat `health` named in
-/// [`HEALTH_EVENT_NAMES`]. Traces without such tracks validate
+/// [`HEALTH_EVENT_NAMES`]; every event on a `member:`-prefixed track is
+/// a `count` of cat `member` named in [`MEMBERSHIP_EVENT_NAMES`]; every
+/// event on a `ctl:`-prefixed track is a `count` of cat `ctl` named in
+/// [`CONTROL_EVENT_NAMES`]. Traces without such tracks validate
 /// trivially (zero counts) — run [`validate_jsonl`] first for the base
 /// schema.
 pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
@@ -488,6 +539,14 @@ pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
                 ("metrics", &METRICS_EVENT_NAMES, &mut summary.metrics_events)
             } else if thread.starts_with("health:") {
                 ("health", &HEALTH_EVENT_NAMES, &mut summary.health_events)
+            } else if thread.starts_with("member:") {
+                (
+                    "member",
+                    &MEMBERSHIP_EVENT_NAMES,
+                    &mut summary.member_events,
+                )
+            } else if thread.starts_with("ctl:") {
+                ("ctl", &CONTROL_EVENT_NAMES, &mut summary.ctl_events)
             } else {
                 continue;
             };
@@ -628,6 +687,26 @@ mod tests {
         assert!(validate_route_tracks(no_gw)
             .unwrap_err()
             .contains("gateway"));
+    }
+
+    #[test]
+    fn member_and_ctl_tracks_validate() {
+        let text = "\
+{\"ts\":1,\"thread\":\"member:vc@3\",\"kind\":\"count\",\"cat\":\"member\",\"name\":\"phase_connect\",\"value\":1,\"args\":{\"epoch\":2}}
+{\"ts\":2,\"thread\":\"member:vc@3\",\"kind\":\"count\",\"cat\":\"member\",\"name\":\"stale_drop\",\"value\":1,\"args\":{\"node\":3,\"epoch\":1}}
+{\"ts\":3,\"thread\":\"member:vc@0\",\"kind\":\"count\",\"cat\":\"member\",\"name\":\"rejoins\",\"value\":1}
+{\"ts\":4,\"thread\":\"ctl:vc@1\",\"kind\":\"count\",\"cat\":\"ctl\",\"name\":\"window_raise\",\"value\":12}
+{\"ts\":5,\"thread\":\"ctl:vc@1\",\"kind\":\"count\",\"cat\":\"ctl\",\"name\":\"adjustments\",\"value\":3}
+{\"ts\":6,\"thread\":\"route:vc\",\"kind\":\"count\",\"cat\":\"route\",\"name\":\"readmissions\",\"value\":1}
+";
+        let s = validate_route_tracks(text).unwrap();
+        assert_eq!((s.member_events, s.ctl_events, s.route_events), (3, 2, 1));
+        let bad_name = "{\"ts\":1,\"thread\":\"member:vc@0\",\"kind\":\"count\",\"cat\":\"member\",\"name\":\"zap\",\"value\":1}\n";
+        assert!(validate_route_tracks(bad_name)
+            .unwrap_err()
+            .contains("unknown event"));
+        let bad_cat = "{\"ts\":1,\"thread\":\"ctl:vc@0\",\"kind\":\"count\",\"cat\":\"member\",\"name\":\"window\",\"value\":8}\n";
+        assert!(validate_route_tracks(bad_cat).unwrap_err().contains("cat"));
     }
 
     #[test]

@@ -189,6 +189,14 @@ impl Channel {
         self.select_ready_until(|| false)
     }
 
+    /// True if any conduit of this channel holds a received-but-unread
+    /// packet right now. The session-wide quiescence check scans this
+    /// across every gateway's inbound channel at teardown: a gateway may
+    /// not stop while a peer still has backlog queued for it to relay.
+    pub(crate) fn has_pending(&self) -> bool {
+        self.conduits.values().any(|c| c.lock().ready())
+    }
+
     /// Like [`Channel::select_ready`], but also gives up (with
     /// [`MadError::Disconnected`]) when `stop` returns true and nothing is
     /// pending. Gateways need this: conduits are bidirectional, so two

@@ -1,0 +1,466 @@
+//! Self-tuning control plane: online retuning of the credit window and
+//! forwarding batch size.
+//!
+//! The static `credit_window` / `max_batch` knobs in
+//! [`crate::gateway::GatewayConfig`] pick one operating point for the
+//! whole run. Under churn (nodes joining and leaving, paths dying and
+//! reviving) no single point is right: a window sized for the steady
+//! state starves when a rejoin floods the fabric, and a batch sized for
+//! bulk wastes latency on a trickle. This module closes the loop:
+//!
+//! * [`Tuning`] is the shared mutable operating point — one per virtual
+//!   channel, read lock-free by the hot paths (the gateway self-grant
+//!   site, the forwarding/flush batching loops, the writer's stream
+//!   open) on every use, so a retune takes effect on the next stream or
+//!   batch without touching anything in flight.
+//! * [`Controller`] is the per-gateway-node policy loop. Each tick it
+//!   consumes the same [`crate::gateway::GatewayStats`] delta stream the
+//!   watchdog uses (its own [`crate::gateway::DeltaCursor`] lane, so
+//!   neither steals the other's window) and nudges the tuning: credit
+//!   starvation raises the window, queue saturation grows the batch and
+//!   trims the window, sustained calm decays both back toward the
+//!   configured baseline. Every step is hysteresis-gated and clamped to
+//!   a bounded stride inside `[floor, ceil]`, so the loop cannot
+//!   oscillate unboundedly even with several gateway controllers
+//!   nudging one shared tuning. Decisions land on a `ctl:{vc}@{rank}`
+//!   trace track (validated by `trace_check --require-membership`).
+//!
+//! Retunes are safe by construction: windows only govern streams opened
+//! after the change (grants are issued at stream open), and batch sizes
+//! never exceed the configured ceiling, which the session caps at the
+//! bootstrap `max_batch` unless batching was enabled (> 1) to begin
+//! with — landing buffers on the receive side size their trains from
+//! their own config, so a node that never expected trains never sees
+//! them.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mad_trace::Tracer;
+use mad_util::reactor::{Context, Poll, PollTask};
+
+use crate::gateway::{DeltaCursor, GatewayStats, GatewayStop};
+use crate::runtime::{RtEvent, Runtime};
+
+/// The live operating point of one virtual channel, shared between the
+/// controllers that write it and the hot paths that read it.
+#[derive(Debug)]
+pub struct Tuning {
+    /// Effective credit window in packets; 0 encodes "flow control off"
+    /// (a `None` bootstrap window stays off — the controller never turns
+    /// flow control on or off, only resizes an enabled window).
+    window: AtomicU32,
+    /// Effective forwarding batch cap in sub-packets per train.
+    batch: AtomicUsize,
+}
+
+impl Tuning {
+    /// Seed the tuning from the bootstrap gateway knobs.
+    pub fn new(credit_window: Option<u32>, max_batch: usize) -> Arc<Self> {
+        Arc::new(Tuning {
+            window: AtomicU32::new(credit_window.unwrap_or(0)),
+            batch: AtomicUsize::new(max_batch.max(1)),
+        })
+    }
+
+    /// The effective credit window (`None` = flow control off).
+    pub fn credit_window(&self) -> Option<u32> {
+        match self.window.load(Ordering::Relaxed) {
+            0 => None,
+            w => Some(w),
+        }
+    }
+
+    /// The effective forwarding batch cap.
+    pub fn max_batch(&self) -> usize {
+        self.batch.load(Ordering::Relaxed)
+    }
+}
+
+/// Policy knobs of one [`Controller`]
+/// ([`crate::session::VcOptions::controller`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Evaluation interval.
+    pub interval_ns: u64,
+    /// Window stride per decision, in packets.
+    pub window_step: u32,
+    /// Lower clamp of the retuned window.
+    pub window_floor: u32,
+    /// Upper clamp of the retuned window.
+    pub window_ceil: u32,
+    /// Upper clamp of the retuned batch (the session additionally caps
+    /// this at the bootstrap `max_batch` when batching is disabled).
+    pub batch_ceil: usize,
+    /// Consecutive ticks a signal must persist before a step is taken.
+    pub hysteresis_ticks: u32,
+    /// Stall count below which a window never counts as saturated
+    /// (mirrors the watchdog's saturation gate).
+    pub saturation_min_stalls: u64,
+    /// Stall fraction of handoff attempts above which a busy window
+    /// counts as saturated.
+    pub saturation_stall_ratio: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            interval_ns: 5_000_000, // 5 ms
+            window_step: 4,
+            window_floor: 2,
+            window_ceil: 256,
+            batch_ceil: 8,
+            hysteresis_ticks: 2,
+            saturation_min_stalls: 8,
+            saturation_stall_ratio: 0.5,
+        }
+    }
+}
+
+/// One gateway node's policy loop over one channel's shared [`Tuning`].
+pub(crate) struct Controller {
+    cfg: ControllerConfig,
+    tuning: Arc<Tuning>,
+    stats: Arc<GatewayStats>,
+    tracer: Tracer,
+    /// The `ctl:{vc}@{rank}` trace track.
+    track: String,
+    /// Bootstrap operating point calm decays back toward.
+    base_window: u32,
+    base_batch: usize,
+    /// True when the bootstrap config enabled batching — the only case
+    /// in which the controller may raise the batch (see module docs).
+    may_batch: bool,
+    starve_streak: u32,
+    sat_streak: u32,
+    calm_streak: u32,
+    adjustments: u64,
+}
+
+impl Controller {
+    pub(crate) fn new(
+        cfg: ControllerConfig,
+        tuning: Arc<Tuning>,
+        stats: Arc<GatewayStats>,
+        tracer: Tracer,
+        track: String,
+    ) -> Controller {
+        let base_window = tuning.window.load(Ordering::Relaxed);
+        let base_batch = tuning.batch.load(Ordering::Relaxed);
+        Controller {
+            cfg,
+            tuning,
+            stats,
+            tracer,
+            track,
+            base_window,
+            base_batch,
+            may_batch: base_batch > 1,
+            starve_streak: 0,
+            sat_streak: 0,
+            calm_streak: 0,
+            adjustments: 0,
+        }
+    }
+
+    pub(crate) fn interval_ns(&self) -> u64 {
+        self.cfg.interval_ns
+    }
+
+    fn trace(&self, name: &'static str, value: i64) {
+        self.tracer.count_on(&self.track, "ctl", name, value, &[]);
+    }
+
+    /// Step the window by `delta` packets, clamped to the configured
+    /// band, tracing the new value. No-op when flow control is off or
+    /// the clamp absorbs the whole step.
+    fn step_window(&mut self, delta: i64, name: &'static str) {
+        let cur = self.tuning.window.load(Ordering::Relaxed);
+        if cur == 0 {
+            return;
+        }
+        let next = (cur as i64 + delta)
+            .clamp(self.cfg.window_floor as i64, self.cfg.window_ceil as i64)
+            as u32;
+        if next != cur {
+            self.tuning.window.store(next, Ordering::Relaxed);
+            self.adjustments += 1;
+            self.trace(name, next as i64);
+        }
+    }
+
+    /// Step the batch cap by `delta` trains, clamped to
+    /// `[1, batch_ceil]`, tracing the new value. No-op unless batching
+    /// was enabled at bootstrap.
+    fn step_batch(&mut self, delta: i64, name: &'static str) {
+        if !self.may_batch {
+            return;
+        }
+        let cur = self.tuning.batch.load(Ordering::Relaxed);
+        let next = (cur as i64 + delta).clamp(1, self.cfg.batch_ceil as i64) as usize;
+        if next != cur {
+            self.tuning.batch.store(next, Ordering::Relaxed);
+            self.adjustments += 1;
+            self.trace(name, next as i64);
+        }
+    }
+
+    /// Evaluate one window ending `now`.
+    pub(crate) fn tick(&mut self, now_ns: u64) {
+        let d = self.stats.delta_for(DeltaCursor::Controller, now_ns);
+        let starved = d.credit_timeouts > 0;
+        let attempts = d.stalls + d.fragments;
+        let saturated = d.stalls >= self.cfg.saturation_min_stalls
+            && attempts > 0
+            && d.stalls as f64 / attempts as f64 >= self.cfg.saturation_stall_ratio;
+
+        if starved {
+            self.starve_streak += 1;
+            self.calm_streak = 0;
+        } else {
+            self.starve_streak = 0;
+        }
+        if saturated {
+            self.sat_streak += 1;
+            self.calm_streak = 0;
+        } else {
+            self.sat_streak = 0;
+        }
+
+        if self.starve_streak >= self.cfg.hysteresis_ticks {
+            // Credit starvation: writers hit their grant deadline. Widen
+            // the window so freshly opened streams get deeper credit.
+            self.step_window(self.cfg.window_step as i64, "window_raise");
+            self.starve_streak = 0;
+            return;
+        }
+        if self.sat_streak >= self.cfg.hysteresis_ticks {
+            // Queue saturation: handoffs keep finding the pipeline full.
+            // Amortize per-train overhead with a bigger batch and trim
+            // the window so fewer packets pile into the choked hop.
+            self.step_batch(1, "batch_raise");
+            self.step_window(-(self.cfg.window_step as i64), "window_lower");
+            self.sat_streak = 0;
+            return;
+        }
+        if !starved && !saturated {
+            self.calm_streak += 1;
+            if self.calm_streak >= self.cfg.hysteresis_ticks.saturating_mul(4) {
+                // Sustained calm: decay one stride back toward the
+                // bootstrap operating point.
+                let w = self.tuning.window.load(Ordering::Relaxed);
+                if w != 0 && w != self.base_window {
+                    let (delta, name) = if w > self.base_window {
+                        (
+                            -((w - self.base_window).min(self.cfg.window_step) as i64),
+                            "window_lower",
+                        )
+                    } else {
+                        (
+                            ((self.base_window - w).min(self.cfg.window_step)) as i64,
+                            "window_raise",
+                        )
+                    };
+                    self.step_window(delta, name);
+                }
+                let b = self.tuning.batch.load(Ordering::Relaxed);
+                if b > self.base_batch {
+                    self.step_batch(-1, "batch_lower");
+                }
+                self.calm_streak = 0;
+            }
+        }
+    }
+
+    /// The teardown tick: evaluate the final window, then summarize the
+    /// run (total adjustments and the final operating point) so a
+    /// controller-enabled trace always carries `ctl:` events, however
+    /// quiet the run.
+    pub(crate) fn finish(&mut self, now_ns: u64) {
+        self.tick(now_ns);
+        self.trace("adjustments", self.adjustments as i64);
+        self.trace("window", self.tuning.window.load(Ordering::Relaxed) as i64);
+        self.trace("batch", self.tuning.batch.load(Ordering::Relaxed) as i64);
+    }
+}
+
+/// The threaded engine's controller driver: a dedicated runtime thread
+/// ticking at the configured interval, woken early by teardown bumps of
+/// the node event (the same shape as the metrics watchdog driver).
+pub(crate) fn run_controller(
+    mut ctl: Controller,
+    runtime: Arc<dyn Runtime>,
+    event: Arc<dyn RtEvent>,
+    stop: Arc<GatewayStop>,
+) {
+    let mut next = runtime.now_nanos().saturating_add(ctl.interval_ns());
+    loop {
+        let seen = event.epoch();
+        if stop.stop_requested() {
+            ctl.finish(runtime.now_nanos());
+            return;
+        }
+        let now = runtime.now_nanos();
+        if now >= next {
+            ctl.tick(now);
+            next = now.saturating_add(ctl.interval_ns());
+        }
+        let wait = next.saturating_sub(runtime.now_nanos()).max(1);
+        let _ = event.wait_past_timeout(seen, wait);
+    }
+}
+
+/// The reactor engine's controller driver: the same policy loop as a
+/// timer task on the gateway node's shared worker pool.
+pub(crate) struct ControllerTask {
+    ctl: Controller,
+    stop: Arc<GatewayStop>,
+    next: u64,
+}
+
+impl ControllerTask {
+    pub(crate) fn new(ctl: Controller, stop: Arc<GatewayStop>) -> Self {
+        ControllerTask { ctl, stop, next: 0 }
+    }
+}
+
+impl PollTask for ControllerTask {
+    fn poll(&mut self, cx: &mut Context) -> Poll {
+        if self.stop.stop_requested() {
+            self.ctl.finish(cx.now_ns());
+            return Poll::Ready;
+        }
+        let now = cx.now_ns();
+        if self.next == 0 {
+            self.next = now.saturating_add(self.ctl.interval_ns());
+        }
+        if now >= self.next {
+            self.ctl.tick(now);
+            self.next = now.saturating_add(self.ctl.interval_ns());
+        }
+        cx.wake_at(self.next);
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_trace::Tracer;
+
+    fn controller(cfg: ControllerConfig, window: Option<u32>, batch: usize) -> Controller {
+        let tuning = Tuning::new(window, batch);
+        let stats = Arc::new(GatewayStats::default());
+        Controller::new(cfg, tuning, stats, Tracer::off(), "ctl:t@0".into())
+    }
+
+    fn starve(c: &Controller) {
+        c.stats.credit_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn saturate(c: &Controller) {
+        c.stats.stalls.fetch_add(64, Ordering::Relaxed);
+        c.stats.fragments.fetch_add(8, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn tuning_encodes_disabled_window_as_none() {
+        let t = Tuning::new(None, 4);
+        assert_eq!(t.credit_window(), None);
+        assert_eq!(t.max_batch(), 4);
+        let t = Tuning::new(Some(8), 1);
+        assert_eq!(t.credit_window(), Some(8));
+    }
+
+    #[test]
+    fn starvation_raises_window_after_hysteresis() {
+        let cfg = ControllerConfig::default();
+        let mut c = controller(cfg, Some(8), 1);
+        // One starved tick is not enough (hysteresis = 2)…
+        starve(&c);
+        c.tick(cfg.interval_ns);
+        assert_eq!(c.tuning.credit_window(), Some(8));
+        // …a second consecutive one steps the window up.
+        starve(&c);
+        c.tick(2 * cfg.interval_ns);
+        assert_eq!(c.tuning.credit_window(), Some(8 + cfg.window_step));
+        assert_eq!(c.adjustments, 1);
+    }
+
+    #[test]
+    fn window_steps_stay_clamped() {
+        let cfg = ControllerConfig {
+            window_ceil: 10,
+            hysteresis_ticks: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller(cfg, Some(8), 1);
+        for i in 1..=5 {
+            starve(&c);
+            c.tick(i * cfg.interval_ns);
+        }
+        assert_eq!(c.tuning.credit_window(), Some(10)); // clamped at ceil
+    }
+
+    #[test]
+    fn saturation_grows_batch_and_trims_window_when_batching_enabled() {
+        let cfg = ControllerConfig {
+            hysteresis_ticks: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller(cfg, Some(32), 2);
+        saturate(&c);
+        c.tick(cfg.interval_ns);
+        assert_eq!(c.tuning.max_batch(), 3);
+        assert_eq!(c.tuning.credit_window(), Some(32 - cfg.window_step));
+    }
+
+    #[test]
+    fn batch_never_retuned_when_batching_disabled() {
+        let cfg = ControllerConfig {
+            hysteresis_ticks: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller(cfg, Some(32), 1);
+        saturate(&c);
+        c.tick(cfg.interval_ns);
+        assert_eq!(c.tuning.max_batch(), 1); // batching stays off
+        assert_eq!(c.tuning.credit_window(), Some(32 - cfg.window_step));
+    }
+
+    #[test]
+    fn calm_decays_back_to_baseline() {
+        let cfg = ControllerConfig {
+            hysteresis_ticks: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller(cfg, Some(8), 2);
+        // Push the window up and the batch out.
+        starve(&c);
+        c.tick(cfg.interval_ns);
+        saturate(&c);
+        c.tick(2 * cfg.interval_ns);
+        assert_eq!(c.tuning.credit_window(), Some(8));
+        assert_eq!(c.tuning.max_batch(), 3);
+        // Then calm: 4×hysteresis quiet ticks per decay step.
+        let mut now = 2 * cfg.interval_ns;
+        for _ in 0..8 {
+            now += cfg.interval_ns;
+            c.tick(now);
+        }
+        assert_eq!(c.tuning.max_batch(), 2);
+        assert_eq!(c.tuning.credit_window(), Some(8));
+    }
+
+    #[test]
+    fn controller_never_enables_disabled_flow_control() {
+        let cfg = ControllerConfig {
+            hysteresis_ticks: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller(cfg, None, 2);
+        starve(&c);
+        c.tick(cfg.interval_ns);
+        assert_eq!(c.tuning.credit_window(), None);
+    }
+}

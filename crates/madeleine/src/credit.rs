@@ -234,6 +234,12 @@ pub struct FlowControl {
     /// The node's telemetry plane: writer pumps hand it stray handoff
     /// acks and in-band metrics packets they drain off the conduit.
     plane: Option<Arc<crate::metrics_plane::MetricsPlane>>,
+    /// The node's membership plane: writer pumps hand it kind-11 member
+    /// packets they drain off the conduit.
+    member: Option<Arc<crate::membership::MembershipPlane>>,
+    /// The channel's live operating point: when present, freshly opened
+    /// streams take their window from it instead of the bootstrap value.
+    tuning: Option<Arc<crate::control::Tuning>>,
 }
 
 impl FlowControl {
@@ -245,6 +251,8 @@ impl FlowControl {
             window,
             timeout_ns,
             plane: None,
+            member: None,
+            tuning: None,
         }
     }
 
@@ -257,14 +265,33 @@ impl FlowControl {
         self
     }
 
+    /// Attach the node's membership plane (session wiring).
+    pub(crate) fn with_membership(
+        mut self,
+        member: Option<Arc<crate::membership::MembershipPlane>>,
+    ) -> Self {
+        self.member = member;
+        self
+    }
+
+    /// Attach the channel's live operating point (session wiring).
+    pub(crate) fn with_tuning(mut self, tuning: Option<Arc<crate::control::Tuning>>) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// The shared ledger.
     pub fn ledger(&self) -> &Arc<CreditLedger> {
         &self.ledger
     }
 
-    /// The per-stream window, in fragments.
+    /// The per-stream window, in fragments — the live tuned value when a
+    /// controller governs this channel, the bootstrap value otherwise.
     pub fn window(&self) -> u32 {
-        self.window
+        match &self.tuning {
+            Some(t) => t.credit_window().unwrap_or(self.window),
+            None => self.window,
+        }
     }
 
     /// The credit-wait deadline, in nanoseconds.
@@ -301,9 +328,10 @@ pub struct WriterFlow {
 }
 
 impl WriterFlow {
-    /// Open the stream's account with the initial window.
+    /// Open the stream's account with the initial window (read live, so
+    /// a controller retune governs every stream opened after it).
     pub(crate) fn open(&self, key: StreamKey) {
-        self.ctl.ledger.open(key, self.ctl.window);
+        self.ctl.ledger.open(key, self.ctl.window());
     }
 
     /// Drop the stream's account.
@@ -379,6 +407,12 @@ impl WriterFlow {
                 // to the node's plane (or drop it when telemetry is off).
                 PacketBody::MetricsRequest | PacketBody::MetricsReply => {
                     if let Some(p) = &self.ctl.plane {
+                        p.handle_packet(&tag, &body, &packet);
+                    }
+                }
+                // Likewise membership protocol traffic (kind 11).
+                PacketBody::Member(_) => {
+                    if let Some(p) = &self.ctl.member {
                         p.handle_packet(&tag, &body, &packet);
                     }
                 }

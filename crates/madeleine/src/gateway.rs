@@ -133,9 +133,11 @@ use mad_util::sync::Mutex;
 
 use crate::channel::Channel;
 use crate::conduit::{BufferMode, Conduit, StaticBuf};
+use crate::control::Tuning;
 use crate::credit::{CreditLedger, TakeFailure};
 use crate::error::{MadError, Result};
 use crate::gtm::{self, CancelReason, PacketBody, StreamKey, StreamTag, PRELUDE_LEN};
+use crate::membership::MembershipPlane;
 use crate::metrics_plane::GwMetrics;
 use crate::routing::RouteTable;
 use crate::runtime::{RtEvent, RtQueue, RtReceiver, RtSender, Runtime};
@@ -220,10 +222,12 @@ pub enum DeltaCursor {
     Metrics = 1,
     /// The health watchdog's evaluation windows.
     Watchdog = 2,
+    /// The self-tuning controller's evaluation windows.
+    Controller = 3,
 }
 
 /// Number of [`DeltaCursor`] variants (baseline array length).
-const DELTA_CURSORS: usize = 3;
+const DELTA_CURSORS: usize = 4;
 
 /// Baseline of one cursor's previous windowed snapshot.
 #[derive(Debug, Default)]
@@ -581,16 +585,33 @@ impl Default for GatewayConfig {
 /// Session-wide shutdown coordinator shared by every gateway engine.
 ///
 /// [`GatewayStop::request_stop`] alone does not stop the engines: a
-/// polling thread only gives up once nothing is pending *and* the global
-/// count of accepted-but-not-fully-retransmitted streams is zero, so
-/// multi-hop messages still in flight between gateways are drained rather
-/// than dropped. [`GatewayStop::force`] (used when an application thread
-/// panicked and may never finish a stream) waives the drain.
+/// polling thread only gives up once the whole session is quiescent — the
+/// global count of accepted-but-not-fully-retransmitted streams is zero,
+/// no engine is mid-relay, and no registered inbound conduit anywhere
+/// still holds undelivered packets. The last clause is what makes the
+/// drain multi-hop safe: a downstream gateway whose own pipeline is
+/// momentarily idle must keep serving while an upstream gateway still has
+/// backlog queued for it, or the backlog dies with the downstream
+/// engine's conduits. [`GatewayStop::force`] (used when an application
+/// thread panicked and may never finish a stream) waives the drain.
 #[derive(Default)]
 pub struct GatewayStop {
     stop: AtomicBool,
     forced: AtomicBool,
     open: AtomicU64,
+    /// Packets popped from an inbound conduit but not yet demultiplexed
+    /// (counted into `open`, forwarded, or consumed): the hidden station
+    /// between the conduit scan and the stream accounting.
+    busy: AtomicU64,
+    /// Bumped on every station transition of an in-flight packet
+    /// (conduit → relay → open stream → retransmitted). The quiescence
+    /// check reads it seqlock-style around its scan: an unchanged count
+    /// proves nothing moved between the stations while they were being
+    /// inspected, so an all-empty scan cannot have raced a packet hop.
+    transitions: AtomicU64,
+    /// Inbound channels of every gateway engine in the session. Dead
+    /// weak refs (engine exited, conduits dropped) are skipped.
+    sources: Mutex<Vec<std::sync::Weak<Channel>>>,
     wakers: Mutex<Vec<Arc<dyn RtEvent>>>,
 }
 
@@ -629,15 +650,41 @@ impl GatewayStop {
     }
 
     fn should_stop(&self) -> bool {
-        self.stop.load(Ordering::Acquire)
-            && (self.forced.load(Ordering::Acquire) || self.open.load(Ordering::Acquire) == 0)
+        if !self.stop.load(Ordering::Acquire) {
+            return false;
+        }
+        if self.forced.load(Ordering::Acquire) {
+            return true;
+        }
+        // Session-wide quiescence. A packet in flight is always visible at
+        // exactly one station: an inbound conduit queue, the relay bracket
+        // (`busy`), or an open stream (`open`, held until the end packet
+        // is retransmitted). Scan them all, then confirm via the
+        // transition count that no packet hopped stations mid-scan — if
+        // one did, the scan may have looked at both its old and new
+        // station while it was in neither, so the result is void.
+        let before = self.transitions.load(Ordering::Acquire);
+        if self.open.load(Ordering::Acquire) != 0 || self.busy.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        let pending = self
+            .sources
+            .lock()
+            .iter()
+            .any(|w| w.upgrade().is_some_and(|ch| ch.has_pending()));
+        if pending {
+            return false;
+        }
+        self.transitions.load(Ordering::Acquire) == before
     }
 
     fn opened(&self) {
         self.open.fetch_add(1, Ordering::AcqRel);
+        self.transitions.fetch_add(1, Ordering::AcqRel);
     }
 
     fn end_forwarded(&self) {
+        self.transitions.fetch_add(1, Ordering::AcqRel);
         if self.open.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.wake_all();
         }
@@ -645,6 +692,7 @@ impl GatewayStop {
 
     fn abandon(&self, n: u64) {
         if n > 0 {
+            self.transitions.fetch_add(1, Ordering::AcqRel);
             self.open.fetch_sub(n, Ordering::AcqRel);
             self.wake_all();
         }
@@ -652,6 +700,10 @@ impl GatewayStop {
 
     fn register_waker(&self, ev: Arc<dyn RtEvent>) {
         self.wakers.lock().push(ev);
+    }
+
+    fn register_source(&self, ch: std::sync::Weak<Channel>) {
+        self.sources.lock().push(ch);
     }
 
     fn wake_all(&self) {
@@ -694,6 +746,31 @@ impl Drop for ThreadExitGuard {
         if self.live.threads.fetch_sub(1, Ordering::AcqRel) == 1 {
             let leaked = self.live.local_open.swap(0, Ordering::AcqRel);
             self.live.stopctl.abandon(leaked.max(0) as u64);
+        }
+    }
+}
+
+/// RAII bracket around one receive + relay turn. While held, the packet
+/// being moved is at the "hidden" station: already popped from its conduit
+/// (invisible to [`Channel::has_pending`]) but not yet counted into the
+/// open-stream drain count — without this bracket the quiescence check in
+/// [`GatewayStop::should_stop`] could pass right through the gap and stop
+/// a peer engine that the packet is about to be forwarded to.
+struct BusyGuard<'a>(&'a GatewayStop);
+
+impl<'a> BusyGuard<'a> {
+    fn enter(stopctl: &'a GatewayStop) -> Self {
+        stopctl.busy.fetch_add(1, Ordering::AcqRel);
+        stopctl.transitions.fetch_add(1, Ordering::AcqRel);
+        BusyGuard(stopctl)
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.transitions.fetch_add(1, Ordering::AcqRel);
+        if self.0.busy.fetch_sub(1, Ordering::AcqRel) == 1 && self.0.stop_requested() {
+            self.0.wake_all();
         }
     }
 }
@@ -839,6 +916,14 @@ struct FwdShared {
     /// Hot-path telemetry handles; `None` compiles the recording out of
     /// the forwarding path entirely (the metrics-off default).
     metrics: Option<GwMetrics>,
+    /// The node's membership plane; kind-11 member packets relayed or
+    /// terminated here are handed to it (the membership-off default is
+    /// `None`, which drops them like any unknown control packet).
+    member: Option<Arc<MembershipPlane>>,
+    /// The channel's live operating point; when present the self-grant
+    /// window and the batching caps are read from it per use instead of
+    /// from the static config.
+    tuning: Option<Arc<Tuning>>,
 }
 
 /// How a polling thread lands incoming packets (fixed per inbound network,
@@ -909,6 +994,8 @@ pub fn spawn_gateway(
     ledger: Arc<CreditLedger>,
     reactor: Option<&Arc<GatewayReactor>>,
     metrics: Option<Arc<crate::metrics_plane::MetricsPlane>>,
+    member: Option<Arc<MembershipPlane>>,
+    tuning: Option<Arc<Tuning>>,
 ) -> GatewayHandles {
     assert!(cfg.pipeline_depth >= 1, "pipeline depth must be at least 1");
     let metrics = metrics.map(GwMetrics::new);
@@ -918,7 +1005,7 @@ pub fn spawn_gateway(
         };
         return reactor_engine::spawn_reactor_gateway(
             rank, vc_name, regular, special, routes, cfg, runtime, stopctl, ledger, reactor,
-            metrics,
+            metrics, member, tuning,
         );
     }
     let nets: Vec<NetworkId> = special.keys().copied().collect();
@@ -965,6 +1052,8 @@ pub fn spawn_gateway(
                     credit_timeout_ns: cfg.credit_timeout_ns,
                     tracer: runtime.tracer(),
                     metrics: metrics.clone(),
+                    member: member.clone(),
+                    tuning: tuning.clone(),
                 };
                 let max_batch = cfg.max_batch;
                 threads.push(runtime.spawn(
@@ -975,12 +1064,15 @@ pub fn spawn_gateway(
         }
         let in_channel = special[&net_in].clone();
         stopctl.register_waker(in_channel.recv_event().clone());
+        stopctl.register_source(Arc::downgrade(&in_channel));
         let routes = routes.clone();
         let rt = runtime.clone();
         let stats = stats.clone();
         let live = live.clone();
         let ledger = ledger.clone();
         let metrics = metrics.clone();
+        let member = member.clone();
+        let tuning = tuning.clone();
         let name = format!("gw{}-{}-in-{}", rank.0, vc_name, net_in);
         threads.push(runtime.spawn(
             name,
@@ -996,6 +1088,8 @@ pub fn spawn_gateway(
                     live,
                     ledger,
                     metrics,
+                    member,
+                    tuning,
                 )
             }),
         ));
@@ -1070,6 +1164,8 @@ fn polling_thread(
     live: Arc<EngineLive>,
     ledger: Arc<CreditLedger>,
     metrics: Option<GwMetrics>,
+    member: Option<Arc<MembershipPlane>>,
+    tuning: Option<Arc<Tuning>>,
 ) {
     let _exit = ThreadExitGuard { live: live.clone() };
     let landing = landing_policy(sinks.0.values().map(Sink::path), cfg);
@@ -1083,6 +1179,8 @@ fn polling_thread(
         credit_timeout_ns: cfg.credit_timeout_ns,
         tracer: tracer.clone(),
         metrics,
+        member,
+        tuning,
     };
     // Streams currently crossing this inbound network.
     let mut streams: BTreeMap<StreamKey, InStream> = BTreeMap::new();
@@ -1133,6 +1231,7 @@ fn polling_thread(
             }
         };
         cursor = Some(peer);
+        let _busy = BusyGuard::enter(&stopctl);
         let buf = {
             let _recv = trace_span!(tracer, "gw", "recv", "peer" = peer.0 as u64);
             match receive_packet(&in_channel, peer, landing, max_pkt, runtime.pool()) {
@@ -1269,6 +1368,17 @@ fn relay_packet<S: ItemSink>(
         return Ok(());
     }
 
+    // Membership protocol traffic (kind 11) likewise rides the special
+    // conduits outside stream state: the plane serves events addressed
+    // here and relays the rest toward their destination. Without a plane
+    // the packet is dropped — a membership-off node never joins anyway.
+    if let PacketBody::Member(_) = body {
+        if let Some(p) = &shared.member {
+            p.handle_packet(&tag, &body, buf.bytes());
+        }
+        return Ok(());
+    }
+
     // Late packets of a stream cancelled here: swallow until its source
     // stops (the end or cancel clears the tombstone).
     if cancelled.contains(&key) {
@@ -1301,7 +1411,8 @@ fn relay_packet<S: ItemSink>(
         PacketBody::Credit(_)
         | PacketBody::Batch
         | PacketBody::MetricsRequest
-        | PacketBody::MetricsReply => unreachable!("handled above"),
+        | PacketBody::MetricsReply
+        | PacketBody::Member(_) => unreachable!("handled above"),
         PacketBody::Header(header) => {
             if header.tag.dest == rank {
                 return Err(MadError::Protocol(format!(
@@ -1345,8 +1456,14 @@ fn relay_packet<S: ItemSink>(
                 ack: header.acked && peer == tag.src,
             };
             // On a non-final hop this gateway is the next conduit's
-            // sender: self-grant the window it will spend re-sending.
-            if let (Some(w), false) = (cfg.credit_window, hop.last) {
+            // sender: self-grant the window it will spend re-sending. The
+            // window is read per stream open, so a controller retune
+            // governs every stream accepted after it.
+            let window = match &shared.tuning {
+                Some(t) => t.credit_window(),
+                None => cfg.credit_window,
+            };
+            if let (Some(w), false) = (window, hop.last) {
                 shared.ledger.open(key, w);
             }
             shared.stats.on_header(stream.pair);
@@ -2025,12 +2142,24 @@ fn send_buf(conduit: &mut dyn Conduit, buf: FwdBuf) -> Result<()> {
 /// the next head, preserving FIFO order. An idle pipeline degenerates to
 /// packet-at-a-time, so batching never adds latency, only removes
 /// per-send overhead when a backlog exists.
-fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, shared: FwdShared, max_batch: usize) {
+fn forwarding_thread(
+    rx: RtReceiver<FwdItem>,
+    path: OutPath,
+    shared: FwdShared,
+    cfg_max_batch: usize,
+) {
     let _exit = ThreadExitGuard {
         live: shared.live.clone(),
     };
     let mut pending: Option<FwdItem> = None;
     loop {
+        // The batch cap is re-read per train so a controller retune takes
+        // effect on the next coalescing decision, not the next session.
+        let max_batch = shared
+            .tuning
+            .as_ref()
+            .map(|t| t.max_batch())
+            .unwrap_or(cfg_max_batch);
         let head = match pending.take() {
             Some(item) => item,
             None => match rx.pop() {
@@ -2108,5 +2237,63 @@ fn forwarding_thread(rx: RtReceiver<FwdItem>, path: OutPath, shared: FwdShared, 
         if !transmit_batch(&path, batch, &shared) {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{channel_pair, MockDriver};
+
+    /// The teardown quiescence contract, station by station: a stop only
+    /// takes effect once no registered inbound conduit holds packets, no
+    /// engine is mid-relay, and no stream is open — in any interleaving,
+    /// a packet parked at one station keeps every engine alive.
+    #[test]
+    fn stop_waits_for_session_wide_quiescence() {
+        let stopctl = GatewayStop::new();
+        assert!(!stopctl.should_stop(), "no stop requested yet");
+
+        let (a, b) = channel_pair(MockDriver::dynamic());
+        let b = Arc::new(b);
+        stopctl.register_source(Arc::downgrade(&b));
+        stopctl.request_stop();
+        assert!(stopctl.should_stop(), "quiescent session stops at once");
+
+        // A packet queued on a registered inbound conduit — even one this
+        // engine itself will never relay — holds the stop off.
+        a.send_packet(NodeId(1), &[b"backlog"]).unwrap();
+        assert!(!stopctl.should_stop(), "inbound backlog must drain first");
+
+        // Popping it moves it to the relay bracket: still not quiescent.
+        let pkt = b.lock_conduit(NodeId(0)).unwrap().recv_owned().unwrap();
+        let busy = BusyGuard::enter(&stopctl);
+        assert!(!stopctl.should_stop(), "a packet mid-relay holds the stop");
+
+        // Accepting its stream moves it to the open-stream station.
+        stopctl.opened();
+        drop(busy);
+        assert!(!stopctl.should_stop(), "an open stream holds the stop");
+
+        // Retransmitting the end releases the last station.
+        stopctl.end_forwarded();
+        assert!(stopctl.should_stop(), "drained session stops");
+        drop(pkt);
+
+        // A dead source (engine exited, conduits dropped) is skipped.
+        a.send_packet(NodeId(1), &[b"undeliverable"]).unwrap();
+        assert!(!stopctl.should_stop());
+        drop(b);
+        assert!(stopctl.should_stop(), "dead weak sources are skipped");
+
+        // Force waives the drain entirely.
+        let (a2, b2) = channel_pair(MockDriver::dynamic());
+        let b2 = Arc::new(b2);
+        stopctl.register_source(Arc::downgrade(&b2));
+        a2.send_packet(NodeId(1), &[b"stuck"]).unwrap();
+        assert!(!stopctl.should_stop());
+        stopctl.force();
+        assert!(stopctl.should_stop(), "force bypasses the drain");
+        drop(b2);
     }
 }

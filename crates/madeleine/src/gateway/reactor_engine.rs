@@ -419,6 +419,7 @@ impl PollTask for RecvTask {
                 return Poll::Pending;
             };
             self.cursor = Some(peer);
+            let _busy = super::BusyGuard::enter(&self.stopctl);
             let buf = {
                 let _recv = trace_span!(self.shared.tracer, "gw", "recv", "peer" = peer.0 as u64);
                 match super::receive_packet(
@@ -632,8 +633,15 @@ impl FlushTask {
         let mut frame = PRELUDE_LEN + gtm::BATCH_ENTRY_OVERHEAD + head.buf.bytes().len();
         let mut batch = vec![head];
         let mut cancels = Vec::new();
-        while cfg.max_batch > 1
-            && batch.len() < cfg.max_batch
+        // Re-read per train so a controller retune governs the next
+        // coalescing decision.
+        let max_batch = shared
+            .tuning
+            .as_ref()
+            .map(|t| t.max_batch())
+            .unwrap_or(cfg.max_batch);
+        while max_batch > 1
+            && batch.len() < max_batch
             && frame <= budget
             && 2 * (batch.len() + 1) < caps.max_gather
         {
@@ -830,6 +838,8 @@ pub(super) fn spawn_reactor_gateway(
     ledger: Arc<CreditLedger>,
     reactor: &Arc<GatewayReactor>,
     metrics: Option<super::GwMetrics>,
+    member: Option<Arc<crate::membership::MembershipPlane>>,
+    tuning: Option<Arc<crate::control::Tuning>>,
 ) -> GatewayHandles {
     let nets: Vec<NetworkId> = special.keys().copied().collect();
     let routes = Arc::new(routes);
@@ -866,6 +876,7 @@ pub(super) fn spawn_reactor_gateway(
         }
         let in_channel = special[&net_in].clone();
         stopctl.register_waker(in_channel.recv_event().clone());
+        stopctl.register_source(Arc::downgrade(&in_channel));
         let wake: Arc<dyn RtEvent> = in_channel.recv_event().clone();
         let queues = Arc::new(Mutex::new(Queues { nets: net_queues }));
         let inbound_done = Arc::new(AtomicBool::new(false));
@@ -878,6 +889,8 @@ pub(super) fn spawn_reactor_gateway(
             credit_timeout_ns: cfg.credit_timeout_ns,
             tracer: runtime.tracer(),
             metrics: metrics.clone(),
+            member: member.clone(),
+            tuning: tuning.clone(),
         };
         let landing = super::landing_policy(paths.values(), cfg);
         let in_caps = in_channel.caps();

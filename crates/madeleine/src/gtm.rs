@@ -111,11 +111,16 @@ pub(crate) const KIND_BATCH: u8 = 7;
 pub(crate) const KIND_STRIPE: u8 = 8;
 pub(crate) const KIND_ACK: u8 = 9;
 pub(crate) const KIND_METRICS: u8 = 10;
+pub(crate) const KIND_MEMBER: u8 = 11;
 
 /// Direction byte of a kind-10 metrics packet: a snapshot request.
 const METRICS_REQUEST: u8 = 1;
 /// Direction byte of a kind-10 metrics packet: a snapshot reply.
 const METRICS_REPLY: u8 = 2;
+
+/// Full length of a kind-11 membership packet: prelude, event byte,
+/// subject node (u32 LE), membership epoch (u64 LE).
+pub const MEMBER_PACKET_LEN: usize = PRELUDE_LEN + 1 + 4 + 8;
 
 /// Byte budget for the encoded snapshot a metrics reply carries. Bounded
 /// so one reply always fits a single packet on every driver (the gateway
@@ -298,6 +303,62 @@ pub enum PacketBody {
     /// returns its encoded [`mad_metrics::Snapshot`] to `tag.dest`.
     /// Borrow the payload with [`metrics_payload`].
     MetricsReply,
+    /// In-band membership control (kind 11): one event of the dynamic
+    /// membership protocol, carrying the subject node and its
+    /// epoch-stamped incarnation. Routed hop by hop over the special
+    /// channels like metrics packets; stateless at every relay.
+    Member(MemberMsg),
+}
+
+/// One membership-protocol event on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberEvent {
+    /// `tag.src` (a joiner or rejoiner) asks `tag.dest` to admit
+    /// `node` at incarnation `epoch` and reply with its recorded view.
+    JoinRequest,
+    /// Reply to a join request: `tag.src` (the responder) echoes the
+    /// subject `node` with the highest epoch it has recorded for it —
+    /// the joiner's verify phase cross-checks this against its own.
+    JoinAck,
+    /// `node` leaves gracefully at `epoch`: receivers retire its paths.
+    Leave,
+    /// Activation broadcast: `node` is active at incarnation `epoch`;
+    /// receivers readmit its paths and update their views.
+    Announce,
+}
+
+impl MemberEvent {
+    fn to_wire(self) -> u8 {
+        match self {
+            MemberEvent::JoinRequest => 1,
+            MemberEvent::JoinAck => 2,
+            MemberEvent::Leave => 3,
+            MemberEvent::Announce => 4,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<MemberEvent> {
+        match b {
+            1 => Some(MemberEvent::JoinRequest),
+            2 => Some(MemberEvent::JoinAck),
+            3 => Some(MemberEvent::Leave),
+            4 => Some(MemberEvent::Announce),
+            _ => None,
+        }
+    }
+}
+
+/// Payload of a kind-11 membership packet: the event, the subject node
+/// (usually but not necessarily `tag.src` — acks echo the joiner), and
+/// the epoch-stamped incarnation the event talks about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberMsg {
+    /// Which protocol step this is.
+    pub event: MemberEvent,
+    /// The node the event is about.
+    pub node: u32,
+    /// The incarnation the event asserts (or echoes) for `node`.
+    pub epoch: u64,
 }
 
 fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
@@ -469,6 +530,25 @@ pub fn encode_metrics_reply(tag: &StreamTag, payload: &[u8]) -> Vec<u8> {
 /// Borrow the encoded snapshot of a metrics reply packet.
 pub fn metrics_payload(packet: &[u8]) -> &[u8] {
     &packet[PRELUDE_LEN + 1..]
+}
+
+/// Encode a membership packet into `v` (cleared first): `tag.src` sends
+/// one protocol event toward `tag.dest`; `tag.msg_id` is the sender's
+/// membership sequence number (idempotent re-runs reuse it).
+pub fn encode_member_into(v: &mut Vec<u8>, tag: &StreamTag, msg: &MemberMsg) {
+    v.clear();
+    v.reserve(MEMBER_PACKET_LEN);
+    prelude_into(v, KIND_MEMBER, tag);
+    v.push(msg.event.to_wire());
+    v.extend_from_slice(&msg.node.to_le_bytes());
+    v.extend_from_slice(&msg.epoch.to_le_bytes());
+}
+
+/// Encode a membership packet.
+pub fn encode_member(tag: &StreamTag, msg: &MemberMsg) -> Vec<u8> {
+    let mut v = Vec::with_capacity(MEMBER_PACKET_LEN);
+    encode_member_into(&mut v, tag, msg);
+    v
 }
 
 /// The constant prelude of a batch frame. A batch carries no stream of its
@@ -725,6 +805,24 @@ pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
                 }
                 _ => return Err(err("metrics direction")),
             }
+        }
+        KIND_MEMBER => {
+            if packet.len() != MEMBER_PACKET_LEN {
+                return Err(err("member packet length"));
+            }
+            let event =
+                MemberEvent::from_wire(packet[PRELUDE_LEN]).ok_or_else(|| err("member event"))?;
+            let node =
+                u32::from_le_bytes(packet[PRELUDE_LEN + 1..PRELUDE_LEN + 5].try_into().unwrap());
+            let epoch = u64::from_le_bytes(
+                packet[PRELUDE_LEN + 5..PRELUDE_LEN + 13]
+                    .try_into()
+                    .unwrap(),
+            );
+            if epoch == 0 {
+                return Err(err("zero member epoch"));
+            }
+            PacketBody::Member(MemberMsg { event, node, epoch })
         }
         _ => Err(err("unknown kind"))?,
     };
@@ -1081,12 +1179,13 @@ impl StreamAssembler {
                     "handoff ack for stream {key:?} reached a stream assembler"
                 )))
             }
-            PacketBody::MetricsRequest | PacketBody::MetricsReply => {
-                // Metrics pulls are served by the metrics plane (gateway
-                // engines and endpoint responders) on special channels and
-                // open no stream; one here means a routing layer leaked it.
+            PacketBody::MetricsRequest | PacketBody::MetricsReply | PacketBody::Member(_) => {
+                // Metrics pulls and membership events are served by their
+                // planes (gateway engines and endpoint responders) on
+                // special channels and open no stream; one here means a
+                // routing layer leaked it.
                 Err(MadError::Protocol(format!(
-                    "metrics packet for {key:?} reached a stream assembler"
+                    "control-plane packet for {key:?} reached a stream assembler"
                 )))
             }
             PacketBody::Header(header) => self.push_header(origin, key, header),
@@ -1139,7 +1238,8 @@ impl StreamAssembler {
                     | PacketBody::Batch
                     | PacketBody::Ack
                     | PacketBody::MetricsRequest
-                    | PacketBody::MetricsReply => {
+                    | PacketBody::MetricsReply
+                    | PacketBody::Member(_) => {
                         unreachable!()
                     }
                 });
@@ -1282,7 +1382,8 @@ impl StreamAssembler {
             | PacketBody::Batch
             | PacketBody::Ack
             | PacketBody::MetricsRequest
-            | PacketBody::MetricsReply => {
+            | PacketBody::MetricsReply
+            | PacketBody::Member(_) => {
                 unreachable!()
             }
         }
@@ -1346,6 +1447,43 @@ mod tests {
             dest: NodeId(dest),
             msg_id,
         }
+    }
+
+    #[test]
+    fn member_packets_round_trip_and_validate() {
+        let t = tag(4, 9, 17);
+        for event in [
+            MemberEvent::JoinRequest,
+            MemberEvent::JoinAck,
+            MemberEvent::Leave,
+            MemberEvent::Announce,
+        ] {
+            let msg = MemberMsg {
+                event,
+                node: 4,
+                epoch: 3,
+            };
+            let pkt = encode_member(&t, &msg);
+            assert_eq!(pkt.len(), MEMBER_PACKET_LEN);
+            assert_eq!(decode_packet(&pkt), Ok((t, PacketBody::Member(msg))));
+        }
+        // Truncation, unknown events, and epoch 0 (epochs start at 1 —
+        // a zero can only be a corrupted packet) are all rejected.
+        let good = encode_member(
+            &t,
+            &MemberMsg {
+                event: MemberEvent::Announce,
+                node: 4,
+                epoch: 1,
+            },
+        );
+        assert!(decode_packet(&good[..good.len() - 1]).is_err());
+        let mut bad_event = good.clone();
+        bad_event[PRELUDE_LEN] = 9;
+        assert!(decode_packet(&bad_event).is_err());
+        let mut zero_epoch = good.clone();
+        zero_epoch[PRELUDE_LEN + 5..PRELUDE_LEN + 13].fill(0);
+        assert!(decode_packet(&zero_epoch).is_err());
     }
 
     #[test]

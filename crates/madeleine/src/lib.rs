@@ -59,11 +59,13 @@
 pub mod baseline;
 pub mod channel;
 pub mod conduit;
+pub mod control;
 pub mod credit;
 pub mod error;
 pub mod flags;
 pub mod gateway;
 pub mod gtm;
+pub mod membership;
 pub mod message;
 pub mod metrics_plane;
 pub mod multipath;
@@ -78,11 +80,13 @@ pub mod vchannel;
 
 pub use channel::Channel;
 pub use conduit::{BufferMode, Conduit, Driver, DriverCaps, StaticBuf};
+pub use control::{ControllerConfig, Tuning};
 pub use credit::{CreditLedger, FlowControl};
 pub use error::{MadError, Result};
 pub use flags::{RecvMode, SendMode};
 pub use mad_route;
 pub use mad_trace;
+pub use membership::{JoinPhase, MemberState, MembershipOptions, MembershipPlane};
 pub use message::{MessageReader, MessageWriter};
 pub use metrics_plane::{MetricsOptions, MetricsPlane, WatchdogConfig};
 pub use multipath::{MultiPath, MultipathConfig};

@@ -424,17 +424,22 @@ impl MetricsPlane {
 /// replies to this node's own pulls) would sit unread. This loop drains
 /// whatever shows up — credit grants and cancels go into the shared
 /// ledger exactly as the writer pump would deposit them, handoff acks
-/// are parked in the plane's side table for the multi-path writer, and
-/// kind-10 packets go to the plane. Exits when the session's stop
+/// are parked in the metrics plane's side table for the multi-path
+/// writer, kind-10 packets go to the metrics plane and kind-11 packets
+/// to the membership plane (either may be absent — a channel can enable
+/// one control plane without the other). Exits when the session's stop
 /// coordinator fires (teardown bumps the node event).
 pub(crate) fn run_responder(
-    plane: Arc<MetricsPlane>,
+    runtime: Arc<dyn Runtime>,
+    event: Arc<dyn RtEvent>,
     channels: Vec<Arc<Channel>>,
     ledger: Arc<CreditLedger>,
     stop: Arc<GatewayStop>,
+    metrics: Option<Arc<MetricsPlane>>,
+    member: Option<Arc<crate::membership::MembershipPlane>>,
 ) {
     loop {
-        let seen = plane.event.epoch();
+        let seen = event.epoch();
         let mut any = true;
         while any {
             any = false;
@@ -451,7 +456,7 @@ pub(crate) fn run_responder(
                         continue;
                     };
                     drop(conduit);
-                    let packet = plane.runtime.pool().adopt(raw);
+                    let packet = runtime.pool().adopt(raw);
                     ch.stats().on_recv(peer.0, packet.len());
                     any = true;
                     let Ok((tag, body)) = gtm::decode_packet(&packet) else {
@@ -460,9 +465,20 @@ pub(crate) fn run_responder(
                     match body {
                         PacketBody::Credit(n) => ledger.deposit(tag.key(), n),
                         PacketBody::Cancel(reason) => ledger.cancel(tag.key(), reason),
-                        PacketBody::Ack => plane.deposit_ack(tag.key()),
+                        PacketBody::Ack => {
+                            if let Some(plane) = &metrics {
+                                plane.deposit_ack(tag.key());
+                            }
+                        }
                         PacketBody::MetricsRequest | PacketBody::MetricsReply => {
-                            plane.handle_packet(&tag, &body, &packet)
+                            if let Some(plane) = &metrics {
+                                plane.handle_packet(&tag, &body, &packet);
+                            }
+                        }
+                        PacketBody::Member(_) => {
+                            if let Some(plane) = &member {
+                                plane.handle_packet(&tag, &body, &packet);
+                            }
                         }
                         // Streams never arrive on an endpoint's special
                         // conduit inbound side; drop anything else.
@@ -474,7 +490,7 @@ pub(crate) fn run_responder(
         if stop.stop_requested() {
             return;
         }
-        plane.event.wait_past(seen);
+        event.wait_past(seen);
     }
 }
 

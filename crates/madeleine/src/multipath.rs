@@ -197,6 +197,19 @@ impl MultiPath {
         self.selector.note_failover();
     }
 
+    /// Feed a membership (gateway, incarnation epoch) observation to the
+    /// selector: a higher epoch than previously recorded readmits a path
+    /// declared dead (the old incarnation died; the new one is alive).
+    pub fn observe_epoch(&self, gw: u32, epoch: u64) -> mad_route::EpochObservation {
+        self.selector.observe_epoch(gw, epoch)
+    }
+
+    /// Unconditionally readmit gateway `gw` if it was dead. Returns true
+    /// when a path actually came back.
+    pub fn readmit(&self, gw: u32) -> bool {
+        self.selector.readmit(gw)
+    }
+
     /// Account payload bytes bound to gateway path `gw`.
     pub fn note_bytes(&self, gw: u32, bytes: u64) {
         *self.path_bytes.lock().entry(gw).or_insert(0) += bytes;
@@ -239,5 +252,6 @@ impl MultiPath {
         tracer.count_on(&track, "route", "switches", c.switches as i64, &[]);
         tracer.count_on(&track, "route", "failovers", c.failovers as i64, &[]);
         tracer.count_on(&track, "route", "deaths", c.deaths as i64, &[]);
+        tracer.count_on(&track, "route", "readmissions", c.readmissions as i64, &[]);
     }
 }

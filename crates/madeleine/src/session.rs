@@ -98,6 +98,17 @@ pub struct VcOptions {
     /// gateway node. `None` (the default) compiles the recording out of
     /// every hot path.
     pub metrics: Option<MetricsOptions>,
+    /// Dynamic membership plane: when set, every member node gets a
+    /// [`crate::membership::MembershipPlane`] speaking the epoch-stamped
+    /// kind-11 join/leave/rejoin protocol over the channel's special
+    /// conduits. `None` (the default) keeps the static-membership wire
+    /// behaviour byte-identical.
+    pub membership: Option<crate::membership::MembershipOptions>,
+    /// Self-tuning control plane: when set, the channel's credit window
+    /// and forwarding batch cap become a live [`crate::control::Tuning`]
+    /// retuned online by one [`crate::control::Controller`] per gateway
+    /// node. `None` (the default) keeps the static bootstrap knobs.
+    pub controller: Option<crate::control::ControllerConfig>,
 }
 
 struct NetworkDef {
@@ -310,6 +321,7 @@ impl SessionBuilder {
         // endpoint responders, and samplers.
         let mut node_registries: HashMap<NodeId, Arc<mad_metrics::Registry>> = HashMap::new();
         let mut metrics_planes: Vec<Arc<MetricsPlane>> = Vec::new();
+        let mut member_planes: Vec<Arc<crate::membership::MembershipPlane>> = Vec::new();
         let mut aux_threads = Vec::new();
         let mut samplers_spawned: std::collections::HashSet<NodeId> =
             std::collections::HashSet::new();
@@ -428,6 +440,43 @@ impl SessionBuilder {
                 HashMap::new()
             };
 
+            // Membership planes: one per member node, speaking the
+            // kind-11 protocol on the channel's special conduits.
+            let members: HashMap<NodeId, Arc<crate::membership::MembershipPlane>> =
+                if vdef.options.membership.is_some() {
+                    regular_by_node
+                        .keys()
+                        .map(|&rank| {
+                            let plane = crate::membership::MembershipPlane::new(
+                                rank,
+                                routing::compute_routes(&nm, rank),
+                                special_by_node[&rank].clone(),
+                                node_events[rank.index()].clone(),
+                                runtime.clone(),
+                                &vdef.name,
+                            );
+                            if let Some(mp) = &mp {
+                                plane.register_multipath(mp);
+                            }
+                            member_planes.push(plane.clone());
+                            (rank, plane)
+                        })
+                        .collect()
+                } else {
+                    HashMap::new()
+                };
+
+            // The channel's live operating point, shared by every gateway
+            // controller and hot-path reader. Seeded from the bootstrap
+            // knobs; absent (all reads fall back to the static config)
+            // when no controller governs the channel.
+            let tuning = vdef.options.controller.map(|_| {
+                crate::control::Tuning::new(
+                    vdef.options.gateway.credit_window,
+                    vdef.options.gateway.max_batch,
+                )
+            });
+
             // Gateway engines.
             let gateways = routing::gateways(&nm);
             for &gw in &gateways {
@@ -457,6 +506,8 @@ impl SessionBuilder {
                     ledgers[&gw].clone(),
                     reactor.as_ref(),
                     planes.get(&gw).cloned(),
+                    members.get(&gw).cloned(),
+                    tuning.clone(),
                 );
                 if let Some(mp) = &mp {
                     mp.register_gateway(gw, handles.stats().clone());
@@ -496,6 +547,35 @@ impl SessionBuilder {
                         }
                     }
                 }
+                // Self-tuning controller: like the watchdog, a dedicated
+                // thread in threaded mode, a timer task on the node's
+                // shared worker pool in reactor mode.
+                if let (Some(ctl_cfg), Some(tuning)) = (vdef.options.controller, &tuning) {
+                    let ctl = crate::control::Controller::new(
+                        ctl_cfg,
+                        tuning.clone(),
+                        handles.stats().clone(),
+                        runtime.tracer(),
+                        format!("ctl:{}@{}", vdef.name, gw.0),
+                    );
+                    match &reactor {
+                        Some(r) => {
+                            r.spawn_task(Box::new(crate::control::ControllerTask::new(
+                                ctl,
+                                gateway_stop.clone(),
+                            )));
+                        }
+                        None => {
+                            let rt = runtime.clone();
+                            let ev = node_events[gw.index()].clone();
+                            let stop = gateway_stop.clone();
+                            aux_threads.push(runtime.spawn(
+                                format!("gw{}-{}-ctl", gw.0, vdef.name),
+                                Box::new(move || crate::control::run_controller(ctl, rt, ev, stop)),
+                            ));
+                        }
+                    }
+                }
                 gateway_stats.push((vdef.name.clone(), gw, handles.stats().clone()));
                 gateway_handles.push(handles);
             }
@@ -505,20 +585,32 @@ impl SessionBuilder {
 
             // Endpoint responders: on non-gateway members nothing else
             // drains the special conduits between writer pumps, so pull
-            // requests (and replies to this node's own pulls) would sit
-            // unread. Gateway nodes are served by their engine instead.
-            for (&rank, plane) in &planes {
-                if gateways.contains(&rank) {
-                    continue;
+            // requests, membership events, and replies to this node's own
+            // pulls would sit unread. Gateway nodes are served by their
+            // engine instead. One responder per node covers both control
+            // planes — either may be enabled without the other.
+            if vdef.options.metrics.is_some() || vdef.options.membership.is_some() {
+                for &rank in regular_by_node.keys() {
+                    if gateways.contains(&rank) {
+                        continue;
+                    }
+                    let chans: Vec<Arc<Channel>> =
+                        special_by_node[&rank].values().cloned().collect();
+                    let rt = runtime.clone();
+                    let ev = node_events[rank.index()].clone();
+                    let metrics = planes.get(&rank).cloned();
+                    let member = members.get(&rank).cloned();
+                    let ledger = ledgers[&rank].clone();
+                    let stop = gateway_stop.clone();
+                    aux_threads.push(runtime.spawn(
+                        format!("resp-{}-{}", vdef.name, rank.0),
+                        Box::new(move || {
+                            metrics_plane::run_responder(
+                                rt, ev, chans, ledger, stop, metrics, member,
+                            )
+                        }),
+                    ));
                 }
-                let chans: Vec<Arc<Channel>> = special_by_node[&rank].values().cloned().collect();
-                let plane = plane.clone();
-                let ledger = ledgers[&rank].clone();
-                let stop = gateway_stop.clone();
-                aux_threads.push(runtime.spawn(
-                    format!("metrics-resp-{}-{}", vdef.name, rank.0),
-                    Box::new(move || metrics_plane::run_responder(plane, chans, ledger, stop)),
-                ));
             }
 
             // Per-node exposition samplers (at most one per node even when
@@ -554,6 +646,8 @@ impl SessionBuilder {
                         vdef.options.gateway.credit_timeout_ns,
                     )
                     .with_metrics(planes.get(&rank).cloned())
+                    .with_membership(members.get(&rank).cloned())
+                    .with_tuning(tuning.clone())
                 });
                 let vc = VirtualChannel::assemble(
                     vdef.name.clone(),
@@ -567,6 +661,7 @@ impl SessionBuilder {
                     flow,
                     mp.clone(),
                     planes.get(&rank).cloned(),
+                    members.get(&rank).cloned(),
                 );
                 per_node.insert(rank, Arc::new(vc));
             }
@@ -744,6 +839,11 @@ impl SessionBuilder {
             // multi-path virtual channel.
             for mp in &route_planes {
                 mp.flush_trace();
+            }
+            // Membership totals, one `member:` track per (channel, node)
+            // (validated by `trace_check --require-membership`).
+            for plane in &member_planes {
+                plane.flush_trace();
             }
             // Final live-registry snapshot of every telemetry-enabled
             // node, one `metrics:` track each (validated by `trace_check

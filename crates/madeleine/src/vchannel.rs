@@ -92,6 +92,9 @@ pub struct VirtualChannel {
     /// The node's telemetry plane on this channel, when the session
     /// enabled live metrics (in-band pulls, registry access).
     metrics: Option<Arc<crate::metrics_plane::MetricsPlane>>,
+    /// The node's membership plane on this channel, when the session
+    /// enabled dynamic membership (join/leave/rejoin, epoch tracking).
+    member: Option<Arc<crate::membership::MembershipPlane>>,
     next_msg_id: AtomicU32,
     demux: Mutex<Demux>,
     tracer: Tracer,
@@ -127,6 +130,7 @@ impl VirtualChannel {
         flow: Option<FlowControl>,
         multipath: Option<Arc<MultiPath>>,
         metrics: Option<Arc<crate::metrics_plane::MetricsPlane>>,
+        member: Option<Arc<crate::membership::MembershipPlane>>,
     ) -> Self {
         let tracer = regular
             .values()
@@ -150,6 +154,7 @@ impl VirtualChannel {
             flow,
             multipath,
             metrics,
+            member,
             next_msg_id: AtomicU32::new(0),
             demux: Mutex::new(Demux {
                 asm: StreamAssembler::with_pool(pool.clone()),
@@ -198,6 +203,16 @@ impl VirtualChannel {
     /// [`crate::metrics_plane::MetricsPlane::pull`] of remote snapshots.
     pub fn metrics_plane(&self) -> Option<&Arc<crate::metrics_plane::MetricsPlane>> {
         self.metrics.as_ref()
+    }
+
+    /// This node's membership plane on the channel, when the session
+    /// enabled dynamic membership: the phase-logged
+    /// [`crate::membership::MembershipPlane::join`] /
+    /// [`crate::membership::MembershipPlane::leave`] /
+    /// [`crate::membership::MembershipPlane::rejoin`] handshake plus the
+    /// per-node epoch view.
+    pub fn membership(&self) -> Option<&Arc<crate::membership::MembershipPlane>> {
+        self.member.as_ref()
     }
 
     /// Allocate the tag of a new outgoing stream.
@@ -707,6 +722,14 @@ impl<'d> MultipathWriter<'_, 'd> {
                     }
                     PacketBody::MetricsRequest | PacketBody::MetricsReply => {
                         if let Some(p) = &self.vc.metrics {
+                            p.handle_packet(&tag, &body, &packet);
+                        }
+                    }
+                    // Membership protocol traffic (kind 11) shares the
+                    // special conduit: a late join ack or a peer's leave
+                    // announcement may land while this writer waits.
+                    PacketBody::Member(_) => {
+                        if let Some(p) = &self.vc.member {
                             p.handle_packet(&tag, &body, &packet);
                         }
                     }

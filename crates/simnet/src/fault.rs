@@ -15,13 +15,19 @@
 //!   acking. The mailbox stays open, so the receiver keeps waiting — only
 //!   a deadline above (credit or drain timeout) can detect the loss.
 //!
-//! Faults are registered on the [`crate::SimNet`] *before* the session
-//! wires its conduit meshes; each direction of each wired cable captures
-//! its effective fault (and its own seeded RNG) at wire time.
+//! Every wired cable direction shares a [`FaultCell`] with the registry,
+//! so faults are *live*: [`FaultRegistry::kill_host`] takes effect on
+//! already-wired links, and [`FaultRegistry::revive_host`] /
+//! [`FaultRegistry::heal_link`] undo a death or a link fault mid-run —
+//! the churn soaks kill a gateway under traffic, let the watchdogs mark
+//! it dead, then revive it and drive a rejoin through the membership
+//! plane.
 
 use mad_util::rng::Rng;
 use mad_util::sync::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use vtime::{SimDuration, SimTime};
 
 /// Fault description for one direction of one link.
@@ -42,38 +48,71 @@ pub struct LinkFault {
 }
 
 impl LinkFault {
-    /// True if this fault perturbs anything at all.
-    fn is_active(&self) -> bool {
+    /// True if this fault perturbs delivery times at all.
+    fn perturbs(&self) -> bool {
         self.jitter_max > SimDuration::ZERO
             || (self.stall_prob > 0.0 && self.stall > SimDuration::ZERO)
-            || self.dead_after.is_some()
     }
 }
 
-/// The per-direction state an [`crate::Endpoint`] carries once wired
-/// across a faulty direction.
+/// Sentinel for "this direction never dies" in [`FaultCell::dead_ns`].
+const ALIVE: u64 = u64::MAX;
+
+/// The per-direction state an [`crate::Endpoint`] shares with the
+/// [`FaultRegistry`] once wired. The registry keeps updating it, so
+/// faults registered (or healed) after wiring are visible to live
+/// endpoints immediately.
 #[derive(Debug)]
-pub(crate) struct FaultState {
-    fault: LinkFault,
-    rng: Mutex<Rng>,
+pub(crate) struct FaultCell {
+    /// Effective silent-death instant (nanos); [`ALIVE`] = healthy.
+    /// Merged from the link-level fault and both hosts' death records.
+    dead_ns: AtomicU64,
+    /// Fast-path gate: true while jitter/stall perturbation is configured.
+    perturbs: AtomicBool,
+    state: Mutex<CellState>,
 }
 
-impl FaultState {
+#[derive(Debug)]
+struct CellState {
+    /// The link-level fault only (host deaths live in `dead_ns`).
+    fault: LinkFault,
+    rng: Rng,
+}
+
+impl FaultCell {
+    fn new(seed: u64) -> Self {
+        FaultCell {
+            dead_ns: AtomicU64::new(ALIVE),
+            perturbs: AtomicBool::new(false),
+            state: Mutex::new(CellState {
+                fault: LinkFault::default(),
+                rng: Rng::new(seed),
+            }),
+        }
+    }
+
     /// True once the direction has gone silently dead at `now`.
     pub(crate) fn dead_at(&self, now: SimTime) -> bool {
-        self.fault.dead_after.is_some_and(|t| now >= t)
+        now.0 >= self.dead_ns.load(Ordering::Acquire)
     }
 
     /// Perturb a packet's delivery time with jitter and stalls.
     pub(crate) fn perturb(&self, deliver_at: SimTime) -> SimTime {
-        let mut rng = self.rng.lock();
+        if !self.perturbs.load(Ordering::Acquire) {
+            return deliver_at;
+        }
+        let mut st = self.state.lock();
         let mut at = deliver_at;
-        if self.fault.jitter_max > SimDuration::ZERO {
-            let extra = rng.gen_range(0..self.fault.jitter_max.as_nanos().saturating_add(1));
+        if st.fault.jitter_max > SimDuration::ZERO {
+            let extra = st.fault.jitter_max.as_nanos().saturating_add(1);
+            let extra = st.rng.gen_range(0..extra);
             at = at.after(SimDuration::from_nanos(extra));
         }
-        if self.fault.stall > SimDuration::ZERO && rng.bool_with(self.fault.stall_prob) {
-            at = at.after(self.fault.stall);
+        if st.fault.stall > SimDuration::ZERO {
+            let p = st.fault.stall_prob;
+            if st.rng.bool_with(p) {
+                at = at.after(st.fault.stall);
+            }
         }
         at
     }
@@ -90,51 +129,105 @@ fn fnv(s: &str) -> u64 {
     h
 }
 
-/// Registry of pending faults, consulted when links are wired.
+/// Registry of faults, shared live with every wired cable direction.
 #[derive(Debug, Default)]
 pub(crate) struct FaultRegistry {
     /// Directional faults keyed by (sender host, receiver host) name.
     links: HashMap<(String, String), LinkFault>,
     /// Hosts whose every direction dies at the recorded instant.
     dead_hosts: HashMap<String, SimTime>,
+    /// Live per-direction cells handed to wired endpoints.
+    cells: HashMap<(String, String), Arc<FaultCell>>,
 }
 
 impl FaultRegistry {
     /// Register a fault on the `from` → `to` direction (replaces any
-    /// previously registered fault on that direction).
+    /// previously registered fault on that direction, reseeding its RNG).
+    /// Takes effect on already-wired cables too.
     pub(crate) fn fault_link(&mut self, from: &str, to: &str, fault: LinkFault) {
         self.links.insert((from.to_string(), to.to_string()), fault);
+        if let Some(cell) = self.cells.get(&(from.to_string(), to.to_string())) {
+            let seed = fault.seed ^ fnv(from) ^ fnv(to).rotate_left(17);
+            let mut st = cell.state.lock();
+            st.fault = fault;
+            st.rng = Rng::new(seed);
+        }
+        self.recompute(from, to);
+    }
+
+    /// Remove any link-level fault on the `from` → `to` direction. Host
+    /// deaths registered via [`FaultRegistry::kill_host`] are unaffected.
+    pub(crate) fn heal_link(&mut self, from: &str, to: &str) {
+        self.links.remove(&(from.to_string(), to.to_string()));
+        if let Some(cell) = self.cells.get(&(from.to_string(), to.to_string())) {
+            cell.state.lock().fault = LinkFault::default();
+        }
+        self.recompute(from, to);
     }
 
     /// Mark every direction touching `host` dead from `after` on.
     pub(crate) fn kill_host(&mut self, host: &str, after: SimTime) {
         let entry = self.dead_hosts.entry(host.to_string()).or_insert(after);
         *entry = (*entry).min(after);
+        self.recompute_host(host);
     }
 
-    /// The effective fault state for the `from` → `to` direction, if any.
-    pub(crate) fn effective(&self, from: &str, to: &str) -> Option<FaultState> {
-        let mut fault = self
-            .links
-            .get(&(from.to_string(), to.to_string()))
-            .copied()
-            .unwrap_or_default();
+    /// Erase `host`'s death record: every direction touching it is live
+    /// again (unless the link itself carries a `dead_after` fault). The
+    /// inverse of [`FaultRegistry::kill_host`]; a later kill re-arms it.
+    pub(crate) fn revive_host(&mut self, host: &str) {
+        self.dead_hosts.remove(host);
+        self.recompute_host(host);
+    }
+
+    /// The live fault cell for the `from` → `to` direction, created on
+    /// first use. Wiring captures this; the registry keeps it current.
+    pub(crate) fn effective(&mut self, from: &str, to: &str) -> Arc<FaultCell> {
+        let key = (from.to_string(), to.to_string());
+        if !self.cells.contains_key(&key) {
+            let fault = self.links.get(&key).copied().unwrap_or_default();
+            let seed = fault.seed ^ fnv(from) ^ fnv(to).rotate_left(17);
+            let cell = Arc::new(FaultCell::new(seed));
+            cell.state.lock().fault = fault;
+            self.cells.insert(key.clone(), cell);
+            self.recompute(from, to);
+        }
+        self.cells[&key].clone()
+    }
+
+    /// Refresh the merged state of one direction's cell.
+    fn recompute(&self, from: &str, to: &str) {
+        let key = (from.to_string(), to.to_string());
+        let Some(cell) = self.cells.get(&key) else {
+            return;
+        };
+        let fault = self.links.get(&key).copied().unwrap_or_default();
         let host_death = [from, to]
             .iter()
             .filter_map(|h| self.dead_hosts.get(*h))
             .min()
             .copied();
-        if let Some(t) = host_death {
-            fault.dead_after = Some(fault.dead_after.map_or(t, |d| d.min(t)));
+        let dead = match (fault.dead_after, host_death) {
+            (Some(a), Some(b)) => a.min(b).0,
+            (Some(a), None) => a.0,
+            (None, Some(b)) => b.0,
+            (None, None) => ALIVE,
+        };
+        cell.dead_ns.store(dead, Ordering::Release);
+        cell.perturbs.store(fault.perturbs(), Ordering::Release);
+    }
+
+    /// Refresh every direction touching `host`.
+    fn recompute_host(&self, host: &str) {
+        let keys: Vec<(String, String)> = self
+            .cells
+            .keys()
+            .filter(|(f, t)| f == host || t == host)
+            .cloned()
+            .collect();
+        for (f, t) in keys {
+            self.recompute(&f, &t);
         }
-        if !fault.is_active() {
-            return None;
-        }
-        let seed = fault.seed ^ fnv(from) ^ fnv(to).rotate_left(17);
-        Some(FaultState {
-            fault,
-            rng: Mutex::new(Rng::new(seed)),
-        })
     }
 }
 
@@ -143,9 +236,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn healthy_direction_has_no_state() {
-        let reg = FaultRegistry::default();
-        assert!(reg.effective("a", "b").is_none());
+    fn healthy_direction_is_alive_and_unperturbed() {
+        let mut reg = FaultRegistry::default();
+        let cell = reg.effective("a", "b");
+        assert!(!cell.dead_at(SimTime(u64::MAX - 1)));
+        assert_eq!(cell.perturb(SimTime(5)), SimTime(5));
     }
 
     #[test]
@@ -159,8 +254,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(reg.effective("a", "b").is_some());
-        assert!(reg.effective("b", "a").is_none());
+        assert!(reg.effective("a", "b").perturbs.load(Ordering::Relaxed));
+        assert!(!reg.effective("b", "a").perturbs.load(Ordering::Relaxed));
     }
 
     #[test]
@@ -168,11 +263,42 @@ mod tests {
         let mut reg = FaultRegistry::default();
         reg.kill_host("b", SimTime(2_000));
         reg.kill_host("b", SimTime(1_000));
-        let out = reg.effective("b", "c").expect("sender side dead");
-        let inbound = reg.effective("a", "b").expect("receiver side dead");
+        let out = reg.effective("b", "c");
+        let inbound = reg.effective("a", "b");
         assert!(out.dead_at(SimTime(1_000)));
         assert!(!out.dead_at(SimTime(999)));
         assert!(inbound.dead_at(SimTime(1_500)));
+    }
+
+    #[test]
+    fn kill_after_wiring_reaches_the_live_cell() {
+        let mut reg = FaultRegistry::default();
+        let cell = reg.effective("a", "b");
+        assert!(!cell.dead_at(SimTime(5_000)));
+        reg.kill_host("b", SimTime(3_000));
+        assert!(cell.dead_at(SimTime(5_000)));
+        assert!(!cell.dead_at(SimTime(2_999)));
+    }
+
+    #[test]
+    fn revive_clears_host_death_but_not_link_death() {
+        let mut reg = FaultRegistry::default();
+        reg.fault_link(
+            "a",
+            "b",
+            LinkFault {
+                dead_after: Some(SimTime(9_000)),
+                ..Default::default()
+            },
+        );
+        let cell = reg.effective("a", "b");
+        reg.kill_host("b", SimTime(1_000));
+        assert!(cell.dead_at(SimTime(1_000)));
+        reg.revive_host("b");
+        assert!(!cell.dead_at(SimTime(8_999)), "host death cleared");
+        assert!(cell.dead_at(SimTime(9_000)), "link-level death survives");
+        reg.heal_link("a", "b");
+        assert!(!cell.dead_at(SimTime(9_000)), "healed link is immortal");
     }
 
     #[test]
@@ -188,7 +314,7 @@ mod tests {
                     ..Default::default()
                 },
             );
-            reg.effective("a", "b").expect("active")
+            reg.effective("a", "b")
         };
         let (s1, s2) = (mk(), mk());
         for i in 0..64u64 {

@@ -15,7 +15,7 @@ use vtime::{
     mailbox_with_signal, Actor, Clock, MailReceiver, MailSender, Signal, SimDuration, SimTime,
 };
 
-use crate::fault::{FaultRegistry, FaultState, LinkFault};
+use crate::fault::{FaultCell, FaultRegistry, LinkFault};
 use crate::fluid::{Arbitration, FluidBus, XferClass, XferDir};
 use crate::link::Link;
 
@@ -93,18 +93,31 @@ impl SimNet {
     }
 
     /// Inject a fault on the `from` → `to` direction of any cable wired
-    /// between these hosts *after* this call (wiring captures the
-    /// registered faults). Replaces a previously registered fault on the
-    /// same direction.
+    /// between these hosts. Replaces a previously registered fault on the
+    /// same direction. Live: already-wired cables share their fault state
+    /// with the registry and see the change immediately.
     pub fn fault_link(&self, from: &Arc<Host>, to: &Arc<Host>, fault: LinkFault) {
         self.faults.lock().fault_link(from.name(), to.name(), fault);
     }
 
+    /// Remove any link-level fault on the `from` → `to` direction (host
+    /// deaths are unaffected). Live, like [`SimNet::fault_link`].
+    pub fn heal_link(&self, from: &Arc<Host>, to: &Arc<Host>) {
+        self.faults.lock().heal_link(from.name(), to.name());
+    }
+
     /// Silently kill `host` at virtual instant `after`: every direction
-    /// touching it (wired after this call) drops packets sent past that
-    /// instant without notifying anyone.
+    /// touching it drops packets sent past that instant without notifying
+    /// anyone. Live: wired cables see the death immediately.
     pub fn kill_host(&self, host: &Arc<Host>, after: SimTime) {
         self.faults.lock().kill_host(host.name(), after);
+    }
+
+    /// Erase `host`'s death record: every direction touching it delivers
+    /// again (unless the link itself carries a `dead_after` fault). The
+    /// inverse of [`SimNet::kill_host`]; a later kill re-arms the death.
+    pub fn revive_host(&self, host: &Arc<Host>) {
+        self.faults.lock().revive_host(host.name());
     }
 
     /// Create a host with the given PCI arbitration policy.
@@ -140,7 +153,7 @@ impl SimNet {
         let (tx_to_b, rx_at_b) = mailbox_with_signal::<Frame>(rx_signal_b);
         let (tx_to_a, rx_at_a) = mailbox_with_signal::<Frame>(rx_signal_a);
         let (fault_ab, fault_ba) = {
-            let reg = self.faults.lock();
+            let mut reg = self.faults.lock();
             (
                 reg.effective(a.name(), b.name()),
                 reg.effective(b.name(), a.name()),
@@ -178,8 +191,9 @@ pub struct Endpoint {
     out_link: Arc<Link>,
     tx: MailSender<Frame>,
     rx: MailReceiver<Frame>,
-    /// Injected fault on this endpoint's *outbound* direction.
-    fault: Option<FaultState>,
+    /// Fault state of this endpoint's *outbound* direction — shared live
+    /// with the registry, so mid-run kills/revives are visible here.
+    fault: Arc<FaultCell>,
 }
 
 impl Endpoint {
@@ -202,10 +216,8 @@ impl Endpoint {
     #[must_use]
     pub fn send(&self, actor: &Actor, data: Vec<u8>) -> bool {
         actor.sleep(self.params.overhead_send);
-        if let Some(f) = &self.fault {
-            if f.dead_at(actor.now()) {
-                return false;
-            }
+        if self.fault.dead_at(actor.now()) {
+            return false;
         }
         self.host.bus.transfer(
             actor,
@@ -214,10 +226,9 @@ impl Endpoint {
             data.len() as u64,
             self.params.dev_out_bps,
         );
-        let mut deliver_at = self.out_link.schedule(actor.now(), data.len() as u64);
-        if let Some(f) = &self.fault {
-            deliver_at = f.perturb(deliver_at);
-        }
+        let deliver_at = self
+            .fault
+            .perturb(self.out_link.schedule(actor.now(), data.len() as u64));
         self.tx.send(Frame { data, deliver_at }).is_ok()
     }
 
@@ -256,9 +267,7 @@ impl Endpoint {
     /// a failed [`Endpoint::send`] caused by peer death from an ordinary
     /// teardown disconnect.
     pub fn peer_dead(&self) -> bool {
-        self.fault
-            .as_ref()
-            .is_some_and(|f| f.dead_at(self.clock.now()))
+        self.fault.dead_at(self.clock.now())
     }
 
     /// The signal bumped whenever a frame is enqueued for this endpoint.

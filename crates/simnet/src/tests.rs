@@ -248,6 +248,33 @@ fn endpoint_round_trip_carries_data_and_charges_time() {
 }
 
 #[test]
+fn host_death_is_live_and_revivable_mid_run() {
+    let clock = Clock::new();
+    let net = SimNet::new(&clock);
+    let arb = Arbitration::unconstrained();
+    let h_a = net.host("a", arb);
+    let h_b = net.host("b", arb);
+    let (ep_a, ep_b) = net.wire(&h_a, &h_b, calibration::fast_ethernet_tcp());
+    // Killing *after* wiring must still reach the live cable.
+    net.kill_host(&h_b, SimTime(1_000));
+    let setup = clock.freeze();
+    let net2 = net.clone();
+    let h_b2 = h_b.clone();
+    let sender = clock.spawn("sender", move |a| {
+        a.sleep(SimDuration::from_nanos(2_000));
+        assert!(!ep_a.send(a, vec![1u8; 8]), "send into a dead host");
+        assert!(ep_a.peer_dead());
+        net2.revive_host(&h_b2);
+        assert!(!ep_a.peer_dead(), "revive clears the death record");
+        assert!(ep_a.send(a, vec![2u8; 8]), "send after revival");
+    });
+    let receiver = clock.spawn("receiver", move |a| ep_b.recv(a).expect("revived frame"));
+    drop(setup);
+    sender.join().unwrap();
+    assert_eq!(receiver.join().unwrap(), vec![2u8; 8]);
+}
+
+#[test]
 fn endpoint_recv_none_after_peer_drop() {
     let clock = Clock::new();
     let net = SimNet::new(&clock);

@@ -35,6 +35,15 @@ MAD_ENGINE=reactor cargo test -q --offline --release --test gateway_drain
 MAD_ENGINE=reactor cargo test -q --offline --release --test multipath
 MAD_ENGINE=reactor cargo test -q --offline --release --test metrics
 
+# The dynamic-membership suite under both engine cores: the seeded churn
+# soak (join/leave/rejoin under bulk traffic — zero hangs, zero lost
+# acknowledged streams, zero stale-incarnation drops) plus the
+# self-tuning controller's starvation response.
+echo
+echo "== membership suite, both engine cores (MAD_SOAK_SEED=20010914)"
+MAD_SOAK_SEED=20010914 cargo test -q --offline --release --test membership
+MAD_SOAK_SEED=20010914 MAD_ENGINE=reactor cargo test -q --offline --release --test membership
+
 # One traced run on each backend (sim, fault-injected sim with a credit
 # window, shm), then validate the exported JSONL against the schema
 # checker: every line must parse, carry the required keys, and keep
@@ -96,6 +105,17 @@ echo "== multipath_scaling --smoke, reactor engine, traced"
 MAD_ENGINE=reactor cargo run -q --release --offline -p mad-bench --bin multipath_scaling -- \
   --smoke --trace "$trace_dir/a8-reactor.jsonl"
 
+# A11 smoke, both engine cores: the seeded membership-churn soak with its
+# in-binary delivery/readmission/stale-drop assertions, traced — the
+# exports must carry the member: and ctl: tracks, enforced via
+# trace_check --require-membership below.
+echo
+echo "== membership_churn --smoke, both engine cores, traced (A11 dynamic membership)"
+MAD_SOAK_SEED=20010914 cargo run -q --release --offline -p mad-bench --bin membership_churn -- \
+  --smoke --trace "$trace_dir/a11.jsonl"
+MAD_SOAK_SEED=20010914 MAD_ENGINE=reactor cargo run -q --release --offline -p mad-bench --bin membership_churn -- \
+  --smoke --trace "$trace_dir/a11-reactor.jsonl"
+
 cargo run -q --release --offline -p mad-bench --bin trace_check -- \
   "$trace_dir/ci.sim.jsonl" "$trace_dir/ci.fault.jsonl" "$trace_dir/ci.shm.jsonl" \
   "$trace_dir/a7.jsonl"
@@ -103,6 +123,8 @@ cargo run -q --release --offline -p mad-bench --bin trace_check -- \
   --require-route "$trace_dir/a8.jsonl" "$trace_dir/a8-reactor.jsonl"
 cargo run -q --release --offline -p mad-bench --bin trace_check -- \
   --require-metrics "$trace_dir/madtop.jsonl" "$trace_dir/madtop-reactor.jsonl"
+cargo run -q --release --offline -p mad-bench --bin trace_check -- \
+  --require-membership "$trace_dir/a11.jsonl" "$trace_dir/a11-reactor.jsonl"
 
 # Lints gate only when clippy is actually installed (sealed containers
 # may ship a toolchain without the component).
