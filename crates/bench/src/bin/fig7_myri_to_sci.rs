@@ -11,6 +11,14 @@ use mad_sim::SimTech;
 fn main() {
     // Optional gateway transmit batching (A7): --max-batch <n>, default 1.
     let max_batch = mad_bench::cli::max_batch();
+    // Optional protocol switch (A12): --rendezvous-threshold <bytes>,
+    // default 0 = eager-only. The handshake needs flow control, so a
+    // nonzero threshold also turns on the standard credit window.
+    let rendezvous_threshold = mad_bench::cli::rendezvous_threshold();
+    let credit_window = (rendezvous_threshold > 0).then_some(8);
+    if rendezvous_threshold > 0 {
+        println!("protocol switch on: rendezvous >= {rendezvous_threshold} B, credit window 8");
+    }
     let mut header = vec!["message".to_string()];
     header.extend(grids::PACKET_SIZES.iter().map(|p| fmt_bytes(*p)));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -27,6 +35,8 @@ fn main() {
                 msg,
                 GwSetup {
                     max_batch,
+                    rendezvous_threshold,
+                    credit_window,
                     ..GwSetup::with_mtu(packet)
                 },
             );
@@ -49,6 +59,8 @@ fn main() {
             512 * 1024,
             GwSetup {
                 max_batch,
+                rendezvous_threshold,
+                credit_window,
                 ..GwSetup::with_mtu(16 * 1024)
             },
         );

@@ -26,6 +26,20 @@ pub fn max_batch() -> usize {
         .unwrap_or(1)
 }
 
+/// The protocol-switch threshold in bytes from `--rendezvous-threshold
+/// <n>` (or `--rendezvous-threshold=<n>`), defaulting to 0 — eager-only,
+/// the pre-switch ablation. Accepted by the forwarded-route bench
+/// binaries; blocks of at least this many bytes run the kind-12 RTS/CTS
+/// rendezvous handshake instead of per-fragment eager credits.
+pub fn rendezvous_threshold() -> usize {
+    opt_value("--rendezvous-threshold")
+        .map(|v| {
+            v.parse()
+                .expect("--rendezvous-threshold takes a byte count")
+        })
+        .unwrap_or(0)
+}
+
 fn opt_value(name: &str) -> Option<String> {
     let prefix = format!("{name}=");
     let mut args = std::env::args().skip(1).peekable();

@@ -61,6 +61,11 @@ pub struct GwSetup {
     /// Max packets the gateway coalesces into one batched wire send
     /// (1 = batching off).
     pub max_batch: usize,
+    /// Blocks of at least this many bytes run the kind-12 RTS/CTS
+    /// rendezvous handshake (whole-window grant, pre-reserved landing)
+    /// instead of per-fragment eager credits; 0 keeps every block eager.
+    /// Only meaningful with a `credit_window`.
+    pub rendezvous_threshold: usize,
 }
 
 impl Default for GwSetup {
@@ -74,6 +79,7 @@ impl Default for GwSetup {
             outbound_override: None,
             credit_window: None,
             max_batch: 1,
+            rendezvous_threshold: 0,
         }
     }
 }
@@ -166,6 +172,7 @@ fn run_forwarded_stats(
                 zero_copy: setup.zero_copy,
                 credit_window: setup.credit_window,
                 max_batch: setup.max_batch,
+                rendezvous_threshold: setup.rendezvous_threshold,
                 ..Default::default()
             },
             ..Default::default()
@@ -225,6 +232,170 @@ pub fn forwarded_oneway_stats(
 ) -> (Measurement, madeleine::gateway::GatewayTotals) {
     let tb = Testbed::new(3);
     run_forwarded_stats(&tb, from, to, total, setup)
+}
+
+/// Outcome of one mixed-protocol round workload (see
+/// [`protocol_mix_stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MixOutcome {
+    /// Aggregate measurement over every round.
+    pub m: Measurement,
+    /// The gateway engine's forwarding counters, including the
+    /// copy-placement split (`copies_recv` / `copies_flush` /
+    /// `copy_idle_hits`) and the rendezvous handshake totals.
+    pub totals: madeleine::gateway::GatewayTotals,
+    /// Buffer-pool misses incurred *after* the first (warm-up) round.
+    /// The rendezvous pre-reservation exists to keep this at zero: every
+    /// landing class a bulk block needs is announced before its
+    /// fragments arrive.
+    pub steady_pool_misses: u64,
+}
+
+/// Mixed eager/rendezvous workload through the E3 gateway: `rounds`
+/// rounds of the `pattern` message sizes, rank 0 → rank 2, with a
+/// barrier between rounds so each round starts from a drained pipeline.
+/// Sizes on both sides of `setup.rendezvous_threshold` keep both
+/// protocols live on the same gateway, which is what the copy-placement
+/// scheduler and the steady-state pool invariant are measured against.
+///
+/// `pace_ns` is a sender-side gap charged before each message: it models
+/// an application that computes between sends, so the gateway pipeline
+/// has drained by the time the next message arrives. A zero pace is a
+/// saturation workload where every stage stays busy and the placement
+/// question is moot (there is no idle stage to find).
+pub fn protocol_mix_stats(
+    from: SimTech,
+    to: SimTech,
+    pattern: &[usize],
+    rounds: u32,
+    pace_ns: u64,
+    setup: GwSetup,
+) -> MixOutcome {
+    let tb = Testbed::new(3);
+    run_protocol_mix(&tb, from, to, pattern, rounds, pace_ns, setup)
+}
+
+/// Like [`protocol_mix_stats`] but recording the unified event trace —
+/// the teardown flush lands the `proto:` handshake totals and the `rt:`
+/// copy-placement accounting on their own tracks.
+pub fn protocol_mix_traced(
+    from: SimTech,
+    to: SimTech,
+    pattern: &[usize],
+    rounds: u32,
+    pace_ns: u64,
+    setup: GwSetup,
+) -> (MixOutcome, mad_trace::Snapshot) {
+    let trace = TraceLog::new();
+    let tb = Testbed::with_trace(3, trace.clone());
+    let run = run_protocol_mix(&tb, from, to, pattern, rounds, pace_ns, setup);
+    (run, trace.tracer().snapshot())
+}
+
+fn run_protocol_mix(
+    tb: &Testbed,
+    from: SimTech,
+    to: SimTech,
+    pattern: &[usize],
+    rounds: u32,
+    pace_ns: u64,
+    setup: GwSetup,
+) -> MixOutcome {
+    let rt = tb.runtime();
+    let mut sb = SessionBuilder::new(3).with_runtime(rt);
+    let in_driver = SimDriver::with_params(
+        from,
+        capped_params(from, setup.inbound_rate_cap),
+        tb.net().clone(),
+        tb.hosts().to_vec(),
+        tb.runtime(),
+    );
+    let n_in = sb.network("net-in", in_driver, &[0, 1]);
+    let n_out = sb.network("net-out", tb.driver(to), &[1, 2]);
+    sb.vchannel(
+        "vc",
+        &[n_in, n_out],
+        VcOptions {
+            mtu: Some(setup.mtu),
+            gateway: GatewayConfig {
+                pipeline_depth: setup.pipeline_depth,
+                switch_overhead_ns: setup.switch_overhead_ns,
+                zero_copy: setup.zero_copy,
+                credit_window: setup.credit_window,
+                max_batch: setup.max_batch,
+                rendezvous_threshold: setup.rendezvous_threshold,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let sizes: Vec<usize> = pattern.to_vec();
+    let (results, gw_stats) = sb.run_with_gateway_stats(move |node| {
+        let vc = node.vchannel("vc");
+        let rt = node.runtime().clone();
+        node.barrier().wait();
+        let mut out = (0u64, 0u64, 0u64); // (t0, t_end, steady misses)
+        let mut warm_misses = 0u64;
+        for round in 0..rounds {
+            match node.rank().0 {
+                0 => {
+                    if round == 0 {
+                        out.0 = rt.now_nanos();
+                    }
+                    for (i, &len) in sizes.iter().enumerate() {
+                        if pace_ns > 0 {
+                            rt.charge_overhead(pace_ns);
+                        }
+                        let data = stream_payload(round.wrapping_mul(31) ^ i as u32, len);
+                        let mut w = vc.begin_packing(NodeId(2)).unwrap();
+                        w.pack(&data, SendMode::Later, RecvMode::Cheaper).unwrap();
+                        w.end_packing().unwrap();
+                    }
+                }
+                2 => {
+                    for (i, &len) in sizes.iter().enumerate() {
+                        let mut buf = vec![0u8; len];
+                        let mut r = vc.begin_unpacking().unwrap();
+                        r.unpack(&mut buf, SendMode::Later, RecvMode::Cheaper)
+                            .unwrap();
+                        r.end_unpacking().unwrap();
+                        assert_eq!(
+                            buf,
+                            stream_payload(round.wrapping_mul(31) ^ i as u32, len),
+                            "round {round} message #{i} corrupted"
+                        );
+                    }
+                    out.1 = rt.now_nanos();
+                }
+                _ => {}
+            }
+            // Every round drains fully before the next begins, so round 0
+            // warms every pool class the workload can touch and the later
+            // rounds must run miss-free.
+            node.barrier().wait();
+            if node.rank() == NodeId(0) {
+                if round == 0 {
+                    warm_misses = rt.pool().stats().misses;
+                } else {
+                    out.2 = rt.pool().stats().misses - warm_misses;
+                }
+            }
+        }
+        out
+    });
+    let totals = gw_stats
+        .first()
+        .map(|(_, _, st)| st.totals())
+        .unwrap_or_default();
+    let bytes: usize = pattern.iter().sum::<usize>() * rounds as usize;
+    MixOutcome {
+        m: Measurement {
+            bytes,
+            seconds: (results[2].1 - results[0].0) as f64 / 1e9,
+        },
+        totals,
+        steady_pool_misses: results[0].2,
+    }
 }
 
 /// One-way transfer of `total` bytes between two directly connected nodes,

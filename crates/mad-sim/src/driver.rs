@@ -298,6 +298,12 @@ impl Conduit for SimConduit {
         self.ep.ready()
     }
 
+    fn backlog(&self) -> bool {
+        // A frame whose modeled arrival is still in the future is on the
+        // wire, not awaiting service at this NIC.
+        self.ep.deliverable()
+    }
+
     fn closed(&self) -> bool {
         self.ep.closed()
     }

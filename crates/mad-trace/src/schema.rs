@@ -394,8 +394,20 @@ pub const GW_EVENT_NAMES: [&str; 14] = [
 
 /// Event names allowed on an `rt:` track (all `count`s, cat `runtime`):
 /// the session's end-of-run thread-budget accounting — runtime-spawned
-/// threads plus the reactor pools' worker and task totals.
-pub const RT_EVENT_NAMES: [&str; 3] = ["threads_spawned", "reactor_workers", "reactor_tasks"];
+/// threads plus the reactor pools' worker and task totals — and, on the
+/// per-gateway `rt:{vc}@{node}` tracks, the copy-placement scheduler's
+/// accounting: where relay copies landed (receive- or flush-staged), how
+/// many found their stage idle, and each stage's cumulative busy time.
+pub const RT_EVENT_NAMES: [&str; 8] = [
+    "threads_spawned",
+    "reactor_workers",
+    "reactor_tasks",
+    "copies_recv",
+    "copies_flush",
+    "copy_idle_hits",
+    "recv_busy_ns",
+    "flush_busy_ns",
+];
 
 /// Event names allowed on a `metrics:` track (all `count`s, cat
 /// `metrics`): the teardown flush of each node's live registry —
@@ -403,7 +415,7 @@ pub const RT_EVENT_NAMES: [&str; 3] = ["threads_spawned", "reactor_workers", "re
 /// `stripe_path_bytes` keyed by `args.gateway`, `queue_depth` paired
 /// with its `queue_depth_peak` high-water mark) plus the derived
 /// quantiles of the three latency histograms.
-pub const METRICS_EVENT_NAMES: [&str; 30] = [
+pub const METRICS_EVENT_NAMES: [&str; 35] = [
     "degradations",
     "health_credit_starvation",
     "health_queue_saturation",
@@ -434,6 +446,11 @@ pub const METRICS_EVENT_NAMES: [&str; 30] = [
     "reactor_poll_ns_p99",
     "reactor_poll_ns_max",
     "reactor_poll_ns_count",
+    "gw_copy_bytes_p50",
+    "gw_copy_bytes_p90",
+    "gw_copy_bytes_p99",
+    "gw_copy_bytes_max",
+    "gw_copy_bytes_count",
 ];
 
 /// Event names allowed on a `health:` track (all `count`s, cat
@@ -474,14 +491,30 @@ pub const MEMBERSHIP_EVENT_NAMES: [&str; 18] = [
 /// Event names allowed on a `ctl:` track (all `count`s, cat `ctl`): the
 /// self-tuning controller's live retune steps (each carrying the new
 /// value) plus the final operating point its stop tick records.
-pub const CONTROL_EVENT_NAMES: [&str; 7] = [
+pub const CONTROL_EVENT_NAMES: [&str; 10] = [
     "window_raise",
     "window_lower",
     "batch_raise",
     "batch_lower",
+    "rendezvous_raise",
+    "rendezvous_lower",
     "window",
     "batch",
+    "rendezvous",
     "adjustments",
+];
+
+/// Event names allowed on a `proto:` track (all `count`s, cat `proto`):
+/// the protocol plane's teardown totals — the writer-side eager vs
+/// rendezvous block split and prepaid-grant fragment count on endpoint
+/// tracks, the kind-12 RTS/CTS control exchanges served on gateway
+/// tracks (both may appear on one track when a gateway also sends).
+pub const RENDEZVOUS_EVENT_NAMES: [&str; 5] = [
+    "rendezvous_blocks",
+    "eager_blocks",
+    "granted_fragments",
+    "rts_relayed",
+    "cts_sent",
 ];
 
 /// What [`validate_route_tracks`] found.
@@ -501,6 +534,8 @@ pub struct RouteSummary {
     pub member_events: usize,
     /// Events on `ctl:` tracks.
     pub ctl_events: usize,
+    /// Events on `proto:` tracks.
+    pub proto_events: usize,
 }
 
 /// Validate the routing-plane tracks of a JSONL trace: every event on a
@@ -547,6 +582,8 @@ pub fn validate_route_tracks(text: &str) -> Result<RouteSummary, String> {
                 )
             } else if thread.starts_with("ctl:") {
                 ("ctl", &CONTROL_EVENT_NAMES, &mut summary.ctl_events)
+            } else if thread.starts_with("proto:") {
+                ("proto", &RENDEZVOUS_EVENT_NAMES, &mut summary.proto_events)
             } else {
                 continue;
             };
@@ -706,6 +743,27 @@ mod tests {
             .unwrap_err()
             .contains("unknown event"));
         let bad_cat = "{\"ts\":1,\"thread\":\"ctl:vc@0\",\"kind\":\"count\",\"cat\":\"member\",\"name\":\"window\",\"value\":8}\n";
+        assert!(validate_route_tracks(bad_cat).unwrap_err().contains("cat"));
+    }
+
+    #[test]
+    fn proto_tracks_validate() {
+        let text = "\
+{\"ts\":1,\"thread\":\"proto:vc@0\",\"kind\":\"count\",\"cat\":\"proto\",\"name\":\"rendezvous_blocks\",\"value\":4}
+{\"ts\":2,\"thread\":\"proto:vc@0\",\"kind\":\"count\",\"cat\":\"proto\",\"name\":\"eager_blocks\",\"value\":9}
+{\"ts\":3,\"thread\":\"proto:vc@0\",\"kind\":\"count\",\"cat\":\"proto\",\"name\":\"granted_fragments\",\"value\":128}
+{\"ts\":4,\"thread\":\"proto:vc@1\",\"kind\":\"count\",\"cat\":\"proto\",\"name\":\"rts_relayed\",\"value\":4}
+{\"ts\":5,\"thread\":\"proto:vc@1\",\"kind\":\"count\",\"cat\":\"proto\",\"name\":\"cts_sent\",\"value\":4}
+{\"ts\":6,\"thread\":\"rt:vc@1\",\"kind\":\"count\",\"cat\":\"runtime\",\"name\":\"copies_flush\",\"value\":3}
+{\"ts\":7,\"thread\":\"ctl:vc@1\",\"kind\":\"count\",\"cat\":\"ctl\",\"name\":\"rendezvous\",\"value\":65536}
+";
+        let s = validate_route_tracks(text).unwrap();
+        assert_eq!((s.proto_events, s.rt_events, s.ctl_events), (5, 1, 1));
+        let bad_name = "{\"ts\":1,\"thread\":\"proto:vc@0\",\"kind\":\"count\",\"cat\":\"proto\",\"name\":\"zap\",\"value\":1}\n";
+        assert!(validate_route_tracks(bad_name)
+            .unwrap_err()
+            .contains("unknown event"));
+        let bad_cat = "{\"ts\":1,\"thread\":\"proto:vc@0\",\"kind\":\"count\",\"cat\":\"gateway\",\"name\":\"cts_sent\",\"value\":1}\n";
         assert!(validate_route_tracks(bad_cat).unwrap_err().contains("cat"));
     }
 

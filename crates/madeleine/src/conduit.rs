@@ -194,6 +194,18 @@ pub trait Conduit: Send {
     /// True if a packet is already queued (never blocks).
     fn ready(&self) -> bool;
 
+    /// True if a packet is awaiting service *right now* (never blocks).
+    /// Defaults to [`Conduit::ready`]; drivers whose transport models
+    /// in-flight delivery delay (the simulated NICs) override this to
+    /// exclude packets still on the wire in modeled time — `ready` sees
+    /// those as soon as the sender runs ahead, but nothing is actually
+    /// backlogged at this end yet. The gateway's copy-placement
+    /// accounting uses this to decide whether a receive-side copy
+    /// delayed real work.
+    fn backlog(&self) -> bool {
+        self.ready()
+    }
+
     /// True once the peer is gone *and* no queued packet remains: no data
     /// will ever arrive again. Lets multiplexed receivers terminate cleanly
     /// at session teardown.

@@ -52,14 +52,24 @@ pub struct Tuning {
     window: AtomicU32,
     /// Effective forwarding batch cap in sub-packets per train.
     batch: AtomicUsize,
+    /// Effective rendezvous threshold in bytes; 0 encodes "eager-only"
+    /// (a zero bootstrap threshold stays eager-only — the controller
+    /// never turns the rendezvous path on or off, only moves an enabled
+    /// crossover point).
+    rendezvous: AtomicUsize,
 }
 
 impl Tuning {
     /// Seed the tuning from the bootstrap gateway knobs.
-    pub fn new(credit_window: Option<u32>, max_batch: usize) -> Arc<Self> {
+    pub fn new(
+        credit_window: Option<u32>,
+        max_batch: usize,
+        rendezvous_threshold: usize,
+    ) -> Arc<Self> {
         Arc::new(Tuning {
             window: AtomicU32::new(credit_window.unwrap_or(0)),
             batch: AtomicUsize::new(max_batch.max(1)),
+            rendezvous: AtomicUsize::new(rendezvous_threshold),
         })
     }
 
@@ -74,6 +84,11 @@ impl Tuning {
     /// The effective forwarding batch cap.
     pub fn max_batch(&self) -> usize {
         self.batch.load(Ordering::Relaxed)
+    }
+
+    /// The effective rendezvous threshold in bytes (0 = eager-only).
+    pub fn rendezvous_threshold(&self) -> usize {
+        self.rendezvous.load(Ordering::Relaxed)
     }
 }
 
@@ -100,6 +115,12 @@ pub struct ControllerConfig {
     /// Stall fraction of handoff attempts above which a busy window
     /// counts as saturated.
     pub saturation_stall_ratio: f64,
+    /// Rendezvous-threshold stride per decision, in bytes.
+    pub rendezvous_step: usize,
+    /// Lower clamp of the retuned rendezvous threshold.
+    pub rendezvous_floor: usize,
+    /// Upper clamp of the retuned rendezvous threshold.
+    pub rendezvous_ceil: usize,
 }
 
 impl Default for ControllerConfig {
@@ -113,6 +134,9 @@ impl Default for ControllerConfig {
             hysteresis_ticks: 2,
             saturation_min_stalls: 8,
             saturation_stall_ratio: 0.5,
+            rendezvous_step: 16 * 1024,
+            rendezvous_floor: 4 * 1024,
+            rendezvous_ceil: 1024 * 1024,
         }
     }
 }
@@ -128,6 +152,7 @@ pub(crate) struct Controller {
     /// Bootstrap operating point calm decays back toward.
     base_window: u32,
     base_batch: usize,
+    base_rendezvous: usize,
     /// True when the bootstrap config enabled batching — the only case
     /// in which the controller may raise the batch (see module docs).
     may_batch: bool,
@@ -147,6 +172,7 @@ impl Controller {
     ) -> Controller {
         let base_window = tuning.window.load(Ordering::Relaxed);
         let base_batch = tuning.batch.load(Ordering::Relaxed);
+        let base_rendezvous = tuning.rendezvous.load(Ordering::Relaxed);
         Controller {
             cfg,
             tuning,
@@ -155,6 +181,7 @@ impl Controller {
             track,
             base_window,
             base_batch,
+            base_rendezvous,
             may_batch: base_batch > 1,
             starve_streak: 0,
             sat_streak: 0,
@@ -205,6 +232,27 @@ impl Controller {
         }
     }
 
+    /// Step the rendezvous threshold by `delta` bytes, clamped to the
+    /// configured band, tracing the new value. No-op when the rendezvous
+    /// path is off (threshold 0) or the clamp absorbs the whole step —
+    /// the controller moves the crossover point, it never flips the
+    /// protocol switch itself.
+    fn step_rendezvous(&mut self, delta: i64, name: &'static str) {
+        let cur = self.tuning.rendezvous.load(Ordering::Relaxed);
+        if cur == 0 {
+            return;
+        }
+        let next = (cur as i64 + delta).clamp(
+            self.cfg.rendezvous_floor as i64,
+            self.cfg.rendezvous_ceil as i64,
+        ) as usize;
+        if next != cur {
+            self.tuning.rendezvous.store(next, Ordering::Relaxed);
+            self.adjustments += 1;
+            self.trace(name, next as i64);
+        }
+    }
+
     /// Evaluate one window ending `now`.
     pub(crate) fn tick(&mut self, now_ns: u64) {
         let d = self.stats.delta_for(DeltaCursor::Controller, now_ns);
@@ -229,17 +277,23 @@ impl Controller {
 
         if self.starve_streak >= self.cfg.hysteresis_ticks {
             // Credit starvation: writers hit their grant deadline. Widen
-            // the window so freshly opened streams get deeper credit.
+            // the window so freshly opened streams get deeper credit,
+            // and lower the rendezvous crossover so more blocks take the
+            // whole-window grant instead of per-fragment takes.
             self.step_window(self.cfg.window_step as i64, "window_raise");
+            self.step_rendezvous(-(self.cfg.rendezvous_step as i64), "rendezvous_lower");
             self.starve_streak = 0;
             return;
         }
         if self.sat_streak >= self.cfg.hysteresis_ticks {
             // Queue saturation: handoffs keep finding the pipeline full.
-            // Amortize per-train overhead with a bigger batch and trim
-            // the window so fewer packets pile into the choked hop.
+            // Amortize per-train overhead with a bigger batch, trim the
+            // window so fewer packets pile into the choked hop, and
+            // raise the rendezvous crossover so fewer whole windows
+            // flood into it at once.
             self.step_batch(1, "batch_raise");
             self.step_window(-(self.cfg.window_step as i64), "window_lower");
+            self.step_rendezvous(self.cfg.rendezvous_step as i64, "rendezvous_raise");
             self.sat_streak = 0;
             return;
         }
@@ -267,6 +321,21 @@ impl Controller {
                 if b > self.base_batch {
                     self.step_batch(-1, "batch_lower");
                 }
+                let r = self.tuning.rendezvous.load(Ordering::Relaxed);
+                if r != 0 && r != self.base_rendezvous {
+                    let (delta, name) = if r > self.base_rendezvous {
+                        (
+                            -((r - self.base_rendezvous).min(self.cfg.rendezvous_step) as i64),
+                            "rendezvous_lower",
+                        )
+                    } else {
+                        (
+                            ((self.base_rendezvous - r).min(self.cfg.rendezvous_step)) as i64,
+                            "rendezvous_raise",
+                        )
+                    };
+                    self.step_rendezvous(delta, name);
+                }
                 self.calm_streak = 0;
             }
         }
@@ -281,6 +350,10 @@ impl Controller {
         self.trace("adjustments", self.adjustments as i64);
         self.trace("window", self.tuning.window.load(Ordering::Relaxed) as i64);
         self.trace("batch", self.tuning.batch.load(Ordering::Relaxed) as i64);
+        self.trace(
+            "rendezvous",
+            self.tuning.rendezvous.load(Ordering::Relaxed) as i64,
+        );
     }
 }
 
@@ -349,7 +422,16 @@ mod tests {
     use mad_trace::Tracer;
 
     fn controller(cfg: ControllerConfig, window: Option<u32>, batch: usize) -> Controller {
-        let tuning = Tuning::new(window, batch);
+        controller_rdv(cfg, window, batch, 0)
+    }
+
+    fn controller_rdv(
+        cfg: ControllerConfig,
+        window: Option<u32>,
+        batch: usize,
+        rendezvous: usize,
+    ) -> Controller {
+        let tuning = Tuning::new(window, batch, rendezvous);
         let stats = Arc::new(GatewayStats::default());
         Controller::new(cfg, tuning, stats, Tracer::off(), "ctl:t@0".into())
     }
@@ -365,11 +447,64 @@ mod tests {
 
     #[test]
     fn tuning_encodes_disabled_window_as_none() {
-        let t = Tuning::new(None, 4);
+        let t = Tuning::new(None, 4, 0);
         assert_eq!(t.credit_window(), None);
         assert_eq!(t.max_batch(), 4);
-        let t = Tuning::new(Some(8), 1);
+        assert_eq!(t.rendezvous_threshold(), 0);
+        let t = Tuning::new(Some(8), 1, 64 * 1024);
         assert_eq!(t.credit_window(), Some(8));
+        assert_eq!(t.rendezvous_threshold(), 64 * 1024);
+    }
+
+    #[test]
+    fn starvation_lowers_rendezvous_threshold() {
+        let cfg = ControllerConfig {
+            hysteresis_ticks: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller_rdv(cfg, Some(8), 1, 64 * 1024);
+        starve(&c);
+        c.tick(cfg.interval_ns);
+        assert_eq!(
+            c.tuning.rendezvous_threshold(),
+            64 * 1024 - cfg.rendezvous_step
+        );
+        // Saturation pushes it back up.
+        saturate(&c);
+        c.tick(2 * cfg.interval_ns);
+        assert_eq!(c.tuning.rendezvous_threshold(), 64 * 1024);
+    }
+
+    #[test]
+    fn rendezvous_steps_stay_clamped_and_calm_decays() {
+        let cfg = ControllerConfig {
+            hysteresis_ticks: 1,
+            rendezvous_floor: 40 * 1024,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller_rdv(cfg, Some(8), 1, 48 * 1024);
+        starve(&c);
+        c.tick(cfg.interval_ns);
+        assert_eq!(c.tuning.rendezvous_threshold(), 40 * 1024); // clamped at floor
+                                                                // Calm decays back toward the bootstrap threshold.
+        let mut now = cfg.interval_ns;
+        for _ in 0..4 {
+            now += cfg.interval_ns;
+            c.tick(now);
+        }
+        assert_eq!(c.tuning.rendezvous_threshold(), 48 * 1024);
+    }
+
+    #[test]
+    fn controller_never_enables_eager_only_rendezvous() {
+        let cfg = ControllerConfig {
+            hysteresis_ticks: 1,
+            ..ControllerConfig::default()
+        };
+        let mut c = controller_rdv(cfg, Some(8), 1, 0);
+        saturate(&c);
+        c.tick(cfg.interval_ns);
+        assert_eq!(c.tuning.rendezvous_threshold(), 0); // stays eager-only
     }
 
     #[test]

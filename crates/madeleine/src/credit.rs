@@ -49,6 +49,21 @@ use crate::types::NodeId;
 struct Entry {
     available: u64,
     cancelled: Option<CancelReason>,
+    /// A whole-window rendezvous grant (kind-12 CTS) parked for the
+    /// writer to claim, separate from `available` so per-fragment eager
+    /// takes never consume a grant that a rendezvous block is waiting on.
+    grant: Option<u32>,
+}
+
+/// Outcome of claiming a parked rendezvous grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantOutcome {
+    /// The receiver's CTS arrived: this many fragments are prepaid.
+    Granted(u32),
+    /// No CTS yet (or the stream is unknown): wait.
+    Pending,
+    /// The stream was cancelled; stop sending and surface the reason.
+    Cancelled(CancelReason),
 }
 
 /// Outcome of a non-blocking credit take.
@@ -109,6 +124,7 @@ impl CreditLedger {
             Entry {
                 available: window as u64,
                 cancelled: None,
+                grant: None,
             },
         );
     }
@@ -127,6 +143,39 @@ impl CreditLedger {
             e.available += n as u64;
             drop(st);
             self.event.bump();
+        }
+    }
+
+    /// Park a rendezvous grant (kind-12 CTS) for the stream's writer.
+    /// Multiple grants accumulate (one CTS per rendezvous block may be in
+    /// flight on a long stream); grants for unknown streams are dropped —
+    /// a late CTS from a drained hop is harmless.
+    pub fn grant(&self, key: StreamKey, window: u32) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.get_mut(&key) {
+            let parked = e.grant.unwrap_or(0);
+            e.grant = Some(parked.saturating_add(window));
+            drop(st);
+            self.event.bump();
+        }
+    }
+
+    /// Claim a parked rendezvous grant, without blocking.
+    pub fn take_grant(&self, key: StreamKey) -> GrantOutcome {
+        let mut st = self.state.lock();
+        match st.get_mut(&key) {
+            Some(e) => {
+                if let Some(r) = e.cancelled {
+                    GrantOutcome::Cancelled(r)
+                } else if let Some(w) = e.grant.take() {
+                    GrantOutcome::Granted(w)
+                } else {
+                    GrantOutcome::Pending
+                }
+            }
+            // An unknown account reads as "no CTS yet": the caller's
+            // deadline turns a genuinely lost account into a typed error.
+            None => GrantOutcome::Pending,
         }
     }
 
@@ -240,6 +289,26 @@ pub struct FlowControl {
     /// The channel's live operating point: when present, freshly opened
     /// streams take their window from it instead of the bootstrap value.
     tuning: Option<Arc<crate::control::Tuning>>,
+    /// Bootstrap rendezvous threshold in bytes (0 = eager-only). Blocks at
+    /// least this large run the kind-12 RTS/CTS handshake.
+    rendezvous: usize,
+    /// Writer-side protocol counters, flushed to the `proto:` trace track
+    /// at session teardown.
+    proto: Option<Arc<ProtoStats>>,
+}
+
+/// Writer-side protocol-plane counters: how many blocks took each path
+/// and how many fragments flowed under prepaid rendezvous grants. Shared
+/// by every writer on one (virtual channel, node).
+#[derive(Debug, Default)]
+pub struct ProtoStats {
+    /// Blocks that ran the kind-12 rendezvous handshake.
+    pub rendezvous_blocks: std::sync::atomic::AtomicU64,
+    /// Blocks that stayed on the eager path.
+    pub eager_blocks: std::sync::atomic::AtomicU64,
+    /// Fragments sent under a prepaid whole-window grant (no per-fragment
+    /// credit take).
+    pub granted_fragments: std::sync::atomic::AtomicU64,
 }
 
 impl FlowControl {
@@ -253,6 +322,8 @@ impl FlowControl {
             plane: None,
             member: None,
             tuning: None,
+            rendezvous: 0,
+            proto: None,
         }
     }
 
@@ -280,6 +351,19 @@ impl FlowControl {
         self
     }
 
+    /// Set the bootstrap rendezvous threshold (session wiring; 0 disables
+    /// the rendezvous path entirely).
+    pub(crate) fn with_rendezvous(mut self, threshold: usize) -> Self {
+        self.rendezvous = threshold;
+        self
+    }
+
+    /// Attach the node's writer-side protocol counters (session wiring).
+    pub(crate) fn with_proto(mut self, proto: Option<Arc<ProtoStats>>) -> Self {
+        self.proto = proto;
+        self
+    }
+
     /// The shared ledger.
     pub fn ledger(&self) -> &Arc<CreditLedger> {
         &self.ledger
@@ -297,6 +381,16 @@ impl FlowControl {
     /// The credit-wait deadline, in nanoseconds.
     pub fn timeout_ns(&self) -> u64 {
         self.timeout_ns
+    }
+
+    /// The rendezvous threshold, in bytes — the live tuned value when a
+    /// controller governs this channel, the bootstrap value otherwise.
+    /// 0 means every block stays eager.
+    pub fn rendezvous_threshold(&self) -> usize {
+        match &self.tuning {
+            Some(t) => t.rendezvous_threshold(),
+            None => self.rendezvous,
+        }
     }
 
     /// The writer-side handle. `pump` must be true on nodes whose special
@@ -337,6 +431,67 @@ impl WriterFlow {
     /// Drop the stream's account.
     pub(crate) fn close(&self, key: StreamKey) {
         self.ctl.ledger.close(key);
+    }
+
+    /// The channel's live rendezvous threshold (0 = eager-only).
+    pub(crate) fn rendezvous_threshold(&self) -> usize {
+        self.ctl.rendezvous_threshold()
+    }
+
+    /// Count one finished block on its protocol path, plus the fragments
+    /// that flowed under a prepaid grant.
+    pub(crate) fn note_block(&self, rendezvous: bool, granted_fragments: u64) {
+        use std::sync::atomic::Ordering;
+        if let Some(p) = &self.ctl.proto {
+            if rendezvous {
+                p.rendezvous_blocks.fetch_add(1, Ordering::Relaxed);
+                p.granted_fragments
+                    .fetch_add(granted_fragments, Ordering::Relaxed);
+            } else {
+                p.eager_blocks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Wait for the receiver's whole-window CTS after sending an RTS,
+    /// pumping the writer's conduit while waiting. Returns the number of
+    /// prepaid fragments. Deadline-bounded exactly like [`Self::take`].
+    pub(crate) fn wait_grant(
+        &self,
+        channel: &Channel,
+        first_hop: NodeId,
+        tag: &StreamTag,
+    ) -> Result<u32> {
+        let key = tag.key();
+        let rt = channel.runtime();
+        let start = rt.now_nanos();
+        loop {
+            let seen = self.ctl.ledger.event.epoch();
+            match self.ctl.ledger.take_grant(key) {
+                GrantOutcome::Granted(w) => return Ok(w),
+                GrantOutcome::Cancelled(reason) => return Err(cancel_error(reason, tag)),
+                GrantOutcome::Pending => {}
+            }
+            if self.pump && self.pump_conduit(channel, first_hop)? {
+                continue; // something arrived: re-check before blocking
+            }
+            let elapsed = rt.now_nanos().saturating_sub(start);
+            let remaining = self.ctl.timeout_ns.saturating_sub(elapsed);
+            if remaining == 0
+                || self
+                    .ctl
+                    .ledger
+                    .event
+                    .wait_past_timeout(seen, remaining)
+                    .is_none()
+            {
+                return Err(MadError::CreditTimeout {
+                    src: tag.src,
+                    dest: tag.dest,
+                    msg_id: tag.msg_id,
+                });
+            }
+        }
     }
 
     /// Consume one credit before emitting a fragment, pumping the writer's
@@ -416,6 +571,9 @@ impl WriterFlow {
                         p.handle_packet(&tag, &body, &packet);
                     }
                 }
+                // A rendezvous CTS (kind 12) parks the whole-window grant
+                // for the writer blocked in `wait_grant`.
+                PacketBody::RendezvousCts(m) => self.ctl.ledger.grant(tag.key(), m.window),
                 other => {
                     return Err(MadError::Protocol(format!(
                         "unexpected {other:?} on a sender's special conduit"
@@ -487,6 +645,33 @@ mod tests {
             l.try_take(other),
             TakeOutcome::Cancelled(CancelReason::CreditTimeout)
         );
+    }
+
+    #[test]
+    fn grant_accounting() {
+        let l = ledger();
+        let key = (4, 2);
+        l.open(key, 2);
+        // No CTS yet.
+        assert_eq!(l.take_grant(key), GrantOutcome::Pending);
+        // Grants accumulate and are claimed whole, separately from the
+        // eager window.
+        l.grant(key, 8);
+        l.grant(key, 8);
+        assert_eq!(l.available(key), Some(2));
+        assert_eq!(l.take_grant(key), GrantOutcome::Granted(16));
+        assert_eq!(l.take_grant(key), GrantOutcome::Pending);
+        // Cancellation beats a parked grant.
+        l.grant(key, 4);
+        l.cancel(key, CancelReason::CreditTimeout);
+        assert_eq!(
+            l.take_grant(key),
+            GrantOutcome::Cancelled(CancelReason::CreditTimeout)
+        );
+        // Late grants for closed streams are dropped.
+        l.close(key);
+        l.grant(key, 4);
+        assert!(l.is_idle());
     }
 
     #[test]

@@ -193,6 +193,27 @@ pub struct GatewayStats {
     /// Handoff acknowledgments sent back to multi-path stream origins
     /// (one per acked stream whose end packet this engine relayed).
     pub acks_sent: AtomicU64,
+    /// Rendezvous RTS announcements (kind 12) relayed downstream, in
+    /// stream order through the pipeline.
+    pub rts_relayed: AtomicU64,
+    /// Rendezvous CTS whole-window grants sent back upstream (one per
+    /// accepted RTS).
+    pub cts_sent: AtomicU64,
+    /// Unavoidable relay staging copies performed on the receive stage.
+    pub copies_recv: AtomicU64,
+    /// Unavoidable relay staging copies deferred to the flush stage
+    /// (the copy-placement scheduler found it idle).
+    pub copies_flush: AtomicU64,
+    /// Staging copies that landed on a stage that was idle at placement
+    /// time — the E2 overlap win, measured.
+    pub copy_idle_hits: AtomicU64,
+    /// Nanoseconds the receive stages spent busy (telemetry-gated).
+    pub recv_busy_ns: AtomicU64,
+    /// Nanoseconds the flush stages spent busy (telemetry-gated).
+    pub flush_busy_ns: AtomicU64,
+    /// Flush stages currently mid-drain — the live busy signal the
+    /// copy-placement scheduler reads at receive time.
+    flush_active: AtomicU64,
     /// Dedicated OS threads this engine spawned: polling + forwarding
     /// threads for [`EngineKind::Threaded`], 0 for
     /// [`EngineKind::Reactor`] (its tasks ride the node-wide worker
@@ -308,6 +329,16 @@ pub struct GatewayTotals {
     pub errors: u64,
     /// Handoff acknowledgments sent back to stream origins.
     pub acks_sent: u64,
+    /// Rendezvous RTS announcements relayed downstream.
+    pub rts_relayed: u64,
+    /// Rendezvous CTS whole-window grants sent upstream.
+    pub cts_sent: u64,
+    /// Relay staging copies performed on the receive stage.
+    pub copies_recv: u64,
+    /// Relay staging copies deferred to the flush stage.
+    pub copies_flush: u64,
+    /// Staging copies placed on a stage that was idle at placement time.
+    pub copy_idle_hits: u64,
     /// Dedicated OS threads the engine spawned (0 in reactor mode).
     pub threads_spawned: u64,
     /// Packet bytes resident in the engine at snapshot time.
@@ -339,6 +370,11 @@ impl GatewayStats {
             credit_timeouts: self.credit_timeouts.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            rts_relayed: self.rts_relayed.load(Ordering::Relaxed),
+            cts_sent: self.cts_sent.load(Ordering::Relaxed),
+            copies_recv: self.copies_recv.load(Ordering::Relaxed),
+            copies_flush: self.copies_flush.load(Ordering::Relaxed),
+            copy_idle_hits: self.copy_idle_hits.load(Ordering::Relaxed),
             threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
             held_bytes: self.held.current(),
             peak_held_bytes: self.held.peak(),
@@ -563,6 +599,14 @@ pub struct GatewayConfig {
     /// channel of a node sizes its pool). Two workers keep receive and
     /// retransmit overlapped — the reactor's double-buffering analog.
     pub reactor_workers: usize,
+    /// Protocol-switch crossover in bytes: blocks at least this large
+    /// run the kind-12 RTS/CTS rendezvous handshake instead of the eager
+    /// path. `0` (the default) keeps every block eager — the pre-switch
+    /// wire behaviour. Requires `credit_window` (the handshake rides the
+    /// credit plane); ignored without it. Every node of the virtual
+    /// channel reads the same configured value, and a controller retunes
+    /// it online when one governs the channel.
+    pub rendezvous_threshold: usize,
 }
 
 impl Default for GatewayConfig {
@@ -578,6 +622,7 @@ impl Default for GatewayConfig {
             max_batch: 1,
             engine: EngineKind::from_env(),
             reactor_workers: 2,
+            rendezvous_threshold: 0,
         }
     }
 }
@@ -775,6 +820,54 @@ impl Drop for BusyGuard<'_> {
     }
 }
 
+/// RAII bracket around one pipeline stage's busy period. The flush-side
+/// bracket maintains the live [`GatewayStats::flush_active`] count the
+/// copy-placement scheduler reads at receive time; both sides feed the
+/// cumulative per-stage busy clocks on the `rt:` trace when timing is on
+/// (telemetry or tracing enabled — the clock reads stay off the bare hot
+/// path).
+struct StageBusy<'a> {
+    active: Option<&'a AtomicU64>,
+    clock: &'a AtomicU64,
+    runtime: &'a dyn Runtime,
+    start_ns: u64,
+    timed: bool,
+}
+
+impl<'a> StageBusy<'a> {
+    fn enter(
+        active: Option<&'a AtomicU64>,
+        clock: &'a AtomicU64,
+        runtime: &'a dyn Runtime,
+        timed: bool,
+    ) -> Self {
+        if let Some(a) = active {
+            a.fetch_add(1, Ordering::Relaxed);
+        }
+        StageBusy {
+            active,
+            clock,
+            runtime,
+            start_ns: if timed { runtime.now_nanos() } else { 0 },
+            timed,
+        }
+    }
+}
+
+impl Drop for StageBusy<'_> {
+    fn drop(&mut self) {
+        if self.timed {
+            self.clock.fetch_add(
+                self.runtime.now_nanos().saturating_sub(self.start_ns),
+                Ordering::Relaxed,
+            );
+        }
+        if let Some(a) = self.active {
+            a.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A buffer traveling through the gateway pipeline: one wire packet,
 /// forwarded verbatim.
 enum FwdBuf {
@@ -825,6 +918,10 @@ struct FwdItem {
     /// retransmission — on failure the origin's ack deadline fires
     /// instead and drives its failover.
     ack: Option<(Arc<Channel>, NodeId)>,
+    /// The copy-placement scheduler deferred this packet's unavoidable
+    /// staging copy: `buf` is the raw received buffer, and the flush
+    /// stage restages it into this landing before transmitting.
+    restage: Option<Landing>,
 }
 
 /// Where the polling thread pushes pipeline items.
@@ -1120,6 +1217,12 @@ struct InStream {
     /// engine is its first hop (the inbound peer *is* the origin): once
     /// the end packet is retransmitted, send an ack back upstream.
     ack: bool,
+    /// Per-fragment upstream credit grants still suppressed by an
+    /// accepted rendezvous block: the whole-window CTS sent upstream
+    /// prepaid exactly this many fragments, so their individual grants
+    /// must not be returned on top of it. `Cell` because the polling
+    /// side decrements it per fragment while holding only `&InStream`.
+    rendezvous_pending: Cell<u64>,
 }
 
 /// Size of the static/naive landing buffer, derived from the currently
@@ -1134,11 +1237,12 @@ fn landing_size(
     max_batch: usize,
     caps: &crate::conduit::DriverCaps,
 ) -> usize {
-    // Floor: every control packet fits, including a full-size in-band
-    // metrics reply (kind 10).
-    let mut size = 256usize.max(gtm::METRICS_PACKET_MAX);
+    // Floor and per-stream sizing share `gtm::landing_size_for` with the
+    // endpoint assembler's rendezvous pre-reservation, so both sides of
+    // a handshake agree on the buffer class being reserved.
+    let mut size = gtm::landing_size_for(0);
     for s in streams.values() {
-        size = size.max(PRELUDE_LEN + s.mtu as usize);
+        size = size.max(gtm::landing_size_for(s.mtu as usize));
     }
     if max_batch > 1 {
         size = size.max(caps.preferred_mtu.min(caps.max_packet));
@@ -1171,6 +1275,11 @@ fn polling_thread(
     let landing = landing_policy(sinks.0.values().map(Sink::path), cfg);
     let stopctl = live.stopctl.clone();
     let tracer = runtime.tracer();
+    // Copy placement can only defer to a real flush stage, and only when
+    // the raw receive is itself copy-free (dynamic inbound driver — a
+    // static inbound would pay the staging copy in `recv_owned` anyway).
+    let can_defer = cfg.pipeline_depth > 1 && in_channel.caps().mode == BufferMode::Dynamic;
+    let timed = metrics.is_some() || tracer.enabled();
     let shared = FwdShared {
         stats: stats.clone(),
         live,
@@ -1232,9 +1341,18 @@ fn polling_thread(
         };
         cursor = Some(peer);
         let _busy = BusyGuard::enter(&stopctl);
-        let buf = {
+        let _stage = StageBusy::enter(None, &stats.recv_busy_ns, &*runtime, timed);
+        let (buf, restage) = {
             let _recv = trace_span!(tracer, "gw", "recv", "peer" = peer.0 as u64);
-            match receive_packet(&in_channel, peer, landing, max_pkt, runtime.pool()) {
+            match receive_packet(
+                &in_channel,
+                peer,
+                landing,
+                max_pkt,
+                runtime.pool(),
+                can_defer,
+                &stats,
+            ) {
                 Ok(b) => b,
                 Err(MadError::Disconnected) => return,
                 Err(e) => {
@@ -1260,11 +1378,17 @@ fn polling_thread(
             }
         };
         in_channel.stats().on_recv(peer.0, buf.bytes().len());
+        if restage.is_none() && !matches!(landing, Landing::Owned) {
+            if let Some(m) = &shared.metrics {
+                m.copy_bytes.record(buf.bytes().len() as u64);
+            }
+        }
         let _relay = trace_span!(tracer, "gw", "relay", "peer" = peer.0 as u64);
         match relay_packet(
             rank,
             peer,
             buf,
+            restage,
             &in_channel,
             &mut sinks,
             &routes,
@@ -1300,6 +1424,7 @@ fn relay_packet<S: ItemSink>(
     rank: NodeId,
     peer: NodeId,
     buf: FwdBuf,
+    restage: Option<Landing>,
     in_channel: &Arc<Channel>,
     sinks: &mut S,
     routes: &RouteTable,
@@ -1333,7 +1458,7 @@ fn relay_packet<S: ItemSink>(
         drop(buf);
         for sub in subs {
             match relay_packet(
-                rank, peer, sub, in_channel, sinks, routes, cfg, shared, streams, cancelled,
+                rank, peer, sub, None, in_channel, sinks, routes, cfg, shared, streams, cancelled,
                 open_from, max_pkt,
             ) {
                 Ok(()) => {}
@@ -1353,6 +1478,21 @@ fn relay_packet<S: ItemSink>(
     // the inbound network: not forwarded, deposited into the ledger.
     if let PacketBody::Credit(n) = body {
         shared.ledger.deposit(key, n);
+        return Ok(());
+    }
+
+    // A returning rendezvous CTS (kind 12): the downstream hop accepted
+    // an RTS and prepaid the whole window. For a stream originated by a
+    // writer resident on this node, park the grant for its `wait_grant`;
+    // for a relayed stream, the prepayment funds this engine's own
+    // outbound re-sends — deposit it so the forwarding side never stalls
+    // on per-fragment credits for that block.
+    if let PacketBody::RendezvousCts(m) = body {
+        if tag.src == rank {
+            shared.ledger.grant(key, m.window);
+        } else {
+            shared.ledger.deposit(key, m.window);
+        }
         return Ok(());
     }
 
@@ -1412,7 +1552,48 @@ fn relay_packet<S: ItemSink>(
         | PacketBody::Batch
         | PacketBody::MetricsRequest
         | PacketBody::MetricsReply
-        | PacketBody::Member(_) => unreachable!("handled above"),
+        | PacketBody::Member(_)
+        | PacketBody::RendezvousCts(_) => unreachable!("handled above"),
+        PacketBody::RendezvousRts(m) => {
+            // A bulk block announced itself. Pre-reserve the landing on
+            // all three stations of this hop before its fragments arrive:
+            // warm the landing-buffer class, prepay the upstream window
+            // (CTS), and relay the RTS downstream *through the pipeline*
+            // so it keeps its FIFO position ahead of the block.
+            let stream = streams.get(&key).ok_or_else(|| {
+                MadError::Protocol(format!("rendezvous RTS for unknown stream {key:?}"))
+            })?;
+            drop(shared.runtime.pool().get(*max_pkt));
+            let window = m.window;
+            let mut cts = shared.runtime.pool().get(gtm::RENDEZVOUS_PACKET_LEN);
+            gtm::encode_rendezvous_cts_into(
+                cts.vec(),
+                &tag,
+                &gtm::RendezvousMsg {
+                    total: m.total,
+                    mtu: m.mtu,
+                    window,
+                },
+            );
+            if in_channel.send_packet(peer, &[&cts]).is_ok() {
+                shared.stats.cts_sent.fetch_add(1, Ordering::Relaxed);
+                stream
+                    .rendezvous_pending
+                    .set(stream.rendezvous_pending.get() + window as u64);
+            }
+            shared.stats.rts_relayed.fetch_add(1, Ordering::Relaxed);
+            trace_instant!(
+                shared.tracer,
+                "gw",
+                "rendezvous",
+                "src" = tag.src.0 as u64,
+                "dest" = tag.dest.0 as u64,
+            );
+            let item = make_item(
+                stream, buf, false, false, cfg, in_channel, peer, recv_ns, restage,
+            );
+            sinks.accept(stream, item, false, shared)
+        }
         PacketBody::Header(header) => {
             if header.tag.dest == rank {
                 return Err(MadError::Protocol(format!(
@@ -1454,6 +1635,7 @@ fn relay_packet<S: ItemSink>(
                 // Only the first hop acks: the inbound peer must *be* the
                 // origin, so a chained gateway never acks on its behalf.
                 ack: header.acked && peer == tag.src,
+                rendezvous_pending: Cell::new(0),
             };
             // On a non-final hop this gateway is the next conduit's
             // sender: self-grant the window it will spend re-sending. The
@@ -1476,7 +1658,9 @@ fn relay_packet<S: ItemSink>(
             );
             shared.live.opened();
             *open_from.entry(peer).or_insert(0) += 1;
-            let item = make_item(&stream, buf, false, false, cfg, in_channel, peer, recv_ns);
+            let item = make_item(
+                &stream, buf, false, false, cfg, in_channel, peer, recv_ns, restage,
+            );
             sinks.accept(&stream, item, false, shared)?;
             streams.insert(key, stream);
             *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
@@ -1486,7 +1670,9 @@ fn relay_packet<S: ItemSink>(
             let stream = streams.get(&key).ok_or_else(|| {
                 MadError::Protocol(format!("GTM descriptor for unknown stream {key:?}"))
             })?;
-            let item = make_item(stream, buf, false, false, cfg, in_channel, peer, recv_ns);
+            let item = make_item(
+                stream, buf, false, false, cfg, in_channel, peer, recv_ns, restage,
+            );
             sinks.accept(stream, item, false, shared)
         }
         PacketBody::Frag => {
@@ -1496,7 +1682,9 @@ fn relay_packet<S: ItemSink>(
             let payload = (buf.bytes().len() - PRELUDE_LEN) as u64;
             shared.stats.on_frag(stream.pair, payload);
             shared.runtime.charge_overhead(cfg.switch_overhead_ns);
-            let item = make_item(stream, buf, true, false, cfg, in_channel, peer, recv_ns);
+            let item = make_item(
+                stream, buf, true, false, cfg, in_channel, peer, recv_ns, restage,
+            );
             shared.stats.held.add(item.held_bytes as i64);
             sinks.accept(stream, item, true, shared)
         }
@@ -1515,7 +1703,9 @@ fn relay_packet<S: ItemSink>(
                 shared.stats.on_frag(stream.pair, payload);
                 shared.runtime.charge_overhead(cfg.switch_overhead_ns);
             }
-            let item = make_item(stream, buf, is_frag, false, cfg, in_channel, peer, recv_ns);
+            let item = make_item(
+                stream, buf, is_frag, false, cfg, in_channel, peer, recv_ns, restage,
+            );
             shared.stats.held.add(item.held_bytes as i64);
             sinks.accept(stream, item, is_frag, shared)
         }
@@ -1528,7 +1718,9 @@ fn relay_packet<S: ItemSink>(
             }
             *max_pkt = landing_size(streams, cfg.max_batch, &in_channel.caps());
             shared.stats.on_end(stream.pair);
-            let item = make_item(&stream, buf, false, true, cfg, in_channel, peer, recv_ns);
+            let item = make_item(
+                &stream, buf, false, true, cfg, in_channel, peer, recv_ns, restage,
+            );
             sinks.accept(&stream, item, false, shared)
         }
         PacketBody::Ack => {
@@ -1559,7 +1751,9 @@ fn relay_packet<S: ItemSink>(
                 // A relayed cancel terminates the stream but is not a
                 // successful handoff — never ack it.
                 stream.ack = false;
-                let item = make_item(&stream, buf, false, true, cfg, in_channel, peer, recv_ns);
+                let item = make_item(
+                    &stream, buf, false, true, cfg, in_channel, peer, recv_ns, restage,
+                );
                 sinks.accept(&stream, item, false, shared)
             } else if shared.ledger.cancel_existing(key, reason) {
                 // Returning-direction cancel: a downstream hop killed a
@@ -1588,8 +1782,22 @@ fn make_item(
     in_channel: &Arc<Channel>,
     peer: NodeId,
     recv_ns: u64,
+    restage: Option<Landing>,
 ) -> FwdItem {
     let held_bytes = if is_frag { buf.bytes().len() } else { 0 };
+    // A fragment prepaid by a rendezvous CTS must not also return its
+    // per-fragment grant — the whole window went upstream at once.
+    let grant = if is_frag && cfg.credit_window.is_some() {
+        let pending = stream.rendezvous_pending.get();
+        if pending > 0 {
+            stream.rendezvous_pending.set(pending - 1);
+            None
+        } else {
+            Some((in_channel.clone(), peer))
+        }
+    } else {
+        None
+    };
     FwdItem {
         to: stream.to,
         last_hop: stream.last_hop,
@@ -1600,8 +1808,9 @@ fn make_item(
         // Forward latency is measured on payload fragments only.
         recv_ns: if is_frag { recv_ns } else { 0 },
         consume: is_frag && cfg.credit_window.is_some() && !stream.last_hop,
-        grant: (is_frag && cfg.credit_window.is_some()).then(|| (in_channel.clone(), peer)),
+        grant,
         ack: (end_of_stream && stream.ack).then(|| (in_channel.clone(), peer)),
+        restage,
     }
 }
 
@@ -1661,6 +1870,7 @@ fn cancel_stream<S: ItemSink>(
         // A cancelled stream is never acked: the origin's ack deadline (or
         // the upstream cancel notification) drives its failover.
         ack: None,
+        restage: None,
     };
     let _ = sinks.accept(&stream, item, false, shared);
 }
@@ -1701,29 +1911,92 @@ fn cancel_peer_streams<S: ItemSink>(
 /// Receive one packet from the inbound conduit into the cheapest buffer
 /// the landing policy allows. All three landings draw on the session
 /// buffer pool, so a warmed-up gateway allocates nothing per packet.
+///
+/// When the landing requires a staging copy (`Static`/`Tmp`), the
+/// copy-placement scheduler decides *which* pipeline stage performs it:
+/// if `can_defer` holds (dynamic inbound driver feeding a real flush
+/// stage) and the flush side is idle right now, the packet is taken raw
+/// and the returned landing marker tells the flush stage to restage it
+/// before transmitting — overlapping the copy with the next receive, the
+/// E2 win. Otherwise the copy happens here, exactly as before.
 fn receive_packet(
     in_channel: &Arc<Channel>,
     peer: NodeId,
     landing: Landing,
     max_pkt: usize,
     pool: &Arc<mad_util::pool::BufferPool>,
-) -> Result<FwdBuf> {
+    can_defer: bool,
+    stats: &GatewayStats,
+) -> Result<(FwdBuf, Option<Landing>)> {
     let mut conduit = in_channel.lock_conduit(peer)?;
-    match landing {
-        Landing::Owned => Ok(FwdBuf::Owned(pool.adopt(conduit.recv_owned()?))),
+    let staged = match landing {
+        Landing::Owned => {
+            return Ok((FwdBuf::Owned(pool.adopt(conduit.recv_owned()?)), None));
+        }
+        staged => staged,
+    };
+    if can_defer && stats.flush_active.load(Ordering::Relaxed) == 0 {
+        let buf = FwdBuf::Owned(pool.adopt(conduit.recv_owned()?));
+        // Flush-placed while flush was idle: an idle-stage placement by
+        // construction.
+        stats.copy_idle_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((buf, Some(staged)));
+    }
+    let buf = match staged {
+        Landing::Owned => unreachable!("owned landing returned above"),
         Landing::Static(owner) => {
             let mut sb = StaticBuf::from_pooled(owner, pool.take(max_pkt));
             let n = conduit.recv_into(sb.as_mut_slice())?;
             sb.truncate(n);
-            Ok(FwdBuf::Static(sb))
+            FwdBuf::Static(sb)
         }
         Landing::Tmp => {
             let mut tmp = pool.take(max_pkt);
             let n = conduit.recv_into(&mut tmp)?;
             tmp.vec().truncate(n);
-            Ok(FwdBuf::Owned(tmp))
+            FwdBuf::Owned(tmp)
         }
+    };
+    stats.copies_recv.fetch_add(1, Ordering::Relaxed);
+    // Receive-placed: an idle-stage placement only if nothing deliverable
+    // was already waiting behind the copy on this conduit (`backlog`, not
+    // `ready` — a sender running ahead of modeled time is not backlog).
+    if !conduit.backlog() {
+        stats.copy_idle_hits.fetch_add(1, Ordering::Relaxed);
     }
+    Ok((buf, None))
+}
+
+/// Perform a deferred staging copy on the flush stage: rebuild the buffer
+/// the receive side would have produced, right before transmission. The
+/// copy cost lands on this stage's clock (and the simulated timeline via
+/// `charge_copy`), which is the whole point — it overlaps with the next
+/// receive instead of serializing behind it.
+fn restage_item(item: &mut FwdItem, shared: &FwdShared) {
+    let Some(landing) = item.restage.take() else {
+        return;
+    };
+    let bytes = item.buf.bytes().len();
+    let pool = shared.runtime.pool();
+    let staged = match landing {
+        Landing::Owned => return, // nothing to restage
+        Landing::Static(owner) => {
+            let mut sb = StaticBuf::from_pooled(owner, pool.take(bytes));
+            sb.as_mut_slice().copy_from_slice(item.buf.bytes());
+            FwdBuf::Static(sb)
+        }
+        Landing::Tmp => {
+            let mut tmp = pool.get(bytes);
+            tmp.vec().extend_from_slice(item.buf.bytes());
+            FwdBuf::Owned(tmp)
+        }
+    };
+    shared.runtime.charge_copy(bytes);
+    shared.stats.copies_flush.fetch_add(1, Ordering::Relaxed);
+    if let Some(m) = &shared.metrics {
+        m.copy_bytes.record(bytes as u64);
+    }
+    item.buf = staged;
 }
 
 /// Derive the landing policy of one inbound direction from the buffer
@@ -1914,7 +2187,8 @@ fn consume_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
 }
 
 /// Retransmit one pipeline item whose credit (if any) is already in hand.
-fn transmit_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
+fn transmit_item(path: &OutPath, mut item: FwdItem, shared: &FwdShared) -> bool {
+    restage_item(&mut item, shared);
     let FwdItem {
         to,
         last_hop,
@@ -1926,6 +2200,7 @@ fn transmit_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
         consume: _,
         grant,
         ack,
+        restage: _,
     } = item;
     let account_drop = |shared: &FwdShared| {
         shared.stats.held.sub(held_bytes as i64);
@@ -2012,12 +2287,15 @@ fn transmit_item(path: &OutPath, item: FwdItem, shared: &FwdShared) -> bool {
 /// train of one degenerates to the plain single-packet path (no framing).
 /// Upstream credit grants are aggregated into one packet per stream.
 /// Returns `false` only on an orderly disconnect.
-fn transmit_batch(path: &OutPath, batch: Vec<FwdItem>, shared: &FwdShared) -> bool {
+fn transmit_batch(path: &OutPath, mut batch: Vec<FwdItem>, shared: &FwdShared) -> bool {
     if batch.len() == 1 {
         let Some(item) = batch.into_iter().next() else {
             return true;
         };
         return transmit_item(path, item, shared);
+    }
+    for item in &mut batch {
+        restage_item(item, shared);
     }
     let to = batch[0].to;
     let last_hop = batch[0].last_hop;
@@ -2151,6 +2429,7 @@ fn forwarding_thread(
     let _exit = ThreadExitGuard {
         live: shared.live.clone(),
     };
+    let timed = shared.metrics.is_some() || shared.tracer.enabled();
     let mut pending: Option<FwdItem> = None;
     loop {
         // The batch cap is re-read per train so a controller retune takes
@@ -2172,6 +2451,15 @@ fn forwarding_thread(
                 None => return, // polling thread gone: shut down
             },
         };
+        // The flush stage is busy from the moment it holds an item until
+        // the train leaves the wire — the copy-placement scheduler reads
+        // `flush_active` to decide where a relay copy overlaps best.
+        let _stage = StageBusy::enter(
+            Some(&shared.stats.flush_active),
+            &shared.stats.flush_busy_ns,
+            &*shared.runtime,
+            timed,
+        );
         if max_batch <= 1 {
             if !consume_item(&path, head, &shared) {
                 return;

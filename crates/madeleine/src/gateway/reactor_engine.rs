@@ -66,7 +66,7 @@ use super::{
     InStream, ItemSink, Landing, OutPath, ThreadExitGuard,
 };
 use crate::channel::Channel;
-use crate::conduit::DriverCaps;
+use crate::conduit::{BufferMode, DriverCaps};
 use crate::credit::{CreditLedger, TakeOutcome};
 use crate::error::{MadError, Result};
 use crate::gtm::{self, CancelReason, StreamKey, PRELUDE_LEN};
@@ -338,6 +338,13 @@ struct RecvTask {
     landing: Landing,
     in_caps: DriverCaps,
     max_pkt: usize,
+    /// Whether a relay copy may be deferred to the flush task — true only
+    /// when the raw receive is copy-free (dynamic inbound driver). The
+    /// reactor always has a real flush stage, so no depth check here.
+    can_defer: bool,
+    /// Whether stage-busy brackets pay for clock reads (metrics or trace
+    /// active); the `flush_active` occupancy count is kept either way.
+    timed: bool,
     /// Armed when a stop is requested; expiry abandons streams that will
     /// never end.
     drain_deadline: Option<u64>,
@@ -420,7 +427,13 @@ impl PollTask for RecvTask {
             };
             self.cursor = Some(peer);
             let _busy = super::BusyGuard::enter(&self.stopctl);
-            let buf = {
+            let _stage = super::StageBusy::enter(
+                None,
+                &self.shared.stats.recv_busy_ns,
+                &*self.shared.runtime,
+                self.timed,
+            );
+            let (buf, restage) = {
                 let _recv = trace_span!(self.shared.tracer, "gw", "recv", "peer" = peer.0 as u64);
                 match super::receive_packet(
                     &self.in_channel,
@@ -428,6 +441,8 @@ impl PollTask for RecvTask {
                     self.landing,
                     self.max_pkt,
                     self.shared.runtime.pool(),
+                    self.can_defer,
+                    &self.shared.stats,
                 ) {
                     Ok(b) => b,
                     Err(MadError::Disconnected) => return Poll::Ready,
@@ -460,12 +475,18 @@ impl PollTask for RecvTask {
                 }
             };
             self.in_channel.stats().on_recv(peer.0, buf.bytes().len());
+            if restage.is_none() && !matches!(self.landing, Landing::Owned) {
+                if let Some(m) = &self.shared.metrics {
+                    m.copy_bytes.record(buf.bytes().len() as u64);
+                }
+            }
             let relayed = {
                 let _relay = trace_span!(self.shared.tracer, "gw", "relay", "peer" = peer.0 as u64);
                 super::relay_packet(
                     self.rank,
                     peer,
                     buf,
+                    restage,
                     &self.in_channel,
                     &mut self.sinks,
                     &self.routes,
@@ -536,6 +557,9 @@ struct FlushTask {
     wake: Arc<dyn RtEvent>,
     inbound_done: Arc<AtomicBool>,
     output_dead: Arc<AtomicBool>,
+    /// Whether stage-busy brackets pay for clock reads; `flush_active` is
+    /// maintained either way so the receive task can place copies.
+    timed: bool,
     drain_deadline: Option<u64>,
     _latch: LatchGuard,
     _exit: ThreadExitGuard,
@@ -778,7 +802,19 @@ impl PollTask for FlushTask {
             return Poll::Pending;
         }
         let mut sent = 0usize;
-        let progress = self.flush_pass(cx, &mut sent);
+        let progress = {
+            // The flush stage is busy for the whole pass — the receive
+            // task's copy-placement scheduler reads `flush_active`.
+            let stats = self.shared.stats.clone();
+            let runtime = self.shared.runtime.clone();
+            let _stage = super::StageBusy::enter(
+                Some(&stats.flush_active),
+                &stats.flush_busy_ns,
+                &*runtime,
+                self.timed,
+            );
+            self.flush_pass(cx, &mut sent)
+        };
         if progress {
             // Freed queue space: stir the reactor so a backpressured
             // receive task resumes intake.
@@ -894,6 +930,8 @@ pub(super) fn spawn_reactor_gateway(
         };
         let landing = super::landing_policy(paths.values(), cfg);
         let in_caps = in_channel.caps();
+        let can_defer = in_caps.mode == BufferMode::Dynamic;
+        let timed = shared.metrics.is_some() || shared.tracer.enabled();
         let streams = BTreeMap::new();
         let max_pkt = super::landing_size(&streams, cfg.max_batch, &in_caps);
         let flush = FlushTask {
@@ -905,6 +943,7 @@ pub(super) fn spawn_reactor_gateway(
             wake: wake.clone(),
             inbound_done: inbound_done.clone(),
             output_dead: output_dead.clone(),
+            timed,
             drain_deadline: None,
             _latch: LatchGuard(latch.clone()),
             _exit: ThreadExitGuard { live: live.clone() },
@@ -929,6 +968,8 @@ pub(super) fn spawn_reactor_gateway(
             landing,
             in_caps,
             max_pkt,
+            can_defer,
+            timed,
             drain_deadline: None,
             inbound_done,
             output_dead,

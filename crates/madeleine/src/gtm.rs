@@ -112,15 +112,28 @@ pub(crate) const KIND_STRIPE: u8 = 8;
 pub(crate) const KIND_ACK: u8 = 9;
 pub(crate) const KIND_METRICS: u8 = 10;
 pub(crate) const KIND_MEMBER: u8 = 11;
+pub(crate) const KIND_RENDEZVOUS: u8 = 12;
 
 /// Direction byte of a kind-10 metrics packet: a snapshot request.
 const METRICS_REQUEST: u8 = 1;
 /// Direction byte of a kind-10 metrics packet: a snapshot reply.
 const METRICS_REPLY: u8 = 2;
 
+/// Direction byte of a kind-12 rendezvous packet: request-to-send. Flows
+/// *with* the stream, hop by hop, ahead of the block it announces.
+const RENDEZVOUS_RTS: u8 = 1;
+/// Direction byte of a kind-12 rendezvous packet: clear-to-send. Flows
+/// *against* the stream, carrying the whole-window credit grant.
+const RENDEZVOUS_CTS: u8 = 2;
+
 /// Full length of a kind-11 membership packet: prelude, event byte,
 /// subject node (u32 LE), membership epoch (u64 LE).
 pub const MEMBER_PACKET_LEN: usize = PRELUDE_LEN + 1 + 4 + 8;
+
+/// Full length of a kind-12 rendezvous packet: prelude, direction byte,
+/// block length (u64 LE), fragment MTU (u32 LE), window (u32 LE,
+/// requested fragments in an RTS, granted fragments in a CTS).
+pub const RENDEZVOUS_PACKET_LEN: usize = PRELUDE_LEN + 1 + 8 + 4 + 4;
 
 /// Byte budget for the encoded snapshot a metrics reply carries. Bounded
 /// so one reply always fits a single packet on every driver (the gateway
@@ -308,6 +321,18 @@ pub enum PacketBody {
     /// epoch-stamped incarnation. Routed hop by hop over the special
     /// channels like metrics packets; stateless at every relay.
     Member(MemberMsg),
+    /// Rendezvous request-to-send (kind 12, RTS direction): the sender
+    /// announces a bulk block *before* its first fragment leaves, so
+    /// every hop can pre-reserve its landing buffer class and the
+    /// receiver's pool is warm when the fragments arrive. Relayed
+    /// downstream in stream order (between the stream's packets); each
+    /// flow-controlled hop answers upstream with a CTS.
+    RendezvousRts(RendezvousMsg),
+    /// Rendezvous clear-to-send (kind 12, CTS direction): the downstream
+    /// hop grants the announced block's whole credit window up front, so
+    /// rendezvous fragments skip the per-fragment credit takes of the
+    /// eager path. Flows *against* the stream, like credits.
+    RendezvousCts(RendezvousMsg),
 }
 
 /// One membership-protocol event on the wire.
@@ -359,6 +384,20 @@ pub struct MemberMsg {
     pub node: u32,
     /// The incarnation the event asserts (or echoes) for `node`.
     pub epoch: u64,
+}
+
+/// Payload of a kind-12 rendezvous packet (both directions): the block
+/// being announced and the credit window it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RendezvousMsg {
+    /// Length in bytes of the announced block.
+    pub total: u64,
+    /// Fragment MTU the block will be cut at (every hop sizes its
+    /// landing buffer from this, not from a per-fragment header).
+    pub mtu: u32,
+    /// Fragment window: requested (RTS, the block's fragment count) or
+    /// granted (CTS) up-front credits.
+    pub window: u32,
 }
 
 fn prelude_into(v: &mut Vec<u8>, kind: u8, tag: &StreamTag) {
@@ -548,6 +587,49 @@ pub fn encode_member_into(v: &mut Vec<u8>, tag: &StreamTag, msg: &MemberMsg) {
 pub fn encode_member(tag: &StreamTag, msg: &MemberMsg) -> Vec<u8> {
     let mut v = Vec::with_capacity(MEMBER_PACKET_LEN);
     encode_member_into(&mut v, tag, msg);
+    v
+}
+
+fn encode_rendezvous_into(v: &mut Vec<u8>, tag: &StreamTag, direction: u8, msg: &RendezvousMsg) {
+    assert!(msg.total > 0, "a rendezvous announces a non-empty block");
+    assert!(msg.mtu > 0, "a rendezvous carries the stream MTU");
+    assert!(
+        msg.window > 0,
+        "a rendezvous window is at least one fragment"
+    );
+    v.clear();
+    v.reserve(RENDEZVOUS_PACKET_LEN);
+    prelude_into(v, KIND_RENDEZVOUS, tag);
+    v.push(direction);
+    v.extend_from_slice(&msg.total.to_le_bytes());
+    v.extend_from_slice(&msg.mtu.to_le_bytes());
+    v.extend_from_slice(&msg.window.to_le_bytes());
+}
+
+/// Encode a rendezvous request-to-send into `v` (cleared first): the
+/// sender announces the next block of the stream before any of its
+/// fragments leave, `window` being the block's fragment count.
+pub fn encode_rendezvous_rts_into(v: &mut Vec<u8>, tag: &StreamTag, msg: &RendezvousMsg) {
+    encode_rendezvous_into(v, tag, RENDEZVOUS_RTS, msg);
+}
+
+/// Encode a rendezvous request-to-send.
+pub fn encode_rendezvous_rts(tag: &StreamTag, msg: &RendezvousMsg) -> Vec<u8> {
+    let mut v = Vec::with_capacity(RENDEZVOUS_PACKET_LEN);
+    encode_rendezvous_rts_into(&mut v, tag, msg);
+    v
+}
+
+/// Encode a rendezvous clear-to-send into `v` (cleared first): the
+/// downstream hop grants `window` fragments of credit up front.
+pub fn encode_rendezvous_cts_into(v: &mut Vec<u8>, tag: &StreamTag, msg: &RendezvousMsg) {
+    encode_rendezvous_into(v, tag, RENDEZVOUS_CTS, msg);
+}
+
+/// Encode a rendezvous clear-to-send.
+pub fn encode_rendezvous_cts(tag: &StreamTag, msg: &RendezvousMsg) -> Vec<u8> {
+    let mut v = Vec::with_capacity(RENDEZVOUS_PACKET_LEN);
+    encode_rendezvous_cts_into(&mut v, tag, msg);
     v
 }
 
@@ -824,6 +906,38 @@ pub fn decode_packet(packet: &[u8]) -> Result<(StreamTag, PacketBody)> {
             }
             PacketBody::Member(MemberMsg { event, node, epoch })
         }
+        KIND_RENDEZVOUS => {
+            if packet.len() != RENDEZVOUS_PACKET_LEN {
+                return Err(err("rendezvous packet length"));
+            }
+            let total =
+                u64::from_le_bytes(packet[PRELUDE_LEN + 1..PRELUDE_LEN + 9].try_into().unwrap());
+            let mtu = u32::from_le_bytes(
+                packet[PRELUDE_LEN + 9..PRELUDE_LEN + 13]
+                    .try_into()
+                    .unwrap(),
+            );
+            let window = u32::from_le_bytes(
+                packet[PRELUDE_LEN + 13..PRELUDE_LEN + 17]
+                    .try_into()
+                    .unwrap(),
+            );
+            if total == 0 {
+                return Err(err("empty rendezvous block"));
+            }
+            if mtu == 0 {
+                return Err(err("zero rendezvous MTU"));
+            }
+            if window == 0 {
+                return Err(err("zero rendezvous window"));
+            }
+            let msg = RendezvousMsg { total, mtu, window };
+            match packet[PRELUDE_LEN] {
+                RENDEZVOUS_RTS => PacketBody::RendezvousRts(msg),
+                RENDEZVOUS_CTS => PacketBody::RendezvousCts(msg),
+                _ => return Err(err("rendezvous direction")),
+            }
+        }
         _ => Err(err("unknown kind"))?,
     };
     Ok((tag, body))
@@ -836,6 +950,16 @@ pub fn fragment_count(len: u64, mtu: u32) -> u64 {
     } else {
         len.div_ceil(mtu as u64)
     }
+}
+
+/// Landing-buffer size for packets of a stream fragmented at `mtu`: the
+/// tagged fragment itself, floored so every control packet fits too —
+/// including a full-size in-band metrics reply (kind 10). The single
+/// source of truth for the floor: gateway landing buffers and rendezvous
+/// pre-reservations must agree on the size class, or a pre-warmed pool
+/// buffer would miss the class the receive path actually draws from.
+pub fn landing_size_for(mtu: usize) -> usize {
+    (PRELUDE_LEN + mtu).max(256).max(METRICS_PACKET_MAX)
 }
 
 /// Sender side of the GTM: writes a self-described, MTU-fragmented stream
@@ -856,6 +980,14 @@ pub struct GtmWriter<'c> {
     mtu: usize,
     finished: bool,
     flow: Option<WriterFlow>,
+    /// Blocks of at least this many bytes run the rendezvous handshake
+    /// (RTS announced, whole-window CTS awaited) instead of the eager
+    /// per-fragment credit takes. `0` — the default — keeps every block
+    /// eager; only single-path flow-controlled writers enable it.
+    rendezvous_threshold: usize,
+    /// Fragments already paid for by a rendezvous grant: while positive,
+    /// fragments leave without touching the per-fragment credit ledger.
+    prepaid: u64,
     /// Recycled staging buffer for the stream's control packets (header,
     /// descriptors, end, cancel) — one pool hit per stream instead of one
     /// heap allocation per packet.
@@ -931,8 +1063,19 @@ impl<'c> GtmWriter<'c> {
             mtu,
             finished: false,
             flow,
+            rendezvous_threshold: 0,
+            prepaid: 0,
             scratch,
         })
+    }
+
+    /// Enable the size-adaptive protocol switch: blocks of at least
+    /// `threshold` bytes rendezvous (RTS/CTS whole-window grant) instead
+    /// of going eager. `0` disables the switch. Only meaningful on
+    /// flow-controlled streams — without a credit window there is no
+    /// grant channel, so the writer stays eager regardless.
+    pub fn set_rendezvous_threshold(&mut self, threshold: usize) {
+        self.rendezvous_threshold = threshold;
     }
 
     /// Append a block: descriptor packet, then tagged MTU-sized fragments.
@@ -961,6 +1104,31 @@ impl<'c> GtmWriter<'c> {
             "dest" = self.tag.dest.0 as u64,
             "bytes" = data.len() as u64,
         );
+        // Size-adaptive protocol switch: a bulk block announces itself
+        // with an RTS and waits for the first hop's whole-window CTS, so
+        // its fragments leave back-to-back with no per-fragment credit
+        // round-trips and every hop has its landing pre-reserved.
+        let rendezvous = self.rendezvous_threshold > 0
+            && data.len() >= self.rendezvous_threshold
+            && self.flow.is_some();
+        if rendezvous {
+            let window = fragment_count(data.len() as u64, self.mtu as u32).min(u32::MAX as u64);
+            encode_rendezvous_rts_into(
+                self.scratch.vec(),
+                &self.tag,
+                &RendezvousMsg {
+                    total: data.len() as u64,
+                    mtu: self.mtu as u32,
+                    window: window as u32,
+                },
+            );
+            self.channel.send_packet(self.first_hop, &[&self.scratch])?;
+            trace_count!(self.channel.tracer(), "gtm", "encode", 1);
+            if let Some(flow) = &self.flow {
+                let granted = flow.wait_grant(self.channel, self.first_hop, &self.tag)?;
+                self.prepaid = self.prepaid.saturating_add(granted as u64);
+            }
+        }
         encode_part_into(
             self.scratch.vec(),
             &self.tag,
@@ -972,13 +1140,20 @@ impl<'c> GtmWriter<'c> {
         );
         self.channel.send_packet(self.first_hop, &[&self.scratch])?;
         trace_count!(self.channel.tracer(), "gtm", "encode", 1);
+        let mut granted_fragments = 0u64;
         for chunk in data.chunks(self.mtu) {
-            if let Some(flow) = &self.flow {
+            if self.prepaid > 0 {
+                self.prepaid -= 1;
+                granted_fragments += 1;
+            } else if let Some(flow) = &self.flow {
                 flow.take(self.channel, self.first_hop, &self.tag)?;
             }
             self.channel
                 .send_packet(self.first_hop, &[&self.frag_prelude, chunk])?;
             trace_count!(self.channel.tracer(), "gtm", "encode", 1);
+        }
+        if let Some(flow) = &self.flow {
+            flow.note_block(rendezvous, granted_fragments);
         }
         Ok(())
     }
@@ -1188,6 +1363,29 @@ impl StreamAssembler {
                     "control-plane packet for {key:?} reached a stream assembler"
                 )))
             }
+            PacketBody::RendezvousRts(m) => {
+                // The last hop relays the RTS to the final receiver in
+                // stream order: pre-warm the pool class the announced
+                // block's fragments will draw from (batch-split landings
+                // request exactly one tagged fragment's size), then
+                // swallow it — the endpoint never consumes credits, so
+                // no CTS goes back. Unknown/ghost/stale streams are
+                // tolerated like any other already-dead stream state.
+                if self.streams.contains_key(&key) {
+                    if let Some(pool) = &self.pool {
+                        drop(pool.get(PRELUDE_LEN + m.mtu as usize));
+                    }
+                }
+                Ok(Vec::new())
+            }
+            PacketBody::RendezvousCts(_) => {
+                // A CTS flows toward stream origins and is consumed by
+                // writer pumps and gateway engines, never by a receiving
+                // assembler.
+                Err(MadError::Protocol(format!(
+                    "rendezvous CTS for stream {key:?} reached a stream assembler"
+                )))
+            }
             PacketBody::Header(header) => self.push_header(origin, key, header),
             body => {
                 if let Some(remaining) = self.stripe_tombstones.get_mut(&key) {
@@ -1239,7 +1437,9 @@ impl StreamAssembler {
                     | PacketBody::Ack
                     | PacketBody::MetricsRequest
                     | PacketBody::MetricsReply
-                    | PacketBody::Member(_) => {
+                    | PacketBody::Member(_)
+                    | PacketBody::RendezvousRts(_)
+                    | PacketBody::RendezvousCts(_) => {
                         unreachable!()
                     }
                 });
@@ -1383,7 +1583,9 @@ impl StreamAssembler {
             | PacketBody::Ack
             | PacketBody::MetricsRequest
             | PacketBody::MetricsReply
-            | PacketBody::Member(_) => {
+            | PacketBody::Member(_)
+            | PacketBody::RendezvousRts(_)
+            | PacketBody::RendezvousCts(_) => {
                 unreachable!()
             }
         }
@@ -1484,6 +1686,85 @@ mod tests {
         let mut zero_epoch = good.clone();
         zero_epoch[PRELUDE_LEN + 5..PRELUDE_LEN + 13].fill(0);
         assert!(decode_packet(&zero_epoch).is_err());
+    }
+
+    #[test]
+    fn rendezvous_packets_round_trip_and_validate() {
+        let t = tag(2, 7, 33);
+        let msg = RendezvousMsg {
+            total: 1 << 20,
+            mtu: 8192,
+            window: 128,
+        };
+        let rts = encode_rendezvous_rts(&t, &msg);
+        assert_eq!(rts.len(), RENDEZVOUS_PACKET_LEN);
+        assert_eq!(decode_packet(&rts), Ok((t, PacketBody::RendezvousRts(msg))));
+        let cts = encode_rendezvous_cts(&t, &msg);
+        assert_eq!(cts.len(), RENDEZVOUS_PACKET_LEN);
+        assert_eq!(decode_packet(&cts), Ok((t, PacketBody::RendezvousCts(msg))));
+        // Truncation, unknown direction, and zero fields are rejected.
+        assert!(decode_packet(&rts[..rts.len() - 1]).is_err());
+        let mut bad_dir = rts.clone();
+        bad_dir[PRELUDE_LEN] = 9;
+        assert!(decode_packet(&bad_dir).is_err());
+        let mut zero_total = rts.clone();
+        zero_total[PRELUDE_LEN + 1..PRELUDE_LEN + 9].fill(0);
+        assert!(decode_packet(&zero_total).is_err());
+        let mut zero_mtu = rts.clone();
+        zero_mtu[PRELUDE_LEN + 9..PRELUDE_LEN + 13].fill(0);
+        assert!(decode_packet(&zero_mtu).is_err());
+        let mut zero_window = rts.clone();
+        zero_window[PRELUDE_LEN + 13..PRELUDE_LEN + 17].fill(0);
+        assert!(decode_packet(&zero_window).is_err());
+    }
+
+    #[test]
+    fn assembler_swallows_rts_and_rejects_cts() {
+        let t = tag(5, 9, 3);
+        let msg = RendezvousMsg {
+            total: 64,
+            mtu: 8,
+            window: 8,
+        };
+        let mut asm = StreamAssembler::new();
+        // An RTS for an unknown stream is tolerated (stale relay).
+        assert_eq!(
+            asm.push_packet(encode_rendezvous_rts(&t, &msg)).unwrap(),
+            Vec::<StreamKey>::new()
+        );
+        asm.push_packet(encode_header(&GtmHeader::new(t, 8, false)))
+            .unwrap();
+        // An RTS for a live stream is swallowed without queueing an item.
+        asm.push_packet(encode_rendezvous_rts(&t, &msg)).unwrap();
+        let k = asm.pop_ready().unwrap();
+        assert_eq!(asm.next_item(k), None);
+        // A CTS must never reach an assembler.
+        assert!(asm.push_packet(encode_rendezvous_cts(&t, &msg)).is_err());
+    }
+
+    #[test]
+    fn landing_floor_covers_every_control_packet() {
+        // Tiny MTUs still land a full metrics reply; bulk MTUs are sized
+        // by the tagged fragment itself.
+        assert_eq!(landing_size_for(1), METRICS_PACKET_MAX);
+        assert_eq!(landing_size_for(64), METRICS_PACKET_MAX);
+        let bulk = 64 * 1024;
+        assert_eq!(landing_size_for(bulk), PRELUDE_LEN + bulk);
+        // Every fixed-size packet this module can emit fits the floor.
+        for fixed in [
+            HEADER_LEN + 1,
+            PART_LEN,
+            CREDIT_LEN,
+            CANCEL_LEN,
+            MEMBER_PACKET_LEN,
+            RENDEZVOUS_PACKET_LEN,
+            METRICS_PACKET_MAX,
+        ] {
+            assert!(
+                landing_size_for(1) >= fixed,
+                "floor misses {fixed}-byte packet"
+            );
+        }
     }
 
     #[test]

@@ -135,6 +135,9 @@ pub(crate) struct GwMetrics {
     pub(crate) forward_ns: Hist,
     /// Time spent blocked waiting for an outbound credit.
     pub(crate) credit_wait_ns: Hist,
+    /// Sizes of relay copies, wherever the copy-placement scheduler put
+    /// them (receive- and flush-placed alike).
+    pub(crate) copy_bytes: Hist,
     /// Packets resident in the engine's outbound pipeline queues.
     pub(crate) queue_depth: Gauge,
     /// The node's plane, for in-band kind-10 handling inside
@@ -148,6 +151,7 @@ impl GwMetrics {
         GwMetrics {
             forward_ns: r.histogram("gw_forward_ns"),
             credit_wait_ns: r.histogram("credit_wait_ns"),
+            copy_bytes: r.histogram("gw_copy_bytes"),
             queue_depth: r.gauge("queue_depth"),
             plane,
         }
@@ -464,6 +468,9 @@ pub(crate) fn run_responder(
                     };
                     match body {
                         PacketBody::Credit(n) => ledger.deposit(tag.key(), n),
+                        // A rendezvous CTS is the whole-window grant the
+                        // blocked writer's `wait_grant` is parked on.
+                        PacketBody::RendezvousCts(m) => ledger.grant(tag.key(), m.window),
                         PacketBody::Cancel(reason) => ledger.cancel(tag.key(), reason),
                         PacketBody::Ack => {
                             if let Some(plane) = &metrics {
@@ -751,6 +758,16 @@ const HIST_TRACE_NAMES: &[(&str, [&str; 5])] = &[
             "reactor_poll_ns_p99",
             "reactor_poll_ns_max",
             "reactor_poll_ns_count",
+        ],
+    ),
+    (
+        "gw_copy_bytes",
+        [
+            "gw_copy_bytes_p50",
+            "gw_copy_bytes_p90",
+            "gw_copy_bytes_p99",
+            "gw_copy_bytes_max",
+            "gw_copy_bytes_count",
         ],
     ),
 ];

@@ -313,6 +313,9 @@ impl SessionBuilder {
         let mut vcs: Vec<(String, HashMap<NodeId, Arc<VirtualChannel>>)> = Vec::new();
         let mut gateway_handles: Vec<GatewayHandles> = Vec::new();
         let mut gateway_stats: GatewayStatsReport = Vec::new();
+        // Per-(virtual channel, node) writer-side protocol counters,
+        // flushed to `proto:` trace tracks at teardown.
+        let mut proto_stats: Vec<(String, NodeId, Arc<crate::credit::ProtoStats>)> = Vec::new();
         let mut route_planes: Vec<Arc<MultiPath>> = Vec::new();
         let gateway_stop = Arc::new(GatewayStop::new());
         // Live telemetry: one registry per *node* (shared by all its
@@ -474,6 +477,7 @@ impl SessionBuilder {
                 crate::control::Tuning::new(
                     vdef.options.gateway.credit_window,
                     vdef.options.gateway.max_batch,
+                    vdef.options.gateway.rendezvous_threshold,
                 )
             });
 
@@ -640,6 +644,8 @@ impl SessionBuilder {
             let mut per_node = HashMap::new();
             for (&rank, regular) in &regular_by_node {
                 let flow = vdef.options.gateway.credit_window.map(|w| {
+                    let proto = Arc::new(crate::credit::ProtoStats::default());
+                    proto_stats.push((vdef.name.clone(), rank, proto.clone()));
                     FlowControl::new(
                         ledgers[&rank].clone(),
                         w,
@@ -648,6 +654,8 @@ impl SessionBuilder {
                     .with_metrics(planes.get(&rank).cloned())
                     .with_membership(members.get(&rank).cloned())
                     .with_tuning(tuning.clone())
+                    .with_rendezvous(vdef.options.gateway.rendezvous_threshold)
+                    .with_proto(Some(proto))
                 });
                 let vc = VirtualChannel::assemble(
                     vdef.name.clone(),
@@ -817,6 +825,54 @@ impl SessionBuilder {
                     t.threads_spawned as i64,
                     &[],
                 );
+                // Copy-placement accounting, on the same `rt:` family the
+                // A9 scaling sweep reads: where the scheduler put relay
+                // copies and how busy each stage was.
+                let rt = format!("rt:{vc}@{}", gw.0);
+                tracer.count_on(&rt, "runtime", "copies_recv", t.copies_recv as i64, &[]);
+                tracer.count_on(&rt, "runtime", "copies_flush", t.copies_flush as i64, &[]);
+                tracer.count_on(
+                    &rt,
+                    "runtime",
+                    "copy_idle_hits",
+                    t.copy_idle_hits as i64,
+                    &[],
+                );
+                tracer.count_on(
+                    &rt,
+                    "runtime",
+                    "recv_busy_ns",
+                    st.recv_busy_ns.load(std::sync::atomic::Ordering::Relaxed) as i64,
+                    &[],
+                );
+                tracer.count_on(
+                    &rt,
+                    "runtime",
+                    "flush_busy_ns",
+                    st.flush_busy_ns.load(std::sync::atomic::Ordering::Relaxed) as i64,
+                    &[],
+                );
+                // Gateway half of the protocol plane: the kind-12 control
+                // exchanges this engine served (validated by `trace_check
+                // --require-proto`).
+                let proto = format!("proto:{vc}@{}", gw.0);
+                tracer.count_on(&proto, "proto", "rts_relayed", t.rts_relayed as i64, &[]);
+                tracer.count_on(&proto, "proto", "cts_sent", t.cts_sent as i64, &[]);
+            }
+            // Writer half of the protocol plane: per (channel, node)
+            // eager/rendezvous block split and prepaid-grant fragments.
+            for (vc, rank, ps) in &proto_stats {
+                let track = format!("proto:{vc}@{}", rank.0);
+                let rdv = ps
+                    .rendezvous_blocks
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                let eager = ps.eager_blocks.load(std::sync::atomic::Ordering::Relaxed);
+                let granted = ps
+                    .granted_fragments
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                tracer.count_on(&track, "proto", "rendezvous_blocks", rdv as i64, &[]);
+                tracer.count_on(&track, "proto", "eager_blocks", eager as i64, &[]);
+                tracer.count_on(&track, "proto", "granted_fragments", granted as i64, &[]);
             }
             // Session-wide thread-budget accounting: how many OS (or sim
             // actor) threads the runtime ever spawned, plus the reactor

@@ -287,7 +287,10 @@ impl VirtualChannel {
             // special conduits' receive sides and deposit arriving grants;
             // everywhere else the writer must pump its own conduit.
             let flow = self.flow.as_ref().map(|f| f.writer(!self.is_gateway));
-            let w = GtmWriter::begin(
+            // Bulk payloads over the (controller-tunable) threshold run
+            // the kind-12 rendezvous handshake; 0 keeps everything eager.
+            let threshold = flow.as_ref().map(|f| f.rendezvous_threshold()).unwrap_or(0);
+            let mut w = GtmWriter::begin(
                 channel,
                 hop.node,
                 self.next_tag(dest),
@@ -295,6 +298,7 @@ impl VirtualChannel {
                 false,
                 flow,
             )?;
+            w.set_rendezvous_threshold(threshold);
             Ok(VcWriter::Gtm { w, forwarded: true })
         }
     }
@@ -731,6 +735,14 @@ impl<'d> MultipathWriter<'_, 'd> {
                     PacketBody::Member(_) => {
                         if let Some(p) = &self.vc.member {
                             p.handle_packet(&tag, &body, &packet);
+                        }
+                    }
+                    // A rendezvous CTS for a concurrent plain-path writer
+                    // of this node: its whole-window grant goes into the
+                    // shared ledger where that writer's wait_grant finds it.
+                    PacketBody::RendezvousCts(m) => {
+                        if let Some(f) = &self.vc.flow {
+                            f.ledger().grant(tag.key(), m.window);
                         }
                     }
                     other => {

@@ -257,6 +257,17 @@ impl Endpoint {
         self.rx.has_pending()
     }
 
+    /// True if a frame is queued *and* its modeled arrival time has
+    /// passed — the NIC holds deliverable data right now. A frame whose
+    /// `deliver_at` is still in the future is on the wire from this
+    /// host's point of view: [`Endpoint::ready`] sees it (the sender ran
+    /// ahead in wall time), but nothing is awaiting service yet.
+    pub fn deliverable(&self) -> bool {
+        self.rx
+            .peek_map(|f| f.deliver_at <= self.clock.now())
+            .unwrap_or(false)
+    }
+
     /// True once the peer endpoint is gone and no frame remains queued.
     pub fn closed(&self) -> bool {
         self.rx.is_closed()

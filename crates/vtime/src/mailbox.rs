@@ -157,6 +157,12 @@ impl<T> MailReceiver<T> {
         !self.shared.queue.lock().is_empty()
     }
 
+    /// Inspect the head of the queue without consuming it; `None` when
+    /// the queue is empty.
+    pub fn peek_map<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        self.shared.queue.lock().front().map(f)
+    }
+
     /// True once every sender is gone and the queue is drained.
     pub fn is_closed(&self) -> bool {
         *self.shared.senders.lock() == 0 && self.shared.queue.lock().is_empty()

@@ -275,7 +275,6 @@ fn churn_soak_under_bulk_traffic() {
                 credit_window: Some(8),
                 ..Default::default()
             },
-            ..Default::default()
         },
     );
     let ok = sb.run(move |node| {
@@ -422,6 +421,7 @@ fn controller_raises_window_under_injected_starvation() {
                 // Isolate the starvation response: no saturation trims.
                 saturation_min_stalls: u64::MAX,
                 saturation_stall_ratio: 1.0,
+                ..Default::default()
             }),
             ..Default::default()
         },

@@ -4,6 +4,13 @@
 //! once under each engine core, and compares the byte streams delivered
 //! to every receiver — plus both against the sent payloads, so a bug that
 //! corrupts both engines identically still fails.
+//!
+//! The same harness also covers the kind-12 protocol switch: cases with a
+//! nonzero `rendezvous_threshold` re-run under both engines with the
+//! threshold forced to 0 (the eager-only ablation), and all four
+//! deliveries must be byte-identical to the sent payloads. A seeded soak
+//! pins the threshold mid-payload-distribution so eager and rendezvous
+//! streams cross the same gateways back to back.
 
 use mad_shm::ShmDriver;
 use mad_util::prop::{self, Config, Shrink};
@@ -23,6 +30,7 @@ struct Scenario {
     pipeline_depth: usize,
     max_batch: usize,
     credit_window: Option<u32>,
+    rendezvous_threshold: usize,
     messages: Vec<Vec<u8>>,
 }
 
@@ -49,13 +57,17 @@ fn gen_scenario(rng: &mut Rng) -> Scenario {
         pipeline_depth: *rng.choose(&[1usize, 2, 3]).unwrap(),
         max_batch: *rng.choose(&[1usize, 4]).unwrap(),
         credit_window: *rng.choose(&[None, Some(4u32)]).unwrap(),
+        // 0 keeps everything eager; the nonzero thresholds sit below and
+        // inside the payload distribution so bulk messages go rendezvous.
+        rendezvous_threshold: *rng.choose(&[0usize, 2048, 16 * 1024]).unwrap(),
         messages: prop::vec_of(rng, 1..5, |r| prop::bytes(r, 0..40_000)),
     }
 }
 
 /// Run the scenario under `engine` and return the bytes each receiver-side
-/// unpack produced, in order.
-fn run_engine(sc: &Scenario, engine: EngineKind) -> Vec<Vec<u8>> {
+/// unpack produced, in order, plus the kind-12 CTS count of the first
+/// gateway (0 when every stream stayed eager).
+fn run_engine(sc: &Scenario, engine: EngineKind) -> (Vec<Vec<u8>>, u64) {
     let n = sc.hops as u32 + 2; // chain 0-1-…-(n-1), gateways in between
     let mut sb = SessionBuilder::new(n);
     let rt = sb.runtime().clone();
@@ -78,6 +90,7 @@ fn run_engine(sc: &Scenario, engine: EngineKind) -> Vec<Vec<u8>> {
                 pipeline_depth: sc.pipeline_depth,
                 max_batch: sc.max_batch,
                 credit_window: sc.credit_window,
+                rendezvous_threshold: sc.rendezvous_threshold,
                 ..Default::default()
             },
             ..Default::default()
@@ -85,7 +98,7 @@ fn run_engine(sc: &Scenario, engine: EngineKind) -> Vec<Vec<u8>> {
     );
     let last = NodeId(n - 1);
     let messages = sc.messages.clone();
-    let received = sb.run(move |node| {
+    let (received, gw_stats) = sb.run_with_gateway_stats(move |node| {
         let vc = node.vchannel("vc");
         if node.rank() == NodeId(0) {
             for m in &messages {
@@ -109,13 +122,14 @@ fn run_engine(sc: &Scenario, engine: EngineKind) -> Vec<Vec<u8>> {
             Vec::new()
         }
     });
-    received.into_iter().flatten().collect()
+    let cts: u64 = gw_stats.iter().map(|(_, _, st)| st.totals().cts_sent).sum();
+    (received.into_iter().flatten().collect(), cts)
 }
 
 fn engines_agree(sc: &Scenario) -> Result<(), String> {
     prop_require!(!sc.messages.is_empty());
-    let threaded = run_engine(sc, EngineKind::Threaded);
-    let reactor = run_engine(sc, EngineKind::Reactor);
+    let (threaded, threaded_cts) = run_engine(sc, EngineKind::Threaded);
+    let (reactor, reactor_cts) = run_engine(sc, EngineKind::Reactor);
     prop_assert!(
         threaded == sc.messages,
         "threaded engine corrupted the stream ({} hops, mtu {})",
@@ -134,6 +148,46 @@ fn engines_agree(sc: &Scenario) -> Result<(), String> {
         sc.hops,
         sc.mtu
     );
+    // The protocol switch must actually engage: any bulk message over an
+    // enabled threshold runs the handshake on the first gateway.
+    let bulk = sc
+        .messages
+        .iter()
+        .filter(|m| sc.rendezvous_threshold > 0 && m.len() >= sc.rendezvous_threshold)
+        .count() as u64;
+    if sc.credit_window.is_some() {
+        prop_assert!(
+            threaded_cts >= bulk && reactor_cts >= bulk,
+            "bulk messages stayed eager ({bulk} over threshold {}, \
+             {threaded_cts} threaded / {reactor_cts} reactor CTS)",
+            sc.rendezvous_threshold
+        );
+    } else {
+        prop_assert!(
+            threaded_cts == 0 && reactor_cts == 0,
+            "rendezvous ran without flow control"
+        );
+    }
+    // Eager/rendezvous equivalence: the same traffic with the protocol
+    // switch disabled must deliver the same bytes under both engines.
+    if sc.rendezvous_threshold > 0 && sc.credit_window.is_some() {
+        let eager = Scenario {
+            rendezvous_threshold: 0,
+            ..sc.clone()
+        };
+        for engine in [EngineKind::Threaded, EngineKind::Reactor] {
+            let (got, eager_cts) = run_engine(&eager, engine);
+            prop_assert!(
+                got == threaded,
+                "eager ablation disagrees with rendezvous delivery \
+                 ({engine:?}, {} hops, mtu {}, threshold {})",
+                sc.hops,
+                sc.mtu,
+                sc.rendezvous_threshold
+            );
+            prop_assert!(eager_cts == 0, "threshold 0 must be eager-only");
+        }
+    }
     Ok(())
 }
 
@@ -146,4 +200,50 @@ fn engines_forward_byte_identical_streams() {
         gen_scenario,
         engines_agree,
     );
+}
+
+/// Seeded mixed-protocol soak: the rendezvous threshold sits in the
+/// middle of the payload distribution, so small (eager) and bulk
+/// (rendezvous) streams cross the same gateway chain back to back under
+/// both engine cores. Override the seed with `MAD_SOAK_SEED` to replay a
+/// specific run.
+#[test]
+fn mixed_protocol_soak_delivers_exact_bytes() {
+    let seed = std::env::var("MAD_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20010914u64);
+    let mut rng = Rng::new(seed);
+    let sc = Scenario {
+        hops: 2,
+        mtu: 1024,
+        pipeline_depth: 2,
+        max_batch: 4,
+        credit_window: Some(4),
+        rendezvous_threshold: 8 * 1024,
+        messages: prop::vec_of(&mut rng, 24..25, |r| prop::bytes(r, 0..32_000)),
+    };
+    let (small, bulk): (Vec<_>, Vec<_>) = sc
+        .messages
+        .iter()
+        .partition(|m| m.len() < sc.rendezvous_threshold);
+    assert!(
+        !small.is_empty() && !bulk.is_empty(),
+        "seed must yield traffic on both sides of the threshold \
+         ({} eager, {} rendezvous)",
+        small.len(),
+        bulk.len()
+    );
+    for engine in [EngineKind::Threaded, EngineKind::Reactor] {
+        let (got, cts) = run_engine(&sc, engine);
+        assert_eq!(
+            got, sc.messages,
+            "mixed-protocol soak corrupted the stream under {engine:?}"
+        );
+        assert!(
+            cts >= bulk.len() as u64,
+            "only {cts} CTS for {} bulk messages under {engine:?}",
+            bulk.len()
+        );
+    }
 }
